@@ -1,0 +1,263 @@
+package injectable
+
+import (
+	"injectable/internal/att"
+	"injectable/internal/ble"
+	"injectable/internal/ble/pdu"
+	"injectable/internal/devices"
+	"injectable/internal/gatt"
+	"injectable/internal/host"
+	"injectable/internal/ids"
+	"injectable/internal/injectable"
+	"injectable/internal/link"
+	"injectable/internal/medium"
+	"injectable/internal/phy"
+	"injectable/internal/sim"
+)
+
+// --- simulation kernel ------------------------------------------------------
+
+// Simulation time and durations (nanosecond-resolution virtual time).
+type (
+	// Time is an instant in virtual simulation time.
+	Time = sim.Time
+	// Duration is a span of virtual time.
+	Duration = sim.Duration
+	// Tracer receives structured simulation events.
+	Tracer = sim.Tracer
+	// TraceEvent is one structured trace record.
+	TraceEvent = sim.TraceEvent
+)
+
+// Duration units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// NewRecordingTracer records trace events in memory, optionally filtered
+// by kind.
+func NewRecordingTracer(kinds ...string) *sim.RecordingTracer {
+	return sim.NewRecordingTracer(kinds...)
+}
+
+// --- radio environment ------------------------------------------------------
+
+type (
+	// World is one simulated radio environment.
+	World = host.World
+	// WorldConfig configures a World.
+	WorldConfig = host.WorldConfig
+	// Device is a positioned radio with clock and identity.
+	Device = host.Device
+	// DeviceConfig describes one radio device.
+	DeviceConfig = host.DeviceConfig
+	// Position is a point in the floor plan, in metres.
+	Position = phy.Position
+	// Wall is an attenuating obstacle segment.
+	Wall = phy.Wall
+	// MediumConfig configures propagation and collision capture.
+	MediumConfig = medium.Config
+	// CaptureModel decides whether collided frames survive.
+	CaptureModel = medium.CaptureModel
+	// Address is a 48-bit Bluetooth device address.
+	Address = ble.Address
+)
+
+// NewWorld creates an empty radio environment.
+func NewWorld(cfg WorldConfig) *World { return host.NewWorld(cfg) }
+
+// LogDistancePathLoss builds the default propagation model with optional
+// walls and path-loss exponent (0 = free space's 2.0).
+func LogDistancePathLoss(exponent float64, walls ...Wall) *phy.LogDistance {
+	return &phy.LogDistance{Exponent: exponent, Walls: walls}
+}
+
+// DefaultCaptureModel returns the calibrated phase-capture collision model.
+func DefaultCaptureModel() CaptureModel { return medium.DefaultCaptureModel() }
+
+// --- BLE stack roles ---------------------------------------------------------
+
+type (
+	// Peripheral is the GAP Peripheral role: advertiser + GATT server.
+	Peripheral = host.Peripheral
+	// PeripheralConfig configures a Peripheral.
+	PeripheralConfig = host.PeripheralConfig
+	// Central is the GAP Central role: initiator + GATT client.
+	Central = host.Central
+	// CentralConfig configures a Central.
+	CentralConfig = host.CentralConfig
+	// Conn is one end of an established connection.
+	Conn = link.Conn
+	// ConnParams is the connection parameter set of CONNECT_REQ.
+	ConnParams = link.ConnParams
+	// DisconnectReason says why a connection ended.
+	DisconnectReason = link.DisconnectReason
+	// Service is a GATT service under construction.
+	Service = gatt.Service
+	// Characteristic is a GATT characteristic.
+	Characteristic = gatt.Characteristic
+	// UUID is an attribute type.
+	UUID = att.UUID
+	// DataPDU is a Link Layer data PDU.
+	DataPDU = pdu.DataPDU
+)
+
+// NewPeripheral builds a peripheral role on a device.
+func NewPeripheral(dev *Device, cfg PeripheralConfig) *Peripheral {
+	return host.NewPeripheral(dev, cfg)
+}
+
+// NewCentral builds a central role on a device.
+func NewCentral(dev *Device, cfg CentralConfig) *Central {
+	return host.NewCentral(dev, cfg)
+}
+
+// UUID16 builds a 16-bit SIG UUID.
+func UUID16(v uint16) UUID { return att.UUID16(v) }
+
+// GATT characteristic properties.
+const (
+	PropRead            = gatt.PropRead
+	PropWrite           = gatt.PropWrite
+	PropWriteNoResponse = gatt.PropWriteNoResponse
+	PropNotify          = gatt.PropNotify
+	PropIndicate        = gatt.PropIndicate
+)
+
+// --- the paper's target devices ----------------------------------------------
+
+type (
+	// Lightbulb is the RGB bulb of the paper's experiments.
+	Lightbulb = devices.Lightbulb
+	// Keyfob is the findable keyfob of §VI-A.
+	Keyfob = devices.Keyfob
+	// Smartwatch is the watch of §VI-A/§VI-D.
+	Smartwatch = devices.Smartwatch
+	// Smartphone is the long-lived-connection Central.
+	Smartphone = devices.Smartphone
+	// SmartphoneConfig configures the phone model.
+	SmartphoneConfig = devices.SmartphoneConfig
+)
+
+// NewLightbulb builds the bulb on a device.
+func NewLightbulb(dev *Device) *Lightbulb { return devices.NewLightbulb(dev) }
+
+// NewKeyfob builds the keyfob on a device.
+func NewKeyfob(dev *Device) *Keyfob { return devices.NewKeyfob(dev) }
+
+// NewSmartwatch builds the watch on a device.
+func NewSmartwatch(dev *Device) *Smartwatch { return devices.NewSmartwatch(dev) }
+
+// NewSmartphone builds the phone on a device.
+func NewSmartphone(dev *Device, cfg SmartphoneConfig) *Smartphone {
+	return devices.NewSmartphone(dev, cfg)
+}
+
+// Vendor protocol command builders for the lightbulb (the payload sizes of
+// the paper's experiment 2).
+var (
+	PowerCommand      = devices.PowerCommand
+	ColorCommand      = devices.ColorCommand
+	BrightnessCommand = devices.BrightnessCommand
+	ToggleCommand     = devices.ToggleCommand
+	RingCommand       = devices.RingCommand
+)
+
+// --- the attack ---------------------------------------------------------------
+
+type (
+	// Attacker bundles the InjectaBLE tooling on one radio.
+	Attacker = injectable.Attacker
+	// Sniffer follows connections passively.
+	Sniffer = injectable.Sniffer
+	// Injector performs the window-widening race.
+	Injector = injectable.Injector
+	// InjectorConfig tunes the race.
+	InjectorConfig = injectable.InjectorConfig
+	// Report summarises an injection run.
+	Report = injectable.Report
+	// Attempt records one injection attempt.
+	Attempt = injectable.Attempt
+	// ReadReport extends Report with extracted read data.
+	ReadReport = injectable.ReadReport
+	// ConnState is the attacker's live view of a connection.
+	ConnState = injectable.ConnState
+	// SlaveHijack is an in-progress slave impersonation (scenario B).
+	SlaveHijack = injectable.SlaveHijack
+	// MasterHijack is an in-progress master impersonation (scenario C).
+	MasterHijack = injectable.MasterHijack
+	// MITM is the dual-leg relay of scenario D.
+	MITM = injectable.MITM
+	// MITMConfig tunes the relay and its mutation hooks.
+	MITMConfig = injectable.MITMConfig
+	// UpdateParams are forged CONNECTION_UPDATE values.
+	UpdateParams = injectable.UpdateParams
+	// Recovery synchronises with an established connection.
+	Recovery = injectable.Recovery
+	// RecoveryConfig tunes parameter recovery.
+	RecoveryConfig = injectable.RecoveryConfig
+)
+
+// NewAttacker builds the attack tooling on a device stack.
+func NewAttacker(stack *link.Stack, cfg InjectorConfig) *Attacker {
+	return injectable.NewAttacker(stack, cfg)
+}
+
+// NewRecovery builds a parameter-recovery engine on a device stack.
+func NewRecovery(stack *link.Stack, cfg RecoveryConfig) *Recovery {
+	return injectable.NewRecovery(stack, cfg)
+}
+
+// Forged-frame builders (SN/NESN are set by the injector per eq. 6).
+var (
+	ForgeATTWriteCommand  = injectable.ForgeATTWriteCommand
+	ForgeATTWriteRequest  = injectable.ForgeATTWriteRequest
+	ForgeATTReadRequest   = injectable.ForgeATTReadRequest
+	ForgeTerminateInd     = injectable.ForgeTerminateInd
+	ForgeConnectionUpdate = injectable.ForgeConnectionUpdate
+)
+
+// --- defence -------------------------------------------------------------------
+
+type (
+	// Monitor is the passive IDS of paper §VIII.
+	Monitor = ids.Monitor
+	// MonitorConfig tunes the IDS.
+	MonitorConfig = ids.Config
+	// Alert is one IDS detection.
+	Alert = ids.Alert
+	// AlertKind classifies detections.
+	AlertKind = ids.AlertKind
+)
+
+// IDS alert kinds.
+const (
+	AlertDoubleFrame     = ids.AlertDoubleFrame
+	AlertAnchorDeviation = ids.AlertAnchorDeviation
+	AlertScheduleSplit   = ids.AlertScheduleSplit
+	AlertRogueUpdate     = ids.AlertRogueUpdate
+	AlertJamming         = ids.AlertJamming
+)
+
+// NewMonitor builds the IDS; attach it with World.Medium.AddObserver.
+func NewMonitor(cfg MonitorConfig) *Monitor { return ids.New(cfg) }
+
+// --- §IX extension: keystroke injection -----------------------------------
+
+type (
+	// Keyboard is a HID-over-GATT keyboard profile (legitimate or forged).
+	Keyboard = devices.Keyboard
+	// Computer is a HID-capable central host that auto-attaches to
+	// keyboards — the behaviour the §IX keystroke injection abuses.
+	Computer = devices.Computer
+	// KeystrokeInjection is the §IX chain: slave hijack + forged keyboard.
+	KeystrokeInjection = injectable.KeystrokeInjection
+)
+
+// NewKeyboardProfile builds a HID keyboard GATT profile.
+func NewKeyboardProfile(name string) *Keyboard { return devices.NewKeyboardProfile(name) }
+
+// NewComputer builds a HID-host central on a device.
+func NewComputer(dev *Device) *Computer { return devices.NewComputer(dev) }

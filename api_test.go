@@ -1,0 +1,194 @@
+package injectable_test
+
+import (
+	"testing"
+
+	"injectable"
+)
+
+// TestPublicAPIQuickstart exercises the facade end-to-end exactly as the
+// README shows it.
+func TestPublicAPIQuickstart(t *testing.T) {
+	w := injectable.NewWorld(injectable.WorldConfig{Seed: 42})
+	bulb := injectable.NewLightbulb(w.NewDevice(injectable.DeviceConfig{
+		Name: "bulb", Position: injectable.Position{X: 0},
+	}))
+	phone := injectable.NewSmartphone(w.NewDevice(injectable.DeviceConfig{
+		Name: "phone", Position: injectable.Position{X: 2},
+	}), injectable.SmartphoneConfig{})
+	attacker := injectable.NewAttacker(w.NewDevice(injectable.DeviceConfig{
+		Name: "attacker", Position: injectable.Position{X: 1, Y: 1.73},
+		ClockPPM: 20,
+	}).Stack, injectable.InjectorConfig{})
+
+	attacker.Sniffer.Start()
+	bulb.Peripheral.StartAdvertising()
+	phone.Connect(bulb.Peripheral.Device.Address())
+	w.RunFor(3 * injectable.Second)
+
+	if !attacker.Sniffer.Following() {
+		t.Fatal("sniffer not following")
+	}
+	var rep *injectable.Report
+	err := attacker.InjectWrite(bulb.ControlHandle(), injectable.PowerCommand(true),
+		func(r injectable.Report) { rep = &r })
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.RunFor(30 * injectable.Second)
+	if rep == nil || !rep.Success || !bulb.On {
+		t.Fatalf("quickstart failed: rep=%v on=%t", rep, bulb.On)
+	}
+	if !phone.Central.Connected() {
+		t.Fatal("connection broken")
+	}
+}
+
+// TestPublicAPICustomPeripheral builds a custom GATT device through the
+// facade and attacks it.
+func TestPublicAPICustomPeripheral(t *testing.T) {
+	w := injectable.NewWorld(injectable.WorldConfig{Seed: 43})
+	dev := w.NewDevice(injectable.DeviceConfig{Name: "lock", Position: injectable.Position{X: 0}})
+	lock := injectable.NewPeripheral(dev, injectable.PeripheralConfig{DeviceName: "DoorLock"})
+	unlocked := false
+	bolt := &injectable.Characteristic{
+		UUID:       injectable.UUID16(0xF00D),
+		Properties: injectable.PropRead | injectable.PropWrite,
+		Value:      []byte{0},
+		OnWrite:    func(v []byte) { unlocked = len(v) == 1 && v[0] == 1 },
+	}
+	lock.GATT.AddService(&injectable.Service{
+		UUID:            injectable.UUID16(0xF000),
+		Characteristics: []*injectable.Characteristic{bolt},
+	})
+
+	phone := injectable.NewSmartphone(w.NewDevice(injectable.DeviceConfig{
+		Name: "phone", Position: injectable.Position{X: 2},
+	}), injectable.SmartphoneConfig{})
+	attacker := injectable.NewAttacker(w.NewDevice(injectable.DeviceConfig{
+		Name: "attacker", Position: injectable.Position{X: 1, Y: 1.73},
+	}).Stack, injectable.InjectorConfig{})
+
+	attacker.Sniffer.Start()
+	lock.StartAdvertising()
+	phone.Connect(dev.Address())
+	w.RunFor(3 * injectable.Second)
+
+	var rep *injectable.Report
+	if err := attacker.InjectWrite(bolt.ValueHandle, []byte{1}, func(r injectable.Report) { rep = &r }); err != nil {
+		t.Fatal(err)
+	}
+	w.RunFor(30 * injectable.Second)
+	if rep == nil || !rep.Success || !unlocked {
+		t.Fatal("custom-device injection failed")
+	}
+}
+
+// TestPublicAPIIDS attaches the monitor through the facade.
+func TestPublicAPIIDS(t *testing.T) {
+	w := injectable.NewWorld(injectable.WorldConfig{Seed: 44})
+	monitor := injectable.NewMonitor(injectable.MonitorConfig{})
+	w.Medium.AddObserver(monitor)
+
+	bulb := injectable.NewLightbulb(w.NewDevice(injectable.DeviceConfig{Name: "bulb"}))
+	phone := injectable.NewSmartphone(w.NewDevice(injectable.DeviceConfig{
+		Name: "phone", Position: injectable.Position{X: 2},
+	}), injectable.SmartphoneConfig{})
+	bulb.Peripheral.StartAdvertising()
+	phone.Connect(bulb.Peripheral.Device.Address())
+	w.RunFor(5 * injectable.Second)
+	if n := len(monitor.AlertsOf(injectable.AlertJamming)); n != 0 {
+		t.Fatalf("%d jamming false positives", n)
+	}
+}
+
+// TestPublicAPIPathLossAndCapture exercises the configuration surface.
+func TestPublicAPIPathLossAndCapture(t *testing.T) {
+	wall := injectable.Wall{
+		A: injectable.Position{X: 1, Y: -5}, B: injectable.Position{X: 1, Y: 5}, Loss: 7,
+	}
+	w := injectable.NewWorld(injectable.WorldConfig{
+		Seed: 45,
+		Medium: injectable.MediumConfig{
+			PathLoss: injectable.LogDistancePathLoss(2.2, wall),
+			Capture:  injectable.DefaultCaptureModel(),
+		},
+	})
+	if w == nil {
+		t.Fatal("world")
+	}
+}
+
+// TestPublicAPIKeystrokeChain exercises the §IX extension via the facade.
+func TestPublicAPIKeystrokeChain(t *testing.T) {
+	w := injectable.NewWorld(injectable.WorldConfig{Seed: 46})
+	fob := injectable.NewKeyfob(w.NewDevice(injectable.DeviceConfig{Name: "fob"}))
+	laptop := injectable.NewComputer(w.NewDevice(injectable.DeviceConfig{
+		Name: "laptop", Position: injectable.Position{X: 2},
+	}))
+	attacker := injectable.NewAttacker(w.NewDevice(injectable.DeviceConfig{
+		Name: "attacker", Position: injectable.Position{X: 1, Y: 1.73}, ClockPPM: 20,
+	}).Stack, injectable.InjectorConfig{})
+
+	attacker.Sniffer.Start()
+	fob.Peripheral.StartAdvertising()
+	laptop.Connect(fob.Peripheral.Device.Address())
+	w.RunFor(3 * injectable.Second)
+
+	var ki *injectable.KeystrokeInjection
+	if err := attacker.InjectKeyboard("kbd", func(k *injectable.KeystrokeInjection, err error) {
+		if err == nil {
+			ki = k
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w.RunFor(50 * injectable.Second)
+	if ki == nil || !ki.Attached() {
+		t.Fatal("keyboard not attached via facade")
+	}
+	if err := ki.Type("ok"); err != nil {
+		t.Fatal(err)
+	}
+	w.RunFor(5 * injectable.Second)
+	if laptop.Typed.String() != "ok" {
+		t.Fatalf("typed %q", laptop.Typed.String())
+	}
+}
+
+// TestPublicAPIForgeHelpersAndRecovery touches the remaining facade surface.
+func TestPublicAPIForgeHelpersAndRecovery(t *testing.T) {
+	if len(injectable.ForgeTerminateInd().Marshal()) != 4 {
+		t.Fatal("ForgeTerminateInd wrong size")
+	}
+	if injectable.ForgeATTReadRequest(3).IsControl() {
+		t.Fatal("read request must not be a control PDU")
+	}
+	if !injectable.ForgeConnectionUpdate(2, 18, 36, 0, 100, 50).IsControl() {
+		t.Fatal("connection update must be a control PDU")
+	}
+	if len(injectable.ForgeATTWriteRequest(6, []byte{1}).Payload) == 0 {
+		t.Fatal("write request empty")
+	}
+	if injectable.RingCommand()[0] == 0 {
+		t.Fatal("ring command")
+	}
+	if len(injectable.ColorCommand(1, 2, 3)) != 7 || len(injectable.BrightnessCommand(9)) != 2 ||
+		injectable.ToggleCommand() != nil {
+		t.Fatal("bulb command builders")
+	}
+	tr := injectable.NewRecordingTracer("anchor")
+	_ = injectable.Tracer(tr)
+
+	w := injectable.NewWorld(injectable.WorldConfig{Seed: 47})
+	dev := w.NewDevice(injectable.DeviceConfig{Name: "a"})
+	if injectable.NewRecovery(dev.Stack, injectable.RecoveryConfig{}) == nil {
+		t.Fatal("NewRecovery nil")
+	}
+	if injectable.NewKeyboardProfile("k") == nil {
+		t.Fatal("NewKeyboardProfile nil")
+	}
+	if injectable.UUID16(0x1800) != injectable.UUID16(0x1800) {
+		t.Fatal("UUID16 inconsistent")
+	}
+}

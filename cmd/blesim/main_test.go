@@ -1,0 +1,26 @@
+package main
+
+import (
+	"testing"
+
+	"injectable/internal/sim"
+)
+
+func TestParseDuration(t *testing.T) {
+	cases := map[string]sim.Duration{
+		"500ms": 500 * sim.Millisecond,
+		"3s":    3 * sim.Second,
+		"90s":   90 * sim.Second,
+	}
+	for in, want := range cases {
+		got, err := parseDuration(in)
+		if err != nil || got != want {
+			t.Errorf("parseDuration(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "5", "5m", "xs"} {
+		if _, err := parseDuration(bad); err == nil {
+			t.Errorf("parseDuration(%q) accepted", bad)
+		}
+	}
+}

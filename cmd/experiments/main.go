@@ -1,0 +1,286 @@
+// Command experiments regenerates the paper's evaluation: every table and
+// figure, the four attack scenarios on all three devices, the encryption
+// countermeasure, the IDS study, the prior-art baselines and the design
+// ablations.
+//
+// Usage:
+//
+//	experiments -run all                 # everything (the EXPERIMENTS.md run)
+//	experiments -run exp1|exp2|exp3|exp3wall
+//	experiments -run tableI|tableII|fig1|...|fig8
+//	experiments -run scenarioA|scenarioB|scenarioC|scenarioD|keystrokes
+//	experiments -run encrypted|ids|idsvalidation|countermeasures|baselines|ablations
+//	experiments -run list                # list all experiment names
+//	experiments -run exp1 -trials 25 -seed 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"injectable/internal/experiments"
+	"injectable/internal/ids"
+)
+
+func main() {
+	run := flag.String("run", "all", "which experiment to run (see usage)")
+	trials := flag.Int("trials", 25, "trials per configuration (paper: 25)")
+	seed := flag.Uint64("seed", 1000, "base seed")
+	quiet := flag.Bool("q", false, "suppress progress dots")
+	flag.Parse()
+
+	opts := experiments.Options{TrialsPerPoint: *trials, SeedBase: *seed}
+	if !*quiet {
+		opts.Progress = func(point string, trial int) {
+			fmt.Fprintf(os.Stderr, "\r%-20s trial %d   ", point, trial+1)
+		}
+	}
+	newline := func() {
+		if !*quiet {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+
+	runners := map[string]func() error{
+		"tableI":  func() error { fmt.Println(experiments.TableIFrameFormat().Render()); return nil },
+		"tableII": func() error { fmt.Println(experiments.TableIIConnectReq().Render()); return nil },
+		"fig1":    tableErr(func() (*experiments.Table, error) { return experiments.Fig1ConnectionEvents(*seed) }),
+		"fig2":    tableErr(func() (*experiments.Table, error) { return experiments.Fig2ConnectionUpdate(*seed) }),
+		"fig3":    tableErr(func() (*experiments.Table, error) { return experiments.Fig3AttackOverview(*seed) }),
+		"fig4":    func() error { fmt.Println(experiments.Fig4WindowWidening().Render()); return nil },
+		"fig5":    tableErr(func() (*experiments.Table, error) { return experiments.Fig5InjectionOutcomes(*seed) }),
+		"fig6":    tableErr(func() (*experiments.Table, error) { return experiments.Fig6SlaveHijack(*seed) }),
+		"fig7":    tableErr(func() (*experiments.Table, error) { return experiments.Fig7MitM(*seed) }),
+		"fig8":    func() error { fmt.Println(experiments.Fig8Topology().Render()); return nil },
+		"exp1": expErr(func() (*experiments.Experiment, error) {
+			return experiments.Experiment1HopInterval(opts)
+		}, newline),
+		"exp2": expErr(func() (*experiments.Experiment, error) {
+			return experiments.Experiment2PayloadSize(opts)
+		}, newline),
+		"exp3": expErr(func() (*experiments.Experiment, error) {
+			return experiments.Experiment3Distance(opts)
+		}, newline),
+		"exp3wall": expErr(func() (*experiments.Experiment, error) {
+			return experiments.Experiment3Wall(opts)
+		}, newline),
+		"scenarioA": scenarioRunner("scenario A — illegitimate feature use (§VI-A)", experiments.RunScenarioA, *seed),
+		"scenarioB": scenarioRunner("scenario B — slave hijack (§VI-B)", experiments.RunScenarioB, *seed),
+		"scenarioC": scenarioRunner("scenario C — master hijack (§VI-C)", experiments.RunScenarioC, *seed),
+		"scenarioD": scenarioRunner("scenario D — man-in-the-middle (§VI-D)", experiments.RunScenarioD, *seed),
+		"keystrokes": func() error {
+			out, err := experiments.RunScenarioKeystrokes(*seed, false)
+			if err != nil {
+				return err
+			}
+			t := &experiments.Table{
+				Title:  "§IX extension — HID keystroke injection after slave hijack",
+				Header: []string{"target", "success", "hijack attempts", "detail"},
+				Rows: [][]string{{
+					out.Target, fmt.Sprintf("%t", out.Success),
+					fmt.Sprintf("%d", out.Attempts), out.Detail,
+				}},
+			}
+			fmt.Println(t.Render())
+			return nil
+		},
+		"encrypted": func() error {
+			out, err := experiments.RunEncryptedInjection(*seed)
+			if err != nil {
+				return err
+			}
+			t := &experiments.Table{
+				Title:  "encryption countermeasure (§IV): injection on an encrypted link",
+				Header: []string{"paired+encrypted", "feature triggered", "DoS (MIC-failure drop)"},
+				Rows: [][]string{{
+					fmt.Sprintf("%t", out.Paired),
+					fmt.Sprintf("%t (must be false)", out.FeatureTriggered),
+					fmt.Sprintf("%t", out.ConnectionDropped),
+				}},
+			}
+			fmt.Println(t.Render())
+			return nil
+		},
+		"ids": func() error { return runIDS(*seed) },
+		"countermeasures": func() error {
+			outs, err := experiments.WideningReduction(*trials, *seed+8000, func(i int) {
+				if !*quiet {
+					fmt.Fprintf(os.Stderr, "\rwidening-reduction run %d   ", i+1)
+				}
+			})
+			newline()
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.WideningReductionTable(outs, *trials).Render())
+			app, err := experiments.RunAppLayerCrypto(*seed + 8100)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.AppLayerCryptoTable(app).Render())
+			return nil
+		},
+		"idsvalidation": func() error {
+			t, err := experiments.IDSValidation(*trials, *seed+3000, func(i int) {
+				if !*quiet {
+					fmt.Fprintf(os.Stderr, "\rids-validation run %d   ", i+1)
+				}
+			})
+			newline()
+			if err != nil {
+				return err
+			}
+			fmt.Println(t.Render())
+			return nil
+		},
+		"baselines": func() error {
+			jam, err := experiments.RunBTLEJackBaseline(*seed)
+			if err != nil {
+				return err
+			}
+			inj, err := experiments.RunInjectaBLEMasterHijackComparison(*seed)
+			if err != nil {
+				return err
+			}
+			pre, err := experiments.RunGATTackerBaseline(*seed, false)
+			if err != nil {
+				return err
+			}
+			post, err := experiments.RunGATTackerBaseline(*seed, true)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.BaselineTable([]experiments.BaselineOutcome{jam, inj, pre, post}).Render())
+			return nil
+		},
+		"ablations": func() error {
+			for _, f := range []func(experiments.Options) (*experiments.Experiment, error){
+				experiments.AblationCaptureModel,
+				experiments.AblationAssumedSlaveSCA,
+				experiments.AblationInjectionTiming,
+				experiments.AblationAdaptiveGuard,
+			} {
+				exp, err := f(opts)
+				if err != nil {
+					return err
+				}
+				newline()
+				fmt.Println(exp.Table().Render())
+			}
+			t, err := experiments.HeuristicValidation(opts)
+			if err != nil {
+				return err
+			}
+			newline()
+			fmt.Println(t.Render())
+			return nil
+		},
+	}
+
+	order := []string{
+		"tableI", "tableII", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"exp1", "exp2", "exp3", "exp3wall",
+		"scenarioA", "scenarioB", "scenarioC", "scenarioD", "keystrokes",
+		"encrypted", "ids", "idsvalidation", "countermeasures", "baselines", "ablations",
+	}
+	if *run == "list" {
+		for _, name := range order {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *run == "all" {
+		for _, name := range order {
+			if err := runners[name](); err != nil {
+				fatal(fmt.Errorf("%s: %w", name, err))
+			}
+		}
+		return
+	}
+	r, ok := runners[*run]
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q (use -run list)", *run))
+	}
+	if err := r(); err != nil {
+		fatal(err)
+	}
+}
+
+// runIDS measures detection across the scenarios plus a clean control.
+func runIDS(seed uint64) error {
+	t := &experiments.Table{
+		Title:  "IDS detection study (§VIII): alerts per attack",
+		Header: []string{"workload", "double-frame", "anchor-dev", "sched-split", "rogue-update", "jamming"},
+	}
+	row := func(name string, alerts map[ids.AlertKind]int) {
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%d", alerts[ids.AlertDoubleFrame]),
+			fmt.Sprintf("%d", alerts[ids.AlertAnchorDeviation]),
+			fmt.Sprintf("%d", alerts[ids.AlertScheduleSplit]),
+			fmt.Sprintf("%d", alerts[ids.AlertRogueUpdate]),
+			fmt.Sprintf("%d", alerts[ids.AlertJamming]),
+		})
+	}
+	for _, sc := range []struct {
+		name string
+		run  func(string, uint64, bool) (experiments.ScenarioOutcome, error)
+	}{
+		{"scenario A", experiments.RunScenarioA},
+		{"scenario B", experiments.RunScenarioB},
+		{"scenario C", experiments.RunScenarioC},
+		{"scenario D", experiments.RunScenarioD},
+	} {
+		out, err := sc.run("lightbulb", seed, true)
+		if err != nil {
+			return err
+		}
+		row(sc.name, out.IDSAlerts)
+	}
+	fmt.Println(t.Render())
+	return nil
+}
+
+func tableErr(f func() (*experiments.Table, error)) func() error {
+	return func() error {
+		t, err := f()
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.Render())
+		return nil
+	}
+}
+
+func expErr(f func() (*experiments.Experiment, error), newline func()) func() error {
+	return func() error {
+		exp, err := f()
+		newline()
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.Table().Render())
+		return nil
+	}
+}
+
+func scenarioRunner(title string, run func(string, uint64, bool) (experiments.ScenarioOutcome, error), seed uint64) func() error {
+	return func() error {
+		var outcomes []experiments.ScenarioOutcome
+		for _, target := range experiments.ScenarioTargets() {
+			out, err := run(target, seed, false)
+			if err != nil {
+				return err
+			}
+			outcomes = append(outcomes, out)
+		}
+		fmt.Println(experiments.ScenarioTable("", title, outcomes).Render())
+		return nil
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

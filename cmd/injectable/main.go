@@ -1,0 +1,74 @@
+// Command injectable runs the InjectaBLE attack scenarios against a
+// simulated topology and reports what happened.
+//
+// Usage:
+//
+//	injectable -scenario A|B|C|D|read|encrypted -target lightbulb|keyfob|smartwatch [-seed N] [-ids]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"injectable/internal/experiments"
+)
+
+func main() {
+	scenario := flag.String("scenario", "A", "attack scenario: A, B, C, D, keyboard or encrypted")
+	target := flag.String("target", "lightbulb", "target device: lightbulb, keyfob or smartwatch")
+	seed := flag.Uint64("seed", 1, "simulation seed (runs are deterministic per seed)")
+	withIDS := flag.Bool("ids", false, "attach the passive IDS and report its alerts")
+	flag.Parse()
+
+	switch *scenario {
+	case "A", "B", "C", "D":
+		run := map[string]func(string, uint64, bool) (experiments.ScenarioOutcome, error){
+			"A": experiments.RunScenarioA,
+			"B": experiments.RunScenarioB,
+			"C": experiments.RunScenarioC,
+			"D": experiments.RunScenarioD,
+		}[*scenario]
+		out, err := run(*target, *seed, *withIDS)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("scenario %s vs %s: success=%t attempts=%d (%s)\n",
+			*scenario, out.Target, out.Success, out.Attempts, out.Detail)
+		if *withIDS {
+			if len(out.IDSAlerts) == 0 {
+				fmt.Println("IDS: no alerts")
+			}
+			for kind, n := range out.IDSAlerts {
+				fmt.Printf("IDS: %d × %s\n", n, kind)
+			}
+		}
+		if !out.Success {
+			os.Exit(1)
+		}
+	case "keyboard":
+		out, err := experiments.RunScenarioKeystrokes(*seed, *withIDS)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("scenario keyboard: success=%t hijackAttempts=%d (%s)\n",
+			out.Success, out.Attempts, out.Detail)
+		if !out.Success {
+			os.Exit(1)
+		}
+	case "encrypted":
+		out, err := experiments.RunEncryptedInjection(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("encrypted countermeasure: paired=%t featureTriggered=%t dosDrop=%t\n",
+			out.Paired, out.FeatureTriggered, out.ConnectionDropped)
+	default:
+		fatal(fmt.Errorf("unknown scenario %q", *scenario))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "injectable:", err)
+	os.Exit(1)
+}

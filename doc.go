@@ -1,0 +1,53 @@
+// Package injectable is a full reproduction, in pure Go, of the InjectaBLE
+// attack — "InjectaBLE: Injecting malicious traffic into established
+// Bluetooth Low Energy connections" (Cayre et al., DSN 2021) — together
+// with every substrate the paper depends on.
+//
+// Because the original artifact is nRF52840 radio firmware, the radio
+// testbed is replaced by a deterministic discrete-event simulation of the
+// 2.4 GHz medium that models exactly the physics the attack exploits:
+// microsecond-scale sleep-clock drift (and the spec's window widening that
+// compensates it), signal propagation, and collision capture. On top of
+// that medium runs a from-scratch BLE stack — Link Layer (advertising,
+// connections, channel selection #1/#2, SN/NESN, control procedures,
+// AES-CCM encryption), L2CAP, ATT/GATT and Security Manager pairing — plus
+// behavioural models of the paper's target devices.
+//
+// The package exposes three layers:
+//
+//   - Simulation: NewWorld creates a radio environment; NewLightbulb,
+//     NewKeyfob, NewSmartwatch and NewSmartphone place the paper's devices
+//     in it; NewPeripheral/NewCentral build custom devices.
+//
+//   - Attack: NewAttacker bundles the InjectaBLE tooling — the Sniffer
+//     (CONNECT_REQ capture or full parameter recovery of an established
+//     connection), the Injector (the window-widening race of §V, with the
+//     eq. 7 success heuristic), and scenarios A–D (feature triggering,
+//     slave hijack, master hijack, man-in-the-middle).
+//
+//   - Defence: NewMonitor is the passive IDS of §VIII; the experiments
+//     package regenerates every figure of the paper's evaluation.
+//
+// A minimal attack looks like:
+//
+//	w := injectable.NewWorld(injectable.WorldConfig{Seed: 1})
+//	bulb := injectable.NewLightbulb(w.NewDevice(injectable.DeviceConfig{Name: "bulb"}))
+//	phone := injectable.NewSmartphone(w.NewDevice(injectable.DeviceConfig{
+//		Name: "phone", Position: injectable.Position{X: 2},
+//	}), injectable.SmartphoneConfig{})
+//	attacker := injectable.NewAttacker(w.NewDevice(injectable.DeviceConfig{
+//		Name: "attacker", Position: injectable.Position{X: 1, Y: 1.7},
+//	}).Stack, injectable.InjectorConfig{})
+//
+//	attacker.Sniffer.Start()
+//	bulb.Peripheral.StartAdvertising()
+//	phone.Connect(bulb.Peripheral.Device.Address())
+//	w.RunFor(3 * injectable.Second)
+//
+//	attacker.InjectWrite(bulb.ControlHandle(), injectable.PowerCommand(true),
+//		func(r injectable.Report) { fmt.Println(r) })
+//	w.RunFor(30 * injectable.Second)
+//
+// Runs are fully deterministic per seed. See examples/ for complete
+// programs and EXPERIMENTS.md for the reproduced evaluation.
+package injectable

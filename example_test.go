@@ -1,0 +1,73 @@
+package injectable_test
+
+import (
+	"fmt"
+
+	"injectable"
+)
+
+// Example demonstrates the core InjectaBLE flow: simulate a victim
+// connection, synchronise a sniffer with it, and race a forged ATT Write
+// Command into the slave's widened receive window.
+func Example() {
+	w := injectable.NewWorld(injectable.WorldConfig{Seed: 42})
+
+	bulb := injectable.NewLightbulb(w.NewDevice(injectable.DeviceConfig{
+		Name: "bulb", Position: injectable.Position{X: 0},
+	}))
+	phone := injectable.NewSmartphone(w.NewDevice(injectable.DeviceConfig{
+		Name: "phone", Position: injectable.Position{X: 2},
+	}), injectable.SmartphoneConfig{})
+	attacker := injectable.NewAttacker(w.NewDevice(injectable.DeviceConfig{
+		Name: "attacker", Position: injectable.Position{X: 1, Y: 1.73},
+		ClockPPM: 20,
+	}).Stack, injectable.InjectorConfig{})
+
+	attacker.Sniffer.Start()
+	bulb.Peripheral.StartAdvertising()
+	phone.Connect(bulb.Peripheral.Device.Address())
+	w.RunFor(3 * injectable.Second)
+
+	attacker.InjectWrite(bulb.ControlHandle(), injectable.PowerCommand(true),
+		func(r injectable.Report) {
+			fmt.Printf("injected: %t\n", r.Success)
+		})
+	w.RunFor(30 * injectable.Second)
+	fmt.Printf("bulb on: %t, connection alive: %t\n", bulb.On, phone.Central.Connected())
+
+	// Output:
+	// injected: true
+	// bulb on: true, connection alive: true
+}
+
+// ExampleAttacker_HijackMaster shows scenario C: a forged
+// LL_CONNECTION_UPDATE_IND splits the slave onto an attacker-chosen
+// schedule and the legitimate master times out.
+func ExampleAttacker_HijackMaster() {
+	w := injectable.NewWorld(injectable.WorldConfig{Seed: 7})
+	bulb := injectable.NewLightbulb(w.NewDevice(injectable.DeviceConfig{Name: "bulb"}))
+	phone := injectable.NewSmartphone(w.NewDevice(injectable.DeviceConfig{
+		Name: "phone", Position: injectable.Position{X: 2},
+	}), injectable.SmartphoneConfig{})
+	attacker := injectable.NewAttacker(w.NewDevice(injectable.DeviceConfig{
+		Name: "attacker", Position: injectable.Position{X: 1, Y: 1.73}, ClockPPM: 20,
+	}).Stack, injectable.InjectorConfig{})
+
+	attacker.Sniffer.Start()
+	bulb.Peripheral.StartAdvertising()
+	phone.Connect(bulb.Peripheral.Device.Address())
+	w.RunFor(3 * injectable.Second)
+
+	attacker.HijackMaster(injectable.UpdateParams{}, func(h *injectable.MasterHijack, err error) {
+		if err == nil {
+			fmt.Println("attacker owns the master role")
+		}
+	})
+	w.RunFor(60 * injectable.Second)
+	fmt.Printf("slave still served: %t, legitimate master gone: %t\n",
+		bulb.Peripheral.Connected(), !phone.Central.Connected())
+
+	// Output:
+	// attacker owns the master role
+	// slave still served: true, legitimate master gone: true
+}

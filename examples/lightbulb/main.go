@@ -1,0 +1,100 @@
+// Command lightbulb walks through attack scenarios A and B of the paper
+// against the simulated RGB bulb: first triggering its features with
+// injected writes (including extracting its device name with an injected
+// read), then expelling it from the connection with LL_TERMINATE_IND and
+// impersonating it toward the phone.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"injectable"
+	"injectable/internal/att"
+	"injectable/internal/gatt"
+)
+
+func main() {
+	w := injectable.NewWorld(injectable.WorldConfig{Seed: 7})
+	bulb := injectable.NewLightbulb(w.NewDevice(injectable.DeviceConfig{
+		Name: "bulb", Position: injectable.Position{X: 0},
+	}))
+	phone := injectable.NewSmartphone(w.NewDevice(injectable.DeviceConfig{
+		Name: "phone", Position: injectable.Position{X: 2},
+	}), injectable.SmartphoneConfig{})
+	attacker := injectable.NewAttacker(w.NewDevice(injectable.DeviceConfig{
+		Name: "attacker", Position: injectable.Position{X: 1, Y: 1.73},
+		ClockPPM: 20,
+	}).Stack, injectable.InjectorConfig{})
+
+	attacker.Sniffer.Start()
+	bulb.Peripheral.StartAdvertising()
+	phone.Connect(bulb.Peripheral.Device.Address())
+	w.RunFor(3 * injectable.Second)
+	if !attacker.Sniffer.Following() {
+		log.Fatal("not synchronised")
+	}
+
+	// --- Scenario A: trigger features ----------------------------------
+	fmt.Println("# scenario A: illegitimately using device functionality")
+	inject := func(desc string, value []byte) {
+		done := false
+		err := attacker.InjectWrite(bulb.ControlHandle(), value, func(r injectable.Report) {
+			fmt.Printf("  %-24s success=%t attempts=%d\n", desc, r.Success, r.AttemptCount())
+			done = true
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		w.RunFor(30 * injectable.Second)
+		if !done {
+			log.Fatalf("%s: did not settle", desc)
+		}
+	}
+	inject("turn on", injectable.PowerCommand(true))
+	fmt.Printf("  bulb state: %v\n", bulb)
+	inject("set colour red", injectable.ColorCommand(255, 0, 0))
+	inject("dim to 25%", injectable.BrightnessCommand(64))
+	fmt.Printf("  bulb state: %v\n", bulb)
+
+	// Confidentiality: read the device name with an injected Read Request.
+	err := attacker.InjectRead(3, func(r injectable.ReadReport) {
+		fmt.Printf("  injected read: %q (err=%v)\n", r.Value, r.Err)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.RunFor(30 * injectable.Second)
+
+	// --- Scenario B: hijack the slave role ------------------------------
+	fmt.Println("# scenario B: hijacking the Slave role")
+	forged := gatt.NewServer(func([]byte) {})
+	forged.AddService(&gatt.Service{
+		UUID: att.UUID16(0x1800),
+		Characteristics: []*gatt.Characteristic{{
+			UUID: att.UUID16(0x2A00), Properties: gatt.PropRead, Value: []byte("Hacked"),
+		}},
+	})
+	err = attacker.HijackSlave(forged, func(h *injectable.SlaveHijack, err error) {
+		if err != nil {
+			log.Fatalf("hijack failed: %v", err)
+		}
+		fmt.Printf("  slave expelled after %d attempt(s); attacker now serves the master\n",
+			h.Report.AttemptCount())
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.RunFor(40 * injectable.Second)
+
+	fmt.Printf("  legitimate bulb still connected: %t\n", bulb.Peripheral.Connected())
+	fmt.Printf("  master still connected: %t\n", phone.Central.Connected())
+
+	// The phone's next Device Name read hits the impostor. (A poll lost in
+	// the hijack may first need the 30 s ATT transaction timeout.)
+	w.RunFor(31 * injectable.Second)
+	phone.GATT().Read(3, func(v []byte, err error) {
+		fmt.Printf("  master reads device name: %q (err=%v)\n", v, err)
+	})
+	w.RunFor(5 * injectable.Second)
+}

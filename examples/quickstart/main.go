@@ -1,0 +1,59 @@
+// Command quickstart demonstrates the core InjectaBLE flow in one page:
+// simulate a lightbulb with a smartphone connected to it, sniff the
+// connection from a third radio, and inject a single forged ATT Write
+// Command that turns the bulb on — without breaking the connection.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"injectable"
+)
+
+func main() {
+	// One radio environment; everything is deterministic per seed.
+	w := injectable.NewWorld(injectable.WorldConfig{Seed: 42})
+
+	// The paper's triangle: bulb at the origin, phone 2 m away, attacker
+	// 2 m from both.
+	bulb := injectable.NewLightbulb(w.NewDevice(injectable.DeviceConfig{
+		Name: "bulb", Position: injectable.Position{X: 0},
+	}))
+	phone := injectable.NewSmartphone(w.NewDevice(injectable.DeviceConfig{
+		Name: "phone", Position: injectable.Position{X: 2},
+	}), injectable.SmartphoneConfig{})
+	attacker := injectable.NewAttacker(w.NewDevice(injectable.DeviceConfig{
+		Name: "attacker", Position: injectable.Position{X: 1, Y: 1.73},
+		ClockPPM: 20, // nRF52840-grade sleep clock
+	}).Stack, injectable.InjectorConfig{})
+
+	// The attacker listens for the CONNECT_REQ while the phone connects.
+	attacker.Sniffer.Start()
+	bulb.Peripheral.StartAdvertising()
+	phone.Connect(bulb.Peripheral.Device.Address())
+	w.RunFor(3 * injectable.Second)
+
+	if !attacker.Sniffer.Following() {
+		log.Fatal("sniffer failed to synchronise")
+	}
+	st := attacker.Sniffer.State()
+	fmt.Printf("synchronised: AA=%v interval=%d hop=%d\n",
+		st.Params.AccessAddress, st.Params.Interval, st.Params.Hop)
+
+	// Inject a Write Command that turns the bulb on (scenario A).
+	err := attacker.InjectWrite(bulb.ControlHandle(), injectable.PowerCommand(true),
+		func(r injectable.Report) {
+			fmt.Printf("injection: success=%t after %d attempt(s)\n", r.Success, r.AttemptCount())
+			for _, a := range r.Attempts {
+				fmt.Printf("  attempt %d on event %d ch%d: %s\n", a.Number, a.Event, a.Channel, a.Outcome)
+			}
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.RunFor(30 * injectable.Second)
+
+	fmt.Printf("bulb is on: %t\n", bulb.On)
+	fmt.Printf("connection still alive: %t (stealth)\n", phone.Central.Connected())
+}

@@ -1,0 +1,68 @@
+// Command recovery attacks a connection whose beginning the attacker never
+// saw: it recovers the access address, CRCInit, channel map, hop interval
+// and hop increment purely from sniffed data traffic (the Ryan/BTLEJack
+// techniques the paper builds on), synchronises, and injects.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"injectable"
+)
+
+func main() {
+	w := injectable.NewWorld(injectable.WorldConfig{Seed: 1234})
+	bulb := injectable.NewLightbulb(w.NewDevice(injectable.DeviceConfig{
+		Name: "bulb", Position: injectable.Position{X: 0},
+	}))
+	phone := injectable.NewSmartphone(w.NewDevice(injectable.DeviceConfig{
+		Name: "phone", Position: injectable.Position{X: 2},
+	}), injectable.SmartphoneConfig{})
+	attackerDev := w.NewDevice(injectable.DeviceConfig{
+		Name: "attacker", Position: injectable.Position{X: 1, Y: 1.73},
+		ClockPPM: 20,
+	})
+	attacker := injectable.NewAttacker(attackerDev.Stack, injectable.InjectorConfig{})
+
+	// The connection is established while the attacker is NOT listening.
+	bulb.Peripheral.StartAdvertising()
+	phone.Connect(bulb.Peripheral.Device.Address())
+	w.RunFor(5 * injectable.Second)
+	fmt.Println("connection established; attacker arrives late and must recover parameters")
+
+	rec := injectable.NewRecovery(attackerDev.Stack, injectable.RecoveryConfig{
+		AssumeFullMap: true,
+	})
+	rec.OnStage = func(stage string) {
+		fmt.Printf("  [%v] recovery stage: %s\n", w.Now(), stage)
+	}
+	rec.Run(func(st *injectable.ConnState, err error) {
+		if err != nil {
+			log.Fatalf("recovery failed: %v", err)
+		}
+		fmt.Printf("  recovered: AA=%v CRCInit=%06X interval=%d hop=%d\n",
+			st.Params.AccessAddress, st.Params.CRCInit, st.Params.Interval, st.Params.Hop)
+		// Follow immediately — the anchor estimate decays with staleness.
+		attacker.Sniffer.FollowKnownConnection(st)
+	})
+	w.RunFor(30 * injectable.Second)
+	if !attacker.Sniffer.Following() {
+		log.Fatal("attacker failed to follow the recovered connection")
+	}
+
+	truth := phone.Central.Conn().Params()
+	fmt.Printf("ground truth:  AA=%v CRCInit=%06X interval=%d hop=%d\n",
+		truth.AccessAddress, truth.CRCInit, truth.Interval, truth.Hop)
+
+	err := attacker.InjectWrite(bulb.ControlHandle(), injectable.ColorCommand(0, 0, 255),
+		func(r injectable.Report) {
+			fmt.Printf("injection on recovered connection: success=%t attempts=%d\n",
+				r.Success, r.AttemptCount())
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.RunFor(30 * injectable.Second)
+	fmt.Printf("bulb: %v\n", bulb)
+}

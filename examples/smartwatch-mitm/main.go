@@ -1,0 +1,78 @@
+// Command smartwatch-mitm reproduces the paper's scenario D headline demo:
+// a man-in-the-middle inserted into an *established* connection between a
+// smartphone and a smartwatch, rewriting an SMS on the fly — the attack
+// that pre-connection MITM tools (GATTacker, BTLEJuice) cannot perform.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"injectable"
+)
+
+func main() {
+	w := injectable.NewWorld(injectable.WorldConfig{Seed: 99})
+	watch := injectable.NewSmartwatch(w.NewDevice(injectable.DeviceConfig{
+		Name: "watch", Position: injectable.Position{X: 0},
+	}))
+	phone := injectable.NewSmartphone(w.NewDevice(injectable.DeviceConfig{
+		Name: "phone", Position: injectable.Position{X: 2},
+	}), injectable.SmartphoneConfig{})
+	attacker := injectable.NewAttacker(w.NewDevice(injectable.DeviceConfig{
+		Name: "attacker", Position: injectable.Position{X: 1, Y: 1.73},
+		ClockPPM: 20,
+	}).Stack, injectable.InjectorConfig{})
+
+	// The connection exists long before the attacker strikes.
+	attacker.Sniffer.Start()
+	watch.Peripheral.StartAdvertising()
+	phone.Connect(watch.Peripheral.Device.Address())
+	w.RunFor(3 * injectable.Second)
+	if !attacker.Sniffer.Following() {
+		log.Fatal("not synchronised")
+	}
+	fmt.Println("connection established and followed; inserting MITM...")
+
+	// The mutation hook rewrites SMS text flowing phone → watch. (It works
+	// on Link Layer PDUs: keep the SMS within one 27-byte PDU or match
+	// per-fragment.)
+	mutate := func(p injectable.DataPDU) (injectable.DataPDU, bool) {
+		if i := bytes.Index(p.Payload, []byte("14:00")); i >= 0 {
+			copy(p.Payload[i:], []byte("09:00"))
+			fmt.Println("  [attacker] rewrote SMS in flight: 14:00 → 09:00")
+		}
+		return p, true
+	}
+	var session *injectable.MITM
+	err := attacker.ManInTheMiddle(injectable.UpdateParams{},
+		injectable.MITMConfig{OnMasterToSlave: mutate},
+		func(m *injectable.MITM, err error) {
+			if err != nil {
+				log.Fatalf("MITM failed: %v", err)
+			}
+			session = m
+			fmt.Println("MITM established: forged CONNECTION_UPDATE split the slave onto a new schedule")
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.RunFor(60 * injectable.Second)
+	if session == nil || session.Closed() {
+		log.Fatal("MITM did not hold")
+	}
+
+	// The phone sends an SMS; the watch displays the attacker's version.
+	fmt.Println("phone pushes SMS: \"Meet at 14:00\"")
+	phone.GATT().WriteCommand(watch.SMSHandle(), []byte("Meet at 14:00"))
+	w.RunFor(10 * injectable.Second)
+
+	for _, msg := range watch.Messages {
+		fmt.Printf("watch displays: %q\n", msg)
+	}
+	fmt.Printf("relayed: %d PDUs phone→watch, %d watch→phone\n",
+		session.ForwardedM2S, session.ForwardedS2M)
+	fmt.Printf("both victims still connected: phone=%t watch=%t\n",
+		phone.Central.Connected(), watch.Peripheral.Connected())
+}

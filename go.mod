@@ -1,0 +1,3 @@
+module injectable
+
+go 1.22

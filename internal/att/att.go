@@ -1,0 +1,203 @@
+// Package att implements the Attribute Protocol (ATT) of BLE: the typed
+// request/response PDUs, the server-side attribute database and a client.
+//
+// ATT is the generic application layer of BLE (paper §III-A) and the lever
+// of attack scenario A: injecting a single ATT Write Request or Read
+// Request into a hijacked connection event is enough to trigger any
+// behaviour the victim device exposes.
+package att
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Opcode is an ATT PDU opcode.
+type Opcode uint8
+
+// ATT opcodes (Core Spec Vol 3 Part F §3.4.8).
+const (
+	OpError          Opcode = 0x01
+	OpMTUReq         Opcode = 0x02
+	OpMTURsp         Opcode = 0x03
+	OpFindInfoReq    Opcode = 0x04
+	OpFindInfoRsp    Opcode = 0x05
+	OpReadByTypeReq  Opcode = 0x08
+	OpReadByTypeRsp  Opcode = 0x09
+	OpReadReq        Opcode = 0x0A
+	OpReadRsp        Opcode = 0x0B
+	OpReadByGroupReq Opcode = 0x10
+	OpReadByGroupRsp Opcode = 0x11
+	OpWriteReq       Opcode = 0x12
+	OpWriteRsp       Opcode = 0x13
+	OpWriteCmd       Opcode = 0x52
+	OpNotification   Opcode = 0x1B
+	OpIndication     Opcode = 0x1D
+	OpConfirmation   Opcode = 0x1E
+)
+
+// String implements fmt.Stringer.
+func (o Opcode) String() string {
+	switch o {
+	case OpError:
+		return "Error Response"
+	case OpMTUReq:
+		return "Exchange MTU Request"
+	case OpMTURsp:
+		return "Exchange MTU Response"
+	case OpFindInfoReq:
+		return "Find Information Request"
+	case OpFindInfoRsp:
+		return "Find Information Response"
+	case OpReadByTypeReq:
+		return "Read By Type Request"
+	case OpReadByTypeRsp:
+		return "Read By Type Response"
+	case OpReadReq:
+		return "Read Request"
+	case OpReadRsp:
+		return "Read Response"
+	case OpReadByGroupReq:
+		return "Read By Group Type Request"
+	case OpReadByGroupRsp:
+		return "Read By Group Type Response"
+	case OpWriteReq:
+		return "Write Request"
+	case OpWriteRsp:
+		return "Write Response"
+	case OpWriteCmd:
+		return "Write Command"
+	case OpNotification:
+		return "Handle Value Notification"
+	case OpIndication:
+		return "Handle Value Indication"
+	case OpConfirmation:
+		return "Handle Value Confirmation"
+	default:
+		return fmt.Sprintf("ATT(%#02x)", uint8(o))
+	}
+}
+
+// ErrorCode is an ATT error code carried in an Error Response.
+type ErrorCode uint8
+
+// ATT error codes.
+const (
+	ErrInvalidHandle          ErrorCode = 0x01
+	ErrReadNotPermitted       ErrorCode = 0x02
+	ErrWriteNotPermitted      ErrorCode = 0x03
+	ErrInvalidPDU             ErrorCode = 0x04
+	ErrRequestNotSupported    ErrorCode = 0x06
+	ErrAttributeNotFound      ErrorCode = 0x0A
+	ErrInvalidAttributeLength ErrorCode = 0x0D
+	ErrInsufficientEncryption ErrorCode = 0x0F
+)
+
+// String implements fmt.Stringer.
+func (e ErrorCode) String() string {
+	switch e {
+	case ErrInvalidHandle:
+		return "invalid handle"
+	case ErrReadNotPermitted:
+		return "read not permitted"
+	case ErrWriteNotPermitted:
+		return "write not permitted"
+	case ErrInvalidPDU:
+		return "invalid PDU"
+	case ErrRequestNotSupported:
+		return "request not supported"
+	case ErrAttributeNotFound:
+		return "attribute not found"
+	case ErrInvalidAttributeLength:
+		return "invalid attribute value length"
+	case ErrInsufficientEncryption:
+		return "insufficient encryption"
+	default:
+		return fmt.Sprintf("error %#02x", uint8(e))
+	}
+}
+
+// Error is a protocol-level ATT error (an Error Response).
+type Error struct {
+	Request Opcode
+	Handle  uint16
+	Code    ErrorCode
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("att: %v on handle %#04x: %v", e.Request, e.Handle, e.Code)
+}
+
+// ErrTruncated reports a malformed (too short) ATT PDU.
+var ErrTruncated = errors.New("att: truncated PDU")
+
+// DefaultMTU is the minimum/default ATT_MTU for LE.
+const DefaultMTU = 23
+
+// UUID is an attribute type: either a 16-bit Bluetooth SIG UUID or a full
+// 128-bit vendor UUID.
+type UUID struct {
+	b    [16]byte
+	is16 bool
+}
+
+// UUID16 builds a SIG 16-bit UUID.
+func UUID16(v uint16) UUID {
+	var u UUID
+	u.is16 = true
+	u.b[0] = byte(v)
+	u.b[1] = byte(v >> 8)
+	return u
+}
+
+// UUID128 builds a vendor UUID from 16 bytes (little endian, as on air).
+func UUID128(b [16]byte) UUID { return UUID{b: b} }
+
+// Is16 reports whether this is a 16-bit UUID.
+func (u UUID) Is16() bool { return u.is16 }
+
+// Uint16 returns the short value (valid only when Is16).
+func (u UUID) Uint16() uint16 { return uint16(u.b[0]) | uint16(u.b[1])<<8 }
+
+// Bytes returns the on-air encoding: 2 or 16 bytes little endian.
+func (u UUID) Bytes() []byte {
+	if u.is16 {
+		return []byte{u.b[0], u.b[1]}
+	}
+	out := make([]byte, 16)
+	copy(out, u.b[:])
+	return out
+}
+
+// UUIDFromBytes parses a 2- or 16-byte on-air UUID.
+func UUIDFromBytes(b []byte) (UUID, error) {
+	switch len(b) {
+	case 2:
+		return UUID16(uint16(b[0]) | uint16(b[1])<<8), nil
+	case 16:
+		var raw [16]byte
+		copy(raw[:], b)
+		return UUID128(raw), nil
+	default:
+		return UUID{}, fmt.Errorf("att: UUID must be 2 or 16 bytes, got %d", len(b))
+	}
+}
+
+// String implements fmt.Stringer.
+func (u UUID) String() string {
+	if u.is16 {
+		return fmt.Sprintf("0x%04X", u.Uint16())
+	}
+	return fmt.Sprintf("%x", u.b)
+}
+
+// Well-known GATT declaration UUIDs.
+var (
+	UUIDPrimaryService   = UUID16(0x2800)
+	UUIDSecondaryService = UUID16(0x2801)
+	UUIDCharacteristic   = UUID16(0x2803)
+	UUIDCCCD             = UUID16(0x2902)
+	UUIDDeviceName       = UUID16(0x2A00)
+	UUIDGAPService       = UUID16(0x1800)
+)

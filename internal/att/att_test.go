@@ -1,0 +1,379 @@
+package att
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// wire connects a Server and Client back-to-back, delivering synchronously.
+func wire() (*Server, *Client, *DB) {
+	db := NewDB()
+	var srv *Server
+	var cli *Client
+	srv = NewServer(db, func(b []byte) { cli.HandlePDU(b) })
+	cli = NewClient(func(b []byte) { srv.HandlePDU(b) })
+	return srv, cli, db
+}
+
+func TestReadRequest(t *testing.T) {
+	_, cli, db := wire()
+	a := db.Add(UUIDDeviceName, []byte("bulb"), ReadOnly)
+	var got Response
+	cli.Read(a.Handle, func(r Response) { got = r })
+	if got.Err != nil {
+		t.Fatal(got.Err)
+	}
+	if string(got.Value) != "bulb" {
+		t.Fatalf("value = %q", got.Value)
+	}
+}
+
+func TestReadInvalidHandle(t *testing.T) {
+	_, cli, _ := wire()
+	var got Response
+	cli.Read(0x1234, func(r Response) { got = r })
+	var attErr *Error
+	if !errors.As(got.Err, &attErr) || attErr.Code != ErrInvalidHandle {
+		t.Fatalf("err = %v", got.Err)
+	}
+	if attErr.Handle != 0x1234 || attErr.Request != OpReadReq {
+		t.Fatalf("error detail = %+v", attErr)
+	}
+	if attErr.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+func TestReadNotPermitted(t *testing.T) {
+	_, cli, db := wire()
+	a := db.Add(UUID16(0xFF01), []byte{1}, Permissions{Write: true})
+	var got Response
+	cli.Read(a.Handle, func(r Response) { got = r })
+	var attErr *Error
+	if !errors.As(got.Err, &attErr) || attErr.Code != ErrReadNotPermitted {
+		t.Fatalf("err = %v", got.Err)
+	}
+}
+
+func TestDynamicRead(t *testing.T) {
+	_, cli, db := wire()
+	n := 0
+	a := db.Add(UUID16(0xFF02), nil, ReadOnly)
+	a.OnRead = func() []byte { n++; return []byte{byte(n)} }
+	var got Response
+	cli.Read(a.Handle, func(r Response) { got = r })
+	cli.Read(a.Handle, func(r Response) { got = r })
+	if got.Value[0] != 2 {
+		t.Fatalf("dynamic read = %v", got.Value)
+	}
+}
+
+func TestWriteRequest(t *testing.T) {
+	srv, cli, db := wire()
+	var hookValue []byte
+	a := db.Add(UUID16(0xFF01), []byte{0}, ReadWrite)
+	a.OnWrite = func(v []byte) { hookValue = append([]byte(nil), v...) }
+	var srvWrites int
+	srv.OnWrite = func(handle uint16, value []byte) { srvWrites++ }
+
+	done := false
+	cli.Write(a.Handle, []byte{0xAB, 0xCD}, func(r Response) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		done = true
+	})
+	if !done {
+		t.Fatal("no write response")
+	}
+	if !bytes.Equal(a.Value, []byte{0xAB, 0xCD}) || !bytes.Equal(hookValue, a.Value) {
+		t.Fatalf("value = % x", a.Value)
+	}
+	if srvWrites != 1 {
+		t.Fatal("server OnWrite not called")
+	}
+}
+
+func TestWriteCommandNoResponse(t *testing.T) {
+	_, cli, db := wire()
+	a := db.Add(UUID16(0xFF01), []byte{0}, ReadWrite)
+	cli.WriteCommand(a.Handle, []byte{0x77})
+	if a.Value[0] != 0x77 {
+		t.Fatal("write command not applied")
+	}
+	// Write command to a bad handle must not produce an error response
+	// (nothing to deliver it to); simply ignored.
+	cli.WriteCommand(0x9999, []byte{1})
+}
+
+func TestWriteNotPermitted(t *testing.T) {
+	_, cli, db := wire()
+	a := db.Add(UUIDDeviceName, []byte("x"), ReadOnly)
+	var got Response
+	cli.Write(a.Handle, []byte{1}, func(r Response) { got = r })
+	var attErr *Error
+	if !errors.As(got.Err, &attErr) || attErr.Code != ErrWriteNotPermitted {
+		t.Fatalf("err = %v", got.Err)
+	}
+}
+
+func TestEncryptionGate(t *testing.T) {
+	srv, cli, db := wire()
+	a := db.Add(UUID16(0xFF10), []byte{9},
+		Permissions{Read: true, Write: true, ReadRequiresEncryption: true, WriteRequiresEncryption: true})
+	encrypted := false
+	srv.Encrypted = func() bool { return encrypted }
+
+	var got Response
+	cli.Read(a.Handle, func(r Response) { got = r })
+	var attErr *Error
+	if !errors.As(got.Err, &attErr) || attErr.Code != ErrInsufficientEncryption {
+		t.Fatalf("plaintext read: %v", got.Err)
+	}
+	cli.Write(a.Handle, []byte{1}, func(r Response) { got = r })
+	if !errors.As(got.Err, &attErr) || attErr.Code != ErrInsufficientEncryption {
+		t.Fatalf("plaintext write: %v", got.Err)
+	}
+
+	encrypted = true
+	cli.Read(a.Handle, func(r Response) { got = r })
+	if got.Err != nil || got.Value[0] != 9 {
+		t.Fatalf("encrypted read: %+v", got)
+	}
+}
+
+func TestMTUExchange(t *testing.T) {
+	srv, cli, _ := wire()
+	var mtu uint16
+	cli.ExchangeMTU(185, func(m uint16, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		mtu = m
+	})
+	if mtu != 247 {
+		t.Fatalf("server MTU = %d", mtu)
+	}
+	if srv.MTU() != 185 {
+		t.Fatalf("effective MTU = %d, want min(185,247)", srv.MTU())
+	}
+}
+
+func TestReadTruncatedToMTU(t *testing.T) {
+	_, cli, db := wire()
+	long := make([]byte, 100)
+	a := db.Add(UUID16(0xFF01), long, ReadOnly)
+	var got Response
+	cli.Read(a.Handle, func(r Response) { got = r })
+	if len(got.Value) != DefaultMTU-1 {
+		t.Fatalf("read %d bytes, want %d (MTU-1)", len(got.Value), DefaultMTU-1)
+	}
+}
+
+func TestFindInformation(t *testing.T) {
+	_, cli, db := wire()
+	db.Add(UUIDPrimaryService, []byte{0x00, 0x18}, ReadOnly)
+	db.Add(UUIDCharacteristic, []byte{1}, ReadOnly)
+	db.Add(UUIDDeviceName, []byte("d"), ReadOnly)
+	var got []FoundInfo
+	cli.FindInformation(1, 0xFFFF, func(fi []FoundInfo, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = fi
+	})
+	if len(got) != 3 {
+		t.Fatalf("found %d attributes", len(got))
+	}
+	if got[0].Handle != 1 || got[0].Type != UUIDPrimaryService {
+		t.Fatalf("first = %+v", got[0])
+	}
+}
+
+func TestFindInformationEmpty(t *testing.T) {
+	_, cli, db := wire()
+	db.Add(UUIDPrimaryService, []byte{1}, ReadOnly)
+	var gotErr error
+	cli.FindInformation(10, 20, func(fi []FoundInfo, err error) { gotErr = err })
+	var attErr *Error
+	if !errors.As(gotErr, &attErr) || attErr.Code != ErrAttributeNotFound {
+		t.Fatalf("err = %v", gotErr)
+	}
+}
+
+func TestReadByType(t *testing.T) {
+	_, cli, db := wire()
+	db.Add(UUIDPrimaryService, []byte{0x00, 0x18}, ReadOnly)
+	db.Add(UUIDDeviceName, []byte("ab"), ReadOnly)
+	db.Add(UUID16(0xFF01), []byte{9}, ReadOnly)
+	db.Add(UUIDDeviceName, []byte("cd"), ReadOnly)
+	var got []TypeValue
+	cli.ReadByType(1, 0xFFFF, UUIDDeviceName, func(tv []TypeValue, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = tv
+	})
+	if len(got) != 2 || string(got[0].Value) != "ab" || string(got[1].Value) != "cd" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestReadByGroupType(t *testing.T) {
+	_, cli, db := wire()
+	db.Add(UUIDPrimaryService, []byte{0x00, 0x18}, ReadOnly) // h1: GAP
+	db.Add(UUIDCharacteristic, []byte{1}, ReadOnly)          // h2
+	db.Add(UUIDDeviceName, []byte("d"), ReadOnly)            // h3
+	db.Add(UUIDPrimaryService, []byte{0x0F, 0x18}, ReadOnly) // h4: battery
+	db.Add(UUIDCharacteristic, []byte{2}, ReadOnly)          // h5
+	var got []GroupValue
+	cli.ReadByGroupType(1, 0xFFFF, UUIDPrimaryService, func(gv []GroupValue, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = gv
+	})
+	if len(got) != 2 {
+		t.Fatalf("found %d groups", len(got))
+	}
+	if got[0].Start != 1 || got[0].End != 3 {
+		t.Fatalf("group 0 = %+v", got[0])
+	}
+	if got[1].Start != 4 || got[1].End != 5 {
+		t.Fatalf("group 1 = %+v", got[1])
+	}
+}
+
+func TestNotificationDelivery(t *testing.T) {
+	srv, cli, db := wire()
+	a := db.Add(UUID16(0xFF05), []byte{0}, ReadOnly)
+	var gotHandle uint16
+	var gotValue []byte
+	cli.OnNotification = func(h uint16, v []byte) { gotHandle, gotValue = h, v }
+	srv.Notify(a.Handle, []byte{0xDE, 0xAD})
+	if gotHandle != a.Handle || !bytes.Equal(gotValue, []byte{0xDE, 0xAD}) {
+		t.Fatalf("notification %#x % x", gotHandle, gotValue)
+	}
+}
+
+func TestIndicationConfirmed(t *testing.T) {
+	srv, cli, db := wire()
+	a := db.Add(UUID16(0xFF05), []byte{0}, ReadOnly)
+	got := false
+	cli.OnIndication = func(h uint16, v []byte) { got = true }
+	srv.Indicate(a.Handle, []byte{1})
+	if !got {
+		t.Fatal("indication not delivered")
+	}
+}
+
+func TestRequestQueueing(t *testing.T) {
+	// Issue several requests back-to-back through a deferred transport:
+	// they must all complete, in order.
+	db := NewDB()
+	var srv *Server
+	var cli *Client
+	var toServer, toClient [][]byte
+	srv = NewServer(db, func(b []byte) { toClient = append(toClient, append([]byte(nil), b...)) })
+	cli = NewClient(func(b []byte) { toServer = append(toServer, append([]byte(nil), b...)) })
+	a := db.Add(UUID16(0xFF01), []byte{7}, ReadWrite)
+
+	var results []Response
+	cli.Read(a.Handle, func(r Response) { results = append(results, r) })
+	cli.Write(a.Handle, []byte{8}, func(r Response) { results = append(results, r) })
+	cli.Read(a.Handle, func(r Response) { results = append(results, r) })
+
+	for len(toServer) > 0 || len(toClient) > 0 {
+		if len(toServer) > 0 {
+			msg := toServer[0]
+			toServer = toServer[1:]
+			srv.HandlePDU(msg)
+		}
+		if len(toClient) > 0 {
+			msg := toClient[0]
+			toClient = toClient[1:]
+			cli.HandlePDU(msg)
+		}
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	if results[0].Value[0] != 7 {
+		t.Fatal("first read wrong")
+	}
+	if results[2].Value[0] != 8 {
+		t.Fatal("read after write wrong")
+	}
+}
+
+func TestMalformedPDUs(t *testing.T) {
+	srv, _, db := wire()
+	db.Add(UUID16(0xFF01), []byte{1}, ReadWrite)
+	// None of these may panic.
+	srv.HandlePDU(nil)
+	srv.HandlePDU([]byte{byte(OpReadReq)})
+	srv.HandlePDU([]byte{byte(OpReadReq), 0x01})
+	srv.HandlePDU([]byte{byte(OpWriteReq)})
+	srv.HandlePDU([]byte{byte(OpFindInfoReq), 1, 2})
+	srv.HandlePDU([]byte{byte(OpReadByTypeReq), 1})
+	srv.HandlePDU([]byte{byte(OpReadByGroupReq), 1, 0, 2})
+	srv.HandlePDU([]byte{0xEE})
+}
+
+func TestMalformedClientPDUs(t *testing.T) {
+	_, cli, _ := wire()
+	cli.HandlePDU(nil)
+	cli.HandlePDU([]byte{byte(OpNotification)})
+	cli.HandlePDU([]byte{byte(OpReadRsp), 1, 2, 3}) // unsolicited
+}
+
+func TestUUIDRoundTripProperty(t *testing.T) {
+	f := func(v uint16, raw [16]byte) bool {
+		u16 := UUID16(v)
+		b16, err := UUIDFromBytes(u16.Bytes())
+		if err != nil || b16 != u16 || !b16.Is16() || b16.Uint16() != v {
+			return false
+		}
+		u128 := UUID128(raw)
+		b128, err := UUIDFromBytes(u128.Bytes())
+		return err == nil && b128 == u128 && !b128.Is16()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUUIDFromBytesBadLength(t *testing.T) {
+	if _, err := UUIDFromBytes([]byte{1, 2, 3}); err == nil {
+		t.Fatal("3-byte UUID accepted")
+	}
+}
+
+func TestDBFind(t *testing.T) {
+	db := NewDB()
+	a := db.Add(UUID16(1), nil, ReadOnly)
+	b := db.Add(UUID16(2), nil, ReadOnly)
+	if db.Find(a.Handle) != a || db.Find(b.Handle) != b {
+		t.Fatal("Find broken")
+	}
+	if db.Find(99) != nil {
+		t.Fatal("phantom attribute")
+	}
+	if db.Len() != 2 || len(db.All()) != 2 {
+		t.Fatal("Len/All broken")
+	}
+}
+
+func TestOpcodeAndErrorStrings(t *testing.T) {
+	if OpReadReq.String() != "Read Request" || OpWriteCmd.String() != "Write Command" {
+		t.Fatal("opcode strings")
+	}
+	if Opcode(0xEF).String() == "" || ErrorCode(0xEF).String() == "" {
+		t.Fatal("unknown strings empty")
+	}
+	if ErrInsufficientEncryption.String() != "insufficient encryption" {
+		t.Fatal("error string")
+	}
+}

@@ -1,0 +1,286 @@
+package att
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Response carries the outcome of one ATT request.
+type Response struct {
+	Value []byte
+	Err   error
+}
+
+// FoundInfo is one entry of a Find Information Response.
+type FoundInfo struct {
+	Handle uint16
+	Type   UUID
+}
+
+// TypeValue is one entry of a Read By Type Response.
+type TypeValue struct {
+	Handle uint16
+	Value  []byte
+}
+
+// GroupValue is one entry of a Read By Group Type Response.
+type GroupValue struct {
+	Start uint16
+	End   uint16
+	Value []byte
+}
+
+// ErrTimeout reports an expired ATT transaction (the spec's 30 s
+// transaction timeout): the server — or whoever impersonates it — never
+// answered.
+var ErrTimeout = errors.New("att: transaction timeout")
+
+// Client issues ATT requests and routes responses. ATT allows one
+// outstanding request at a time; further requests queue.
+type Client struct {
+	send func([]byte)
+
+	queue         [][]byte
+	queueHandlers []func(op Opcode, body []byte)
+	pending       func(op Opcode, body []byte)
+
+	armTimer    func(expire func()) (cancel func())
+	cancelTimer func()
+
+	// OnNotification receives server-initiated handle value notifications.
+	OnNotification func(handle uint16, value []byte)
+	// OnIndication receives indications (the client auto-confirms).
+	OnIndication func(handle uint16, value []byte)
+}
+
+// NewClient builds a client transmitting via send.
+func NewClient(send func([]byte)) *Client { return &Client{send: send} }
+
+// SetTransactionTimer installs the transaction-timeout mechanism: arm is
+// called when a request goes out and must schedule expire (returning a
+// cancel function). On expiry the outstanding request fails with
+// ErrTimeout and queued requests proceed.
+func (c *Client) SetTransactionTimer(arm func(expire func()) (cancel func())) {
+	c.armTimer = arm
+}
+
+// startTimer arms the transaction timer for the in-flight request.
+func (c *Client) startTimer() {
+	if c.armTimer == nil {
+		return
+	}
+	c.cancelTimer = c.armTimer(func() {
+		h := c.pending
+		if h == nil {
+			return
+		}
+		c.pending = nil
+		c.cancelTimer = nil
+		h(0, nil) // op 0 signals timeout to decodeError
+		c.drainQueue()
+	})
+}
+
+// stopTimer cancels the armed transaction timer.
+func (c *Client) stopTimer() {
+	if c.cancelTimer != nil {
+		c.cancelTimer()
+		c.cancelTimer = nil
+	}
+}
+
+// Busy reports whether a request is outstanding.
+func (c *Client) Busy() bool { return c.pending != nil }
+
+// request enqueues a request PDU with its response continuation.
+func (c *Client) request(req []byte, handle func(op Opcode, body []byte)) {
+	if c.pending != nil {
+		c.queue = append(c.queue, req)
+		c.queueHandlers = append(c.queueHandlers, handle)
+		return
+	}
+	c.pending = handle
+	c.startTimer()
+	c.send(req)
+}
+
+// Read issues a Read Request.
+func (c *Client) Read(handle uint16, cb func(Response)) {
+	req := []byte{byte(OpReadReq), byte(handle), byte(handle >> 8)}
+	c.request(req, func(op Opcode, body []byte) {
+		switch op {
+		case OpReadRsp:
+			cb(Response{Value: body})
+		default:
+			cb(Response{Err: decodeError(OpReadReq, op, body)})
+		}
+	})
+}
+
+// Write issues a Write Request (with response).
+func (c *Client) Write(handle uint16, value []byte, cb func(Response)) {
+	req := append([]byte{byte(OpWriteReq), byte(handle), byte(handle >> 8)}, value...)
+	c.request(req, func(op Opcode, body []byte) {
+		switch op {
+		case OpWriteRsp:
+			cb(Response{})
+		default:
+			cb(Response{Err: decodeError(OpWriteReq, op, body)})
+		}
+	})
+}
+
+// WriteCommand issues a Write Command (no response, no queueing needed).
+func (c *Client) WriteCommand(handle uint16, value []byte) {
+	c.send(append([]byte{byte(OpWriteCmd), byte(handle), byte(handle >> 8)}, value...))
+}
+
+// ExchangeMTU negotiates the ATT_MTU.
+func (c *Client) ExchangeMTU(clientMTU uint16, cb func(serverMTU uint16, err error)) {
+	req := []byte{byte(OpMTUReq), byte(clientMTU), byte(clientMTU >> 8)}
+	c.request(req, func(op Opcode, body []byte) {
+		if op != OpMTURsp || len(body) != 2 {
+			cb(0, decodeError(OpMTUReq, op, body))
+			return
+		}
+		cb(uint16(body[0])|uint16(body[1])<<8, nil)
+	})
+}
+
+// FindInformation lists attribute handles and types in a range.
+func (c *Client) FindInformation(start, end uint16, cb func([]FoundInfo, error)) {
+	req := []byte{byte(OpFindInfoReq), byte(start), byte(start >> 8), byte(end), byte(end >> 8)}
+	c.request(req, func(op Opcode, body []byte) {
+		if op != OpFindInfoRsp || len(body) < 1 {
+			cb(nil, decodeError(OpFindInfoReq, op, body))
+			return
+		}
+		format := body[0]
+		entrySize := 2 + 2
+		if format == 0x02 {
+			entrySize = 2 + 16
+		}
+		var out []FoundInfo
+		for off := 1; off+entrySize <= len(body); off += entrySize {
+			h := uint16(body[off]) | uint16(body[off+1])<<8
+			u, err := UUIDFromBytes(body[off+2 : off+entrySize])
+			if err != nil {
+				cb(nil, err)
+				return
+			}
+			out = append(out, FoundInfo{Handle: h, Type: u})
+		}
+		cb(out, nil)
+	})
+}
+
+// ReadByType reads all attributes of a type in a handle range.
+func (c *Client) ReadByType(start, end uint16, typ UUID, cb func([]TypeValue, error)) {
+	req := []byte{byte(OpReadByTypeReq), byte(start), byte(start >> 8), byte(end), byte(end >> 8)}
+	req = append(req, typ.Bytes()...)
+	c.request(req, func(op Opcode, body []byte) {
+		if op != OpReadByTypeRsp || len(body) < 1 {
+			cb(nil, decodeError(OpReadByTypeReq, op, body))
+			return
+		}
+		entrySize := int(body[0])
+		if entrySize < 2 {
+			cb(nil, fmt.Errorf("att: bad entry size %d", entrySize))
+			return
+		}
+		var out []TypeValue
+		for off := 1; off+entrySize <= len(body); off += entrySize {
+			out = append(out, TypeValue{
+				Handle: uint16(body[off]) | uint16(body[off+1])<<8,
+				Value:  append([]byte(nil), body[off+2:off+entrySize]...),
+			})
+		}
+		cb(out, nil)
+	})
+}
+
+// ReadByGroupType reads service groups (primary service discovery).
+func (c *Client) ReadByGroupType(start, end uint16, typ UUID, cb func([]GroupValue, error)) {
+	req := []byte{byte(OpReadByGroupReq), byte(start), byte(start >> 8), byte(end), byte(end >> 8)}
+	req = append(req, typ.Bytes()...)
+	c.request(req, func(op Opcode, body []byte) {
+		if op != OpReadByGroupRsp || len(body) < 1 {
+			cb(nil, decodeError(OpReadByGroupReq, op, body))
+			return
+		}
+		entrySize := int(body[0])
+		if entrySize < 4 {
+			cb(nil, fmt.Errorf("att: bad entry size %d", entrySize))
+			return
+		}
+		var out []GroupValue
+		for off := 1; off+entrySize <= len(body); off += entrySize {
+			out = append(out, GroupValue{
+				Start: uint16(body[off]) | uint16(body[off+1])<<8,
+				End:   uint16(body[off+2]) | uint16(body[off+3])<<8,
+				Value: append([]byte(nil), body[off+4:off+entrySize]...),
+			})
+		}
+		cb(out, nil)
+	})
+}
+
+// HandlePDU routes one server PDU. Call from the L2CAP ATT channel.
+func (c *Client) HandlePDU(rsp []byte) {
+	if len(rsp) == 0 {
+		return
+	}
+	op := Opcode(rsp[0])
+	body := rsp[1:]
+	switch op {
+	case OpNotification:
+		if len(body) >= 2 && c.OnNotification != nil {
+			c.OnNotification(uint16(body[0])|uint16(body[1])<<8, body[2:])
+		}
+		return
+	case OpIndication:
+		if len(body) >= 2 {
+			if c.OnIndication != nil {
+				c.OnIndication(uint16(body[0])|uint16(body[1])<<8, body[2:])
+			}
+			c.send([]byte{byte(OpConfirmation)})
+		}
+		return
+	}
+	h := c.pending
+	if h == nil {
+		return // unsolicited response: dropped
+	}
+	c.stopTimer()
+	c.pending = nil
+	h(op, body)
+	c.drainQueue()
+}
+
+// drainQueue sends the next queued request, if any.
+func (c *Client) drainQueue() {
+	if c.pending != nil || len(c.queue) == 0 {
+		return
+	}
+	req := c.queue[0]
+	c.queue = c.queue[1:]
+	h := c.queueHandlers[0]
+	c.queueHandlers = c.queueHandlers[1:]
+	c.pending = h
+	c.startTimer()
+	c.send(req)
+}
+
+func decodeError(req Opcode, op Opcode, body []byte) error {
+	if op == 0 && body == nil {
+		return fmt.Errorf("%w: no response to %v", ErrTimeout, req)
+	}
+	if op == OpError && len(body) == 4 {
+		return &Error{
+			Request: Opcode(body[0]),
+			Handle:  uint16(body[1]) | uint16(body[2])<<8,
+			Code:    ErrorCode(body[3]),
+		}
+	}
+	return fmt.Errorf("att: unexpected response %v to %v", op, req)
+}

@@ -1,0 +1,377 @@
+package att
+
+import (
+	"sort"
+)
+
+// Permissions controls access to an attribute.
+type Permissions struct {
+	Read  bool
+	Write bool
+	// ReadRequiresEncryption / WriteRequiresEncryption gate access on an
+	// encrypted link — the GATT-level countermeasure of paper §VIII.
+	ReadRequiresEncryption  bool
+	WriteRequiresEncryption bool
+}
+
+// ReadWrite is the common open permission set.
+var ReadWrite = Permissions{Read: true, Write: true}
+
+// ReadOnly permits reads only.
+var ReadOnly = Permissions{Read: true}
+
+// Attribute is one entry of the ATT database.
+type Attribute struct {
+	Handle uint16
+	Type   UUID
+	Value  []byte
+	Perms  Permissions
+	// OnWrite, when set, observes accepted writes (after Value updates).
+	OnWrite func(value []byte)
+	// OnRead, when set, produces the value dynamically.
+	OnRead func() []byte
+}
+
+// DB is an ordered attribute database.
+type DB struct {
+	attrs []*Attribute
+	next  uint16
+}
+
+// NewDB returns an empty database; handles are assigned from 1.
+func NewDB() *DB { return &DB{next: 1} }
+
+// Add appends an attribute, assigning the next handle, and returns it.
+func (db *DB) Add(typ UUID, value []byte, perms Permissions) *Attribute {
+	a := &Attribute{
+		Handle: db.next,
+		Type:   typ,
+		Value:  append([]byte(nil), value...),
+		Perms:  perms,
+	}
+	db.next++
+	db.attrs = append(db.attrs, a)
+	return a
+}
+
+// Find returns the attribute with the given handle, or nil.
+func (db *DB) Find(handle uint16) *Attribute {
+	i := sort.Search(len(db.attrs), func(i int) bool { return db.attrs[i].Handle >= handle })
+	if i < len(db.attrs) && db.attrs[i].Handle == handle {
+		return db.attrs[i]
+	}
+	return nil
+}
+
+// All returns the attributes in handle order (shared slice; do not mutate).
+func (db *DB) All() []*Attribute { return db.attrs }
+
+// Len returns the number of attributes.
+func (db *DB) Len() int { return len(db.attrs) }
+
+// Server answers ATT requests against a DB.
+type Server struct {
+	db   *DB
+	send func([]byte)
+	mtu  int
+	// Encrypted reports the link's encryption state, for permission gates.
+	Encrypted func() bool
+	// OnWrite observes every accepted write (handle, value) — device
+	// behaviour models hook application logic here.
+	OnWrite func(handle uint16, value []byte)
+}
+
+// NewServer builds a server that transmits responses via send.
+func NewServer(db *DB, send func([]byte)) *Server {
+	return &Server{db: db, send: send, mtu: DefaultMTU}
+}
+
+// SetSend replaces the transmit function — used when the server is built
+// before its transport exists (e.g. a forged profile waiting for a
+// hijacked connection).
+func (s *Server) SetSend(send func([]byte)) { s.send = send }
+
+// MTU returns the negotiated ATT_MTU.
+func (s *Server) MTU() int { return s.mtu }
+
+// Notify sends a Handle Value Notification.
+func (s *Server) Notify(handle uint16, value []byte) {
+	out := []byte{byte(OpNotification), byte(handle), byte(handle >> 8)}
+	s.send(append(out, value...))
+}
+
+// Indicate sends a Handle Value Indication (no confirmation tracking).
+func (s *Server) Indicate(handle uint16, value []byte) {
+	out := []byte{byte(OpIndication), byte(handle), byte(handle >> 8)}
+	s.send(append(out, value...))
+}
+
+// HandlePDU processes one client PDU.
+func (s *Server) HandlePDU(req []byte) {
+	if len(req) == 0 {
+		return
+	}
+	op := Opcode(req[0])
+	body := req[1:]
+	switch op {
+	case OpMTUReq:
+		s.handleMTU(body)
+	case OpReadReq:
+		s.handleRead(body)
+	case OpWriteReq:
+		s.handleWrite(body, true)
+	case OpWriteCmd:
+		s.handleWrite(body, false)
+	case OpFindInfoReq:
+		s.handleFindInfo(body)
+	case OpReadByTypeReq:
+		s.handleReadByType(body)
+	case OpReadByGroupReq:
+		s.handleReadByGroup(body)
+	case OpConfirmation:
+		// Indication confirmed; nothing tracked.
+	default:
+		s.sendError(op, 0, ErrRequestNotSupported)
+	}
+}
+
+func (s *Server) sendError(req Opcode, handle uint16, code ErrorCode) {
+	s.send([]byte{byte(OpError), byte(req), byte(handle), byte(handle >> 8), byte(code)})
+}
+
+func (s *Server) handleMTU(body []byte) {
+	if len(body) != 2 {
+		s.sendError(OpMTUReq, 0, ErrInvalidPDU)
+		return
+	}
+	client := int(body[0]) | int(body[1])<<8
+	if client < DefaultMTU {
+		client = DefaultMTU
+	}
+	// We support up to 247; the effective MTU is the minimum.
+	server := 247
+	if client < server {
+		s.mtu = client
+	} else {
+		s.mtu = server
+	}
+	s.send([]byte{byte(OpMTURsp), byte(server), byte(server >> 8)})
+}
+
+func (s *Server) handleRead(body []byte) {
+	if len(body) != 2 {
+		s.sendError(OpReadReq, 0, ErrInvalidPDU)
+		return
+	}
+	handle := uint16(body[0]) | uint16(body[1])<<8
+	a := s.db.Find(handle)
+	if a == nil {
+		s.sendError(OpReadReq, handle, ErrInvalidHandle)
+		return
+	}
+	if !a.Perms.Read {
+		s.sendError(OpReadReq, handle, ErrReadNotPermitted)
+		return
+	}
+	if a.Perms.ReadRequiresEncryption && !s.encrypted() {
+		s.sendError(OpReadReq, handle, ErrInsufficientEncryption)
+		return
+	}
+	value := a.Value
+	if a.OnRead != nil {
+		value = a.OnRead()
+	}
+	if max := s.mtu - 1; len(value) > max {
+		value = value[:max]
+	}
+	s.send(append([]byte{byte(OpReadRsp)}, value...))
+}
+
+func (s *Server) handleWrite(body []byte, withResponse bool) {
+	op := OpWriteCmd
+	if withResponse {
+		op = OpWriteReq
+	}
+	if len(body) < 2 {
+		if withResponse {
+			s.sendError(op, 0, ErrInvalidPDU)
+		}
+		return
+	}
+	handle := uint16(body[0]) | uint16(body[1])<<8
+	value := body[2:]
+	a := s.db.Find(handle)
+	fail := func(code ErrorCode) {
+		if withResponse {
+			s.sendError(op, handle, code)
+		}
+	}
+	if a == nil {
+		fail(ErrInvalidHandle)
+		return
+	}
+	if !a.Perms.Write {
+		fail(ErrWriteNotPermitted)
+		return
+	}
+	if a.Perms.WriteRequiresEncryption && !s.encrypted() {
+		fail(ErrInsufficientEncryption)
+		return
+	}
+	if len(value) > 512 {
+		fail(ErrInvalidAttributeLength)
+		return
+	}
+	a.Value = append(a.Value[:0], value...)
+	if a.OnWrite != nil {
+		a.OnWrite(a.Value)
+	}
+	if s.OnWrite != nil {
+		s.OnWrite(handle, a.Value)
+	}
+	if withResponse {
+		s.send([]byte{byte(OpWriteRsp)})
+	}
+}
+
+func (s *Server) handleFindInfo(body []byte) {
+	if len(body) != 4 {
+		s.sendError(OpFindInfoReq, 0, ErrInvalidPDU)
+		return
+	}
+	start := uint16(body[0]) | uint16(body[1])<<8
+	end := uint16(body[2]) | uint16(body[3])<<8
+	if start == 0 || start > end {
+		s.sendError(OpFindInfoReq, start, ErrInvalidHandle)
+		return
+	}
+	var out []byte
+	var format byte
+	for _, a := range s.db.attrs {
+		if a.Handle < start || a.Handle > end {
+			continue
+		}
+		f := byte(0x01)
+		if !a.Type.Is16() {
+			f = 0x02
+		}
+		if format == 0 {
+			format = f
+		}
+		if f != format {
+			break // one format per response
+		}
+		entry := append([]byte{byte(a.Handle), byte(a.Handle >> 8)}, a.Type.Bytes()...)
+		if len(out)+len(entry)+2 > s.mtu-1 {
+			break
+		}
+		out = append(out, entry...)
+	}
+	if len(out) == 0 {
+		s.sendError(OpFindInfoReq, start, ErrAttributeNotFound)
+		return
+	}
+	s.send(append([]byte{byte(OpFindInfoRsp), format}, out...))
+}
+
+func (s *Server) handleReadByType(body []byte) {
+	if len(body) != 6 && len(body) != 20 {
+		s.sendError(OpReadByTypeReq, 0, ErrInvalidPDU)
+		return
+	}
+	start := uint16(body[0]) | uint16(body[1])<<8
+	end := uint16(body[2]) | uint16(body[3])<<8
+	typ, err := UUIDFromBytes(body[4:])
+	if err != nil || start == 0 || start > end {
+		s.sendError(OpReadByTypeReq, start, ErrInvalidPDU)
+		return
+	}
+	var out []byte
+	entryLen := -1
+	for _, a := range s.db.attrs {
+		if a.Handle < start || a.Handle > end || a.Type != typ {
+			continue
+		}
+		if a.Perms.ReadRequiresEncryption && !s.encrypted() {
+			continue
+		}
+		value := a.Value
+		if a.OnRead != nil {
+			value = a.OnRead()
+		}
+		e := append([]byte{byte(a.Handle), byte(a.Handle >> 8)}, value...)
+		if entryLen == -1 {
+			entryLen = len(e)
+		}
+		if len(e) != entryLen {
+			break // uniform length per response
+		}
+		if len(out)+len(e)+2 > s.mtu-1 {
+			break
+		}
+		out = append(out, e...)
+	}
+	if len(out) == 0 {
+		s.sendError(OpReadByTypeReq, start, ErrAttributeNotFound)
+		return
+	}
+	s.send(append([]byte{byte(OpReadByTypeRsp), byte(entryLen)}, out...))
+}
+
+func (s *Server) handleReadByGroup(body []byte) {
+	if len(body) != 6 && len(body) != 20 {
+		s.sendError(OpReadByGroupReq, 0, ErrInvalidPDU)
+		return
+	}
+	start := uint16(body[0]) | uint16(body[1])<<8
+	end := uint16(body[2]) | uint16(body[3])<<8
+	typ, err := UUIDFromBytes(body[4:])
+	if err != nil || start == 0 || start > end {
+		s.sendError(OpReadByGroupReq, start, ErrInvalidPDU)
+		return
+	}
+	if typ != UUIDPrimaryService && typ != UUIDSecondaryService {
+		s.sendError(OpReadByGroupReq, start, ErrRequestNotSupported)
+		return
+	}
+	var out []byte
+	entryLen := -1
+	for i, a := range s.db.attrs {
+		if a.Handle < start || a.Handle > end || a.Type != typ {
+			continue
+		}
+		groupEnd := s.groupEnd(i)
+		e := []byte{byte(a.Handle), byte(a.Handle >> 8), byte(groupEnd), byte(groupEnd >> 8)}
+		e = append(e, a.Value...)
+		if entryLen == -1 {
+			entryLen = len(e)
+		}
+		if len(e) != entryLen {
+			break
+		}
+		if len(out)+len(e)+2 > s.mtu-1 {
+			break
+		}
+		out = append(out, e...)
+	}
+	if len(out) == 0 {
+		s.sendError(OpReadByGroupReq, start, ErrAttributeNotFound)
+		return
+	}
+	s.send(append([]byte{byte(OpReadByGroupRsp), byte(entryLen)}, out...))
+}
+
+// groupEnd returns the last handle of the service group starting at index i.
+func (s *Server) groupEnd(i int) uint16 {
+	for j := i + 1; j < len(s.db.attrs); j++ {
+		t := s.db.attrs[j].Type
+		if t == UUIDPrimaryService || t == UUIDSecondaryService {
+			return s.db.attrs[j-1].Handle
+		}
+	}
+	return s.db.attrs[len(s.db.attrs)-1].Handle
+}
+
+func (s *Server) encrypted() bool {
+	return s.Encrypted != nil && s.Encrypted()
+}

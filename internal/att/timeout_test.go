@@ -1,0 +1,142 @@
+package att
+
+import (
+	"errors"
+	"testing"
+)
+
+// fakeTimer is a controllable transaction timer.
+type fakeTimer struct {
+	expire    func()
+	armed     int
+	cancelled int
+}
+
+func (f *fakeTimer) arm(expire func()) func() {
+	f.expire = expire
+	f.armed++
+	return func() { f.cancelled++; f.expire = nil }
+}
+
+func TestTransactionTimeoutFailsRequest(t *testing.T) {
+	// A server that never answers.
+	var timer fakeTimer
+	cli := NewClient(func([]byte) {})
+	cli.SetTransactionTimer(timer.arm)
+
+	var got Response
+	cli.Read(5, func(r Response) { got = r })
+	if timer.armed != 1 {
+		t.Fatal("timer not armed with the request")
+	}
+	if !cli.Busy() {
+		t.Fatal("client not busy with outstanding request")
+	}
+	timer.expire()
+	if got.Err == nil || !errors.Is(got.Err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", got.Err)
+	}
+	if cli.Busy() {
+		t.Fatal("client still busy after timeout")
+	}
+}
+
+func TestTransactionTimeoutDrainsQueue(t *testing.T) {
+	// Two requests: the first times out, the second must then go out and
+	// succeed.
+	db := NewDB()
+	a := db.Add(UUID16(0xF0F0), []byte{9}, ReadOnly)
+
+	var timer fakeTimer
+	silent := true
+	var cli *Client
+	srv := NewServer(db, func(b []byte) { cli.HandlePDU(b) })
+	cli = NewClient(func(b []byte) {
+		if !silent {
+			srv.HandlePDU(b)
+		}
+	})
+	cli.SetTransactionTimer(timer.arm)
+
+	var first, second Response
+	cli.Read(a.Handle, func(r Response) { first = r })
+	cli.Read(a.Handle, func(r Response) { second = r })
+	silent = false // the server comes back before the retry
+	timer.expire()
+	if !errors.Is(first.Err, ErrTimeout) {
+		t.Fatalf("first err = %v", first.Err)
+	}
+	if second.Err != nil || len(second.Value) != 1 || second.Value[0] != 9 {
+		t.Fatalf("second = %+v", second)
+	}
+	if timer.armed != 2 {
+		t.Fatalf("timer armed %d times, want 2", timer.armed)
+	}
+}
+
+func TestTimerCancelledOnResponse(t *testing.T) {
+	db := NewDB()
+	a := db.Add(UUID16(0xF0F1), []byte{1}, ReadOnly)
+	var timer fakeTimer
+	var cli *Client
+	srv := NewServer(db, func(b []byte) { cli.HandlePDU(b) })
+	cli = NewClient(func(b []byte) { srv.HandlePDU(b) })
+	cli.SetTransactionTimer(timer.arm)
+	cli.Read(a.Handle, func(Response) {})
+	if timer.cancelled != 1 {
+		t.Fatalf("timer cancelled %d times, want 1 (on response)", timer.cancelled)
+	}
+}
+
+func TestExpiredTimerWithNothingPendingIsNoop(t *testing.T) {
+	var timer fakeTimer
+	cli := NewClient(func([]byte) {})
+	cli.SetTransactionTimer(timer.arm)
+	cli.Read(5, func(Response) {})
+	// Simulate a stale expiry racing a response already handled.
+	expire := timer.expire
+	cli.HandlePDU([]byte{byte(OpReadRsp), 1})
+	expire() // must not panic or double-fire
+}
+
+func TestMTUExchangeLowClientValue(t *testing.T) {
+	var srv *Server
+	var cli *Client
+	srv = NewServer(NewDB(), func(b []byte) { cli.HandlePDU(b) })
+	cli = NewClient(func(b []byte) { srv.HandlePDU(b) })
+	// Client proposes below the minimum: effective MTU stays 23.
+	cli.ExchangeMTU(10, func(m uint16, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if srv.MTU() != DefaultMTU {
+		t.Fatalf("MTU = %d, want %d", srv.MTU(), DefaultMTU)
+	}
+	// Malformed MTU request.
+	srv.HandlePDU([]byte{byte(OpMTUReq), 1})
+}
+
+func TestStringsRender(t *testing.T) {
+	// Exercise every branch of the Stringers.
+	ops := []Opcode{OpError, OpMTUReq, OpMTURsp, OpFindInfoReq, OpFindInfoRsp,
+		OpReadByTypeReq, OpReadByTypeRsp, OpReadReq, OpReadRsp, OpReadByGroupReq,
+		OpReadByGroupRsp, OpWriteReq, OpWriteRsp, OpWriteCmd, OpNotification,
+		OpIndication, OpConfirmation, Opcode(0x77)}
+	for _, op := range ops {
+		if op.String() == "" {
+			t.Errorf("empty string for %#x", uint8(op))
+		}
+	}
+	codes := []ErrorCode{ErrInvalidHandle, ErrReadNotPermitted, ErrWriteNotPermitted,
+		ErrInvalidPDU, ErrRequestNotSupported, ErrAttributeNotFound,
+		ErrInvalidAttributeLength, ErrInsufficientEncryption, ErrorCode(0x99)}
+	for _, c := range codes {
+		if c.String() == "" {
+			t.Errorf("empty string for error %#x", uint8(c))
+		}
+	}
+	if UUID16(0x2800).String() == "" || UUID128([16]byte{1}).String() == "" {
+		t.Error("UUID strings empty")
+	}
+}

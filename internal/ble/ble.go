@@ -1,0 +1,303 @@
+// Package ble holds the protocol constants and shared primitive types of
+// Bluetooth Low Energy used across the Link Layer, host stack and attack
+// tooling: device and access addresses, channel maps and core timing units.
+package ble
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"injectable/internal/sim"
+)
+
+// Core Specification timing constants.
+const (
+	// TIFS is the inter-frame spacing: the gap between the end of one
+	// frame and the start of the response within a connection event.
+	TIFS = 150 * sim.Microsecond
+	// ConnUnit is the unit of WinOffset/WinSize/Interval fields (1.25 ms).
+	ConnUnit = 1250 * sim.Microsecond
+	// TimeoutUnit is the unit of the supervision Timeout field (10 ms).
+	TimeoutUnit = 10 * sim.Millisecond
+	// WindowWideningFloor is the constant term of the window-widening
+	// formula (spec Vol 6 Part B §4.2.4: instantaneous ±16 µs, the paper's
+	// eq. 4 uses 32 µs total).
+	WindowWideningFloor = 32 * sim.Microsecond
+	// MaxDataPDULen is the largest data-PDU payload without the length
+	// extension (we operate BLE 4.0-compatible 27-byte payloads).
+	MaxDataPDULen = 27
+)
+
+// AdvertisingAccessAddress is the fixed access address of all advertising
+// channel packets.
+const AdvertisingAccessAddress AccessAddress = 0x8E89BED6
+
+// AdvertisingCRCInit is the fixed CRC initialisation value on advertising
+// channels.
+const AdvertisingCRCInit uint32 = 0x555555
+
+// AccessAddress identifies a connection (or the advertising channel) on air.
+type AccessAddress uint32
+
+// String implements fmt.Stringer.
+func (a AccessAddress) String() string { return fmt.Sprintf("0x%08X", uint32(a)) }
+
+// ValidForConnection applies the spec's access-address requirements
+// (Vol 6 Part B §2.1.2): at most six consecutive equal bits, not the
+// advertising AA or one bit away from it, all four bytes distinct, no more
+// than 24 transitions, at least two transitions in the six most significant
+// bits.
+func (a AccessAddress) ValidForConnection() bool {
+	v := uint32(a)
+	if v == uint32(AdvertisingAccessAddress) {
+		return false
+	}
+	// Differ in only one bit from the advertising AA?
+	d := v ^ uint32(AdvertisingAccessAddress)
+	if d != 0 && d&(d-1) == 0 {
+		return false
+	}
+	// All four bytes equal is forbidden (we apply the stronger "no two
+	// adjacent equal bytes" heuristic used by controllers).
+	b := []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+	if b[0] == b[1] && b[1] == b[2] && b[2] == b[3] {
+		return false
+	}
+	// No more than six consecutive zeros or ones.
+	run, prev := 1, v&1
+	maxRun := 1
+	transitions := 0
+	msbTransitions := 0
+	for i := 1; i < 32; i++ {
+		bit := (v >> i) & 1
+		if bit == prev {
+			run++
+			if run > maxRun {
+				maxRun = run
+			}
+		} else {
+			transitions++
+			if i >= 26 {
+				msbTransitions++
+			}
+			run = 1
+		}
+		prev = bit
+	}
+	if maxRun > 6 {
+		return false
+	}
+	if transitions > 24 {
+		return false
+	}
+	return msbTransitions >= 1
+}
+
+// NewAccessAddress draws a random access address satisfying
+// ValidForConnection.
+func NewAccessAddress(rng *sim.RNG) AccessAddress {
+	for {
+		a := AccessAddress(rng.Uint32())
+		if a.ValidForConnection() {
+			return a
+		}
+	}
+}
+
+// Address is a 48-bit Bluetooth device address.
+type Address [6]byte
+
+// ParseAddress parses "AA:BB:CC:DD:EE:FF" (most significant byte first).
+func ParseAddress(s string) (Address, error) {
+	var a Address
+	parts := strings.Split(s, ":")
+	if len(parts) != 6 {
+		return a, fmt.Errorf("ble: malformed address %q", s)
+	}
+	for i, p := range parts {
+		b, err := hex.DecodeString(p)
+		if err != nil || len(b) != 1 {
+			return a, fmt.Errorf("ble: malformed address %q", s)
+		}
+		a[i] = b[0]
+	}
+	return a, nil
+}
+
+// MustParseAddress is ParseAddress that panics on error, for tests and
+// fixed fixtures.
+func MustParseAddress(s string) Address {
+	a, err := ParseAddress(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// RandomAddress draws a static random device address (two MSBs set).
+func RandomAddress(rng *sim.RNG) Address {
+	var a Address
+	rng.Bytes(a[:])
+	a[0] |= 0xC0
+	return a
+}
+
+// String implements fmt.Stringer.
+func (a Address) String() string {
+	return fmt.Sprintf("%02X:%02X:%02X:%02X:%02X:%02X", a[0], a[1], a[2], a[3], a[4], a[5])
+}
+
+// LittleEndian returns the address in on-air byte order (least significant
+// byte first).
+func (a Address) LittleEndian() []byte {
+	out := make([]byte, 6)
+	for i := 0; i < 6; i++ {
+		out[i] = a[5-i]
+	}
+	return out
+}
+
+// AddressFromLittleEndian parses the on-air byte order.
+func AddressFromLittleEndian(b []byte) Address {
+	var a Address
+	for i := 0; i < 6 && i < len(b); i++ {
+		a[5-i] = b[i]
+	}
+	return a
+}
+
+// ChannelMap is the 37-bit data-channel usability bitmap carried in
+// CONNECT_REQ and LL_CHANNEL_MAP_IND (bit n = data channel n usable).
+type ChannelMap uint64
+
+// AllChannels marks all 37 data channels used.
+const AllChannels ChannelMap = (1 << 37) - 1
+
+// Used reports whether data channel ch is marked used.
+func (m ChannelMap) Used(ch uint8) bool {
+	return ch < 37 && m&(1<<ch) != 0
+}
+
+// CountUsed returns the number of used channels.
+func (m ChannelMap) CountUsed() int {
+	n := 0
+	for ch := uint8(0); ch < 37; ch++ {
+		if m.Used(ch) {
+			n++
+		}
+	}
+	return n
+}
+
+// UsedChannels lists used channels in ascending order.
+func (m ChannelMap) UsedChannels() []uint8 {
+	out := make([]uint8, 0, 37)
+	for ch := uint8(0); ch < 37; ch++ {
+		if m.Used(ch) {
+			out = append(out, ch)
+		}
+	}
+	return out
+}
+
+// Without returns a copy with the listed channels marked unused.
+func (m ChannelMap) Without(chs ...uint8) ChannelMap {
+	for _, ch := range chs {
+		if ch < 37 {
+			m &^= 1 << ch
+		}
+	}
+	return m
+}
+
+// Valid reports whether the map is usable: at least two channels and no
+// bits above 36 (the spec requires ≥2 used channels).
+func (m ChannelMap) Valid() bool {
+	return m&^AllChannels == 0 && m.CountUsed() >= 2
+}
+
+// Bytes returns the 5-byte on-air encoding (little endian).
+func (m ChannelMap) Bytes() []byte {
+	return []byte{byte(m), byte(m >> 8), byte(m >> 16), byte(m >> 24), byte(m>>32) & 0x1F}
+}
+
+// ChannelMapFromBytes decodes the 5-byte on-air encoding.
+func ChannelMapFromBytes(b []byte) ChannelMap {
+	var m ChannelMap
+	for i := 0; i < 5 && i < len(b); i++ {
+		m |= ChannelMap(b[i]) << (8 * i)
+	}
+	return m & AllChannels
+}
+
+// String implements fmt.Stringer.
+func (m ChannelMap) String() string {
+	return fmt.Sprintf("ChannelMap(%d used)", m.CountUsed())
+}
+
+// SCA is the Sleep Clock Accuracy field of CONNECT_REQ: a 3-bit code for
+// the master's worst-case clock error.
+type SCA uint8
+
+// SCA codes from the Core Specification (Vol 6 Part B §2.3.3.1).
+const (
+	SCA251to500ppm SCA = iota
+	SCA151to250ppm
+	SCA101to150ppm
+	SCA76to100ppm
+	SCA51to75ppm
+	SCA31to50ppm
+	SCA21to30ppm
+	SCA0to20ppm
+)
+
+// WorstPPM returns the upper bound of the SCA code's range — the value the
+// peer must assume when computing window widening.
+func (s SCA) WorstPPM() float64 {
+	switch s {
+	case SCA251to500ppm:
+		return 500
+	case SCA151to250ppm:
+		return 250
+	case SCA101to150ppm:
+		return 150
+	case SCA76to100ppm:
+		return 100
+	case SCA51to75ppm:
+		return 75
+	case SCA31to50ppm:
+		return 50
+	case SCA21to30ppm:
+		return 30
+	case SCA0to20ppm:
+		return 20
+	default:
+		return 500
+	}
+}
+
+// SCAFromPPM returns the smallest SCA code covering a rated ppm.
+func SCAFromPPM(ppm float64) SCA {
+	switch {
+	case ppm <= 20:
+		return SCA0to20ppm
+	case ppm <= 30:
+		return SCA21to30ppm
+	case ppm <= 50:
+		return SCA31to50ppm
+	case ppm <= 75:
+		return SCA51to75ppm
+	case ppm <= 100:
+		return SCA76to100ppm
+	case ppm <= 150:
+		return SCA101to150ppm
+	case ppm <= 250:
+		return SCA151to250ppm
+	default:
+		return SCA251to500ppm
+	}
+}
+
+// String implements fmt.Stringer.
+func (s SCA) String() string { return fmt.Sprintf("SCA(≤%.0fppm)", s.WorstPPM()) }

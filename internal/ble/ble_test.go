@@ -1,0 +1,175 @@
+package ble
+
+import (
+	"testing"
+	"testing/quick"
+
+	"injectable/internal/sim"
+)
+
+func TestAccessAddressValidity(t *testing.T) {
+	cases := []struct {
+		aa   AccessAddress
+		want bool
+	}{
+		{AdvertisingAccessAddress, false},        // the advertising AA itself
+		{AdvertisingAccessAddress ^ 0x01, false}, /* one bit away */
+		{0x00000000, false},                      // long run of zeros
+		{0xFFFFFFFF, false},                      // long run of ones
+		{0x55555555, false},                      // > 24 transitions
+		{0x71764129, true},                       // a typical controller AA
+	}
+	for _, tc := range cases {
+		if got := tc.aa.ValidForConnection(); got != tc.want {
+			t.Errorf("ValidForConnection(%v) = %v, want %v", tc.aa, got, tc.want)
+		}
+	}
+}
+
+func TestNewAccessAddressAlwaysValid(t *testing.T) {
+	rng := sim.NewRNG(3)
+	for i := 0; i < 200; i++ {
+		if aa := NewAccessAddress(rng); !aa.ValidForConnection() {
+			t.Fatalf("generated invalid AA %v", aa)
+		}
+	}
+}
+
+func TestAddressParseRoundTrip(t *testing.T) {
+	a, err := ParseAddress("11:22:33:44:55:66")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != "11:22:33:44:55:66" {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestAddressParseErrors(t *testing.T) {
+	for _, s := range []string{"", "11:22:33", "11:22:33:44:55:zz", "112233445566", "11:22:33:44:55:66:77"} {
+		if _, err := ParseAddress(s); err == nil {
+			t.Errorf("ParseAddress(%q) accepted", s)
+		}
+	}
+}
+
+func TestMustParseAddressPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	MustParseAddress("bogus")
+}
+
+func TestAddressLittleEndianRoundTrip(t *testing.T) {
+	f := func(raw [6]byte) bool {
+		a := Address(raw)
+		return AddressFromLittleEndian(a.LittleEndian()) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddressLittleEndianOrder(t *testing.T) {
+	a := MustParseAddress("11:22:33:44:55:66")
+	le := a.LittleEndian()
+	if le[0] != 0x66 || le[5] != 0x11 {
+		t.Fatalf("LittleEndian = % X", le)
+	}
+}
+
+func TestRandomAddressIsStaticRandom(t *testing.T) {
+	rng := sim.NewRNG(5)
+	a := RandomAddress(rng)
+	if a[0]&0xC0 != 0xC0 {
+		t.Fatalf("static random address must have top two bits set: %v", a)
+	}
+}
+
+func TestChannelMapBasics(t *testing.T) {
+	m := AllChannels
+	if m.CountUsed() != 37 || !m.Valid() {
+		t.Fatal("AllChannels wrong")
+	}
+	m = m.Without(0, 36, 17)
+	if m.CountUsed() != 34 {
+		t.Fatalf("CountUsed = %d", m.CountUsed())
+	}
+	if m.Used(0) || m.Used(36) || m.Used(17) || !m.Used(1) {
+		t.Fatal("Without wrong")
+	}
+	chs := m.UsedChannels()
+	if len(chs) != 34 || chs[0] != 1 {
+		t.Fatalf("UsedChannels = %v", chs)
+	}
+}
+
+func TestChannelMapValidity(t *testing.T) {
+	if ChannelMap(0).Valid() {
+		t.Error("empty map valid")
+	}
+	if ChannelMap(1).Valid() {
+		t.Error("single channel valid")
+	}
+	if !ChannelMap(3).Valid() {
+		t.Error("two channels invalid")
+	}
+	if (ChannelMap(1<<37) | 3).Valid() {
+		t.Error("bit 37 accepted")
+	}
+}
+
+func TestChannelMapBytesRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		m := ChannelMap(raw) & AllChannels
+		return ChannelMapFromBytes(m.Bytes()) == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChannelMapWithoutOutOfRange(t *testing.T) {
+	m := AllChannels.Without(40, 99) // must be ignored, not panic
+	if m != AllChannels {
+		t.Fatal("out-of-range Without changed map")
+	}
+}
+
+func TestSCAWorstPPM(t *testing.T) {
+	cases := map[SCA]float64{
+		SCA0to20ppm: 20, SCA21to30ppm: 30, SCA31to50ppm: 50, SCA51to75ppm: 75,
+		SCA76to100ppm: 100, SCA101to150ppm: 150, SCA151to250ppm: 250, SCA251to500ppm: 500,
+	}
+	for s, want := range cases {
+		if got := s.WorstPPM(); got != want {
+			t.Errorf("%v.WorstPPM() = %f, want %f", s, got, want)
+		}
+	}
+	if SCA(9).WorstPPM() != 500 {
+		t.Error("invalid SCA should assume worst case")
+	}
+}
+
+func TestSCAFromPPMRoundTrip(t *testing.T) {
+	for _, ppm := range []float64{5, 20, 25, 45, 60, 90, 120, 200, 400} {
+		s := SCAFromPPM(ppm)
+		if s.WorstPPM() < ppm {
+			t.Errorf("SCAFromPPM(%f) = %v does not cover the rating", ppm, s)
+		}
+	}
+}
+
+func TestTimingConstants(t *testing.T) {
+	if TIFS != 150*sim.Microsecond {
+		t.Error("TIFS wrong")
+	}
+	if ConnUnit != 1250*sim.Microsecond {
+		t.Error("ConnUnit wrong")
+	}
+	if WindowWideningFloor != 32*sim.Microsecond {
+		t.Error("widening floor wrong")
+	}
+}

@@ -1,0 +1,68 @@
+// Package crc implements the 24-bit CRC of the BLE Link Layer
+// (polynomial x²⁴+x¹⁰+x⁹+x⁶+x⁴+x³+x+1), including the *reverse* LFSR run
+// used by sniffers to recover the CRCInit of an established connection from
+// captured frames — the technique introduced by Ryan (paper ref. [19]) that
+// InjectaBLE's synchronisation step builds upon.
+package crc
+
+// poly is the CRC-24 feedback polynomial's tap mask, bits 0,1,3,4,6,9,10
+// (x²⁴ is implicit).
+const poly uint32 = 0x00065B
+
+// mask keeps values to 24 bits.
+const mask uint32 = 0xFFFFFF
+
+// Compute runs the BLE CRC over pdu, starting from init (24 significant
+// bits), processing each byte least-significant bit first, and returns the
+// 24-bit CRC in LFSR register order.
+//
+// The register convention follows the spec: position 0 is shifted out and
+// fed back. The transmitted CRC bits are the register read out LSB-first;
+// Compute returns the register value so that comparing two Compute results
+// is all a receiver needs.
+func Compute(init uint32, pdu []byte) uint32 {
+	lfsr := init & mask
+	for _, b := range pdu {
+		for bit := 0; bit < 8; bit++ {
+			in := uint32(b>>bit) & 1
+			fb := (lfsr >> 23) ^ in // bit shifted out XOR input bit
+			lfsr = (lfsr << 1) & mask
+			if fb != 0 {
+				lfsr ^= poly
+			}
+		}
+	}
+	return lfsr
+}
+
+// Check reports whether got is the CRC of pdu under init.
+func Check(init uint32, pdu []byte, got uint32) bool {
+	return Compute(init, pdu) == got&mask
+}
+
+// RecoverInit runs the LFSR backwards from a frame's transmitted CRC over
+// its PDU, yielding the CRCInit that must have been used. This is how a
+// sniffer that missed the CONNECT_REQ recovers the connection's CRCInit
+// from any single correctly received data frame.
+func RecoverInit(crc uint32, pdu []byte) uint32 {
+	lfsr := crc & mask
+	for i := len(pdu) - 1; i >= 0; i-- {
+		b := pdu[i]
+		for bit := 7; bit >= 0; bit-- {
+			in := uint32(b>>bit) & 1
+			// Invert one forward step: forward did
+			//   fb = (old>>23) ^ in
+			//   new = (old<<1) & mask, new ^= poly if fb
+			// The low bit of new is poly&1 == 1 iff fb was 1.
+			fb := lfsr & 1
+			if fb != 0 {
+				lfsr ^= poly
+			}
+			lfsr >>= 1
+			if fb^in != 0 {
+				lfsr |= 1 << 23
+			}
+		}
+	}
+	return lfsr
+}

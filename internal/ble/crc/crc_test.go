@@ -1,0 +1,103 @@
+package crc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeDeterministic(t *testing.T) {
+	pdu := []byte{0x01, 0x02, 0x03}
+	a := Compute(0x555555, pdu)
+	b := Compute(0x555555, pdu)
+	if a != b {
+		t.Fatal("CRC not deterministic")
+	}
+	if a > 0xFFFFFF {
+		t.Fatal("CRC wider than 24 bits")
+	}
+}
+
+func TestComputeSensitivity(t *testing.T) {
+	pdu := []byte{0x40, 0x05, 0x01, 0x02, 0x03, 0x04, 0x05}
+	base := Compute(0x123456, pdu)
+	// Any single bit flip must change the CRC (linear code, distance ≥ 1).
+	for i := 0; i < len(pdu)*8; i++ {
+		mod := append([]byte(nil), pdu...)
+		mod[i/8] ^= 1 << (i % 8)
+		if Compute(0x123456, mod) == base {
+			t.Fatalf("bit flip %d undetected", i)
+		}
+	}
+	// Different init must change the CRC.
+	if Compute(0x123457, pdu) == base {
+		t.Fatal("init change undetected")
+	}
+}
+
+func TestCheck(t *testing.T) {
+	pdu := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	c := Compute(0x555555, pdu)
+	if !Check(0x555555, pdu, c) {
+		t.Fatal("Check rejects valid CRC")
+	}
+	if Check(0x555555, pdu, c^1) {
+		t.Fatal("Check accepts corrupted CRC")
+	}
+	// Extra high bits in got must be ignored (24-bit field).
+	if !Check(0x555555, pdu, c|0xFF000000) {
+		t.Fatal("Check not masking to 24 bits")
+	}
+}
+
+func TestEmptyPDU(t *testing.T) {
+	if Compute(0xABCDEF, nil) != 0xABCDEF {
+		t.Fatal("empty PDU should leave LFSR at init")
+	}
+}
+
+func TestRecoverInitSimple(t *testing.T) {
+	init := uint32(0x8E89BE)
+	pdu := []byte{0x0F, 0x07, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47}
+	crc := Compute(init, pdu)
+	if got := RecoverInit(crc, pdu); got != init {
+		t.Fatalf("RecoverInit = %06X, want %06X", got, init)
+	}
+}
+
+// Property: RecoverInit inverts Compute for arbitrary inits and PDUs —
+// the sniffer can always recover CRCInit from one clean frame.
+func TestRecoverInitProperty(t *testing.T) {
+	f := func(init uint32, pdu []byte) bool {
+		init &= 0xFFFFFF
+		crc := Compute(init, pdu)
+		return RecoverInit(crc, pdu) == init
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Compute is prefix-composable — running bytes through one at a
+// time chains the LFSR state.
+func TestComputeComposableProperty(t *testing.T) {
+	f := func(init uint32, a, b []byte) bool {
+		init &= 0xFFFFFF
+		whole := Compute(init, append(append([]byte(nil), a...), b...))
+		chained := Compute(Compute(init, a), b)
+		return whole == chained
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompute27Bytes(b *testing.B) {
+	pdu := make([]byte, 27)
+	for i := range pdu {
+		pdu[i] = byte(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Compute(0x555555, pdu)
+	}
+}

@@ -1,0 +1,156 @@
+// Package csa implements the two BLE data-channel selection algorithms:
+//
+//   - Algorithm #1 (BLE 4.x): a modular hop — the algorithm the paper's
+//     experiments use, and the one an attacker must reproduce to follow a
+//     connection across channels.
+//   - Algorithm #2 (BLE 5.0+): the PRNG-based selection keyed on the access
+//     address, which Cauquil showed (paper ref. [10]) is equally
+//     predictable by an attacker.
+//
+// Both are pure functions of observable connection parameters, which is the
+// property InjectaBLE's synchronisation depends on.
+package csa
+
+import (
+	"fmt"
+
+	"injectable/internal/ble"
+)
+
+// Selector yields the data channel for successive connection events.
+type Selector interface {
+	// ChannelFor returns the RF data channel for the given connection
+	// event counter.
+	ChannelFor(eventCounter uint16) uint8
+	// SetChannelMap applies a new channel map (takes effect immediately;
+	// callers sequence it at the update instant).
+	SetChannelMap(m ble.ChannelMap)
+	// ChannelMap returns the map in use.
+	ChannelMap() ble.ChannelMap
+}
+
+// Algorithm1 is Channel Selection Algorithm #1. Unlike #2, it is stateful:
+// the unmapped channel advances by hopIncrement every event. ChannelFor is
+// nevertheless expressed as a pure function of the event counter so that a
+// sniffer can compute the channel for any future event after synchronising
+// once.
+type Algorithm1 struct {
+	hopIncrement uint8 // 5 bits, 5..16 per spec
+	channelMap   ble.ChannelMap
+	used         []uint8
+	// lastUnmapped0 is the unmapped channel *before* event 0, so that
+	// unmapped(e) = (lastUnmapped0 + (e+1)·hop) mod 37.
+	lastUnmapped0 uint8
+}
+
+// NewAlgorithm1 builds CSA#1 with the given hop increment and channel map.
+// The first connection event (counter 0) uses channel hopIncrement mod 37
+// remapped, matching a connection that starts from unmapped channel 0.
+func NewAlgorithm1(hopIncrement uint8, m ble.ChannelMap) (*Algorithm1, error) {
+	if hopIncrement < 5 || hopIncrement > 16 {
+		return nil, fmt.Errorf("csa: hop increment %d outside 5..16", hopIncrement)
+	}
+	if !m.Valid() {
+		return nil, fmt.Errorf("csa: invalid channel map %v", m)
+	}
+	a := &Algorithm1{hopIncrement: hopIncrement, lastUnmapped0: 0}
+	a.SetChannelMap(m)
+	return a, nil
+}
+
+var _ Selector = (*Algorithm1)(nil)
+
+// HopIncrement returns the hop increment.
+func (a *Algorithm1) HopIncrement() uint8 { return a.hopIncrement }
+
+// SetChannelMap implements Selector.
+func (a *Algorithm1) SetChannelMap(m ble.ChannelMap) {
+	a.channelMap = m
+	a.used = m.UsedChannels()
+}
+
+// ChannelMap implements Selector.
+func (a *Algorithm1) ChannelMap() ble.ChannelMap { return a.channelMap }
+
+// UnmappedChannelFor returns the pre-remapping channel for an event.
+func (a *Algorithm1) UnmappedChannelFor(eventCounter uint16) uint8 {
+	steps := (uint32(eventCounter) + 1) * uint32(a.hopIncrement)
+	return uint8((uint32(a.lastUnmapped0) + steps) % 37)
+}
+
+// ChannelFor implements Selector.
+func (a *Algorithm1) ChannelFor(eventCounter uint16) uint8 {
+	un := a.UnmappedChannelFor(eventCounter)
+	if a.channelMap.Used(un) {
+		return un
+	}
+	// Remap: index = unmapped mod numUsed into the sorted used table.
+	idx := int(un) % len(a.used)
+	return a.used[idx]
+}
+
+// Algorithm2 is Channel Selection Algorithm #2 (BLE 5.0), keyed on the
+// connection's access address.
+type Algorithm2 struct {
+	channelID  uint16
+	channelMap ble.ChannelMap
+	used       []uint8
+}
+
+// NewAlgorithm2 builds CSA#2 for a connection access address.
+func NewAlgorithm2(aa ble.AccessAddress, m ble.ChannelMap) (*Algorithm2, error) {
+	if !m.Valid() {
+		return nil, fmt.Errorf("csa: invalid channel map %v", m)
+	}
+	a := &Algorithm2{channelID: uint16(uint32(aa)>>16) ^ uint16(uint32(aa)&0xFFFF)}
+	a.SetChannelMap(m)
+	return a, nil
+}
+
+var _ Selector = (*Algorithm2)(nil)
+
+// SetChannelMap implements Selector.
+func (a *Algorithm2) SetChannelMap(m ble.ChannelMap) {
+	a.channelMap = m
+	a.used = m.UsedChannels()
+}
+
+// ChannelMap implements Selector.
+func (a *Algorithm2) ChannelMap() ble.ChannelMap { return a.channelMap }
+
+// prn computes the pseudo-random number for an event counter, per spec
+// Vol 6 Part B §4.5.8.3.3 (three rounds of permute + MAM).
+func (a *Algorithm2) prn(eventCounter uint16) uint16 {
+	x := eventCounter ^ a.channelID
+	for i := 0; i < 3; i++ {
+		x = permute(x)
+		x = mam(x, a.channelID)
+	}
+	return x ^ a.channelID
+}
+
+// ChannelFor implements Selector.
+func (a *Algorithm2) ChannelFor(eventCounter uint16) uint8 {
+	prnE := a.prn(eventCounter)
+	un := uint8(prnE % 37)
+	if a.channelMap.Used(un) {
+		return un
+	}
+	idx := int(uint32(len(a.used)) * uint32(prnE) >> 16)
+	return a.used[idx]
+}
+
+// permute reverses the bit order within each byte of x.
+func permute(x uint16) uint16 {
+	return uint16(reverseByte(byte(x>>8)))<<8 | uint16(reverseByte(byte(x)))
+}
+
+func reverseByte(b byte) byte {
+	b = b>>4 | b<<4
+	b = (b&0xCC)>>2 | (b&0x33)<<2
+	b = (b&0xAA)>>1 | (b&0x55)<<1
+	return b
+}
+
+// mam is the Multiply-Add-Modulo step: (17·a + b) mod 2¹⁶.
+func mam(a, b uint16) uint16 { return 17*a + b }

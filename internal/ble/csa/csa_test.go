@@ -1,0 +1,236 @@
+package csa
+
+import (
+	"testing"
+	"testing/quick"
+
+	"injectable/internal/ble"
+)
+
+func TestAlgorithm1HopSequence(t *testing.T) {
+	a, err := NewAlgorithm1(7, ble.AllChannels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With all channels used, channel(e) = ((e+1)*7) mod 37.
+	for e := uint16(0); e < 100; e++ {
+		want := uint8((uint32(e+1) * 7) % 37)
+		if got := a.ChannelFor(e); got != want {
+			t.Fatalf("event %d: channel %d, want %d", e, got, want)
+		}
+	}
+}
+
+func TestAlgorithm1VisitsAllChannels(t *testing.T) {
+	// hopIncrement coprime with 37 (37 is prime, so any 5..16 works):
+	// 37 consecutive events must visit all 37 channels exactly once.
+	for hop := uint8(5); hop <= 16; hop++ {
+		a, err := NewAlgorithm1(hop, ble.AllChannels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[uint8]bool{}
+		for e := uint16(0); e < 37; e++ {
+			seen[a.ChannelFor(e)] = true
+		}
+		if len(seen) != 37 {
+			t.Fatalf("hop %d visited %d channels in 37 events", hop, len(seen))
+		}
+	}
+}
+
+func TestAlgorithm1Remapping(t *testing.T) {
+	m := ble.AllChannels.Without(0, 1, 2, 3, 4, 5, 6, 7, 8, 9)
+	a, err := NewAlgorithm1(7, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint16(0); e < 200; e++ {
+		ch := a.ChannelFor(e)
+		if !m.Used(ch) {
+			t.Fatalf("event %d selected unused channel %d", e, ch)
+		}
+	}
+	// An unmapped-but-used channel passes through unremapped.
+	for e := uint16(0); e < 200; e++ {
+		un := a.UnmappedChannelFor(e)
+		if m.Used(un) && a.ChannelFor(e) != un {
+			t.Fatalf("used unmapped channel %d remapped", un)
+		}
+	}
+}
+
+func TestAlgorithm1RemapIndexFormula(t *testing.T) {
+	// Spec: remappingIndex = unmapped mod numUsed, into the sorted table.
+	m := ble.ChannelMap(0).Without() | 0b1010101 // channels 0,2,4,6
+	a, err := NewAlgorithm1(5, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := m.UsedChannels()
+	for e := uint16(0); e < 100; e++ {
+		un := a.UnmappedChannelFor(e)
+		if !m.Used(un) {
+			want := used[int(un)%len(used)]
+			if got := a.ChannelFor(e); got != want {
+				t.Fatalf("event %d: remap(%d) = %d, want %d", e, un, got, want)
+			}
+		}
+	}
+}
+
+func TestAlgorithm1RejectsBadParameters(t *testing.T) {
+	if _, err := NewAlgorithm1(4, ble.AllChannels); err == nil {
+		t.Error("hop 4 accepted")
+	}
+	if _, err := NewAlgorithm1(17, ble.AllChannels); err == nil {
+		t.Error("hop 17 accepted")
+	}
+	if _, err := NewAlgorithm1(7, ble.ChannelMap(1)); err == nil {
+		t.Error("single-channel map accepted")
+	}
+}
+
+func TestAlgorithm1ChannelMapUpdate(t *testing.T) {
+	a, err := NewAlgorithm1(7, ble.AllChannels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := ble.AllChannels.Without(7, 14, 21)
+	a.SetChannelMap(m2)
+	if a.ChannelMap() != m2 {
+		t.Fatal("channel map not applied")
+	}
+	for e := uint16(0); e < 200; e++ {
+		if ch := a.ChannelFor(e); !m2.Used(ch) {
+			t.Fatalf("selected blacklisted channel %d", ch)
+		}
+	}
+}
+
+func TestAlgorithm2Deterministic(t *testing.T) {
+	aa := ble.AccessAddress(0x8E89BED5)
+	a1, err := NewAlgorithm2(aa, ble.AllChannels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := NewAlgorithm2(aa, ble.AllChannels)
+	for e := uint16(0); e < 500; e++ {
+		if a1.ChannelFor(e) != a2.ChannelFor(e) {
+			t.Fatal("CSA#2 not deterministic")
+		}
+	}
+}
+
+func TestAlgorithm2SpecVectors(t *testing.T) {
+	// Sample data from Core Specification v5.2 Vol 6 Part C §3.1:
+	// AA = 0x8E89BED6 (channelIdentifier 0x305F), all 37 channels used.
+	// prn_e: 56857, 1685, 38301, 27475 → channels 25, 20, 6, 21.
+	a, err := NewAlgorithm2(ble.AccessAddress(0x8E89BED6), ble.AllChannels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint16]uint8{0: 25, 1: 20, 2: 6, 3: 21}
+	for e, ch := range want {
+		if got := a.ChannelFor(e); got != ch {
+			t.Errorf("CSA#2 event %d: channel %d, want %d", e, got, ch)
+		}
+	}
+}
+
+func TestAlgorithm2SpecVectorsNineChannels(t *testing.T) {
+	// Second sample set from Vol 6 Part C §3.2: used channels
+	// 9,10,21,22,23,33,34,35,36; AA = 0x8E89BED6. Remapping applies the
+	// spec formula remappingIndex = ⌊N·prn_e/2¹⁶⌋ over the sorted table:
+	// event 0: prn 56857, unmapped 25 unused → index 7 → channel 35;
+	// event 1: prn 1685,  unmapped 20 unused → index 0 → channel 9;
+	// event 2: prn 38301, unmapped 6  unused → index 5 → channel 33;
+	// event 3: prn 27475, unmapped 21 used   → channel 21.
+	var m ble.ChannelMap
+	for _, ch := range []uint8{9, 10, 21, 22, 23, 33, 34, 35, 36} {
+		m |= 1 << ch
+	}
+	a, err := NewAlgorithm2(ble.AccessAddress(0x8E89BED6), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint16]uint8{0: 35, 1: 9, 2: 33, 3: 21}
+	for e, ch := range want {
+		if got := a.ChannelFor(e); got != ch {
+			t.Errorf("CSA#2 event %d: channel %d, want %d", e, got, ch)
+		}
+	}
+}
+
+func TestAlgorithm2RespectsChannelMap(t *testing.T) {
+	m := ble.AllChannels.Without(0, 5, 10, 15, 20, 25, 30, 35)
+	a, err := NewAlgorithm2(ble.AccessAddress(0x71764129), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint16(0); e < 1000; e++ {
+		if ch := a.ChannelFor(e); !m.Used(ch) {
+			t.Fatalf("event %d: unused channel %d selected", e, ch)
+		}
+	}
+}
+
+func TestAlgorithm2Distribution(t *testing.T) {
+	a, err := NewAlgorithm2(ble.AccessAddress(0x71764129), ble.AllChannels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[uint8]int)
+	const events = 37 * 200
+	for e := 0; e < events; e++ {
+		counts[a.ChannelFor(uint16(e))]++
+	}
+	for ch := uint8(0); ch < 37; ch++ {
+		c := counts[ch]
+		if c < events/37/2 || c > events/37*2 {
+			t.Errorf("channel %d selected %d times, expected ≈%d", ch, c, events/37)
+		}
+	}
+}
+
+// Property: both algorithms always return a channel from the map.
+func TestSelectorsAlwaysInMapProperty(t *testing.T) {
+	f := func(aaRaw uint32, hopRaw, e uint16, drop [5]uint8) bool {
+		m := ble.AllChannels
+		for _, d := range drop {
+			m = m.Without(d % 37)
+		}
+		if !m.Valid() {
+			return true
+		}
+		hop := uint8(hopRaw%12) + 5
+		a1, err := NewAlgorithm1(hop, m)
+		if err != nil {
+			return false
+		}
+		a2, err := NewAlgorithm2(ble.AccessAddress(aaRaw), m)
+		if err != nil {
+			return false
+		}
+		return m.Used(a1.ChannelFor(e)) && m.Used(a2.ChannelFor(e))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermuteIsInvolution(t *testing.T) {
+	f := func(x uint16) bool { return permute(permute(x)) == x }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReverseByte(t *testing.T) {
+	cases := map[byte]byte{0x01: 0x80, 0xF0: 0x0F, 0xAA: 0x55, 0x00: 0x00, 0xFF: 0xFF}
+	for in, want := range cases {
+		if got := reverseByte(in); got != want {
+			t.Errorf("reverseByte(%#x) = %#x, want %#x", in, got, want)
+		}
+	}
+}

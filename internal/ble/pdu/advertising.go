@@ -1,0 +1,249 @@
+package pdu
+
+import (
+	"fmt"
+
+	"injectable/internal/ble"
+)
+
+// AdvType is the 4-bit advertising PDU type.
+type AdvType uint8
+
+// Advertising PDU types (Core Spec Vol 6 Part B §2.3).
+const (
+	AdvIndType        AdvType = 0x0 // connectable undirected advertising
+	AdvDirectIndType  AdvType = 0x1
+	AdvNonconnIndType AdvType = 0x2
+	ScanReqType       AdvType = 0x3
+	ScanRspType       AdvType = 0x4
+	ConnectReqType    AdvType = 0x5
+	AdvScanIndType    AdvType = 0x6
+)
+
+// String implements fmt.Stringer.
+func (t AdvType) String() string {
+	switch t {
+	case AdvIndType:
+		return "ADV_IND"
+	case AdvDirectIndType:
+		return "ADV_DIRECT_IND"
+	case AdvNonconnIndType:
+		return "ADV_NONCONN_IND"
+	case ScanReqType:
+		return "SCAN_REQ"
+	case ScanRspType:
+		return "SCAN_RSP"
+	case ConnectReqType:
+		return "CONNECT_REQ"
+	case AdvScanIndType:
+		return "ADV_SCAN_IND"
+	default:
+		return fmt.Sprintf("ADV_TYPE(%#x)", uint8(t))
+	}
+}
+
+// AdvPDU is a raw advertising-channel PDU: 2-byte header + payload.
+type AdvPDU struct {
+	Type    AdvType
+	ChSel   bool // supports/selects Channel Selection Algorithm #2 (BLE 5.0)
+	TxAdd   bool // advertiser address is random
+	RxAdd   bool // target address is random
+	Payload []byte
+}
+
+// Marshal renders the on-air PDU (header + payload).
+func (p AdvPDU) Marshal() []byte {
+	h0 := byte(p.Type) & 0x0F
+	if p.ChSel {
+		h0 |= 1 << 5
+	}
+	if p.TxAdd {
+		h0 |= 1 << 6
+	}
+	if p.RxAdd {
+		h0 |= 1 << 7
+	}
+	out := make([]byte, 0, 2+len(p.Payload))
+	out = append(out, h0, byte(len(p.Payload)))
+	return append(out, p.Payload...)
+}
+
+// UnmarshalAdvPDU parses an advertising-channel PDU.
+func UnmarshalAdvPDU(b []byte) (AdvPDU, error) {
+	var p AdvPDU
+	if len(b) < 2 {
+		return p, truncatedf("adv header needs 2 bytes, have %d", len(b))
+	}
+	p.Type = AdvType(b[0] & 0x0F)
+	p.ChSel = b[0]&(1<<5) != 0
+	p.TxAdd = b[0]&(1<<6) != 0
+	p.RxAdd = b[0]&(1<<7) != 0
+	n := int(b[1] & 0x3F)
+	if len(b)-2 < n {
+		return p, truncatedf("adv payload needs %d bytes, have %d", n, len(b)-2)
+	}
+	if len(b)-2 != n {
+		return p, lengthf("adv payload %d bytes, header says %d", len(b)-2, n)
+	}
+	p.Payload = append([]byte(nil), b[2:2+n]...)
+	return p, nil
+}
+
+// AdvInd is a connectable undirected advertisement.
+type AdvInd struct {
+	AdvAddr ble.Address
+	AdvData []byte // AD structures, ≤ 31 bytes
+	// ChSel advertises support for Channel Selection Algorithm #2.
+	ChSel bool
+}
+
+// Marshal renders the full advertising PDU.
+func (a AdvInd) Marshal() []byte {
+	payload := append(a.AdvAddr.LittleEndian(), a.AdvData...)
+	return AdvPDU{Type: AdvIndType, ChSel: a.ChSel, TxAdd: true, Payload: payload}.Marshal()
+}
+
+// UnmarshalAdvInd parses the payload of an ADV_IND.
+func UnmarshalAdvInd(payload []byte) (AdvInd, error) {
+	var a AdvInd
+	if len(payload) < 6 {
+		return a, truncatedf("ADV_IND needs 6-byte address, have %d", len(payload))
+	}
+	a.AdvAddr = ble.AddressFromLittleEndian(payload[:6])
+	a.AdvData = append([]byte(nil), payload[6:]...)
+	return a, nil
+}
+
+// ScanReq is an active-scanning request.
+type ScanReq struct {
+	ScanAddr ble.Address
+	AdvAddr  ble.Address
+}
+
+// Marshal renders the full advertising PDU.
+func (s ScanReq) Marshal() []byte {
+	payload := append(s.ScanAddr.LittleEndian(), s.AdvAddr.LittleEndian()...)
+	return AdvPDU{Type: ScanReqType, TxAdd: true, RxAdd: true, Payload: payload}.Marshal()
+}
+
+// UnmarshalScanReq parses the payload of a SCAN_REQ.
+func UnmarshalScanReq(payload []byte) (ScanReq, error) {
+	var s ScanReq
+	if len(payload) != 12 {
+		return s, lengthf("SCAN_REQ payload must be 12 bytes, have %d", len(payload))
+	}
+	s.ScanAddr = ble.AddressFromLittleEndian(payload[:6])
+	s.AdvAddr = ble.AddressFromLittleEndian(payload[6:12])
+	return s, nil
+}
+
+// ScanRsp is the response to an active scan.
+type ScanRsp struct {
+	AdvAddr  ble.Address
+	ScanData []byte
+}
+
+// Marshal renders the full advertising PDU.
+func (s ScanRsp) Marshal() []byte {
+	payload := append(s.AdvAddr.LittleEndian(), s.ScanData...)
+	return AdvPDU{Type: ScanRspType, TxAdd: true, Payload: payload}.Marshal()
+}
+
+// UnmarshalScanRsp parses the payload of a SCAN_RSP.
+func UnmarshalScanRsp(payload []byte) (ScanRsp, error) {
+	var s ScanRsp
+	if len(payload) < 6 {
+		return s, truncatedf("SCAN_RSP needs 6-byte address, have %d", len(payload))
+	}
+	s.AdvAddr = ble.AddressFromLittleEndian(payload[:6])
+	s.ScanData = append([]byte(nil), payload[6:]...)
+	return s, nil
+}
+
+// ConnectReq is the connection-initiation PDU, laid out exactly as the
+// paper's Table II: initiator and advertiser addresses followed by the
+// LLData: AA, CRCInit, WinSize, WinOffset, Interval, Latency, Timeout,
+// ChannelMap, Hop (5 bits) and SCA (3 bits).
+type ConnectReq struct {
+	InitAddr      ble.Address
+	AdvAddr       ble.Address
+	AccessAddress ble.AccessAddress
+	CRCInit       uint32 // 24 bits
+	WinSize       uint8  // × 1.25 ms
+	WinOffset     uint16 // × 1.25 ms
+	Interval      uint16 // × 1.25 ms (the paper's Hop Interval)
+	Latency       uint16 // slave latency, in connection events
+	Timeout       uint16 // supervision timeout × 10 ms
+	ChannelMap    ble.ChannelMap
+	Hop           uint8 // 5-bit hop increment for CSA#1
+	SCA           ble.SCA
+	// ChSel selects Channel Selection Algorithm #2 for the connection
+	// (carried in the PDU header, not the LLData).
+	ChSel bool
+}
+
+// connectReqLLDataLen is the LLData length: 4+3+1+2+2+2+2+5+1 = 22, giving
+// a 34-byte payload with the two addresses.
+const connectReqLLDataLen = 22
+
+// Marshal renders the full advertising PDU.
+func (c ConnectReq) Marshal() []byte {
+	payload := make([]byte, 0, 12+connectReqLLDataLen)
+	payload = append(payload, c.InitAddr.LittleEndian()...)
+	payload = append(payload, c.AdvAddr.LittleEndian()...)
+	payload = put32(payload, uint32(c.AccessAddress))
+	payload = put24(payload, c.CRCInit)
+	payload = append(payload, c.WinSize)
+	payload = put16(payload, c.WinOffset)
+	payload = put16(payload, c.Interval)
+	payload = put16(payload, c.Latency)
+	payload = put16(payload, c.Timeout)
+	payload = append(payload, c.ChannelMap.Bytes()...)
+	payload = append(payload, (c.Hop&0x1F)|(byte(c.SCA)<<5))
+	return AdvPDU{Type: ConnectReqType, ChSel: c.ChSel, TxAdd: true, RxAdd: true, Payload: payload}.Marshal()
+}
+
+// UnmarshalConnectReq parses the payload of a CONNECT_REQ.
+func UnmarshalConnectReq(payload []byte) (ConnectReq, error) {
+	var c ConnectReq
+	if len(payload) != 12+connectReqLLDataLen {
+		return c, lengthf("CONNECT_REQ payload must be 34 bytes, have %d", len(payload))
+	}
+	c.InitAddr = ble.AddressFromLittleEndian(payload[:6])
+	c.AdvAddr = ble.AddressFromLittleEndian(payload[6:12])
+	ll := payload[12:]
+	c.AccessAddress = ble.AccessAddress(le32(ll[0:4]))
+	c.CRCInit = le24(ll[4:7])
+	c.WinSize = ll[7]
+	c.WinOffset = le16(ll[8:10])
+	c.Interval = le16(ll[10:12])
+	c.Latency = le16(ll[12:14])
+	c.Timeout = le16(ll[14:16])
+	c.ChannelMap = ble.ChannelMapFromBytes(ll[16:21])
+	c.Hop = ll[21] & 0x1F
+	c.SCA = ble.SCA(ll[21] >> 5)
+	return c, nil
+}
+
+// Validate applies the spec's parameter constraints.
+func (c ConnectReq) Validate() error {
+	if c.Hop < 5 || c.Hop > 16 {
+		return fmt.Errorf("pdu: CONNECT_REQ hop %d outside 5..16", c.Hop)
+	}
+	if c.Interval < 6 || c.Interval > 3200 {
+		return fmt.Errorf("pdu: CONNECT_REQ interval %d outside 6..3200", c.Interval)
+	}
+	if c.WinSize == 0 || uint16(c.WinSize) > c.Interval {
+		return fmt.Errorf("pdu: CONNECT_REQ winSize %d invalid for interval %d", c.WinSize, c.Interval)
+	}
+	if c.WinOffset > c.Interval {
+		return fmt.Errorf("pdu: CONNECT_REQ winOffset %d exceeds interval %d", c.WinOffset, c.Interval)
+	}
+	if !c.ChannelMap.Valid() {
+		return fmt.Errorf("pdu: CONNECT_REQ channel map invalid")
+	}
+	if !c.AccessAddress.ValidForConnection() {
+		return fmt.Errorf("pdu: CONNECT_REQ access address %v invalid", c.AccessAddress)
+	}
+	return nil
+}

@@ -1,0 +1,424 @@
+package pdu
+
+import (
+	"fmt"
+
+	"injectable/internal/ble"
+)
+
+// Opcode identifies an LL control PDU.
+type Opcode uint8
+
+// LL control opcodes (Core Spec Vol 6 Part B §2.4.2).
+const (
+	OpConnectionUpdateInd Opcode = 0x00
+	OpChannelMapInd       Opcode = 0x01
+	OpTerminateInd        Opcode = 0x02
+	OpEncReq              Opcode = 0x03
+	OpEncRsp              Opcode = 0x04
+	OpStartEncReq         Opcode = 0x05
+	OpStartEncRsp         Opcode = 0x06
+	OpUnknownRsp          Opcode = 0x07
+	OpFeatureReq          Opcode = 0x08
+	OpFeatureRsp          Opcode = 0x09
+	OpPauseEncReq         Opcode = 0x0A
+	OpPauseEncRsp         Opcode = 0x0B
+	OpVersionInd          Opcode = 0x0C
+	OpRejectInd           Opcode = 0x0D
+	OpPingReq             Opcode = 0x12
+	OpPingRsp             Opcode = 0x13
+)
+
+// String implements fmt.Stringer.
+func (o Opcode) String() string {
+	switch o {
+	case OpConnectionUpdateInd:
+		return "LL_CONNECTION_UPDATE_IND"
+	case OpChannelMapInd:
+		return "LL_CHANNEL_MAP_IND"
+	case OpTerminateInd:
+		return "LL_TERMINATE_IND"
+	case OpEncReq:
+		return "LL_ENC_REQ"
+	case OpEncRsp:
+		return "LL_ENC_RSP"
+	case OpStartEncReq:
+		return "LL_START_ENC_REQ"
+	case OpStartEncRsp:
+		return "LL_START_ENC_RSP"
+	case OpUnknownRsp:
+		return "LL_UNKNOWN_RSP"
+	case OpFeatureReq:
+		return "LL_FEATURE_REQ"
+	case OpFeatureRsp:
+		return "LL_FEATURE_RSP"
+	case OpPauseEncReq:
+		return "LL_PAUSE_ENC_REQ"
+	case OpPauseEncRsp:
+		return "LL_PAUSE_ENC_RSP"
+	case OpVersionInd:
+		return "LL_VERSION_IND"
+	case OpRejectInd:
+		return "LL_REJECT_IND"
+	case OpPingReq:
+		return "LL_PING_REQ"
+	case OpPingRsp:
+		return "LL_PING_RSP"
+	default:
+		return fmt.Sprintf("LL_OPCODE(%#02x)", uint8(o))
+	}
+}
+
+// Control is implemented by every typed LL control PDU.
+type Control interface {
+	// Opcode returns the PDU's opcode.
+	Opcode() Opcode
+	// MarshalPayload renders the CtrData (without the opcode byte).
+	MarshalPayload() []byte
+}
+
+// MarshalControl renders a complete control-PDU payload: opcode + CtrData.
+func MarshalControl(c Control) []byte {
+	return append([]byte{byte(c.Opcode())}, c.MarshalPayload()...)
+}
+
+// ControlDataPDU wraps a control PDU into a data-channel PDU with the given
+// SN/NESN bits — what an attacker actually injects.
+func ControlDataPDU(c Control, sn, nesn bool) DataPDU {
+	return DataPDU{
+		Header:  DataHeader{LLID: LLIDControl, SN: sn, NESN: nesn},
+		Payload: MarshalControl(c),
+	}
+}
+
+// UnmarshalControl parses a control-PDU payload (opcode + CtrData) into its
+// typed form.
+func UnmarshalControl(payload []byte) (Control, error) {
+	if len(payload) < 1 {
+		return nil, truncatedf("control PDU needs opcode byte")
+	}
+	op := Opcode(payload[0])
+	body := payload[1:]
+	need := func(n int) error {
+		if len(body) != n {
+			return lengthf("%v CtrData must be %d bytes, have %d", op, n, len(body))
+		}
+		return nil
+	}
+	switch op {
+	case OpConnectionUpdateInd:
+		if err := need(11); err != nil {
+			return nil, err
+		}
+		return ConnectionUpdateInd{
+			WinSize:   body[0],
+			WinOffset: le16(body[1:3]),
+			Interval:  le16(body[3:5]),
+			Latency:   le16(body[5:7]),
+			Timeout:   le16(body[7:9]),
+			Instant:   le16(body[9:11]),
+		}, nil
+	case OpChannelMapInd:
+		if err := need(7); err != nil {
+			return nil, err
+		}
+		return ChannelMapInd{
+			ChannelMap: ble.ChannelMapFromBytes(body[0:5]),
+			Instant:    le16(body[5:7]),
+		}, nil
+	case OpTerminateInd:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return TerminateInd{ErrorCode: body[0]}, nil
+	case OpEncReq:
+		if err := need(22); err != nil {
+			return nil, err
+		}
+		var e EncReq
+		copy(e.Rand[:], body[0:8])
+		e.EDIV = le16(body[8:10])
+		copy(e.SKDm[:], body[10:18])
+		copy(e.IVm[:], body[18:22])
+		return e, nil
+	case OpEncRsp:
+		if err := need(12); err != nil {
+			return nil, err
+		}
+		var e EncRsp
+		copy(e.SKDs[:], body[0:8])
+		copy(e.IVs[:], body[8:12])
+		return e, nil
+	case OpStartEncReq:
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		return StartEncReq{}, nil
+	case OpStartEncRsp:
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		return StartEncRsp{}, nil
+	case OpUnknownRsp:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return UnknownRsp{UnknownType: body[0]}, nil
+	case OpFeatureReq, OpFeatureRsp:
+		if err := need(8); err != nil {
+			return nil, err
+		}
+		var fs uint64
+		for i := 0; i < 8; i++ {
+			fs |= uint64(body[i]) << (8 * i)
+		}
+		if op == OpFeatureReq {
+			return FeatureReq{FeatureSet: fs}, nil
+		}
+		return FeatureRsp{FeatureSet: fs}, nil
+	case OpPauseEncReq:
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		return PauseEncReq{}, nil
+	case OpPauseEncRsp:
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		return PauseEncRsp{}, nil
+	case OpVersionInd:
+		if err := need(5); err != nil {
+			return nil, err
+		}
+		return VersionInd{VersNr: body[0], CompID: le16(body[1:3]), SubVersNr: le16(body[3:5])}, nil
+	case OpRejectInd:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return RejectInd{ErrorCode: body[0]}, nil
+	case OpPingReq:
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		return PingReq{}, nil
+	case OpPingRsp:
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		return PingRsp{}, nil
+	default:
+		return nil, fmt.Errorf("%w: opcode %#02x", ErrUnknownType, uint8(op))
+	}
+}
+
+// ConnectionUpdateInd updates connection timing at a future instant —
+// the PDU scenarios C and D of the paper inject to split master and slave
+// onto different hop schedules.
+type ConnectionUpdateInd struct {
+	WinSize   uint8
+	WinOffset uint16
+	Interval  uint16
+	Latency   uint16
+	Timeout   uint16
+	Instant   uint16
+}
+
+// Opcode implements Control.
+func (ConnectionUpdateInd) Opcode() Opcode { return OpConnectionUpdateInd }
+
+// MarshalPayload implements Control.
+func (c ConnectionUpdateInd) MarshalPayload() []byte {
+	out := make([]byte, 0, 11)
+	out = append(out, c.WinSize)
+	out = put16(out, c.WinOffset)
+	out = put16(out, c.Interval)
+	out = put16(out, c.Latency)
+	out = put16(out, c.Timeout)
+	out = put16(out, c.Instant)
+	return out
+}
+
+// ChannelMapInd updates the channel map at a future instant.
+type ChannelMapInd struct {
+	ChannelMap ble.ChannelMap
+	Instant    uint16
+}
+
+// Opcode implements Control.
+func (ChannelMapInd) Opcode() Opcode { return OpChannelMapInd }
+
+// MarshalPayload implements Control.
+func (c ChannelMapInd) MarshalPayload() []byte {
+	out := make([]byte, 0, 7)
+	out = append(out, c.ChannelMap.Bytes()...)
+	return put16(out, c.Instant)
+}
+
+// TerminateInd closes the connection — the PDU scenario B injects to expel
+// the legitimate slave.
+type TerminateInd struct{ ErrorCode uint8 }
+
+// Error codes used with LL_TERMINATE_IND / disconnections.
+const (
+	ErrCodeRemoteUserTerminated  uint8 = 0x13
+	ErrCodeConnectionTimeout     uint8 = 0x08
+	ErrCodeMICFailure            uint8 = 0x3D
+	ErrCodeConnectionFailedToEst uint8 = 0x3E
+)
+
+// Opcode implements Control.
+func (TerminateInd) Opcode() Opcode { return OpTerminateInd }
+
+// MarshalPayload implements Control.
+func (t TerminateInd) MarshalPayload() []byte { return []byte{t.ErrorCode} }
+
+// EncReq starts the LL encryption procedure (master → slave).
+type EncReq struct {
+	Rand [8]byte
+	EDIV uint16
+	SKDm [8]byte
+	IVm  [4]byte
+}
+
+// Opcode implements Control.
+func (EncReq) Opcode() Opcode { return OpEncReq }
+
+// MarshalPayload implements Control.
+func (e EncReq) MarshalPayload() []byte {
+	out := make([]byte, 0, 22)
+	out = append(out, e.Rand[:]...)
+	out = put16(out, e.EDIV)
+	out = append(out, e.SKDm[:]...)
+	return append(out, e.IVm[:]...)
+}
+
+// EncRsp answers LL_ENC_REQ (slave → master).
+type EncRsp struct {
+	SKDs [8]byte
+	IVs  [4]byte
+}
+
+// Opcode implements Control.
+func (EncRsp) Opcode() Opcode { return OpEncRsp }
+
+// MarshalPayload implements Control.
+func (e EncRsp) MarshalPayload() []byte {
+	out := make([]byte, 0, 12)
+	out = append(out, e.SKDs[:]...)
+	return append(out, e.IVs[:]...)
+}
+
+// StartEncReq requests encryption start (slave → master, already encrypted).
+type StartEncReq struct{}
+
+// Opcode implements Control.
+func (StartEncReq) Opcode() Opcode { return OpStartEncReq }
+
+// MarshalPayload implements Control.
+func (StartEncReq) MarshalPayload() []byte { return nil }
+
+// StartEncRsp completes encryption start.
+type StartEncRsp struct{}
+
+// Opcode implements Control.
+func (StartEncRsp) Opcode() Opcode { return OpStartEncRsp }
+
+// MarshalPayload implements Control.
+func (StartEncRsp) MarshalPayload() []byte { return nil }
+
+// UnknownRsp reports an unsupported control opcode.
+type UnknownRsp struct{ UnknownType uint8 }
+
+// Opcode implements Control.
+func (UnknownRsp) Opcode() Opcode { return OpUnknownRsp }
+
+// MarshalPayload implements Control.
+func (u UnknownRsp) MarshalPayload() []byte { return []byte{u.UnknownType} }
+
+// FeatureReq carries the initiator's LL feature set.
+type FeatureReq struct{ FeatureSet uint64 }
+
+// Opcode implements Control.
+func (FeatureReq) Opcode() Opcode { return OpFeatureReq }
+
+// MarshalPayload implements Control.
+func (f FeatureReq) MarshalPayload() []byte { return feature8(f.FeatureSet) }
+
+// FeatureRsp answers LL_FEATURE_REQ.
+type FeatureRsp struct{ FeatureSet uint64 }
+
+// Opcode implements Control.
+func (FeatureRsp) Opcode() Opcode { return OpFeatureRsp }
+
+// MarshalPayload implements Control.
+func (f FeatureRsp) MarshalPayload() []byte { return feature8(f.FeatureSet) }
+
+func feature8(fs uint64) []byte {
+	out := make([]byte, 8)
+	for i := range out {
+		out[i] = byte(fs >> (8 * i))
+	}
+	return out
+}
+
+// PauseEncReq starts the encryption-pause procedure.
+type PauseEncReq struct{}
+
+// Opcode implements Control.
+func (PauseEncReq) Opcode() Opcode { return OpPauseEncReq }
+
+// MarshalPayload implements Control.
+func (PauseEncReq) MarshalPayload() []byte { return nil }
+
+// PauseEncRsp completes the encryption-pause procedure.
+type PauseEncRsp struct{}
+
+// Opcode implements Control.
+func (PauseEncRsp) Opcode() Opcode { return OpPauseEncRsp }
+
+// MarshalPayload implements Control.
+func (PauseEncRsp) MarshalPayload() []byte { return nil }
+
+// VersionInd exchanges LL version information.
+type VersionInd struct {
+	VersNr    uint8
+	CompID    uint16
+	SubVersNr uint16
+}
+
+// Opcode implements Control.
+func (VersionInd) Opcode() Opcode { return OpVersionInd }
+
+// MarshalPayload implements Control.
+func (v VersionInd) MarshalPayload() []byte {
+	out := []byte{v.VersNr}
+	out = put16(out, v.CompID)
+	return put16(out, v.SubVersNr)
+}
+
+// RejectInd rejects a control procedure.
+type RejectInd struct{ ErrorCode uint8 }
+
+// Opcode implements Control.
+func (RejectInd) Opcode() Opcode { return OpRejectInd }
+
+// MarshalPayload implements Control.
+func (r RejectInd) MarshalPayload() []byte { return []byte{r.ErrorCode} }
+
+// PingReq is the LL keep-alive probe.
+type PingReq struct{}
+
+// Opcode implements Control.
+func (PingReq) Opcode() Opcode { return OpPingReq }
+
+// MarshalPayload implements Control.
+func (PingReq) MarshalPayload() []byte { return nil }
+
+// PingRsp answers LL_PING_REQ.
+type PingRsp struct{}
+
+// Opcode implements Control.
+func (PingRsp) Opcode() Opcode { return OpPingRsp }
+
+// MarshalPayload implements Control.
+func (PingRsp) MarshalPayload() []byte { return nil }

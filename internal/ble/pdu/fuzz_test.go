@@ -1,0 +1,67 @@
+package pdu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The decoders face attacker-controlled bytes (that is the entire point of
+// this repository): no input may panic, and any accepted input must
+// round-trip consistently.
+
+func TestUnmarshalAdvPDUNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		p, err := UnmarshalAdvPDU(b)
+		if err != nil {
+			return true
+		}
+		// Accepted inputs re-marshal to the same header+payload.
+		out, err := UnmarshalAdvPDU(p.Marshal())
+		return err == nil && out.Type == p.Type && len(out.Payload) == len(p.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalDataPDUNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		p, err := UnmarshalDataPDU(b)
+		if err != nil {
+			return true
+		}
+		out, err := UnmarshalDataPDU(p.Marshal())
+		return err == nil && out.Header == p.Header
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalControlNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		c, err := UnmarshalControl(b)
+		if err != nil {
+			return true
+		}
+		// Accepted control PDUs round-trip bit-exactly.
+		again, err := UnmarshalControl(MarshalControl(c))
+		return err == nil && again.Opcode() == c.Opcode()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalPayloadParsersNeverPanic(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = UnmarshalAdvInd(b)
+		_, _ = UnmarshalScanReq(b)
+		_, _ = UnmarshalScanRsp(b)
+		_, _ = UnmarshalConnectReq(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+// Package pdu implements bit-exact codecs for the BLE Link Layer protocol
+// data units the paper manipulates: advertising PDUs (including the
+// CONNECT_REQ of Table II), data-channel PDUs with their SN/NESN/MD header
+// bits (paper §III-B.6), and the LL control PDUs that the attack scenarios
+// inject (LL_TERMINATE_IND, LL_CONNECTION_UPDATE_IND, LL_CHANNEL_MAP_IND,
+// and the encryption-procedure PDUs).
+package pdu
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel decode errors. Wrap-tested with errors.Is.
+var (
+	// ErrTruncated reports a PDU shorter than its header demands.
+	ErrTruncated = errors.New("pdu: truncated")
+	// ErrLength reports a header length inconsistent with the body.
+	ErrLength = errors.New("pdu: length mismatch")
+	// ErrUnknownType reports an unrecognised PDU type or opcode.
+	ErrUnknownType = errors.New("pdu: unknown type")
+)
+
+func truncatedf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrTruncated, fmt.Sprintf(format, args...))
+}
+
+func lengthf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrLength, fmt.Sprintf(format, args...))
+}
+
+// le16 reads a little-endian uint16.
+func le16(b []byte) uint16 { return uint16(b[0]) | uint16(b[1])<<8 }
+
+// put16 appends a little-endian uint16.
+func put16(dst []byte, v uint16) []byte { return append(dst, byte(v), byte(v>>8)) }
+
+// le32 reads a little-endian uint32.
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// put32 appends a little-endian uint32.
+func put32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// le24 reads a little-endian 24-bit value.
+func le24(b []byte) uint32 { return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 }
+
+// put24 appends a little-endian 24-bit value.
+func put24(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16))
+}

@@ -1,0 +1,400 @@
+package pdu
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"injectable/internal/ble"
+)
+
+func TestAdvPDURoundTrip(t *testing.T) {
+	in := AdvPDU{Type: AdvIndType, TxAdd: true, Payload: []byte{1, 2, 3}}
+	out, err := UnmarshalAdvPDU(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != in.Type || out.TxAdd != in.TxAdd || out.RxAdd != in.RxAdd ||
+		!bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestAdvPDUErrors(t *testing.T) {
+	if _, err := UnmarshalAdvPDU([]byte{0x00}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("1-byte PDU: %v", err)
+	}
+	if _, err := UnmarshalAdvPDU([]byte{0x00, 0x05, 0x01}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short payload: %v", err)
+	}
+	if _, err := UnmarshalAdvPDU([]byte{0x00, 0x01, 0x01, 0x02}); !errors.Is(err, ErrLength) {
+		t.Errorf("long payload: %v", err)
+	}
+}
+
+func TestAdvTypeStrings(t *testing.T) {
+	if ConnectReqType.String() != "CONNECT_REQ" || AdvIndType.String() != "ADV_IND" {
+		t.Fatal("type strings wrong")
+	}
+	if AdvType(0xF).String() == "" {
+		t.Fatal("unknown type should still render")
+	}
+}
+
+func TestAdvIndRoundTrip(t *testing.T) {
+	in := AdvInd{
+		AdvAddr: ble.MustParseAddress("C0:11:22:33:44:55"),
+		AdvData: []byte{0x02, 0x01, 0x06, 0x05, 0x09, 'b', 'u', 'l', 'b'},
+	}
+	p, err := UnmarshalAdvPDU(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Type != AdvIndType || !p.TxAdd {
+		t.Fatalf("header: %+v", p)
+	}
+	out, err := UnmarshalAdvInd(p.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AdvAddr != in.AdvAddr || !bytes.Equal(out.AdvData, in.AdvData) {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestScanReqRspRoundTrip(t *testing.T) {
+	req := ScanReq{
+		ScanAddr: ble.MustParseAddress("C0:00:00:00:00:01"),
+		AdvAddr:  ble.MustParseAddress("C0:00:00:00:00:02"),
+	}
+	p, err := UnmarshalAdvPDU(req.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotReq, err := UnmarshalScanReq(p.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotReq != req {
+		t.Fatalf("SCAN_REQ round trip: %+v", gotReq)
+	}
+
+	rsp := ScanRsp{AdvAddr: req.AdvAddr, ScanData: []byte{0x05, 0x09, 't', 'e', 's'}}
+	p2, err := UnmarshalAdvPDU(rsp.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRsp, err := UnmarshalScanRsp(p2.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRsp.AdvAddr != rsp.AdvAddr || !bytes.Equal(gotRsp.ScanData, rsp.ScanData) {
+		t.Fatalf("SCAN_RSP round trip: %+v", gotRsp)
+	}
+}
+
+func TestScanReqWrongLength(t *testing.T) {
+	if _, err := UnmarshalScanReq(make([]byte, 11)); !errors.Is(err, ErrLength) {
+		t.Fatal(err)
+	}
+}
+
+func sampleConnectReq() ConnectReq {
+	return ConnectReq{
+		InitAddr:      ble.MustParseAddress("C0:AA:BB:CC:DD:EE"),
+		AdvAddr:       ble.MustParseAddress("C0:11:22:33:44:55"),
+		AccessAddress: 0x71764129,
+		CRCInit:       0x123456,
+		WinSize:       2,
+		WinOffset:     7,
+		Interval:      36,
+		Latency:       0,
+		Timeout:       100,
+		ChannelMap:    ble.AllChannels.Without(3, 9),
+		Hop:           11,
+		SCA:           ble.SCA31to50ppm,
+	}
+}
+
+func TestConnectReqRoundTrip(t *testing.T) {
+	in := sampleConnectReq()
+	raw := in.Marshal()
+	p, err := UnmarshalAdvPDU(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Type != ConnectReqType {
+		t.Fatalf("type = %v", p.Type)
+	}
+	out, err := UnmarshalConnectReq(p.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", out, in)
+	}
+}
+
+func TestConnectReqTableIILayout(t *testing.T) {
+	// Table II: field offsets and sizes inside the 34-byte payload.
+	in := sampleConnectReq()
+	p, _ := UnmarshalAdvPDU(in.Marshal())
+	payload := p.Payload
+	if len(payload) != 34 {
+		t.Fatalf("CONNECT_REQ payload = %d bytes, Table II says 34", len(payload))
+	}
+	// Access address at offset 12, little endian.
+	if got := le32(payload[12:16]); got != 0x71764129 {
+		t.Errorf("AA bytes = %08x", got)
+	}
+	// CRCInit: 3 bytes at offset 16.
+	if got := le24(payload[16:19]); got != 0x123456 {
+		t.Errorf("CRCInit = %06x", got)
+	}
+	// WinSize 1 byte at 19, WinOffset 2 bytes at 20, Interval at 22.
+	if payload[19] != 2 || le16(payload[20:22]) != 7 || le16(payload[22:24]) != 36 {
+		t.Error("window/interval fields misplaced")
+	}
+	// Hop in low 5 bits of last byte, SCA in high 3.
+	last := payload[33]
+	if last&0x1F != 11 || last>>5 != uint8(ble.SCA31to50ppm) {
+		t.Errorf("hop/SCA byte = %02x", last)
+	}
+}
+
+func TestConnectReqWrongLength(t *testing.T) {
+	if _, err := UnmarshalConnectReq(make([]byte, 33)); !errors.Is(err, ErrLength) {
+		t.Fatal(err)
+	}
+}
+
+func TestConnectReqValidate(t *testing.T) {
+	good := sampleConnectReq()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid CONNECT_REQ rejected: %v", err)
+	}
+	bad := good
+	bad.Hop = 3
+	if bad.Validate() == nil {
+		t.Error("hop 3 accepted")
+	}
+	bad = good
+	bad.Interval = 4
+	if bad.Validate() == nil {
+		t.Error("interval 4 accepted")
+	}
+	bad = good
+	bad.WinSize = 0
+	if bad.Validate() == nil {
+		t.Error("winSize 0 accepted")
+	}
+	bad = good
+	bad.WinOffset = 4000
+	if bad.Validate() == nil {
+		t.Error("winOffset > interval accepted")
+	}
+	bad = good
+	bad.ChannelMap = 1
+	if bad.Validate() == nil {
+		t.Error("single-channel map accepted")
+	}
+	bad = good
+	bad.AccessAddress = ble.AdvertisingAccessAddress
+	if bad.Validate() == nil {
+		t.Error("advertising AA accepted")
+	}
+}
+
+func TestDataPDURoundTrip(t *testing.T) {
+	f := func(llidRaw uint8, nesn, sn, md bool, payload []byte) bool {
+		llid := LLID(llidRaw%3 + 1)
+		if len(payload) > 251 {
+			payload = payload[:251]
+		}
+		in := DataPDU{Header: DataHeader{LLID: llid, NESN: nesn, SN: sn, MD: md}, Payload: payload}
+		out, err := UnmarshalDataPDU(in.Marshal())
+		if err != nil {
+			return false
+		}
+		return out.Header.LLID == llid && out.Header.NESN == nesn &&
+			out.Header.SN == sn && out.Header.MD == md &&
+			bytes.Equal(out.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataPDUHeaderBits(t *testing.T) {
+	p := DataPDU{Header: DataHeader{LLID: LLIDControl, NESN: true, SN: false, MD: true}}
+	raw := p.Marshal()
+	// LLID=3 (bits 0-1), NESN bit 2, SN bit 3, MD bit 4.
+	if raw[0] != 0x3|1<<2|1<<4 {
+		t.Fatalf("header byte = %02x", raw[0])
+	}
+	if raw[1] != 0 {
+		t.Fatalf("length byte = %d", raw[1])
+	}
+}
+
+func TestDataPDUErrors(t *testing.T) {
+	if _, err := UnmarshalDataPDU([]byte{0x01}); !errors.Is(err, ErrTruncated) {
+		t.Error(err)
+	}
+	if _, err := UnmarshalDataPDU([]byte{0x01, 0x05, 0x00}); !errors.Is(err, ErrTruncated) {
+		t.Error(err)
+	}
+	if _, err := UnmarshalDataPDU([]byte{0x01, 0x00, 0xFF}); !errors.Is(err, ErrLength) {
+		t.Error(err)
+	}
+	if _, err := UnmarshalDataPDU([]byte{0x00, 0x00}); !errors.Is(err, ErrUnknownType) {
+		t.Error(err)
+	}
+}
+
+func TestEmptyPDU(t *testing.T) {
+	p := Empty(true, false)
+	if !p.IsEmpty() || p.IsControl() {
+		t.Fatal("Empty misclassified")
+	}
+	if !p.Header.SN || p.Header.NESN {
+		t.Fatal("Empty SN/NESN wrong")
+	}
+	if len(p.Marshal()) != 2 {
+		t.Fatal("empty PDU should be 2 bytes")
+	}
+}
+
+func TestControlRoundTripAll(t *testing.T) {
+	cases := []Control{
+		ConnectionUpdateInd{WinSize: 1, WinOffset: 5, Interval: 75, Latency: 2, Timeout: 200, Instant: 1000},
+		ChannelMapInd{ChannelMap: ble.AllChannels.Without(5), Instant: 42},
+		TerminateInd{ErrorCode: ErrCodeRemoteUserTerminated},
+		EncReq{Rand: [8]byte{1, 2, 3, 4, 5, 6, 7, 8}, EDIV: 0xBEEF, SKDm: [8]byte{9, 10, 11, 12, 13, 14, 15, 16}, IVm: [4]byte{17, 18, 19, 20}},
+		EncRsp{SKDs: [8]byte{1, 1, 2, 2, 3, 3, 4, 4}, IVs: [4]byte{5, 5, 6, 6}},
+		StartEncReq{},
+		StartEncRsp{},
+		UnknownRsp{UnknownType: 0x42},
+		FeatureReq{FeatureSet: 0x1F},
+		FeatureRsp{FeatureSet: 0x01},
+		PauseEncReq{},
+		PauseEncRsp{},
+		VersionInd{VersNr: 9, CompID: 0x0059, SubVersNr: 0x1234},
+		RejectInd{ErrorCode: 0x06},
+		PingReq{},
+		PingRsp{},
+	}
+	for _, in := range cases {
+		raw := MarshalControl(in)
+		out, err := UnmarshalControl(raw)
+		if err != nil {
+			t.Errorf("%v: %v", in.Opcode(), err)
+			continue
+		}
+		if !reflect.DeepEqual(out, in) {
+			t.Errorf("%v round trip:\n got %+v\nwant %+v", in.Opcode(), out, in)
+		}
+	}
+}
+
+func TestControlErrors(t *testing.T) {
+	if _, err := UnmarshalControl(nil); !errors.Is(err, ErrTruncated) {
+		t.Error(err)
+	}
+	if _, err := UnmarshalControl([]byte{0xFF}); !errors.Is(err, ErrUnknownType) {
+		t.Error(err)
+	}
+	if _, err := UnmarshalControl([]byte{byte(OpTerminateInd)}); !errors.Is(err, ErrLength) {
+		t.Error(err)
+	}
+	if _, err := UnmarshalControl([]byte{byte(OpConnectionUpdateInd), 1, 2}); !errors.Is(err, ErrLength) {
+		t.Error(err)
+	}
+}
+
+func TestControlDataPDU(t *testing.T) {
+	p := ControlDataPDU(TerminateInd{ErrorCode: 0x13}, true, false)
+	if !p.IsControl() {
+		t.Fatal("not a control PDU")
+	}
+	if !p.Header.SN || p.Header.NESN {
+		t.Fatal("SN/NESN bits wrong")
+	}
+	c, err := UnmarshalControl(p.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if term, ok := c.(TerminateInd); !ok || term.ErrorCode != 0x13 {
+		t.Fatalf("decoded %+v", c)
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	if OpTerminateInd.String() != "LL_TERMINATE_IND" {
+		t.Fatal("opcode string")
+	}
+	if OpConnectionUpdateInd.String() != "LL_CONNECTION_UPDATE_IND" {
+		t.Fatal("opcode string")
+	}
+	if Opcode(0x30).String() == "" {
+		t.Fatal("unknown opcode should render")
+	}
+}
+
+func TestLLIDStrings(t *testing.T) {
+	if LLIDControl.String() != "control" || LLID(0).String() == "" {
+		t.Fatal("LLID strings")
+	}
+}
+
+func TestDataPDUString(t *testing.T) {
+	s := DataPDU{Header: DataHeader{LLID: LLIDStart, SN: true}, Payload: []byte{1}}.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestAdvPDUChSelBit(t *testing.T) {
+	p := AdvPDU{Type: ConnectReqType, ChSel: true, TxAdd: true, RxAdd: true}
+	raw := p.Marshal()
+	if raw[0]&(1<<5) == 0 {
+		t.Fatalf("ChSel bit not set: header %02x", raw[0])
+	}
+	out, err := UnmarshalAdvPDU(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.ChSel {
+		t.Fatal("ChSel lost in round trip")
+	}
+	p.ChSel = false
+	out, err = UnmarshalAdvPDU(p.Marshal())
+	if err != nil || out.ChSel {
+		t.Fatal("ChSel spuriously set")
+	}
+}
+
+func TestConnectReqChSelRoundTrip(t *testing.T) {
+	req := sampleConnectReq()
+	req.ChSel = true
+	p, err := UnmarshalAdvPDU(req.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.ChSel {
+		t.Fatal("CONNECT_REQ ChSel header bit lost")
+	}
+}
+
+func TestAdvIndChSelRoundTrip(t *testing.T) {
+	adv := AdvInd{AdvAddr: ble.MustParseAddress("C0:00:00:00:00:09"), ChSel: true}
+	p, err := UnmarshalAdvPDU(adv.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.ChSel {
+		t.Fatal("ADV_IND ChSel header bit lost")
+	}
+}

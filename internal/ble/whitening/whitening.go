@@ -1,0 +1,35 @@
+// Package whitening implements BLE data whitening: a 7-bit LFSR
+// (x⁷ + x⁴ + 1) seeded from the RF channel index, XORed over the PDU and
+// CRC to avoid long runs of identical bits on air.
+//
+// Whitening is an involution (applying it twice restores the input), so
+// Apply serves both directions.
+package whitening
+
+// Apply whitens (or de-whitens) data in place for the given RF channel
+// index and returns it. The LFSR is initialised to 1 ∥ channel[5:0] per the
+// Core Specification and clocked once per bit, least-significant bit first
+// within each byte.
+func Apply(channel uint8, data []byte) []byte {
+	lfsr := 0x40 | (channel & 0x3F)
+	for i := range data {
+		var w byte
+		for bit := 0; bit < 8; bit++ {
+			out := lfsr & 0x40 >> 6 // position 6 output
+			w |= out << bit
+			fb := out
+			lfsr = (lfsr << 1) & 0x7F
+			if fb != 0 {
+				lfsr ^= 0x11 // taps at positions 0 and 4
+			}
+		}
+		data[i] ^= w
+	}
+	return data
+}
+
+// Copy returns a whitened copy of data, leaving the input untouched.
+func Copy(channel uint8, data []byte) []byte {
+	out := append([]byte(nil), data...)
+	return Apply(channel, out)
+}

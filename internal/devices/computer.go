@@ -1,0 +1,117 @@
+package devices
+
+import (
+	"strings"
+
+	"injectable/internal/att"
+	"injectable/internal/ble"
+	"injectable/internal/gatt"
+	"injectable/internal/host"
+	"injectable/internal/link"
+)
+
+// Computer models a HID-capable central host (a laptop or phone OS): it
+// keeps a long-lived connection, subscribes to Service Changed, and — like
+// every real HID host — automatically attaches to any keyboard profile it
+// discovers, consuming keystroke reports. This auto-attach behaviour is
+// exactly what the paper's §IX keystroke-injection scenario abuses.
+type Computer struct {
+	Central *host.Central
+
+	// Typed accumulates decoded keystrokes from any attached keyboard.
+	Typed strings.Builder
+	// HIDAttached reports that a keyboard report characteristic is
+	// subscribed.
+	HIDAttached bool
+	// Rediscoveries counts Service Changed-triggered rediscoveries.
+	Rediscoveries int
+
+	hidReportHandle uint16
+}
+
+// NewComputer builds the host on a device.
+func NewComputer(dev *host.Device) *Computer {
+	c := &Computer{}
+	c.Central = host.NewCentral(dev, host.CentralConfig{})
+	return c
+}
+
+// Connect establishes the connection and performs initial discovery.
+func (c *Computer) Connect(target ble.Address) {
+	userOnConnect := c.Central.OnConnect
+	c.Central.OnConnect = func(conn *link.Conn) {
+		if userOnConnect != nil {
+			userOnConnect(conn)
+		}
+		c.wireIndications()
+		c.discover()
+	}
+	c.Central.Connect(target)
+}
+
+// discover walks the peer's services, wiring Service Changed and HID.
+func (c *Computer) discover() {
+	g := c.Central.GATT()
+	if g == nil {
+		return
+	}
+	g.OnNotification = c.onNotification
+
+	g.DiscoverServices(func(svcs []*gatt.RemoteService, err error) {
+		if err != nil {
+			return
+		}
+		for _, svc := range svcs {
+			svc := svc
+			g.DiscoverCharacteristics(svc, func(chars []*gatt.RemoteCharacteristic, err error) {
+				if err != nil {
+					return
+				}
+				for _, ch := range chars {
+					switch ch.UUID {
+					case UUIDServiceChanged:
+						// Hosts always watch for GATT cache invalidation.
+						if ch.CCCDHandle != 0 {
+							g.ATT().Write(ch.CCCDHandle, []byte{0x02, 0x00}, func(att.Response) {})
+						}
+					case UUIDHIDReport:
+						// HID host behaviour: attach to keyboards found.
+						if ch.CCCDHandle != 0 {
+							ch := ch
+							g.Subscribe(ch, func(err error) {
+								if err == nil {
+									c.hidReportHandle = ch.ValueHandle
+									c.HIDAttached = true
+								}
+							})
+						}
+					}
+				}
+			})
+		}
+	})
+}
+
+// onNotification consumes indications/notifications.
+func (c *Computer) onNotification(handle uint16, value []byte) {
+	if c.HIDAttached && handle == c.hidReportHandle {
+		if r := DecodeBootReport(value); r != 0 {
+			c.Typed.WriteRune(r)
+		}
+	}
+}
+
+// wireIndications hooks Service Changed handling: real hosts drop their
+// GATT cache and rediscover when the peer indicates a structure change.
+func (c *Computer) wireIndications() {
+	g := c.Central.GATT()
+	if g == nil {
+		return
+	}
+	g.ATT().OnIndication = func(handle uint16, value []byte) {
+		// Any Service Changed indication invalidates the cache: rediscover.
+		c.Rediscoveries++
+		c.HIDAttached = false
+		c.discover()
+	}
+}

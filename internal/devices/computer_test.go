@@ -1,0 +1,57 @@
+package devices
+
+import (
+	"testing"
+
+	"injectable/internal/gatt"
+	"injectable/internal/host"
+	"injectable/internal/phy"
+	"injectable/internal/sim"
+)
+
+// TestComputerAttachesToLegitimateKeyboard: the HID-host behaviour works
+// for its intended purpose too — a real wireless keyboard peripheral.
+func TestComputerAttachesToLegitimateKeyboard(t *testing.T) {
+	w := host.NewWorld(host.WorldConfig{Seed: 40})
+	kbdDev := w.NewDevice(host.DeviceConfig{Name: "kbd", Position: phy.Position{X: 0}})
+	profile := NewKeyboardProfile("BT Keyboard")
+
+	// Serve the profile from a real peripheral: rebuild it onto the
+	// peripheral's GATT server by re-registering its services.
+	per := host.NewPeripheral(kbdDev, host.PeripheralConfig{DeviceName: "BT Keyboard"})
+	for _, svc := range profile.GATT.Services() {
+		if svc.UUID == UUIDGATTService || svc.UUID == UUIDHIDService {
+			cp := &gatt.Service{UUID: svc.UUID}
+			for _, ch := range svc.Characteristics {
+				cp.Characteristics = append(cp.Characteristics, &gatt.Characteristic{
+					UUID: ch.UUID, Properties: ch.Properties, Value: append([]byte(nil), ch.Value...),
+				})
+			}
+			per.GATT.AddService(cp)
+		}
+	}
+	reportChar := per.GATT.FindCharacteristic(UUIDHIDReport)
+	if reportChar == nil {
+		t.Fatal("profile not re-registered")
+	}
+
+	laptop := NewComputer(w.NewDevice(host.DeviceConfig{Name: "laptop", Position: phy.Position{X: 2}}))
+	per.StartAdvertising()
+	laptop.Connect(kbdDev.Address())
+	w.RunFor(5 * sim.Second)
+
+	if !laptop.Central.Connected() {
+		t.Fatal("not connected")
+	}
+	if !laptop.HIDAttached {
+		t.Fatal("HID host did not attach to the keyboard")
+	}
+	// The keyboard types; the laptop receives.
+	report := [8]byte{0, 0, 0x04} // 'a'
+	per.GATT.Notify(reportChar, report[:])
+	per.GATT.Notify(reportChar, make([]byte, 8))
+	w.RunFor(sim.Second)
+	if got := laptop.Typed.String(); got != "a" {
+		t.Fatalf("laptop typed %q", got)
+	}
+}

@@ -1,0 +1,253 @@
+// Package devices provides behavioural models of the commercial BLE
+// targets used in the paper's evaluation (§VI, §VII): an RGB lightbulb, a
+// keyfob and a smartwatch, plus a smartphone Central that keeps a long
+// -lived connection alive — the traffic pattern InjectaBLE rides on.
+//
+// Each device exposes a vendor GATT protocol whose write payloads have the
+// exact on-air sizes the paper's experiments sweep (§VII-B: LL PDU lengths
+// 4, 9, 14 and 16 bytes — the 14-byte "turn the light off" Write Request
+// makes a 22-byte frame, 176 µs at LE 1M).
+package devices
+
+import (
+	"fmt"
+
+	"injectable/internal/att"
+	"injectable/internal/gatt"
+	"injectable/internal/host"
+)
+
+// Vendor protocol opcodes for the lightbulb (modelled on the reverse-
+// engineered write payloads of typical BLE RGB bulbs).
+const (
+	bulbOpPower      = 0x01
+	bulbOpColor      = 0x02
+	bulbOpBrightness = 0x03
+	bulbChecksum     = 0x55
+)
+
+// Lightbulb UUIDs.
+var (
+	// UUIDBulbService is the bulb's vendor service.
+	UUIDBulbService = att.UUID16(0xFFE0)
+	// UUIDBulbControl is the control characteristic all commands target.
+	UUIDBulbControl = att.UUID16(0xFFE1)
+)
+
+// Lightbulb is the connected RGB bulb from the paper's experiments.
+type Lightbulb struct {
+	Peripheral *host.Peripheral
+
+	// Observable state, mutated by accepted writes.
+	On                bool
+	R, G, B           uint8
+	Brightness        uint8
+	CommandsProcessed int
+
+	control *gatt.Characteristic
+
+	// OnChange observes every applied command (for experiment logging).
+	OnChange func(what string)
+}
+
+// NewLightbulb builds the bulb on a device.
+func NewLightbulb(dev *host.Device) *Lightbulb {
+	b := &Lightbulb{Brightness: 255, R: 255, G: 255, B: 255}
+	b.Peripheral = host.NewPeripheral(dev, host.PeripheralConfig{
+		DeviceName:  "SMART-BULB",
+		ReAdvertise: true,
+	})
+	b.control = &gatt.Characteristic{
+		UUID:       UUIDBulbControl,
+		Properties: gatt.PropRead | gatt.PropWrite | gatt.PropWriteNoResponse,
+		OnWrite:    b.handleCommand,
+	}
+	b.Peripheral.GATT.AddService(&gatt.Service{
+		UUID:            UUIDBulbService,
+		Characteristics: []*gatt.Characteristic{b.control},
+	})
+	return b
+}
+
+// ControlHandle returns the control characteristic's value handle — the
+// handle an attacker targets after reverse-engineering the protocol.
+func (b *Lightbulb) ControlHandle() uint16 { return b.control.ValueHandle }
+
+// handleCommand applies one vendor command.
+func (b *Lightbulb) handleCommand(v []byte) {
+	if len(v) == 0 {
+		// Empty write: toggle (the 9-byte-PDU command of experiment 2).
+		b.On = !b.On
+		b.applied("toggle")
+		return
+	}
+	switch v[0] {
+	case bulbOpPower:
+		// {0x01, on, 0, 0, 0x55}: 5-byte value → 14-byte PDU → the paper's
+		// 22-byte turn-off frame.
+		if len(v) != 5 || v[4] != bulbChecksum {
+			return
+		}
+		b.On = v[1] != 0
+		b.applied("power")
+	case bulbOpColor:
+		// {0x02, r, g, b, w, mode, 0x55}: 7-byte value → 16-byte PDU.
+		if len(v) != 7 || v[6] != bulbChecksum {
+			return
+		}
+		b.R, b.G, b.B = v[1], v[2], v[3]
+		b.applied("color")
+	case bulbOpBrightness:
+		// {0x03, level}: 2-byte value → 11-byte PDU.
+		if len(v) != 2 {
+			return
+		}
+		b.Brightness = v[1]
+		b.applied("brightness")
+	}
+}
+
+func (b *Lightbulb) applied(what string) {
+	b.CommandsProcessed++
+	if b.OnChange != nil {
+		b.OnChange(what)
+	}
+}
+
+// PowerCommand builds the 5-byte power payload (14-byte PDU on air).
+func PowerCommand(on bool) []byte {
+	v := byte(0)
+	if on {
+		v = 1
+	}
+	return []byte{bulbOpPower, v, 0x00, 0x00, bulbChecksum}
+}
+
+// ColorCommand builds the 7-byte colour payload (16-byte PDU on air).
+func ColorCommand(r, g, b uint8) []byte {
+	return []byte{bulbOpColor, r, g, b, 0x00, 0x00, bulbChecksum}
+}
+
+// BrightnessCommand builds the 2-byte brightness payload (11-byte PDU).
+func BrightnessCommand(level uint8) []byte {
+	return []byte{bulbOpBrightness, level}
+}
+
+// ToggleCommand is the empty payload (9-byte PDU on air).
+func ToggleCommand() []byte { return nil }
+
+// String implements fmt.Stringer.
+func (b *Lightbulb) String() string {
+	return fmt.Sprintf("Lightbulb(on=%t rgb=%d,%d,%d bri=%d)", b.On, b.R, b.G, b.B, b.Brightness)
+}
+
+// Keyfob UUIDs (Immediate Alert service).
+var (
+	// UUIDImmediateAlert is the standard Immediate Alert service.
+	UUIDImmediateAlert = att.UUID16(0x1802)
+	// UUIDAlertLevel is the Alert Level characteristic.
+	UUIDAlertLevel = att.UUID16(0x2A06)
+)
+
+// Keyfob is the findable keyfob of the paper (§VI-A: "making the keyfob
+// ring").
+type Keyfob struct {
+	Peripheral *host.Peripheral
+
+	Ringing   bool
+	RingCount int
+
+	alert *gatt.Characteristic
+}
+
+// NewKeyfob builds the keyfob on a device.
+func NewKeyfob(dev *host.Device) *Keyfob {
+	k := &Keyfob{}
+	k.Peripheral = host.NewPeripheral(dev, host.PeripheralConfig{
+		DeviceName:  "KeyFob",
+		ReAdvertise: true,
+	})
+	k.alert = &gatt.Characteristic{
+		UUID:       UUIDAlertLevel,
+		Properties: gatt.PropWriteNoResponse | gatt.PropWrite,
+		OnWrite: func(v []byte) {
+			if len(v) != 1 {
+				return
+			}
+			k.Ringing = v[0] > 0
+			if k.Ringing {
+				k.RingCount++
+			}
+		},
+	}
+	k.Peripheral.GATT.AddService(&gatt.Service{
+		UUID:            UUIDImmediateAlert,
+		Characteristics: []*gatt.Characteristic{k.alert},
+	})
+	return k
+}
+
+// AlertHandle returns the Alert Level value handle.
+func (k *Keyfob) AlertHandle() uint16 { return k.alert.ValueHandle }
+
+// RingCommand builds the 1-byte high-alert payload.
+func RingCommand() []byte { return []byte{0x02} }
+
+// Smartwatch UUIDs (vendor notification protocol).
+var (
+	// UUIDWatchService is the watch's vendor service.
+	UUIDWatchService = att.UUID16(0xFEE0)
+	// UUIDWatchSMS receives SMS pushes from the phone.
+	UUIDWatchSMS = att.UUID16(0xFEE1)
+	// UUIDWatchHealth notifies health data (heart rate) to the phone.
+	UUIDWatchHealth = att.UUID16(0xFEE2)
+)
+
+// Smartwatch is the watch of §VI-A/§VI-D: the phone pushes SMS text to it,
+// and scenario D rewrites that text in flight.
+type Smartwatch struct {
+	Peripheral *host.Peripheral
+
+	// Messages lists SMS texts displayed so far.
+	Messages []string
+
+	sms    *gatt.Characteristic
+	health *gatt.Characteristic
+}
+
+// NewSmartwatch builds the watch on a device.
+func NewSmartwatch(dev *host.Device) *Smartwatch {
+	w := &Smartwatch{}
+	w.Peripheral = host.NewPeripheral(dev, host.PeripheralConfig{
+		DeviceName:  "FitWatch",
+		ReAdvertise: true,
+	})
+	w.sms = &gatt.Characteristic{
+		UUID:       UUIDWatchSMS,
+		Properties: gatt.PropWrite | gatt.PropWriteNoResponse,
+		OnWrite: func(v []byte) {
+			w.Messages = append(w.Messages, string(v))
+		},
+	}
+	w.health = &gatt.Characteristic{
+		UUID:       UUIDWatchHealth,
+		Properties: gatt.PropRead | gatt.PropNotify,
+		Value:      []byte{60},
+	}
+	w.Peripheral.GATT.AddService(&gatt.Service{
+		UUID:            UUIDWatchService,
+		Characteristics: []*gatt.Characteristic{w.sms, w.health},
+	})
+	return w
+}
+
+// SMSHandle returns the SMS characteristic's value handle.
+func (w *Smartwatch) SMSHandle() uint16 { return w.sms.ValueHandle }
+
+// HealthChar returns the health characteristic (for notifications).
+func (w *Smartwatch) HealthChar() *gatt.Characteristic { return w.health }
+
+// PushHealth updates and notifies a heart-rate sample.
+func (w *Smartwatch) PushHealth(bpm uint8) {
+	w.Peripheral.GATT.SetValue(w.health, []byte{bpm})
+}

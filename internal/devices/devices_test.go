@@ -1,0 +1,182 @@
+package devices
+
+import (
+	"testing"
+
+	"injectable/internal/host"
+	"injectable/internal/phy"
+	"injectable/internal/sim"
+)
+
+func world(seed uint64) *host.World {
+	return host.NewWorld(host.WorldConfig{Seed: seed})
+}
+
+func TestPayloadSizesMatchPaper(t *testing.T) {
+	// The experiment sweep of §VII-B uses LL PDU lengths 4, 9, 14, 16.
+	// PDU = 2 (LL header) + 4 (L2CAP) + 3 (ATT write cmd hdr) + value.
+	pduLen := func(value []byte) int { return 2 + 4 + 3 + len(value) }
+	if got := pduLen(PowerCommand(false)); got != 14 {
+		t.Errorf("power command PDU = %d, want 14 (paper's 22-byte frame)", got)
+	}
+	if got := pduLen(ColorCommand(1, 2, 3)); got != 16 {
+		t.Errorf("color command PDU = %d, want 16", got)
+	}
+	if got := pduLen(ToggleCommand()); got != 9 {
+		t.Errorf("toggle command PDU = %d, want 9", got)
+	}
+	// 22-byte frame = 176 µs at LE 1M.
+	if phy.LE1M.AirTime(14) != 176*sim.Microsecond {
+		t.Error("turn-off frame air time != 176 µs")
+	}
+}
+
+func TestLightbulbCommands(t *testing.T) {
+	w := world(1)
+	bulb := NewLightbulb(w.NewDevice(host.DeviceConfig{Name: "bulb"}))
+	var changes []string
+	bulb.OnChange = func(s string) { changes = append(changes, s) }
+
+	bulb.handleCommand(PowerCommand(true))
+	if !bulb.On {
+		t.Fatal("power on failed")
+	}
+	bulb.handleCommand(ColorCommand(10, 20, 30))
+	if bulb.R != 10 || bulb.G != 20 || bulb.B != 30 {
+		t.Fatal("color failed")
+	}
+	bulb.handleCommand(BrightnessCommand(100))
+	if bulb.Brightness != 100 {
+		t.Fatal("brightness failed")
+	}
+	bulb.handleCommand(ToggleCommand())
+	if bulb.On {
+		t.Fatal("toggle failed")
+	}
+	if bulb.CommandsProcessed != 4 || len(changes) != 4 {
+		t.Fatalf("processed=%d changes=%v", bulb.CommandsProcessed, changes)
+	}
+	if bulb.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestLightbulbRejectsMalformedCommands(t *testing.T) {
+	w := world(2)
+	bulb := NewLightbulb(w.NewDevice(host.DeviceConfig{Name: "bulb"}))
+	bulb.handleCommand([]byte{0x01, 1, 0, 0, 0x00}) // bad checksum
+	bulb.handleCommand([]byte{0x01, 1})             // short
+	bulb.handleCommand([]byte{0x02, 1, 2, 3})       // short color
+	bulb.handleCommand([]byte{0x99, 1, 2})          // unknown op
+	if bulb.CommandsProcessed != 0 || bulb.On {
+		t.Fatal("malformed command accepted")
+	}
+}
+
+func TestLightbulbOverRadio(t *testing.T) {
+	w := world(3)
+	bulb := NewLightbulb(w.NewDevice(host.DeviceConfig{Name: "bulb", Position: phy.Position{X: 0}}))
+	phone := NewSmartphone(w.NewDevice(host.DeviceConfig{Name: "phone", Position: phy.Position{X: 2}}),
+		SmartphoneConfig{ActivityInterval: -1})
+
+	bulb.Peripheral.StartAdvertising()
+	phone.Connect(bulb.Peripheral.Device.Address())
+	w.RunFor(2 * sim.Second)
+	if !phone.Central.Connected() {
+		t.Fatal("phone did not connect")
+	}
+	phone.GATT().Write(bulb.ControlHandle(), PowerCommand(true), func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	w.RunFor(sim.Second)
+	if !bulb.On {
+		t.Fatal("bulb not turned on over radio")
+	}
+}
+
+func TestKeyfobRings(t *testing.T) {
+	w := world(4)
+	fob := NewKeyfob(w.NewDevice(host.DeviceConfig{Name: "fob", Position: phy.Position{X: 0}}))
+	phone := NewSmartphone(w.NewDevice(host.DeviceConfig{Name: "phone", Position: phy.Position{X: 2}}),
+		SmartphoneConfig{ActivityInterval: -1})
+	fob.Peripheral.StartAdvertising()
+	phone.Connect(fob.Peripheral.Device.Address())
+	w.RunFor(2 * sim.Second)
+	phone.GATT().WriteCommand(fob.AlertHandle(), RingCommand())
+	w.RunFor(sim.Second)
+	if !fob.Ringing || fob.RingCount != 1 {
+		t.Fatalf("ringing=%t count=%d", fob.Ringing, fob.RingCount)
+	}
+}
+
+func TestSmartwatchReceivesSMS(t *testing.T) {
+	w := world(5)
+	watch := NewSmartwatch(w.NewDevice(host.DeviceConfig{Name: "watch", Position: phy.Position{X: 0}}))
+	phone := NewSmartphone(w.NewDevice(host.DeviceConfig{Name: "phone", Position: phy.Position{X: 2}}),
+		SmartphoneConfig{ActivityInterval: -1})
+	watch.Peripheral.StartAdvertising()
+	phone.Connect(watch.Peripheral.Device.Address())
+	w.RunFor(2 * sim.Second)
+	phone.GATT().WriteCommand(watch.SMSHandle(), []byte("Meet at noon"))
+	w.RunFor(sim.Second)
+	if len(watch.Messages) != 1 || watch.Messages[0] != "Meet at noon" {
+		t.Fatalf("messages = %v", watch.Messages)
+	}
+}
+
+func TestSmartphonePeriodicActivity(t *testing.T) {
+	w := world(6)
+	bulb := NewLightbulb(w.NewDevice(host.DeviceConfig{Name: "bulb", Position: phy.Position{X: 0}}))
+	phone := NewSmartphone(w.NewDevice(host.DeviceConfig{Name: "phone", Position: phy.Position{X: 2}}),
+		SmartphoneConfig{
+			ActivityInterval: 200 * sim.Millisecond,
+			ActivityHandle:   bulb.ControlHandle(),
+			ActivityPayload:  BrightnessCommand(50),
+		})
+	bulb.Peripheral.StartAdvertising()
+	phone.Connect(bulb.Peripheral.Device.Address())
+	w.RunFor(3 * sim.Second)
+	if bulb.CommandsProcessed < 5 {
+		t.Fatalf("only %d periodic commands arrived", bulb.CommandsProcessed)
+	}
+	phone.StopActivity()
+	n := bulb.CommandsProcessed
+	w.RunFor(sim.Second)
+	if bulb.CommandsProcessed != n {
+		t.Fatal("activity continued after StopActivity")
+	}
+}
+
+func TestSmartphoneDefaultInterval(t *testing.T) {
+	w := world(7)
+	phone := NewSmartphone(w.NewDevice(host.DeviceConfig{Name: "phone"}), SmartphoneConfig{})
+	if phone.cfg.ConnParams.Interval != 36 {
+		t.Fatalf("default interval = %d, want 36 (the paper's phone default)", phone.cfg.ConnParams.Interval)
+	}
+}
+
+func TestSmartwatchHealthNotification(t *testing.T) {
+	w := world(8)
+	watch := NewSmartwatch(w.NewDevice(host.DeviceConfig{Name: "watch", Position: phy.Position{X: 0}}))
+	phone := NewSmartphone(w.NewDevice(host.DeviceConfig{Name: "phone", Position: phy.Position{X: 2}}),
+		SmartphoneConfig{ActivityInterval: -1})
+	watch.Peripheral.StartAdvertising()
+	phone.Connect(watch.Peripheral.Device.Address())
+	w.RunFor(2 * sim.Second)
+
+	var got []byte
+	phone.GATT().OnNotification = func(h uint16, v []byte) { got = v }
+	phone.GATT().Write(watch.HealthChar().CCCDHandle, []byte{1, 0}, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	w.RunFor(sim.Second)
+	watch.PushHealth(72)
+	w.RunFor(sim.Second)
+	if len(got) != 1 || got[0] != 72 {
+		t.Fatalf("health notification = % x", got)
+	}
+}

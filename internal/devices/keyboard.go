@@ -1,0 +1,195 @@
+package devices
+
+import (
+	"injectable/internal/att"
+	"injectable/internal/gatt"
+)
+
+// HID-over-GATT UUIDs (the paper's §IX future-work attack exposes this
+// profile from a hijacked slave to inject keystrokes into the master).
+var (
+	// UUIDHIDService is the Human Interface Device service.
+	UUIDHIDService = att.UUID16(0x1812)
+	// UUIDHIDReport is the input Report characteristic.
+	UUIDHIDReport = att.UUID16(0x2A4D)
+	// UUIDHIDReportMap is the Report Map (descriptor blob).
+	UUIDHIDReportMap = att.UUID16(0x2A4B)
+	// UUIDHIDInformation is the HID Information characteristic.
+	UUIDHIDInformation = att.UUID16(0x2A4A)
+	// UUIDHIDProtocolMode is the Protocol Mode characteristic.
+	UUIDHIDProtocolMode = att.UUID16(0x2A4E)
+	// UUIDGATTService is the Generic Attribute service (0x1801).
+	UUIDGATTService = att.UUID16(0x1801)
+	// UUIDServiceChanged is the Service Changed characteristic, whose
+	// indication tells a host to drop its GATT cache and rediscover.
+	UUIDServiceChanged = att.UUID16(0x2A05)
+)
+
+// bootKeyboardReportMap is a minimal USB HID boot-keyboard report map:
+// 8-byte reports of [modifiers, reserved, key1..key6].
+var bootKeyboardReportMap = []byte{
+	0x05, 0x01, 0x09, 0x06, 0xA1, 0x01, // Usage Page (Generic Desktop), Usage (Keyboard), Collection
+	0x05, 0x07, 0x19, 0xE0, 0x29, 0xE7, // Usage Page (Key Codes), Usage Min/Max (modifiers)
+	0x15, 0x00, 0x25, 0x01, 0x75, 0x01, 0x95, 0x08, 0x81, 0x02, // modifiers bitmap
+	0x95, 0x01, 0x75, 0x08, 0x81, 0x01, // reserved byte
+	0x95, 0x06, 0x75, 0x08, 0x15, 0x00, 0x25, 0x65, // 6 keys
+	0x05, 0x07, 0x19, 0x00, 0x29, 0x65, 0x81, 0x00,
+	0xC0, // End Collection
+}
+
+// Keyboard is a HID-over-GATT keyboard profile: either a legitimate
+// wireless keyboard, or — the paper's §IX scenario — the forged profile an
+// attacker serves from a hijacked slave.
+type Keyboard struct {
+	// GATT is the server exposing the profile.
+	GATT *gatt.Server
+
+	serviceChanged *gatt.Characteristic
+	report         *gatt.Characteristic
+}
+
+// NewKeyboardProfile builds the profile on a fresh GATT server (no
+// transport yet — wired when attached to a connection).
+func NewKeyboardProfile(name string) *Keyboard {
+	k := &Keyboard{}
+	k.GATT = gatt.NewServer(func([]byte) {})
+
+	// GAP service with the device name.
+	k.GATT.AddService(&gatt.Service{
+		UUID: att.UUID16(0x1800),
+		Characteristics: []*gatt.Characteristic{{
+			UUID: att.UUID16(0x2A00), Properties: gatt.PropRead, Value: []byte(name),
+		}},
+	})
+	// Generic Attribute service with Service Changed: the lever that makes
+	// an already-connected host rediscover and find the keyboard.
+	k.serviceChanged = &gatt.Characteristic{
+		UUID:       UUIDServiceChanged,
+		Properties: gatt.PropIndicate,
+		Value:      []byte{0x01, 0x00, 0xFF, 0xFF},
+	}
+	k.GATT.AddService(&gatt.Service{
+		UUID:            UUIDGATTService,
+		Characteristics: []*gatt.Characteristic{k.serviceChanged},
+	})
+	// The HID service itself.
+	k.report = &gatt.Characteristic{
+		UUID:       UUIDHIDReport,
+		Properties: gatt.PropRead | gatt.PropNotify,
+		Value:      make([]byte, 8),
+	}
+	k.GATT.AddService(&gatt.Service{
+		UUID: UUIDHIDService,
+		Characteristics: []*gatt.Characteristic{
+			{UUID: UUIDHIDProtocolMode, Properties: gatt.PropRead | gatt.PropWriteNoResponse, Value: []byte{0x01}},
+			k.report,
+			{UUID: UUIDHIDReportMap, Properties: gatt.PropRead, Value: bootKeyboardReportMap},
+			{UUID: UUIDHIDInformation, Properties: gatt.PropRead, Value: []byte{0x11, 0x01, 0x00, 0x02}},
+		},
+	})
+	return k
+}
+
+// IndicateServiceChanged tells the connected host to rediscover the whole
+// handle range.
+func (k *Keyboard) IndicateServiceChanged() {
+	k.GATT.ATT().Indicate(k.serviceChanged.ValueHandle, []byte{0x01, 0x00, 0xFF, 0xFF})
+}
+
+// SendReport pushes one 8-byte boot keyboard input report.
+func (k *Keyboard) SendReport(report [8]byte) {
+	k.GATT.Notify(k.report, report[:])
+}
+
+// ReportHandle returns the input report's value handle.
+func (k *Keyboard) ReportHandle() uint16 { return k.report.ValueHandle }
+
+// Subscribed reports whether the host enabled report notifications.
+func (k *Keyboard) Subscribed() bool { return k.report.Notifying() }
+
+// Type sends the key-down/key-up report pairs for a string.
+func (k *Keyboard) Type(text string) {
+	for _, r := range text {
+		usage, shift, ok := usageFor(r)
+		if !ok {
+			continue
+		}
+		var report [8]byte
+		if shift {
+			report[0] = 0x02 // left shift
+		}
+		report[2] = usage
+		k.SendReport(report)
+		k.SendReport([8]byte{}) // key release
+	}
+}
+
+// usageFor maps a rune to a boot-keyboard usage code.
+func usageFor(r rune) (usage byte, shift, ok bool) {
+	switch {
+	case r >= 'a' && r <= 'z':
+		return byte(r-'a') + 0x04, false, true
+	case r >= 'A' && r <= 'Z':
+		return byte(r-'A') + 0x04, true, true
+	case r == '1':
+		return 0x1E, false, true
+	case r >= '2' && r <= '9':
+		return byte(r-'2') + 0x1F, false, true
+	case r == '0':
+		return 0x27, false, true
+	case r == '\n':
+		return 0x28, false, true
+	case r == ' ':
+		return 0x2C, false, true
+	case r == '.':
+		return 0x37, false, true
+	case r == '/':
+		return 0x38, false, true
+	case r == '-':
+		return 0x2D, false, true
+	case r == ':':
+		return 0x33, true, true // shift+';'
+	default:
+		return 0, false, false
+	}
+}
+
+// DecodeBootReport converts an input report back to a rune (0 if none) —
+// the host side of the mapping, for the Computer model and tests.
+func DecodeBootReport(report []byte) rune {
+	if len(report) < 3 || report[2] == 0 {
+		return 0
+	}
+	shift := report[0]&0x22 != 0
+	u := report[2]
+	switch {
+	case u >= 0x04 && u <= 0x1D:
+		if shift {
+			return rune('A' + u - 0x04)
+		}
+		return rune('a' + u - 0x04)
+	case u == 0x1E:
+		return '1'
+	case u >= 0x1F && u <= 0x26:
+		return rune('2' + u - 0x1F)
+	case u == 0x27:
+		return '0'
+	case u == 0x28:
+		return '\n'
+	case u == 0x2C:
+		return ' '
+	case u == 0x37:
+		return '.'
+	case u == 0x38:
+		return '/'
+	case u == 0x2D:
+		return '-'
+	case u == 0x33:
+		if shift {
+			return ':'
+		}
+		return ';'
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,118 @@
+package devices
+
+import (
+	"strings"
+	"testing"
+
+	"injectable/internal/att"
+	"injectable/internal/gatt"
+)
+
+func TestKeyboardProfileStructure(t *testing.T) {
+	k := NewKeyboardProfile("TestKbd")
+	if k.GATT.FindCharacteristic(UUIDHIDReport) == nil {
+		t.Fatal("no report characteristic")
+	}
+	if k.GATT.FindCharacteristic(UUIDServiceChanged) == nil {
+		t.Fatal("no service changed characteristic")
+	}
+	rm := k.GATT.FindCharacteristic(UUIDHIDReportMap)
+	if rm == nil || len(rm.Value) == 0 {
+		t.Fatal("no report map")
+	}
+	if k.ReportHandle() == 0 {
+		t.Fatal("report handle unassigned")
+	}
+	if k.Subscribed() {
+		t.Fatal("subscribed before any host attached")
+	}
+}
+
+func TestKeyboardTypeRoundTrip(t *testing.T) {
+	// Wire the profile to a local ATT client and decode what it types.
+	k := NewKeyboardProfile("kbd")
+	var cli *att.Client
+	k.GATT.ATT().SetSend(func(b []byte) { cli.HandlePDU(b) })
+	srv := k.GATT
+	cli = att.NewClient(func(b []byte) { srv.HandlePDU(b) })
+
+	var typed strings.Builder
+	cli.OnNotification = func(handle uint16, v []byte) {
+		if r := DecodeBootReport(v); r != 0 {
+			typed.WriteRune(r)
+		}
+	}
+	// Subscribe to the report characteristic.
+	rc := &gatt.RemoteCharacteristic{
+		ValueHandle: k.ReportHandle(),
+		CCCDHandle:  k.GATT.FindCharacteristic(UUIDHIDReport).CCCDHandle,
+	}
+	gcli := gatt.NewClient(cli)
+	gcli.OnNotification = func(h uint16, v []byte) {
+		if r := DecodeBootReport(v); r != 0 {
+			typed.WriteRune(r)
+		}
+	}
+	gcli.Subscribe(rc, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !k.Subscribed() {
+		t.Fatal("CCCD write did not register")
+	}
+
+	const msg = "Hello World 123.\n"
+	k.Type(msg)
+	if got := typed.String(); got != msg {
+		t.Fatalf("typed %q, want %q", got, msg)
+	}
+}
+
+func TestUsageMapRoundTrip(t *testing.T) {
+	for _, r := range "abcxyz ABCXYZ 0123456789 .-/:\n" {
+		usage, shift, ok := usageFor(r)
+		if !ok {
+			t.Errorf("no usage for %q", r)
+			continue
+		}
+		report := []byte{0, 0, usage, 0, 0, 0, 0, 0}
+		if shift {
+			report[0] = 0x02
+		}
+		if got := DecodeBootReport(report); got != r {
+			t.Errorf("round trip %q -> %q", r, got)
+		}
+	}
+}
+
+func TestUsageForUnsupported(t *testing.T) {
+	if _, _, ok := usageFor('€'); ok {
+		t.Fatal("euro sign mapped")
+	}
+}
+
+func TestDecodeBootReportEdges(t *testing.T) {
+	if DecodeBootReport(nil) != 0 {
+		t.Fatal("nil report decoded")
+	}
+	if DecodeBootReport([]byte{0, 0, 0, 0, 0, 0, 0, 0}) != 0 {
+		t.Fatal("empty report decoded")
+	}
+	if DecodeBootReport([]byte{0, 0, 0xFF, 0, 0, 0, 0, 0}) != 0 {
+		t.Fatal("unknown usage decoded")
+	}
+}
+
+func TestServiceChangedIndication(t *testing.T) {
+	k := NewKeyboardProfile("kbd")
+	var got []byte
+	var cli *att.Client
+	k.GATT.ATT().SetSend(func(b []byte) { cli.HandlePDU(b) })
+	cli = att.NewClient(func(b []byte) { k.GATT.HandlePDU(b) })
+	cli.OnIndication = func(handle uint16, v []byte) { got = v }
+	k.IndicateServiceChanged()
+	if len(got) != 4 {
+		t.Fatalf("indication payload % x", got)
+	}
+}

@@ -1,0 +1,91 @@
+package devices
+
+import (
+	"injectable/internal/ble"
+	"injectable/internal/gatt"
+	"injectable/internal/host"
+	"injectable/internal/link"
+	"injectable/internal/sim"
+)
+
+// Smartphone models the legitimate Central of the paper's experiments: it
+// connects with a phone-typical Hop Interval (36 ≈ 45 ms), keeps the
+// connection open indefinitely and generates light periodic traffic —
+// exactly the long-lived connection InjectaBLE targets.
+type Smartphone struct {
+	Central *host.Central
+
+	cfg SmartphoneConfig
+
+	// writes to issue periodically once connected
+	activity *sim.Event
+}
+
+// SmartphoneConfig configures the phone model.
+type SmartphoneConfig struct {
+	// ConnParams overrides the default connection parameters.
+	ConnParams link.ConnParams
+	// ActivityInterval spaces periodic GATT activity (0 = 500 ms,
+	// negative = no periodic traffic).
+	ActivityInterval sim.Duration
+	// ActivityHandle is the characteristic handle to write periodically
+	// (0 = read the Device Name instead).
+	ActivityHandle uint16
+	// ActivityPayload is the payload written to ActivityHandle.
+	ActivityPayload []byte
+}
+
+// NewSmartphone builds the phone on a device.
+func NewSmartphone(dev *host.Device, cfg SmartphoneConfig) *Smartphone {
+	if cfg.ConnParams.Interval == 0 {
+		cfg.ConnParams.Interval = 36
+	}
+	if cfg.ActivityInterval == 0 {
+		cfg.ActivityInterval = 500 * sim.Millisecond
+	}
+	p := &Smartphone{cfg: cfg}
+	p.Central = host.NewCentral(dev, host.CentralConfig{ConnParams: cfg.ConnParams})
+	return p
+}
+
+// Connect establishes the long-lived connection and starts activity.
+func (p *Smartphone) Connect(target ble.Address) {
+	userOnConnect := p.Central.OnConnect
+	p.Central.OnConnect = func(conn *link.Conn) {
+		if userOnConnect != nil {
+			userOnConnect(conn)
+		}
+		p.scheduleActivity()
+	}
+	p.Central.Connect(target)
+}
+
+// GATT returns the phone's GATT client.
+func (p *Smartphone) GATT() *gatt.Client { return p.Central.GATT() }
+
+// scheduleActivity issues periodic GATT traffic while connected.
+func (p *Smartphone) scheduleActivity() {
+	if p.cfg.ActivityInterval < 0 || !p.Central.Connected() {
+		return
+	}
+	sched := p.Central.Device.World.Sched
+	p.activity = sched.After(p.cfg.ActivityInterval, "phone:activity", func() {
+		if !p.Central.Connected() {
+			return
+		}
+		if p.cfg.ActivityHandle != 0 {
+			p.Central.GATT().WriteCommand(p.cfg.ActivityHandle, p.cfg.ActivityPayload)
+		} else {
+			// Default: poll the Device Name (handle 2 in our peripherals).
+			p.Central.GATT().Read(2, func([]byte, error) {})
+		}
+		p.scheduleActivity()
+	})
+}
+
+// StopActivity cancels periodic traffic.
+func (p *Smartphone) StopActivity() {
+	if p.activity != nil {
+		p.Central.Device.World.Sched.Cancel(p.activity)
+	}
+}

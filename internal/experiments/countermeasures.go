@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+
+	"injectable/internal/devices"
+	"injectable/internal/host"
+	"injectable/internal/injectable"
+	"injectable/internal/link"
+	"injectable/internal/sim"
+)
+
+// WideningReductionOutcome reports one point of the §VIII widening-
+// reduction countermeasure sweep: attack difficulty versus baseline
+// connection reliability at a given window scale.
+type WideningReductionOutcome struct {
+	Scale float64
+	// Attack metrics over n attacked connections.
+	InjectionFailures int
+	AttackStats       Stats
+	// Reliability metric over n clean connections: fraction of slave
+	// events missed (the paper's warned "side effects on the reliability
+	// and stability").
+	CleanMissRate float64
+	// CleanDrops counts clean connections that died within the window.
+	CleanDrops int
+}
+
+// WideningReduction sweeps the slave's receive-window scale (the paper's
+// first countermeasure: "reducing the duration of the widening windows")
+// and measures both how much harder injection gets and what it costs in
+// legitimate reliability.
+func WideningReduction(n int, seedBase uint64, progress func(i int)) ([]WideningReductionOutcome, error) {
+	var out []WideningReductionOutcome
+	step := 0
+	for _, scale := range []float64{1.0, 0.5, 0.25, 0.1} {
+		o := WideningReductionOutcome{Scale: scale}
+
+		// Attack runs.
+		for i := 0; i < n; i++ {
+			res, err := runScaledTrial(seedBase+uint64(step*1000+i), scale)
+			if err != nil {
+				return nil, err
+			}
+			if res.Success {
+				o.AttackStats.Add(res.Attempts)
+			} else {
+				o.InjectionFailures++
+			}
+			if progress != nil {
+				progress(step*n + i)
+			}
+		}
+
+		// Clean reliability runs.
+		missed, total, drops := 0, 0, 0
+		for i := 0; i < n; i++ {
+			m, tt, dropped, err := runCleanScaled(seedBase+uint64(step*1000+500+i), scale)
+			if err != nil {
+				return nil, err
+			}
+			missed += m
+			total += tt
+			if dropped {
+				drops++
+			}
+		}
+		if total > 0 {
+			o.CleanMissRate = float64(missed) / float64(total)
+		}
+		o.CleanDrops = drops
+		out = append(out, o)
+		step++
+	}
+	return out, nil
+}
+
+// runScaledTrial is one injection trial with a widening-scaled slave.
+func runScaledTrial(seed uint64, scale float64) (TrialResult, error) {
+	bulbPos, centralPos, attackerPos := trianglePositions()
+	w := host.NewWorld(host.WorldConfig{Seed: seed})
+	bulb := devices.NewLightbulb(w.NewDevice(host.DeviceConfig{
+		Name: "bulb", Position: bulbPos, WideningScale: scale,
+	}))
+	phone := devices.NewSmartphone(w.NewDevice(host.DeviceConfig{
+		Name: "central", Position: centralPos,
+	}), devices.SmartphoneConfig{
+		ConnParams: link.ConnParams{Interval: 36}, ActivityInterval: -1,
+	})
+	atk := w.NewDevice(host.DeviceConfig{
+		Name: "attacker", Position: attackerPos,
+		ClockPPM: 20, ClockJitter: 500 * sim.Nanosecond,
+	})
+	a := injectable.NewAttacker(atk.Stack, injectable.InjectorConfig{MaxAttempts: 60})
+
+	a.Sniffer.Start()
+	bulb.Peripheral.StartAdvertising()
+	phone.Connect(bulb.Peripheral.Device.Address())
+	w.RunFor(3 * sim.Second)
+	if !phone.Central.Connected() || !a.Sniffer.Following() {
+		// An over-shrunk window may break even connection setup — that is
+		// the countermeasure's cost, reported as an injection failure with
+		// a dead connection.
+		return TrialResult{}, nil
+	}
+	var rep *injectable.Report
+	err := a.InjectWrite(bulb.ControlHandle(), devices.PowerCommand(true),
+		func(r injectable.Report) { rep = &r })
+	if err != nil {
+		return TrialResult{}, err
+	}
+	w.RunFor(60 * sim.Second)
+	if rep == nil {
+		return TrialResult{}, fmt.Errorf("experiments: scaled trial did not settle")
+	}
+	return TrialResult{Success: rep.Success && bulb.On, Attempts: rep.AttemptCount()}, nil
+}
+
+// runCleanScaled measures a clean connection's slave miss rate under the
+// scaled window.
+func runCleanScaled(seed uint64, scale float64) (missed, total int, dropped bool, err error) {
+	bulbPos, centralPos, _ := trianglePositions()
+	w := host.NewWorld(host.WorldConfig{Seed: seed})
+	bulb := devices.NewLightbulb(w.NewDevice(host.DeviceConfig{
+		Name: "bulb", Position: bulbPos, WideningScale: scale,
+	}))
+	phone := devices.NewSmartphone(w.NewDevice(host.DeviceConfig{
+		Name: "central", Position: centralPos,
+	}), devices.SmartphoneConfig{
+		ConnParams: link.ConnParams{Interval: 36}, ActivityInterval: -1,
+	})
+	bulb.Peripheral.StartAdvertising()
+	phone.Connect(bulb.Peripheral.Device.Address())
+	w.RunFor(2 * sim.Second)
+	conn := bulb.Peripheral.Conn()
+	if conn == nil {
+		return 0, 1, true, nil
+	}
+	conn.OnEvent = func(e link.EventInfo) {
+		total++
+		if e.Missed {
+			missed++
+		}
+	}
+	w.RunFor(20 * sim.Second)
+	dropped = !phone.Central.Connected() || !bulb.Peripheral.Connected()
+	return missed, total, dropped, nil
+}
+
+// WideningReductionTable renders the sweep.
+func WideningReductionTable(outs []WideningReductionOutcome, n int) *Table {
+	t := &Table{
+		Title: "§VIII countermeasure — shrinking the receive-window widening",
+		Header: []string{"window scale", "injection failures", "mean attempts (when successful)",
+			"clean miss rate", "clean drops"},
+		Notes: []string{
+			fmt.Sprintf("%d attacked + %d clean connections per scale", n, n),
+			"paper: smaller windows mechanically reduce injection success, at the cost of link stability",
+		},
+	}
+	for _, o := range outs {
+		mean := "-"
+		if o.AttackStats.N() > 0 {
+			mean = fmt.Sprintf("%.2f", o.AttackStats.Mean())
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", o.Scale),
+			fmt.Sprintf("%d/%d", o.InjectionFailures, n),
+			mean,
+			fmt.Sprintf("%.1f%%", 100*o.CleanMissRate),
+			fmt.Sprintf("%d/%d", o.CleanDrops, n),
+		})
+	}
+	return t
+}
+
+// AppLayerCryptoOutcome demonstrates the §VIII anti-pattern: application-
+// layer payload authentication stops scenario A but not the LL-control
+// attacks.
+type AppLayerCryptoOutcome struct {
+	// WriteInjectionExecuted: did a forged vendor write execute? (must be
+	// false — the app layer rejects unauthenticated payloads).
+	WriteInjectionExecuted bool
+	// SlaveHijacked: did LL_TERMINATE_IND still expel the device? (true —
+	// LL control frames are not covered by GATT-layer crypto).
+	SlaveHijacked bool
+	// MasterStillServed: the attacker serves the master after the hijack.
+	MasterStillServed bool
+}
+
+// RunAppLayerCrypto models a vendor that authenticates its GATT payloads
+// (a MAC the attacker cannot forge) instead of enabling LL encryption.
+func RunAppLayerCrypto(seed uint64) (AppLayerCryptoOutcome, error) {
+	var out AppLayerCryptoOutcome
+	s, err := newScene("lightbulb", seed, false)
+	if err != nil {
+		return out, err
+	}
+	// Application-layer authentication: the bulb ignores command payloads
+	// lacking the vendor MAC (which the attacker cannot compute).
+	authenticated := func(v []byte) bool {
+		return len(v) > 2 && v[len(v)-1] == 0xA7 && v[len(v)-2] == 0x55
+	}
+	executed := false
+	s.bulb.Peripheral.GATT.FindCharacteristic(devices.UUIDBulbControl).OnWrite = func(v []byte) {
+		if authenticated(v) {
+			executed = true
+		}
+	}
+	if err := s.connect(); err != nil {
+		return out, err
+	}
+
+	// Scenario A against the protected payload: the write lands but the
+	// application discards it.
+	var rep *injectable.Report
+	err = s.attacker.InjectWrite(s.bulb.ControlHandle(), devices.PowerCommand(true),
+		func(r injectable.Report) { rep = &r })
+	if err != nil {
+		return out, err
+	}
+	s.w.RunFor(40 * sim.Second)
+	out.WriteInjectionExecuted = executed
+	if rep == nil || !rep.Success {
+		return out, fmt.Errorf("experiments: injection itself failed")
+	}
+
+	// Scenario B still works: LL control frames bypass GATT-layer crypto.
+	var hijack *injectable.SlaveHijack
+	err = s.attacker.HijackSlave(forgedNameServer(), func(h *injectable.SlaveHijack, e error) {
+		if e == nil {
+			hijack = h
+		}
+	})
+	if err != nil {
+		return out, err
+	}
+	s.w.RunFor(40 * sim.Second)
+	out.SlaveHijacked = hijack != nil && !s.target.Connected()
+	out.MasterStillServed = s.phone.Central.Connected()
+	return out, nil
+}
+
+// AppLayerCryptoTable renders the anti-pattern demonstration.
+func AppLayerCryptoTable(o AppLayerCryptoOutcome) *Table {
+	return &Table{
+		Title:  "§VIII anti-pattern — application-layer crypto instead of LL encryption",
+		Header: []string{"forged write executed", "slave still hijacked", "master served by attacker"},
+		Rows: [][]string{{
+			fmt.Sprintf("%t (app MAC rejected it)", o.WriteInjectionExecuted),
+			fmt.Sprintf("%t (LL_TERMINATE_IND is not covered)", o.SlaveHijacked),
+			fmt.Sprintf("%t", o.MasterStillServed),
+		}},
+		Notes: []string{
+			"paper: \"we strongly advise against this solution, since in this case the LL control",
+			"frames will not be encrypted\"",
+		},
+	}
+}

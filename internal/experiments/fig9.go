@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+
+	"injectable/internal/phy"
+)
+
+// Options tunes experiment volume (the paper runs 25 connections per
+// configuration; tests may use fewer).
+type Options struct {
+	// TrialsPerPoint is the number of connections per configuration
+	// (0 = 25, as in the paper).
+	TrialsPerPoint int
+	// SeedBase decorrelates repeated runs.
+	SeedBase uint64
+	// Progress observes completed trials.
+	Progress func(point string, trial int)
+}
+
+func (o *Options) applyDefaults() {
+	if o.TrialsPerPoint == 0 {
+		o.TrialsPerPoint = 25
+	}
+	if o.SeedBase == 0 {
+		o.SeedBase = 1000
+	}
+}
+
+// trianglePositions places bulb, central and attacker on the paper's
+// equilateral triangle with 2 m edges (Fig. 8 left).
+func trianglePositions() (bulb, central, attacker phy.Position) {
+	return phy.Position{X: 0, Y: 0}, phy.Position{X: 2, Y: 0}, phy.Position{X: 1, Y: 1.732}
+}
+
+// Point is one configuration's result within an experiment series.
+type Point struct {
+	Label  string
+	Series SeriesResult
+}
+
+// Experiment is one reproduced figure panel.
+type Experiment struct {
+	ID     string
+	Title  string
+	XLabel string
+	Points []Point
+	Notes  []string
+}
+
+// Table renders the experiment as a stats table with ASCII boxplots.
+func (e *Experiment) Table() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("%s — %s", e.ID, e.Title),
+		Header: append(append([]string{e.XLabel}, StatsHeader()...), "fail", "boxplot(0..max)"),
+		Notes:  e.Notes,
+	}
+	for _, p := range e.Points {
+		row := append([]string{p.Label}, p.Series.Stats.Row()...)
+		row = append(row, fmt.Sprintf("%d", p.Series.Failures), p.Series.Stats.Boxplot(24))
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Experiment1HopInterval reproduces Fig. 9, experiment 1: attempts before
+// a successful injection vs Hop Interval ∈ {25,50,75,100,125,150}, on the
+// 2 m equilateral triangle, injecting the 22-byte turn-off frame.
+//
+// Expected shape (paper §VII-A): success for every connection; variance
+// shrinking as the interval grows from 25 to 100 and stabilising; medians
+// below ≈4.
+func Experiment1HopInterval(opts Options) (*Experiment, error) {
+	opts.applyDefaults()
+	bulb, central, attacker := trianglePositions()
+	exp := &Experiment{
+		ID:     "fig9-exp1",
+		Title:  "attempts before successful injection vs Hop Interval",
+		XLabel: "hopInterval",
+		Notes: []string{
+			"paper: injection always succeeds; variance decreases 25→100 then stabilises; median < 4",
+		},
+	}
+	for i, interval := range []uint16{25, 50, 75, 100, 125, 150} {
+		cfg := TrialConfig{
+			Interval:    interval,
+			Payload:     PayloadPowerOff,
+			BulbPos:     bulb,
+			CentralPos:  central,
+			AttackerPos: attacker,
+		}
+		label := fmt.Sprintf("%d", interval)
+		series, err := RunSeries(cfg, opts.TrialsPerPoint, opts.SeedBase+uint64(i)*1000,
+			func(t int) { opts.progress(label, t) })
+		if err != nil {
+			return nil, err
+		}
+		exp.Points = append(exp.Points, Point{Label: label, Series: series})
+	}
+	return exp, nil
+}
+
+// Experiment2PayloadSize reproduces Fig. 9, experiment 2: attempts vs the
+// injected frame's PDU size ∈ {4,9,14,16} bytes at Hop Interval 75.
+//
+// Expected shape (paper §VII-B): higher reliability as the payload
+// shrinks; medians below ≈3.
+func Experiment2PayloadSize(opts Options) (*Experiment, error) {
+	opts.applyDefaults()
+	bulb, central, attacker := trianglePositions()
+	exp := &Experiment{
+		ID:     "fig9-exp2",
+		Title:  "attempts before successful injection vs payload size (Hop Interval 75)",
+		XLabel: "payload",
+		Notes: []string{
+			"paper: reliability increases as payload shrinks (smaller collision overlap); median < 3",
+		},
+	}
+	for i, payload := range []Payload{PayloadTerminate, PayloadToggle, PayloadPowerOff, PayloadColor} {
+		cfg := TrialConfig{
+			Interval:    75,
+			Payload:     payload,
+			BulbPos:     bulb,
+			CentralPos:  central,
+			AttackerPos: attacker,
+		}
+		label := payload.String()
+		series, err := RunSeries(cfg, opts.TrialsPerPoint, opts.SeedBase+10000+uint64(i)*1000,
+			func(t int) { opts.progress(label, t) })
+		if err != nil {
+			return nil, err
+		}
+		exp.Points = append(exp.Points, Point{Label: label, Series: series})
+	}
+	return exp, nil
+}
+
+// distancePositions places the attacker d metres from the bulb, on the
+// opposite side of the phone (Fig. 8 right: positions A–F).
+func distancePositions(d float64) (bulb, central, attacker phy.Position) {
+	return phy.Position{X: 0, Y: 0}, phy.Position{X: 2, Y: 0}, phy.Position{X: -d, Y: 0}
+}
+
+// Experiment3Distance reproduces Fig. 9, experiment 3: attempts vs the
+// attacker–peripheral distance ∈ {1,2,4,6,8,10} m, with a smartphone
+// central 2 m away at its default Hop Interval 36 and the 22-byte frame.
+//
+// Expected shape (paper §VII-C): attempts and variance grow with distance,
+// yet every connection is eventually injected — even at 10 m when the
+// master sits at 2 m.
+func Experiment3Distance(opts Options) (*Experiment, error) {
+	opts.applyDefaults()
+	exp := &Experiment{
+		ID:     "fig9-exp3",
+		Title:  "attempts before successful injection vs attacker distance (smartphone master)",
+		XLabel: "distance",
+		Notes: []string{
+			"paper: variance increases with distance; injection still succeeds from every position (A–F)",
+		},
+	}
+	positions := []struct {
+		label string
+		d     float64
+	}{
+		{"A:1m", 1}, {"B:2m", 2}, {"C:4m", 4}, {"D:6m", 6}, {"E:8m", 8}, {"F:10m", 10},
+	}
+	for i, p := range positions {
+		bulb, central, attacker := distancePositions(p.d)
+		cfg := TrialConfig{
+			Interval:    36,
+			Payload:     PayloadPowerOff,
+			BulbPos:     bulb,
+			CentralPos:  central,
+			AttackerPos: attacker,
+			PhoneGrade:  true,
+		}
+		series, err := RunSeries(cfg, opts.TrialsPerPoint, opts.SeedBase+20000+uint64(i)*1000,
+			func(t int) { opts.progress(p.label, t) })
+		if err != nil {
+			return nil, err
+		}
+		exp.Points = append(exp.Points, Point{Label: p.label, Series: series})
+	}
+	return exp, nil
+}
+
+// Experiment3Wall reproduces Fig. 9, experiment 3 (wall variant):
+// attacker behind an interior wall at {2,4,6,8} m.
+//
+// Expected shape (paper §VII-C): the wall costs extra attempts and the
+// variance grows with distance, but every connection is still injectable.
+func Experiment3Wall(opts Options) (*Experiment, error) {
+	opts.applyDefaults()
+	exp := &Experiment{
+		ID:     "fig9-exp3wall",
+		Title:  "attempts before successful injection vs distance behind a wall",
+		XLabel: "distance",
+		Notes: []string{
+			"paper: more attempts than open air at the same distance; still succeeds in the worst case",
+		},
+	}
+	for i, d := range []float64{2, 4, 6, 8} {
+		bulb, central, attacker := distancePositions(d)
+		wall := phy.Wall{
+			A:    phy.Position{X: -0.5, Y: -10},
+			B:    phy.Position{X: -0.5, Y: 10},
+			Loss: phy.DefaultWallLoss,
+		}
+		cfg := TrialConfig{
+			Interval:    36,
+			Payload:     PayloadPowerOff,
+			BulbPos:     bulb,
+			CentralPos:  central,
+			AttackerPos: attacker,
+			Walls:       []phy.Wall{wall},
+			PhoneGrade:  true,
+		}
+		label := fmt.Sprintf("%gm+wall", d)
+		series, err := RunSeries(cfg, opts.TrialsPerPoint, opts.SeedBase+30000+uint64(i)*1000,
+			func(t int) { opts.progress(label, t) })
+		if err != nil {
+			return nil, err
+		}
+		exp.Points = append(exp.Points, Point{Label: label, Series: series})
+	}
+	return exp, nil
+}
+
+// progress is a nil-safe progress call.
+func (o *Options) progress(point string, trial int) {
+	if o.Progress != nil {
+		o.Progress(point, trial)
+	}
+}

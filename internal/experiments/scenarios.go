@@ -1,0 +1,494 @@
+package experiments
+
+import (
+	"fmt"
+
+	"injectable/internal/att"
+	"injectable/internal/ble/pdu"
+	"injectable/internal/devices"
+	"injectable/internal/gatt"
+	"injectable/internal/host"
+	"injectable/internal/ids"
+	"injectable/internal/injectable"
+	"injectable/internal/link"
+	"injectable/internal/sim"
+)
+
+// scene bundles one attack-scenario world: a target device, a smartphone
+// central, an attacker and an optional IDS.
+type scene struct {
+	w        *host.World
+	attacker *injectable.Attacker
+	phone    *devices.Smartphone
+	monitor  *ids.Monitor
+
+	bulb  *devices.Lightbulb
+	fob   *devices.Keyfob
+	watch *devices.Smartwatch
+
+	target     *host.Peripheral
+	targetName string
+}
+
+// newScene builds the triangle topology around the named target device
+// ("lightbulb", "keyfob" or "smartwatch").
+func newScene(target string, seed uint64, withIDS bool) (*scene, error) {
+	w := host.NewWorld(host.WorldConfig{Seed: seed})
+	s := &scene{w: w, targetName: target}
+	bulbPos, centralPos, attackerPos := trianglePositions()
+
+	dev := w.NewDevice(host.DeviceConfig{Name: target, Position: bulbPos})
+	switch target {
+	case "lightbulb":
+		s.bulb = devices.NewLightbulb(dev)
+		s.target = s.bulb.Peripheral
+	case "keyfob":
+		s.fob = devices.NewKeyfob(dev)
+		s.target = s.fob.Peripheral
+	case "smartwatch":
+		s.watch = devices.NewSmartwatch(dev)
+		s.target = s.watch.Peripheral
+	default:
+		return nil, fmt.Errorf("experiments: unknown target %q", target)
+	}
+	s.phone = devices.NewSmartphone(w.NewDevice(host.DeviceConfig{
+		Name: "phone", Position: centralPos,
+	}), devices.SmartphoneConfig{ActivityInterval: -1})
+	atk := w.NewDevice(host.DeviceConfig{
+		Name: "attacker", Position: attackerPos,
+		ClockPPM: 20, ClockJitter: 500 * sim.Nanosecond,
+	})
+	s.attacker = injectable.NewAttacker(atk.Stack, injectable.InjectorConfig{})
+	if withIDS {
+		s.monitor = ids.New(ids.Config{})
+		w.Medium.AddObserver(s.monitor)
+	}
+	return s, nil
+}
+
+// connect brings the connection up with the attacker synchronised.
+func (s *scene) connect() error {
+	s.attacker.Sniffer.Start()
+	s.target.StartAdvertising()
+	s.phone.Connect(s.target.Device.Address())
+	s.w.RunFor(3 * sim.Second)
+	if !s.phone.Central.Connected() {
+		return fmt.Errorf("experiments: connection failed")
+	}
+	if !s.attacker.Sniffer.Following() {
+		return fmt.Errorf("experiments: sniffer failed to sync")
+	}
+	return nil
+}
+
+// featureTrigger returns the scenario-A feature write for the scene's
+// target, plus a ground-truth check.
+func (s *scene) featureTrigger() (handle uint16, value []byte, verify func() bool, desc string) {
+	switch s.targetName {
+	case "lightbulb":
+		return s.bulb.ControlHandle(), devices.PowerCommand(true),
+			func() bool { return s.bulb.On }, "turn bulb on"
+	case "keyfob":
+		return s.fob.AlertHandle(), devices.RingCommand(),
+			func() bool { return s.fob.Ringing }, "make keyfob ring"
+	default:
+		return s.watch.SMSHandle(), []byte("Forged SMS"),
+			func() bool {
+				for _, m := range s.watch.Messages {
+					if m == "Forged SMS" {
+						return true
+					}
+				}
+				return false
+			}, "forge SMS to watch"
+	}
+}
+
+// ScenarioOutcome reports one scenario run against one device.
+type ScenarioOutcome struct {
+	Target   string
+	Success  bool
+	Attempts int
+	Detail   string
+	// IDS counters (when a monitor was attached).
+	IDSAlerts map[ids.AlertKind]int
+}
+
+// idsCounts snapshots the monitor's alert counts.
+func (s *scene) idsCounts() map[ids.AlertKind]int {
+	if s.monitor == nil {
+		return nil
+	}
+	out := make(map[ids.AlertKind]int)
+	for _, a := range s.monitor.Alerts() {
+		out[a.Kind]++
+	}
+	return out
+}
+
+// forgedNameServer builds the §VI-B impostor profile: Device Name "Hacked".
+func forgedNameServer() *gatt.Server {
+	srv := gatt.NewServer(func([]byte) {})
+	srv.AddService(&gatt.Service{
+		UUID: att.UUID16(0x1800),
+		Characteristics: []*gatt.Characteristic{{
+			UUID: att.UUID16(0x2A00), Properties: gatt.PropRead, Value: []byte("Hacked"),
+		}},
+	})
+	return srv
+}
+
+// ScenarioTargets lists the paper's three commercial devices.
+func ScenarioTargets() []string { return []string{"lightbulb", "keyfob", "smartwatch"} }
+
+// RunScenarioA injects a feature-trigger write into the target (§VI-A).
+func RunScenarioA(target string, seed uint64, withIDS bool) (ScenarioOutcome, error) {
+	s, err := newScene(target, seed, withIDS)
+	if err != nil {
+		return ScenarioOutcome{}, err
+	}
+	if err := s.connect(); err != nil {
+		return ScenarioOutcome{}, err
+	}
+	handle, value, verify, desc := s.featureTrigger()
+	var rep *injectable.Report
+	if err := s.attacker.InjectWrite(handle, value, func(r injectable.Report) { rep = &r }); err != nil {
+		return ScenarioOutcome{}, err
+	}
+	s.w.RunFor(60 * sim.Second)
+	out := ScenarioOutcome{Target: target, Detail: desc, IDSAlerts: s.idsCounts()}
+	if rep != nil {
+		out.Attempts = rep.AttemptCount()
+		out.Success = rep.Success && verify()
+	}
+	return out, nil
+}
+
+// RunScenarioB expels the slave and serves a "Hacked" device name (§VI-B).
+func RunScenarioB(target string, seed uint64, withIDS bool) (ScenarioOutcome, error) {
+	s, err := newScene(target, seed, withIDS)
+	if err != nil {
+		return ScenarioOutcome{}, err
+	}
+	if err := s.connect(); err != nil {
+		return ScenarioOutcome{}, err
+	}
+	srv := forgedNameServer()
+	var hijack *injectable.SlaveHijack
+	var herr error
+	err = s.attacker.HijackSlave(srv, func(h *injectable.SlaveHijack, e error) { hijack, herr = h, e })
+	if err != nil {
+		return ScenarioOutcome{}, err
+	}
+	s.w.RunFor(40 * sim.Second)
+	out := ScenarioOutcome{Target: target, Detail: "slave hijack + forged name", IDSAlerts: s.idsCounts()}
+	if herr != nil || hijack == nil {
+		return out, nil
+	}
+	out.Attempts = hijack.Report.AttemptCount()
+
+	// Verify: legitimate slave expelled, master alive, forged name served.
+	var name []byte
+	s.phone.GATT().Read(3, func(v []byte, err error) {
+		if err == nil {
+			name = v
+		}
+	})
+	s.w.RunFor(5 * sim.Second)
+	out.Success = !s.target.Connected() && s.phone.Central.Connected() && string(name) == "Hacked"
+	return out, nil
+}
+
+// RunScenarioC splits the slave off with a forged CONNECTION_UPDATE and
+// hijacks the master role (§VI-C).
+func RunScenarioC(target string, seed uint64, withIDS bool) (ScenarioOutcome, error) {
+	s, err := newScene(target, seed, withIDS)
+	if err != nil {
+		return ScenarioOutcome{}, err
+	}
+	if err := s.connect(); err != nil {
+		return ScenarioOutcome{}, err
+	}
+	var hijack *injectable.MasterHijack
+	var herr error
+	err = s.attacker.HijackMaster(injectable.UpdateParams{},
+		func(h *injectable.MasterHijack, e error) { hijack, herr = h, e })
+	if err != nil {
+		return ScenarioOutcome{}, err
+	}
+	s.w.RunFor(60 * sim.Second)
+	out := ScenarioOutcome{Target: target, Detail: "master hijack via forged update", IDSAlerts: s.idsCounts()}
+	if herr != nil || hijack == nil {
+		return out, nil
+	}
+	out.Attempts = hijack.Report.AttemptCount()
+
+	// Verify: attacker owns the slave, legitimate master timed out, and a
+	// scenario-A feature can be triggered through the hijacked role.
+	handle, value, verify, _ := s.featureTrigger()
+	hijack.Client.Write(handle, value, func(error) {})
+	s.w.RunFor(10 * sim.Second)
+	out.Success = !hijack.Conn.Closed() && s.target.Connected() &&
+		!s.phone.Central.Connected() && verify()
+	return out, nil
+}
+
+// RunScenarioD establishes the MITM and rewrites traffic on the fly
+// (§VI-D): for the smartwatch an SMS is mutated; for the others a write
+// payload is flipped.
+func RunScenarioD(target string, seed uint64, withIDS bool) (ScenarioOutcome, error) {
+	s, err := newScene(target, seed, withIDS)
+	if err != nil {
+		return ScenarioOutcome{}, err
+	}
+	if err := s.connect(); err != nil {
+		return ScenarioOutcome{}, err
+	}
+	mutated := false
+	mutate := func(p pdu.DataPDU) (pdu.DataPDU, bool) {
+		// Flip any 0xAA byte in relayed payloads to 0xBB.
+		for i, b := range p.Payload {
+			if b == 0xAA {
+				p.Payload[i] = 0xBB
+				mutated = true
+			}
+		}
+		return p, true
+	}
+	var session *injectable.MITM
+	var merr error
+	err = s.attacker.ManInTheMiddle(injectable.UpdateParams{},
+		injectable.MITMConfig{OnMasterToSlave: mutate},
+		func(m *injectable.MITM, e error) { session, merr = m, e })
+	if err != nil {
+		return ScenarioOutcome{}, err
+	}
+	s.w.RunFor(60 * sim.Second)
+	out := ScenarioOutcome{Target: target, Detail: "MITM with on-the-fly mutation", IDSAlerts: s.idsCounts()}
+	if merr != nil || session == nil || session.Closed() {
+		return out, nil
+	}
+	out.Attempts = session.Report.AttemptCount()
+
+	// Send traffic carrying the 0xAA marker through the MITM.
+	handle, _, _, _ := s.featureTrigger()
+	var gotAtSlave []byte
+	switch s.targetName {
+	case "lightbulb":
+		s.bulb.Peripheral.GATT.FindCharacteristic(devices.UUIDBulbControl).OnWrite = func(v []byte) {
+			gotAtSlave = append([]byte(nil), v...)
+		}
+	case "keyfob":
+		s.fob.Peripheral.GATT.FindCharacteristic(devices.UUIDAlertLevel).OnWrite = func(v []byte) {
+			gotAtSlave = append([]byte(nil), v...)
+		}
+	default:
+		s.watch.Peripheral.GATT.FindCharacteristic(devices.UUIDWatchSMS).OnWrite = func(v []byte) {
+			gotAtSlave = append([]byte(nil), v...)
+		}
+	}
+	s.phone.GATT().WriteCommand(handle, []byte{0xAA, 0xAA})
+	s.w.RunFor(10 * sim.Second)
+
+	rewritten := len(gotAtSlave) == 2 && gotAtSlave[0] == 0xBB && gotAtSlave[1] == 0xBB
+	out.Success = mutated && rewritten &&
+		s.phone.Central.Connected() && s.target.Connected()
+	return out, nil
+}
+
+// EncryptionOutcome reports the countermeasure experiment.
+type EncryptionOutcome struct {
+	// Paired reports pairing + encryption succeeded before the attack.
+	Paired bool
+	// FeatureTriggered: the injected write executed (must be false).
+	FeatureTriggered bool
+	// ConnectionDropped: the MIC failure tore the link down (the residual
+	// DoS impact).
+	ConnectionDropped bool
+}
+
+// RunEncryptedInjection pairs the devices, encrypts the link, then runs an
+// injection: the paper's claim is confidentiality/integrity hold and only
+// availability is lost (§IV).
+func RunEncryptedInjection(seed uint64) (EncryptionOutcome, error) {
+	s, err := newScene("lightbulb", seed, false)
+	if err != nil {
+		return EncryptionOutcome{}, err
+	}
+	if err := s.connect(); err != nil {
+		return EncryptionOutcome{}, err
+	}
+	var out EncryptionOutcome
+	if err := s.phone.Central.Pair(); err != nil {
+		return out, err
+	}
+	s.w.RunFor(5 * sim.Second)
+	out.Paired = s.phone.Central.Connected() && s.phone.Central.Conn().Encrypted()
+	if !out.Paired {
+		return out, nil
+	}
+	dropped := false
+	s.target.OnDisconnect = func(r link.DisconnectReason) {
+		if r.Code == pdu.ErrCodeMICFailure {
+			dropped = true
+		}
+	}
+	var rep *injectable.Report
+	err = s.attacker.InjectWrite(s.bulb.ControlHandle(), devices.PowerCommand(true),
+		func(r injectable.Report) { rep = &r })
+	if err != nil {
+		return out, err
+	}
+	s.w.RunFor(60 * sim.Second)
+	out.FeatureTriggered = s.bulb.On
+	out.ConnectionDropped = dropped
+	_ = rep
+	return out, nil
+}
+
+// ScenarioTable renders scenario outcomes across targets.
+func ScenarioTable(id, title string, outcomes []ScenarioOutcome) *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("%s — %s", id, title),
+		Header: []string{"target", "success", "injection attempts", "detail"},
+	}
+	for _, o := range outcomes {
+		t.Rows = append(t.Rows, []string{
+			o.Target, fmt.Sprintf("%t", o.Success), fmt.Sprintf("%d", o.Attempts), o.Detail,
+		})
+	}
+	return t
+}
+
+// Fig8Topology renders the experimental setup of Fig. 8 as text.
+func Fig8Topology() *Table {
+	bulb, central, attacker := trianglePositions()
+	t := &Table{
+		Title:  "fig8 — experimental setup",
+		Header: []string{"device", "position", "role"},
+		Rows: [][]string{
+			{"peripheral (bulb)", bulb.String(), "slave / injection target"},
+			{"central (phone)", central.String(), "master, 2 m from peripheral"},
+			{"attacker", attacker.String(), "equilateral triangle, 2 m edges"},
+		},
+		Notes: []string{
+			"experiment 3 moves the attacker to (-d, 0) for d in {1,2,4,6,8,10} m (positions A–F)",
+			"the wall variant adds a 7 dB wall at x = -0.5 m",
+		},
+	}
+	for _, d := range []float64{1, 2, 4, 6, 8, 10} {
+		_, _, atk := distancePositions(d)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("attacker pos %c", 'A'+int(map[float64]int{1: 0, 2: 1, 4: 2, 6: 3, 8: 4, 10: 5}[d])),
+			atk.String(), fmt.Sprintf("%g m from peripheral", d),
+		})
+	}
+	return t
+}
+
+// RunScenarioKeystrokes realises the paper's §IX future-work scenario:
+// hijack the slave, present a HID keyboard via Service Changed, and inject
+// keystrokes into the connected host.
+func RunScenarioKeystrokes(seed uint64, withIDS bool) (ScenarioOutcome, error) {
+	w := host.NewWorld(host.WorldConfig{Seed: seed})
+	bulbPos, centralPos, attackerPos := trianglePositions()
+	fob := devices.NewKeyfob(w.NewDevice(host.DeviceConfig{Name: "keyfob", Position: bulbPos}))
+	computer := devices.NewComputer(w.NewDevice(host.DeviceConfig{Name: "laptop", Position: centralPos}))
+	atk := w.NewDevice(host.DeviceConfig{
+		Name: "attacker", Position: attackerPos,
+		ClockPPM: 20, ClockJitter: 500 * sim.Nanosecond,
+	})
+	attacker := injectable.NewAttacker(atk.Stack, injectable.InjectorConfig{})
+	var monitor *ids.Monitor
+	if withIDS {
+		monitor = ids.New(ids.Config{})
+		w.Medium.AddObserver(monitor)
+	}
+
+	attacker.Sniffer.Start()
+	fob.Peripheral.StartAdvertising()
+	computer.Connect(fob.Peripheral.Device.Address())
+	w.RunFor(3 * sim.Second)
+	if !attacker.Sniffer.Following() {
+		return ScenarioOutcome{}, fmt.Errorf("experiments: sniffer failed to sync")
+	}
+
+	out := ScenarioOutcome{Target: "keyfob→keyboard", Detail: "HID keystroke injection (§IX)"}
+	var ki *injectable.KeystrokeInjection
+	err := attacker.InjectKeyboard("Wireless Keyboard", func(k *injectable.KeystrokeInjection, err error) {
+		ki = k
+	})
+	if err != nil {
+		return out, err
+	}
+	w.RunFor(50 * sim.Second)
+	if ki == nil || !ki.Attached() {
+		return out, nil
+	}
+	out.Attempts = ki.Hijack.Report.AttemptCount()
+	if err := ki.Type("rm -rf  tmp x\n"); err != nil {
+		return out, nil
+	}
+	w.RunFor(20 * sim.Second)
+	out.Success = computer.HIDAttached && computer.Typed.Len() > 0
+	if monitor != nil {
+		alerts := make(map[ids.AlertKind]int)
+		for _, a := range monitor.Alerts() {
+			alerts[a.Kind]++
+		}
+		out.IDSAlerts = alerts
+	}
+	return out, nil
+}
+
+// IDSValidation measures the monitor's detection and false-positive rates
+// across many independent runs: n clean connections and n attacked ones.
+// An "injection-class" alert is a double frame or anchor deviation.
+func IDSValidation(n int, seedBase uint64, progress func(i int)) (*Table, error) {
+	injectionAlerts := func(alerts map[ids.AlertKind]int) int {
+		return alerts[ids.AlertDoubleFrame] + alerts[ids.AlertAnchorDeviation] +
+			alerts[ids.AlertRogueUpdate] + alerts[ids.AlertScheduleSplit]
+	}
+	falsePositives := 0
+	for i := 0; i < n; i++ {
+		s, err := newScene("lightbulb", seedBase+uint64(i), true)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.connect(); err != nil {
+			return nil, err
+		}
+		s.w.RunFor(20 * sim.Second) // clean traffic only
+		if injectionAlerts(s.idsCounts()) > 0 {
+			falsePositives++
+		}
+		if progress != nil {
+			progress(i)
+		}
+	}
+	truePositives := 0
+	for i := 0; i < n; i++ {
+		out, err := RunScenarioA("lightbulb", seedBase+1000+uint64(i), true)
+		if err != nil {
+			return nil, err
+		}
+		if injectionAlerts(out.IDSAlerts) > 0 {
+			truePositives++
+		}
+		if progress != nil {
+			progress(n + i)
+		}
+	}
+	return &Table{
+		Title:  "IDS validation: detection vs false positives (20 s clean runs vs scenario A)",
+		Header: []string{"runs per class", "true positives", "false positives", "TPR", "FPR"},
+		Rows: [][]string{{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", truePositives),
+			fmt.Sprintf("%d", falsePositives),
+			fmt.Sprintf("%.0f%%", 100*float64(truePositives)/float64(n)),
+			fmt.Sprintf("%.0f%%", 100*float64(falsePositives)/float64(n)),
+		}},
+		Notes: []string{"paper §VIII: an LL monitor 'able to detect, at the right instant, the presence of double frames'"},
+	}, nil
+}

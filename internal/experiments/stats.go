@@ -1,0 +1,205 @@
+// Package experiments reproduces the paper's evaluation: the sensitivity
+// analysis of §VII (Figure 9's four panels — Hop Interval, payload size,
+// attacker distance, wall), the four attack scenarios of §VI on the three
+// simulated commercial devices, the encryption countermeasure of §IV/§VIII,
+// the IDS detection study, the BTLEJack / GATTacker baselines, and the
+// ablations of the design decisions listed in DESIGN.md §4.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Stats summarises attempts-before-success samples from repeated trials —
+// the quantity the paper's boxplots report.
+type Stats struct {
+	Samples []int
+}
+
+// Add appends a sample.
+func (s *Stats) Add(v int) { s.Samples = append(s.Samples, v) }
+
+// N returns the sample count.
+func (s *Stats) N() int { return len(s.Samples) }
+
+// sorted returns samples in ascending order.
+func (s *Stats) sorted() []int {
+	out := append([]int(nil), s.Samples...)
+	sort.Ints(out)
+	return out
+}
+
+// quantile returns the q-quantile (0..1) with linear interpolation.
+func (s *Stats) quantile(q float64) float64 {
+	if len(s.Samples) == 0 {
+		return math.NaN()
+	}
+	sorted := s.sorted()
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return float64(sorted[len(sorted)-1])
+	}
+	frac := pos - float64(lo)
+	return float64(sorted[lo])*(1-frac) + float64(sorted[hi])*frac
+}
+
+// Min returns the smallest sample.
+func (s *Stats) Min() int {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	return s.sorted()[0]
+}
+
+// Max returns the largest sample.
+func (s *Stats) Max() int {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	sorted := s.sorted()
+	return sorted[len(sorted)-1]
+}
+
+// Median returns the 50th percentile.
+func (s *Stats) Median() float64 { return s.quantile(0.5) }
+
+// Q1 returns the 25th percentile.
+func (s *Stats) Q1() float64 { return s.quantile(0.25) }
+
+// Q3 returns the 75th percentile.
+func (s *Stats) Q3() float64 { return s.quantile(0.75) }
+
+// Mean returns the arithmetic mean.
+func (s *Stats) Mean() float64 {
+	if len(s.Samples) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range s.Samples {
+		sum += float64(v)
+	}
+	return sum / float64(len(s.Samples))
+}
+
+// Variance returns the sample variance.
+func (s *Stats) Variance() float64 {
+	if len(s.Samples) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, v := range s.Samples {
+		d := float64(v) - m
+		sum += d * d
+	}
+	return sum / float64(len(s.Samples)-1)
+}
+
+// Row renders the stats as a fixed set of table columns.
+func (s *Stats) Row() []string {
+	return []string{
+		fmt.Sprintf("%d", s.N()),
+		fmt.Sprintf("%d", s.Min()),
+		fmt.Sprintf("%.1f", s.Q1()),
+		fmt.Sprintf("%.1f", s.Median()),
+		fmt.Sprintf("%.1f", s.Q3()),
+		fmt.Sprintf("%d", s.Max()),
+		fmt.Sprintf("%.2f", s.Mean()),
+		fmt.Sprintf("%.2f", s.Variance()),
+	}
+}
+
+// StatsHeader names the columns of Row.
+func StatsHeader() []string {
+	return []string{"n", "min", "q1", "median", "q3", "max", "mean", "variance"}
+}
+
+// Boxplot renders a one-line ASCII boxplot over [0, max].
+func (s *Stats) Boxplot(width int) string {
+	if s.N() == 0 || width < 10 {
+		return ""
+	}
+	maxV := float64(s.Max())
+	if maxV == 0 {
+		maxV = 1
+	}
+	pos := func(v float64) int {
+		p := int(v / maxV * float64(width-1))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	line := make([]rune, width)
+	for i := range line {
+		line[i] = ' '
+	}
+	lo, q1, med, q3, hi := pos(float64(s.Min())), pos(s.Q1()), pos(s.Median()), pos(s.Q3()), pos(float64(s.Max()))
+	for i := lo; i <= hi; i++ {
+		line[i] = '-'
+	}
+	for i := q1; i <= q3; i++ {
+		line[i] = '='
+	}
+	line[lo], line[hi] = '|', '|'
+	line[med] = '#'
+	return string(line)
+}
+
+// Table is a printable result grid.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes are printed under the table (expected shape, caveats).
+	Notes []string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"fmt"
+
+	"injectable/internal/ble/pdu"
+	"injectable/internal/devices"
+	"injectable/internal/host"
+	"injectable/internal/injectable"
+	"injectable/internal/link"
+	"injectable/internal/medium"
+	"injectable/internal/phy"
+	"injectable/internal/sim"
+)
+
+// Payload identifies the frame injected in a trial; each corresponds to an
+// on-air PDU length the paper sweeps (§VII-B) and to an observable effect
+// on the lightbulb.
+type Payload int
+
+// Trial payloads.
+const (
+	// PayloadTerminate: LL_TERMINATE_IND — 4-byte PDU, disconnects the
+	// bulb.
+	PayloadTerminate Payload = iota + 1
+	// PayloadToggle: empty vendor write — 9-byte PDU, toggles the bulb.
+	PayloadToggle
+	// PayloadPowerOff: power command — 14-byte PDU (the paper's 22-byte
+	// frame), turns the bulb off.
+	PayloadPowerOff
+	// PayloadColor: colour command — 16-byte PDU, recolours the bulb.
+	PayloadColor
+)
+
+// PDULen returns the on-air LL PDU length (header + payload).
+func (p Payload) PDULen() int {
+	switch p {
+	case PayloadTerminate:
+		return 4
+	case PayloadToggle:
+		return 9
+	case PayloadPowerOff:
+		return 14
+	case PayloadColor:
+		return 16
+	default:
+		return 0
+	}
+}
+
+// String implements fmt.Stringer.
+func (p Payload) String() string {
+	switch p {
+	case PayloadTerminate:
+		return "terminate(4B)"
+	case PayloadToggle:
+		return "toggle(9B)"
+	case PayloadPowerOff:
+		return "power-off(14B)"
+	case PayloadColor:
+		return "color(16B)"
+	default:
+		return fmt.Sprintf("payload(%d)", int(p))
+	}
+}
+
+// frame builds the injectable PDU for the bulb's control handle.
+func (p Payload) frame(handle uint16) pdu.DataPDU {
+	switch p {
+	case PayloadTerminate:
+		return injectable.ForgeTerminateInd()
+	case PayloadToggle:
+		return injectable.ForgeATTWriteCommand(handle, devices.ToggleCommand())
+	case PayloadPowerOff:
+		return injectable.ForgeATTWriteCommand(handle, devices.PowerCommand(false))
+	case PayloadColor:
+		return injectable.ForgeATTWriteCommand(handle, devices.ColorCommand(0xFF, 0x00, 0x00))
+	default:
+		return injectable.ForgeTerminateInd()
+	}
+}
+
+// TrialConfig describes one injection trial: one fresh connection, one
+// injection run, mirroring the paper's "25 injection attacks per value".
+type TrialConfig struct {
+	// Seed makes the trial reproducible.
+	Seed uint64
+	// Interval is the connection Hop Interval (paper's knob in exp. 1).
+	Interval uint16
+	// Payload picks the injected frame (paper's knob in exp. 2).
+	Payload Payload
+	// BulbPos, CentralPos, AttackerPos place the devices (exp. 3).
+	BulbPos, CentralPos, AttackerPos phy.Position
+	// Walls adds obstacles (exp. 3, wall variant).
+	Walls []phy.Wall
+	// PhoneGrade gives the central a phone-grade sloppy clock instead of
+	// a dedicated controller (the paper's exp. 3 uses a smartphone).
+	PhoneGrade bool
+	// Capture overrides the collision model (ablation).
+	Capture medium.CaptureModel
+	// Injector tunes the attack (ablation).
+	Injector injectable.InjectorConfig
+	// MaxAttempts bounds the injection (0 = 200).
+	MaxAttempts int
+	// SimBudget bounds virtual time (0 = 120 s).
+	SimBudget sim.Duration
+}
+
+// TrialResult reports one trial.
+type TrialResult struct {
+	Success  bool
+	Attempts int
+	// EffectObserved: ground truth from the device model — the injected
+	// command visibly executed (validates the eq. 7 heuristic).
+	EffectObserved bool
+	// HeuristicAgrees: the heuristic verdict matched the ground truth.
+	HeuristicAgrees bool
+}
+
+// RunTrial builds a fresh world, establishes the connection, synchronises
+// the attacker and performs one injection run.
+func RunTrial(cfg TrialConfig) (TrialResult, error) {
+	if cfg.Interval == 0 {
+		cfg.Interval = 36
+	}
+	if cfg.Payload == 0 {
+		cfg.Payload = PayloadPowerOff
+	}
+	if cfg.CentralPos == (phy.Position{}) {
+		cfg.CentralPos = phy.Position{X: 2}
+	}
+	if cfg.AttackerPos == (phy.Position{}) {
+		cfg.AttackerPos = phy.Position{X: 1, Y: 1.732}
+	}
+	if cfg.SimBudget == 0 {
+		cfg.SimBudget = 120 * sim.Second
+	}
+	if cfg.MaxAttempts != 0 {
+		cfg.Injector.MaxAttempts = cfg.MaxAttempts
+	}
+
+	w := host.NewWorld(host.WorldConfig{
+		Seed: cfg.Seed,
+		Medium: medium.Config{
+			PathLoss: &phy.LogDistance{Walls: cfg.Walls},
+			Capture:  cfg.Capture,
+		},
+	})
+	bulb := devices.NewLightbulb(w.NewDevice(host.DeviceConfig{
+		Name: "bulb", Position: cfg.BulbPos,
+	}))
+	centralCfg := host.DeviceConfig{Name: "central", Position: cfg.CentralPos}
+	if cfg.PhoneGrade {
+		// Phones run BLE from a busy SoC: looser sleep clock and more
+		// scheduling jitter than a dedicated controller.
+		centralCfg.ClockPPM = 50
+		centralCfg.ClockJitter = 8 * sim.Microsecond
+	}
+	phone := devices.NewSmartphone(w.NewDevice(centralCfg), devices.SmartphoneConfig{
+		ConnParams:       link.ConnParams{Interval: cfg.Interval},
+		ActivityInterval: -1,
+	})
+	attacker := w.NewDevice(host.DeviceConfig{
+		Name: "attacker", Position: cfg.AttackerPos,
+		ClockPPM: 20, ClockJitter: 500 * sim.Nanosecond,
+	})
+	atk := injectable.NewAttacker(attacker.Stack, cfg.Injector)
+
+	atk.Sniffer.Start()
+	bulb.Peripheral.StartAdvertising()
+	phone.Connect(bulb.Peripheral.Device.Address())
+	w.RunFor(3 * sim.Second)
+	if !phone.Central.Connected() {
+		return TrialResult{}, fmt.Errorf("experiments: connection failed (seed %d)", cfg.Seed)
+	}
+	if !atk.Sniffer.Following() {
+		return TrialResult{}, fmt.Errorf("experiments: sniffer failed to sync (seed %d)", cfg.Seed)
+	}
+
+	// Ground-truth observers.
+	effect := false
+	switch cfg.Payload {
+	case PayloadTerminate:
+		bulb.Peripheral.OnDisconnect = func(link.DisconnectReason) { effect = true }
+	default:
+		bulb.OnChange = func(string) { effect = true }
+	}
+
+	var report *injectable.Report
+	err := atk.Injector.Inject(cfg.Payload.frame(bulb.ControlHandle()), func(r injectable.Report) {
+		report = &r
+	})
+	if err != nil {
+		return TrialResult{}, err
+	}
+	w.RunFor(cfg.SimBudget)
+	if report == nil {
+		return TrialResult{}, fmt.Errorf("experiments: injection did not settle in %v", cfg.SimBudget)
+	}
+	return TrialResult{
+		Success:         report.Success,
+		Attempts:        report.AttemptCount(),
+		EffectObserved:  effect,
+		HeuristicAgrees: report.Success == effect,
+	}, nil
+}
+
+// RunSeries runs n trials with distinct seeds and accumulates attempts of
+// successful runs (failures count as MaxAttempts, flagged in the result).
+type SeriesResult struct {
+	Stats     Stats
+	Failures  int
+	Heuristic HeuristicTally
+}
+
+// HeuristicTally validates eq. 7 against ground truth across a series.
+type HeuristicTally struct {
+	Agree, Disagree int
+}
+
+// RunSeries runs the trial n times over seeds seedBase..seedBase+n-1.
+func RunSeries(cfg TrialConfig, n int, seedBase uint64, progress func(i int)) (SeriesResult, error) {
+	var out SeriesResult
+	for i := 0; i < n; i++ {
+		cfg.Seed = seedBase + uint64(i)
+		res, err := RunTrial(cfg)
+		if err != nil {
+			return out, fmt.Errorf("trial %d: %w", i, err)
+		}
+		if res.Success {
+			out.Stats.Add(res.Attempts)
+		} else {
+			out.Failures++
+		}
+		if res.HeuristicAgrees {
+			out.Heuristic.Agree++
+		} else {
+			out.Heuristic.Disagree++
+		}
+		if progress != nil {
+			progress(i)
+		}
+	}
+	return out, nil
+}

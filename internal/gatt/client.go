@@ -1,0 +1,192 @@
+package gatt
+
+import (
+	"errors"
+
+	"injectable/internal/att"
+)
+
+// RemoteCharacteristic is a characteristic discovered on a peer.
+type RemoteCharacteristic struct {
+	UUID        att.UUID
+	Properties  Property
+	DeclHandle  uint16
+	ValueHandle uint16
+	CCCDHandle  uint16 // zero when not discovered
+}
+
+// RemoteService is a service discovered on a peer.
+type RemoteService struct {
+	UUID            att.UUID
+	StartHandle     uint16
+	EndHandle       uint16
+	Characteristics []*RemoteCharacteristic
+}
+
+// Client wraps an ATT client with GATT discovery procedures.
+type Client struct {
+	att *att.Client
+
+	// OnNotification receives subscribed characteristic updates.
+	OnNotification func(valueHandle uint16, value []byte)
+}
+
+// NewClient builds a GATT client over an ATT client.
+func NewClient(a *att.Client) *Client {
+	c := &Client{att: a}
+	a.OnNotification = func(h uint16, v []byte) {
+		if c.OnNotification != nil {
+			c.OnNotification(h, v)
+		}
+	}
+	return c
+}
+
+// ATT returns the underlying ATT client.
+func (c *Client) ATT() *att.Client { return c.att }
+
+// DiscoverServices walks the peer's primary services.
+func (c *Client) DiscoverServices(cb func([]*RemoteService, error)) {
+	var out []*RemoteService
+	var step func(start uint16)
+	step = func(start uint16) {
+		c.att.ReadByGroupType(start, 0xFFFF, att.UUIDPrimaryService, func(gv []att.GroupValue, err error) {
+			var attErr *att.Error
+			if errors.As(err, &attErr) && attErr.Code == att.ErrAttributeNotFound {
+				cb(out, nil)
+				return
+			}
+			if err != nil {
+				cb(nil, err)
+				return
+			}
+			var last uint16
+			for _, g := range gv {
+				u, uerr := att.UUIDFromBytes(g.Value)
+				if uerr != nil {
+					cb(nil, uerr)
+					return
+				}
+				out = append(out, &RemoteService{UUID: u, StartHandle: g.Start, EndHandle: g.End})
+				last = g.End
+			}
+			if last == 0xFFFF || len(gv) == 0 {
+				cb(out, nil)
+				return
+			}
+			step(last + 1)
+		})
+	}
+	step(1)
+}
+
+// DiscoverCharacteristics walks a service's characteristics, including
+// their CCCD handles.
+func (c *Client) DiscoverCharacteristics(svc *RemoteService, cb func([]*RemoteCharacteristic, error)) {
+	var out []*RemoteCharacteristic
+	assignCCCD := func(info att.FoundInfo) {
+		for _, ch := range out {
+			nextDecl := uint16(0xFFFF)
+			for _, other := range out {
+				if other.DeclHandle > ch.DeclHandle && other.DeclHandle < nextDecl {
+					nextDecl = other.DeclHandle
+				}
+			}
+			if info.Handle > ch.ValueHandle && info.Handle < nextDecl {
+				ch.CCCDHandle = info.Handle
+			}
+		}
+	}
+	finish := func() {
+		svc.Characteristics = out
+		// CCCDs: find 0x2902 descriptors between each characteristic's
+		// value handle and the next declaration. Find Information responses
+		// are MTU-bounded, so paginate until the range is covered.
+		var scan func(start uint16)
+		scan = func(start uint16) {
+			c.att.FindInformation(start, svc.EndHandle, func(fi []att.FoundInfo, err error) {
+				if err != nil || len(fi) == 0 {
+					cb(out, nil)
+					return
+				}
+				last := start
+				for _, info := range fi {
+					if info.Type == att.UUIDCCCD {
+						assignCCCD(info)
+					}
+					last = info.Handle
+				}
+				if last >= svc.EndHandle || last == 0xFFFF {
+					cb(out, nil)
+					return
+				}
+				scan(last + 1)
+			})
+		}
+		scan(svc.StartHandle)
+	}
+	var step func(start uint16)
+	step = func(start uint16) {
+		c.att.ReadByType(start, svc.EndHandle, att.UUIDCharacteristic, func(tv []att.TypeValue, err error) {
+			var attErr *att.Error
+			if errors.As(err, &attErr) && attErr.Code == att.ErrAttributeNotFound {
+				finish()
+				return
+			}
+			if err != nil {
+				cb(nil, err)
+				return
+			}
+			var last uint16
+			for _, v := range tv {
+				if len(v.Value) < 3 {
+					continue
+				}
+				u, uerr := att.UUIDFromBytes(v.Value[3:])
+				if uerr != nil {
+					continue
+				}
+				out = append(out, &RemoteCharacteristic{
+					UUID:        u,
+					Properties:  Property(v.Value[0]),
+					DeclHandle:  v.Handle,
+					ValueHandle: uint16(v.Value[1]) | uint16(v.Value[2])<<8,
+				})
+				last = v.Handle
+			}
+			if last >= svc.EndHandle || len(tv) == 0 {
+				finish()
+				return
+			}
+			step(last + 1)
+		})
+	}
+	step(svc.StartHandle)
+}
+
+// Read reads a characteristic value by handle.
+func (c *Client) Read(valueHandle uint16, cb func([]byte, error)) {
+	c.att.Read(valueHandle, func(r att.Response) { cb(r.Value, r.Err) })
+}
+
+// Write writes a characteristic value (with response).
+func (c *Client) Write(valueHandle uint16, value []byte, cb func(error)) {
+	c.att.Write(valueHandle, value, func(r att.Response) { cb(r.Err) })
+}
+
+// WriteCommand writes without response.
+func (c *Client) WriteCommand(valueHandle uint16, value []byte) {
+	c.att.WriteCommand(valueHandle, value)
+}
+
+// Subscribe enables notifications via the characteristic's CCCD.
+func (c *Client) Subscribe(ch *RemoteCharacteristic, cb func(error)) {
+	if ch.CCCDHandle == 0 {
+		cb(errors.New("gatt: characteristic has no CCCD"))
+		return
+	}
+	c.att.Write(ch.CCCDHandle, []byte{0x01, 0x00}, func(r att.Response) { cb(r.Err) })
+}
+
+// HandlePDU feeds one ATT PDU from the L2CAP channel.
+func (c *Client) HandlePDU(b []byte) { c.att.HandlePDU(b) }

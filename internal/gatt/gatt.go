@@ -1,0 +1,205 @@
+// Package gatt implements the Generic Attribute Profile on top of ATT:
+// service and characteristic declaration on the server side, and service /
+// characteristic discovery, reads, writes and subscriptions on the client
+// side.
+//
+// The simulated commercial devices of the paper's evaluation (lightbulb,
+// keyfob, smartwatch) are GATT servers built with this package, and the
+// attack scenarios interact with them exactly as the paper does: by
+// injecting ATT requests that target their characteristic value handles.
+package gatt
+
+import (
+	"fmt"
+
+	"injectable/internal/att"
+)
+
+// Property is the characteristic property bitmask.
+type Property uint8
+
+// Characteristic properties.
+const (
+	PropBroadcast       Property = 0x01
+	PropRead            Property = 0x02
+	PropWriteNoResponse Property = 0x04
+	PropWrite           Property = 0x08
+	PropNotify          Property = 0x10
+	PropIndicate        Property = 0x20
+)
+
+// Has reports whether p includes all bits of q.
+func (p Property) Has(q Property) bool { return p&q == q }
+
+// String implements fmt.Stringer.
+func (p Property) String() string {
+	names := []struct {
+		bit  Property
+		name string
+	}{
+		{PropBroadcast, "broadcast"}, {PropRead, "read"},
+		{PropWriteNoResponse, "write-no-rsp"}, {PropWrite, "write"},
+		{PropNotify, "notify"}, {PropIndicate, "indicate"},
+	}
+	out := ""
+	for _, n := range names {
+		if p.Has(n.bit) {
+			if out != "" {
+				out += "|"
+			}
+			out += n.name
+		}
+	}
+	if out == "" {
+		return "none"
+	}
+	return out
+}
+
+// Characteristic is one GATT characteristic.
+type Characteristic struct {
+	UUID       att.UUID
+	Properties Property
+	Value      []byte
+	// Secure requires an encrypted link for value access.
+	Secure bool
+	// OnWrite observes accepted writes to the value.
+	OnWrite func(value []byte)
+	// OnRead, when set, produces the value dynamically.
+	OnRead func() []byte
+
+	// Handles assigned at registration.
+	DeclHandle  uint16
+	ValueHandle uint16
+	CCCDHandle  uint16 // zero if no notify/indicate
+
+	valueAttr *att.Attribute
+	cccdAttr  *att.Attribute
+}
+
+// Notifying reports whether the client enabled notifications via the CCCD.
+func (c *Characteristic) Notifying() bool {
+	return c.cccdAttr != nil && len(c.cccdAttr.Value) >= 1 && c.cccdAttr.Value[0]&0x01 != 0
+}
+
+// Service is a GATT primary service.
+type Service struct {
+	UUID            att.UUID
+	Characteristics []*Characteristic
+
+	StartHandle uint16
+	EndHandle   uint16
+}
+
+// Server is a GATT server over an ATT database.
+type Server struct {
+	db       *att.DB
+	att      *att.Server
+	services []*Service
+}
+
+// NewServer builds an empty GATT server; send transmits ATT PDUs.
+func NewServer(send func([]byte)) *Server {
+	db := att.NewDB()
+	return &Server{db: db, att: att.NewServer(db, send)}
+}
+
+// ATT returns the underlying ATT server (for wiring encryption state and
+// PDU delivery).
+func (s *Server) ATT() *att.Server { return s.att }
+
+// DB exposes the attribute database (the IDS and tests inspect it).
+func (s *Server) DB() *att.DB { return s.db }
+
+// Services lists registered services.
+func (s *Server) Services() []*Service { return s.services }
+
+// HandlePDU feeds one ATT PDU from the L2CAP channel.
+func (s *Server) HandlePDU(b []byte) { s.att.HandlePDU(b) }
+
+// AddService registers a service and its characteristics, assigning
+// handles.
+func (s *Server) AddService(svc *Service) *Service {
+	decl := s.db.Add(att.UUIDPrimaryService, svc.UUID.Bytes(), att.ReadOnly)
+	svc.StartHandle = decl.Handle
+	for _, ch := range svc.Characteristics {
+		s.addCharacteristic(ch)
+	}
+	if n := s.db.All(); len(n) > 0 {
+		svc.EndHandle = n[len(n)-1].Handle
+	}
+	s.services = append(s.services, svc)
+	return svc
+}
+
+func (s *Server) addCharacteristic(ch *Characteristic) {
+	// Declaration: properties ∥ value handle ∥ UUID. The value handle is
+	// patched in once known (always declaration handle + 1 here).
+	declValue := append([]byte{byte(ch.Properties), 0, 0}, ch.UUID.Bytes()...)
+	decl := s.db.Add(att.UUIDCharacteristic, declValue, att.ReadOnly)
+	ch.DeclHandle = decl.Handle
+
+	perms := att.Permissions{
+		Read:  ch.Properties.Has(PropRead),
+		Write: ch.Properties&(PropWrite|PropWriteNoResponse) != 0,
+	}
+	if ch.Secure {
+		perms.ReadRequiresEncryption = true
+		perms.WriteRequiresEncryption = true
+	}
+	value := s.db.Add(ch.UUID, ch.Value, perms)
+	ch.ValueHandle = value.Handle
+	ch.valueAttr = value
+	value.OnWrite = func(v []byte) {
+		ch.Value = append(ch.Value[:0], v...)
+		if ch.OnWrite != nil {
+			ch.OnWrite(v)
+		}
+	}
+	if ch.OnRead != nil {
+		value.OnRead = ch.OnRead
+	}
+	decl.Value[1] = byte(ch.ValueHandle)
+	decl.Value[2] = byte(ch.ValueHandle >> 8)
+
+	if ch.Properties&(PropNotify|PropIndicate) != 0 {
+		cccd := s.db.Add(att.UUIDCCCD, []byte{0, 0}, att.ReadWrite)
+		ch.CCCDHandle = cccd.Handle
+		ch.cccdAttr = cccd
+	}
+}
+
+// SetValue updates a characteristic value and notifies if subscribed.
+func (s *Server) SetValue(ch *Characteristic, value []byte) {
+	ch.Value = append(ch.Value[:0], value...)
+	if ch.valueAttr != nil {
+		ch.valueAttr.Value = append(ch.valueAttr.Value[:0], value...)
+	}
+	if ch.Notifying() {
+		s.att.Notify(ch.ValueHandle, value)
+	}
+}
+
+// Notify pushes a value to the client regardless of the stored value.
+func (s *Server) Notify(ch *Characteristic, value []byte) {
+	if ch.Notifying() {
+		s.att.Notify(ch.ValueHandle, value)
+	}
+}
+
+// FindCharacteristic locates a characteristic by UUID across services.
+func (s *Server) FindCharacteristic(u att.UUID) *Characteristic {
+	for _, svc := range s.services {
+		for _, ch := range svc.Characteristics {
+			if ch.UUID == u {
+				return ch
+			}
+		}
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (s *Server) String() string {
+	return fmt.Sprintf("gatt.Server(%d services, %d attributes)", len(s.services), s.db.Len())
+}

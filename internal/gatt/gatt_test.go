@@ -1,0 +1,261 @@
+package gatt
+
+import (
+	"bytes"
+	"testing"
+
+	"injectable/internal/att"
+)
+
+// wire builds a GATT server and client connected synchronously.
+func wire() (*Server, *Client) {
+	var srv *Server
+	var cli *Client
+	srv = NewServer(func(b []byte) { cli.HandlePDU(b) })
+	cli = NewClient(att.NewClient(func(b []byte) { srv.HandlePDU(b) }))
+	return srv, cli
+}
+
+// bulbServer registers a lightbulb-like profile and returns the power
+// characteristic.
+func bulbServer(srv *Server) (*Characteristic, *Characteristic) {
+	power := &Characteristic{
+		UUID:       att.UUID16(0xFF01),
+		Properties: PropRead | PropWrite | PropWriteNoResponse,
+		Value:      []byte{0x00},
+	}
+	color := &Characteristic{
+		UUID:       att.UUID16(0xFF02),
+		Properties: PropRead | PropWrite | PropNotify,
+		Value:      []byte{255, 255, 255},
+	}
+	srv.AddService(&Service{
+		UUID:            att.UUID16(0x1800),
+		Characteristics: []*Characteristic{},
+	})
+	srv.AddService(&Service{
+		UUID:            att.UUID16(0xFF00),
+		Characteristics: []*Characteristic{power, color},
+	})
+	return power, color
+}
+
+func TestServiceRegistrationAssignsHandles(t *testing.T) {
+	srv, _ := wire()
+	power, color := bulbServer(srv)
+	if power.DeclHandle == 0 || power.ValueHandle != power.DeclHandle+1 {
+		t.Fatalf("power handles: %+v", power)
+	}
+	if color.CCCDHandle != color.ValueHandle+1 {
+		t.Fatalf("color CCCD handle: %+v", color)
+	}
+	if power.CCCDHandle != 0 {
+		t.Fatal("power should have no CCCD")
+	}
+	svcs := srv.Services()
+	if len(svcs) != 2 {
+		t.Fatalf("%d services", len(svcs))
+	}
+	if svcs[1].EndHandle <= svcs[1].StartHandle {
+		t.Fatalf("service range %d..%d", svcs[1].StartHandle, svcs[1].EndHandle)
+	}
+}
+
+func TestDiscoverServices(t *testing.T) {
+	srv, cli := wire()
+	bulbServer(srv)
+	var got []*RemoteService
+	cli.DiscoverServices(func(s []*RemoteService, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = s
+	})
+	if len(got) != 2 {
+		t.Fatalf("discovered %d services", len(got))
+	}
+	if !got[0].UUID.Is16() || got[0].UUID.Uint16() != 0x1800 {
+		t.Fatalf("service 0 = %v", got[0].UUID)
+	}
+	if got[1].UUID.Uint16() != 0xFF00 {
+		t.Fatalf("service 1 = %v", got[1].UUID)
+	}
+}
+
+func TestDiscoverCharacteristics(t *testing.T) {
+	srv, cli := wire()
+	power, color := bulbServer(srv)
+	var svc *RemoteService
+	cli.DiscoverServices(func(s []*RemoteService, err error) { svc = s[1] })
+	var chars []*RemoteCharacteristic
+	cli.DiscoverCharacteristics(svc, func(cs []*RemoteCharacteristic, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		chars = cs
+	})
+	if len(chars) != 2 {
+		t.Fatalf("discovered %d characteristics", len(chars))
+	}
+	if chars[0].ValueHandle != power.ValueHandle {
+		t.Fatalf("power value handle %d != %d", chars[0].ValueHandle, power.ValueHandle)
+	}
+	if !chars[0].Properties.Has(PropWrite) || chars[0].Properties.Has(PropNotify) {
+		t.Fatalf("power properties %v", chars[0].Properties)
+	}
+	if chars[1].CCCDHandle != color.CCCDHandle {
+		t.Fatalf("color CCCD %d != %d", chars[1].CCCDHandle, color.CCCDHandle)
+	}
+}
+
+func TestReadWriteCharacteristic(t *testing.T) {
+	srv, cli := wire()
+	power, _ := bulbServer(srv)
+	writes := 0
+	power.OnWrite = func(v []byte) { writes++ }
+
+	var val []byte
+	cli.Read(power.ValueHandle, func(v []byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		val = v
+	})
+	if !bytes.Equal(val, []byte{0x00}) {
+		t.Fatalf("initial = % x", val)
+	}
+	cli.Write(power.ValueHandle, []byte{0x01}, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if power.Value[0] != 0x01 || writes != 1 {
+		t.Fatalf("value=% x writes=%d", power.Value, writes)
+	}
+	cli.WriteCommand(power.ValueHandle, []byte{0x02})
+	if power.Value[0] != 0x02 || writes != 2 {
+		t.Fatal("write command not applied")
+	}
+}
+
+func TestNotificationsViaCCCD(t *testing.T) {
+	srv, cli := wire()
+	_, color := bulbServer(srv)
+	var got []byte
+	cli.OnNotification = func(h uint16, v []byte) {
+		if h == color.ValueHandle {
+			got = append([]byte(nil), v...)
+		}
+	}
+	// Before subscribing: SetValue must not notify.
+	srv.SetValue(color, []byte{1, 2, 3})
+	if got != nil {
+		t.Fatal("notified without subscription")
+	}
+	if color.Notifying() {
+		t.Fatal("Notifying true before subscribe")
+	}
+	rc := &RemoteCharacteristic{ValueHandle: color.ValueHandle, CCCDHandle: color.CCCDHandle}
+	cli.Subscribe(rc, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !color.Notifying() {
+		t.Fatal("Notifying false after subscribe")
+	}
+	srv.SetValue(color, []byte{9, 8, 7})
+	if !bytes.Equal(got, []byte{9, 8, 7}) {
+		t.Fatalf("notification = % x", got)
+	}
+}
+
+func TestSubscribeWithoutCCCD(t *testing.T) {
+	_, cli := wire()
+	called := false
+	cli.Subscribe(&RemoteCharacteristic{}, func(err error) { called = err != nil })
+	if !called {
+		t.Fatal("no error for missing CCCD")
+	}
+}
+
+func TestSecureCharacteristicGated(t *testing.T) {
+	srv, cli := wire()
+	secret := &Characteristic{
+		UUID:       att.UUID16(0xFF10),
+		Properties: PropRead | PropWrite,
+		Value:      []byte{0x42},
+		Secure:     true,
+	}
+	srv.AddService(&Service{UUID: att.UUID16(0xFF0F), Characteristics: []*Characteristic{secret}})
+	encrypted := false
+	srv.ATT().Encrypted = func() bool { return encrypted }
+
+	var rerr error
+	cli.Read(secret.ValueHandle, func(v []byte, err error) { rerr = err })
+	if rerr == nil {
+		t.Fatal("secure read allowed on plaintext link")
+	}
+	encrypted = true
+	cli.Read(secret.ValueHandle, func(v []byte, err error) { rerr = err })
+	if rerr != nil {
+		t.Fatalf("secure read failed on encrypted link: %v", rerr)
+	}
+}
+
+func TestFindCharacteristic(t *testing.T) {
+	srv, _ := wire()
+	power, _ := bulbServer(srv)
+	if srv.FindCharacteristic(att.UUID16(0xFF01)) != power {
+		t.Fatal("FindCharacteristic broken")
+	}
+	if srv.FindCharacteristic(att.UUID16(0xDEAD)) != nil {
+		t.Fatal("phantom characteristic")
+	}
+}
+
+func TestSetValueUpdatesAttribute(t *testing.T) {
+	srv, cli := wire()
+	power, _ := bulbServer(srv)
+	srv.SetValue(power, []byte{0x33})
+	var val []byte
+	cli.Read(power.ValueHandle, func(v []byte, err error) { val = v })
+	if !bytes.Equal(val, []byte{0x33}) {
+		t.Fatalf("read after SetValue = % x", val)
+	}
+}
+
+func TestPropertyString(t *testing.T) {
+	p := PropRead | PropNotify
+	if p.String() != "read|notify" {
+		t.Fatalf("String = %q", p.String())
+	}
+	if Property(0).String() != "none" {
+		t.Fatal("zero property string")
+	}
+}
+
+func TestServerString(t *testing.T) {
+	srv, _ := wire()
+	bulbServer(srv)
+	if srv.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestDynamicReadCharacteristic(t *testing.T) {
+	srv, cli := wire()
+	n := byte(0)
+	counter := &Characteristic{
+		UUID:       att.UUID16(0xFF20),
+		Properties: PropRead,
+		OnRead:     func() []byte { n++; return []byte{n} },
+	}
+	srv.AddService(&Service{UUID: att.UUID16(0xFF1F), Characteristics: []*Characteristic{counter}})
+	var val []byte
+	cli.Read(counter.ValueHandle, func(v []byte, err error) { val = v })
+	cli.Read(counter.ValueHandle, func(v []byte, err error) { val = v })
+	if len(val) != 1 || val[0] != 2 {
+		t.Fatalf("dynamic read = % x", val)
+	}
+}

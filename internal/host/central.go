@@ -1,0 +1,142 @@
+package host
+
+import (
+	"fmt"
+
+	"injectable/internal/att"
+	"injectable/internal/ble"
+	"injectable/internal/ble/pdu"
+	"injectable/internal/gatt"
+	"injectable/internal/l2cap"
+	"injectable/internal/link"
+	"injectable/internal/sim"
+	"injectable/internal/smp"
+)
+
+// CentralConfig configures a Central.
+type CentralConfig struct {
+	// ConnParams proposes connection parameters (defaults applied for
+	// zero fields; Interval 36 ≈ a phone's default, paper §VII-C).
+	ConnParams link.ConnParams
+}
+
+// Central is the GAP Central role: initiator + GATT client + master.
+type Central struct {
+	Device *Device
+
+	cfg       CentralConfig
+	initiator *link.Initiator
+	conn      *link.Conn
+	mux       *l2cap.Mux
+	gattc     *gatt.Client
+	pairing   *smp.Pairing
+	bond      *smp.Bond
+
+	// OnConnect fires when the connection is established.
+	OnConnect func(conn *link.Conn)
+	// OnDisconnect fires when the connection ends.
+	OnDisconnect func(reason link.DisconnectReason)
+	// OnPaired fires when pairing + key distribution completes.
+	OnPaired func(bond smp.Bond, err error)
+}
+
+// NewCentral builds a central on the device.
+func NewCentral(dev *Device, cfg CentralConfig) *Central {
+	return &Central{Device: dev, cfg: cfg}
+}
+
+// Conn returns the active master connection, if any.
+func (c *Central) Conn() *link.Conn { return c.conn }
+
+// Connected reports whether a peripheral is connected.
+func (c *Central) Connected() bool { return c.conn != nil && !c.conn.Closed() }
+
+// GATT returns the GATT client (valid once connected).
+func (c *Central) GATT() *gatt.Client { return c.gattc }
+
+// Bond returns the key material from the last successful pairing.
+func (c *Central) Bond() *smp.Bond { return c.bond }
+
+// Connect scans for the target peripheral and connects.
+func (c *Central) Connect(target ble.Address) {
+	if c.initiator != nil {
+		c.initiator.Stop()
+	}
+	c.initiator = link.NewInitiator(c.Device.Stack, link.InitiatorConfig{
+		Target: target,
+		Params: c.cfg.ConnParams,
+	})
+	c.initiator.OnConnect = c.attach
+	c.initiator.Start()
+}
+
+// attach wires the upper stack onto a new master connection.
+func (c *Central) attach(conn *link.Conn) {
+	c.conn = conn
+	c.mux = l2cap.NewMux(connTransport{conn})
+	attClient := att.NewClient(func(b []byte) { c.mux.Send(l2cap.CIDATT, b) })
+	// The spec's 30 s ATT transaction timeout: without it a request lost
+	// to interference (or to a hijack) would wedge the client forever.
+	sched := c.Device.World.Sched
+	attClient.SetTransactionTimer(func(expire func()) func() {
+		ev := sched.After(30*sim.Second, "att-transaction-timeout", expire)
+		return func() { sched.Cancel(ev) }
+	})
+	c.gattc = gatt.NewClient(attClient)
+	c.mux.Handle(l2cap.CIDATT, c.gattc.HandlePDU)
+	conn.OnData = func(d pdu.DataPDU) { c.mux.HandlePDU(d) }
+	conn.OnDisconnect = func(r link.DisconnectReason) {
+		c.conn = nil
+		if c.OnDisconnect != nil {
+			c.OnDisconnect(r)
+		}
+	}
+	if c.OnConnect != nil {
+		c.OnConnect(conn)
+	}
+}
+
+// Pair runs legacy Just Works pairing over the active connection. The
+// resulting bond arrives via OnPaired and Bond().
+func (c *Central) Pair() error {
+	if !c.Connected() {
+		return fmt.Errorf("host: not connected")
+	}
+	conn := c.conn
+	pairing := smp.NewInitiator(smp.Config{
+		Send:        func(b []byte) { c.mux.Send(l2cap.CIDSMP, b) },
+		RNG:         c.Device.Stack.RNG.Child("smp"),
+		LocalAddr:   c.Device.Stack.Address,
+		RemoteAddr:  conn.Peer(),
+		LocalRandom: true, RemoteRandom: true,
+		StartEncryption: func(key [16]byte, rand [8]byte, ediv uint16) error {
+			return conn.StartEncryption(key, rand, ediv)
+		},
+		OnComplete: func(b smp.Bond, err error) {
+			if err == nil {
+				bond := b
+				c.bond = &bond
+			}
+			if c.OnPaired != nil {
+				c.OnPaired(b, err)
+			}
+		},
+	})
+	c.pairing = pairing
+	c.mux.Handle(l2cap.CIDSMP, pairing.HandlePDU)
+	conn.OnEncryptionChange = func(on bool) {
+		if on {
+			pairing.OnEncrypted()
+		}
+	}
+	return pairing.Start()
+}
+
+// EncryptWithBond starts LL encryption using a stored bond (reconnection
+// after earlier pairing).
+func (c *Central) EncryptWithBond(b smp.Bond) error {
+	if !c.Connected() {
+		return fmt.Errorf("host: not connected")
+	}
+	return c.conn.StartEncryption(b.LTK, b.Rand, b.EDIV)
+}

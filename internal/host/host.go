@@ -1,0 +1,135 @@
+// Package host assembles the full per-device BLE stack — radio, Link
+// Layer, L2CAP, ATT/GATT and Security Manager — into the two GAP roles of
+// the connected mode: Peripheral (advertises, serves GATT, slave) and
+// Central (scans, connects, GATT client, master).
+//
+// It also provides World, the container for one simulated radio
+// environment: scheduler, medium and RNG, in which devices and attackers
+// are placed at physical positions.
+package host
+
+import (
+	"injectable/internal/ble"
+	"injectable/internal/link"
+	"injectable/internal/medium"
+	"injectable/internal/phy"
+	"injectable/internal/sim"
+)
+
+// World is one simulated radio environment.
+type World struct {
+	Sched  *sim.Scheduler
+	RNG    *sim.RNG
+	Medium *medium.Medium
+	Tracer sim.Tracer
+}
+
+// WorldConfig configures a World.
+type WorldConfig struct {
+	// Seed drives all randomness; runs with equal seeds are identical.
+	Seed uint64
+	// Medium configures propagation and capture; zero value = defaults.
+	Medium medium.Config
+	// Tracer observes all stack events. Nil = no tracing.
+	Tracer sim.Tracer
+}
+
+// NewWorld creates an empty environment.
+func NewWorld(cfg WorldConfig) *World {
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(cfg.Seed)
+	if cfg.Medium.Tracer == nil {
+		cfg.Medium.Tracer = cfg.Tracer
+	}
+	return &World{
+		Sched:  sched,
+		RNG:    rng,
+		Medium: medium.New(sched, rng, cfg.Medium),
+		Tracer: cfg.Tracer,
+	}
+}
+
+// RunFor advances the simulation by d.
+func (w *World) RunFor(d sim.Duration) { w.Sched.RunFor(d) }
+
+// Run drains the event queue (careful: periodic activity never drains).
+func (w *World) Run() { w.Sched.Run() }
+
+// Now returns the current simulation time.
+func (w *World) Now() sim.Time { return w.Sched.Now() }
+
+// DeviceConfig describes one radio device.
+type DeviceConfig struct {
+	// Name labels the device in traces.
+	Name string
+	// Address is the device address; zero draws a static random one.
+	Address ble.Address
+	// Position in the floor plan (metres).
+	Position phy.Position
+	// TxPower in dBm (0 = default 0 dBm).
+	TxPower phy.DBm
+	// ClockPPM rates the sleep clock (0 = 50 ppm). The actual error is
+	// drawn within ±ClockPPM unless ActualPPM pins it.
+	ClockPPM float64
+	// ActualPPM pins the true clock error.
+	ActualPPM *float64
+	// ClockJitter is wakeup jitter σ (0 = 1 µs).
+	ClockJitter sim.Duration
+	// WideningScale shrinks the slave receive-window widening (the §VIII
+	// stack-side countermeasure; 0 = spec behaviour).
+	WideningScale float64
+}
+
+// Device is a positioned radio with its clock and identity — the raw
+// material for Peripheral, Central, and the attacker tooling.
+type Device struct {
+	World *World
+	Stack *link.Stack
+}
+
+// NewDevice creates a device in the world.
+func (w *World) NewDevice(cfg DeviceConfig) *Device {
+	rng := w.RNG.Child(cfg.Name)
+	if cfg.ClockPPM == 0 {
+		cfg.ClockPPM = 50
+	}
+	if cfg.ClockJitter == 0 {
+		cfg.ClockJitter = sim.Microsecond
+	}
+	addr := cfg.Address
+	if addr == (ble.Address{}) {
+		addr = ble.RandomAddress(rng)
+	}
+	clock := sim.NewClock(w.Sched, rng.Child("clock"), sim.ClockConfig{
+		RatedPPM:     cfg.ClockPPM,
+		ActualPPM:    cfg.ActualPPM,
+		JitterStdDev: cfg.ClockJitter,
+	})
+	radio := w.Medium.NewRadio(medium.RadioConfig{
+		Name:     cfg.Name,
+		Position: cfg.Position,
+		TxPower:  cfg.TxPower,
+	})
+	return &Device{
+		World: w,
+		Stack: &link.Stack{
+			Name:          cfg.Name,
+			Sched:         w.Sched,
+			Clock:         clock,
+			RNG:           rng,
+			Radio:         radio,
+			Tracer:        w.Tracer,
+			Address:       addr,
+			WideningScale: cfg.WideningScale,
+		},
+	}
+}
+
+// Address returns the device's address.
+func (d *Device) Address() ble.Address { return d.Stack.Address }
+
+// Position returns the device's antenna position.
+func (d *Device) Position() phy.Position { return d.Stack.Radio.Position() }
+
+// SetPosition moves the device.
+func (d *Device) SetPosition(p phy.Position) { d.Stack.Radio.SetPosition(p) }

@@ -1,0 +1,289 @@
+package host
+
+import (
+	"bytes"
+	"testing"
+
+	"injectable/internal/att"
+	"injectable/internal/gatt"
+	"injectable/internal/link"
+	"injectable/internal/phy"
+	"injectable/internal/sim"
+	"injectable/internal/smp"
+)
+
+// scene builds a world with a peripheral (bulb-like) and a central 2 m
+// apart and returns them connected-ready.
+func scene(t *testing.T, seed uint64) (*World, *Peripheral, *Central, *gatt.Characteristic) {
+	t.Helper()
+	w := NewWorld(WorldConfig{Seed: seed})
+	perDev := w.NewDevice(DeviceConfig{Name: "bulb", Position: phy.Position{X: 0}})
+	cenDev := w.NewDevice(DeviceConfig{Name: "phone", Position: phy.Position{X: 2}})
+
+	per := NewPeripheral(perDev, PeripheralConfig{DeviceName: "SmartBulb"})
+	power := &gatt.Characteristic{
+		UUID:       att.UUID16(0xFF01),
+		Properties: gatt.PropRead | gatt.PropWrite,
+		Value:      []byte{0x00},
+	}
+	per.GATT.AddService(&gatt.Service{
+		UUID:            att.UUID16(0xFF00),
+		Characteristics: []*gatt.Characteristic{power},
+	})
+	cen := NewCentral(cenDev, CentralConfig{})
+	return w, per, cen, power
+}
+
+func connect(t *testing.T, w *World, per *Peripheral, cen *Central) {
+	t.Helper()
+	per.StartAdvertising()
+	cen.Connect(per.Device.Address())
+	w.RunFor(2 * sim.Second)
+	if !per.Connected() || !cen.Connected() {
+		t.Fatal("not connected after 2 s")
+	}
+}
+
+func TestPeripheralCentralConnect(t *testing.T) {
+	w, per, cen, _ := scene(t, 1)
+	var perGot, cenGot bool
+	per.OnConnect = func(c *link.Conn) { perGot = true }
+	cen.OnConnect = func(c *link.Conn) { cenGot = true }
+	connect(t, w, per, cen)
+	if !perGot || !cenGot {
+		t.Fatalf("OnConnect: peripheral=%t central=%t", perGot, cenGot)
+	}
+}
+
+func TestGATTEndToEnd(t *testing.T) {
+	w, per, cen, power := scene(t, 2)
+	connect(t, w, per, cen)
+
+	// Full discovery then write-and-read through the radio.
+	var powerHandle uint16
+	cen.GATT().DiscoverServices(func(svcs []*gatt.RemoteService, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range svcs {
+			s := s
+			cen.GATT().DiscoverCharacteristics(s, func(cs []*gatt.RemoteCharacteristic, err error) {
+				for _, ch := range cs {
+					if ch.UUID == att.UUID16(0xFF01) {
+						powerHandle = ch.ValueHandle
+					}
+				}
+			})
+		}
+	})
+	w.RunFor(3 * sim.Second)
+	if powerHandle == 0 {
+		t.Fatal("power characteristic not discovered")
+	}
+	if powerHandle != power.ValueHandle {
+		t.Fatalf("discovered handle %d, server has %d", powerHandle, power.ValueHandle)
+	}
+
+	turnedOn := false
+	power.OnWrite = func(v []byte) { turnedOn = v[0] == 1 }
+	cen.GATT().Write(powerHandle, []byte{1}, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	w.RunFor(sim.Second)
+	if !turnedOn {
+		t.Fatal("write did not reach the peripheral")
+	}
+
+	var read []byte
+	cen.GATT().Read(powerHandle, func(v []byte, err error) { read = v })
+	w.RunFor(sim.Second)
+	if !bytes.Equal(read, []byte{1}) {
+		t.Fatalf("read = % x", read)
+	}
+}
+
+func TestDeviceNameReadable(t *testing.T) {
+	w, per, cen, _ := scene(t, 3)
+	connect(t, w, per, cen)
+	var name []byte
+	cen.GATT().Read(per.DeviceNameChar().ValueHandle, func(v []byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		name = v
+	})
+	w.RunFor(sim.Second)
+	if string(name) != "SmartBulb" {
+		t.Fatalf("device name = %q", name)
+	}
+}
+
+func TestPairingEndToEndOverRadio(t *testing.T) {
+	w, per, cen, _ := scene(t, 4)
+	connect(t, w, per, cen)
+
+	var bond *smp.Bond
+	var perr error
+	cen.OnPaired = func(b smp.Bond, err error) {
+		if err == nil {
+			bond = &b
+		}
+		perr = err
+	}
+	if err := cen.Pair(); err != nil {
+		t.Fatal(err)
+	}
+	w.RunFor(5 * sim.Second)
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	if bond == nil {
+		t.Fatal("no bond produced")
+	}
+	if !cen.Conn().Encrypted() || !per.Conn().Encrypted() {
+		t.Fatal("link not encrypted after pairing")
+	}
+	perBonds := per.Bonds()
+	if len(perBonds) != 1 || perBonds[0].LTK != bond.LTK {
+		t.Fatal("peripheral bond mismatch")
+	}
+	if cen.Bond() == nil || cen.Bond().LTK != bond.LTK {
+		t.Fatal("central Bond() mismatch")
+	}
+
+	// GATT still works over the now-encrypted link.
+	var name []byte
+	cen.GATT().Read(per.DeviceNameChar().ValueHandle, func(v []byte, err error) { name = v })
+	w.RunFor(sim.Second)
+	if string(name) != "SmartBulb" {
+		t.Fatalf("encrypted read = %q", name)
+	}
+}
+
+func TestReconnectWithBond(t *testing.T) {
+	w, per, cen, _ := scene(t, 5)
+	connect(t, w, per, cen)
+	if err := cen.Pair(); err != nil {
+		t.Fatal(err)
+	}
+	w.RunFor(5 * sim.Second)
+	bond := cen.Bond()
+	if bond == nil {
+		t.Fatal("pairing failed")
+	}
+
+	// Disconnect and reconnect using the stored LTK.
+	per.cfg.ReAdvertise = true
+	cen.Conn().Terminate()
+	w.RunFor(sim.Second)
+	if per.Connected() || cen.Connected() {
+		t.Fatal("still connected after terminate")
+	}
+	cen.Connect(per.Device.Address())
+	w.RunFor(3 * sim.Second)
+	if !cen.Connected() {
+		t.Fatal("reconnect failed")
+	}
+	if err := cen.EncryptWithBond(*bond); err != nil {
+		t.Fatal(err)
+	}
+	w.RunFor(2 * sim.Second)
+	if !cen.Conn().Encrypted() || !per.Conn().Encrypted() {
+		t.Fatal("bonded re-encryption failed")
+	}
+}
+
+func TestNotificationsOverRadio(t *testing.T) {
+	w := NewWorld(WorldConfig{Seed: 6})
+	perDev := w.NewDevice(DeviceConfig{Name: "watch", Position: phy.Position{X: 0}})
+	cenDev := w.NewDevice(DeviceConfig{Name: "phone", Position: phy.Position{X: 2}})
+	per := NewPeripheral(perDev, PeripheralConfig{DeviceName: "Watch"})
+	sms := &gatt.Characteristic{
+		UUID:       att.UUID16(0xFF21),
+		Properties: gatt.PropNotify | gatt.PropRead,
+	}
+	per.GATT.AddService(&gatt.Service{UUID: att.UUID16(0xFF20), Characteristics: []*gatt.Characteristic{sms}})
+	cen := NewCentral(cenDev, CentralConfig{})
+	connect(t, w, per, cen)
+
+	var got []byte
+	cen.GATT().OnNotification = func(h uint16, v []byte) {
+		if h == sms.ValueHandle {
+			got = append([]byte(nil), v...)
+		}
+	}
+	rc := &gatt.RemoteCharacteristic{ValueHandle: sms.ValueHandle, CCCDHandle: sms.CCCDHandle}
+	cen.GATT().Subscribe(rc, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	w.RunFor(sim.Second)
+	per.GATT.Notify(sms, []byte("SMS:hello"))
+	w.RunFor(sim.Second)
+	if string(got) != "SMS:hello" {
+		t.Fatalf("notification = %q", got)
+	}
+}
+
+func TestDisconnectCallbacksAndReAdvertise(t *testing.T) {
+	w, per, cen, _ := scene(t, 7)
+	per.cfg.ReAdvertise = true
+	connect(t, w, per, cen)
+	perDisc, cenDisc := false, false
+	per.OnDisconnect = func(r link.DisconnectReason) { perDisc = true }
+	cen.OnDisconnect = func(r link.DisconnectReason) { cenDisc = true }
+	cen.Conn().Terminate()
+	w.RunFor(sim.Second)
+	if per.Connected() {
+		t.Fatal("peripheral still connected")
+	}
+	if !perDisc || !cenDisc {
+		t.Fatalf("OnDisconnect: peripheral=%t central=%t", perDisc, cenDisc)
+	}
+	// Re-advertising: a new central connection must succeed.
+	cen.Connect(per.Device.Address())
+	w.RunFor(2 * sim.Second)
+	if !cen.Connected() {
+		t.Fatal("reconnect after re-advertise failed")
+	}
+}
+
+func TestWorldDeterminism(t *testing.T) {
+	run := func() sim.Time {
+		w, per, cen, _ := scene(t, 42)
+		connect(t, w, per, cen)
+		return w.Now()
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different timelines")
+	}
+}
+
+func TestDeviceAddressAndPosition(t *testing.T) {
+	w := NewWorld(WorldConfig{Seed: 8})
+	d := w.NewDevice(DeviceConfig{Name: "d", Position: phy.Position{X: 3, Y: 4}})
+	if d.Address() == ([6]byte{}) {
+		t.Fatal("no address assigned")
+	}
+	if d.Position().X != 3 {
+		t.Fatal("position wrong")
+	}
+	d.SetPosition(phy.Position{X: 9})
+	if d.Position().X != 9 {
+		t.Fatal("SetPosition failed")
+	}
+}
+
+func TestPairBeforeConnectFails(t *testing.T) {
+	w := NewWorld(WorldConfig{Seed: 9})
+	cen := NewCentral(w.NewDevice(DeviceConfig{Name: "c"}), CentralConfig{})
+	if err := cen.Pair(); err == nil {
+		t.Fatal("Pair without connection accepted")
+	}
+	if err := cen.EncryptWithBond(smp.Bond{}); err == nil {
+		t.Fatal("EncryptWithBond without connection accepted")
+	}
+}

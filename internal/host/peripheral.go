@@ -1,0 +1,165 @@
+package host
+
+import (
+	"injectable/internal/att"
+	"injectable/internal/ble/pdu"
+	"injectable/internal/gatt"
+	"injectable/internal/l2cap"
+	"injectable/internal/link"
+	"injectable/internal/sim"
+	"injectable/internal/smp"
+)
+
+// PeripheralConfig configures a Peripheral.
+type PeripheralConfig struct {
+	// AdvData is the advertising payload; a name AD structure is built
+	// from DeviceName when empty.
+	AdvData []byte
+	// DeviceName populates the GAP Device Name characteristic (the value
+	// scenario B rewrites to "Hacked" after hijacking the slave).
+	DeviceName string
+	// AdvInterval is the advertising interval (0 = 100 ms).
+	AdvInterval sim.Duration
+	// ReAdvertise resumes advertising after a disconnection.
+	ReAdvertise bool
+}
+
+// Peripheral is the GAP Peripheral role: advertiser + GATT server + slave.
+type Peripheral struct {
+	Device *Device
+	GATT   *gatt.Server
+
+	cfg        PeripheralConfig
+	advertiser *link.Advertiser
+	conn       *link.Conn
+	mux        *l2cap.Mux
+	pairing    *smp.Pairing
+	bonds      []smp.Bond
+	nameChar   *gatt.Characteristic
+
+	// OnConnect fires when a central connects.
+	OnConnect func(conn *link.Conn)
+	// OnDisconnect fires when the connection ends.
+	OnDisconnect func(reason link.DisconnectReason)
+}
+
+// NewPeripheral builds a peripheral on the device. The GAP service with the
+// Device Name characteristic is registered automatically.
+func NewPeripheral(dev *Device, cfg PeripheralConfig) *Peripheral {
+	p := &Peripheral{Device: dev, cfg: cfg}
+	p.GATT = gatt.NewServer(func(b []byte) {
+		if p.mux != nil {
+			p.mux.Send(l2cap.CIDATT, b)
+		}
+	})
+	p.nameChar = &gatt.Characteristic{
+		UUID:       att.UUID16(0x2A00),
+		Properties: gatt.PropRead,
+		Value:      []byte(cfg.DeviceName),
+	}
+	p.GATT.AddService(&gatt.Service{
+		UUID:            att.UUID16(0x1800),
+		Characteristics: []*gatt.Characteristic{p.nameChar},
+	})
+	if len(p.cfg.AdvData) == 0 && cfg.DeviceName != "" {
+		name := []byte(cfg.DeviceName)
+		p.cfg.AdvData = append([]byte{byte(len(name) + 1), 0x09}, name...)
+	}
+	return p
+}
+
+// Conn returns the active slave connection, if any.
+func (p *Peripheral) Conn() *link.Conn { return p.conn }
+
+// Connected reports whether a central is connected.
+func (p *Peripheral) Connected() bool { return p.conn != nil && !p.conn.Closed() }
+
+// DeviceNameChar returns the GAP Device Name characteristic.
+func (p *Peripheral) DeviceNameChar() *gatt.Characteristic { return p.nameChar }
+
+// Bonds lists the stored pairing bonds.
+func (p *Peripheral) Bonds() []smp.Bond { return append([]smp.Bond(nil), p.bonds...) }
+
+// AddBond pre-loads a bond (as if pairing happened in a previous session).
+func (p *Peripheral) AddBond(b smp.Bond) { p.bonds = append(p.bonds, b) }
+
+// StartAdvertising begins broadcasting connectable advertisements.
+func (p *Peripheral) StartAdvertising() {
+	if p.advertiser != nil {
+		p.advertiser.Stop()
+	}
+	p.advertiser = link.NewAdvertiser(p.Device.Stack, link.AdvertiserConfig{
+		AdvData:  p.cfg.AdvData,
+		Interval: p.cfg.AdvInterval,
+	})
+	p.advertiser.OnConnect = p.attach
+	p.advertiser.Start()
+}
+
+// StopAdvertising ceases advertising.
+func (p *Peripheral) StopAdvertising() {
+	if p.advertiser != nil {
+		p.advertiser.Stop()
+	}
+}
+
+// attach wires the upper stack onto a new slave connection.
+func (p *Peripheral) attach(conn *link.Conn) {
+	p.conn = conn
+	p.mux = l2cap.NewMux(connTransport{conn})
+	p.mux.Handle(l2cap.CIDATT, p.GATT.HandlePDU)
+
+	pairing := smp.NewResponder(smp.Config{
+		Send:        func(b []byte) { p.mux.Send(l2cap.CIDSMP, b) },
+		RNG:         p.Device.Stack.RNG.Child("smp"),
+		LocalAddr:   p.Device.Stack.Address,
+		RemoteAddr:  conn.Peer(),
+		LocalRandom: true, RemoteRandom: true,
+		OnComplete: func(b smp.Bond, err error) {
+			if err == nil {
+				p.bonds = append(p.bonds, b)
+			}
+		},
+	})
+	p.pairing = pairing
+	p.mux.Handle(l2cap.CIDSMP, pairing.HandlePDU)
+
+	conn.OnData = func(d pdu.DataPDU) { p.mux.HandlePDU(d) }
+	conn.OnLTKRequest = func(rand [8]byte, ediv uint16) ([16]byte, bool) {
+		if rand == ([8]byte{}) && ediv == 0 {
+			// STK phase of an in-progress pairing.
+			return pairing.STK()
+		}
+		for _, b := range p.bonds {
+			if b.EDIV == ediv && b.Rand == rand {
+				return b.LTK, true
+			}
+		}
+		return [16]byte{}, false
+	}
+	conn.OnEncryptionChange = func(on bool) {
+		if on {
+			pairing.OnEncrypted()
+		}
+	}
+	p.GATT.ATT().Encrypted = conn.Encrypted
+	conn.OnDisconnect = func(r link.DisconnectReason) {
+		p.conn = nil
+		p.mux = nil
+		if p.OnDisconnect != nil {
+			p.OnDisconnect(r)
+		}
+		if p.cfg.ReAdvertise {
+			p.StartAdvertising()
+		}
+	}
+	if p.OnConnect != nil {
+		p.OnConnect(conn)
+	}
+}
+
+// connTransport adapts link.Conn to l2cap.Transport.
+type connTransport struct{ conn *link.Conn }
+
+// Send implements l2cap.Transport.
+func (t connTransport) Send(llid pdu.LLID, payload []byte) { t.conn.Send(llid, payload) }

@@ -1,0 +1,277 @@
+// Package ids implements the defensive monitor sketched in the paper's
+// countermeasure discussion (§VIII): a passive wideband observer of the
+// 2.4 GHz band that learns each connection's anchor-point grid and flags
+// the physical signatures InjectaBLE cannot avoid leaving:
+//
+//   - double frames: a second BLE transmission overlapping an anchor frame
+//     on the same data channel ("the presence of double frames: the
+//     legitimate Master frame and the attacker one");
+//   - anchor deviations: anchor points arriving a window-widening early,
+//     which is precisely where injected frames must sit to win the race;
+//   - schedule splits: after a forged CONNECTION_UPDATE, two interleaved
+//     anchor trains share one access address (the MITM signature);
+//   - jamming bursts: the BTLEJack-style baseline is loud by comparison.
+package ids
+
+import (
+	"fmt"
+
+	"injectable/internal/ble"
+	"injectable/internal/ble/pdu"
+	"injectable/internal/medium"
+	"injectable/internal/sim"
+)
+
+// AlertKind classifies a detection.
+type AlertKind string
+
+// Alert kinds.
+const (
+	// AlertDoubleFrame: two overlapping transmissions in one receive
+	// window — an injection race caught red-handed.
+	AlertDoubleFrame AlertKind = "double-frame"
+	// AlertAnchorDeviation: an anchor point materially off the learned
+	// grid (injected frames anchor one window-widening early).
+	AlertAnchorDeviation AlertKind = "anchor-deviation"
+	// AlertScheduleSplit: two interleaved anchor trains on one access
+	// address — a man-in-the-middle after a forged connection update.
+	AlertScheduleSplit AlertKind = "schedule-split"
+	// AlertRogueUpdate: an LL_CONNECTION_UPDATE_IND in a frame that also
+	// deviated from the anchor grid.
+	AlertRogueUpdate AlertKind = "rogue-update"
+	// AlertJamming: a non-BLE interference burst on a data channel.
+	AlertJamming AlertKind = "jamming"
+)
+
+// Alert is one detection event.
+type Alert struct {
+	At      sim.Time
+	Kind    AlertKind
+	AA      ble.AccessAddress
+	Channel uint8
+	Detail  string
+}
+
+// String implements fmt.Stringer.
+func (a Alert) String() string {
+	return fmt.Sprintf("%v [%s] aa=%v ch=%d %s", a.At, a.Kind, a.AA, a.Channel, a.Detail)
+}
+
+// Config tunes the monitor.
+type Config struct {
+	// AnchorTolerance is the accepted deviation from the learned grid
+	// before an anchor is flagged (default 12 µs — beyond worst-case
+	// per-interval clock drift, below the smallest window widening).
+	AnchorTolerance sim.Duration
+	// SplitEvents is how many consecutive twin-anchor events confirm a
+	// schedule split (default 3).
+	SplitEvents int
+	// LearnAnchors is how many anchor gaps are used to learn the interval
+	// (default 4).
+	LearnAnchors int
+}
+
+func (c *Config) applyDefaults() {
+	if c.AnchorTolerance == 0 {
+		c.AnchorTolerance = 12 * sim.Microsecond
+	}
+	if c.SplitEvents == 0 {
+		c.SplitEvents = 3
+	}
+	if c.LearnAnchors == 0 {
+		c.LearnAnchors = 4
+	}
+}
+
+// connTrack is the monitor's model of one connection.
+type connTrack struct {
+	aa ble.AccessAddress
+
+	// learning
+	anchorTimes []sim.Time
+	interval    sim.Duration
+
+	// steady state
+	lastAnchor   sim.Time
+	lastFrameEnd sim.Time
+	lastChannel  uint8
+
+	// split detection: offset of a recurring second anchor train
+	splitOffset sim.Duration
+	splitRun    int
+	splitFired  bool
+}
+
+// Monitor is the passive IDS. Attach it to the medium with AddObserver.
+type Monitor struct {
+	cfg    Config
+	conns  map[uint32]*connTrack
+	alerts []Alert
+
+	// OnAlert fires for every alert raised.
+	OnAlert func(a Alert)
+}
+
+// New builds a monitor.
+func New(cfg Config) *Monitor {
+	cfg.applyDefaults()
+	return &Monitor{cfg: cfg, conns: make(map[uint32]*connTrack)}
+}
+
+var _ medium.Observer = (*Monitor)(nil)
+
+// Alerts returns all alerts raised so far.
+func (m *Monitor) Alerts() []Alert { return append([]Alert(nil), m.alerts...) }
+
+// AlertsOf filters alerts by kind.
+func (m *Monitor) AlertsOf(kind AlertKind) []Alert {
+	var out []Alert
+	for _, a := range m.alerts {
+		if a.Kind == kind {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// raise records and publishes one alert.
+func (m *Monitor) raise(at sim.Time, kind AlertKind, aa ble.AccessAddress, ch uint8, detail string) {
+	a := Alert{At: at, Kind: kind, AA: aa, Channel: ch, Detail: detail}
+	m.alerts = append(m.alerts, a)
+	if m.OnAlert != nil {
+		m.OnAlert(a)
+	}
+}
+
+// ObserveTx implements medium.Observer — the SDR front end.
+func (m *Monitor) ObserveTx(o medium.TxObservation) {
+	ch := uint8(o.Channel)
+	if o.Channel.IsAdvertising() {
+		return
+	}
+	if o.Noise {
+		m.raise(o.StartAt, AlertJamming, 0, ch, fmt.Sprintf("burst of %v", o.EndAt.Sub(o.StartAt)))
+		return
+	}
+	aa := ble.AccessAddress(o.Frame.AccessAddress)
+	t := m.conns[o.Frame.AccessAddress]
+	if t == nil {
+		t = &connTrack{aa: aa}
+		m.conns[o.Frame.AccessAddress] = t
+	}
+	m.observeFrame(t, o)
+}
+
+// observeFrame classifies one data-channel frame against the track.
+func (m *Monitor) observeFrame(t *connTrack, o medium.TxObservation) {
+	ch := uint8(o.Channel)
+
+	// Double frame: starts while another frame of this connection is
+	// still on the air, on the same channel.
+	if o.StartAt < t.lastFrameEnd && ch == t.lastChannel {
+		m.raise(o.StartAt, AlertDoubleFrame, t.aa, ch,
+			fmt.Sprintf("overlaps frame ending %v", t.lastFrameEnd))
+		if o.EndAt > t.lastFrameEnd {
+			t.lastFrameEnd = o.EndAt
+		}
+		return
+	}
+
+	gap := o.StartAt.Sub(t.lastAnchor)
+	isResponse := t.lastFrameEnd != 0 &&
+		o.StartAt.Sub(t.lastFrameEnd) < 400*sim.Microsecond && ch == t.lastChannel
+
+	if !isResponse {
+		m.observeAnchor(t, o, gap)
+	}
+	t.lastFrameEnd = o.EndAt
+	t.lastChannel = ch
+}
+
+// observeAnchor learns the grid and flags deviations.
+func (m *Monitor) observeAnchor(t *connTrack, o medium.TxObservation, gap sim.Duration) {
+	ch := uint8(o.Channel)
+
+	if t.interval == 0 {
+		// Learning phase: collect anchors, then derive the interval as the
+		// 1.25 ms-quantised minimum gap.
+		t.anchorTimes = append(t.anchorTimes, o.StartAt)
+		t.lastAnchor = o.StartAt
+		if len(t.anchorTimes) > m.cfg.LearnAnchors {
+			minGap := sim.Duration(1 << 62)
+			for i := 1; i < len(t.anchorTimes); i++ {
+				if g := t.anchorTimes[i].Sub(t.anchorTimes[i-1]); g < minGap {
+					minGap = g
+				}
+			}
+			units := (int64(minGap) + int64(ble.ConnUnit)/2) / int64(ble.ConnUnit)
+			if units >= 6 {
+				t.interval = sim.Duration(units) * ble.ConnUnit
+			} else {
+				t.anchorTimes = t.anchorTimes[1:]
+			}
+		}
+		return
+	}
+
+	// Residual against the learned grid from the last on-grid anchor.
+	k := (int64(gap) + int64(t.interval)/2) / int64(t.interval)
+	var residual sim.Duration
+	if k > 0 {
+		residual = gap - sim.Duration(k)*t.interval
+	} else {
+		residual = gap
+	}
+
+	if k > 0 && residual >= -m.cfg.AnchorTolerance && residual <= m.cfg.AnchorTolerance {
+		// On-grid anchor: advance the grid reference. splitRun is NOT
+		// reset here — the primary and secondary trains interleave, so
+		// on-grid anchors always separate split candidates.
+		t.lastAnchor = o.StartAt
+		return
+	}
+
+	if k > 0 && residual > -t.interval/4 && residual < t.interval/4 {
+		// Near the grid but outside tolerance — the injection signature
+		// (forged frames sit one window-widening early). The grid still
+		// advances: the slave re-anchored on this frame.
+		m.raise(o.StartAt, AlertAnchorDeviation, t.aa, ch,
+			fmt.Sprintf("residual %v over %d interval(s)", residual, k))
+		if op, ok := controlOpcode(o.Frame); ok && op == pdu.OpConnectionUpdateInd {
+			m.raise(o.StartAt, AlertRogueUpdate, t.aa, ch, "connection update off the anchor grid")
+		}
+		t.lastAnchor = o.StartAt
+		return
+	}
+
+	// Mid-grid transmission: candidate second anchor train (MITM). The
+	// grid reference is NOT advanced, so the offset of the second train
+	// stays measurable against the primary one.
+	offset := gap % t.interval
+	m.trackSplit(t, o, offset)
+}
+
+// trackSplit watches for a persistent second anchor train.
+func (m *Monitor) trackSplit(t *connTrack, o medium.TxObservation, offset sim.Duration) {
+	const tol = 500 * sim.Microsecond
+	if t.splitRun > 0 && offset > t.splitOffset-tol && offset < t.splitOffset+tol {
+		t.splitRun++
+	} else {
+		t.splitOffset = offset
+		t.splitRun = 1
+	}
+	if t.splitRun >= m.cfg.SplitEvents && !t.splitFired {
+		t.splitFired = true
+		m.raise(o.StartAt, AlertScheduleSplit, t.aa, uint8(o.Channel),
+			fmt.Sprintf("second anchor train offset %v", t.splitOffset))
+	}
+}
+
+// controlOpcode extracts the LL control opcode of a frame, if any.
+func controlOpcode(f medium.Frame) (pdu.Opcode, bool) {
+	p, err := pdu.UnmarshalDataPDU(f.PDU)
+	if err != nil || !p.IsControl() || len(p.Payload) == 0 {
+		return 0, false
+	}
+	return pdu.Opcode(p.Payload[0]), true
+}

@@ -1,0 +1,226 @@
+package ids
+
+import (
+	"testing"
+
+	"injectable/internal/devices"
+	"injectable/internal/host"
+	"injectable/internal/injectable"
+	"injectable/internal/link"
+	"injectable/internal/phy"
+	"injectable/internal/sim"
+)
+
+// monitoredScene: bulb + phone + attacker + IDS observing the medium.
+type monitoredScene struct {
+	w        *host.World
+	bulb     *devices.Lightbulb
+	phone    *devices.Smartphone
+	attacker *injectable.Attacker
+	monitor  *Monitor
+}
+
+func newScene(t *testing.T, seed uint64) *monitoredScene {
+	t.Helper()
+	w := host.NewWorld(host.WorldConfig{Seed: seed})
+	s := &monitoredScene{w: w}
+	s.bulb = devices.NewLightbulb(w.NewDevice(host.DeviceConfig{Name: "bulb", Position: phy.Position{X: 0}}))
+	s.phone = devices.NewSmartphone(w.NewDevice(host.DeviceConfig{
+		Name: "phone", Position: phy.Position{X: 2},
+	}), devices.SmartphoneConfig{ConnParams: link.ConnParams{Interval: 36}})
+	atk := w.NewDevice(host.DeviceConfig{
+		Name: "attacker", Position: phy.Position{X: 1, Y: 1.732},
+		ClockPPM: 20, ClockJitter: 500 * sim.Nanosecond,
+	})
+	s.attacker = injectable.NewAttacker(atk.Stack, injectable.InjectorConfig{})
+	s.monitor = New(Config{})
+	w.Medium.AddObserver(s.monitor)
+	return s
+}
+
+func (s *monitoredScene) connect(t *testing.T) {
+	t.Helper()
+	s.attacker.Sniffer.Start()
+	s.bulb.Peripheral.StartAdvertising()
+	s.phone.Connect(s.bulb.Peripheral.Device.Address())
+	s.w.RunFor(3 * sim.Second)
+	if !s.attacker.Sniffer.Following() {
+		t.Fatal("attacker not following")
+	}
+}
+
+func TestNoFalseAlertsOnCleanTraffic(t *testing.T) {
+	s := newScene(t, 1)
+	s.bulb.Peripheral.StartAdvertising()
+	s.phone.Connect(s.bulb.Peripheral.Device.Address())
+	s.w.RunFor(10 * sim.Second)
+	for _, kind := range []AlertKind{AlertDoubleFrame, AlertScheduleSplit, AlertJamming, AlertRogueUpdate} {
+		if n := len(s.monitor.AlertsOf(kind)); n != 0 {
+			t.Errorf("%d false %v alerts on clean traffic", n, kind)
+		}
+	}
+	// Anchor-deviation false positives must be rare (clock jitter only).
+	if n := len(s.monitor.AlertsOf(AlertAnchorDeviation)); n > 2 {
+		t.Errorf("%d anchor-deviation false positives", n)
+	}
+}
+
+func TestDetectsInjectionAttempts(t *testing.T) {
+	s := newScene(t, 2)
+	s.connect(t)
+	var rep *injectable.Report
+	err := s.attacker.InjectWrite(s.bulb.ControlHandle(), devices.PowerCommand(true),
+		func(r injectable.Report) { rep = &r })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.w.RunFor(30 * sim.Second)
+	if rep == nil || !rep.Success {
+		t.Fatal("injection failed")
+	}
+	// Every injection attempt that collided shows as a double frame, and
+	// even clean wins anchor early: the IDS must have seen something.
+	double := len(s.monitor.AlertsOf(AlertDoubleFrame))
+	deviate := len(s.monitor.AlertsOf(AlertAnchorDeviation))
+	if double+deviate == 0 {
+		t.Fatalf("IDS blind to the injection (attempts=%d)", rep.AttemptCount())
+	}
+}
+
+func TestDetectsMITMScheduleSplit(t *testing.T) {
+	s := newScene(t, 3)
+	s.connect(t)
+	var session *injectable.MITM
+	err := s.attacker.ManInTheMiddle(injectable.UpdateParams{}, injectable.MITMConfig{},
+		func(m *injectable.MITM, err error) {
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			session = m
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.w.RunFor(60 * sim.Second)
+	if session == nil || session.Closed() {
+		t.Fatal("MITM not established")
+	}
+	if len(s.monitor.AlertsOf(AlertScheduleSplit)) == 0 {
+		t.Fatal("IDS missed the MITM schedule split")
+	}
+	if len(s.monitor.AlertsOf(AlertRogueUpdate)) == 0 {
+		t.Log("note: rogue update not flagged (injection may have won cleanly)")
+	}
+}
+
+func TestDetectsJamming(t *testing.T) {
+	s := newScene(t, 4)
+	s.bulb.Peripheral.StartAdvertising()
+	s.phone.Connect(s.bulb.Peripheral.Device.Address())
+	s.w.RunFor(2 * sim.Second)
+	// A BTLEJack-style jammer blasts a data channel.
+	jammer := s.w.NewDevice(host.DeviceConfig{Name: "jammer", Position: phy.Position{X: 1}})
+	jammer.Stack.Radio.SetChannel(phy.Channel(12))
+	jammer.Stack.Radio.TransmitNoise(500 * sim.Microsecond)
+	s.w.RunFor(sim.Second)
+	if len(s.monitor.AlertsOf(AlertJamming)) == 0 {
+		t.Fatal("jamming not detected")
+	}
+}
+
+func TestStealthComparisonInjectionQuieterThanJamming(t *testing.T) {
+	// The paper argues InjectaBLE is stealthier than BTLEJack: a naive
+	// RF monitor (jamming detector only) sees nothing, while the
+	// double-frame detector is required.
+	s := newScene(t, 5)
+	s.connect(t)
+	var rep *injectable.Report
+	if err := s.attacker.InjectWrite(s.bulb.ControlHandle(), devices.PowerCommand(true),
+		func(r injectable.Report) { rep = &r }); err != nil {
+		t.Fatal(err)
+	}
+	s.w.RunFor(30 * sim.Second)
+	if rep == nil || !rep.Success {
+		t.Fatal("injection failed")
+	}
+	if n := len(s.monitor.AlertsOf(AlertJamming)); n != 0 {
+		t.Fatalf("injection raised %d jamming alerts — should be silent to RF-burst detectors", n)
+	}
+}
+
+func TestAlertStringAndAccessors(t *testing.T) {
+	m := New(Config{})
+	m.raise(sim.Time(5*sim.Microsecond), AlertDoubleFrame, 0x12345678, 7, "test")
+	if len(m.Alerts()) != 1 {
+		t.Fatal("Alerts() broken")
+	}
+	if m.Alerts()[0].String() == "" {
+		t.Fatal("empty alert string")
+	}
+	if len(m.AlertsOf(AlertJamming)) != 0 {
+		t.Fatal("AlertsOf filter broken")
+	}
+}
+
+func TestOnAlertCallback(t *testing.T) {
+	m := New(Config{})
+	fired := 0
+	m.OnAlert = func(Alert) { fired++ }
+	m.raise(0, AlertJamming, 0, 1, "x")
+	if fired != 1 {
+		t.Fatal("OnAlert not fired")
+	}
+}
+
+func TestDetectsKeystrokeInjectionChain(t *testing.T) {
+	// The §IX keyboard chain rides on a slave hijack: the monitor must see
+	// the same injection signatures.
+	out, err := experimentsRunKeystrokes(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.success {
+		t.Skip("keystroke chain failed under this seed")
+	}
+	if out.doubleFrames+out.anchorDevs == 0 {
+		t.Fatal("IDS blind to the keyboard hijack")
+	}
+}
+
+// experimentsRunKeystrokes reimplements the scenario locally to avoid an
+// import cycle with the experiments package.
+func experimentsRunKeystrokes(seed uint64) (struct {
+	success                  bool
+	doubleFrames, anchorDevs int
+}, error) {
+	var out struct {
+		success                  bool
+		doubleFrames, anchorDevs int
+	}
+	w := host.NewWorld(host.WorldConfig{Seed: seed})
+	monitor := New(Config{})
+	w.Medium.AddObserver(monitor)
+	fob := devices.NewKeyfob(w.NewDevice(host.DeviceConfig{Name: "fob", Position: phy.Position{X: 0}}))
+	computer := devices.NewComputer(w.NewDevice(host.DeviceConfig{Name: "laptop", Position: phy.Position{X: 2}}))
+	atk := w.NewDevice(host.DeviceConfig{Name: "attacker", Position: phy.Position{X: 1, Y: 1.732},
+		ClockPPM: 20, ClockJitter: 500 * sim.Nanosecond})
+	a := injectable.NewAttacker(atk.Stack, injectable.InjectorConfig{})
+	a.Sniffer.Start()
+	fob.Peripheral.StartAdvertising()
+	computer.Connect(fob.Peripheral.Device.Address())
+	w.RunFor(3 * sim.Second)
+	var ki *injectable.KeystrokeInjection
+	if err := a.InjectKeyboard("kbd", func(k *injectable.KeystrokeInjection, err error) { ki = k }); err != nil {
+		return out, err
+	}
+	w.RunFor(50 * sim.Second)
+	if ki != nil && ki.Attached() {
+		_ = ki.Type("id\n")
+		w.RunFor(5 * sim.Second)
+		out.success = computer.Typed.Len() > 0
+	}
+	out.doubleFrames = len(monitor.AlertsOf(AlertDoubleFrame))
+	out.anchorDevs = len(monitor.AlertsOf(AlertAnchorDeviation))
+	return out, nil
+}

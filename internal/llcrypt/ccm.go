@@ -1,0 +1,152 @@
+// Package llcrypt implements the cryptography of the BLE Link Layer and
+// Security Manager: AES-CCM frame encryption (Core Spec Vol 6 Part E), the
+// encryption-session key derivation from LL_ENC_REQ/RSP material, and the
+// legacy-pairing confirm/key functions c1 and s1 (Vol 3 Part H §2.2.3).
+//
+// The paper's countermeasure analysis (§IV, §VIII) hinges on this layer:
+// with LL encryption active an injected plaintext frame fails its MIC and
+// the impact of InjectaBLE collapses from full control to denial of
+// service. The experiment harness reproduces exactly that.
+package llcrypt
+
+import (
+	"crypto/aes"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+)
+
+// MICSize is the BLE CCM message integrity check length in bytes.
+const MICSize = 4
+
+// ccmLenSize is the CCM L parameter (bytes encoding the message length).
+const ccmLenSize = 2
+
+// NonceSize is the CCM nonce length: 15 − L = 13 bytes.
+const NonceSize = 15 - ccmLenSize
+
+// ErrMIC reports a failed integrity check on decryption — the observable
+// outcome of injecting a plaintext frame into an encrypted connection.
+var ErrMIC = errors.New("llcrypt: MIC verification failed")
+
+// CCMEncrypt encrypts plaintext with AES-128 CCM (M=4, L=2) and returns
+// ciphertext ∥ MIC. aad is the additional authenticated data (for BLE: the
+// masked first header byte).
+func CCMEncrypt(key [16]byte, nonce [NonceSize]byte, plaintext, aad []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("llcrypt: %w", err)
+	}
+	tag := ccmAuth(block.Encrypt, nonce, plaintext, aad)
+	out := make([]byte, len(plaintext)+MICSize)
+	ccmCTR(block.Encrypt, nonce, plaintext, out[:len(plaintext)])
+	// The tag is encrypted with counter block 0.
+	var a0, s0 [16]byte
+	counterBlock(&a0, nonce, 0)
+	block.Encrypt(s0[:], a0[:])
+	for i := 0; i < MICSize; i++ {
+		out[len(plaintext)+i] = tag[i] ^ s0[i]
+	}
+	return out, nil
+}
+
+// CCMDecrypt verifies and decrypts ciphertext ∥ MIC produced by CCMEncrypt.
+// It returns ErrMIC when the tag does not match.
+func CCMDecrypt(key [16]byte, nonce [NonceSize]byte, ciphertext, aad []byte) ([]byte, error) {
+	if len(ciphertext) < MICSize {
+		return nil, fmt.Errorf("llcrypt: ciphertext shorter than MIC: %d", len(ciphertext))
+	}
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("llcrypt: %w", err)
+	}
+	body := ciphertext[:len(ciphertext)-MICSize]
+	gotTag := ciphertext[len(ciphertext)-MICSize:]
+	plain := make([]byte, len(body))
+	ccmCTR(block.Encrypt, nonce, body, plain)
+	wantTag := ccmAuth(block.Encrypt, nonce, plain, aad)
+	var a0, s0 [16]byte
+	counterBlock(&a0, nonce, 0)
+	block.Encrypt(s0[:], a0[:])
+	enc := make([]byte, MICSize)
+	for i := 0; i < MICSize; i++ {
+		enc[i] = wantTag[i] ^ s0[i]
+	}
+	if subtle.ConstantTimeCompare(enc, gotTag) != 1 {
+		return nil, ErrMIC
+	}
+	return plain, nil
+}
+
+// ccmAuth computes the raw (unencrypted) CBC-MAC tag per RFC 3610.
+func ccmAuth(encrypt func(dst, src []byte), nonce [NonceSize]byte, plaintext, aad []byte) [MICSize]byte {
+	var b0 [16]byte
+	// Flags: Adata, M'=(M-2)/2 in bits 3..5, L'=L-1 in bits 0..2.
+	flags := byte((MICSize - 2) / 2 << 3)
+	flags |= ccmLenSize - 1
+	if len(aad) > 0 {
+		flags |= 1 << 6
+	}
+	b0[0] = flags
+	copy(b0[1:1+NonceSize], nonce[:])
+	b0[14] = byte(len(plaintext) >> 8)
+	b0[15] = byte(len(plaintext))
+
+	var x [16]byte
+	encrypt(x[:], b0[:])
+	xorInto := func(chunk []byte) {
+		var blockBuf [16]byte
+		copy(blockBuf[:], chunk)
+		for i := range x {
+			x[i] ^= blockBuf[i]
+		}
+		encrypt(x[:], x[:])
+	}
+	if len(aad) > 0 {
+		// First AAD block is prefixed with its 2-byte length.
+		hdr := make([]byte, 0, 2+len(aad))
+		hdr = append(hdr, byte(len(aad)>>8), byte(len(aad)))
+		hdr = append(hdr, aad...)
+		for off := 0; off < len(hdr); off += 16 {
+			end := off + 16
+			if end > len(hdr) {
+				end = len(hdr)
+			}
+			xorInto(hdr[off:end])
+		}
+	}
+	for off := 0; off < len(plaintext); off += 16 {
+		end := off + 16
+		if end > len(plaintext) {
+			end = len(plaintext)
+		}
+		xorInto(plaintext[off:end])
+	}
+	var tag [MICSize]byte
+	copy(tag[:], x[:MICSize])
+	return tag
+}
+
+// counterBlock fills dst with the CTR block A_i.
+func counterBlock(dst *[16]byte, nonce [NonceSize]byte, i uint16) {
+	dst[0] = ccmLenSize - 1
+	copy(dst[1:1+NonceSize], nonce[:])
+	dst[14] = byte(i >> 8)
+	dst[15] = byte(i)
+}
+
+// ccmCTR applies CTR keystream blocks A_1.. to src into dst.
+func ccmCTR(encrypt func(dst, src []byte), nonce [NonceSize]byte, src, dst []byte) {
+	var a, s [16]byte
+	for off := 0; off < len(src); off += 16 {
+		counterBlock(&a, nonce, uint16(off/16)+1)
+		encrypt(s[:], a[:])
+		end := off + 16
+		if end > len(src) {
+			end = len(src)
+		}
+		for i := off; i < end; i++ {
+			dst[i] = src[i] ^ s[i-off]
+		}
+	}
+}

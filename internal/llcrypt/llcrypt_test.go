@@ -1,0 +1,282 @@
+package llcrypt
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"injectable/internal/ble"
+)
+
+func h16(t *testing.T, s string) [16]byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != 16 {
+		t.Fatalf("bad hex fixture %q", s)
+	}
+	var out [16]byte
+	copy(out[:], b)
+	return out
+}
+
+func TestCCMRoundTrip(t *testing.T) {
+	key := [16]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	var nonce [NonceSize]byte
+	copy(nonce[:], "0123456789abc")
+	plain := []byte("attack at dawn")
+	aad := []byte{0x02}
+	ct, err := CCMEncrypt(key, nonce, plain, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ct) != len(plain)+MICSize {
+		t.Fatalf("ciphertext length %d", len(ct))
+	}
+	if bytes.Contains(ct, plain) {
+		t.Fatal("plaintext visible in ciphertext")
+	}
+	back, err := CCMDecrypt(key, nonce, ct, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, plain) {
+		t.Fatalf("round trip: %q", back)
+	}
+}
+
+func TestCCMDetectsTampering(t *testing.T) {
+	key := [16]byte{42}
+	var nonce [NonceSize]byte
+	plain := []byte{1, 2, 3, 4, 5}
+	ct, err := CCMEncrypt(key, nonce, plain, []byte{0x0E})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ct {
+		bad := append([]byte(nil), ct...)
+		bad[i] ^= 0x10
+		if _, err := CCMDecrypt(key, nonce, bad, []byte{0x0E}); !errors.Is(err, ErrMIC) {
+			t.Fatalf("tampered byte %d accepted (err=%v)", i, err)
+		}
+	}
+}
+
+func TestCCMDetectsAADChange(t *testing.T) {
+	key := [16]byte{7}
+	var nonce [NonceSize]byte
+	ct, err := CCMEncrypt(key, nonce, []byte{9, 9}, []byte{0x02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CCMDecrypt(key, nonce, ct, []byte{0x03}); !errors.Is(err, ErrMIC) {
+		t.Fatal("AAD change accepted")
+	}
+}
+
+func TestCCMEmptyPayload(t *testing.T) {
+	key := [16]byte{1}
+	var nonce [NonceSize]byte
+	ct, err := CCMEncrypt(key, nonce, nil, []byte{0x01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ct) != MICSize {
+		t.Fatalf("MIC-only ciphertext length %d", len(ct))
+	}
+	back, err := CCMDecrypt(key, nonce, ct, []byte{0x01})
+	if err != nil || len(back) != 0 {
+		t.Fatalf("empty round trip: %v %v", back, err)
+	}
+}
+
+func TestCCMTooShort(t *testing.T) {
+	key := [16]byte{}
+	var nonce [NonceSize]byte
+	if _, err := CCMDecrypt(key, nonce, []byte{1, 2}, nil); err == nil {
+		t.Fatal("3-byte ciphertext accepted")
+	}
+}
+
+func TestCCMRoundTripProperty(t *testing.T) {
+	f := func(key [16]byte, nonce [13]byte, plain []byte, aadByte byte) bool {
+		if len(plain) > 251 {
+			plain = plain[:251]
+		}
+		ct, err := CCMEncrypt(key, nonce, plain, []byte{aadByte})
+		if err != nil {
+			return false
+		}
+		back, err := CCMDecrypt(key, nonce, ct, []byte{aadByte})
+		return err == nil && bytes.Equal(back, plain)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionKeyDerivation(t *testing.T) {
+	// SK = e(LTK, SKD): verify against an independent E computation.
+	ltk := h16(t, "4C68384139F574D836BCF34E9DFB01BF")
+	skdm := [8]byte{0xAC, 0xBD, 0xCE, 0xDF, 0xE0, 0xF1, 0x02, 0x13}
+	skds := [8]byte{0x02, 0x13, 0x24, 0x35, 0x46, 0x57, 0x68, 0x79}
+	skd := SessionKeyDiversifier(skdm, skds)
+	if !bytes.Equal(skd[0:8], skdm[:]) || !bytes.Equal(skd[8:16], skds[:]) {
+		t.Fatal("SKD assembly wrong")
+	}
+	s, err := NewSession(ltk, skd, [8]byte{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SessionKey() != E(ltk, skd) {
+		t.Fatal("SK != e(LTK, SKD)")
+	}
+}
+
+func TestSessionRoundTrip(t *testing.T) {
+	ltk := [16]byte{11, 22, 33}
+	skd := [16]byte{44, 55}
+	iv := [8]byte{66, 77}
+	master, err := NewSession(ltk, skd, iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slave, err := NewSession(ltk, skd, iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		plain := []byte{0x04, byte(i), 0xAA}
+		ct, err := master.EncryptPDU(0x02, plain, MasterToSlave)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := slave.DecryptPDU(0x02, ct, MasterToSlave)
+		if err != nil {
+			t.Fatalf("PDU %d: %v", i, err)
+		}
+		if !bytes.Equal(back, plain) {
+			t.Fatalf("PDU %d mangled", i)
+		}
+	}
+}
+
+func TestSessionDirectionsIndependent(t *testing.T) {
+	ltk, skd, iv := [16]byte{1}, [16]byte{2}, [8]byte{3}
+	a, _ := NewSession(ltk, skd, iv)
+	b, _ := NewSession(ltk, skd, iv)
+	// Interleave directions: each has its own counter.
+	ct1, _ := a.EncryptPDU(0x02, []byte{1}, MasterToSlave)
+	ct2, _ := a.EncryptPDU(0x01, []byte{2}, SlaveToMaster)
+	if _, err := b.DecryptPDU(0x02, ct1, MasterToSlave); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.DecryptPDU(0x01, ct2, SlaveToMaster); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionCounterDesyncFails(t *testing.T) {
+	ltk, skd, iv := [16]byte{1}, [16]byte{2}, [8]byte{3}
+	a, _ := NewSession(ltk, skd, iv)
+	b, _ := NewSession(ltk, skd, iv)
+	ct1, _ := a.EncryptPDU(0x02, []byte{1}, MasterToSlave)
+	ct2, _ := a.EncryptPDU(0x02, []byte{2}, MasterToSlave)
+	// Receiver misses ct1: decrypting ct2 with counter 0 must fail.
+	if _, err := b.DecryptPDU(0x02, ct2, MasterToSlave); !errors.Is(err, ErrMIC) {
+		t.Fatal("counter desync not detected")
+	}
+	_ = ct1
+}
+
+func TestSessionNonceDirectionBit(t *testing.T) {
+	s := &Session{}
+	nM := s.nonce(5, MasterToSlave)
+	nS := s.nonce(5, SlaveToMaster)
+	if nM[4]&0x80 == 0 || nS[4]&0x80 != 0 {
+		t.Fatal("direction bit misplaced")
+	}
+	if nM[0] != 5 {
+		t.Fatal("counter not little-endian in nonce")
+	}
+}
+
+func TestMaskHeader(t *testing.T) {
+	// NESN (bit 2), SN (bit 3), MD (bit 4) masked; LLID kept.
+	got := maskHeader(0xFF)[0]
+	if got != 0xFF&^0x1C {
+		t.Fatalf("maskHeader = %02x", got)
+	}
+}
+
+func TestPlaintextInjectionIntoEncryptedSessionFails(t *testing.T) {
+	// The paper §IV: an attacker without the LTK can still inject, but the
+	// frame fails MIC — impact limited to denial of service.
+	ltk, skd, iv := [16]byte{9}, [16]byte{8}, [8]byte{7}
+	slave, _ := NewSession(ltk, skd, iv)
+	forged := []byte{0x06, 0x00, 0x01, 0x13, 0xDE, 0xAD} // plaintext ATT-ish bytes
+	if _, err := slave.DecryptPDU(0x02, forged, MasterToSlave); !errors.Is(err, ErrMIC) {
+		t.Fatal("plaintext injection accepted by encrypted session")
+	}
+}
+
+func TestC1SpecVector(t *testing.T) {
+	// Core Spec Vol 3 Part H §2.2.3 sample data. The 7-byte PDU values are
+	// written MSB-first as in the spec: preq = 0x07071000000101,
+	// pres = 0x05000800000302.
+	k := [16]byte{}
+	r := h16(t, "5783D52156AD6F0E6388274EC6702EE0")
+	preq := [7]byte{0x07, 0x07, 0x10, 0x00, 0x00, 0x01, 0x01}
+	pres := [7]byte{0x05, 0x00, 0x08, 0x00, 0x00, 0x03, 0x02}
+	ia := ble.Address{0xA1, 0xA2, 0xA3, 0xA4, 0xA5, 0xA6}
+	ra := ble.Address{0xB1, 0xB2, 0xB3, 0xB4, 0xB5, 0xB6}
+	got := C1(k, r, preq, pres, 0x01, 0x00, ia, ra)
+	want := h16(t, "1E1E3FEF878988EAD2A74DC5BEF13B86")
+	if got != want {
+		t.Fatalf("c1 = %X, want %X", got, want)
+	}
+}
+
+func TestS1SpecVector(t *testing.T) {
+	k := [16]byte{}
+	r1 := h16(t, "000F0E0D0C0B0A091122334455667788")
+	r2 := h16(t, "010203040506070899AABBCCDDEEFF00")
+	got := S1(k, r1, r2)
+	want := h16(t, "9A1FE1F0E8B0F49B5B4216AE796DA062")
+	if got != want {
+		t.Fatalf("s1 = %X, want %X", got, want)
+	}
+}
+
+func TestC1DependsOnAllInputs(t *testing.T) {
+	k, r := [16]byte{1}, [16]byte{2}
+	preq, pres := [7]byte{3}, [7]byte{4}
+	ia, ra := ble.Address{5}, ble.Address{6}
+	base := C1(k, r, preq, pres, 0, 0, ia, ra)
+	if C1(k, r, preq, pres, 1, 0, ia, ra) == base {
+		t.Error("iat ignored")
+	}
+	if C1(k, r, preq, pres, 0, 1, ia, ra) == base {
+		t.Error("rat ignored")
+	}
+	ia2 := ia
+	ia2[5] = 0xFF
+	if C1(k, r, preq, pres, 0, 0, ia2, ra) == base {
+		t.Error("ia ignored")
+	}
+	preq2 := preq
+	preq2[6] = 0xFF
+	if C1(k, r, preq2, pres, 0, 0, ia, ra) == base {
+		t.Error("preq ignored")
+	}
+}
+
+func TestXOR16(t *testing.T) {
+	a := [16]byte{0xFF}
+	b := [16]byte{0x0F, 0xFF}
+	got := XOR16(a, b)
+	if got[0] != 0xF0 || got[1] != 0xFF || got[2] != 0 {
+		t.Fatalf("XOR16 = %X", got)
+	}
+}

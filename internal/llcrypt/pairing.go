@@ -1,0 +1,70 @@
+package llcrypt
+
+import (
+	"crypto/aes"
+
+	"injectable/internal/ble"
+)
+
+// Values in this file follow the Security Manager convention of Vol 3
+// Part H: 128-bit values are written most-significant byte first in
+// [16]byte arrays, matching the spec's sample-data notation.
+
+// E is the SMP security function e: AES-128 encryption of a 16-byte block.
+func E(key, plaintext [16]byte) [16]byte {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		// aes.NewCipher only fails on bad key length; [16]byte cannot.
+		panic(err)
+	}
+	var out [16]byte
+	block.Encrypt(out[:], plaintext[:])
+	return out
+}
+
+// XOR16 returns a ⊕ b.
+func XOR16(a, b [16]byte) [16]byte {
+	var out [16]byte
+	for i := range out {
+		out[i] = a[i] ^ b[i]
+	}
+	return out
+}
+
+// C1 is the legacy-pairing confirm value function (Vol 3 Part H §2.2.3):
+//
+//	c1(k, r, preq, pres, iat, rat, ia, ra) = e(k, e(k, r ⊕ p1) ⊕ p2)
+//	p1 = pres ∥ preq ∥ rat ∥ iat
+//	p2 = padding ∥ ia ∥ ra
+//
+// preq/pres are the 7-byte pairing request/response PDUs, iat/rat the
+// address types (0 public, 1 random), ia/ra the initiating and responding
+// device addresses.
+func C1(k, r [16]byte, preq, pres [7]byte, iat, rat byte, ia, ra ble.Address) [16]byte {
+	var p1 [16]byte
+	copy(p1[0:7], pres[:])
+	copy(p1[7:14], preq[:])
+	p1[14] = rat & 1
+	p1[15] = iat & 1
+
+	var p2 [16]byte
+	copy(p2[4:10], ia[:])
+	copy(p2[10:16], ra[:])
+
+	inner := E(k, XOR16(r, p1))
+	return E(k, XOR16(inner, p2))
+}
+
+// S1 is the legacy-pairing key generation function:
+//
+//	s1(k, r1, r2) = e(k, r1' ∥ r2')
+//
+// where r1' and r2' are the least-significant 8 bytes of r1 and r2 (in the
+// MSB-first convention: the last 8 array bytes), r1' becoming the
+// most-significant half.
+func S1(k, r1, r2 [16]byte) [16]byte {
+	var r [16]byte
+	copy(r[0:8], r1[8:16])
+	copy(r[8:16], r2[8:16])
+	return E(k, r)
+}

@@ -1,0 +1,106 @@
+package llcrypt
+
+import (
+	"crypto/aes"
+	"fmt"
+)
+
+// Direction distinguishes master→slave from slave→master traffic in the
+// CCM nonce.
+type Direction int
+
+// Traffic directions.
+const (
+	MasterToSlave Direction = iota + 1
+	SlaveToMaster
+)
+
+// Session is an active LL encryption session: the AES-CCM state both ends
+// maintain after the encryption-start procedure. Each direction has its own
+// 39-bit packet counter.
+type Session struct {
+	sk [16]byte
+	iv [8]byte
+	// packet counters per direction, incremented per encrypted PDU
+	txCounterM2S uint64
+	txCounterS2M uint64
+}
+
+// SessionKeyDiversifier is the 16-byte SKD assembled from the SKDm of
+// LL_ENC_REQ (least-significant half) and SKDs of LL_ENC_RSP
+// (most-significant half), per Core Spec Vol 6 Part B §5.1.3.
+func SessionKeyDiversifier(skdm, skds [8]byte) [16]byte {
+	var skd [16]byte
+	copy(skd[0:8], skdm[:])
+	copy(skd[8:16], skds[:])
+	return skd
+}
+
+// InitializationVector assembles the 8-byte IV from IVm and IVs.
+func InitializationVector(ivm, ivs [4]byte) [8]byte {
+	var iv [8]byte
+	copy(iv[0:4], ivm[:])
+	copy(iv[4:8], ivs[:])
+	return iv
+}
+
+// NewSession derives the session key SK = e(LTK, SKD) and binds the IV.
+func NewSession(ltk [16]byte, skd [16]byte, iv [8]byte) (*Session, error) {
+	block, err := aes.NewCipher(ltk[:])
+	if err != nil {
+		return nil, fmt.Errorf("llcrypt: %w", err)
+	}
+	s := &Session{iv: iv}
+	block.Encrypt(s.sk[:], skd[:])
+	return s, nil
+}
+
+// nonce builds the 13-byte CCM nonce: 39-bit packet counter (little
+// endian) with the direction bit in bit 7 of byte 4, then the 8-byte IV.
+func (s *Session) nonce(counter uint64, dir Direction) [NonceSize]byte {
+	var n [NonceSize]byte
+	for i := 0; i < 5; i++ {
+		n[i] = byte(counter >> (8 * i))
+	}
+	n[4] &= 0x7F
+	if dir == MasterToSlave {
+		n[4] |= 0x80
+	}
+	copy(n[5:], s.iv[:])
+	return n
+}
+
+// maskHeader returns the AAD: the first data-PDU header byte with NESN, SN
+// and MD masked to zero (they may be retransmitted with different values).
+func maskHeader(header byte) []byte { return []byte{header &^ 0x1C} }
+
+// EncryptPDU encrypts a data-PDU payload in direction dir, consuming one
+// packet-counter value, and returns payload ∥ MIC.
+func (s *Session) EncryptPDU(header byte, payload []byte, dir Direction) ([]byte, error) {
+	counter := s.takeCounter(dir)
+	return CCMEncrypt(s.sk, s.nonce(counter, dir), payload, maskHeader(header))
+}
+
+// DecryptPDU verifies and decrypts a received payload ∥ MIC, consuming one
+// packet-counter value for the given direction. ErrMIC means tampering or
+// a plaintext injection.
+func (s *Session) DecryptPDU(header byte, body []byte, dir Direction) ([]byte, error) {
+	counter := s.takeCounter(dir)
+	return CCMDecrypt(s.sk, s.nonce(counter, dir), body, maskHeader(header))
+}
+
+// takeCounter returns and increments the per-direction packet counter.
+func (s *Session) takeCounter(dir Direction) uint64 {
+	var c uint64
+	if dir == MasterToSlave {
+		c = s.txCounterM2S
+		s.txCounterM2S++
+	} else {
+		c = s.txCounterS2M
+		s.txCounterS2M++
+	}
+	return c & (1<<39 - 1)
+}
+
+// SessionKey exposes SK for test vectors.
+func (s *Session) SessionKey() [16]byte { return s.sk }

@@ -1,0 +1,127 @@
+package medium
+
+import (
+	"testing"
+	"testing/quick"
+
+	"injectable/internal/sim"
+)
+
+func TestPhaseCaptureMonotoneInSIR(t *testing.T) {
+	m := DefaultCaptureModel()
+	ov := 140 * sim.Microsecond
+	prev := -1.0
+	for sir := -30.0; sir <= 30; sir += 2 {
+		p := m.SurvivalProbability(sir, ov)
+		if p < prev {
+			t.Fatalf("survival not monotone in SIR at %f dB", sir)
+		}
+		prev = p
+	}
+}
+
+func TestPhaseCaptureMonotoneInOverlap(t *testing.T) {
+	m := DefaultCaptureModel()
+	prev := 2.0
+	for ov := sim.Duration(0); ov <= 300*sim.Microsecond; ov += 20 * sim.Microsecond {
+		p := m.SurvivalProbability(0, ov)
+		if p > prev {
+			t.Fatalf("survival not decreasing in overlap at %v", ov)
+		}
+		prev = p
+	}
+}
+
+func TestPhaseCaptureCalibration(t *testing.T) {
+	// The tuning target (DESIGN.md): at SIR 0 and ~140 µs overlap the
+	// per-attempt success is ≈0.3–0.4, so the paper's "median below 4
+	// attempts" emerges.
+	m := DefaultCaptureModel()
+	p := m.SurvivalProbability(0, 140*sim.Microsecond)
+	if p < 0.25 || p > 0.45 {
+		t.Fatalf("survival at SIR=0, 140µs = %.3f, want ≈0.3–0.4", p)
+	}
+	// Strong attacker: near-certain survival.
+	if p := m.SurvivalProbability(20, 140*sim.Microsecond); p < 0.85 {
+		t.Fatalf("survival at +20 dB = %.3f, want >0.85", p)
+	}
+	// 10 m vs 2 m (−14 dB): rare but clearly possible.
+	if p := m.SurvivalProbability(-14, 140*sim.Microsecond); p < 0.02 || p > 0.3 {
+		t.Fatalf("survival at −14 dB = %.3f, want small but non-zero", p)
+	}
+}
+
+func TestPhaseCaptureZeroOverlapAlwaysSurvives(t *testing.T) {
+	m := DefaultCaptureModel()
+	rng := sim.NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if !m.Survives(rng, -40, 0) {
+			t.Fatal("zero overlap corrupted")
+		}
+	}
+}
+
+func TestPhaseCaptureProbabilityBounds(t *testing.T) {
+	m := DefaultCaptureModel()
+	f := func(sir int8, ovUS uint16) bool {
+		p := m.SurvivalProbability(float64(sir), sim.Duration(ovUS)*sim.Microsecond)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPessimistic(t *testing.T) {
+	var m Pessimistic
+	rng := sim.NewRNG(1)
+	if m.Survives(rng, 100, sim.Microsecond) {
+		t.Fatal("pessimistic survived overlap")
+	}
+	if !m.Survives(rng, -100, 0) {
+		t.Fatal("pessimistic corrupted without overlap")
+	}
+	if m.Name() != "pessimistic" {
+		t.Fatal("name")
+	}
+}
+
+func TestCoinFlip(t *testing.T) {
+	m := CoinFlip{P: 0.5}
+	rng := sim.NewRNG(1)
+	wins := 0
+	for i := 0; i < 1000; i++ {
+		if m.Survives(rng, -50, sim.Microsecond) {
+			wins++
+		}
+	}
+	if wins < 400 || wins > 600 {
+		t.Fatalf("coin flip frequency %d/1000", wins)
+	}
+	if !m.Survives(rng, 0, 0) {
+		t.Fatal("no-overlap must survive")
+	}
+	if m.Name() != "coin-flip" {
+		t.Fatal("name")
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	if DefaultCaptureModel().Name() != "phase-capture" {
+		t.Fatal("name")
+	}
+}
+
+func TestFrameLossFromSNR(t *testing.T) {
+	if p := frameLossFromSNR(40, 14); p != 0 {
+		t.Errorf("high SNR loss = %f, want 0", p)
+	}
+	low := frameLossFromSNR(8, 14)
+	lower := frameLossFromSNR(4, 14)
+	if !(lower > low) {
+		t.Errorf("loss not increasing as SNR falls: %f vs %f", low, lower)
+	}
+	if lower <= 0 || lower > 1 {
+		t.Errorf("loss out of bounds: %f", lower)
+	}
+}

@@ -1,0 +1,477 @@
+package medium
+
+import (
+	"testing"
+
+	"injectable/internal/phy"
+	"injectable/internal/sim"
+)
+
+// testbed bundles a scheduler + medium with a few radios at given positions.
+type testbed struct {
+	sched *sim.Scheduler
+	med   *Medium
+}
+
+func newTestbed(t *testing.T, cfg Config) *testbed {
+	t.Helper()
+	sched := sim.NewScheduler()
+	return &testbed{sched: sched, med: New(sched, sim.NewRNG(42), cfg)}
+}
+
+func (tb *testbed) radio(name string, x float64) *Radio {
+	return tb.med.NewRadio(RadioConfig{Name: name, Position: phy.Position{X: x}})
+}
+
+func dataFrame(aa uint32, n int) Frame {
+	return Frame{Mode: phy.LE1M, AccessAddress: aa, PDU: make([]byte, n), CRC: 0xABCDEF}
+}
+
+func TestBasicDelivery(t *testing.T) {
+	tb := newTestbed(t, Config{})
+	tx := tb.radio("tx", 0)
+	rx := tb.radio("rx", 2)
+	rx.SetChannel(5)
+	tx.SetChannel(5)
+	rx.SetAccessAddress(0x12345678)
+	rx.StartListening()
+
+	var got []Received
+	rx.OnFrame = func(r Received) { got = append(got, r) }
+
+	f := dataFrame(0x12345678, 10)
+	f.PDU[3] = 0x5A
+	tx.Transmit(f)
+	tb.sched.Run()
+
+	if len(got) != 1 {
+		t.Fatalf("delivered %d frames, want 1", len(got))
+	}
+	r := got[0]
+	if r.Corrupted {
+		t.Error("clean frame marked corrupted")
+	}
+	if r.Frame.PDU[3] != 0x5A {
+		t.Error("payload mangled")
+	}
+	if r.Frame.CRC != 0xABCDEF {
+		t.Error("CRC mangled")
+	}
+	if r.StartAt != 0 {
+		t.Errorf("StartAt = %v, want 0", r.StartAt)
+	}
+	if want := sim.Time(phy.LE1M.AirTime(10)); r.EndAt != want {
+		t.Errorf("EndAt = %v, want %v", r.EndAt, want)
+	}
+	if r.RSSI > -40 || r.RSSI < -60 {
+		t.Errorf("RSSI at 2 m = %v", r.RSSI)
+	}
+}
+
+func TestChannelMismatchNotDelivered(t *testing.T) {
+	tb := newTestbed(t, Config{})
+	tx := tb.radio("tx", 0)
+	rx := tb.radio("rx", 2)
+	tx.SetChannel(5)
+	rx.SetChannel(6)
+	rx.SetPromiscuous(true)
+	rx.StartListening()
+	n := 0
+	rx.OnFrame = func(Received) { n++ }
+	tx.Transmit(dataFrame(1, 5))
+	tb.sched.Run()
+	if n != 0 {
+		t.Fatal("frame crossed channels")
+	}
+}
+
+func TestAccessAddressFilter(t *testing.T) {
+	tb := newTestbed(t, Config{})
+	tx := tb.radio("tx", 0)
+	rx := tb.radio("rx", 2)
+	rx.SetAccessAddress(0xAAAAAAAA)
+	rx.StartListening()
+	n := 0
+	rx.OnFrame = func(Received) { n++ }
+	tx.Transmit(dataFrame(0xBBBBBBBB, 5))
+	tb.sched.Run()
+	if n != 0 {
+		t.Fatal("AA filter ignored")
+	}
+}
+
+func TestPromiscuousReceivesAnyAA(t *testing.T) {
+	tb := newTestbed(t, Config{})
+	tx := tb.radio("tx", 0)
+	rx := tb.radio("rx", 2)
+	rx.SetPromiscuous(true)
+	rx.StartListening()
+	n := 0
+	rx.OnFrame = func(Received) { n++ }
+	tx.Transmit(dataFrame(0xBBBBBBBB, 5))
+	tb.sched.Run()
+	if n != 1 {
+		t.Fatal("promiscuous radio missed frame")
+	}
+}
+
+func TestNotListeningMissesFrame(t *testing.T) {
+	tb := newTestbed(t, Config{})
+	tx := tb.radio("tx", 0)
+	rx := tb.radio("rx", 2)
+	rx.SetAccessAddress(1)
+	n := 0
+	rx.OnFrame = func(Received) { n++ }
+	tx.Transmit(dataFrame(1, 5))
+	tb.sched.Run()
+	if n != 0 {
+		t.Fatal("idle radio received")
+	}
+}
+
+func TestLateListenerMissesPreamble(t *testing.T) {
+	// A radio that starts listening after the frame's preamble has passed
+	// cannot lock — the core reason injecting before the receive window
+	// opens fails.
+	tb := newTestbed(t, Config{})
+	tx := tb.radio("tx", 0)
+	rx := tb.radio("rx", 2)
+	rx.SetAccessAddress(1)
+	n := 0
+	rx.OnFrame = func(Received) { n++ }
+	tx.Transmit(dataFrame(1, 20))
+	tb.sched.After(10*sim.Microsecond, "late-listen", func() { rx.StartListening() })
+	tb.sched.Run()
+	if n != 0 {
+		t.Fatal("late listener locked mid-frame")
+	}
+}
+
+func TestOutOfRangeNotDelivered(t *testing.T) {
+	tb := newTestbed(t, Config{})
+	tx := tb.radio("tx", 0)
+	rx := tb.radio("rx", 100000) // 100 km
+	rx.SetAccessAddress(1)
+	rx.StartListening()
+	n := 0
+	rx.OnFrame = func(Received) { n++ }
+	tx.Transmit(dataFrame(1, 5))
+	tb.sched.Run()
+	if n != 0 {
+		t.Fatal("frame received far beyond sensitivity")
+	}
+}
+
+func TestStopListeningCancelsLockAttempts(t *testing.T) {
+	tb := newTestbed(t, Config{})
+	tx := tb.radio("tx", 0)
+	rx := tb.radio("rx", 2)
+	rx.SetAccessAddress(1)
+	rx.StartListening()
+	n := 0
+	rx.OnFrame = func(Received) { n++ }
+	tx.Transmit(dataFrame(1, 20))
+	// Stop before the preamble+AA completes (40 µs on LE 1M).
+	tb.sched.After(20*sim.Microsecond, "stop", func() { rx.StopListening() })
+	tb.sched.Run()
+	if n != 0 {
+		t.Fatal("stopped radio still locked")
+	}
+}
+
+func TestLockedReceptionSurvivesStopListening(t *testing.T) {
+	// Once locked, the frame completes even if the window closes — the
+	// spec's window widening constrains the packet *start* only.
+	tb := newTestbed(t, Config{})
+	tx := tb.radio("tx", 0)
+	rx := tb.radio("rx", 2)
+	rx.SetAccessAddress(1)
+	rx.StartListening()
+	n := 0
+	rx.OnFrame = func(Received) { n++ }
+	tx.Transmit(dataFrame(1, 20))
+	tb.sched.After(60*sim.Microsecond, "stop", func() { rx.StopListening() }) // after lock at 40 µs
+	tb.sched.Run()
+	if n != 1 {
+		t.Fatal("locked reception aborted by StopListening")
+	}
+}
+
+func TestFirstFrameWinsLock(t *testing.T) {
+	// Two frames with the same AA: the receiver locks the first and the
+	// second only interferes. This is the InjectaBLE race itself.
+	tb := newTestbed(t, Config{})
+	attacker := tb.radio("attacker", 1)
+	master := tb.radio("master", 2)
+	slave := tb.radio("slave", 0)
+	slave.SetAccessAddress(7)
+	slave.StartListening()
+	var got []Received
+	slave.OnFrame = func(r Received) { got = append(got, r) }
+
+	af := dataFrame(7, 10)
+	af.PDU[0] = 0xA7
+	mf := dataFrame(7, 10)
+	mf.PDU[0] = 0x33
+	attacker.Transmit(af)
+	tb.sched.After(50*sim.Microsecond, "master-tx", func() { master.Transmit(mf) })
+	tb.sched.Run()
+
+	if len(got) != 1 {
+		t.Fatalf("delivered %d frames, want 1 (the first lock)", len(got))
+	}
+	if got[0].Frame.PDU[0] != 0xA7 && !got[0].Corrupted {
+		t.Fatalf("locked wrong frame: % x", got[0].Frame.PDU)
+	}
+}
+
+func TestCollisionWithPessimisticModelCorrupts(t *testing.T) {
+	tb := newTestbed(t, Config{Capture: Pessimistic{}})
+	attacker := tb.radio("attacker", 1)
+	master := tb.radio("master", 2)
+	slave := tb.radio("slave", 0)
+	slave.SetAccessAddress(7)
+	slave.StartListening()
+	var got []Received
+	slave.OnFrame = func(r Received) { got = append(got, r) }
+
+	attacker.Transmit(dataFrame(7, 14)) // 176 µs on air
+	tb.sched.After(100*sim.Microsecond, "master-tx", func() { master.Transmit(dataFrame(7, 14)) })
+	tb.sched.Run()
+
+	if len(got) != 1 {
+		t.Fatalf("delivered %d frames", len(got))
+	}
+	if !got[0].Corrupted {
+		t.Fatal("pessimistic model let a collision survive")
+	}
+	if got[0].Frame.CRC == 0xABCDEF {
+		t.Fatal("corrupted frame kept its CRC")
+	}
+}
+
+func TestNoCollisionWhenFrameEndsFirst(t *testing.T) {
+	// Situation (a) of Fig. 5: injected frame fully transmitted before the
+	// legitimate one starts — no corruption even pessimistically.
+	tb := newTestbed(t, Config{Capture: Pessimistic{}})
+	attacker := tb.radio("attacker", 1)
+	master := tb.radio("master", 2)
+	slave := tb.radio("slave", 0)
+	slave.SetAccessAddress(7)
+	slave.StartListening()
+	var got []Received
+	slave.OnFrame = func(r Received) { got = append(got, r) }
+
+	attacker.Transmit(dataFrame(7, 2)) // 80 µs
+	tb.sched.After(90*sim.Microsecond, "master-tx", func() { master.Transmit(dataFrame(7, 2)) })
+	tb.sched.Run()
+
+	if len(got) == 0 || got[0].Corrupted {
+		t.Fatal("non-overlapping frames corrupted")
+	}
+}
+
+func TestStrongSignalCapturesCollision(t *testing.T) {
+	// With the attacker 20 dB stronger at the receiver, PhaseCapture should
+	// survive nearly all collisions.
+	tb := newTestbed(t, Config{})
+	attacker := tb.radio("attacker", 0.3)
+	master := tb.radio("master", 3)
+	slave := tb.radio("slave", 0)
+	slave.SetAccessAddress(7)
+
+	wins := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		done := false
+		slave.OnFrame = func(r Received) {
+			if !r.Corrupted {
+				wins++
+			}
+			done = true
+		}
+		slave.SetChannel(phy.Channel(i % 37))
+		attacker.SetChannel(phy.Channel(i % 37))
+		master.SetChannel(phy.Channel(i % 37))
+		slave.StartListening()
+		attacker.Transmit(dataFrame(7, 14))
+		tb.sched.After(60*sim.Microsecond, "m", func() { master.Transmit(dataFrame(7, 14)) })
+		tb.sched.Run()
+		if !done {
+			t.Fatal("no delivery")
+		}
+		slave.StopListening()
+	}
+	if wins < 90 {
+		t.Fatalf("strong attacker survived only %d/%d collisions", wins, trials)
+	}
+}
+
+func TestWeakSignalLosesCollision(t *testing.T) {
+	// Attacker 10× further than the master: SIR ≈ −20 dB, survival rare.
+	tb := newTestbed(t, Config{})
+	attacker := tb.radio("attacker", 20)
+	master := tb.radio("master", 2)
+	slave := tb.radio("slave", 0)
+	slave.SetAccessAddress(7)
+
+	wins := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		slave.OnFrame = func(r Received) {
+			if !r.Corrupted {
+				wins++
+			}
+		}
+		slave.StartListening()
+		attacker.Transmit(dataFrame(7, 14))
+		tb.sched.After(60*sim.Microsecond, "m", func() { master.Transmit(dataFrame(7, 14)) })
+		tb.sched.Run()
+		slave.StopListening()
+	}
+	if wins > 25 {
+		t.Fatalf("weak attacker survived %d/%d collisions", wins, trials)
+	}
+}
+
+func TestJammingCorruptsFrame(t *testing.T) {
+	tb := newTestbed(t, Config{Capture: Pessimistic{}})
+	tx := tb.radio("tx", 0)
+	jammer := tb.radio("jammer", 1)
+	rx := tb.radio("rx", 2)
+	rx.SetAccessAddress(1)
+	rx.StartListening()
+	var got []Received
+	rx.OnFrame = func(r Received) { got = append(got, r) }
+	tx.Transmit(dataFrame(1, 14))
+	tb.sched.After(100*sim.Microsecond, "jam", func() { jammer.TransmitNoise(200 * sim.Microsecond) })
+	tb.sched.Run()
+	if len(got) != 1 || !got[0].Corrupted {
+		t.Fatalf("jamming did not corrupt: %+v", got)
+	}
+}
+
+func TestJammedPreambleDefeatsLock(t *testing.T) {
+	tb := newTestbed(t, Config{})
+	tx := tb.radio("tx", 2)
+	jammer := tb.radio("jammer", 0.5) // much closer to rx → stronger
+	rx := tb.radio("rx", 0)
+	rx.SetAccessAddress(1)
+	rx.StartListening()
+	n := 0
+	rx.OnFrame = func(Received) { n++ }
+	jammer.TransmitNoise(300 * sim.Microsecond)
+	tb.sched.After(10*sim.Microsecond, "tx", func() { tx.Transmit(dataFrame(1, 14)) })
+	tb.sched.Run()
+	if n != 0 {
+		t.Fatal("locked despite jammed preamble")
+	}
+}
+
+func TestWallAttenuationAffectsCollisions(t *testing.T) {
+	wall := phy.Wall{A: phy.Position{X: 3, Y: -10}, B: phy.Position{X: 3, Y: 10}, Loss: 10}
+	tb := newTestbed(t, Config{PathLoss: &phy.LogDistance{Walls: []phy.Wall{wall}}})
+	attacker := tb.radio("attacker", 4) // behind the wall
+	master := tb.radio("master", 2)
+	slave := tb.radio("slave", 0)
+	slave.SetAccessAddress(7)
+
+	wins := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		slave.OnFrame = func(r Received) {
+			if !r.Corrupted {
+				wins++
+			}
+		}
+		slave.StartListening()
+		attacker.Transmit(dataFrame(7, 14))
+		tb.sched.After(60*sim.Microsecond, "m", func() { master.Transmit(dataFrame(7, 14)) })
+		tb.sched.Run()
+		slave.StopListening()
+	}
+	// SIR ≈ −6 −10 = −16 dB: survival possible but rare.
+	if wins > 60 {
+		t.Fatalf("wall had no effect: %d/%d wins", wins, trials)
+	}
+	if wins == 0 {
+		t.Fatal("injection impossible through wall — paper says it succeeds eventually")
+	}
+}
+
+func TestTransmitPanicsWhileTransmitting(t *testing.T) {
+	tb := newTestbed(t, Config{})
+	tx := tb.radio("tx", 0)
+	tx.Transmit(dataFrame(1, 5))
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on double transmit")
+		}
+	}()
+	tx.Transmit(dataFrame(1, 5))
+}
+
+func TestOnTxDoneFires(t *testing.T) {
+	tb := newTestbed(t, Config{})
+	tx := tb.radio("tx", 0)
+	done := false
+	tx.OnTxDone = func() { done = true }
+	tx.Transmit(dataFrame(1, 5))
+	if tx.Transmitting() != true {
+		t.Error("not transmitting after Transmit")
+	}
+	tb.sched.Run()
+	if !done {
+		t.Fatal("OnTxDone not called")
+	}
+	if tx.Transmitting() {
+		t.Error("still transmitting after end")
+	}
+}
+
+func TestObserverSeesAllTraffic(t *testing.T) {
+	tb := newTestbed(t, Config{})
+	tx := tb.radio("tx", 0)
+	jam := tb.radio("jam", 1)
+	var seen []TxObservation
+	tb.med.AddObserver(observerFunc(func(o TxObservation) { seen = append(seen, o) }))
+	tx.Transmit(dataFrame(1, 5))
+	tb.sched.Run()
+	jam.TransmitNoise(50 * sim.Microsecond)
+	tb.sched.Run()
+	if len(seen) != 2 {
+		t.Fatalf("observer saw %d transmissions, want 2", len(seen))
+	}
+	if seen[0].Source != "tx" || seen[1].Source != "jam" || !seen[1].Noise {
+		t.Fatalf("observations wrong: %+v", seen)
+	}
+}
+
+type observerFunc func(TxObservation)
+
+func (f observerFunc) ObserveTx(o TxObservation) { f(o) }
+
+func TestFrameCloneIsDeep(t *testing.T) {
+	f := dataFrame(1, 4)
+	c := f.Clone()
+	c.PDU[0] = 0xFF
+	if f.PDU[0] == 0xFF {
+		t.Fatal("Clone shares PDU backing array")
+	}
+}
+
+func TestRetuneAbortsReception(t *testing.T) {
+	tb := newTestbed(t, Config{})
+	tx := tb.radio("tx", 0)
+	rx := tb.radio("rx", 2)
+	rx.SetAccessAddress(1)
+	rx.StartListening()
+	n := 0
+	rx.OnFrame = func(Received) { n++ }
+	tx.Transmit(dataFrame(1, 20))
+	tb.sched.After(60*sim.Microsecond, "hop", func() { rx.SetChannel(9) }) // after lock
+	tb.sched.Run()
+	if n != 0 {
+		t.Fatal("reception survived retune")
+	}
+}

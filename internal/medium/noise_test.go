@@ -1,0 +1,112 @@
+package medium
+
+import (
+	"testing"
+
+	"injectable/internal/phy"
+	"injectable/internal/sim"
+)
+
+// TestNoiseCorruptionDeterministicBelowThreshold: wideband noise within
+// the capture margin reliably breaks frames — unlike same-modulation
+// collisions, there is no phase race to win against noise.
+func TestNoiseCorruptionDeterministicBelowThreshold(t *testing.T) {
+	tb := newTestbed(t, Config{})
+	tx := tb.radio("tx", 2)      // wanted signal from 2 m
+	jammer := tb.radio("jam", 2) // equal power: SIR ≈ 0 < 9 dB threshold
+	rx := tb.radio("rx", 0)
+	rx.SetAccessAddress(1)
+
+	corrupted := 0
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		rx.StartListening()
+		got := false
+		rx.OnFrame = func(r Received) {
+			got = true
+			if r.Corrupted {
+				corrupted++
+			}
+		}
+		tx.Transmit(dataFrame(1, 14))
+		tb.sched.After(60*sim.Microsecond, "jam", func() { jammer.TransmitNoise(200 * sim.Microsecond) })
+		tb.sched.Run()
+		if !got {
+			t.Fatal("no delivery")
+		}
+		rx.StopListening()
+	}
+	if corrupted != trials {
+		t.Fatalf("noise at SIR 0 corrupted only %d/%d frames", corrupted, trials)
+	}
+}
+
+// TestStrongSignalSurvivesWeakNoise: a frame well above the noise-capture
+// threshold shrugs off a distant jammer.
+func TestStrongSignalSurvivesWeakNoise(t *testing.T) {
+	tb := newTestbed(t, Config{})
+	tx := tb.radio("tx", 1)       // close: strong at rx
+	jammer := tb.radio("jam", 20) // far: ≈ −26 dB relative
+	rx := tb.radio("rx", 0)
+	rx.SetAccessAddress(1)
+	rx.StartListening()
+
+	var got *Received
+	rx.OnFrame = func(r Received) { got = &r }
+	tx.Transmit(dataFrame(1, 14))
+	tb.sched.After(60*sim.Microsecond, "jam", func() { jammer.TransmitNoise(200 * sim.Microsecond) })
+	tb.sched.Run()
+	if got == nil {
+		t.Fatal("no delivery")
+	}
+	if got.Corrupted {
+		t.Fatal("weak distant noise corrupted a strong frame")
+	}
+}
+
+// TestTxPowerAffectsReach: raising transmit power extends the usable range.
+func TestTxPowerAffectsReach(t *testing.T) {
+	tb := newTestbed(t, Config{})
+	tx := tb.radio("tx", 0)
+	rx := tb.radio("rx", 310) // RSSI ≈ −90 dBm at 0 dBm tx: right at sensitivity
+	rx.SetAccessAddress(1)
+
+	deliveries := func() int {
+		n := 0
+		for i := 0; i < 20; i++ {
+			rx.StartListening()
+			got := false
+			rx.OnFrame = func(r Received) {
+				if !r.Corrupted {
+					n++
+				}
+				got = true
+			}
+			tx.Transmit(dataFrame(1, 5))
+			tb.sched.Run()
+			_ = got
+			rx.StopListening()
+		}
+		return n
+	}
+	atDefault := deliveries()
+	tx.SetTxPower(8) // nRF52840 max
+	atMax := deliveries()
+	if atMax <= atDefault {
+		t.Fatalf("power increase did not help: %d vs %d deliveries", atDefault, atMax)
+	}
+	if got := tx.TxPower(); got != 8 {
+		t.Fatalf("TxPower = %v", got)
+	}
+}
+
+// TestRSSIFromReporting sanity-checks the link-budget helper.
+func TestRSSIFromReporting(t *testing.T) {
+	tb := newTestbed(t, Config{})
+	a := tb.radio("a", 0)
+	b := tb.radio("b", 2)
+	rssi := a.RSSIFrom(b, phy.Channel(17))
+	if rssi > -40 || rssi < -60 {
+		t.Fatalf("RSSIFrom 2 m = %v", rssi)
+	}
+}

@@ -1,0 +1,99 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"injectable/internal/sim"
+)
+
+func TestGlobalHeader(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if len(b) != 24 {
+		t.Fatalf("header %d bytes", len(b))
+	}
+	if binary.LittleEndian.Uint32(b[0:4]) != magicMicroseconds {
+		t.Fatal("magic wrong")
+	}
+	if binary.LittleEndian.Uint16(b[4:6]) != 2 || binary.LittleEndian.Uint16(b[6:8]) != 4 {
+		t.Fatal("version wrong")
+	}
+	if binary.LittleEndian.Uint32(b[20:24]) != linkTypeBluetoothLELL {
+		t.Fatal("link type not DLT 251")
+	}
+	if w.BytesWritten() != 24 || w.Packets() != 0 {
+		t.Fatal("accounting wrong")
+	}
+}
+
+func TestPacketRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := Packet{
+		At:            sim.Time(1_234_567 * int64(sim.Microsecond)),
+		AccessAddress: 0x8E89BED6,
+		PDU:           []byte{0x01, 0x02, 0x03},
+		CRC:           0xABCDEF,
+	}
+	if err := w.WritePacket(pkt); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()[24:]
+	if len(b) != 16+4+3+3 {
+		t.Fatalf("record %d bytes", len(b))
+	}
+	if sec := binary.LittleEndian.Uint32(b[0:4]); sec != 1 {
+		t.Fatalf("sec = %d", sec)
+	}
+	if usec := binary.LittleEndian.Uint32(b[4:8]); usec != 234567 {
+		t.Fatalf("usec = %d", usec)
+	}
+	if capLen := binary.LittleEndian.Uint32(b[8:12]); capLen != 10 {
+		t.Fatalf("caplen = %d", capLen)
+	}
+	body := b[16:]
+	if binary.LittleEndian.Uint32(body[0:4]) != 0x8E89BED6 {
+		t.Fatal("AA wrong")
+	}
+	if !bytes.Equal(body[4:7], []byte{1, 2, 3}) {
+		t.Fatal("PDU wrong")
+	}
+	if !bytes.Equal(body[7:10], []byte{0xEF, 0xCD, 0xAB}) {
+		t.Fatal("CRC bytes wrong")
+	}
+	if w.Packets() != 1 {
+		t.Fatal("packet count")
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, bytes.ErrTooLarge
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriteErrors(t *testing.T) {
+	if _, err := NewWriter(&failWriter{n: 0}); err == nil {
+		t.Fatal("header write error swallowed")
+	}
+	w, err := NewWriter(&failWriter{n: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(Packet{}); err == nil {
+		t.Fatal("record write error swallowed")
+	}
+}

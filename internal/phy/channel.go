@@ -1,0 +1,71 @@
+package phy
+
+import "fmt"
+
+// Channel is a BLE RF channel index (0–39).
+//
+// Channels 0–36 are data channels used in connected mode; 37, 38 and 39 are
+// the advertising channels. Note that channel *indices* do not map linearly
+// onto frequencies: the advertising channels are spread across the band
+// (2402, 2426 and 2480 MHz) to dodge Wi-Fi.
+type Channel uint8
+
+// The advertising channels.
+const (
+	AdvChannel37 Channel = 37
+	AdvChannel38 Channel = 38
+	AdvChannel39 Channel = 39
+)
+
+// NumChannels is the total channel count; NumDataChannels counts channels
+// usable in connected mode.
+const (
+	NumChannels     = 40
+	NumDataChannels = 37
+)
+
+// AdvChannels lists the three advertising channels in scan order.
+func AdvChannels() [3]Channel { return [3]Channel{37, 38, 39} }
+
+// Valid reports whether c is one of the 40 defined channels.
+func (c Channel) Valid() bool { return c < NumChannels }
+
+// IsAdvertising reports whether c is an advertising channel.
+func (c Channel) IsAdvertising() bool { return c >= 37 && c <= 39 }
+
+// IsData reports whether c is a data channel.
+func (c Channel) IsData() bool { return c <= 36 }
+
+// FrequencyMHz returns the channel's centre frequency in MHz per the
+// Core Specification band plan.
+func (c Channel) FrequencyMHz() int {
+	switch {
+	case c == 37:
+		return 2402
+	case c == 38:
+		return 2426
+	case c == 39:
+		return 2480
+	case c <= 10:
+		return 2404 + 2*int(c)
+	case c <= 36:
+		return 2428 + 2*int(c-11)
+	default:
+		return 0
+	}
+}
+
+// String implements fmt.Stringer.
+func (c Channel) String() string {
+	kind := "data"
+	if c.IsAdvertising() {
+		kind = "adv"
+	}
+	return fmt.Sprintf("ch%d(%s,%dMHz)", uint8(c), kind, c.FrequencyMHz())
+}
+
+// WhiteningInit returns the initial value of the 7-bit data-whitening LFSR
+// for this channel: bit 6 set to 1, bits 5..0 = channel index.
+func (c Channel) WhiteningInit() byte {
+	return 0x40 | (byte(c) & 0x3F)
+}

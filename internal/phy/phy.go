@@ -1,0 +1,123 @@
+// Package phy models the Bluetooth Low Energy physical layer: PHY modes and
+// their on-air timing, the 40-channel 2.4 GHz band plan, transmit power and
+// receiver sensitivity, and radio propagation (path loss, obstacles).
+//
+// The InjectaBLE attack is decided at this layer — whether the injected
+// frame's preamble arrives inside the slave's widened receive window before
+// the legitimate master's frame, and whether the tail collision corrupts it —
+// so the timing and power arithmetic here is bit-for-bit aligned with the
+// Bluetooth Core Specification's LE 1M/2M/Coded figures.
+package phy
+
+import (
+	"fmt"
+
+	"injectable/internal/sim"
+)
+
+// Mode identifies a BLE physical layer.
+type Mode int
+
+// The PHY modes defined by the Bluetooth Core Specification 5.x.
+const (
+	// LE1M is the mandatory 1 Mbit/s uncoded PHY (BLE 4.x default).
+	LE1M Mode = iota + 1
+	// LE2M is the optional 2 Mbit/s uncoded PHY.
+	LE2M
+	// LECoded125K is the long-range coded PHY at S=8 (125 kbit/s).
+	LECoded125K
+	// LECoded500K is the long-range coded PHY at S=2 (500 kbit/s).
+	LECoded500K
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case LE1M:
+		return "LE 1M"
+	case LE2M:
+		return "LE 2M"
+	case LECoded125K:
+		return "LE Coded S=8"
+	case LECoded500K:
+		return "LE Coded S=2"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// BitDuration returns the on-air duration of one payload bit.
+func (m Mode) BitDuration() sim.Duration {
+	switch m {
+	case LE1M:
+		return sim.Microsecond
+	case LE2M:
+		return sim.Microsecond / 2
+	case LECoded125K:
+		return 8 * sim.Microsecond
+	case LECoded500K:
+		return 2 * sim.Microsecond
+	default:
+		return sim.Microsecond
+	}
+}
+
+// PreambleBytes returns the preamble length in bytes (1 for LE 1M, 2 for
+// LE 2M; the coded PHY uses an 80 µs fixed preamble handled in AirTime).
+func (m Mode) PreambleBytes() int {
+	if m == LE2M {
+		return 2
+	}
+	return 1
+}
+
+// Frame overhead sizes common to all uncoded PHYs.
+const (
+	// AccessAddressBytes is the length of the Access Address field.
+	AccessAddressBytes = 4
+	// CRCBytes is the length of the CRC field.
+	CRCBytes = 3
+)
+
+// AirTime returns the on-air duration of a frame whose PDU (header +
+// payload, excluding access address and CRC) is pduLen bytes.
+//
+// For LE 1M this is (1 + 4 + pduLen + 3) × 8 µs — e.g. the paper's 22-byte
+// frame "22 bytes long over the air (i.e., 176 µs of transmission time
+// using the LE 1M physical layer)" counts preamble+AA+PDU+CRC.
+func (m Mode) AirTime(pduLen int) sim.Duration {
+	switch m {
+	case LE1M, LE2M:
+		total := m.PreambleBytes() + AccessAddressBytes + pduLen + CRCBytes
+		return sim.Duration(total*8) * m.BitDuration()
+	case LECoded125K, LECoded500K:
+		// 80 µs preamble + FEC block 1 (AA+CI+TERM1, S=8: 256+16+24 µs)
+		// + payload coded at the selected rate + CRC + TERM2.
+		const preamble = 80
+		const fecBlock1 = 256 + 16 + 24
+		payloadBits := (pduLen + CRCBytes) * 8
+		var payloadUS int
+		if m == LECoded125K {
+			payloadUS = payloadBits*8 + 3*8 // TERM2 = 3 bits at S=8
+		} else {
+			payloadUS = payloadBits*2 + 3*2
+		}
+		return sim.Microseconds(int64(preamble + fecBlock1 + payloadUS))
+	default:
+		return 0
+	}
+}
+
+// PreambleAATime returns how long after transmission start the receiver has
+// seen the full preamble + access address, i.e. the earliest moment it can
+// lock onto the frame.
+func (m Mode) PreambleAATime() sim.Duration {
+	switch m {
+	case LE1M, LE2M:
+		return sim.Duration((m.PreambleBytes()+AccessAddressBytes)*8) * m.BitDuration()
+	case LECoded125K, LECoded500K:
+		return sim.Microseconds(80 + 256)
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,234 @@
+package phy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"injectable/internal/sim"
+)
+
+func TestAirTimeLE1MMatchesPaper(t *testing.T) {
+	// The paper: a 22-byte frame over the air is 176 µs on LE 1M. The
+	// 22 bytes count preamble+AA+PDU+CRC, so the PDU is 22-1-4-3 = 14 bytes.
+	if got := LE1M.AirTime(14); got != sim.Microseconds(176) {
+		t.Fatalf("LE1M 22-byte frame air time = %v, want 176µs", got)
+	}
+}
+
+func TestAirTimeEmptyPDU(t *testing.T) {
+	// Empty data PDU: 2-byte header, 0 payload → 10 bytes on air → 80 µs.
+	if got := LE1M.AirTime(2); got != sim.Microseconds(80) {
+		t.Fatalf("empty PDU air time = %v, want 80µs", got)
+	}
+}
+
+func TestAirTimeLE2MHalvesUncoded(t *testing.T) {
+	// LE 2M has a 2-byte preamble; for the same PDU the duration is
+	// (2+4+n+3)*8 bits at 0.5 µs/bit.
+	got := LE2M.AirTime(14)
+	want := sim.Duration((2+4+14+3)*8) * (sim.Microsecond / 2)
+	if got != want {
+		t.Fatalf("LE2M air time = %v, want %v", got, want)
+	}
+}
+
+func TestAirTimeCodedLongerThanUncoded(t *testing.T) {
+	for _, m := range []Mode{LECoded500K, LECoded125K} {
+		if m.AirTime(14) <= LE1M.AirTime(14) {
+			t.Errorf("%v not longer than LE1M", m)
+		}
+	}
+	if LECoded125K.AirTime(14) <= LECoded500K.AirTime(14) {
+		t.Error("S=8 not longer than S=2")
+	}
+}
+
+func TestPreambleAATime(t *testing.T) {
+	if got := LE1M.PreambleAATime(); got != sim.Microseconds(40) {
+		t.Errorf("LE1M preamble+AA = %v, want 40µs", got)
+	}
+	if got := LE2M.PreambleAATime(); got != sim.Microseconds(24) {
+		t.Errorf("LE2M preamble+AA = %v, want 24µs", got)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	cases := map[Mode]string{LE1M: "LE 1M", LE2M: "LE 2M", LECoded125K: "LE Coded S=8", LECoded500K: "LE Coded S=2", Mode(9): "Mode(9)"}
+	for m, want := range cases {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), want)
+		}
+	}
+}
+
+func TestChannelFrequencies(t *testing.T) {
+	// Spot-check the band plan from the Core Specification.
+	cases := map[Channel]int{
+		0: 2404, 10: 2424, 11: 2428, 36: 2478,
+		37: 2402, 38: 2426, 39: 2480,
+	}
+	for ch, want := range cases {
+		if got := ch.FrequencyMHz(); got != want {
+			t.Errorf("channel %d frequency = %d, want %d", ch, got, want)
+		}
+	}
+	if Channel(40).FrequencyMHz() != 0 {
+		t.Error("invalid channel should map to 0 MHz")
+	}
+}
+
+func TestChannelFrequenciesUnique(t *testing.T) {
+	seen := map[int]Channel{}
+	for c := Channel(0); c < NumChannels; c++ {
+		f := c.FrequencyMHz()
+		if prev, dup := seen[f]; dup {
+			t.Fatalf("channels %d and %d share %d MHz", prev, c, f)
+		}
+		seen[f] = c
+	}
+}
+
+func TestChannelClassification(t *testing.T) {
+	for c := Channel(0); c <= 36; c++ {
+		if !c.IsData() || c.IsAdvertising() || !c.Valid() {
+			t.Errorf("channel %d misclassified", c)
+		}
+	}
+	for _, c := range AdvChannels() {
+		if c.IsData() || !c.IsAdvertising() || !c.Valid() {
+			t.Errorf("adv channel %d misclassified", c)
+		}
+	}
+	if Channel(40).Valid() {
+		t.Error("channel 40 should be invalid")
+	}
+}
+
+func TestWhiteningInit(t *testing.T) {
+	if got := Channel(23).WhiteningInit(); got != 0x40|23 {
+		t.Errorf("whitening init = %#x", got)
+	}
+}
+
+func TestDBmConversions(t *testing.T) {
+	if mw := DBm(0).Milliwatts(); math.Abs(mw-1) > 1e-12 {
+		t.Errorf("0 dBm = %f mW", mw)
+	}
+	if mw := DBm(-30).Milliwatts(); math.Abs(mw-0.001) > 1e-12 {
+		t.Errorf("-30 dBm = %f mW", mw)
+	}
+	if p := FromMilliwatts(100); math.Abs(float64(p)-20) > 1e-9 {
+		t.Errorf("100 mW = %v", p)
+	}
+	if !math.IsInf(float64(FromMilliwatts(0)), -1) {
+		t.Error("0 mW should be -inf dBm")
+	}
+}
+
+func TestDBmRoundTripProperty(t *testing.T) {
+	f := func(raw int8) bool {
+		p := DBm(raw)
+		back := FromMilliwatts(p.Milliwatts())
+		return math.Abs(float64(back-p)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogDistanceLoss(t *testing.T) {
+	m := &LogDistance{}
+	ch := Channel(17)
+	at1m := m.Loss(Position{}, Position{X: 1}, ch)
+	// Free-space loss at 1 m, 2.44 GHz ≈ 40.2 dB.
+	if math.Abs(float64(at1m)-40.2) > 0.5 {
+		t.Errorf("loss at 1 m = %v, want ≈40.2 dB", at1m)
+	}
+	at2m := m.Loss(Position{}, Position{X: 2}, ch)
+	if math.Abs(float64(at2m-at1m)-6.02) > 0.1 {
+		t.Errorf("doubling distance added %v, want ≈6 dB", at2m-at1m)
+	}
+	at10m := m.Loss(Position{}, Position{X: 10}, ch)
+	if math.Abs(float64(at10m-at1m)-20) > 0.1 {
+		t.Errorf("10× distance added %v, want 20 dB", at10m-at1m)
+	}
+}
+
+func TestLogDistanceExponent(t *testing.T) {
+	free := &LogDistance{Exponent: 2}
+	indoor := &LogDistance{Exponent: 2.7}
+	ch := Channel(0)
+	d := Position{X: 8}
+	if indoor.Loss(Position{}, d, ch) <= free.Loss(Position{}, d, ch) {
+		t.Error("higher exponent should increase loss")
+	}
+}
+
+func TestLogDistanceNearFieldClamp(t *testing.T) {
+	m := &LogDistance{}
+	ch := Channel(0)
+	l0 := m.Loss(Position{}, Position{}, ch)
+	l5cm := m.Loss(Position{}, Position{X: 0.05}, ch)
+	if l0 != l5cm {
+		t.Error("near-field distances should clamp identically")
+	}
+	if math.IsInf(float64(l0), 0) || math.IsNaN(float64(l0)) {
+		t.Error("zero distance produced non-finite loss")
+	}
+}
+
+func TestWallAttenuation(t *testing.T) {
+	wall := Wall{A: Position{X: 1, Y: -5}, B: Position{X: 1, Y: 5}, Loss: DefaultWallLoss}
+	m := &LogDistance{Walls: []Wall{wall}}
+	ch := Channel(0)
+	through := m.Loss(Position{}, Position{X: 2}, ch)
+	clear := (&LogDistance{}).Loss(Position{}, Position{X: 2}, ch)
+	if math.Abs(float64(through-clear-DefaultWallLoss)) > 1e-9 {
+		t.Errorf("wall added %v, want %v", through-clear, DefaultWallLoss)
+	}
+	// A path parallel to the wall must not pay the loss.
+	side := m.Loss(Position{X: 2, Y: 0}, Position{X: 2, Y: 3}, ch)
+	sideClear := (&LogDistance{}).Loss(Position{X: 2, Y: 0}, Position{X: 2, Y: 3}, ch)
+	if side != sideClear {
+		t.Error("non-crossing path paid wall loss")
+	}
+}
+
+func TestWallBlocksGeometry(t *testing.T) {
+	w := Wall{A: Position{X: 0, Y: 0}, B: Position{X: 0, Y: 10}}
+	tests := []struct {
+		p, q Position
+		want bool
+	}{
+		{Position{X: -1, Y: 5}, Position{X: 1, Y: 5}, true},    // crosses
+		{Position{X: 1, Y: 5}, Position{X: 2, Y: 5}, false},    // same side
+		{Position{X: -1, Y: 20}, Position{X: 1, Y: 20}, false}, /* beyond end */
+		{Position{X: 0, Y: 5}, Position{X: 1, Y: 5}, true},     // touches endpoint on wall
+	}
+	for i, tc := range tests {
+		if got := w.Blocks(tc.p, tc.q); got != tc.want {
+			t.Errorf("case %d: Blocks(%v,%v) = %v, want %v", i, tc.p, tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestReceivedPower(t *testing.T) {
+	m := &LogDistance{}
+	rssi := ReceivedPower(m, DefaultTxPower, Position{}, Position{X: 2}, Channel(17))
+	if rssi > -40 || rssi < -60 {
+		t.Errorf("RSSI at 2 m = %v, expected ≈-46 dBm", rssi)
+	}
+}
+
+func TestPositionDistance(t *testing.T) {
+	if d := (Position{X: 3, Y: 4}).Distance(Position{}); d != 5 {
+		t.Errorf("distance = %f, want 5", d)
+	}
+}
+
+func TestPropagationDelayNegligible(t *testing.T) {
+	if d := PropagationDelay(10); d > 50e-9 {
+		t.Errorf("10 m delay = %g s, should be ~33 ns", d)
+	}
+}

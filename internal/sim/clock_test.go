@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func pinned(ppm float64) ClockConfig {
+	return ClockConfig{RatedPPM: math.Abs(ppm), ActualPPM: &ppm}
+}
+
+func TestClockFastClockWakesEarly(t *testing.T) {
+	s := NewScheduler()
+	rng := NewRNG(1)
+	// +100 ppm: the device's clock runs fast, so a 1 s local sleep spans
+	// slightly less than 1 s of true time.
+	c := NewClock(s, rng, pinned(100))
+	var woke Time
+	c.AfterLocal(Second, "wake", func() { woke = s.Now() })
+	s.Run()
+	sec := float64(Second)
+	want := Duration(sec / (1 + 100e-6))
+	if got := woke.Sub(Time(0)); got != want {
+		t.Fatalf("woke after %v, want %v", got, want)
+	}
+	if woke >= Time(Second) {
+		t.Fatal("fast clock woke late")
+	}
+}
+
+func TestClockSlowClockWakesLate(t *testing.T) {
+	s := NewScheduler()
+	c := NewClock(s, NewRNG(1), pinned(-100))
+	var woke Time
+	c.AfterLocal(Second, "wake", func() { woke = s.Now() })
+	s.Run()
+	if woke <= Time(Second) {
+		t.Fatalf("slow clock woke at %v, want later than 1s", woke)
+	}
+}
+
+func TestClockDriftOver(t *testing.T) {
+	s := NewScheduler()
+	c := NewClock(s, NewRNG(1), pinned(50))
+	got := c.DriftOver(Second)
+	if want := Duration(50 * float64(Microsecond)); got != want {
+		t.Fatalf("DriftOver(1s) = %v, want %v", got, want)
+	}
+}
+
+func TestClockActualWithinRating(t *testing.T) {
+	s := NewScheduler()
+	for seed := uint64(0); seed < 50; seed++ {
+		c := NewClock(s, NewRNG(seed), ClockConfig{RatedPPM: 50})
+		if a := c.ActualPPM(); math.Abs(a) > 50 {
+			t.Fatalf("seed %d: actual %f ppm outside rating", seed, a)
+		}
+		if c.RatedPPM() != 50 {
+			t.Fatalf("rating = %f", c.RatedPPM())
+		}
+	}
+}
+
+func TestClockJitterStatistics(t *testing.T) {
+	s := NewScheduler()
+	c := NewClock(s, NewRNG(7), ClockConfig{RatedPPM: 20, JitterStdDev: 4 * Microsecond})
+	n := 2000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		j := float64(c.SampleJitter())
+		sum += j
+		sumSq += j * j
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sumSq/float64(n) - mean*mean)
+	if math.Abs(mean) > float64(Microsecond) {
+		t.Errorf("jitter mean %.0f ns, want ≈0", mean)
+	}
+	if math.Abs(std-float64(4*Microsecond)) > float64(Microsecond) {
+		t.Errorf("jitter std %.0f ns, want ≈4µs", std)
+	}
+}
+
+func TestClockNoJitterConfigured(t *testing.T) {
+	s := NewScheduler()
+	c := NewClock(s, NewRNG(1), pinned(0))
+	for i := 0; i < 10; i++ {
+		if c.SampleJitter() != 0 {
+			t.Fatal("jitter without configuration")
+		}
+	}
+}
+
+func TestClockAtLocalOffsetClampsToNow(t *testing.T) {
+	s := NewScheduler()
+	c := NewClock(s, NewRNG(1), pinned(0))
+	s.After(10*Microsecond, "advance", func() {
+		ran := false
+		// Base in the past with zero offset: must clamp to now, not panic.
+		c.AtLocalOffset(Time(0), 0, "clamped", func() { ran = true })
+		s.Run()
+		if !ran {
+			t.Error("clamped event did not run")
+		}
+	})
+	s.Run()
+}
+
+// Property: round-tripping drift is consistent — sleeping local d on a clock
+// with ppm error spans true time d/(1+ppm·1e-6) within 1 ns of rounding.
+func TestClockScaleProperty(t *testing.T) {
+	f := func(rawPPM int16, rawUS uint32) bool {
+		ppm := float64(rawPPM % 500)
+		d := Duration(rawUS) * Microsecond
+		s := NewScheduler()
+		c := NewClock(s, NewRNG(1), pinned(ppm))
+		got := c.TrueAfter(d)
+		want := float64(d) / (1 + ppm*1e-6)
+		return math.Abs(float64(got)-want) <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

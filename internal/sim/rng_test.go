@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRNGChildIndependence(t *testing.T) {
+	parent := NewRNG(42)
+	c1 := parent.Child("medium")
+	// Consuming from c1 must not affect a later-derived identical child.
+	for i := 0; i < 10; i++ {
+		c1.Uint64()
+	}
+	c1b := parent.Child("medium")
+	c2 := NewRNG(42).Child("medium")
+	if c1b.Uint64() != c2.Uint64() {
+		t.Fatal("Child not a pure function of (seed, name)")
+	}
+}
+
+func TestRNGChildNamesDiffer(t *testing.T) {
+	parent := NewRNG(42)
+	a := parent.Child("a")
+	b := parent.Child("b")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("children by different names correlated: %d/64 equal", same)
+	}
+}
+
+func TestRNGDurationBounds(t *testing.T) {
+	g := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		d := g.Duration(150 * Microsecond)
+		if d < 0 || d >= 150*Microsecond {
+			t.Fatalf("Duration out of range: %v", d)
+		}
+	}
+	if g.Duration(0) != 0 || g.Duration(-5) != 0 {
+		t.Fatal("non-positive bound should give 0")
+	}
+}
+
+func TestRNGBoolProbability(t *testing.T) {
+	g := NewRNG(9)
+	n, hits := 10000, 0
+	for i := 0; i < n; i++ {
+		if g.Bool(0.25) {
+			hits++
+		}
+	}
+	p := float64(hits) / float64(n)
+	if p < 0.22 || p > 0.28 {
+		t.Fatalf("Bool(0.25) frequency = %.3f", p)
+	}
+}
+
+func TestRNGBytes(t *testing.T) {
+	g := NewRNG(11)
+	b := make([]byte, 32)
+	g.Bytes(b)
+	allZero := true
+	for _, v := range b {
+		if v != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("Bytes returned all zeros")
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	g := NewRNG(13)
+	var sum float64
+	n := 5000
+	for i := 0; i < n; i++ {
+		sum += g.Normal(10, 2)
+	}
+	mean := sum / float64(n)
+	if mean < 9.8 || mean > 10.2 {
+		t.Fatalf("Normal(10,2) mean = %.3f", mean)
+	}
+}

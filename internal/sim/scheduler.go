@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. The zero Event is invalid.
+type Event struct {
+	at     Time
+	seq    uint64 // tie-breaker: FIFO among events at the same instant
+	fn     func()
+	label  string
+	index  int // heap index, -1 once popped or cancelled
+	cancel bool
+}
+
+// At returns the instant the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Label returns the human-readable label given at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler is a deterministic single-threaded discrete-event scheduler.
+// Events scheduled for the same instant run in FIFO order. The zero value
+// is ready to use.
+type Scheduler struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	halted bool
+	ran    uint64
+}
+
+// NewScheduler returns an empty scheduler positioned at time zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Pending returns the number of events waiting to run (including cancelled
+// events that have not yet been popped).
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Processed returns the total number of events executed so far.
+func (s *Scheduler) Processed() uint64 { return s.ran }
+
+// At schedules fn to run at the absolute instant t. Scheduling in the past
+// panics: it is always a logic error in a discrete-event model.
+func (s *Scheduler) At(t Time, label string, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v, before now %v", label, t, s.now))
+	}
+	s.seq++
+	e := &Event{at: t, seq: s.seq, fn: fn, label: label}
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current instant.
+func (s *Scheduler) After(d Duration, label string, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), label, fn)
+}
+
+// Cancel prevents a scheduled event from running. Cancelling an event that
+// already ran (or was already cancelled) is a no-op.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.cancel {
+		return
+	}
+	e.cancel = true
+	if e.index >= 0 {
+		heap.Remove(&s.queue, e.index)
+		e.index = -1
+	}
+}
+
+// Step runs the single next event. It reports false when the queue is empty
+// or the scheduler has been halted.
+func (s *Scheduler) Step() bool {
+	for {
+		if s.halted || len(s.queue) == 0 {
+			return false
+		}
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		if e.at < s.now {
+			panic(fmt.Sprintf("sim: time went backwards: %v < %v", e.at, s.now))
+		}
+		s.now = e.at
+		s.ran++
+		e.fn()
+		return true
+	}
+}
+
+// Run executes events until the queue drains or the scheduler halts.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ deadline. The clock is advanced to
+// the deadline afterwards, even if the queue drained earlier.
+func (s *Scheduler) RunUntil(deadline Time) {
+	for !s.halted && len(s.queue) > 0 && s.queue[0].at <= deadline {
+		s.Step()
+	}
+	if !s.halted && s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor executes events for a span d of virtual time from now.
+func (s *Scheduler) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
+
+// Halt stops the scheduler: Step/Run/RunUntil return immediately afterwards.
+func (s *Scheduler) Halt() { s.halted = true }
+
+// Halted reports whether Halt has been called.
+func (s *Scheduler) Halted() bool { return s.halted }

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSchedulerRunsInTimeOrder(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.At(30*Time(Microsecond), "c", func() { got = append(got, 3) })
+	s.At(10*Time(Microsecond), "a", func() { got = append(got, 1) })
+	s.At(20*Time(Microsecond), "b", func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30*Time(Microsecond) {
+		t.Errorf("Now = %v, want 30µs", s.Now())
+	}
+}
+
+func TestSchedulerFIFOAtSameInstant(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5*Time(Microsecond), "e", func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated: got %v", got)
+		}
+	}
+}
+
+func TestSchedulerNestedScheduling(t *testing.T) {
+	s := NewScheduler()
+	var fired []Time
+	s.After(Microsecond, "outer", func() {
+		s.After(2*Microsecond, "inner", func() {
+			fired = append(fired, s.Now())
+		})
+	})
+	s.Run()
+	if len(fired) != 1 || fired[0] != Time(3*Microsecond) {
+		t.Fatalf("inner fired at %v, want 3µs", fired)
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	e := s.After(Microsecond, "x", func() { ran = true })
+	s.Cancel(e)
+	s.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if !e.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+	// Cancelling again must be a no-op.
+	s.Cancel(e)
+	s.Cancel(nil)
+}
+
+func TestSchedulerCancelOneOfMany(t *testing.T) {
+	s := NewScheduler()
+	var got []string
+	a := s.At(Time(Microsecond), "a", func() { got = append(got, "a") })
+	s.At(Time(2*Microsecond), "b", func() { got = append(got, "b") })
+	c := s.At(Time(3*Microsecond), "c", func() { got = append(got, "c") })
+	s.Cancel(a)
+	s.Cancel(c)
+	s.Run()
+	if len(got) != 1 || got[0] != "b" {
+		t.Fatalf("got %v, want [b]", got)
+	}
+}
+
+func TestSchedulerRunUntilAdvancesClock(t *testing.T) {
+	s := NewScheduler()
+	s.After(10*Microsecond, "later", func() {})
+	s.RunUntil(Time(5 * Microsecond))
+	if s.Now() != Time(5*Microsecond) {
+		t.Fatalf("Now = %v, want 5µs", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+	s.RunFor(10 * Microsecond)
+	if s.Pending() != 0 {
+		t.Fatal("event did not run")
+	}
+}
+
+func TestSchedulerHalt(t *testing.T) {
+	s := NewScheduler()
+	n := 0
+	for i := 1; i <= 5; i++ {
+		s.At(Time(i)*Time(Microsecond), "e", func() {
+			n++
+			if n == 2 {
+				s.Halt()
+			}
+		})
+	}
+	s.Run()
+	if n != 2 {
+		t.Fatalf("ran %d events after halt, want 2", n)
+	}
+	if !s.Halted() {
+		t.Fatal("not halted")
+	}
+}
+
+func TestSchedulerPanicsOnPastEvent(t *testing.T) {
+	s := NewScheduler()
+	s.After(10*Microsecond, "x", func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic scheduling in the past")
+			}
+		}()
+		s.At(Time(Microsecond), "past", func() {})
+	})
+	s.Run()
+}
+
+func TestSchedulerNegativeAfterClamped(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	s.After(-5*Microsecond, "neg", func() { ran = true })
+	s.Run()
+	if !ran {
+		t.Fatal("negative-delay event dropped")
+	}
+}
+
+func TestSchedulerProcessedCount(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 7; i++ {
+		s.At(Time(i)*Time(Microsecond), "e", func() {})
+	}
+	s.Run()
+	if s.Processed() != 7 {
+		t.Fatalf("Processed = %d, want 7", s.Processed())
+	}
+}
+
+// Property: for any set of event offsets, execution order is sorted by time.
+func TestSchedulerOrderProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		s := NewScheduler()
+		var seen []Time
+		for _, o := range offsets {
+			s.At(Time(o)*Time(Microsecond), "e", func() {
+				seen = append(seen, s.Now())
+			})
+		}
+		s.Run()
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(seen) == len(offsets)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(0).Add(Milliseconds(2))
+	if t0.Microseconds() != 2000 {
+		t.Errorf("Microseconds = %d", t0.Microseconds())
+	}
+	if d := t0.Sub(Time(Microsecond)); d != Duration(1999*Microsecond) {
+		t.Errorf("Sub = %v", d)
+	}
+	if !Time(1).Before(Time(2)) || !Time(2).After(Time(1)) {
+		t.Error("Before/After broken")
+	}
+	if s := Time(1234567 * int64(Microsecond)).String(); s != "1.234567s" {
+		t.Errorf("String = %q", s)
+	}
+	if s := Microseconds(150).String(); s != "150µs" {
+		t.Errorf("Duration.String = %q", s)
+	}
+	if s := Duration(1500).String(); s != "1.500µs" {
+		t.Errorf("Duration.String sub-µs = %q", s)
+	}
+}

@@ -1,0 +1,96 @@
+// Package sim implements the discrete-event simulation kernel underneath the
+// BLE radio simulator: virtual time, an event scheduler, per-device drifting
+// sleep clocks and deterministic random-number streams.
+//
+// All of the protocol and attack code in this repository is written against
+// this kernel, which makes every run fully deterministic for a given seed
+// while still modelling the microsecond-scale clock inaccuracies that the
+// InjectaBLE attack exploits.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is an instant in virtual simulation time, measured in nanoseconds
+// since the start of the run. BLE Link Layer timing is specified in
+// microseconds, but clock-drift computations need sub-microsecond
+// resolution, hence nanoseconds.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Never is a sentinel representing "no deadline".
+const Never Time = 1<<63 - 1
+
+// Microseconds converts a whole number of microseconds into a Duration.
+func Microseconds(us int64) Duration { return Duration(us) * Microsecond }
+
+// Milliseconds converts a whole number of milliseconds into a Duration.
+func Milliseconds(ms int64) Duration { return Duration(ms) * Millisecond }
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the span between t and u (t - u).
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t follows u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Microseconds returns t expressed in whole microseconds, truncating.
+func (t Time) Microseconds() int64 { return int64(t) / int64(Microsecond) }
+
+// Std converts t to a time.Duration offset from the simulation epoch,
+// for interoperability with the standard library.
+func (t Time) Std() time.Duration { return time.Duration(t) }
+
+// String renders the instant as seconds with microsecond precision,
+// e.g. "1.234567s".
+func (t Time) String() string {
+	us := int64(t) / int64(Microsecond)
+	return fmt.Sprintf("%d.%06ds", us/1e6, us%1e6)
+}
+
+// Microseconds returns d expressed in whole microseconds, truncating.
+func (d Duration) Microseconds() int64 { return int64(d) / int64(Microsecond) }
+
+// Seconds returns d as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Std converts d to a standard library time.Duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// String renders the duration in the most readable unit: "1.500µs",
+// "150µs", "45ms", "2.5s".
+func (d Duration) String() string {
+	abs := d
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs >= Second:
+		return fmt.Sprintf("%gs", float64(d)/float64(Second))
+	case abs >= Millisecond && d%Millisecond == 0:
+		return fmt.Sprintf("%dms", int64(d)/int64(Millisecond))
+	case abs >= 10*Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	case d%Microsecond == 0:
+		return fmt.Sprintf("%dµs", int64(d)/int64(Microsecond))
+	default:
+		return fmt.Sprintf("%.3fµs", float64(d)/float64(Microsecond))
+	}
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// TraceEvent is one structured record emitted by a simulation component.
+type TraceEvent struct {
+	At     Time
+	Source string // component that emitted the event, e.g. "slave-ll"
+	Kind   string // event kind, e.g. "anchor", "tx", "rx", "inject"
+	Fields map[string]any
+}
+
+// String renders the event on one line for logs.
+func (e TraceEvent) String() string {
+	keys := make([]string, 0, len(e.Fields))
+	for k := range e.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v %-14s %-18s", e.At, e.Source, e.Kind)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%v", k, e.Fields[k])
+	}
+	return b.String()
+}
+
+// Tracer receives structured trace events. Implementations must be safe to
+// call from event callbacks (the simulation is single-threaded, so no
+// locking is required).
+type Tracer interface {
+	Trace(e TraceEvent)
+}
+
+// NopTracer discards all events.
+type NopTracer struct{}
+
+// Trace implements Tracer by doing nothing.
+func (NopTracer) Trace(TraceEvent) {}
+
+var _ Tracer = NopTracer{}
+
+// RecordingTracer appends every event to memory, optionally filtered by kind.
+type RecordingTracer struct {
+	Events []TraceEvent
+	// Kinds, when non-empty, restricts recording to the listed kinds.
+	Kinds map[string]bool
+}
+
+// NewRecordingTracer records every event kind.
+func NewRecordingTracer(kinds ...string) *RecordingTracer {
+	t := &RecordingTracer{}
+	if len(kinds) > 0 {
+		t.Kinds = make(map[string]bool, len(kinds))
+		for _, k := range kinds {
+			t.Kinds[k] = true
+		}
+	}
+	return t
+}
+
+// Trace implements Tracer.
+func (t *RecordingTracer) Trace(e TraceEvent) {
+	if t.Kinds != nil && !t.Kinds[e.Kind] {
+		return
+	}
+	t.Events = append(t.Events, e)
+}
+
+// Filter returns the recorded events of a given kind.
+func (t *RecordingTracer) Filter(kind string) []TraceEvent {
+	var out []TraceEvent
+	for _, e := range t.Events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+var _ Tracer = (*RecordingTracer)(nil)
+
+// WriterTracer prints each event to an io.Writer as it happens.
+type WriterTracer struct{ W io.Writer }
+
+// Trace implements Tracer.
+func (t WriterTracer) Trace(e TraceEvent) { fmt.Fprintln(t.W, e.String()) }
+
+var _ Tracer = WriterTracer{}
+
+// MultiTracer fans events out to several tracers.
+type MultiTracer []Tracer
+
+// Trace implements Tracer.
+func (m MultiTracer) Trace(e TraceEvent) {
+	for _, t := range m {
+		t.Trace(e)
+	}
+}
+
+var _ Tracer = MultiTracer{}
+
+// Emit is a convenience for components holding a Tracer and a Scheduler.
+func Emit(tr Tracer, at Time, source, kind string, fields map[string]any) {
+	if tr == nil {
+		return
+	}
+	tr.Trace(TraceEvent{At: at, Source: source, Kind: kind, Fields: fields})
+}

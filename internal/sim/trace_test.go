@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecordingTracerFilters(t *testing.T) {
+	tr := NewRecordingTracer("tx")
+	Emit(tr, Time(0), "radio", "tx", map[string]any{"ch": 12})
+	Emit(tr, Time(1), "radio", "rx", nil)
+	if len(tr.Events) != 1 || tr.Events[0].Kind != "tx" {
+		t.Fatalf("events = %+v", tr.Events)
+	}
+}
+
+func TestRecordingTracerFilterMethod(t *testing.T) {
+	tr := NewRecordingTracer()
+	Emit(tr, 0, "a", "x", nil)
+	Emit(tr, 1, "a", "y", nil)
+	Emit(tr, 2, "a", "x", nil)
+	if got := len(tr.Filter("x")); got != 2 {
+		t.Fatalf("Filter(x) = %d events, want 2", got)
+	}
+}
+
+func TestWriterTracerOutput(t *testing.T) {
+	var b strings.Builder
+	tr := WriterTracer{W: &b}
+	Emit(tr, Time(150*Microsecond), "slave", "anchor", map[string]any{"ch": 7, "ev": 3})
+	out := b.String()
+	for _, want := range []string{"slave", "anchor", "ch=7", "ev=3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output %q missing %q", out, want)
+		}
+	}
+	// Fields must render in sorted key order for determinism.
+	if strings.Index(out, "ch=") > strings.Index(out, "ev=") {
+		t.Errorf("fields unsorted: %q", out)
+	}
+}
+
+func TestMultiTracerFansOut(t *testing.T) {
+	a, b := NewRecordingTracer(), NewRecordingTracer()
+	m := MultiTracer{a, b}
+	Emit(m, 0, "x", "k", nil)
+	if len(a.Events) != 1 || len(b.Events) != 1 {
+		t.Fatal("fan-out failed")
+	}
+}
+
+func TestEmitNilTracer(t *testing.T) {
+	Emit(nil, 0, "x", "k", nil) // must not panic
+}

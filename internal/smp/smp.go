@@ -1,0 +1,366 @@
+// Package smp implements the BLE Security Manager Protocol's legacy
+// "Just Works" pairing: the pairing feature exchange, the c1 confirm-value
+// exchange, STK derivation with s1, and LTK distribution once the link is
+// encrypted.
+//
+// Pairing is the countermeasure the paper ultimately recommends (§VIII):
+// once a connection is encrypted with a negotiated LTK, InjectaBLE's
+// injected plaintext frames fail their MIC and the attack degrades to
+// denial of service. The experiment harness uses this package to reproduce
+// that boundary.
+package smp
+
+import (
+	"errors"
+	"fmt"
+
+	"injectable/internal/ble"
+	"injectable/internal/llcrypt"
+	"injectable/internal/sim"
+)
+
+// Code is an SMP command code.
+type Code uint8
+
+// SMP command codes (Core Spec Vol 3 Part H §3.3).
+const (
+	CodePairingRequest  Code = 0x01
+	CodePairingResponse Code = 0x02
+	CodePairingConfirm  Code = 0x03
+	CodePairingRandom   Code = 0x04
+	CodePairingFailed   Code = 0x05
+	CodeEncryptionInfo  Code = 0x06
+	CodeMasterIdent     Code = 0x07
+)
+
+// FailureReason is the reason byte of Pairing Failed.
+type FailureReason uint8
+
+// Failure reasons.
+const (
+	FailConfirmValue FailureReason = 0x04
+	FailUnspecified  FailureReason = 0x08
+)
+
+// ErrPairingFailed reports a failed pairing.
+var ErrPairingFailed = errors.New("smp: pairing failed")
+
+// Bond is the key material produced by pairing.
+type Bond struct {
+	LTK  [16]byte
+	EDIV uint16
+	Rand [8]byte
+}
+
+// Config wires a Pairing into its environment.
+type Config struct {
+	// Send transmits an SMP PDU on L2CAP CID 6.
+	Send func([]byte)
+	// RNG supplies nonces and keys.
+	RNG *sim.RNG
+	// LocalAddr / RemoteAddr are the connection's device addresses.
+	LocalAddr, RemoteAddr ble.Address
+	// LocalRandom / RemoteRandom flag random (vs public) address types.
+	LocalRandom, RemoteRandom bool
+	// StartEncryption asks the Link Layer to begin encryption with the
+	// given key (initiator only; key is the STK during pairing).
+	StartEncryption func(key [16]byte, rand [8]byte, ediv uint16) error
+	// OnComplete reports the distributed bond or an error, once.
+	OnComplete func(bond Bond, err error)
+}
+
+// role distinguishes initiator (master) from responder (slave).
+type role int
+
+const (
+	roleInitiator role = iota + 1
+	roleResponder
+)
+
+// phase tracks pairing progress.
+type phase int
+
+const (
+	phaseIdle phase = iota
+	phaseFeatures
+	phaseConfirm
+	phaseRandom
+	phaseEncrypting
+	phaseKeyDist
+	phaseDone
+	phaseFailed
+)
+
+// Pairing is one legacy Just Works pairing in progress.
+type Pairing struct {
+	cfg  Config
+	role role
+	ph   phase
+
+	preq, pres [7]byte // pairing request/response PDUs, MSB-first for c1
+
+	tk             [16]byte // Just Works: zero
+	localRand      [16]byte
+	remoteConfirm  [16]byte
+	haveRemoteConf bool
+	stk            [16]byte
+
+	bond     Bond
+	haveLTK  bool
+	haveEDIV bool
+}
+
+// featurePDU is the 7-byte pairing request/response: code, IOCap(3=NoIO),
+// OOB(0), AuthReq(1=bonding), MaxKeySize(16), InitKeyDist, RespKeyDist.
+func featurePDU(code Code) []byte {
+	return []byte{byte(code), 0x03, 0x00, 0x01, 0x10, 0x00, 0x01} // resp distributes LTK
+}
+
+// msbFirst7 converts an on-air 7-byte PDU to the spec's MSB-first value.
+func msbFirst7(onAir []byte) [7]byte {
+	var out [7]byte
+	for i := 0; i < 7; i++ {
+		out[i] = onAir[6-i]
+	}
+	return out
+}
+
+// reverse16 flips byte order between on-air (LSB-first) and MSB-first.
+func reverse16(b []byte) [16]byte {
+	var out [16]byte
+	for i := 0; i < 16 && i < len(b); i++ {
+		out[i] = b[len(b)-1-i]
+	}
+	return out
+}
+
+// NewInitiator prepares the master side; call Start to begin.
+func NewInitiator(cfg Config) *Pairing {
+	return &Pairing{cfg: cfg, role: roleInitiator}
+}
+
+// NewResponder prepares the slave side; it reacts to the Pairing Request.
+func NewResponder(cfg Config) *Pairing {
+	return &Pairing{cfg: cfg, role: roleResponder}
+}
+
+// Start sends the Pairing Request (initiator only).
+func (p *Pairing) Start() error {
+	if p.role != roleInitiator {
+		return fmt.Errorf("smp: only the initiator starts pairing")
+	}
+	if p.ph != phaseIdle {
+		return fmt.Errorf("smp: pairing already started")
+	}
+	req := featurePDU(CodePairingRequest)
+	p.preq = msbFirst7(req)
+	p.ph = phaseFeatures
+	p.cfg.Send(req)
+	return nil
+}
+
+// STK returns the short-term key (valid once derived). The responder's
+// Link Layer answers the LL_ENC_REQ with EDIV=0/Rand=0 using this key.
+func (p *Pairing) STK() ([16]byte, bool) {
+	if p.ph >= phaseEncrypting && p.ph != phaseFailed {
+		return p.stk, true
+	}
+	return [16]byte{}, false
+}
+
+// Done reports whether pairing completed successfully.
+func (p *Pairing) Done() bool { return p.ph == phaseDone }
+
+// fail aborts, notifying the peer and the owner.
+func (p *Pairing) fail(reason FailureReason) {
+	if p.ph == phaseFailed {
+		return
+	}
+	p.ph = phaseFailed
+	p.cfg.Send([]byte{byte(CodePairingFailed), byte(reason)})
+	if p.cfg.OnComplete != nil {
+		p.cfg.OnComplete(Bond{}, fmt.Errorf("%w: reason %#02x", ErrPairingFailed, uint8(reason)))
+	}
+}
+
+// confirm computes c1 over the exchanged material.
+func (p *Pairing) confirm(rand [16]byte) [16]byte {
+	ia, ra := p.cfg.LocalAddr, p.cfg.RemoteAddr
+	iat, rat := addrType(p.cfg.LocalRandom), addrType(p.cfg.RemoteRandom)
+	if p.role == roleResponder {
+		ia, ra = p.cfg.RemoteAddr, p.cfg.LocalAddr
+		iat, rat = addrType(p.cfg.RemoteRandom), addrType(p.cfg.LocalRandom)
+	}
+	return llcrypt.C1(p.tk, rand, p.preq, p.pres, iat, rat, ia, ra)
+}
+
+func addrType(random bool) byte {
+	if random {
+		return 1
+	}
+	return 0
+}
+
+// sendConfirm draws the local random and transmits the confirm value.
+func (p *Pairing) sendConfirm() {
+	p.cfg.RNG.Bytes(p.localRand[:])
+	conf := p.confirm(p.localRand)
+	onAir := reverse16(conf[:])
+	p.cfg.Send(append([]byte{byte(CodePairingConfirm)}, onAir[:]...))
+}
+
+// HandlePDU processes one SMP PDU from L2CAP CID 6.
+func (p *Pairing) HandlePDU(b []byte) {
+	if len(b) == 0 || p.ph == phaseFailed || p.ph == phaseDone {
+		return
+	}
+	switch Code(b[0]) {
+	case CodePairingRequest:
+		p.handleRequest(b)
+	case CodePairingResponse:
+		p.handleResponse(b)
+	case CodePairingConfirm:
+		p.handleConfirm(b)
+	case CodePairingRandom:
+		p.handleRandom(b)
+	case CodePairingFailed:
+		p.ph = phaseFailed
+		if p.cfg.OnComplete != nil {
+			reason := FailureReason(0)
+			if len(b) > 1 {
+				reason = FailureReason(b[1])
+			}
+			p.cfg.OnComplete(Bond{}, fmt.Errorf("%w: peer reason %#02x", ErrPairingFailed, uint8(reason)))
+		}
+	case CodeEncryptionInfo:
+		p.handleEncryptionInfo(b)
+	case CodeMasterIdent:
+		p.handleMasterIdent(b)
+	}
+}
+
+func (p *Pairing) handleRequest(b []byte) {
+	if p.role != roleResponder || p.ph != phaseIdle || len(b) != 7 {
+		p.fail(FailUnspecified)
+		return
+	}
+	p.preq = msbFirst7(b)
+	rsp := featurePDU(CodePairingResponse)
+	p.pres = msbFirst7(rsp)
+	p.ph = phaseConfirm
+	p.cfg.Send(rsp)
+}
+
+func (p *Pairing) handleResponse(b []byte) {
+	if p.role != roleInitiator || p.ph != phaseFeatures || len(b) != 7 {
+		p.fail(FailUnspecified)
+		return
+	}
+	p.pres = msbFirst7(b)
+	p.ph = phaseConfirm
+	p.sendConfirm() // initiator sends Mconfirm first
+}
+
+func (p *Pairing) handleConfirm(b []byte) {
+	if p.ph != phaseConfirm || len(b) != 17 {
+		p.fail(FailUnspecified)
+		return
+	}
+	p.remoteConfirm = reverse16(b[1:])
+	p.haveRemoteConf = true
+	switch p.role {
+	case roleResponder:
+		// Mconfirm received: answer with Sconfirm.
+		p.sendConfirm()
+		p.ph = phaseRandom
+	case roleInitiator:
+		// Sconfirm received: reveal Mrand.
+		onAir := reverse16(p.localRand[:])
+		p.cfg.Send(append([]byte{byte(CodePairingRandom)}, onAir[:]...))
+		p.ph = phaseRandom
+	}
+}
+
+func (p *Pairing) handleRandom(b []byte) {
+	if p.ph != phaseRandom || len(b) != 17 {
+		p.fail(FailUnspecified)
+		return
+	}
+	remoteRand := reverse16(b[1:])
+	if p.confirm(remoteRand) != p.remoteConfirm {
+		p.fail(FailConfirmValue)
+		return
+	}
+	switch p.role {
+	case roleResponder:
+		// Mrand verified: reveal Srand, derive STK, await encryption.
+		onAir := reverse16(p.localRand[:])
+		p.stk = llcrypt.S1(p.tk, p.localRand, remoteRand) // s1(TK, Srand, Mrand)
+		p.ph = phaseEncrypting
+		p.cfg.Send(append([]byte{byte(CodePairingRandom)}, onAir[:]...))
+	case roleInitiator:
+		// Srand verified: derive STK and start LL encryption with it.
+		p.stk = llcrypt.S1(p.tk, remoteRand, p.localRand) // s1(TK, Srand, Mrand)
+		p.ph = phaseEncrypting
+		if p.cfg.StartEncryption != nil {
+			if err := p.cfg.StartEncryption(p.stk, [8]byte{}, 0); err != nil {
+				p.fail(FailUnspecified)
+			}
+		}
+	}
+}
+
+// OnEncrypted must be called when the Link Layer reports encryption
+// established: the responder then distributes its LTK.
+func (p *Pairing) OnEncrypted() {
+	if p.ph != phaseEncrypting {
+		return
+	}
+	p.ph = phaseKeyDist
+	if p.role != roleResponder {
+		return
+	}
+	// Generate and distribute LTK + EDIV/Rand (the paper's "bonding").
+	p.cfg.RNG.Bytes(p.bond.LTK[:])
+	var ediv [2]byte
+	p.cfg.RNG.Bytes(ediv[:])
+	p.bond.EDIV = uint16(ediv[0]) | uint16(ediv[1])<<8
+	p.cfg.RNG.Bytes(p.bond.Rand[:])
+
+	ltkOnAir := reverse16(p.bond.LTK[:])
+	p.cfg.Send(append([]byte{byte(CodeEncryptionInfo)}, ltkOnAir[:]...))
+	ident := []byte{byte(CodeMasterIdent), byte(p.bond.EDIV), byte(p.bond.EDIV >> 8)}
+	ident = append(ident, p.bond.Rand[:]...)
+	p.cfg.Send(ident)
+	p.haveLTK, p.haveEDIV = true, true
+	p.finishKeyDist()
+}
+
+func (p *Pairing) handleEncryptionInfo(b []byte) {
+	if p.role != roleInitiator || p.ph != phaseKeyDist || len(b) != 17 {
+		return
+	}
+	p.bond.LTK = reverse16(b[1:])
+	p.haveLTK = true
+	p.finishKeyDist()
+}
+
+func (p *Pairing) handleMasterIdent(b []byte) {
+	if p.role != roleInitiator || p.ph != phaseKeyDist || len(b) != 11 {
+		return
+	}
+	p.bond.EDIV = uint16(b[1]) | uint16(b[2])<<8
+	copy(p.bond.Rand[:], b[3:11])
+	p.haveEDIV = true
+	p.finishKeyDist()
+}
+
+func (p *Pairing) finishKeyDist() {
+	if !p.haveLTK || !p.haveEDIV {
+		return
+	}
+	p.ph = phaseDone
+	if p.cfg.OnComplete != nil {
+		p.cfg.OnComplete(p.bond, nil)
+	}
+}

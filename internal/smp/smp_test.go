@@ -1,0 +1,232 @@
+package smp
+
+import (
+	"errors"
+	"testing"
+
+	"injectable/internal/ble"
+	"injectable/internal/sim"
+)
+
+// harness wires an initiator and responder back-to-back with an explicit
+// message queue (so tests can tamper with traffic) and a fake LL
+// encryption hookup.
+type harness struct {
+	init, resp         *Pairing
+	toResp, toInit     [][]byte
+	encStarted         bool
+	encKey             [16]byte
+	initBond, respBond *Bond
+	initErr, respErr   error
+}
+
+func newHarness(t *testing.T) *h2 {
+	t.Helper()
+	return buildHarness(t, nil)
+}
+
+// h2 is the harness plus its pump.
+type h2 struct{ *harness }
+
+// tamper lets tests mutate messages in flight: dir is "toResp"/"toInit".
+type tamper func(dir string, msg []byte) []byte
+
+func buildHarness(t *testing.T, tmp tamper) *h2 {
+	t.Helper()
+	h := &harness{}
+	rng := sim.NewRNG(99)
+	ia := ble.MustParseAddress("C0:00:00:00:00:01")
+	ra := ble.MustParseAddress("C0:00:00:00:00:02")
+
+	h.init = NewInitiator(Config{
+		Send: func(b []byte) {
+			msg := append([]byte(nil), b...)
+			if tmp != nil {
+				msg = tmp("toResp", msg)
+			}
+			h.toResp = append(h.toResp, msg)
+		},
+		RNG:       rng.Child("init"),
+		LocalAddr: ia, RemoteAddr: ra,
+		LocalRandom: true, RemoteRandom: true,
+		StartEncryption: func(key [16]byte, rand [8]byte, ediv uint16) error {
+			h.encStarted = true
+			h.encKey = key
+			return nil
+		},
+		OnComplete: func(b Bond, err error) { h.initBond, h.initErr = &b, err },
+	})
+	h.resp = NewResponder(Config{
+		Send: func(b []byte) {
+			msg := append([]byte(nil), b...)
+			if tmp != nil {
+				msg = tmp("toInit", msg)
+			}
+			h.toInit = append(h.toInit, msg)
+		},
+		RNG:       rng.Child("resp"),
+		LocalAddr: ra, RemoteAddr: ia,
+		LocalRandom: true, RemoteRandom: true,
+		OnComplete: func(b Bond, err error) { h.respBond, h.respErr = &b, err },
+	})
+	return &h2{h}
+}
+
+// pump delivers queued messages until quiescent.
+func (h *h2) pump() {
+	for len(h.toResp) > 0 || len(h.toInit) > 0 {
+		if len(h.toResp) > 0 {
+			m := h.toResp[0]
+			h.toResp = h.toResp[1:]
+			h.resp.HandlePDU(m)
+		}
+		if len(h.toInit) > 0 {
+			m := h.toInit[0]
+			h.toInit = h.toInit[1:]
+			h.init.HandlePDU(m)
+		}
+	}
+}
+
+// completeEncryption simulates the LL encryption start succeeding.
+func (h *h2) completeEncryption() {
+	h.init.OnEncrypted()
+	h.resp.OnEncrypted()
+	h.pump()
+}
+
+func TestJustWorksPairingEndToEnd(t *testing.T) {
+	h := newHarness(t)
+	if err := h.init.Start(); err != nil {
+		t.Fatal(err)
+	}
+	h.pump()
+	if !h.encStarted {
+		t.Fatal("initiator never started LL encryption")
+	}
+	// Both sides derived the same STK.
+	si, ok1 := h.init.STK()
+	sr, ok2 := h.resp.STK()
+	if !ok1 || !ok2 || si != sr {
+		t.Fatalf("STK mismatch: %x vs %x", si, sr)
+	}
+	if h.encKey != si {
+		t.Fatal("LL encryption used a different key than the STK")
+	}
+
+	h.completeEncryption()
+	if h.initErr != nil || h.respErr != nil {
+		t.Fatalf("errors: %v %v", h.initErr, h.respErr)
+	}
+	if h.initBond == nil || h.respBond == nil {
+		t.Fatal("bond not produced")
+	}
+	if h.initBond.LTK != h.respBond.LTK || h.initBond.EDIV != h.respBond.EDIV ||
+		h.initBond.Rand != h.respBond.Rand {
+		t.Fatal("distributed keys disagree")
+	}
+	if h.initBond.LTK == ([16]byte{}) {
+		t.Fatal("zero LTK distributed")
+	}
+	if !h.init.Done() || !h.resp.Done() {
+		t.Fatal("Done() false after completion")
+	}
+}
+
+func TestConfirmValueMismatchFails(t *testing.T) {
+	// Tamper with the initiator's Pairing Random: the responder must
+	// detect the confirm mismatch and abort with reason 0x04.
+	h := buildHarness(t, func(dir string, msg []byte) []byte {
+		if dir == "toResp" && Code(msg[0]) == CodePairingRandom {
+			msg[5] ^= 0xFF
+		}
+		return msg
+	})
+	if err := h.init.Start(); err != nil {
+		t.Fatal(err)
+	}
+	h.pump()
+	if h.respErr == nil || !errors.Is(h.respErr, ErrPairingFailed) {
+		t.Fatalf("responder error = %v", h.respErr)
+	}
+	if h.initErr == nil {
+		t.Fatal("initiator not notified of failure")
+	}
+	if h.encStarted {
+		t.Fatal("encryption started despite failed pairing")
+	}
+}
+
+func TestMITMCannotForgeConfirmWithoutTK(t *testing.T) {
+	// An attacker replacing the responder's confirm with garbage is caught.
+	h := buildHarness(t, func(dir string, msg []byte) []byte {
+		if dir == "toInit" && Code(msg[0]) == CodePairingConfirm {
+			msg[8] ^= 0x01
+		}
+		return msg
+	})
+	if err := h.init.Start(); err != nil {
+		t.Fatal(err)
+	}
+	h.pump()
+	if h.initErr == nil {
+		t.Fatal("initiator accepted forged confirm")
+	}
+}
+
+func TestResponderRejectsUnexpectedSequence(t *testing.T) {
+	h := newHarness(t)
+	// Random before any request: protocol violation.
+	h.resp.HandlePDU([]byte{byte(CodePairingRandom)})
+	h.pump()
+	if h.respErr == nil {
+		t.Fatal("out-of-order PDU accepted")
+	}
+}
+
+func TestStartOnlyInitiator(t *testing.T) {
+	h := newHarness(t)
+	if err := h.resp.Start(); err == nil {
+		t.Fatal("responder Start accepted")
+	}
+	if err := h.init.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.init.Start(); err == nil {
+		t.Fatal("double Start accepted")
+	}
+}
+
+func TestSTKUnavailableBeforeDerivation(t *testing.T) {
+	h := newHarness(t)
+	if _, ok := h.init.STK(); ok {
+		t.Fatal("STK available before pairing")
+	}
+}
+
+func TestMalformedPDUsDoNotPanic(t *testing.T) {
+	h := newHarness(t)
+	if err := h.init.Start(); err != nil {
+		t.Fatal(err)
+	}
+	h.resp.HandlePDU(nil)
+	h.resp.HandlePDU([]byte{0x99})
+	h.resp.HandlePDU([]byte{byte(CodePairingConfirm), 1, 2}) // short
+	h.init.HandlePDU([]byte{byte(CodeEncryptionInfo)})       // short, wrong phase
+}
+
+func TestReverse16(t *testing.T) {
+	in := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	out := reverse16(in)
+	if out[0] != 16 || out[15] != 1 {
+		t.Fatalf("reverse16 = %v", out)
+	}
+}
+
+func TestMsbFirst7(t *testing.T) {
+	in := []byte{1, 2, 3, 4, 5, 6, 7}
+	out := msbFirst7(in)
+	if out[0] != 7 || out[6] != 1 {
+		t.Fatalf("msbFirst7 = %v", out)
+	}
+}
