@@ -351,7 +351,9 @@ func BenchmarkKeystrokeInjection(b *testing.B) {
 // over paired clean and attacked runs.
 func BenchmarkIDSValidation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.IDSValidation(2, uint64(i)*100+5000, nil); err != nil {
+		if _, err := experiments.IDSValidation(experiments.Options{
+			TrialsPerPoint: 2, SeedBase: uint64(i)*100 + 5000, Parallel: 1,
+		}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -12,63 +12,137 @@
 //	experiments -run encrypted|ids|idsvalidation|countermeasures|baselines|ablations
 //	experiments -run list                # list all experiment names
 //	experiments -run exp1 -trials 25 -seed 1000
+//	experiments -run exp1 -parallel 8    # fan trials over 8 workers (same output)
+//	experiments -run exp1 -jsonl exp1.jsonl  # stream per-trial results
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"injectable/internal/experiments"
 	"injectable/internal/ids"
 )
 
 func main() {
-	run := flag.String("run", "all", "which experiment to run (see usage)")
-	trials := flag.Int("trials", 25, "trials per configuration (paper: 25)")
-	seed := flag.Uint64("seed", 1000, "base seed")
-	quiet := flag.Bool("q", false, "suppress progress dots")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	opts := experiments.Options{TrialsPerPoint: *trials, SeedBase: *seed}
+// experimentOrder is the -run all sequence (and the -run list output).
+var experimentOrder = []string{
+	"tableI", "tableII", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+	"exp1", "exp2", "exp3", "exp3wall",
+	"scenarioA", "scenarioB", "scenarioC", "scenarioD", "keystrokes",
+	"encrypted", "ids", "idsvalidation", "countermeasures", "baselines", "ablations",
+}
+
+// run is main minus the process exit, so tests can drive the CLI.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	runName := fs.String("run", "all", "which experiment to run (see usage)")
+	trials := fs.Int("trials", 25, "trials per configuration (paper: 25)")
+	seed := fs.Uint64("seed", 1000, "base seed")
+	quiet := fs.Bool("q", false, "suppress progress dots")
+	parallel := fs.Int("parallel", 0, "campaign workers: 0 = all cores, 1 = serial (output is identical either way)")
+	jsonlPath := fs.String("jsonl", "", "stream per-trial campaign results as JSON lines to this file")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	opts := experiments.Options{TrialsPerPoint: *trials, SeedBase: *seed, Parallel: *parallel}
 	if !*quiet {
 		opts.Progress = func(point string, trial int) {
-			fmt.Fprintf(os.Stderr, "\r%-20s trial %d   ", point, trial+1)
+			fmt.Fprintf(stderr, "\r%-20s trial %d   ", point, trial+1)
 		}
+	}
+	if *jsonlPath != "" {
+		f, err := os.Create(*jsonlPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
+		}
+		defer f.Close()
+		opts.JSONL = f
 	}
 	newline := func() {
 		if !*quiet {
-			fmt.Fprintln(os.Stderr)
+			fmt.Fprintln(stderr)
 		}
+	}
+	tableErr := func(f func() (*experiments.Table, error)) func() error {
+		return func() error {
+			t, err := f()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, t.Render())
+			return nil
+		}
+	}
+	expErr := func(f func() (*experiments.Experiment, error)) func() error {
+		return func() error {
+			exp, err := f()
+			newline()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, exp.Table().Render())
+			return nil
+		}
+	}
+	scenarioRunner := func(title string, scRun func(string, uint64, bool) (experiments.ScenarioOutcome, error)) func() error {
+		return func() error {
+			var outcomes []experiments.ScenarioOutcome
+			for _, target := range experiments.ScenarioTargets() {
+				out, err := scRun(target, *seed, false)
+				if err != nil {
+					return err
+				}
+				outcomes = append(outcomes, out)
+			}
+			fmt.Fprintln(stdout, experiments.ScenarioTable("", title, outcomes).Render())
+			return nil
+		}
+	}
+	// withSeedOffset shifts the campaign seed base, preserving the
+	// historical per-study seed layout.
+	withSeedOffset := func(off uint64) experiments.Options {
+		o := opts
+		o.SeedBase = *seed + off
+		return o
 	}
 
 	runners := map[string]func() error{
-		"tableI":  func() error { fmt.Println(experiments.TableIFrameFormat().Render()); return nil },
-		"tableII": func() error { fmt.Println(experiments.TableIIConnectReq().Render()); return nil },
+		"tableI":  func() error { fmt.Fprintln(stdout, experiments.TableIFrameFormat().Render()); return nil },
+		"tableII": func() error { fmt.Fprintln(stdout, experiments.TableIIConnectReq().Render()); return nil },
 		"fig1":    tableErr(func() (*experiments.Table, error) { return experiments.Fig1ConnectionEvents(*seed) }),
 		"fig2":    tableErr(func() (*experiments.Table, error) { return experiments.Fig2ConnectionUpdate(*seed) }),
 		"fig3":    tableErr(func() (*experiments.Table, error) { return experiments.Fig3AttackOverview(*seed) }),
-		"fig4":    func() error { fmt.Println(experiments.Fig4WindowWidening().Render()); return nil },
+		"fig4":    func() error { fmt.Fprintln(stdout, experiments.Fig4WindowWidening().Render()); return nil },
 		"fig5":    tableErr(func() (*experiments.Table, error) { return experiments.Fig5InjectionOutcomes(*seed) }),
 		"fig6":    tableErr(func() (*experiments.Table, error) { return experiments.Fig6SlaveHijack(*seed) }),
 		"fig7":    tableErr(func() (*experiments.Table, error) { return experiments.Fig7MitM(*seed) }),
-		"fig8":    func() error { fmt.Println(experiments.Fig8Topology().Render()); return nil },
+		"fig8":    func() error { fmt.Fprintln(stdout, experiments.Fig8Topology().Render()); return nil },
 		"exp1": expErr(func() (*experiments.Experiment, error) {
 			return experiments.Experiment1HopInterval(opts)
-		}, newline),
+		}),
 		"exp2": expErr(func() (*experiments.Experiment, error) {
 			return experiments.Experiment2PayloadSize(opts)
-		}, newline),
+		}),
 		"exp3": expErr(func() (*experiments.Experiment, error) {
 			return experiments.Experiment3Distance(opts)
-		}, newline),
+		}),
 		"exp3wall": expErr(func() (*experiments.Experiment, error) {
 			return experiments.Experiment3Wall(opts)
-		}, newline),
-		"scenarioA": scenarioRunner("scenario A — illegitimate feature use (§VI-A)", experiments.RunScenarioA, *seed),
-		"scenarioB": scenarioRunner("scenario B — slave hijack (§VI-B)", experiments.RunScenarioB, *seed),
-		"scenarioC": scenarioRunner("scenario C — master hijack (§VI-C)", experiments.RunScenarioC, *seed),
-		"scenarioD": scenarioRunner("scenario D — man-in-the-middle (§VI-D)", experiments.RunScenarioD, *seed),
+		}),
+		"scenarioA": scenarioRunner("scenario A — illegitimate feature use (§VI-A)", experiments.RunScenarioA),
+		"scenarioB": scenarioRunner("scenario B — slave hijack (§VI-B)", experiments.RunScenarioB),
+		"scenarioC": scenarioRunner("scenario C — master hijack (§VI-C)", experiments.RunScenarioC),
+		"scenarioD": scenarioRunner("scenario D — man-in-the-middle (§VI-D)", experiments.RunScenarioD),
 		"keystrokes": func() error {
 			out, err := experiments.RunScenarioKeystrokes(*seed, false)
 			if err != nil {
@@ -82,7 +156,7 @@ func main() {
 					fmt.Sprintf("%d", out.Attempts), out.Detail,
 				}},
 			}
-			fmt.Println(t.Render())
+			fmt.Fprintln(stdout, t.Render())
 			return nil
 		},
 		"encrypted": func() error {
@@ -99,39 +173,31 @@ func main() {
 					fmt.Sprintf("%t", out.ConnectionDropped),
 				}},
 			}
-			fmt.Println(t.Render())
+			fmt.Fprintln(stdout, t.Render())
 			return nil
 		},
-		"ids": func() error { return runIDS(*seed) },
+		"ids": func() error { return runIDS(stdout, *seed) },
 		"countermeasures": func() error {
-			outs, err := experiments.WideningReduction(*trials, *seed+8000, func(i int) {
-				if !*quiet {
-					fmt.Fprintf(os.Stderr, "\rwidening-reduction run %d   ", i+1)
-				}
-			})
+			outs, err := experiments.WideningReduction(withSeedOffset(8000))
 			newline()
 			if err != nil {
 				return err
 			}
-			fmt.Println(experiments.WideningReductionTable(outs, *trials).Render())
+			fmt.Fprintln(stdout, experiments.WideningReductionTable(outs, *trials).Render())
 			app, err := experiments.RunAppLayerCrypto(*seed + 8100)
 			if err != nil {
 				return err
 			}
-			fmt.Println(experiments.AppLayerCryptoTable(app).Render())
+			fmt.Fprintln(stdout, experiments.AppLayerCryptoTable(app).Render())
 			return nil
 		},
 		"idsvalidation": func() error {
-			t, err := experiments.IDSValidation(*trials, *seed+3000, func(i int) {
-				if !*quiet {
-					fmt.Fprintf(os.Stderr, "\rids-validation run %d   ", i+1)
-				}
-			})
+			t, err := experiments.IDSValidation(withSeedOffset(3000))
 			newline()
 			if err != nil {
 				return err
 			}
-			fmt.Println(t.Render())
+			fmt.Fprintln(stdout, t.Render())
 			return nil
 		},
 		"baselines": func() error {
@@ -151,7 +217,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			fmt.Println(experiments.BaselineTable([]experiments.BaselineOutcome{jam, inj, pre, post}).Render())
+			fmt.Fprintln(stdout, experiments.BaselineTable([]experiments.BaselineOutcome{jam, inj, pre, post}).Render())
 			return nil
 		},
 		"ablations": func() error {
@@ -166,49 +232,48 @@ func main() {
 					return err
 				}
 				newline()
-				fmt.Println(exp.Table().Render())
+				fmt.Fprintln(stdout, exp.Table().Render())
 			}
 			t, err := experiments.HeuristicValidation(opts)
 			if err != nil {
 				return err
 			}
 			newline()
-			fmt.Println(t.Render())
+			fmt.Fprintln(stdout, t.Render())
 			return nil
 		},
 	}
 
-	order := []string{
-		"tableI", "tableII", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-		"exp1", "exp2", "exp3", "exp3wall",
-		"scenarioA", "scenarioB", "scenarioC", "scenarioD", "keystrokes",
-		"encrypted", "ids", "idsvalidation", "countermeasures", "baselines", "ablations",
-	}
-	if *run == "list" {
-		for _, name := range order {
-			fmt.Println(name)
+	if *runName == "list" {
+		for _, name := range experimentOrder {
+			fmt.Fprintln(stdout, name)
 		}
-		return
+		return 0
 	}
-	if *run == "all" {
-		for _, name := range order {
+	if *runName == "all" {
+		for _, name := range experimentOrder {
 			if err := runners[name](); err != nil {
-				fatal(fmt.Errorf("%s: %w", name, err))
+				fmt.Fprintf(stderr, "experiments: %s: %v\n", name, err)
+				return 1
 			}
 		}
-		return
+		return 0
 	}
-	r, ok := runners[*run]
+	r, ok := runners[*runName]
 	if !ok {
-		fatal(fmt.Errorf("unknown experiment %q (use -run list)", *run))
+		fmt.Fprintf(stderr, "experiments: unknown experiment %q\navailable: %s\n",
+			*runName, strings.Join(append([]string{"all", "list"}, experimentOrder...), " "))
+		return 2
 	}
 	if err := r(); err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 1
 	}
+	return 0
 }
 
 // runIDS measures detection across the scenarios plus a clean control.
-func runIDS(seed uint64) error {
+func runIDS(stdout io.Writer, seed uint64) error {
 	t := &experiments.Table{
 		Title:  "IDS detection study (§VIII): alerts per attack",
 		Header: []string{"workload", "double-frame", "anchor-dev", "sched-split", "rogue-update", "jamming"},
@@ -238,49 +303,6 @@ func runIDS(seed uint64) error {
 		}
 		row(sc.name, out.IDSAlerts)
 	}
-	fmt.Println(t.Render())
+	fmt.Fprintln(stdout, t.Render())
 	return nil
-}
-
-func tableErr(f func() (*experiments.Table, error)) func() error {
-	return func() error {
-		t, err := f()
-		if err != nil {
-			return err
-		}
-		fmt.Println(t.Render())
-		return nil
-	}
-}
-
-func expErr(f func() (*experiments.Experiment, error), newline func()) func() error {
-	return func() error {
-		exp, err := f()
-		newline()
-		if err != nil {
-			return err
-		}
-		fmt.Println(exp.Table().Render())
-		return nil
-	}
-}
-
-func scenarioRunner(title string, run func(string, uint64, bool) (experiments.ScenarioOutcome, error), seed uint64) func() error {
-	return func() error {
-		var outcomes []experiments.ScenarioOutcome
-		for _, target := range experiments.ScenarioTargets() {
-			out, err := run(target, seed, false)
-			if err != nil {
-				return err
-			}
-			outcomes = append(outcomes, out)
-		}
-		fmt.Println(experiments.ScenarioTable("", title, outcomes).Render())
-		return nil
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
 }

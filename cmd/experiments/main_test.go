@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUnknownRunNameListsExperimentsAndFailsNonzero(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-run", "nosuchexperiment"}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatal("unknown -run name exited 0")
+	}
+	msg := stderr.String()
+	if !strings.Contains(msg, `"nosuchexperiment"`) {
+		t.Errorf("stderr does not name the bad experiment:\n%s", msg)
+	}
+	// Every runnable name must be offered to the user, on stderr.
+	for _, name := range append([]string{"all", "list"}, experimentOrder...) {
+		if !strings.Contains(msg, name) {
+			t.Errorf("stderr missing available name %q:\n%s", name, msg)
+		}
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("error path wrote to stdout: %q", stdout.String())
+	}
+}
+
+func TestListPrintsEveryRunnerName(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-run", "list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("list exited %d: %s", code, stderr.String())
+	}
+	got := strings.Fields(stdout.String())
+	if len(got) != len(experimentOrder) {
+		t.Fatalf("list printed %d names, want %d", len(got), len(experimentOrder))
+	}
+	for i, name := range experimentOrder {
+		if got[i] != name {
+			t.Errorf("list[%d] = %q, want %q", i, got[i], name)
+		}
+	}
+}
+
+func TestBadFlagFailsNonzero(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); code == 0 {
+		t.Fatal("bad flag exited 0")
+	}
+}
+
+// TestParallelOutputByteIdentical drives the real CLI path end to end: the
+// same -seed must produce the same stdout bytes at -parallel 1 and 8.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	render := func(parallel string) string {
+		var stdout, stderr strings.Builder
+		code := run([]string{"-run", "exp2", "-trials", "2", "-q", "-parallel", parallel},
+			&stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("-parallel %s exited %d: %s", parallel, code, stderr.String())
+		}
+		return stdout.String()
+	}
+	serial, parallel := render("1"), render("8")
+	if serial != parallel {
+		t.Errorf("-parallel 8 output differs from -parallel 1:\n%s\n--- vs ---\n%s",
+			parallel, serial)
+	}
+}

@@ -1,0 +1,33 @@
+package campaign
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkRunnerOverhead measures the pool's dispatch + collation cost on
+// trials that do a fixed slab of deterministic CPU work, isolating the
+// engine from simulation cost (the exp1-scale speedup benchmark lives in
+// internal/experiments).
+func BenchmarkRunnerOverhead(b *testing.B) {
+	work := func(t Trial) (any, error) {
+		rng := t.RNG()
+		v := uint64(0)
+		for i := 0; i < 2000; i++ {
+			v ^= rng.Uint64()
+		}
+		return v, nil
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				spec := &Spec{Name: "bench", SeedBase: 42, Points: []Point{
+					{Label: "p", Trials: 64, Run: work},
+				}}
+				if _, err := (&Runner{Workers: workers}).Run(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,84 @@
+package campaign
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Metrics summarises a completed campaign run.
+//
+// Counter fields reflect the trials whose results were collected; under a
+// FailFast abort, trials still in flight when the campaign stopped are
+// counted too (their results are simply not delivered to sinks), so
+// counters — unlike Results — are not deterministic across worker counts.
+type Metrics struct {
+	// Workers is the pool size the campaign ran with.
+	Workers int `json:"workers"`
+	// Trials counts completed trial results (success or failure).
+	Trials int `json:"trials"`
+	// Succeeded / Failed partition Trials.
+	Succeeded int `json:"succeeded"`
+	Failed    int `json:"failed"`
+	// Panicked counts trials whose final attempt panicked (subset of Failed).
+	Panicked int `json:"panicked"`
+	// TimedOut counts trials whose final attempt hit the deadline (subset
+	// of Failed).
+	TimedOut int `json:"timed_out"`
+	// Retried counts extra attempts consumed across all trials.
+	Retried int `json:"retried"`
+	// Wall is the campaign's wall-clock duration.
+	Wall time.Duration `json:"wall_ns"`
+	// Busy is the summed per-trial wall time across all workers.
+	Busy time.Duration `json:"busy_ns"`
+}
+
+// Utilization returns Busy/(Wall·Workers) — the fraction of pool capacity
+// spent inside trials. 0 when the campaign did not run.
+func (m Metrics) Utilization() float64 {
+	if m.Wall <= 0 || m.Workers <= 0 {
+		return 0
+	}
+	return float64(m.Busy) / (float64(m.Wall) * float64(m.Workers))
+}
+
+// counters accumulates metrics during a run. retried is bumped from worker
+// goroutines (hence atomic); everything else is recorded by the collator
+// goroutine only.
+type counters struct {
+	trials, succeeded, failed int
+	panicked, timedOut        int
+	busy                      time.Duration
+	retried                   atomic.Int64
+}
+
+// record tallies one completed result.
+func (c *counters) record(r Result) {
+	c.trials++
+	if r.Err == nil {
+		c.succeeded++
+	} else {
+		c.failed++
+	}
+	if r.Panicked {
+		c.panicked++
+	}
+	if r.TimedOut {
+		c.timedOut++
+	}
+	c.busy += r.Elapsed
+}
+
+// snapshot freezes the counters into a Metrics.
+func (c *counters) snapshot(workers int, wall time.Duration) Metrics {
+	return Metrics{
+		Workers:   workers,
+		Trials:    c.trials,
+		Succeeded: c.succeeded,
+		Failed:    c.failed,
+		Panicked:  c.panicked,
+		TimedOut:  c.timedOut,
+		Retried:   int(c.retried.Load()),
+		Wall:      wall,
+		Busy:      c.busy,
+	}
+}

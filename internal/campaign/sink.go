@@ -1,0 +1,227 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Sink observes a campaign as it streams. The runner invokes all three
+// methods from a single goroutine and delivers results in ordinal order,
+// so implementations need no locking against the runner (a sink that is
+// also read from other goroutines, like Tracker, locks for its readers).
+type Sink interface {
+	// Start announces the campaign before any trial runs.
+	Start(spec *Spec, totalTrials int)
+	// Result delivers one collated result. Under FailFast no results are
+	// delivered past the failing trial.
+	Result(r Result)
+	// Finish delivers the final metrics after the pool has drained.
+	Finish(m Metrics)
+}
+
+// SinkFuncs adapts plain callbacks into a Sink; nil fields are skipped.
+type SinkFuncs struct {
+	OnStart  func(spec *Spec, totalTrials int)
+	OnResult func(r Result)
+	OnFinish func(m Metrics)
+}
+
+// Start implements Sink.
+func (s SinkFuncs) Start(spec *Spec, totalTrials int) {
+	if s.OnStart != nil {
+		s.OnStart(spec, totalTrials)
+	}
+}
+
+// Result implements Sink.
+func (s SinkFuncs) Result(r Result) {
+	if s.OnResult != nil {
+		s.OnResult(r)
+	}
+}
+
+// Finish implements Sink.
+func (s SinkFuncs) Finish(m Metrics) {
+	if s.OnFinish != nil {
+		s.OnFinish(m)
+	}
+}
+
+// OnResult wraps a per-result callback as a Sink.
+func OnResult(f func(Result)) Sink { return SinkFuncs{OnResult: f} }
+
+// JSONL streams the campaign as JSON lines for offline analysis: one
+// "campaign" header line, one "result" line per trial and one "metrics"
+// trailer. Write errors are remembered and surfaced by Err (a result
+// stream is telemetry; it must not be able to fail the campaign).
+type JSONL struct {
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL returns a sink writing JSON lines to w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{enc: json.NewEncoder(w)}
+}
+
+// Err returns the first write/encode error, if any.
+func (j *JSONL) Err() error { return j.err }
+
+func (j *JSONL) emit(v any) {
+	if j.err == nil {
+		j.err = j.enc.Encode(v)
+	}
+}
+
+// Start implements Sink.
+func (j *JSONL) Start(spec *Spec, totalTrials int) {
+	j.emit(struct {
+		Kind     string `json:"kind"`
+		Campaign string `json:"campaign"`
+		SeedBase uint64 `json:"seed_base"`
+		Points   int    `json:"points"`
+		Trials   int    `json:"trials"`
+	}{"campaign", spec.Name, spec.SeedBase, len(spec.Points), totalTrials})
+}
+
+// Result implements Sink.
+func (j *JSONL) Result(r Result) {
+	line := struct {
+		Kind      string          `json:"kind"`
+		Point     string          `json:"point"`
+		Trial     int             `json:"trial"`
+		Seed      uint64          `json:"seed"`
+		OK        bool            `json:"ok"`
+		Err       string          `json:"err,omitempty"`
+		Panicked  bool            `json:"panicked,omitempty"`
+		TimedOut  bool            `json:"timed_out,omitempty"`
+		Attempts  int             `json:"attempts"`
+		ElapsedUS int64           `json:"elapsed_us"`
+		Value     json.RawMessage `json:"value,omitempty"`
+	}{
+		Kind:      "result",
+		Point:     r.Point,
+		Trial:     r.Index,
+		Seed:      r.Seed,
+		OK:        r.Err == nil,
+		Panicked:  r.Panicked,
+		TimedOut:  r.TimedOut,
+		Attempts:  r.Attempts,
+		ElapsedUS: r.Elapsed.Microseconds(),
+	}
+	if r.Err != nil {
+		line.Err = r.Err.Error()
+	}
+	if r.Value != nil {
+		if raw, err := json.Marshal(r.Value); err == nil {
+			line.Value = raw
+		} else {
+			line.Value, _ = json.Marshal(fmt.Sprintf("%v", r.Value))
+		}
+	}
+	j.emit(line)
+}
+
+// Finish implements Sink.
+func (j *JSONL) Finish(m Metrics) {
+	j.emit(struct {
+		Kind string `json:"kind"`
+		Metrics
+	}{"metrics", m})
+}
+
+// PointProgress is one point's live tally inside a Tracker snapshot.
+type PointProgress struct {
+	Label  string
+	Trials int
+	Done   int
+	Failed int
+}
+
+// Tracker is a Sink keeping live aggregate progress that other goroutines
+// (a status line, an HTTP handler) may read concurrently via Snapshot.
+type Tracker struct {
+	mu      sync.Mutex
+	started time.Time
+	total   int
+	done    int
+	failed  int
+	order   []string
+	points  map[string]*PointProgress
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker { return &Tracker{points: make(map[string]*PointProgress)} }
+
+// Start implements Sink.
+func (t *Tracker) Start(spec *Spec, totalTrials int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.started = time.Now()
+	t.total = totalTrials
+	t.done, t.failed = 0, 0
+	t.order = t.order[:0]
+	t.points = make(map[string]*PointProgress)
+	for _, p := range spec.Points {
+		if _, ok := t.points[p.Label]; !ok {
+			t.order = append(t.order, p.Label)
+			t.points[p.Label] = &PointProgress{Label: p.Label}
+		}
+		t.points[p.Label].Trials += p.Trials
+	}
+}
+
+// Result implements Sink.
+func (t *Tracker) Result(r Result) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done++
+	pp, ok := t.points[r.Point]
+	if !ok {
+		pp = &PointProgress{Label: r.Point}
+		t.order = append(t.order, r.Point)
+		t.points[r.Point] = pp
+	}
+	pp.Done++
+	if r.Err != nil {
+		t.failed++
+		pp.Failed++
+	}
+}
+
+// Finish implements Sink.
+func (t *Tracker) Finish(Metrics) {}
+
+// TrackerSnapshot is a point-in-time copy of a Tracker's aggregates.
+type TrackerSnapshot struct {
+	Total   int
+	Done    int
+	Failed  int
+	Elapsed time.Duration
+	Points  []PointProgress
+}
+
+// Fraction returns completed/total in [0,1] (1 when the campaign is empty).
+func (s TrackerSnapshot) Fraction() float64 {
+	if s.Total == 0 {
+		return 1
+	}
+	return float64(s.Done) / float64(s.Total)
+}
+
+// Snapshot returns the current aggregates; safe to call from any goroutine.
+func (t *Tracker) Snapshot() TrackerSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := TrackerSnapshot{Total: t.total, Done: t.done, Failed: t.failed}
+	if !t.started.IsZero() {
+		s.Elapsed = time.Since(t.started)
+	}
+	for _, label := range t.order {
+		s.Points = append(s.Points, *t.points[label])
+	}
+	return s
+}

@@ -29,20 +29,24 @@ func AblationCaptureModel(opts Options) (*Experiment, error) {
 		medium.Pessimistic{},
 		medium.CoinFlip{P: 0.35},
 	}
+	var pts []sweepPoint
 	for i, model := range models {
-		cfg := TrialConfig{
-			Interval: 36, Payload: PayloadPowerOff,
-			BulbPos: bulb, CentralPos: central, AttackerPos: attacker,
-			Capture:     model,
-			MaxAttempts: 60,
-		}
-		series, err := RunSeries(cfg, opts.TrialsPerPoint, opts.SeedBase+40000+uint64(i)*1000,
-			func(t int) { opts.progress(model.Name(), t) })
-		if err != nil {
-			return nil, err
-		}
-		exp.Points = append(exp.Points, Point{Label: model.Name(), Series: series})
+		pts = append(pts, sweepPoint{
+			Label:    model.Name(),
+			SeedBase: opts.SeedBase + 40000 + uint64(i)*1000,
+			Cfg: TrialConfig{
+				Interval: 36, Payload: PayloadPowerOff,
+				BulbPos: bulb, CentralPos: central, AttackerPos: attacker,
+				Capture:     model,
+				MaxAttempts: 60,
+			},
+		})
 	}
+	points, err := runSweep(opts, exp.ID, pts)
+	if err != nil {
+		return nil, err
+	}
+	exp.Points = points
 	return exp, nil
 }
 
@@ -62,25 +66,28 @@ func AblationAssumedSlaveSCA(opts Options) (*Experiment, error) {
 			"over-estimating the slave's SCA fires before its window opens until the guard adapts",
 		},
 	}
+	var pts []sweepPoint
 	for i, ppm := range []float64{5, 20, 50, 100, 250} {
-		cfg := TrialConfig{
-			Interval: 36, Payload: PayloadPowerOff,
-			BulbPos: bulb, CentralPos: central, AttackerPos: attacker,
-			// MaxLead is opened up so the widening estimate alone decides
-			// the firing instant — the quantity this ablation isolates.
-			Injector: injectable.InjectorConfig{
-				AssumedSlavePPM: ppm,
-				MaxLead:         sim.Millisecond,
+		pts = append(pts, sweepPoint{
+			Label:    fmt.Sprintf("%.0f", ppm),
+			SeedBase: opts.SeedBase + 50000 + uint64(i)*1000,
+			Cfg: TrialConfig{
+				Interval: 36, Payload: PayloadPowerOff,
+				BulbPos: bulb, CentralPos: central, AttackerPos: attacker,
+				// MaxLead is opened up so the widening estimate alone decides
+				// the firing instant — the quantity this ablation isolates.
+				Injector: injectable.InjectorConfig{
+					AssumedSlavePPM: ppm,
+					MaxLead:         sim.Millisecond,
+				},
 			},
-		}
-		label := fmt.Sprintf("%.0f", ppm)
-		series, err := RunSeries(cfg, opts.TrialsPerPoint, opts.SeedBase+50000+uint64(i)*1000,
-			func(t int) { opts.progress(label, t) })
-		if err != nil {
-			return nil, err
-		}
-		exp.Points = append(exp.Points, Point{Label: label, Series: series})
+		})
 	}
+	points, err := runSweep(opts, exp.ID, pts)
+	if err != nil {
+		return nil, err
+	}
+	exp.Points = points
 	return exp, nil
 }
 
@@ -95,24 +102,28 @@ func AblationInjectionTiming(opts Options) (*Experiment, error) {
 		Title:  "injection instant vs attempts (window start vs predicted anchor)",
 		XLabel: "instant",
 	}
+	var pts []sweepPoint
 	for i, center := range []bool{false, true} {
 		label := "window-start"
 		if center {
 			label = "anchor-center"
 		}
-		cfg := TrialConfig{
-			Interval: 36, Payload: PayloadPowerOff,
-			BulbPos: bulb, CentralPos: central, AttackerPos: attacker,
-			Injector:    injectable.InjectorConfig{InjectAtWindowCenter: center},
-			MaxAttempts: 60,
-		}
-		series, err := RunSeries(cfg, opts.TrialsPerPoint, opts.SeedBase+60000+uint64(i)*1000,
-			func(t int) { opts.progress(label, t) })
-		if err != nil {
-			return nil, err
-		}
-		exp.Points = append(exp.Points, Point{Label: label, Series: series})
+		pts = append(pts, sweepPoint{
+			Label:    label,
+			SeedBase: opts.SeedBase + 60000 + uint64(i)*1000,
+			Cfg: TrialConfig{
+				Interval: 36, Payload: PayloadPowerOff,
+				BulbPos: bulb, CentralPos: central, AttackerPos: attacker,
+				Injector:    injectable.InjectorConfig{InjectAtWindowCenter: center},
+				MaxAttempts: 60,
+			},
+		})
 	}
+	points, err := runSweep(opts, exp.ID, pts)
+	if err != nil {
+		return nil, err
+	}
+	exp.Points = points
 	return exp, nil
 }
 
@@ -129,28 +140,32 @@ func AblationAdaptiveGuard(opts Options) (*Experiment, error) {
 		Title:  "adaptive guard vs frozen guard (assumed slave SCA 250 ppm)",
 		XLabel: "guard",
 	}
+	var pts []sweepPoint
 	for i, disabled := range []bool{false, true} {
 		label := "adaptive"
 		if disabled {
 			label = "frozen"
 		}
-		cfg := TrialConfig{
-			Interval: 36, Payload: PayloadPowerOff,
-			BulbPos: bulb, CentralPos: central, AttackerPos: attacker,
-			Injector: injectable.InjectorConfig{
-				AssumedSlavePPM:      250,
-				MaxLead:              sim.Millisecond,
-				DisableAdaptiveGuard: disabled,
+		pts = append(pts, sweepPoint{
+			Label:    label,
+			SeedBase: opts.SeedBase + 80000 + uint64(i)*1000,
+			Cfg: TrialConfig{
+				Interval: 36, Payload: PayloadPowerOff,
+				BulbPos: bulb, CentralPos: central, AttackerPos: attacker,
+				Injector: injectable.InjectorConfig{
+					AssumedSlavePPM:      250,
+					MaxLead:              sim.Millisecond,
+					DisableAdaptiveGuard: disabled,
+				},
+				MaxAttempts: 60,
 			},
-			MaxAttempts: 60,
-		}
-		series, err := RunSeries(cfg, opts.TrialsPerPoint, opts.SeedBase+80000+uint64(i)*1000,
-			func(t int) { opts.progress(label, t) })
-		if err != nil {
-			return nil, err
-		}
-		exp.Points = append(exp.Points, Point{Label: label, Series: series})
+		})
 	}
+	points, err := runSweep(opts, exp.ID, pts)
+	if err != nil {
+		return nil, err
+	}
+	exp.Points = points
 	return exp, nil
 }
 
@@ -159,24 +174,19 @@ func AblationAdaptiveGuard(opts Options) (*Experiment, error) {
 func HeuristicValidation(opts Options) (*Table, error) {
 	opts.applyDefaults()
 	bulb, central, attacker := trianglePositions()
-	var tally HeuristicTally
-	for i := 0; i < opts.TrialsPerPoint*4; i++ {
-		cfg := TrialConfig{
-			Seed:     opts.SeedBase + 70000 + uint64(i),
+	points, err := runSweep(opts, "heuristic-validation", []sweepPoint{{
+		Label:    "heuristic",
+		SeedBase: opts.SeedBase + 70000,
+		Trials:   opts.TrialsPerPoint * 4,
+		Cfg: TrialConfig{
 			Interval: 36, Payload: PayloadColor,
 			BulbPos: bulb, CentralPos: central, AttackerPos: attacker,
-		}
-		res, err := RunTrial(cfg)
-		if err != nil {
-			return nil, err
-		}
-		if res.HeuristicAgrees {
-			tally.Agree++
-		} else {
-			tally.Disagree++
-		}
-		opts.progress("heuristic", i)
+		},
+	}})
+	if err != nil {
+		return nil, err
 	}
+	tally := points[0].Series.Heuristic
 	total := tally.Agree + tally.Disagree
 	return &Table{
 		Title:  "eq. 7 success-heuristic validation against ground truth",

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"injectable/internal/campaign"
+)
+
+// sweepPoint is one configuration of a Fig. 9-style sweep, bound to the
+// absolute seed base its trials draw from. Trial i runs with seed
+// SeedBase+i — the historical linear layout of the serial loops — so the
+// campaign engine reproduces the exact same worlds (and therefore tables)
+// at any worker count.
+type sweepPoint struct {
+	Label string
+	// SeedBase is the absolute base seed; trial i uses SeedBase + i.
+	SeedBase uint64
+	// Trials overrides Options.TrialsPerPoint when non-zero.
+	Trials int
+	Cfg    TrialConfig
+}
+
+// runner builds the campaign runner for these options: opts.Parallel
+// workers (0 = all cores, 1 = the serial degenerate case), fail-fast like
+// the former serial loops, plus the optional JSONL stream.
+func (o Options) runner(sinks ...campaign.Sink) *campaign.Runner {
+	if o.JSONL != nil {
+		sinks = append(sinks, campaign.NewJSONL(o.JSONL))
+	}
+	return &campaign.Runner{Workers: o.Parallel, FailFast: true, Sinks: sinks}
+}
+
+// runSweep executes the points as one campaign and collates each point's
+// trials into a SeriesResult. Results stream back in deterministic trial
+// order regardless of opts.Parallel, so the accumulated series — and any
+// table rendered from it — is bit-for-bit identical to a serial run.
+func runSweep(opts Options, name string, pts []sweepPoint) ([]Point, error) {
+	spec := &campaign.Spec{Name: name, SeedBase: opts.SeedBase}
+	index := make(map[string]int, len(pts))
+	for i, sp := range pts {
+		cfg := sp.Cfg
+		base := sp.SeedBase
+		trials := sp.Trials
+		if trials == 0 {
+			trials = opts.TrialsPerPoint
+		}
+		index[sp.Label] = i
+		spec.Points = append(spec.Points, campaign.Point{
+			Label:  sp.Label,
+			Trials: trials,
+			Seed:   func(i int) uint64 { return base + uint64(i) },
+			Run: func(t campaign.Trial) (any, error) {
+				c := cfg
+				c.Seed = t.Seed
+				return RunTrial(c)
+			},
+		})
+	}
+
+	series := make([]SeriesResult, len(pts))
+	collect := campaign.OnResult(func(r campaign.Result) {
+		if r.Err != nil {
+			return // fail-fast surfaces it as the campaign error
+		}
+		s := &series[index[r.Point]]
+		res := r.Value.(TrialResult)
+		if res.Success {
+			s.Stats.Add(res.Attempts)
+		} else {
+			s.Failures++
+		}
+		if res.HeuristicAgrees {
+			s.Heuristic.Agree++
+		} else {
+			s.Heuristic.Disagree++
+		}
+		opts.progress(r.Point, r.Index)
+	})
+	if _, err := opts.runner(collect).Run(spec); err != nil {
+		return nil, err
+	}
+	points := make([]Point, len(pts))
+	for i, sp := range pts {
+		points[i] = Point{Label: sp.Label, Series: series[i]}
+	}
+	return points, nil
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"injectable/internal/campaign"
 	"injectable/internal/devices"
 	"injectable/internal/host"
 	"injectable/internal/injectable"
@@ -26,51 +27,82 @@ type WideningReductionOutcome struct {
 	CleanDrops int
 }
 
+// cleanOutcome is one clean-reliability run's measurement.
+type cleanOutcome struct {
+	Missed, Total int
+	Dropped       bool
+}
+
 // WideningReduction sweeps the slave's receive-window scale (the paper's
 // first countermeasure: "reducing the duration of the widening windows")
 // and measures both how much harder injection gets and what it costs in
-// legitimate reliability.
-func WideningReduction(n int, seedBase uint64, progress func(i int)) ([]WideningReductionOutcome, error) {
-	var out []WideningReductionOutcome
-	step := 0
-	for _, scale := range []float64{1.0, 0.5, 0.25, 0.1} {
-		o := WideningReductionOutcome{Scale: scale}
-
-		// Attack runs.
-		for i := 0; i < n; i++ {
-			res, err := runScaledTrial(seedBase+uint64(step*1000+i), scale)
-			if err != nil {
-				return nil, err
-			}
-			if res.Success {
-				o.AttackStats.Add(res.Attempts)
+// legitimate reliability. Each scale contributes TrialsPerPoint attacked
+// and TrialsPerPoint clean connections, all run as one campaign.
+func WideningReduction(opts Options) ([]WideningReductionOutcome, error) {
+	opts.applyDefaults()
+	n := opts.TrialsPerPoint
+	scales := []float64{1.0, 0.5, 0.25, 0.1}
+	spec := &campaign.Spec{Name: "widening-reduction", SeedBase: opts.SeedBase}
+	out := make([]WideningReductionOutcome, len(scales))
+	stepOf := make(map[string]int, 2*len(scales))
+	missed := make([]int, len(scales))
+	total := make([]int, len(scales))
+	for step, scale := range scales {
+		out[step].Scale = scale
+		scale := scale
+		attackLabel := fmt.Sprintf("attack@%.2f", scale)
+		cleanLabel := fmt.Sprintf("clean@%.2f", scale)
+		stepOf[attackLabel], stepOf[cleanLabel] = step, step
+		attackBase := opts.SeedBase + uint64(step*1000)
+		cleanBase := opts.SeedBase + uint64(step*1000+500)
+		spec.Points = append(spec.Points,
+			campaign.Point{
+				Label: attackLabel, Trials: n,
+				Seed: func(i int) uint64 { return attackBase + uint64(i) },
+				Run: func(t campaign.Trial) (any, error) {
+					return runScaledTrial(t.Seed, scale)
+				},
+			},
+			campaign.Point{
+				Label: cleanLabel, Trials: n,
+				Seed: func(i int) uint64 { return cleanBase + uint64(i) },
+				Run: func(t campaign.Trial) (any, error) {
+					m, tt, dropped, err := runCleanScaled(t.Seed, scale)
+					if err != nil {
+						return nil, err
+					}
+					return cleanOutcome{Missed: m, Total: tt, Dropped: dropped}, nil
+				},
+			})
+	}
+	collect := campaign.OnResult(func(r campaign.Result) {
+		if r.Err != nil {
+			return
+		}
+		step := stepOf[r.Point]
+		switch v := r.Value.(type) {
+		case TrialResult:
+			if v.Success {
+				out[step].AttackStats.Add(v.Attempts)
 			} else {
-				o.InjectionFailures++
+				out[step].InjectionFailures++
 			}
-			if progress != nil {
-				progress(step*n + i)
-			}
-		}
-
-		// Clean reliability runs.
-		missed, total, drops := 0, 0, 0
-		for i := 0; i < n; i++ {
-			m, tt, dropped, err := runCleanScaled(seedBase+uint64(step*1000+500+i), scale)
-			if err != nil {
-				return nil, err
-			}
-			missed += m
-			total += tt
-			if dropped {
-				drops++
+		case cleanOutcome:
+			missed[step] += v.Missed
+			total[step] += v.Total
+			if v.Dropped {
+				out[step].CleanDrops++
 			}
 		}
-		if total > 0 {
-			o.CleanMissRate = float64(missed) / float64(total)
+		opts.progress(r.Point, r.Index)
+	})
+	if _, err := opts.runner(collect).Run(spec); err != nil {
+		return nil, err
+	}
+	for step := range out {
+		if total[step] > 0 {
+			out[step].CleanMissRate = float64(missed[step]) / float64(total[step])
 		}
-		o.CleanDrops = drops
-		out = append(out, o)
-		step++
 	}
 	return out, nil
 }

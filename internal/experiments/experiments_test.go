@@ -395,7 +395,7 @@ func TestScenarioKeystrokes(t *testing.T) {
 }
 
 func TestIDSValidationRates(t *testing.T) {
-	table, err := IDSValidation(6, 3000, nil)
+	table, err := IDSValidation(Options{TrialsPerPoint: 6, SeedBase: 3000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -465,7 +465,7 @@ func TestScenarioSoak(t *testing.T) {
 }
 
 func TestWideningReductionCountermeasure(t *testing.T) {
-	outs, err := WideningReduction(6, 8000, nil)
+	outs, err := WideningReduction(Options{TrialsPerPoint: 6, SeedBase: 8000})
 	if err != nil {
 		t.Fatal(err)
 	}

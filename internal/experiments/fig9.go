@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 
 	"injectable/internal/phy"
 )
@@ -14,8 +15,16 @@ type Options struct {
 	TrialsPerPoint int
 	// SeedBase decorrelates repeated runs.
 	SeedBase uint64
-	// Progress observes completed trials.
+	// Progress observes completed trials. Trials are reported in
+	// deterministic serial order regardless of Parallel.
 	Progress func(point string, trial int)
+	// Parallel is the campaign worker count: 0 = all cores, 1 = strictly
+	// serial. Results are bit-for-bit identical at any setting; only wall
+	// time changes.
+	Parallel int
+	// JSONL, when non-nil, receives one JSON line per trial (plus campaign
+	// header and metrics trailer lines) for offline analysis.
+	JSONL io.Writer
 }
 
 func (o *Options) applyDefaults() {
@@ -81,22 +90,25 @@ func Experiment1HopInterval(opts Options) (*Experiment, error) {
 			"paper: injection always succeeds; variance decreases 25→100 then stabilises; median < 4",
 		},
 	}
+	var pts []sweepPoint
 	for i, interval := range []uint16{25, 50, 75, 100, 125, 150} {
-		cfg := TrialConfig{
-			Interval:    interval,
-			Payload:     PayloadPowerOff,
-			BulbPos:     bulb,
-			CentralPos:  central,
-			AttackerPos: attacker,
-		}
-		label := fmt.Sprintf("%d", interval)
-		series, err := RunSeries(cfg, opts.TrialsPerPoint, opts.SeedBase+uint64(i)*1000,
-			func(t int) { opts.progress(label, t) })
-		if err != nil {
-			return nil, err
-		}
-		exp.Points = append(exp.Points, Point{Label: label, Series: series})
+		pts = append(pts, sweepPoint{
+			Label:    fmt.Sprintf("%d", interval),
+			SeedBase: opts.SeedBase + uint64(i)*1000,
+			Cfg: TrialConfig{
+				Interval:    interval,
+				Payload:     PayloadPowerOff,
+				BulbPos:     bulb,
+				CentralPos:  central,
+				AttackerPos: attacker,
+			},
+		})
 	}
+	points, err := runSweep(opts, exp.ID, pts)
+	if err != nil {
+		return nil, err
+	}
+	exp.Points = points
 	return exp, nil
 }
 
@@ -116,22 +128,25 @@ func Experiment2PayloadSize(opts Options) (*Experiment, error) {
 			"paper: reliability increases as payload shrinks (smaller collision overlap); median < 3",
 		},
 	}
+	var pts []sweepPoint
 	for i, payload := range []Payload{PayloadTerminate, PayloadToggle, PayloadPowerOff, PayloadColor} {
-		cfg := TrialConfig{
-			Interval:    75,
-			Payload:     payload,
-			BulbPos:     bulb,
-			CentralPos:  central,
-			AttackerPos: attacker,
-		}
-		label := payload.String()
-		series, err := RunSeries(cfg, opts.TrialsPerPoint, opts.SeedBase+10000+uint64(i)*1000,
-			func(t int) { opts.progress(label, t) })
-		if err != nil {
-			return nil, err
-		}
-		exp.Points = append(exp.Points, Point{Label: label, Series: series})
+		pts = append(pts, sweepPoint{
+			Label:    payload.String(),
+			SeedBase: opts.SeedBase + 10000 + uint64(i)*1000,
+			Cfg: TrialConfig{
+				Interval:    75,
+				Payload:     payload,
+				BulbPos:     bulb,
+				CentralPos:  central,
+				AttackerPos: attacker,
+			},
+		})
 	}
+	points, err := runSweep(opts, exp.ID, pts)
+	if err != nil {
+		return nil, err
+	}
+	exp.Points = points
 	return exp, nil
 }
 
@@ -164,23 +179,27 @@ func Experiment3Distance(opts Options) (*Experiment, error) {
 	}{
 		{"A:1m", 1}, {"B:2m", 2}, {"C:4m", 4}, {"D:6m", 6}, {"E:8m", 8}, {"F:10m", 10},
 	}
+	var pts []sweepPoint
 	for i, p := range positions {
 		bulb, central, attacker := distancePositions(p.d)
-		cfg := TrialConfig{
-			Interval:    36,
-			Payload:     PayloadPowerOff,
-			BulbPos:     bulb,
-			CentralPos:  central,
-			AttackerPos: attacker,
-			PhoneGrade:  true,
-		}
-		series, err := RunSeries(cfg, opts.TrialsPerPoint, opts.SeedBase+20000+uint64(i)*1000,
-			func(t int) { opts.progress(p.label, t) })
-		if err != nil {
-			return nil, err
-		}
-		exp.Points = append(exp.Points, Point{Label: p.label, Series: series})
+		pts = append(pts, sweepPoint{
+			Label:    p.label,
+			SeedBase: opts.SeedBase + 20000 + uint64(i)*1000,
+			Cfg: TrialConfig{
+				Interval:    36,
+				Payload:     PayloadPowerOff,
+				BulbPos:     bulb,
+				CentralPos:  central,
+				AttackerPos: attacker,
+				PhoneGrade:  true,
+			},
+		})
 	}
+	points, err := runSweep(opts, exp.ID, pts)
+	if err != nil {
+		return nil, err
+	}
+	exp.Points = points
 	return exp, nil
 }
 
@@ -199,6 +218,7 @@ func Experiment3Wall(opts Options) (*Experiment, error) {
 			"paper: more attempts than open air at the same distance; still succeeds in the worst case",
 		},
 	}
+	var pts []sweepPoint
 	for i, d := range []float64{2, 4, 6, 8} {
 		bulb, central, attacker := distancePositions(d)
 		wall := phy.Wall{
@@ -206,23 +226,25 @@ func Experiment3Wall(opts Options) (*Experiment, error) {
 			B:    phy.Position{X: -0.5, Y: 10},
 			Loss: phy.DefaultWallLoss,
 		}
-		cfg := TrialConfig{
-			Interval:    36,
-			Payload:     PayloadPowerOff,
-			BulbPos:     bulb,
-			CentralPos:  central,
-			AttackerPos: attacker,
-			Walls:       []phy.Wall{wall},
-			PhoneGrade:  true,
-		}
-		label := fmt.Sprintf("%gm+wall", d)
-		series, err := RunSeries(cfg, opts.TrialsPerPoint, opts.SeedBase+30000+uint64(i)*1000,
-			func(t int) { opts.progress(label, t) })
-		if err != nil {
-			return nil, err
-		}
-		exp.Points = append(exp.Points, Point{Label: label, Series: series})
+		pts = append(pts, sweepPoint{
+			Label:    fmt.Sprintf("%gm+wall", d),
+			SeedBase: opts.SeedBase + 30000 + uint64(i)*1000,
+			Cfg: TrialConfig{
+				Interval:    36,
+				Payload:     PayloadPowerOff,
+				BulbPos:     bulb,
+				CentralPos:  central,
+				AttackerPos: attacker,
+				Walls:       []phy.Wall{wall},
+				PhoneGrade:  true,
+			},
+		})
 	}
+	points, err := runSweep(opts, exp.ID, pts)
+	if err != nil {
+		return nil, err
+	}
+	exp.Points = points
 	return exp, nil
 }
 

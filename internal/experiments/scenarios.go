@@ -5,6 +5,7 @@ import (
 
 	"injectable/internal/att"
 	"injectable/internal/ble/pdu"
+	"injectable/internal/campaign"
 	"injectable/internal/devices"
 	"injectable/internal/gatt"
 	"injectable/internal/host"
@@ -442,42 +443,61 @@ func RunScenarioKeystrokes(seed uint64, withIDS bool) (ScenarioOutcome, error) {
 }
 
 // IDSValidation measures the monitor's detection and false-positive rates
-// across many independent runs: n clean connections and n attacked ones.
-// An "injection-class" alert is a double frame or anchor deviation.
-func IDSValidation(n int, seedBase uint64, progress func(i int)) (*Table, error) {
+// across many independent runs — TrialsPerPoint clean connections and as
+// many attacked ones, fanned out over the campaign pool. An
+// "injection-class" alert is a double frame or anchor deviation.
+func IDSValidation(opts Options) (*Table, error) {
+	opts.applyDefaults()
+	n := opts.TrialsPerPoint
 	injectionAlerts := func(alerts map[ids.AlertKind]int) int {
 		return alerts[ids.AlertDoubleFrame] + alerts[ids.AlertAnchorDeviation] +
 			alerts[ids.AlertRogueUpdate] + alerts[ids.AlertScheduleSplit]
 	}
-	falsePositives := 0
-	for i := 0; i < n; i++ {
-		s, err := newScene("lightbulb", seedBase+uint64(i), true)
-		if err != nil {
-			return nil, err
+	base := opts.SeedBase
+	spec := &campaign.Spec{Name: "ids-validation", SeedBase: base, Points: []campaign.Point{
+		{
+			Label: "clean", Trials: n,
+			Seed: func(i int) uint64 { return base + uint64(i) },
+			Run: func(t campaign.Trial) (any, error) {
+				s, err := newScene("lightbulb", t.Seed, true)
+				if err != nil {
+					return nil, err
+				}
+				if err := s.connect(); err != nil {
+					return nil, err
+				}
+				s.w.RunFor(20 * sim.Second) // clean traffic only
+				return injectionAlerts(s.idsCounts()) > 0, nil
+			},
+		},
+		{
+			Label: "attack", Trials: n,
+			Seed: func(i int) uint64 { return base + 1000 + uint64(i) },
+			Run: func(t campaign.Trial) (any, error) {
+				out, err := RunScenarioA("lightbulb", t.Seed, true)
+				if err != nil {
+					return nil, err
+				}
+				return injectionAlerts(out.IDSAlerts) > 0, nil
+			},
+		},
+	}}
+	truePositives, falsePositives := 0, 0
+	collect := campaign.OnResult(func(r campaign.Result) {
+		if r.Err != nil {
+			return
 		}
-		if err := s.connect(); err != nil {
-			return nil, err
+		if alerted := r.Value.(bool); alerted {
+			if r.Point == "clean" {
+				falsePositives++
+			} else {
+				truePositives++
+			}
 		}
-		s.w.RunFor(20 * sim.Second) // clean traffic only
-		if injectionAlerts(s.idsCounts()) > 0 {
-			falsePositives++
-		}
-		if progress != nil {
-			progress(i)
-		}
-	}
-	truePositives := 0
-	for i := 0; i < n; i++ {
-		out, err := RunScenarioA("lightbulb", seedBase+1000+uint64(i), true)
-		if err != nil {
-			return nil, err
-		}
-		if injectionAlerts(out.IDSAlerts) > 0 {
-			truePositives++
-		}
-		if progress != nil {
-			progress(n + i)
-		}
+		opts.progress(r.Point, r.Index)
+	})
+	if _, err := opts.runner(collect).Run(spec); err != nil {
+		return nil, err
 	}
 	return &Table{
 		Title:  "IDS validation: detection vs false positives (20 s clean runs vs scenario A)",

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// Stats must stay total on degenerate sample sets: campaign points can
+// legitimately end with 0 successes (every trial failed) or 1–2 successes
+// at tiny trial counts, and rendering their rows must not panic.
+func TestStatsEmpty(t *testing.T) {
+	var s Stats
+	if s.N() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatalf("empty counts: N=%d min=%d max=%d", s.N(), s.Min(), s.Max())
+	}
+	for name, v := range map[string]float64{
+		"median": s.Median(), "q1": s.Q1(), "q3": s.Q3(), "mean": s.Mean(),
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("%s of empty = %v, want NaN", name, v)
+		}
+	}
+	if s.Variance() != 0 {
+		t.Errorf("variance of empty = %v", s.Variance())
+	}
+	if row := s.Row(); len(row) != len(StatsHeader()) {
+		t.Errorf("row width %d != header width %d", len(row), len(StatsHeader()))
+	}
+}
+
+func TestStatsSingleSample(t *testing.T) {
+	var s Stats
+	s.Add(7)
+	// Every quantile of one sample is that sample.
+	for name, v := range map[string]float64{
+		"median": s.Median(), "q1": s.Q1(), "q3": s.Q3(), "mean": s.Mean(),
+	} {
+		if v != 7 {
+			t.Errorf("%s = %v, want 7", name, v)
+		}
+	}
+	if s.Min() != 7 || s.Max() != 7 || s.Variance() != 0 {
+		t.Errorf("min=%d max=%d var=%v", s.Min(), s.Max(), s.Variance())
+	}
+	if s.Row()[0] != "1" {
+		t.Errorf("row n = %q", s.Row()[0])
+	}
+}
+
+func TestStatsTwoSampleInterpolation(t *testing.T) {
+	var s Stats
+	s.Add(20)
+	s.Add(10)
+	// Linear interpolation between the two order statistics: pos = q·(n−1).
+	cases := map[string]struct{ got, want float64 }{
+		"q1":     {s.Q1(), 12.5},
+		"median": {s.Median(), 15},
+		"q3":     {s.Q3(), 17.5},
+	}
+	for name, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", name, c.got, c.want)
+		}
+	}
+	if s.Min() != 10 || s.Max() != 20 {
+		t.Errorf("min=%d max=%d", s.Min(), s.Max())
+	}
+	if s.Variance() != 50 {
+		t.Errorf("variance = %v, want 50", s.Variance())
+	}
+}
+
+func TestStatsQuantileBoundaries(t *testing.T) {
+	var s Stats
+	for _, v := range []int{1, 2, 3, 4} {
+		s.Add(v)
+	}
+	if q := s.quantile(0); q != 1 {
+		t.Errorf("quantile(0) = %v", q)
+	}
+	if q := s.quantile(1); q != 4 {
+		t.Errorf("quantile(1) = %v", q)
+	}
+}

@@ -218,28 +218,19 @@ type HeuristicTally struct {
 	Agree, Disagree int
 }
 
-// RunSeries runs the trial n times over seeds seedBase..seedBase+n-1.
+// RunSeries runs the trial n times over seeds seedBase..seedBase+n-1,
+// strictly in order — the campaign engine's single-worker degenerate case.
+// Sweeps that want the worker pool go through Options.Parallel instead.
 func RunSeries(cfg TrialConfig, n int, seedBase uint64, progress func(i int)) (SeriesResult, error) {
-	var out SeriesResult
-	for i := 0; i < n; i++ {
-		cfg.Seed = seedBase + uint64(i)
-		res, err := RunTrial(cfg)
-		if err != nil {
-			return out, fmt.Errorf("trial %d: %w", i, err)
-		}
-		if res.Success {
-			out.Stats.Add(res.Attempts)
-		} else {
-			out.Failures++
-		}
-		if res.HeuristicAgrees {
-			out.Heuristic.Agree++
-		} else {
-			out.Heuristic.Disagree++
-		}
-		if progress != nil {
-			progress(i)
-		}
+	opts := Options{TrialsPerPoint: n, SeedBase: seedBase, Parallel: 1}
+	if progress != nil {
+		opts.Progress = func(_ string, trial int) { progress(trial) }
 	}
-	return out, nil
+	points, err := runSweep(opts, "series", []sweepPoint{{
+		Label: "series", SeedBase: seedBase, Cfg: cfg,
+	}})
+	if err != nil {
+		return SeriesResult{}, err
+	}
+	return points[0].Series, nil
 }

@@ -9,6 +9,11 @@ import (
 // streams by name so that adding randomness consumption to one component
 // does not perturb the draws seen by another — a property the experiment
 // harness relies on for reproducible sweeps.
+//
+// An RNG is NOT goroutine-safe: concurrent draws from one stream race and
+// destroy reproducibility. Concurrent consumers must each derive their own
+// stream via Child/ChildN — the campaign engine does exactly that, giving
+// every trial a private stream keyed by (seed base, point, trial index).
 type RNG struct {
 	seed uint64
 	r    *rand.Rand
@@ -29,6 +34,27 @@ func (g *RNG) Child(name string) *RNG {
 	}
 	_, _ = h.Write(b[:])
 	_, _ = h.Write([]byte(name))
+	return NewRNG(h.Sum64())
+}
+
+// ChildN derives an independent stream from this stream's seed, a name and
+// an index — Child for indexed families (trial i of a sweep point, device
+// i of a fleet). Like Child it is a pure function of (seed, name, n): it
+// never consumes randomness from the parent, and the derivation (FNV-1a
+// over the seed, the name and the little-endian index) is stable across Go
+// versions.
+func (g *RNG) ChildN(name string, n int) *RNG {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(g.seed >> (8 * i))
+	}
+	_, _ = h.Write(b[:])
+	_, _ = h.Write([]byte(name))
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(n) >> (8 * i))
+	}
+	_, _ = h.Write(b[:])
 	return NewRNG(h.Sum64())
 }
 
