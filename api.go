@@ -1,6 +1,8 @@
 package injectable
 
 import (
+	"io"
+
 	"injectable/internal/att"
 	"injectable/internal/ble"
 	"injectable/internal/ble/pdu"
@@ -11,6 +13,7 @@ import (
 	"injectable/internal/injectable"
 	"injectable/internal/link"
 	"injectable/internal/medium"
+	"injectable/internal/obs"
 	"injectable/internal/phy"
 	"injectable/internal/sim"
 )
@@ -40,6 +43,42 @@ const (
 // by kind.
 func NewRecordingTracer(kinds ...string) *sim.RecordingTracer {
 	return sim.NewRecordingTracer(kinds...)
+}
+
+// NewBoundedRecordingTracer records at most limit events, dropping the
+// oldest once full (a drop-oldest ring buffer for long runs).
+func NewBoundedRecordingTracer(limit int, kinds ...string) *sim.RecordingTracer {
+	return sim.NewBoundedRecordingTracer(limit, kinds...)
+}
+
+// --- observability -----------------------------------------------------------
+
+type (
+	// ObsHub bundles a metrics registry and an injection forensics ledger;
+	// pass one in WorldConfig.Obs to instrument every layer of a world.
+	ObsHub = obs.Hub
+	// MetricsSnapshot is a deterministic point-in-time registry view.
+	MetricsSnapshot = obs.Snapshot
+	// InjectionRecord is one forensics-ledger entry: the full story of one
+	// injection attempt across phy, medium and link.
+	InjectionRecord = obs.InjectionRecord
+)
+
+// NewObsHub returns a hub with a fresh metrics registry and forensics
+// ledger.
+func NewObsHub() *ObsHub { return obs.NewHub() }
+
+// WriteMetricsJSONL exports a metrics snapshot (and, when non-nil, the
+// forensics ledger) as JSON lines. Output is byte-stable per run.
+func WriteMetricsJSONL(w io.Writer, snap *MetricsSnapshot, ledger *obs.Ledger) error {
+	return obs.WriteMetricsJSONL(w, snap, ledger)
+}
+
+// WriteChromeTrace exports recorded trace events (plus the ledger's
+// injection attempts) in Chrome trace_event format for Perfetto or
+// about:tracing.
+func WriteChromeTrace(w io.Writer, events []TraceEvent, dropped int, ledger *obs.Ledger) error {
+	return obs.WriteChromeTrace(w, events, dropped, ledger)
 }
 
 // --- radio environment ------------------------------------------------------

@@ -14,6 +14,9 @@
 //	experiments -run exp1 -trials 25 -seed 1000
 //	experiments -run exp1 -parallel 8    # fan trials over 8 workers (same output)
 //	experiments -run exp1 -jsonl exp1.jsonl  # stream per-trial results
+//	experiments -run exp1 -metrics exp1-metrics.jsonl  # aggregated per-point metrics
+//	experiments -run exp1 -v             # campaign summary (workers, utilization)
+//	experiments -run exp1 -pprof localhost:6060  # live pprof during the run
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 
 	"injectable/internal/experiments"
 	"injectable/internal/ids"
+	"injectable/internal/obs"
 )
 
 func main() {
@@ -49,11 +53,36 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	quiet := fs.Bool("q", false, "suppress progress dots")
 	parallel := fs.Int("parallel", 0, "campaign workers: 0 = all cores, 1 = serial (output is identical either way)")
 	jsonlPath := fs.String("jsonl", "", "stream per-trial campaign results as JSON lines to this file")
+	metricsPath := fs.String("metrics", "", "write aggregated per-point metric snapshots as JSON lines to this file")
+	verbose := fs.Bool("v", false, "print the campaign run summary (workers, trials, utilization) to stderr")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address during the run")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
 
+	if *pprofAddr != "" {
+		srv, err := obs.StartDebugServer(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "pprof: http://%s/debug/pprof/\n", srv.Addr())
+	}
+
 	opts := experiments.Options{TrialsPerPoint: *trials, SeedBase: *seed, Parallel: *parallel}
+	if *verbose {
+		opts.Verbose = stderr
+	}
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
+		}
+		defer f.Close()
+		opts.Metrics = f
+	}
 	if !*quiet {
 		opts.Progress = func(point string, trial int) {
 			fmt.Fprintf(stderr, "\r%-20s trial %d   ", point, trial+1)

@@ -3,7 +3,21 @@
 //
 // Usage:
 //
-//	injectable -scenario A|B|C|D|read|encrypted -target lightbulb|keyfob|smartwatch [-seed N] [-ids]
+//	injectable -scenario A|B|C|D|keyboard|encrypted -target lightbulb|keyfob|smartwatch [-seed N] [-ids]
+//	           [-trace] [-pcap out.pcap] [-metrics out.jsonl] [-chrome-trace out.trace.json]
+//	           [-forensics] [-pprof localhost:6060]
+//
+// Observability flags:
+//
+//	-trace         stream the full Link Layer trace to stderr
+//	-pcap          capture the attacker-sniffed LL traffic as a pcap file
+//	-metrics       write layer metrics + the injection forensics ledger as JSON lines
+//	-chrome-trace  write a Chrome trace_event file (open in Perfetto or about:tracing)
+//	-forensics     print the per-attempt injection forensics summary
+//	-pprof         serve net/http/pprof on the given address for the run
+//
+// All outputs are deterministic per seed (the chrome trace and metrics
+// files are byte-identical across runs with equal flags).
 package main
 
 import (
@@ -12,30 +26,126 @@ import (
 	"os"
 
 	"injectable/internal/experiments"
+	"injectable/internal/obs"
+	"injectable/internal/pcap"
+	"injectable/internal/sim"
 )
 
+// chromeTraceLimit bounds the in-memory event ring feeding -chrome-trace;
+// drop-oldest keeps the tail of the run, which is where injection
+// attempts live.
+const chromeTraceLimit = 250000
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	scenario := flag.String("scenario", "A", "attack scenario: A, B, C, D, keyboard or encrypted")
 	target := flag.String("target", "lightbulb", "target device: lightbulb, keyfob or smartwatch")
 	seed := flag.Uint64("seed", 1, "simulation seed (runs are deterministic per seed)")
 	withIDS := flag.Bool("ids", false, "attach the passive IDS and report its alerts")
+	trace := flag.Bool("trace", false, "stream the full Link Layer trace to stderr")
+	pcapPath := flag.String("pcap", "", "write attacker-sniffed LL traffic to a pcap file")
+	metricsPath := flag.String("metrics", "", "write metrics + injection forensics as JSON lines")
+	chromePath := flag.String("chrome-trace", "", "write a Chrome trace_event file (Perfetto / about:tracing)")
+	forensics := flag.Bool("forensics", false, "print the injection forensics summary")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address during the run")
 	flag.Parse()
 
-	switch *scenario {
+	if *pprofAddr != "" {
+		srv, err := obs.StartDebugServer(*pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", srv.Addr())
+	}
+
+	// Assemble the instrumentation the scenario worlds will carry.
+	var inst experiments.Instrumentation
+	var tracers sim.MultiTracer
+	if *trace {
+		tracers = append(tracers, sim.WriterTracer{W: os.Stderr})
+	}
+	var rec *sim.RecordingTracer
+	if *chromePath != "" {
+		rec = sim.NewBoundedRecordingTracer(chromeTraceLimit)
+		tracers = append(tracers, rec)
+	}
+	if len(tracers) > 0 {
+		inst.Tracer = tracers
+	}
+	if *metricsPath != "" || *chromePath != "" || *forensics {
+		inst.Obs = obs.NewHub()
+	}
+	var pcapFile *os.File
+	if *pcapPath != "" {
+		f, err := os.Create(*pcapPath)
+		if err != nil {
+			fatal(err)
+		}
+		pcapFile = f
+		pw, err := pcap.NewWriter(f)
+		if err != nil {
+			fatal(err)
+		}
+		inst.Pcap = pw
+	}
+
+	code := runScenario(*scenario, *target, *seed, *withIDS, inst)
+
+	// Flush the observability outputs before surfacing the exit code.
+	if pcapFile != nil {
+		fmt.Printf("pcap: %d packets (%d bytes) written to %s\n",
+			inst.Pcap.Packets(), inst.Pcap.BytesWritten(), *pcapPath)
+		if err := pcapFile.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *metricsPath != "" {
+		if err := writeFileWith(*metricsPath, func(f *os.File) error {
+			return obs.WriteMetricsJSONL(f, inst.Obs.Snapshot(), inst.Obs.Led())
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics: %d ledger records written to %s\n",
+			len(inst.Obs.Led().Records()), *metricsPath)
+	}
+	if *chromePath != "" {
+		if err := writeFileWith(*chromePath, func(f *os.File) error {
+			return obs.WriteChromeTrace(f, rec.Snapshot(), rec.Dropped(), inst.Obs.Led())
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("chrome-trace: %d events (%d dropped) written to %s\n",
+			len(rec.Events), rec.Dropped(), *chromePath)
+	}
+	if *forensics {
+		if err := inst.Obs.Led().WriteSummary(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	return code
+}
+
+// runScenario dispatches and reports one scenario, returning the exit code.
+func runScenario(scenario, target string, seed uint64, withIDS bool, inst experiments.Instrumentation) int {
+	switch scenario {
 	case "A", "B", "C", "D":
-		run := map[string]func(string, uint64, bool) (experiments.ScenarioOutcome, error){
-			"A": experiments.RunScenarioA,
-			"B": experiments.RunScenarioB,
-			"C": experiments.RunScenarioC,
-			"D": experiments.RunScenarioD,
-		}[*scenario]
-		out, err := run(*target, *seed, *withIDS)
+		run := map[string]func(string, uint64, bool, experiments.Instrumentation) (experiments.ScenarioOutcome, error){
+			"A": experiments.RunScenarioAWith,
+			"B": experiments.RunScenarioBWith,
+			"C": experiments.RunScenarioCWith,
+			"D": experiments.RunScenarioDWith,
+		}[scenario]
+		out, err := run(target, seed, withIDS, inst)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("scenario %s vs %s: success=%t attempts=%d (%s)\n",
-			*scenario, out.Target, out.Success, out.Attempts, out.Detail)
-		if *withIDS {
+			scenario, out.Target, out.Success, out.Attempts, out.Detail)
+		if withIDS {
 			if len(out.IDSAlerts) == 0 {
 				fmt.Println("IDS: no alerts")
 			}
@@ -44,28 +154,43 @@ func main() {
 			}
 		}
 		if !out.Success {
-			os.Exit(1)
+			return 1
 		}
 	case "keyboard":
-		out, err := experiments.RunScenarioKeystrokes(*seed, *withIDS)
+		out, err := experiments.RunScenarioKeystrokesWith(seed, withIDS, inst)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("scenario keyboard: success=%t hijackAttempts=%d (%s)\n",
 			out.Success, out.Attempts, out.Detail)
 		if !out.Success {
-			os.Exit(1)
+			return 1
 		}
 	case "encrypted":
-		out, err := experiments.RunEncryptedInjection(*seed)
+		out, err := experiments.RunEncryptedInjectionWith(seed, inst)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("encrypted countermeasure: paired=%t featureTriggered=%t dosDrop=%t\n",
 			out.Paired, out.FeatureTriggered, out.ConnectionDropped)
 	default:
-		fatal(fmt.Errorf("unknown scenario %q", *scenario))
+		fatal(fmt.Errorf("unknown scenario %q", scenario))
 	}
+	return 0
+}
+
+// writeFileWith creates path, runs write against it and closes it,
+// reporting the first error.
+func writeFileWith(path string, write func(f *os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 
+	"injectable/internal/obs"
 	"injectable/internal/sim"
 )
 
@@ -91,6 +92,12 @@ type Trial struct {
 	Ordinal int
 	// Seed is the trial's derived seed.
 	Seed uint64
+	// Obs is the trial's private observability hub, non-nil only when the
+	// runner's CollectObs is set. The trial function threads it into the
+	// world it builds (host.WorldConfig.Obs); the runner snapshots it into
+	// Result.Obs when the trial returns. A nil Obs is safe to plumb
+	// everywhere — all hub methods no-op on nil.
+	Obs *obs.Hub
 
 	run TrialFunc
 }

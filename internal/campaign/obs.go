@@ -1,0 +1,98 @@
+package campaign
+
+import (
+	"encoding/json"
+	"io"
+
+	"injectable/internal/obs"
+)
+
+// ObsJSONL aggregates per-trial metrics snapshots (Result.Obs, produced
+// under Runner.CollectObs) into one merged snapshot per point and writes
+// them as JSON lines when the campaign finishes: one "point-metrics" line
+// per point in point order, then one "campaign-summary" trailer.
+//
+// Because trials merge in ordinal order and the output carries no
+// wall-clock or scheduling fields, the byte stream is identical for every
+// worker count — the property the determinism tests pin down.
+type ObsJSONL struct {
+	enc    *json.Encoder
+	err    error
+	order  []string
+	points map[string]*pointObs
+}
+
+// pointObs is one point's running aggregate.
+type pointObs struct {
+	trials    int
+	succeeded int
+	failed    int
+	snap      *obs.Snapshot
+}
+
+// NewObsJSONL returns a sink writing aggregated metrics lines to w.
+func NewObsJSONL(w io.Writer) *ObsJSONL {
+	return &ObsJSONL{enc: json.NewEncoder(w), points: make(map[string]*pointObs)}
+}
+
+// Err returns the first write/encode error, if any.
+func (o *ObsJSONL) Err() error { return o.err }
+
+func (o *ObsJSONL) emit(v any) {
+	if o.err == nil {
+		o.err = o.enc.Encode(v)
+	}
+}
+
+// Start implements Sink.
+func (o *ObsJSONL) Start(spec *Spec, totalTrials int) {
+	o.order = o.order[:0]
+	o.points = make(map[string]*pointObs, len(spec.Points))
+	o.emit(struct {
+		Kind     string `json:"kind"`
+		Campaign string `json:"campaign"`
+		SeedBase uint64 `json:"seed_base"`
+		Points   int    `json:"points"`
+		Trials   int    `json:"trials"`
+	}{"campaign", spec.Name, spec.SeedBase, len(spec.Points), totalTrials})
+}
+
+// Result implements Sink: fold the trial's snapshot into its point.
+func (o *ObsJSONL) Result(r Result) {
+	po, ok := o.points[r.Point]
+	if !ok {
+		po = &pointObs{snap: &obs.Snapshot{}}
+		o.order = append(o.order, r.Point)
+		o.points[r.Point] = po
+	}
+	po.trials++
+	if r.Err == nil {
+		po.succeeded++
+	} else {
+		po.failed++
+	}
+	po.snap.Merge(r.Obs)
+}
+
+// Finish implements Sink: write the per-point aggregates and a summary.
+// Only deterministic Metrics fields are emitted — wall time, busy time and
+// worker count vary run to run and would break byte-identical output.
+func (o *ObsJSONL) Finish(m Metrics) {
+	for _, label := range o.order {
+		po := o.points[label]
+		o.emit(struct {
+			Kind      string        `json:"kind"`
+			Point     string        `json:"point"`
+			Trials    int           `json:"trials"`
+			Succeeded int           `json:"succeeded"`
+			Failed    int           `json:"failed"`
+			Metrics   *obs.Snapshot `json:"metrics"`
+		}{"point-metrics", label, po.trials, po.succeeded, po.failed, po.snap})
+	}
+	o.emit(struct {
+		Kind      string `json:"kind"`
+		Trials    int    `json:"trials"`
+		Succeeded int    `json:"succeeded"`
+		Failed    int    `json:"failed"`
+	}{"campaign-summary", m.Trials, m.Succeeded, m.Failed})
+}

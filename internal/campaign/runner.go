@@ -6,6 +6,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"injectable/internal/obs"
 )
 
 // Runner executes a Spec over a bounded worker pool.
@@ -34,6 +36,13 @@ type Runner struct {
 	// goroutine, in ordinal order — sink implementations need no locking
 	// against the runner.
 	Sinks []Sink
+	// CollectObs hands every trial attempt a fresh obs.Hub (via Trial.Obs)
+	// and snapshots its registry into Result.Obs when the attempt returns.
+	// Per-trial hubs are what keep metric collection race-free and
+	// deterministic at any worker count: no two trials ever share a
+	// registry, and snapshots are delivered in ordinal order like every
+	// other result field.
+	CollectObs bool
 }
 
 // Result reports one trial.
@@ -62,6 +71,10 @@ type Result struct {
 	Elapsed time.Duration
 	// Worker is the pool slot that ran the trial (not deterministic).
 	Worker int
+	// Obs is the metrics snapshot of the trial's last attempt (nil unless
+	// the runner's CollectObs is set, or when the attempt timed out — its
+	// abandoned goroutine may still be writing).
+	Obs *obs.Snapshot
 }
 
 // Failed reports whether the trial ultimately failed.
@@ -194,8 +207,14 @@ func (r *Runner) runTrial(worker int, t Trial, ctr *counters) Result {
 	}
 	start := time.Now()
 	for attempt := 0; ; attempt++ {
+		if r.CollectObs {
+			t.Obs = obs.NewHub() // fresh hub per attempt: retries don't double-count
+		}
 		res.Value, res.Err, res.Panicked, res.TimedOut = r.attempt(t)
 		res.Attempts = attempt + 1
+		if t.Obs != nil && !res.TimedOut {
+			res.Obs = t.Obs.Snapshot()
+		}
 		if res.Err == nil || attempt >= r.Retries {
 			break
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"injectable/internal/campaign"
 )
 
@@ -20,12 +22,28 @@ type sweepPoint struct {
 
 // runner builds the campaign runner for these options: opts.Parallel
 // workers (0 = all cores, 1 = the serial degenerate case), fail-fast like
-// the former serial loops, plus the optional JSONL stream.
+// the former serial loops, plus the optional JSONL, metrics and verbose
+// streams.
 func (o Options) runner(sinks ...campaign.Sink) *campaign.Runner {
 	if o.JSONL != nil {
 		sinks = append(sinks, campaign.NewJSONL(o.JSONL))
 	}
-	return &campaign.Runner{Workers: o.Parallel, FailFast: true, Sinks: sinks}
+	if o.Metrics != nil {
+		sinks = append(sinks, campaign.NewObsJSONL(o.Metrics))
+	}
+	if o.Verbose != nil {
+		w := o.Verbose
+		sinks = append(sinks, campaign.SinkFuncs{OnFinish: func(m campaign.Metrics) {
+			fmt.Fprintf(w, "campaign: workers=%d trials=%d ok=%d failed=%d retried=%d wall=%v utilization=%.0f%%\n",
+				m.Workers, m.Trials, m.Succeeded, m.Failed, m.Retried, m.Wall.Round(1e6), 100*m.Utilization())
+		}})
+	}
+	return &campaign.Runner{
+		Workers:    o.Parallel,
+		FailFast:   true,
+		Sinks:      sinks,
+		CollectObs: o.Metrics != nil,
+	}
 }
 
 // runSweep executes the points as one campaign and collates each point's
@@ -50,6 +68,7 @@ func runSweep(opts Options, name string, pts []sweepPoint) ([]Point, error) {
 			Run: func(t campaign.Trial) (any, error) {
 				c := cfg
 				c.Seed = t.Seed
+				c.Obs = t.Obs // nil unless the runner collects observability
 				return RunTrial(c)
 			},
 		})

@@ -25,6 +25,14 @@ type Options struct {
 	// JSONL, when non-nil, receives one JSON line per trial (plus campaign
 	// header and metrics trailer lines) for offline analysis.
 	JSONL io.Writer
+	// Metrics, when non-nil, turns on per-trial observability (a fresh
+	// obs.Hub per trial) and receives the aggregated per-point metric
+	// snapshots as JSON lines. The stream is byte-identical at any
+	// Parallel setting.
+	Metrics io.Writer
+	// Verbose, when non-nil, receives the campaign engine's run summary
+	// (workers, trials, retries, utilization) after each sweep.
+	Verbose io.Writer
 }
 
 func (o *Options) applyDefaults() {

@@ -34,7 +34,14 @@ type scene struct {
 // newScene builds the triangle topology around the named target device
 // ("lightbulb", "keyfob" or "smartwatch").
 func newScene(target string, seed uint64, withIDS bool) (*scene, error) {
-	w := host.NewWorld(host.WorldConfig{Seed: seed})
+	return newSceneWith(target, seed, withIDS, Instrumentation{})
+}
+
+// newSceneWith is newScene with observability attached: the tracer and
+// obs hub flow into every layer of the world, and the pcap writer taps
+// the attacker's sniffer.
+func newSceneWith(target string, seed uint64, withIDS bool, inst Instrumentation) (*scene, error) {
+	w := host.NewWorld(host.WorldConfig{Seed: seed, Tracer: inst.Tracer, Obs: inst.Obs})
 	s := &scene{w: w, targetName: target}
 	bulbPos, centralPos, attackerPos := trianglePositions()
 
@@ -60,6 +67,9 @@ func newScene(target string, seed uint64, withIDS bool) (*scene, error) {
 		ClockPPM: 20, ClockJitter: 500 * sim.Nanosecond,
 	})
 	s.attacker = injectable.NewAttacker(atk.Stack, injectable.InjectorConfig{})
+	if inst.Pcap != nil {
+		capturePcap(s.attacker.Sniffer, inst.Pcap)
+	}
 	if withIDS {
 		s.monitor = ids.New(ids.Config{})
 		w.Medium.AddObserver(s.monitor)
@@ -144,7 +154,12 @@ func ScenarioTargets() []string { return []string{"lightbulb", "keyfob", "smartw
 
 // RunScenarioA injects a feature-trigger write into the target (§VI-A).
 func RunScenarioA(target string, seed uint64, withIDS bool) (ScenarioOutcome, error) {
-	s, err := newScene(target, seed, withIDS)
+	return RunScenarioAWith(target, seed, withIDS, Instrumentation{})
+}
+
+// RunScenarioAWith is RunScenarioA with observability attached.
+func RunScenarioAWith(target string, seed uint64, withIDS bool, inst Instrumentation) (ScenarioOutcome, error) {
+	s, err := newSceneWith(target, seed, withIDS, inst)
 	if err != nil {
 		return ScenarioOutcome{}, err
 	}
@@ -167,7 +182,12 @@ func RunScenarioA(target string, seed uint64, withIDS bool) (ScenarioOutcome, er
 
 // RunScenarioB expels the slave and serves a "Hacked" device name (§VI-B).
 func RunScenarioB(target string, seed uint64, withIDS bool) (ScenarioOutcome, error) {
-	s, err := newScene(target, seed, withIDS)
+	return RunScenarioBWith(target, seed, withIDS, Instrumentation{})
+}
+
+// RunScenarioBWith is RunScenarioB with observability attached.
+func RunScenarioBWith(target string, seed uint64, withIDS bool, inst Instrumentation) (ScenarioOutcome, error) {
+	s, err := newSceneWith(target, seed, withIDS, inst)
 	if err != nil {
 		return ScenarioOutcome{}, err
 	}
@@ -203,7 +223,12 @@ func RunScenarioB(target string, seed uint64, withIDS bool) (ScenarioOutcome, er
 // RunScenarioC splits the slave off with a forged CONNECTION_UPDATE and
 // hijacks the master role (§VI-C).
 func RunScenarioC(target string, seed uint64, withIDS bool) (ScenarioOutcome, error) {
-	s, err := newScene(target, seed, withIDS)
+	return RunScenarioCWith(target, seed, withIDS, Instrumentation{})
+}
+
+// RunScenarioCWith is RunScenarioC with observability attached.
+func RunScenarioCWith(target string, seed uint64, withIDS bool, inst Instrumentation) (ScenarioOutcome, error) {
+	s, err := newSceneWith(target, seed, withIDS, inst)
 	if err != nil {
 		return ScenarioOutcome{}, err
 	}
@@ -238,7 +263,12 @@ func RunScenarioC(target string, seed uint64, withIDS bool) (ScenarioOutcome, er
 // (§VI-D): for the smartwatch an SMS is mutated; for the others a write
 // payload is flipped.
 func RunScenarioD(target string, seed uint64, withIDS bool) (ScenarioOutcome, error) {
-	s, err := newScene(target, seed, withIDS)
+	return RunScenarioDWith(target, seed, withIDS, Instrumentation{})
+}
+
+// RunScenarioDWith is RunScenarioD with observability attached.
+func RunScenarioDWith(target string, seed uint64, withIDS bool, inst Instrumentation) (ScenarioOutcome, error) {
+	s, err := newSceneWith(target, seed, withIDS, inst)
 	if err != nil {
 		return ScenarioOutcome{}, err
 	}
@@ -312,7 +342,12 @@ type EncryptionOutcome struct {
 // injection: the paper's claim is confidentiality/integrity hold and only
 // availability is lost (§IV).
 func RunEncryptedInjection(seed uint64) (EncryptionOutcome, error) {
-	s, err := newScene("lightbulb", seed, false)
+	return RunEncryptedInjectionWith(seed, Instrumentation{})
+}
+
+// RunEncryptedInjectionWith is RunEncryptedInjection with observability.
+func RunEncryptedInjectionWith(seed uint64, inst Instrumentation) (EncryptionOutcome, error) {
+	s, err := newSceneWith("lightbulb", seed, false, inst)
 	if err != nil {
 		return EncryptionOutcome{}, err
 	}
@@ -391,7 +426,12 @@ func Fig8Topology() *Table {
 // hijack the slave, present a HID keyboard via Service Changed, and inject
 // keystrokes into the connected host.
 func RunScenarioKeystrokes(seed uint64, withIDS bool) (ScenarioOutcome, error) {
-	w := host.NewWorld(host.WorldConfig{Seed: seed})
+	return RunScenarioKeystrokesWith(seed, withIDS, Instrumentation{})
+}
+
+// RunScenarioKeystrokesWith is RunScenarioKeystrokes with observability.
+func RunScenarioKeystrokesWith(seed uint64, withIDS bool, inst Instrumentation) (ScenarioOutcome, error) {
+	w := host.NewWorld(host.WorldConfig{Seed: seed, Tracer: inst.Tracer, Obs: inst.Obs})
 	bulbPos, centralPos, attackerPos := trianglePositions()
 	fob := devices.NewKeyfob(w.NewDevice(host.DeviceConfig{Name: "keyfob", Position: bulbPos}))
 	computer := devices.NewComputer(w.NewDevice(host.DeviceConfig{Name: "laptop", Position: centralPos}))
@@ -400,6 +440,9 @@ func RunScenarioKeystrokes(seed uint64, withIDS bool) (ScenarioOutcome, error) {
 		ClockPPM: 20, ClockJitter: 500 * sim.Nanosecond,
 	})
 	attacker := injectable.NewAttacker(atk.Stack, injectable.InjectorConfig{})
+	if inst.Pcap != nil {
+		capturePcap(attacker.Sniffer, inst.Pcap)
+	}
 	var monitor *ids.Monitor
 	if withIDS {
 		monitor = ids.New(ids.Config{})

@@ -9,6 +9,7 @@ import (
 	"injectable/internal/injectable"
 	"injectable/internal/link"
 	"injectable/internal/medium"
+	"injectable/internal/obs"
 	"injectable/internal/phy"
 	"injectable/internal/sim"
 )
@@ -104,6 +105,10 @@ type TrialConfig struct {
 	MaxAttempts int
 	// SimBudget bounds virtual time (0 = 120 s).
 	SimBudget sim.Duration
+	// Obs collects metrics and injection forensics from the trial's world
+	// (nil = no observability; campaign runs thread their per-trial hub
+	// through here).
+	Obs *obs.Hub
 }
 
 // TrialResult reports one trial.
@@ -145,6 +150,7 @@ func RunTrial(cfg TrialConfig) (TrialResult, error) {
 			PathLoss: &phy.LogDistance{Walls: cfg.Walls},
 			Capture:  cfg.Capture,
 		},
+		Obs: cfg.Obs,
 	})
 	bulb := devices.NewLightbulb(w.NewDevice(host.DeviceConfig{
 		Name: "bulb", Position: cfg.BulbPos,

@@ -12,6 +12,7 @@ import (
 	"injectable/internal/ble"
 	"injectable/internal/link"
 	"injectable/internal/medium"
+	"injectable/internal/obs"
 	"injectable/internal/phy"
 	"injectable/internal/sim"
 )
@@ -22,6 +23,7 @@ type World struct {
 	RNG    *sim.RNG
 	Medium *medium.Medium
 	Tracer sim.Tracer
+	Obs    *obs.Hub
 }
 
 // WorldConfig configures a World.
@@ -32,6 +34,9 @@ type WorldConfig struct {
 	Medium medium.Config
 	// Tracer observes all stack events. Nil = no tracing.
 	Tracer sim.Tracer
+	// Obs collects metrics and injection forensics from every layer of
+	// this world (phy/medium/link/injectable). Nil = no observability.
+	Obs *obs.Hub
 }
 
 // NewWorld creates an empty environment.
@@ -41,11 +46,15 @@ func NewWorld(cfg WorldConfig) *World {
 	if cfg.Medium.Tracer == nil {
 		cfg.Medium.Tracer = cfg.Tracer
 	}
+	if cfg.Medium.Obs == nil {
+		cfg.Medium.Obs = cfg.Obs
+	}
 	return &World{
 		Sched:  sched,
 		RNG:    rng,
 		Medium: medium.New(sched, rng, cfg.Medium),
 		Tracer: cfg.Tracer,
+		Obs:    cfg.Obs,
 	}
 }
 
@@ -119,6 +128,7 @@ func (w *World) NewDevice(cfg DeviceConfig) *Device {
 			RNG:           rng,
 			Radio:         radio,
 			Tracer:        w.Tracer,
+			Obs:           w.Obs,
 			Address:       addr,
 			WideningScale: cfg.WideningScale,
 		},

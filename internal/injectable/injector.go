@@ -8,6 +8,7 @@ import (
 	"injectable/internal/ble/pdu"
 	"injectable/internal/link"
 	"injectable/internal/medium"
+	"injectable/internal/obs"
 	"injectable/internal/phy"
 	"injectable/internal/sim"
 )
@@ -145,6 +146,7 @@ type injection struct {
 	snA      bool
 	nesnA    bool
 	lead     sim.Duration // estimated gap from tx start to the master's anchor
+	widening sim.Duration // eq. 4 widening estimate used for this attempt
 	// guard adapts upward on silent attempts: a no-response usually means
 	// the frame fired before the slave's window opened (relative clock
 	// drift ate the margin), so later attempts start slightly later.
@@ -252,6 +254,7 @@ func (inj *Injector) scheduleAttempt() {
 		offset = span
 	}
 	act.lead = span - offset
+	act.widening = wEst
 	act.event = st.EventCount
 	act.channel = st.ChannelFor(st.EventCount)
 
@@ -284,6 +287,14 @@ func (inj *Injector) fire(frame medium.Frame) {
 	act.txEnd = act.txStart.Add(frame.AirTime())
 	sim.Emit(inj.stack.Tracer, act.txStart, inj.stack.Name, "inject-tx", map[string]any{
 		"event": act.event, "ch": act.channel, "len": len(frame.PDU),
+	})
+	// Open the forensics entry before the transmission hits the medium,
+	// so the medium's tx/lock/collision events correlate to it.
+	inj.stack.Obs.BeginAttempt(obs.AttemptStart{
+		Attempt: len(act.report.Attempts) + 1,
+		Event:   act.event, Channel: act.channel,
+		TxStart: act.txStart, TxEnd: act.txEnd,
+		Lead: act.lead, WideningEst: act.widening,
 	})
 	inj.stack.Radio.OnTxDone = func() {
 		inj.stack.Radio.OnTxDone = nil
@@ -376,6 +387,11 @@ func (inj *Injector) settle(a Attempt) {
 	sim.Emit(inj.stack.Tracer, inj.stack.Sched.Now(), inj.stack.Name, "inject-attempt", map[string]any{
 		"n": a.Number, "outcome": string(a.Outcome), "event": a.Event,
 	})
+	inj.stack.Obs.EndAttempt(obs.AttemptEnd{
+		Outcome:        string(a.Outcome),
+		SlaveResponded: a.SlaveSeen,
+		ResponseValid:  len(a.ResponsePDU) > 0,
+	}, float64(st.AnchorJitterEWMA)/float64(sim.Microsecond))
 	if a.Outcome == OutcomeNoResponse {
 		st.MissedEvents++
 		// Adapt: fire a little later next time (the slave heard nothing,
@@ -405,6 +421,9 @@ func (inj *Injector) settle(a Attempt) {
 func (inj *Injector) finish() {
 	act := inj.active
 	inj.active = nil
+	// A race cut short by connection loss leaves a dangling ledger
+	// entry; close it so the forensics stay attempt-complete.
+	inj.stack.Obs.AbortAttempt("connection-lost")
 	inj.sniffer.Resume()
 	if act.done != nil {
 		act.done(act.report)

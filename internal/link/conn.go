@@ -65,6 +65,7 @@ type Conn struct {
 	params   ConnParams
 	peer     ble.Address
 	selector csa.Selector
+	ins      *connInstruments
 
 	eventCount  uint16
 	sn, nesn    bool
@@ -130,6 +131,7 @@ func newConn(stack *Stack, role Role, params ConnParams, peer ble.Address) (*Con
 		params:   params,
 		peer:     peer,
 		selector: sel,
+		ins:      newConnInstruments(stack),
 	}
 	stack.Radio.SetAccessAddress(uint32(params.AccessAddress))
 	stack.Radio.OnFrame = c.onFrame
@@ -299,6 +301,7 @@ func (c *Conn) supervisionExpired() bool {
 func (c *Conn) nextPDU() medium.Frame {
 	if c.inFlight != nil {
 		// Retransmission: identical bytes (same SN, same ciphertext).
+		c.ins.onRetransmission()
 		return *c.inFlight
 	}
 	var p pdu.DataPDU
@@ -577,6 +580,7 @@ func (c *Conn) applyUpdateParams(u *pdu.ConnectionUpdateInd) {
 
 // emitEvent reports a connection event to the instrumentation hook.
 func (c *Conn) emitEvent(ch uint8, anchor sim.Time, missed bool) {
+	c.ins.onEvent(missed)
 	if c.OnEvent != nil {
 		c.OnEvent(EventInfo{Counter: c.eventCount, Channel: ch, Anchor: anchor, Missed: missed})
 	}

@@ -1,0 +1,114 @@
+package link
+
+import (
+	"injectable/internal/obs"
+	"injectable/internal/sim"
+)
+
+// connInstruments holds one connection's pre-registered metric handles
+// and forwards window/anchor events to the forensics ledger. Handles
+// are shared across connections through the registry's get-or-create
+// semantics, so counters aggregate per run. A nil *connInstruments
+// (observability off) is a no-op.
+type connInstruments struct {
+	hub  *obs.Hub
+	name string
+
+	events   *obs.Counter
+	missed   *obs.Counter
+	anchors  *obs.Counter
+	crcFails *obs.Counter
+	retrans  *obs.Counter
+	winOpens *obs.Counter
+
+	winWidth       *obs.Histogram
+	widening       *obs.Histogram
+	anchorResidual *obs.Histogram
+}
+
+func newConnInstruments(stack *Stack) *connInstruments {
+	if stack.Obs == nil {
+		return nil
+	}
+	r := stack.Obs.Reg()
+	return &connInstruments{
+		hub:      stack.Obs,
+		name:     stack.Name,
+		events:   r.Counter("link.event.count"),
+		missed:   r.Counter("link.event.missed"),
+		anchors:  r.Counter("link.anchor.count"),
+		crcFails: r.Counter("link.rx.crc_fail"),
+		retrans:  r.Counter("link.tx.retransmissions"),
+		winOpens: r.Counter("link.win.open"),
+		winWidth: r.Histogram("link.win.width_us", obs.LinearBuckets(16, 16, 40)),
+		widening: r.Histogram("link.win.widening_us", obs.LinearBuckets(8, 8, 40)),
+		// Anchor drift: signed residual between the predicted and the
+		// observed anchor — the clock-inaccuracy signal eq. 4 widens for.
+		anchorResidual: r.Histogram("link.anchor.residual_us", obs.LinearBuckets(-20, 2, 21)),
+	}
+}
+
+// onWidening records the eq. 4 widening computed for an upcoming window.
+func (ins *connInstruments) onWidening(w sim.Duration) {
+	if ins == nil {
+		return
+	}
+	ins.widening.Observe(durUS(w))
+}
+
+// onWindowOpen records a receive window opening (and buffers it for
+// ledger correlation with a later injection attempt).
+func (ins *connInstruments) onWindowOpen(c *Conn, ch uint8, width sim.Duration) {
+	if ins == nil {
+		return
+	}
+	ins.winOpens.Inc()
+	ins.winWidth.Observe(durUS(width))
+	ins.hub.Led().LinkWindowOpen(ins.name, c.eventCount, ch, c.stack.Sched.Now(), width)
+}
+
+// onAnchor records an adopted anchor point. Must be called before the
+// connection state mutates, so the residual against the prediction from
+// the previous anchor (eq. 2/3) can be computed.
+func (ins *connInstruments) onAnchor(c *Conn, anchor sim.Time) {
+	if ins == nil {
+		return
+	}
+	ins.anchors.Inc()
+	if c.anchorKnown {
+		span := sim.Duration(c.missedEvents+1) * c.params.IntervalDuration()
+		predicted := c.lastAnchor.Add(span)
+		ins.anchorResidual.Observe(durUS(anchor.Sub(predicted)))
+	}
+	ins.hub.Led().LinkAnchor(ins.name, c.eventCount, anchor)
+}
+
+// onEvent records one connection event.
+func (ins *connInstruments) onEvent(missed bool) {
+	if ins == nil {
+		return
+	}
+	ins.events.Inc()
+	if missed {
+		ins.missed.Inc()
+	}
+}
+
+// onCRCFail records a CRC-invalid frame inside the receive window.
+func (ins *connInstruments) onCRCFail() {
+	if ins == nil {
+		return
+	}
+	ins.crcFails.Inc()
+}
+
+// onRetransmission records an SN-repeated retransmission.
+func (ins *connInstruments) onRetransmission() {
+	if ins == nil {
+		return
+	}
+	ins.retrans.Inc()
+}
+
+// durUS converts a duration to float microseconds.
+func durUS(d sim.Duration) float64 { return float64(d) / float64(sim.Microsecond) }

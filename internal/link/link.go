@@ -33,6 +33,7 @@ import (
 	"injectable/internal/ble/csa"
 	"injectable/internal/ble/pdu"
 	"injectable/internal/medium"
+	"injectable/internal/obs"
 	"injectable/internal/phy"
 	"injectable/internal/sim"
 )
@@ -45,6 +46,10 @@ type Stack struct {
 	RNG    *sim.RNG
 	Radio  *medium.Radio
 	Tracer sim.Tracer
+	// Obs receives link-layer metrics and forensics-ledger events
+	// (window widening extents, anchor drift, retransmissions). Nil
+	// means no observability instrumentation.
+	Obs *obs.Hub
 	// Address is the device's own address.
 	Address ble.Address
 	// WideningScale shrinks (<1) or stretches (>1) this device's slave

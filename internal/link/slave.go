@@ -37,6 +37,7 @@ func (c *Conn) scaledWidening(w sim.Duration) sim.Duration {
 // master-chosen transmit window (initial connection or connection update).
 func (c *Conn) scheduleSlaveWindowForTransmitWindow(w TransmitWindow, ref sim.Time) {
 	widening := c.scaledWidening(WindowWidening(c.params.MasterSCA.WorstPPM(), c.ownSCA(), w.Start.Sub(ref)))
+	c.ins.onWidening(widening)
 	openOffset := w.Start.Sub(ref) - widening
 	closeOffset := w.End().Sub(ref) + widening
 	ev := c.stack.Clock.AtLocalOffset(ref, openOffset, c.stack.Name+":win-open", func() {
@@ -61,6 +62,7 @@ func (c *Conn) scheduleNextSlaveWindow() {
 		ref := c.lastAnchor
 		w := NewTransmitWindow(ref.Add(predictedOld), upd.WinOffset, upd.WinSize)
 		widening := c.scaledWidening(WindowWidening(c.params.MasterSCA.WorstPPM(), c.ownSCA(), w.Start.Sub(ref)))
+		c.ins.onWidening(widening)
 		openOffset := w.Start.Sub(ref) - widening
 		closeOffset := w.End().Sub(ref) + widening
 		ev := c.stack.Clock.AtLocalOffset(ref, openOffset, c.stack.Name+":upd-win-open", func() {
@@ -78,6 +80,7 @@ func (c *Conn) scheduleNextSlaveWindow() {
 	}
 	span := sim.Duration(c.missedEvents+1) * c.params.IntervalDuration()
 	widening := c.currentWidening()
+	c.ins.onWidening(widening)
 	ev := c.stack.Clock.AtLocalOffset(c.lastAnchor, span-widening, c.stack.Name+":win-open", func() {
 		c.slaveOpenWindow(2 * widening)
 	})
@@ -132,6 +135,7 @@ func (c *Conn) slaveOpenWindow(width sim.Duration) {
 	c.stack.trace("win-open", map[string]any{
 		"event": c.eventCount, "ch": ch, "width": width.String(),
 	})
+	c.ins.onWindowOpen(c, ch, width)
 	c.winEpoch++
 	epoch := c.winEpoch
 	c.schedule(width, "win-close", func() { c.slaveWindowClose(epoch) })
@@ -172,6 +176,7 @@ func (c *Conn) slaveWindowClose(epoch uint64) {
 func (c *Conn) slaveOnFrame(rx medium.Received) {
 	c.winEpoch++ // invalidate this window's close timer
 	anchor := rx.StartAt
+	c.ins.onAnchor(c, anchor) // before the state mutates: residual needs the prediction
 	c.lastAnchor = anchor
 	c.anchorKnown = true
 	c.missedEvents = 0
@@ -192,6 +197,7 @@ func (c *Conn) slaveOnFrame(rx medium.Received) {
 		// which is exactly what the attacker's success heuristic (eq. 7)
 		// observes.
 		c.stack.trace("crc-fail", map[string]any{"event": c.eventCount})
+		c.ins.onCRCFail()
 	}
 
 	// Respond T_IFS after the end of the received frame.

@@ -1,0 +1,112 @@
+package medium
+
+import (
+	"injectable/internal/obs"
+	"injectable/internal/phy"
+)
+
+// instruments holds the medium's pre-registered metric handles plus the
+// per-channel occupancy tracker, and forwards correlation events to the
+// forensics ledger. A nil *instruments (observability off) is a no-op.
+type instruments struct {
+	med       *Medium
+	hub       *obs.Hub
+	occupancy *phy.Occupancy
+
+	txFrames   *obs.Counter
+	txNoise    *obs.Counter
+	locks      *obs.Counter
+	lockFails  *obs.Counter
+	delivered  *obs.Counter
+	collisions *obs.Counter
+	corrupted  *obs.Counter
+	sir        *obs.Histogram
+}
+
+func newInstruments(m *Medium, hub *obs.Hub) *instruments {
+	if hub == nil {
+		return nil
+	}
+	r := hub.Reg()
+	return &instruments{
+		med:        m,
+		hub:        hub,
+		occupancy:  phy.NewOccupancy(r),
+		txFrames:   r.Counter("medium.tx.frames"),
+		txNoise:    r.Counter("medium.tx.noise"),
+		locks:      r.Counter("medium.rx.lock"),
+		lockFails:  r.Counter("medium.rx.lock_fail"),
+		delivered:  r.Counter("medium.rx.delivered"),
+		collisions: r.Counter("medium.rx.collisions"),
+		corrupted:  r.Counter("medium.rx.corrupted"),
+		sir:        r.Histogram("medium.rx.sir_db", obs.LinearBuckets(-30, 3, 21)),
+	}
+}
+
+// onTxBegin accounts a transmission start.
+func (ins *instruments) onTxBegin(t *transmission) {
+	if ins == nil {
+		return
+	}
+	if t.noise {
+		ins.txNoise.Inc()
+	} else {
+		ins.txFrames.Inc()
+	}
+	ins.occupancy.Observe(t.channel, t.end.Sub(t.start), t.noise)
+	ins.hub.Led().MediumTx(t.radio.name, uint8(t.channel), t.start, t.end, t.noise)
+}
+
+// onLock accounts a successful preamble+AA lock at radio r.
+func (ins *instruments) onLock(r *Radio, t *transmission) {
+	if ins == nil {
+		return
+	}
+	ins.locks.Inc()
+	ins.hub.Led().MediumLock(r.name, t.radio.name, t.start, float64(ins.med.rssiAt(t, r.pos)))
+}
+
+// onLockFail accounts a defeated preamble lock at radio r.
+func (ins *instruments) onLockFail(r *Radio, t *transmission, reason string) {
+	if ins == nil {
+		return
+	}
+	ins.lockFails.Inc()
+	ins.hub.Led().MediumLockFail(r.name, t.radio.name, t.start, reason)
+}
+
+// onDeliver accounts a completed reception with its collision outcome.
+func (ins *instruments) onDeliver(r *Radio, t *transmission, rx *Received, collided bool, minSIR float64) {
+	if ins == nil {
+		return
+	}
+	ins.delivered.Inc()
+	if collided {
+		ins.collisions.Inc()
+		ins.sir.Observe(minSIR)
+	}
+	if rx.Corrupted {
+		ins.corrupted.Inc()
+	}
+	ins.hub.Led().MediumDeliver(r.name, t.radio.name, t.start,
+		float64(rx.RSSI), collided, minSIR, rx.Corrupted)
+}
+
+// probeRSSI estimates the received power at radio "to" for a
+// transmission from radio "from" on channel ch — the ledger uses it to
+// reconstruct the master's signal at the victim after the fact.
+func (m *Medium) probeRSSI(from, to string, ch uint8) (float64, bool) {
+	var a, b *Radio
+	for _, r := range m.radios {
+		if a == nil && r.name == from {
+			a = r
+		}
+		if b == nil && r.name == to {
+			b = r
+		}
+	}
+	if a == nil || b == nil {
+		return 0, false
+	}
+	return float64(phy.ReceivedPower(m.cfg.PathLoss, a.txPower, a.pos, b.pos, phy.Channel(ch))), true
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 
+	"injectable/internal/obs"
 	"injectable/internal/phy"
 	"injectable/internal/sim"
 )
@@ -99,6 +100,9 @@ type Config struct {
 	// PreambleCaptureMargin: an interferer within this margin of the wanted
 	// signal during the preamble+AA defeats the lock. Default 3 dB.
 	PreambleCaptureMargin float64
+	// Obs receives medium-layer metrics and forensics-ledger events.
+	// Nil means no observability instrumentation.
+	Obs *obs.Hub
 }
 
 // Medium is the shared radio channel. Create radios with NewRadio; all
@@ -111,6 +115,7 @@ type Medium struct {
 	radios    []*Radio
 	active    []*transmission
 	observers []Observer
+	ins       *instruments
 }
 
 // New creates a medium on the given scheduler.
@@ -124,7 +129,12 @@ func New(sched *sim.Scheduler, rng *sim.RNG, cfg Config) *Medium {
 	if cfg.PreambleCaptureMargin == 0 {
 		cfg.PreambleCaptureMargin = 3
 	}
-	return &Medium{sched: sched, rng: rng.Child("medium"), cfg: cfg}
+	m := &Medium{sched: sched, rng: rng.Child("medium"), cfg: cfg}
+	m.ins = newInstruments(m, cfg.Obs)
+	// The ledger reconstructs signal powers (e.g. the master's RSSI at
+	// the victim) through the medium's own path-loss model.
+	cfg.Obs.Led().SetRSSIProbe(m.probeRSSI)
+	return m
 }
 
 // Scheduler returns the scheduler the medium runs on.
@@ -188,6 +198,7 @@ func (m *Medium) begin(t *transmission) {
 	sim.Emit(m.cfg.Tracer, t.start, t.radio.name, "tx-start", map[string]any{
 		"ch": t.channel, "len": len(t.frame.PDU), "end": t.end, "noise": t.noise,
 	})
+	m.ins.onTxBegin(t)
 
 	if t.noise {
 		return // jamming carries no lockable preamble
@@ -273,9 +284,14 @@ func (m *Medium) deliver(t *transmission, r *Radio) {
 	// independently threatens it. Overlap is evaluated against the
 	// post-preamble body (the preamble was verified clean at lock time).
 	bodyStart := t.start.Add(t.frame.Mode.PreambleAATime())
+	collided, minSIR := false, math.Inf(1)
 	for _, i := range m.interferersDuring(t, t.channel, bodyStart, t.end) {
 		ov := overlap(bodyStart, t.end, i.start, i.end)
 		sir := float64(rx.RSSI) - float64(m.rssiAt(i, r.pos))
+		collided = true
+		if sir < minSIR {
+			minSIR = sir
+		}
 		if i.noise {
 			// Wideband noise has no carrier to lose a phase race against:
 			// it erodes demodulation margin directly, so anything below a
@@ -303,6 +319,10 @@ func (m *Medium) deliver(t *transmission, r *Radio) {
 		"ch": t.channel, "len": len(rx.Frame.PDU), "rssi": rx.RSSI,
 		"corrupted": rx.Corrupted, "start": t.start,
 	})
+	if !collided {
+		minSIR = 0
+	}
+	m.ins.onDeliver(r, t, &rx, collided, minSIR)
 	r.completeRx(rx)
 }
 

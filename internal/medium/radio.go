@@ -275,6 +275,7 @@ func (r *Radio) tryLock(t *transmission) {
 		sim.Emit(r.med.cfg.Tracer, r.med.sched.Now(), r.name, "lock-fail", map[string]any{
 			"from": t.radio.name, "reason": "preamble-collision",
 		})
+		r.med.ins.onLockFail(r, t, "preamble-collision")
 		return
 	}
 	r.state = radioLocked
@@ -283,6 +284,7 @@ func (r *Radio) tryLock(t *transmission) {
 	sim.Emit(r.med.cfg.Tracer, r.med.sched.Now(), r.name, "lock", map[string]any{
 		"from": t.radio.name, "ch": t.channel, "start": t.start,
 	})
+	r.med.ins.onLock(r, t)
 	r.med.sched.At(t.end, r.name+":rx-complete", func() {
 		if r.locked != t {
 			return // channel change or transmit aborted the reception

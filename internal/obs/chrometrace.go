@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"injectable/internal/sim"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format (the JSON
+// Array/Object format understood by chrome://tracing and Perfetto).
+// Timestamps and durations are in microseconds.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace renders recorded simulation trace events (and, when
+// a ledger is supplied, its injection attempts as duration slices on a
+// dedicated track) in Chrome trace_event format. Each event source gets
+// its own thread track, in order of first appearance. dropped is the
+// number of events lost to a bounded recording buffer; it is surfaced
+// in the trace metadata.
+func WriteChromeTrace(w io.Writer, events []sim.TraceEvent, dropped int, ledger *Ledger) error {
+	const pid = 1
+	trace := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	if dropped > 0 {
+		trace.OtherData = map[string]string{"droppedEvents": fmt.Sprintf("%d", dropped)}
+	}
+
+	tids := map[string]int{}
+	tid := func(source string) int {
+		id, ok := tids[source]
+		if !ok {
+			id = len(tids) + 1
+			tids[source] = id
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: pid, TID: id,
+				Args: map[string]string{"name": source},
+			})
+		}
+		return id
+	}
+
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.Kind, PID: pid, TID: tid(e.Source),
+			TS:   us(e.At),
+			Args: stringifyFields(e.Fields),
+		}
+		if d, ok := eventSpan(e); ok {
+			ce.Ph, ce.Dur = "X", dus(d)
+		} else {
+			ce.Ph, ce.S = "i", "t"
+		}
+		trace.TraceEvents = append(trace.TraceEvents, ce)
+	}
+
+	for _, r := range ledger.Records() {
+		name := r.Outcome
+		if r.MissReason != "" {
+			name += ":" + r.MissReason
+		}
+		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			Name: name, Ph: "X", PID: pid, TID: tid("injection-ledger"),
+			TS: r.TxStartUS, Dur: r.TxEndUS - r.TxStartUS,
+			Args: map[string]string{
+				"attempt":          fmt.Sprintf("%d", r.Attempt),
+				"event":            fmt.Sprintf("%d", r.Event),
+				"ch":               fmt.Sprintf("%d", r.Channel),
+				"timing_margin_us": fmt.Sprintf("%.3f", r.TimingMarginUS),
+				"crc":              r.CRCState,
+			},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace)
+}
+
+// eventSpan extracts an on-air/window duration from trace events that
+// carry one: "tx-start" has an absolute "end" time, "win-open" a
+// "width" duration (rendered as a string by the link layer).
+func eventSpan(e sim.TraceEvent) (sim.Duration, bool) {
+	switch e.Kind {
+	case "tx-start":
+		if end, ok := e.Fields["end"].(sim.Time); ok && end > e.At {
+			return end.Sub(e.At), true
+		}
+	case "win-open":
+		switch v := e.Fields["width"].(type) {
+		case sim.Duration:
+			return v, true
+		case string:
+			if d, err := time.ParseDuration(v); err == nil {
+				return sim.Duration(d.Nanoseconds()), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// stringifyFields renders trace fields as deterministic string args.
+func stringifyFields(fields map[string]any) map[string]string {
+	if len(fields) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(fields))
+	for k, v := range fields {
+		out[k] = fmt.Sprint(v)
+	}
+	return out
+}

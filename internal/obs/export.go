@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// metricLine is one JSONL record of the metrics export. Exactly one of
+// the payload groups is populated, discriminated by Kind. The export
+// carries no wall-clock or host-dependent fields, so it is byte-
+// identical across runs at the same seed.
+type metricLine struct {
+	Kind string `json:"kind"`
+
+	Name  string   `json:"name,omitempty"`
+	Value *int64   `json:"value,omitempty"`
+	FVal  *float64 `json:"fvalue,omitempty"`
+
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []int64   `json:"counts,omitempty"`
+	Count  int64     `json:"count,omitempty"`
+	Sum    float64   `json:"sum,omitempty"`
+	Min    float64   `json:"min,omitempty"`
+	Max    float64   `json:"max,omitempty"`
+	P50    float64   `json:"p50,omitempty"`
+	P90    float64   `json:"p90,omitempty"`
+	P99    float64   `json:"p99,omitempty"`
+
+	Record *InjectionRecord `json:"record,omitempty"`
+}
+
+// WriteMetricsJSONL writes a registry snapshot and (optionally) the
+// forensics ledger as JSON lines: counters, gauges and histograms in
+// name order, then one "injection" line per ledger record in attempt
+// order. Output is deterministic for deterministic inputs.
+func WriteMetricsJSONL(w io.Writer, snap *Snapshot, ledger *Ledger) error {
+	enc := json.NewEncoder(w)
+	if snap != nil {
+		for _, c := range snap.Counters {
+			v := c.Value
+			if err := enc.Encode(metricLine{Kind: "counter", Name: c.Name, Value: &v}); err != nil {
+				return err
+			}
+		}
+		for _, g := range snap.Gauges {
+			v := g.Value
+			if err := enc.Encode(metricLine{Kind: "gauge", Name: g.Name, FVal: &v}); err != nil {
+				return err
+			}
+		}
+		for _, h := range snap.Histograms {
+			line := metricLine{
+				Kind: "histogram", Name: h.Name,
+				Bounds: h.Bounds, Counts: h.Counts,
+				Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max,
+				P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+			}
+			if err := enc.Encode(line); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range ledger.Records() {
+		rec := ledger.Records()[i]
+		if err := enc.Encode(metricLine{Kind: "injection", Record: &rec}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"injectable/internal/sim"
+)
+
+func exportFixture() (*Snapshot, *Ledger) {
+	r := NewRegistry()
+	r.Counter("inject.attempts").Add(2)
+	r.Gauge("inject.anchor_jitter_ewma_us").Set(1.25)
+	h := r.Histogram("inject.margin_us", LinearBuckets(-10, 5, 30))
+	for _, v := range []float64{3, 7, 12} {
+		h.Observe(v)
+	}
+	l := NewLedger()
+	driveAttempt(l, AttemptEnd{Outcome: "success", SlaveResponded: true, ResponseValid: true})
+	return r.Snapshot(), l
+}
+
+func TestWriteMetricsJSONL(t *testing.T) {
+	snap, led := exportFixture()
+	var b bytes.Buffer
+	if err := WriteMetricsJSONL(&b, snap, led); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(b.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line is not valid JSON: %q: %v", line, err)
+		}
+		kinds[m["kind"].(string)]++
+		switch m["kind"] {
+		case "counter":
+			if m["name"] == "inject.attempts" && m["value"].(float64) != 2 {
+				t.Fatalf("counter line = %v", m)
+			}
+		case "histogram":
+			if m["count"].(float64) != 3 || m["p50"] == nil {
+				t.Fatalf("histogram line = %v", m)
+			}
+		case "injection":
+			rec := m["record"].(map[string]any)
+			if rec["outcome"] != "success" || rec["attempt"].(float64) != 1 {
+				t.Fatalf("injection line = %v", rec)
+			}
+		}
+	}
+	want := map[string]int{"counter": 1, "gauge": 1, "histogram": 1, "injection": 1}
+	for k, n := range want {
+		if kinds[k] != n {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+
+	// Byte-identical on re-export of the same inputs.
+	var b2 bytes.Buffer
+	if err := WriteMetricsJSONL(&b2, snap, led); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b.Bytes(), b2.Bytes()) {
+		t.Fatalf("re-export differs")
+	}
+
+	// Nil snapshot and nil ledger are valid (empty export).
+	var b3 bytes.Buffer
+	if err := WriteMetricsJSONL(&b3, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b3.Len() != 0 {
+		t.Fatalf("nil export wrote %q", b3.String())
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	events := []sim.TraceEvent{
+		{At: sim.Time(100 * sim.Microsecond), Source: "attacker", Kind: "tx-start",
+			Fields: map[string]any{"end": sim.Time(250 * sim.Microsecond)}},
+		{At: sim.Time(90 * sim.Microsecond), Source: "bulb", Kind: "win-open",
+			Fields: map[string]any{"width": "150µs"}},
+		{At: sim.Time(300 * sim.Microsecond), Source: "bulb", Kind: "anchor"},
+	}
+	_, led := exportFixture()
+
+	var b bytes.Buffer
+	if err := WriteChromeTrace(&b, events, 7, led); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			TS   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			TID  int               `json:"tid"`
+			S    string            `json:"s"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		OtherData       map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if trace.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", trace.DisplayTimeUnit)
+	}
+	if trace.OtherData["droppedEvents"] != "7" {
+		t.Fatalf("otherData = %v", trace.OtherData)
+	}
+
+	byName := map[string][]int{}
+	threads := map[string]bool{}
+	for i, e := range trace.TraceEvents {
+		byName[e.Name] = append(byName[e.Name], i)
+		if e.Ph == "M" && e.Name == "thread_name" {
+			threads[e.Args["name"]] = true
+		}
+	}
+	for _, want := range []string{"attacker", "bulb", "injection-ledger"} {
+		if !threads[want] {
+			t.Fatalf("missing thread_name %q (have %v)", want, threads)
+		}
+	}
+
+	tx := trace.TraceEvents[byName["tx-start"][0]]
+	if tx.Ph != "X" || tx.TS != 100 || tx.Dur != 150 {
+		t.Fatalf("tx-start event = %+v, want X slice ts=100 dur=150", tx)
+	}
+	win := trace.TraceEvents[byName["win-open"][0]]
+	if win.Ph != "X" || win.Dur != 150 {
+		t.Fatalf("win-open event = %+v, want X slice dur=150 (parsed width)", win)
+	}
+	anchor := trace.TraceEvents[byName["anchor"][0]]
+	if anchor.Ph != "i" || anchor.S != "t" {
+		t.Fatalf("anchor event = %+v, want thread-scoped instant", anchor)
+	}
+	ledger := trace.TraceEvents[byName["success"][0]]
+	if ledger.Ph != "X" || ledger.TS != 1000 || ledger.Dur != 176 {
+		t.Fatalf("ledger slice = %+v, want ts=1000 dur=176", ledger)
+	}
+	if ledger.Args["attempt"] != "1" || ledger.Args["crc"] != "ok" {
+		t.Fatalf("ledger args = %v", ledger.Args)
+	}
+
+	// No dropped events → no otherData key at all.
+	var b2 bytes.Buffer
+	if err := WriteChromeTrace(&b2, nil, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b2.String(), "droppedEvents") {
+		t.Fatalf("empty trace advertises drops: %s", b2.String())
+	}
+}

@@ -1,0 +1,92 @@
+package obs
+
+import "sort"
+
+// Hub bundles the per-run metrics registry and forensics ledger. A nil
+// *Hub is valid everywhere a Hub is plumbed: Reg() and Led() return nil
+// receivers whose methods are no-ops, so instrumented layers never need
+// an observability-enabled check.
+type Hub struct {
+	Registry *Registry
+	Ledger   *Ledger
+}
+
+// NewHub returns a hub with a fresh registry and ledger.
+func NewHub() *Hub {
+	return &Hub{Registry: NewRegistry(), Ledger: NewLedger()}
+}
+
+// Reg returns the registry (nil when the hub is nil).
+func (h *Hub) Reg() *Registry {
+	if h == nil {
+		return nil
+	}
+	return h.Registry
+}
+
+// Led returns the ledger (nil when the hub is nil).
+func (h *Hub) Led() *Ledger {
+	if h == nil {
+		return nil
+	}
+	return h.Ledger
+}
+
+// Snapshot captures the registry (empty snapshot when the hub is nil).
+func (h *Hub) Snapshot() *Snapshot { return h.Reg().Snapshot() }
+
+// BeginAttempt opens a forensics entry for an injection attempt.
+func (h *Hub) BeginAttempt(s AttemptStart) {
+	if h == nil {
+		return
+	}
+	h.Ledger.BeginAttempt(s)
+	h.Registry.Histogram("inject.lead_us", LinearBuckets(2, 2, 25)).Observe(dus(s.Lead))
+	h.Registry.Histogram("inject.widening_est_us", LinearBuckets(2, 2, 25)).Observe(dus(s.WideningEst))
+}
+
+// EndAttempt closes the forensics entry and folds the attempt into the
+// injection metrics (attempts, hits, per-reason misses, timing margin,
+// SINR). anchorJitterUS is the sniffer's smoothed master anchor jitter.
+func (h *Hub) EndAttempt(end AttemptEnd, anchorJitterUS float64) *InjectionRecord {
+	if h == nil {
+		return nil
+	}
+	rec := h.Ledger.EndAttempt(end)
+	r := h.Registry
+	r.Counter("inject.attempts").Inc()
+	r.Gauge("inject.anchor_jitter_ewma_us").Set(anchorJitterUS)
+	if rec == nil {
+		return nil
+	}
+	if rec.Outcome == "success" {
+		r.Counter("inject.hits").Inc()
+	} else {
+		r.Counter("inject.miss." + rec.MissReason).Inc()
+	}
+	if rec.WindowSeen {
+		r.Histogram("inject.margin_us", LinearBuckets(-10, 5, 30)).Observe(rec.TimingMarginUS)
+	}
+	if rec.MasterSeen {
+		r.Histogram("inject.sinr_db", LinearBuckets(-30, 2, 31)).Observe(rec.SINRdB)
+	}
+	return rec
+}
+
+// AbortAttempt closes a dangling entry (connection lost mid-race).
+func (h *Hub) AbortAttempt(outcome string) {
+	if h == nil {
+		return
+	}
+	h.Ledger.Abort(outcome)
+}
+
+// sortedKeys returns a map's keys in sorted order.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

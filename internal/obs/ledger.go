@@ -1,0 +1,462 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"injectable/internal/sim"
+)
+
+// InjectionRecord is the forensic account of one injection attempt,
+// assembled by correlating events from the injectable (attempt
+// lifecycle), medium (transmissions, locks, collisions) and link
+// (receive windows, anchors) layers. All times are absolute simulation
+// microseconds; durations and margins are microseconds.
+type InjectionRecord struct {
+	Attempt int    `json:"attempt"`
+	Event   uint16 `json:"event"`
+	Channel uint8  `json:"channel"`
+
+	TxStartUS     float64 `json:"tx_start_us"`
+	TxEndUS       float64 `json:"tx_end_us"`
+	LeadUS        float64 `json:"lead_us"`         // estimated gap to the master's anchor
+	WideningEstUS float64 `json:"widening_est_us"` // attacker's eq. 4 estimate
+
+	// Receive-window correlation (from the victim slave's link layer).
+	WindowSeen     bool    `json:"window_seen"`
+	WindowDevice   string  `json:"window_device,omitempty"`
+	WindowOpenUS   float64 `json:"window_open_us"`
+	WindowWidthUS  float64 `json:"window_width_us"`
+	TimingMarginUS float64 `json:"timing_margin_us"` // tx start − window open
+
+	// Capture (from the medium layer).
+	Captured     bool    `json:"captured"` // a victim radio locked our preamble
+	CapturedBy   string  `json:"captured_by,omitempty"`
+	LockFailed   bool    `json:"lock_failed"`
+	Delivered    bool    `json:"delivered"`
+	Collided     bool    `json:"collided"`
+	MinSIRdB     float64 `json:"min_sir_db"` // worst SIR during any collision
+	CRCState     string  `json:"crc_state"`  // ok | corrupted | not-captured | not-delivered
+	AttackerRSSI float64 `json:"attacker_rssi_dbm"`
+
+	// The legitimate master's competing frame, if observed in the race.
+	MasterSeen   bool    `json:"master_seen"`
+	MasterSource string  `json:"master_source,omitempty"`
+	MasterTxUS   float64 `json:"master_tx_us"`
+	MasterRSSI   float64 `json:"master_rssi_dbm"`
+	SINRdB       float64 `json:"sinr_db"` // attacker − master at the victim
+
+	// Outcome (from the injector's success heuristic, eq. 7).
+	AnchorAdopted  bool   `json:"anchor_adopted"` // the slave re-anchored on our frame
+	SlaveResponded bool   `json:"slave_responded"`
+	ResponseValid  bool   `json:"response_valid"` // response CRC-valid and parseable
+	Outcome        string `json:"outcome"`
+	MissReason     string `json:"miss_reason,omitempty"`
+}
+
+// CRC states of the injected frame as seen by the victim.
+const (
+	CRCStateOK           = "ok"            // delivered intact
+	CRCStateCorrupted    = "corrupted"     // delivered but collision-mangled
+	CRCStateNotCaptured  = "not-captured"  // no victim radio locked the preamble
+	CRCStateNotDelivered = "not-delivered" // locked but reception aborted
+)
+
+// windowInfo is the latest receive window opened by one device.
+type windowInfo struct {
+	Device  string
+	Event   uint16
+	Channel uint8
+	OpenAt  sim.Time
+	Width   sim.Duration
+}
+
+// lockInfo is one radio's capture of the injected frame.
+type lockInfo struct {
+	Device    string
+	RSSI      float64
+	Delivered bool
+	Collided  bool
+	MinSIR    float64
+	Corrupted bool
+}
+
+// openAttempt accumulates correlation state for the in-flight attempt.
+type openAttempt struct {
+	rec         InjectionRecord
+	txStart     sim.Time
+	txEnd       sim.Time
+	injSource   string
+	locks       []lockInfo
+	lockFailed  bool
+	masterSeen  bool
+	masterSrc   string
+	masterStart sim.Time
+	adopted     bool
+	adoptedBy   string
+}
+
+// AttemptStart begins a ledger entry: the injector's view of the race
+// at fire time.
+type AttemptStart struct {
+	Attempt     int
+	Event       uint16
+	Channel     uint8
+	TxStart     sim.Time
+	TxEnd       sim.Time
+	Lead        sim.Duration // estimated gap from tx start to master anchor
+	WideningEst sim.Duration // attacker's widening estimate (eq. 4)
+}
+
+// AttemptEnd closes a ledger entry: the injector's verdict.
+type AttemptEnd struct {
+	Outcome        string
+	SlaveResponded bool
+	ResponseValid  bool
+}
+
+// Ledger correlates per-attempt events from the phy/medium/link/
+// injectable layers into InjectionRecords. It is driven entirely from
+// simulation callbacks (single goroutine); a nil *Ledger is a no-op on
+// every method.
+type Ledger struct {
+	records []InjectionRecord
+	open    *openAttempt
+	windows []windowInfo // latest window per device, insertion order
+	// probe estimates received power from one named radio at another —
+	// installed by the medium so the ledger can compute the master's
+	// RSSI at the victim even when the victim never locked that frame.
+	probe func(from, to string, ch uint8) (float64, bool)
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger { return &Ledger{} }
+
+// SetRSSIProbe installs the medium's path-loss probe.
+func (l *Ledger) SetRSSIProbe(f func(from, to string, ch uint8) (float64, bool)) {
+	if l == nil {
+		return
+	}
+	l.probe = f
+}
+
+// BeginAttempt opens the ledger entry for an injection attempt. It must
+// be called before the forged frame's transmission starts.
+func (l *Ledger) BeginAttempt(s AttemptStart) {
+	if l == nil {
+		return
+	}
+	l.open = &openAttempt{
+		rec: InjectionRecord{
+			Attempt:       s.Attempt,
+			Event:         s.Event,
+			Channel:       s.Channel,
+			TxStartUS:     us(s.TxStart),
+			TxEndUS:       us(s.TxEnd),
+			LeadUS:        dus(s.Lead),
+			WideningEstUS: dus(s.WideningEst),
+		},
+		txStart: s.TxStart,
+		txEnd:   s.TxEnd,
+	}
+}
+
+// MediumTx reports a transmission starting on the medium. The ledger
+// identifies the injected frame itself (same start and channel as the
+// open attempt) and the legitimate master's competing frame (any other
+// frame starting in the race interval, up to the injected frame's end).
+func (l *Ledger) MediumTx(source string, ch uint8, start, end sim.Time, noise bool) {
+	if l == nil || l.open == nil || noise {
+		return
+	}
+	a := l.open
+	if ch != a.rec.Channel {
+		return
+	}
+	if start == a.txStart && a.injSource == "" {
+		a.injSource = source
+		return
+	}
+	if source != a.injSource && start <= a.txEnd {
+		if !a.masterSeen || start < a.masterStart {
+			a.masterSeen = true
+			a.masterSrc = source
+			a.masterStart = start
+		}
+	}
+}
+
+// MediumLock reports a radio locking onto a frame; the ledger keeps
+// locks of the injected frame (matched by source and start time).
+func (l *Ledger) MediumLock(rx, source string, start sim.Time, rssi float64) {
+	if l == nil || l.open == nil {
+		return
+	}
+	a := l.open
+	if source != a.injSource || start != a.txStart {
+		return
+	}
+	a.locks = append(a.locks, lockInfo{Device: rx, RSSI: rssi})
+}
+
+// MediumLockFail reports a failed preamble lock on the injected frame.
+func (l *Ledger) MediumLockFail(rx, source string, start sim.Time, reason string) {
+	if l == nil || l.open == nil {
+		return
+	}
+	a := l.open
+	if source != a.injSource || start != a.txStart {
+		return
+	}
+	a.lockFailed = true
+}
+
+// MediumDeliver reports completed reception of the injected frame at a
+// locked radio, with its collision outcome.
+func (l *Ledger) MediumDeliver(rx, source string, start sim.Time, rssi float64, collided bool, minSIR float64, corrupted bool) {
+	if l == nil || l.open == nil {
+		return
+	}
+	a := l.open
+	if source != a.injSource || start != a.txStart {
+		return
+	}
+	for i := range a.locks {
+		if a.locks[i].Device == rx {
+			a.locks[i].Delivered = true
+			a.locks[i].RSSI = rssi
+			a.locks[i].Collided = collided
+			a.locks[i].MinSIR = minSIR
+			a.locks[i].Corrupted = corrupted
+			return
+		}
+	}
+	a.locks = append(a.locks, lockInfo{
+		Device: rx, RSSI: rssi, Delivered: true,
+		Collided: collided, MinSIR: minSIR, Corrupted: corrupted,
+	})
+}
+
+// LinkWindowOpen reports a slave opening its widened receive window.
+// Windows are buffered per device because they open before the
+// injector fires into them.
+func (l *Ledger) LinkWindowOpen(device string, event uint16, ch uint8, openAt sim.Time, width sim.Duration) {
+	if l == nil {
+		return
+	}
+	for i := range l.windows {
+		if l.windows[i].Device == device {
+			l.windows[i] = windowInfo{Device: device, Event: event, Channel: ch, OpenAt: openAt, Width: width}
+			return
+		}
+	}
+	l.windows = append(l.windows, windowInfo{Device: device, Event: event, Channel: ch, OpenAt: openAt, Width: width})
+}
+
+// LinkAnchor reports a slave adopting an anchor point. An anchor equal
+// to the open attempt's transmission start means the victim re-anchored
+// on the injected frame — the heart of the attack.
+func (l *Ledger) LinkAnchor(device string, event uint16, anchor sim.Time) {
+	if l == nil || l.open == nil {
+		return
+	}
+	a := l.open
+	if anchor == a.txStart {
+		a.adopted = true
+		a.adoptedBy = device
+	}
+}
+
+// EndAttempt finalises the open entry with the injector's verdict and
+// appends the completed record. It returns the record (nil if no
+// attempt was open).
+func (l *Ledger) EndAttempt(end AttemptEnd) *InjectionRecord {
+	if l == nil || l.open == nil {
+		return nil
+	}
+	a := l.open
+	l.open = nil
+	rec := a.rec
+	rec.Outcome = end.Outcome
+	rec.SlaveResponded = end.SlaveResponded
+	rec.ResponseValid = end.ResponseValid
+	rec.AnchorAdopted = a.adopted
+	rec.LockFailed = a.lockFailed
+
+	// Window correlation: the victim's window for this attempt is the
+	// one matching the attempt's event counter and channel.
+	var win *windowInfo
+	for i := range l.windows {
+		w := &l.windows[i]
+		if w.Event == rec.Event && w.Channel == rec.Channel {
+			win = w
+			break
+		}
+	}
+	if win != nil {
+		rec.WindowSeen = true
+		rec.WindowDevice = win.Device
+		rec.WindowOpenUS = us(win.OpenAt)
+		rec.WindowWidthUS = dus(win.Width)
+		rec.TimingMarginUS = dus(a.txStart.Sub(win.OpenAt))
+	}
+
+	// Capture correlation: prefer the lock at the window device (the
+	// victim slave) over bystanders such as a promiscuous IDS probe.
+	var lock *lockInfo
+	for i := range a.locks {
+		if win != nil && a.locks[i].Device == win.Device {
+			lock = &a.locks[i]
+			break
+		}
+	}
+	if lock == nil && len(a.locks) > 0 {
+		lock = &a.locks[0]
+	}
+	victim := rec.WindowDevice
+	switch {
+	case lock != nil:
+		rec.Captured = true
+		rec.CapturedBy = lock.Device
+		rec.AttackerRSSI = lock.RSSI
+		rec.Delivered = lock.Delivered
+		rec.Collided = lock.Collided
+		rec.MinSIRdB = lock.MinSIR
+		if victim == "" {
+			victim = lock.Device
+		}
+		switch {
+		case !lock.Delivered:
+			rec.CRCState = CRCStateNotDelivered
+		case lock.Corrupted:
+			rec.CRCState = CRCStateCorrupted
+		default:
+			rec.CRCState = CRCStateOK
+		}
+	default:
+		rec.CRCState = CRCStateNotCaptured
+		if victim != "" && a.injSource != "" && l.probe != nil {
+			if rssi, ok := l.probe(a.injSource, victim, rec.Channel); ok {
+				rec.AttackerRSSI = rssi
+			}
+		}
+	}
+
+	// SINR: the injected frame's power advantage over the legitimate
+	// master's competing frame, both referenced at the victim.
+	if a.masterSeen {
+		rec.MasterSeen = true
+		rec.MasterSource = a.masterSrc
+		rec.MasterTxUS = us(a.masterStart)
+		if victim != "" && l.probe != nil {
+			if rssi, ok := l.probe(a.masterSrc, victim, rec.Channel); ok {
+				rec.MasterRSSI = rssi
+				rec.SINRdB = rec.AttackerRSSI - rssi
+			}
+		}
+	}
+
+	rec.MissReason = missReason(rec)
+	l.records = append(l.records, rec)
+	return &l.records[len(l.records)-1]
+}
+
+// Abort closes a dangling open attempt (e.g. the followed connection
+// died mid-race) with the given outcome.
+func (l *Ledger) Abort(outcome string) {
+	if l == nil || l.open == nil {
+		return
+	}
+	l.EndAttempt(AttemptEnd{Outcome: outcome})
+}
+
+// missReason explains a non-success outcome from the correlated layers.
+func missReason(rec InjectionRecord) string {
+	switch rec.Outcome {
+	case "success", "":
+		return ""
+	case "timing-mismatch":
+		// A slave response was heard but not aligned to our frame: the
+		// master won the anchor race.
+		return "master-won-race"
+	case "seq-mismatch":
+		if rec.CRCState == CRCStateCorrupted {
+			return "collision-corrupted"
+		}
+		return "sequence-desync"
+	case "no-response":
+		switch {
+		case !rec.WindowSeen:
+			return "no-window-observed"
+		case rec.TimingMarginUS < 0:
+			return "fired-before-window-open"
+		case rec.TimingMarginUS > rec.WindowWidthUS:
+			return "fired-after-window-close"
+		case rec.LockFailed:
+			return "preamble-collision"
+		case rec.CRCState == CRCStateCorrupted:
+			return "collision-corrupted"
+		case !rec.Captured:
+			return "not-captured"
+		case rec.Delivered:
+			return "response-missed"
+		default:
+			return "slave-silent"
+		}
+	default:
+		return rec.Outcome
+	}
+}
+
+// Records returns the completed records in attempt order.
+func (l *Ledger) Records() []InjectionRecord {
+	if l == nil {
+		return nil
+	}
+	return l.records
+}
+
+// WriteSummary renders a human-readable forensics report.
+func (l *Ledger) WriteSummary(w io.Writer) error {
+	recs := l.Records()
+	if _, err := fmt.Fprintf(w, "injection forensics: %d attempts\n", len(recs)); err != nil {
+		return err
+	}
+	hits := 0
+	reasons := map[string]int{}
+	for _, r := range recs {
+		status := r.Outcome
+		if r.MissReason != "" {
+			status += " (" + r.MissReason + ")"
+			reasons[r.MissReason]++
+		} else if r.Outcome == "success" {
+			hits++
+		}
+		sinr := "n/a"
+		if r.MasterSeen {
+			sinr = fmt.Sprintf("%+.1f dB", r.SINRdB)
+		}
+		_, err := fmt.Fprintf(w,
+			"  #%-3d event=%-5d ch=%-2d margin=%+8.1fµs window=%7.1fµs sinr=%-9s crc=%-13s anchor=%-5t %s\n",
+			r.Attempt, r.Event, r.Channel, r.TimingMarginUS, r.WindowWidthUS,
+			sinr, r.CRCState, r.AnchorAdopted, status)
+		if err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "  hits=%d misses=%d\n", hits, len(recs)-hits); err != nil {
+		return err
+	}
+	for _, reason := range sortedKeys(reasons) {
+		if _, err := fmt.Fprintf(w, "    miss[%s]=%d\n", reason, reasons[reason]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// us converts an absolute simulation time to float microseconds.
+func us(t sim.Time) float64 { return float64(t) / float64(sim.Microsecond) }
+
+// dus converts a duration to float microseconds.
+func dus(d sim.Duration) float64 { return float64(d) / float64(sim.Microsecond) }

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"injectable/internal/sim"
+)
+
+// driveAttempt scripts one injection race through the ledger: the slave
+// opens its widened window, the attacker fires, the slave locks and the
+// master's competing frame starts mid-air.
+func driveAttempt(l *Ledger, end AttemptEnd) *InjectionRecord {
+	txStart := sim.Time(1000 * sim.Microsecond)
+	txEnd := txStart.Add(176 * sim.Microsecond)
+	l.LinkWindowOpen("bulb", 42, 7, txStart.Add(-30*sim.Microsecond), 60*sim.Microsecond)
+	l.BeginAttempt(AttemptStart{
+		Attempt: 1, Event: 42, Channel: 7,
+		TxStart: txStart, TxEnd: txEnd,
+		Lead: 12 * sim.Microsecond, WideningEst: 30 * sim.Microsecond,
+	})
+	l.MediumTx("attacker", 7, txStart, txEnd, false)
+	l.MediumTx("phone", 7, txStart.Add(20*sim.Microsecond), txEnd.Add(20*sim.Microsecond), false)
+	l.MediumLock("bulb", "attacker", txStart, -60)
+	l.MediumDeliver("bulb", "attacker", txStart, -60, true, 3.5, false)
+	l.LinkAnchor("bulb", 42, txStart)
+	return l.EndAttempt(end)
+}
+
+func TestLedgerCorrelatesOneAttempt(t *testing.T) {
+	l := NewLedger()
+	l.SetRSSIProbe(func(from, to string, ch uint8) (float64, bool) {
+		if from == "phone" && to == "bulb" && ch == 7 {
+			return -70, true
+		}
+		return 0, false
+	})
+	rec := driveAttempt(l, AttemptEnd{Outcome: "success", SlaveResponded: true, ResponseValid: true})
+	if rec == nil {
+		t.Fatal("EndAttempt returned nil")
+	}
+	if !rec.WindowSeen || rec.WindowDevice != "bulb" {
+		t.Fatalf("window not correlated: %+v", rec)
+	}
+	if rec.TimingMarginUS != 30 {
+		t.Fatalf("timing margin = %v µs, want 30 (tx 30 µs after open)", rec.TimingMarginUS)
+	}
+	if rec.WindowWidthUS != 60 {
+		t.Fatalf("window width = %v µs, want 60", rec.WindowWidthUS)
+	}
+	if !rec.Captured || rec.CapturedBy != "bulb" || rec.AttackerRSSI != -60 {
+		t.Fatalf("capture not correlated: %+v", rec)
+	}
+	if !rec.Collided || rec.MinSIRdB != 3.5 || rec.CRCState != CRCStateOK {
+		t.Fatalf("collision state wrong: %+v", rec)
+	}
+	if !rec.MasterSeen || rec.MasterSource != "phone" {
+		t.Fatalf("master frame not correlated: %+v", rec)
+	}
+	if rec.MasterRSSI != -70 || rec.SINRdB != 10 {
+		t.Fatalf("SINR = %v (master %v), want +10 dB", rec.SINRdB, rec.MasterRSSI)
+	}
+	if !rec.AnchorAdopted {
+		t.Fatalf("anchor adoption missed: %+v", rec)
+	}
+	if rec.MissReason != "" {
+		t.Fatalf("success has miss reason %q", rec.MissReason)
+	}
+}
+
+func TestLedgerMissReasons(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(rec *InjectionRecord)
+		outcome string
+		want    string
+	}{
+		{"master wins race", nil, "timing-mismatch", "master-won-race"},
+		{"seq desync", nil, "seq-mismatch", "sequence-desync"},
+		{"corrupted seq", func(r *InjectionRecord) { r.CRCState = CRCStateCorrupted }, "seq-mismatch", "collision-corrupted"},
+		{"no window", func(r *InjectionRecord) { r.WindowSeen = false }, "no-response", "no-window-observed"},
+		{"early fire", func(r *InjectionRecord) { r.WindowSeen = true; r.TimingMarginUS = -4 }, "no-response", "fired-before-window-open"},
+		{"late fire", func(r *InjectionRecord) {
+			r.WindowSeen = true
+			r.TimingMarginUS = 80
+			r.WindowWidthUS = 60
+		}, "no-response", "fired-after-window-close"},
+		{"not captured", func(r *InjectionRecord) {
+			r.WindowSeen = true
+			r.TimingMarginUS = 10
+			r.WindowWidthUS = 60
+			r.Captured = false
+			r.CRCState = CRCStateNotCaptured
+		}, "no-response", "not-captured"},
+	}
+	for _, tc := range cases {
+		rec := InjectionRecord{
+			Outcome: tc.outcome, WindowSeen: true,
+			TimingMarginUS: 10, WindowWidthUS: 60,
+			Captured: true, Delivered: false, CRCState: CRCStateOK,
+		}
+		if tc.mutate != nil {
+			tc.mutate(&rec)
+		}
+		if got := missReason(rec); got != tc.want {
+			t.Errorf("%s: missReason = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestLedgerAbortAndWindowBuffering(t *testing.T) {
+	l := NewLedger()
+	// Latest window per device wins.
+	l.LinkWindowOpen("bulb", 1, 3, sim.Time(100), 10)
+	l.LinkWindowOpen("bulb", 2, 5, sim.Time(200), 20)
+	l.BeginAttempt(AttemptStart{Attempt: 1, Event: 2, Channel: 5, TxStart: sim.Time(210), TxEnd: sim.Time(260)})
+	l.Abort("connection-lost")
+	recs := l.Records()
+	if len(recs) != 1 || recs[0].Outcome != "connection-lost" {
+		t.Fatalf("abort record = %+v", recs)
+	}
+	if !recs[0].WindowSeen || recs[0].WindowOpenUS != us(sim.Time(200)) {
+		t.Fatalf("latest window not used: %+v", recs[0])
+	}
+	// Abort with nothing open is a no-op.
+	l.Abort("x")
+	if len(l.Records()) != 1 {
+		t.Fatalf("abort on empty ledger appended a record")
+	}
+}
+
+func TestLedgerSummary(t *testing.T) {
+	l := NewLedger()
+	driveAttempt(l, AttemptEnd{Outcome: "success", SlaveResponded: true, ResponseValid: true})
+	var b bytes.Buffer
+	if err := l.WriteSummary(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"1 attempts", "hits=1 misses=0", "event=42", "ch=7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime/metrics"
+)
+
+// DebugServer serves net/http/pprof profiles and a runtime-metrics dump
+// for live inspection of long simulation campaigns.
+type DebugServer struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// StartDebugServer listens on addr (e.g. "localhost:6060", or ":0" for
+// an ephemeral port) and serves:
+//
+//	/debug/pprof/...   the standard pprof endpoints
+//	/debug/runtime     all runtime/metrics samples as JSON
+//
+// The server runs on its own goroutine until Close.
+func StartDebugServer(addr string) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/runtime", serveRuntimeMetrics)
+
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(lis) //nolint:errcheck // Serve always returns on Close
+	return &DebugServer{lis: lis, srv: srv}, nil
+}
+
+// Addr returns the address the server is listening on.
+func (d *DebugServer) Addr() string { return d.lis.Addr().String() }
+
+// Close shuts the server down.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// serveRuntimeMetrics dumps every runtime/metrics sample as JSON.
+func serveRuntimeMetrics(w http.ResponseWriter, _ *http.Request) {
+	descs := metrics.All()
+	samples := make([]metrics.Sample, len(descs))
+	for i, d := range descs {
+		samples[i].Name = d.Name
+	}
+	metrics.Read(samples)
+
+	out := make(map[string]any, len(samples))
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			out[s.Name] = s.Value.Uint64()
+		case metrics.KindFloat64:
+			out[s.Name] = s.Value.Float64()
+		case metrics.KindFloat64Histogram:
+			h := s.Value.Float64Histogram()
+			out[s.Name] = map[string]any{"buckets": h.Buckets, "counts": h.Counts}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out) //nolint:errcheck
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.count") != c {
+		t.Fatalf("Counter did not return the registered handle")
+	}
+	g := r.Gauge("a.gauge")
+	g.Set(2.5)
+	g.Set(-1)
+	if got := g.Value(); got != -1 {
+		t.Fatalf("gauge = %v, want -1", got)
+	}
+}
+
+func TestHistogramBucketsAndAggregates(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", LinearBuckets(0, 10, 3)) // bounds 0,10,20
+	for _, v := range []float64{-5, 5, 15, 25, 10} {
+		h.Observe(v)
+	}
+	s := r.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("histograms = %d, want 1", len(s.Histograms))
+	}
+	hs := s.Histograms[0]
+	if hs.Count != 5 {
+		t.Fatalf("count = %d, want 5", hs.Count)
+	}
+	if hs.Min != -5 || hs.Max != 25 {
+		t.Fatalf("min/max = %v/%v, want -5/25", hs.Min, hs.Max)
+	}
+	if hs.Sum != 50 {
+		t.Fatalf("sum = %v, want 50", hs.Sum)
+	}
+	// Buckets: (-inf,0] (0,10] (10,20] overflow — sort.SearchFloat64s puts
+	// v on the first bound >= v.
+	wantCounts := []int64{1, 2, 1, 1}
+	for i, w := range wantCounts {
+		if hs.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, hs.Counts[i], w, hs.Counts)
+		}
+	}
+}
+
+func TestHistogramQuantileExactForSmallN(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", LinearBuckets(0, 1, 50))
+	h.Observe(7)
+	s := r.Snapshot().Histograms[0]
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := s.Quantile(q); got != 7 {
+			t.Fatalf("quantile(%v) = %v, want 7", q, got)
+		}
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(2, 3, 4)
+	want := []float64{2, 5, 8, 11}
+	for i := range want {
+		if lin[i] != want[i] {
+			t.Fatalf("LinearBuckets = %v, want %v", lin, want)
+		}
+	}
+	exp := ExponentialBuckets(1, 2, 4)
+	want = []float64{1, 2, 4, 8}
+	for i := range want {
+		if exp[i] != want[i] {
+			t.Fatalf("ExponentialBuckets = %v, want %v", exp, want)
+		}
+	}
+}
+
+func TestSnapshotSortedAndMerge(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z").Add(1)
+	r.Counter("a").Add(2)
+	r.Gauge("g").Set(3)
+	s := r.Snapshot()
+	if s.Counters[0].Name != "a" || s.Counters[1].Name != "z" {
+		t.Fatalf("snapshot not name-sorted: %+v", s.Counters)
+	}
+
+	r2 := NewRegistry()
+	r2.Counter("z").Add(10)
+	r2.Counter("m").Add(5)
+	r2.Gauge("g").Set(9)
+	s.Merge(r2.Snapshot())
+	byName := map[string]int64{}
+	for _, c := range s.Counters {
+		byName[c.Name] = c.Value
+	}
+	if byName["a"] != 2 || byName["m"] != 5 || byName["z"] != 11 {
+		t.Fatalf("merged counters = %v", byName)
+	}
+	if s.Gauges[0].Value != 9 {
+		t.Fatalf("merged gauge = %v, want 9 (last wins)", s.Gauges[0].Value)
+	}
+	// Merging nil is a no-op.
+	before := len(s.Counters)
+	s.Merge(nil)
+	if len(s.Counters) != before {
+		t.Fatalf("merge(nil) changed the snapshot")
+	}
+}
+
+func TestHistogramMergeSumsBuckets(t *testing.T) {
+	mk := func(vals ...float64) *Snapshot {
+		r := NewRegistry()
+		h := r.Histogram("h", LinearBuckets(0, 10, 3))
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		return r.Snapshot()
+	}
+	a, b := mk(5, 15), mk(25, -3)
+	a.Merge(b)
+	hs := a.Histograms[0]
+	if hs.Count != 4 || hs.Min != -3 || hs.Max != 25 {
+		t.Fatalf("merged hist count/min/max = %d/%v/%v", hs.Count, hs.Min, hs.Max)
+	}
+	total := int64(0)
+	for _, c := range hs.Counts {
+		total += c
+	}
+	if total != 4 {
+		t.Fatalf("merged bucket total = %d, want 4", total)
+	}
+}
+
+func TestHotPathDoesNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h", LinearBuckets(0, 1, 30))
+	g := r.Gauge("g")
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		g.Set(1.5)
+		h.Observe(12.3)
+	}); n != 0 {
+		t.Fatalf("hot path allocated %.1f times per op, want 0", n)
+	}
+}
+
+func TestNilReceiversNoOp(t *testing.T) {
+	var h *Hub
+	h.Reg().Counter("x").Inc()
+	h.Reg().Gauge("y").Set(1)
+	h.Reg().Histogram("z", LinearBuckets(0, 1, 2)).Observe(3)
+	h.Led().BeginAttempt(AttemptStart{})
+	h.BeginAttempt(AttemptStart{})
+	if rec := h.EndAttempt(AttemptEnd{}, 0); rec != nil {
+		t.Fatalf("nil hub EndAttempt = %+v, want nil", rec)
+	}
+	h.AbortAttempt("x")
+	if s := h.Snapshot(); s == nil || len(s.Counters) != 0 {
+		t.Fatalf("nil hub snapshot = %+v, want empty", s)
+	}
+}
+
+// TestRegistryConcurrent exercises the registry the way campaign workers
+// do — concurrent get-or-create plus hot-path updates plus snapshots —
+// and relies on -race to catch unsynchronised access.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("shared.count").Inc()
+				r.Histogram("shared.hist", LinearBuckets(0, 1, 10)).Observe(float64(i % 12))
+				r.Gauge("shared.gauge").Set(float64(i))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	var c int64
+	for _, cs := range s.Counters {
+		if cs.Name == "shared.count" {
+			c = cs.Value
+		}
+	}
+	if c != 8*500 {
+		t.Fatalf("concurrent counter = %d, want %d", c, 8*500)
+	}
+	for _, hs := range s.Histograms {
+		if hs.Count != 8*500 {
+			t.Fatalf("concurrent histogram count = %d, want %d", hs.Count, 8*500)
+		}
+		if math.IsNaN(hs.Sum) {
+			t.Fatalf("histogram sum is NaN")
+		}
+	}
+}

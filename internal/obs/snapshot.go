@@ -1,0 +1,166 @@
+package obs
+
+import "math"
+
+// Snapshot is a point-in-time, deterministic view of a Registry. All
+// slices are sorted by name so encoding a snapshot is byte-stable.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters,omitempty"`
+	Gauges     []GaugeSnapshot     `json:"gauges,omitempty"`
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// CounterSnapshot is one counter's value.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's last value.
+type GaugeSnapshot struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramSnapshot is one histogram's buckets plus exact aggregates.
+type HistogramSnapshot struct {
+	Name   string    `json:"name"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"` // len(Bounds)+1, last is overflow
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min,omitempty"`
+	Max    float64   `json:"max,omitempty"`
+}
+
+// Mean returns the exact sample mean (0 when empty).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-th quantile using the same rank convention
+// as experiments.Stats (rank q*(n-1)), interpolating linearly inside
+// the bucket holding that rank and clamping bucket edges to the
+// observed min/max. The estimate is therefore exact for n <= 1 and
+// within one bucket width otherwise.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	target := q * float64(h.Count-1)
+	cum := int64(0)
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if target <= float64(cum+c-1) {
+			lo, hi := h.bucketEdges(i)
+			if c == 1 || hi <= lo {
+				return hi
+			}
+			frac := (target - float64(cum)) / float64(c-1)
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	return h.Max
+}
+
+// bucketEdges returns bucket i's range clamped to the observed values.
+func (h HistogramSnapshot) bucketEdges(i int) (lo, hi float64) {
+	lo = math.Inf(-1)
+	if i > 0 {
+		lo = h.Bounds[i-1]
+	}
+	hi = math.Inf(1)
+	if i < len(h.Bounds) {
+		hi = h.Bounds[i]
+	}
+	lo = math.Max(lo, h.Min)
+	hi = math.Min(hi, h.Max)
+	return lo, hi
+}
+
+// Merge folds other into s: counters and histogram buckets sum by
+// name, gauges take other's value (last writer wins), and instruments
+// unique to either side are kept. Histograms with mismatched bounds
+// keep s's buckets but still merge the exact aggregates. The result
+// stays name-sorted, so merging per-trial snapshots in trial order is
+// deterministic regardless of how many workers produced them.
+func (s *Snapshot) Merge(other *Snapshot) {
+	if s == nil || other == nil {
+		return
+	}
+	s.Counters = mergeByName(s.Counters, other.Counters,
+		func(c CounterSnapshot) string { return c.Name },
+		func(a, b CounterSnapshot) CounterSnapshot { a.Value += b.Value; return a })
+	s.Gauges = mergeByName(s.Gauges, other.Gauges,
+		func(g GaugeSnapshot) string { return g.Name },
+		func(a, b GaugeSnapshot) GaugeSnapshot { return b })
+	s.Histograms = mergeByName(s.Histograms, other.Histograms,
+		func(h HistogramSnapshot) string { return h.Name },
+		mergeHistograms)
+}
+
+func mergeHistograms(a, b HistogramSnapshot) HistogramSnapshot {
+	if len(a.Bounds) == len(b.Bounds) {
+		same := true
+		for i := range a.Bounds {
+			if a.Bounds[i] != b.Bounds[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			counts := make([]int64, len(a.Counts))
+			copy(counts, a.Counts)
+			for i := range b.Counts {
+				counts[i] += b.Counts[i]
+			}
+			a.Counts = counts
+		}
+	}
+	switch {
+	case a.Count == 0:
+		a.Min, a.Max = b.Min, b.Max
+	case b.Count != 0:
+		a.Min = math.Min(a.Min, b.Min)
+		a.Max = math.Max(a.Max, b.Max)
+	}
+	a.Count += b.Count
+	a.Sum += b.Sum
+	return a
+}
+
+// mergeByName merges two name-sorted slices, combining entries that
+// share a name and keeping the result sorted.
+func mergeByName[T any](a, b []T, name func(T) string, combine func(a, b T) T) []T {
+	out := make([]T, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case name(a[i]) < name(b[j]):
+			out = append(out, a[i])
+			i++
+		case name(a[i]) > name(b[j]):
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, combine(a[i], b[j]))
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

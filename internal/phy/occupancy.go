@@ -1,0 +1,49 @@
+package phy
+
+import (
+	"fmt"
+
+	"injectable/internal/obs"
+	"injectable/internal/sim"
+)
+
+// Occupancy aggregates per-channel band occupancy — microseconds of
+// airtime on each of the 40 BLE channels — into an obs.Registry. The
+// medium feeds it one observation per transmission; counters are
+// pre-registered here so the per-transmission path never allocates.
+// A nil *Occupancy is a no-op.
+type Occupancy struct {
+	total *obs.Counter
+	noise *obs.Counter
+	busy  [NumChannels]*obs.Counter
+}
+
+// NewOccupancy registers the occupancy counters in r.
+func NewOccupancy(r *obs.Registry) *Occupancy {
+	if r == nil {
+		return nil
+	}
+	o := &Occupancy{
+		total: r.Counter("phy.airtime_us"),
+		noise: r.Counter("phy.noise_airtime_us"),
+	}
+	for ch := range o.busy {
+		o.busy[ch] = r.Counter(fmt.Sprintf("phy.ch.%02d.busy_us", ch))
+	}
+	return o
+}
+
+// Observe accounts one transmission of duration d on channel ch.
+func (o *Occupancy) Observe(ch Channel, d sim.Duration, noise bool) {
+	if o == nil {
+		return
+	}
+	us := d.Microseconds()
+	o.total.Add(us)
+	if noise {
+		o.noise.Add(us)
+	}
+	if ch.Valid() {
+		o.busy[ch].Add(us)
+	}
+}

@@ -45,14 +45,24 @@ func (NopTracer) Trace(TraceEvent) {}
 
 var _ Tracer = NopTracer{}
 
-// RecordingTracer appends every event to memory, optionally filtered by kind.
+// RecordingTracer appends every event to memory, optionally filtered by
+// kind. With Limit set it becomes a drop-oldest ring buffer, so a
+// long-running simulation can keep "the last N events" at constant memory;
+// Dropped reports how many events fell off the front.
 type RecordingTracer struct {
 	Events []TraceEvent
 	// Kinds, when non-empty, restricts recording to the listed kinds.
 	Kinds map[string]bool
+	// Limit, when positive, caps Events at Limit entries; once full, each
+	// new event overwrites the oldest. Events is then a ring — use
+	// Snapshot (or Filter) for the events in arrival order.
+	Limit int
+
+	head    int // ring write position when full
+	dropped int
 }
 
-// NewRecordingTracer records every event kind.
+// NewRecordingTracer records every event kind, unbounded.
 func NewRecordingTracer(kinds ...string) *RecordingTracer {
 	t := &RecordingTracer{}
 	if len(kinds) > 0 {
@@ -64,18 +74,44 @@ func NewRecordingTracer(kinds ...string) *RecordingTracer {
 	return t
 }
 
+// NewBoundedRecordingTracer records at most limit events, dropping the
+// oldest once full (limit <= 0 means unbounded).
+func NewBoundedRecordingTracer(limit int, kinds ...string) *RecordingTracer {
+	t := NewRecordingTracer(kinds...)
+	t.Limit = limit
+	return t
+}
+
 // Trace implements Tracer.
 func (t *RecordingTracer) Trace(e TraceEvent) {
 	if t.Kinds != nil && !t.Kinds[e.Kind] {
 		return
 	}
+	if t.Limit > 0 && len(t.Events) >= t.Limit {
+		t.Events[t.head] = e
+		t.head = (t.head + 1) % len(t.Events)
+		t.dropped++
+		return
+	}
 	t.Events = append(t.Events, e)
 }
 
-// Filter returns the recorded events of a given kind.
+// Dropped returns how many events were discarded to honour Limit.
+func (t *RecordingTracer) Dropped() int { return t.dropped }
+
+// Snapshot returns the recorded events in arrival order (unwinding the
+// ring when Limit has been reached). The slice is a copy.
+func (t *RecordingTracer) Snapshot() []TraceEvent {
+	out := make([]TraceEvent, 0, len(t.Events))
+	out = append(out, t.Events[t.head:]...)
+	out = append(out, t.Events[:t.head]...)
+	return out
+}
+
+// Filter returns the recorded events of a given kind, in arrival order.
 func (t *RecordingTracer) Filter(kind string) []TraceEvent {
 	var out []TraceEvent
-	for _, e := range t.Events {
+	for _, e := range t.Snapshot() {
 		if e.Kind == kind {
 			out = append(out, e)
 		}

@@ -52,3 +52,55 @@ func TestMultiTracerFansOut(t *testing.T) {
 func TestEmitNilTracer(t *testing.T) {
 	Emit(nil, 0, "x", "k", nil) // must not panic
 }
+
+func TestBoundedRecordingTracerRing(t *testing.T) {
+	tr := NewBoundedRecordingTracer(3)
+	for i := 0; i < 5; i++ {
+		Emit(tr, Time(i), "a", "k", nil)
+	}
+	if len(tr.Events) != 3 {
+		t.Fatalf("ring holds %d events, want 3", len(tr.Events))
+	}
+	if got := tr.Dropped(); got != 2 {
+		t.Fatalf("Dropped() = %d, want 2", got)
+	}
+	snap := tr.Snapshot()
+	for i, want := range []Time{2, 3, 4} {
+		if snap[i].At != want {
+			t.Fatalf("Snapshot()[%d].At = %v, want %v (snapshot %+v)", i, snap[i].At, want, snap)
+		}
+	}
+	// Snapshot is a copy — mutating it must not touch the ring.
+	snap[0].Kind = "mutated"
+	if tr.Snapshot()[0].Kind != "k" {
+		t.Fatal("Snapshot aliases the ring storage")
+	}
+}
+
+func TestBoundedRecordingTracerUnderLimit(t *testing.T) {
+	tr := NewBoundedRecordingTracer(10)
+	Emit(tr, 0, "a", "x", nil)
+	Emit(tr, 1, "a", "y", nil)
+	if tr.Dropped() != 0 {
+		t.Fatalf("Dropped() = %d before the ring is full", tr.Dropped())
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 2 || snap[0].Kind != "x" || snap[1].Kind != "y" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestBoundedRecordingTracerFilterUnwindsRing(t *testing.T) {
+	tr := NewBoundedRecordingTracer(2, "x", "y")
+	Emit(tr, 0, "a", "x", nil)
+	Emit(tr, 1, "a", "skip", nil) // filtered by kind, not counted as dropped
+	Emit(tr, 2, "a", "y", nil)
+	Emit(tr, 3, "a", "x", nil) // evicts the event at t=0
+	got := tr.Filter("x")
+	if len(got) != 1 || got[0].At != 3 {
+		t.Fatalf("Filter(x) = %+v, want only the t=3 event", got)
+	}
+	if tr.Dropped() != 1 {
+		t.Fatalf("Dropped() = %d, want 1", tr.Dropped())
+	}
+}
