@@ -1,0 +1,113 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document and compares two such documents as a benchmark-regression gate.
+//
+// The repository has no external benchstat dependency; this tool covers the
+// two workflows CI needs:
+//
+//	go test -bench . -benchmem ./... | benchjson -o BENCH.json
+//	go test -bench . -benchmem ./... | benchjson -check BENCH_3.json
+//
+// Convert mode parses standard benchmark result lines — including custom
+// metrics such as "attempts/op" reported via b.ReportMetric — and writes
+// one JSON object. Check mode parses the current run from stdin and fails
+// (exit 1) when, against the baseline:
+//
+//   - allocs/op increased at all (allocation counts are deterministic, so
+//     any increase is a real regression), or
+//   - ns/op increased by more than -ns-threshold percent (default 30; CI
+//     timing is noisy, so this is a coarse tripwire, not a microscope).
+//
+// Benchmarks present on only one side are reported and skipped.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"injectable/internal/benchfmt"
+)
+
+func main() {
+	var (
+		out         = flag.String("o", "", "write parsed benchmarks as JSON to this file (- for stdout)")
+		check       = flag.String("check", "", "compare stdin's benchmarks against this baseline JSON; exit 1 on regression")
+		nsThreshold = flag.Float64("ns-threshold", 30, "percent ns/op increase tolerated in -check mode (allocs/op tolerates none)")
+		nsFatal     = flag.Bool("ns-fatal", false, "treat ns/op threshold breaches as failures instead of warnings")
+	)
+	flag.Parse()
+
+	if (*out == "") == (*check == "") {
+		fmt.Fprintln(os.Stderr, "benchjson: exactly one of -o or -check is required")
+		os.Exit(2)
+	}
+
+	cur, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parsing stdin: %v\n", err)
+		os.Exit(2)
+	}
+	if len(cur.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
+		os.Exit(2)
+	}
+
+	if *out != "" {
+		if err := write(*out, cur); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	base, err := read(*check)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading baseline: %v\n", err)
+		os.Exit(2)
+	}
+	report := benchfmt.Compare(base, cur, benchfmt.GateConfig{
+		NSThresholdPct: *nsThreshold,
+		NSFatal:        *nsFatal,
+	})
+	for _, line := range report.Lines {
+		fmt.Println(line)
+	}
+	if report.Failed {
+		fmt.Fprintln(os.Stderr, "benchjson: regression gate FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("benchjson: regression gate passed")
+}
+
+func write(path string, s *benchfmt.Suite) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	// Stable order for committed baselines.
+	sort.Slice(s.Benchmarks, func(i, j int) bool { return s.Benchmarks[i].Name < s.Benchmarks[j].Name })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+func read(path string) (*benchfmt.Suite, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var s benchfmt.Suite
+	if err := json.NewDecoder(f).Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -98,6 +98,14 @@ type Trial struct {
 	// Result.Obs when the trial returns. A nil Obs is safe to plumb
 	// everywhere — all hub methods no-op on nil.
 	Obs *obs.Hub
+	// Arena is the worker-local simulation arena, reused across the trials
+	// a worker runs so each trial recycles its predecessor's scheduler
+	// events and frame buffers instead of re-allocating them. Trial
+	// functions thread it into the world they build
+	// (host.WorldConfig.Arena). May be nil (fresh allocations per trial);
+	// reuse never changes trial results — the arena carries no RNG or
+	// simulation state across trials.
+	Arena *sim.Arena
 
 	run TrialFunc
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"injectable/internal/obs"
+	"injectable/internal/sim"
 )
 
 // Runner executes a Spec over a bounded worker pool.
@@ -131,8 +132,19 @@ func (r *Runner) Run(spec *Spec) (*Outcome, error) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
+			// Each worker owns one simulation arena, reused across its
+			// trials so steady-state trials recycle scheduler events and
+			// frame buffers instead of re-allocating them.
+			arena := sim.NewArena()
 			for t := range jobs {
-				resCh <- r.runTrial(id, t, ctr)
+				t.Arena = arena
+				res := r.runTrial(id, t, ctr)
+				if res.TimedOut {
+					// The abandoned attempt goroutine may still be touching
+					// the arena; hand the next trial a fresh one.
+					arena = sim.NewArena()
+				}
+				resCh <- res
 			}
 		}(w)
 	}
@@ -214,6 +226,11 @@ func (r *Runner) runTrial(worker int, t Trial, ctr *counters) Result {
 		res.Attempts = attempt + 1
 		if t.Obs != nil && !res.TimedOut {
 			res.Obs = t.Obs.Snapshot()
+		}
+		if res.TimedOut {
+			// The abandoned goroutine may still be using the arena; any
+			// retry below must not share it.
+			t.Arena = nil
 		}
 		if res.Err == nil || attempt >= r.Retries {
 			break

@@ -18,7 +18,7 @@ type Smartphone struct {
 	cfg SmartphoneConfig
 
 	// writes to issue periodically once connected
-	activity *sim.Event
+	activity sim.EventRef
 }
 
 // SmartphoneConfig configures the phone model.
@@ -85,7 +85,5 @@ func (p *Smartphone) scheduleActivity() {
 
 // StopActivity cancels periodic traffic.
 func (p *Smartphone) StopActivity() {
-	if p.activity != nil {
-		p.Central.Device.World.Sched.Cancel(p.activity)
-	}
+	p.Central.Device.World.Sched.Cancel(p.activity)
 }

@@ -68,7 +68,8 @@ func runSweep(opts Options, name string, pts []sweepPoint) ([]Point, error) {
 			Run: func(t campaign.Trial) (any, error) {
 				c := cfg
 				c.Seed = t.Seed
-				c.Obs = t.Obs // nil unless the runner collects observability
+				c.Obs = t.Obs     // nil unless the runner collects observability
+				c.Arena = t.Arena // worker-local allocation reuse
 				return RunTrial(c)
 			},
 		})

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+// TestDeterminismIndependentOfGCAndWorkers is the regression fence for the
+// allocation-reuse machinery (pooled scheduler events, arena-backed frames,
+// worker-local arenas): rendered experiment output must not depend on when
+// the garbage collector runs or how many workers the campaign uses. If any
+// pooled object leaked state between trials — or an RNG draw moved — GC
+// timing or work stealing would perturb these bytes.
+func TestDeterminismIndependentOfGCAndWorkers(t *testing.T) {
+	render := func(parallel int) string {
+		exp, err := Experiment1HopInterval(Options{TrialsPerPoint: 2, Parallel: parallel})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		return exp.Table().Render()
+	}
+
+	baseline := render(1)
+
+	// GC disabled: pooled/arena memory is never reclaimed mid-run, so any
+	// dependence on object reuse timing surfaces as a byte difference.
+	gc := debug.SetGCPercent(-1)
+	noGCSerial := render(1)
+	noGCParallel := render(4)
+	debug.SetGCPercent(gc)
+
+	// GC forced aggressive: collections interleave with trial execution.
+	debug.SetGCPercent(1)
+	aggressive := render(4)
+	debug.SetGCPercent(gc)
+
+	for _, c := range []struct {
+		name string
+		got  string
+	}{
+		{"GOGC=off serial", noGCSerial},
+		{"GOGC=off parallel=4", noGCParallel},
+		{"GOGC=1 parallel=4", aggressive},
+	} {
+		if c.got != baseline {
+			t.Errorf("%s output differs from default-GC serial run:\n%s\n--- vs ---\n%s",
+				c.name, c.got, baseline)
+		}
+	}
+}

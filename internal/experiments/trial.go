@@ -109,6 +109,10 @@ type TrialConfig struct {
 	// (nil = no observability; campaign runs thread their per-trial hub
 	// through here).
 	Obs *obs.Hub
+	// Arena recycles simulation allocations from the previous trial run on
+	// it (nil = fresh allocations; campaign workers thread their
+	// worker-local arena through here). Reuse never changes trial results.
+	Arena *sim.Arena
 }
 
 // TrialResult reports one trial.
@@ -150,7 +154,8 @@ func RunTrial(cfg TrialConfig) (TrialResult, error) {
 			PathLoss: &phy.LogDistance{Walls: cfg.Walls},
 			Capture:  cfg.Capture,
 		},
-		Obs: cfg.Obs,
+		Obs:   cfg.Obs,
+		Arena: cfg.Arena,
 	})
 	bulb := devices.NewLightbulb(w.NewDevice(host.DeviceConfig{
 		Name: "bulb", Position: cfg.BulbPos,

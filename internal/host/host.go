@@ -37,11 +37,24 @@ type WorldConfig struct {
 	// Obs collects metrics and injection forensics from every layer of
 	// this world (phy/medium/link/injectable). Nil = no observability.
 	Obs *obs.Hub
+	// Arena, when set, recycles scheduler events and frame buffers from the
+	// previous world built on the same arena (one live world per arena —
+	// see sim.Arena). Campaign workers thread one arena through their
+	// trials; nil means fresh allocations.
+	Arena *sim.Arena
 }
 
 // NewWorld creates an empty environment.
 func NewWorld(cfg WorldConfig) *World {
-	sched := sim.NewScheduler()
+	var sched *sim.Scheduler
+	if cfg.Arena != nil {
+		sched = cfg.Arena.NewScheduler()
+		if cfg.Medium.Arena == nil {
+			cfg.Medium.Arena = cfg.Arena.Bytes()
+		}
+	} else {
+		sched = sim.NewScheduler()
+	}
 	rng := sim.NewRNG(cfg.Seed)
 	if cfg.Medium.Tracer == nil {
 		cfg.Medium.Tracer = cfg.Tracer

@@ -142,7 +142,7 @@ type injection struct {
 	txEnd    sim.Time
 	event    uint16
 	channel  uint8
-	deadline *sim.Event
+	deadline sim.EventRef
 	snA      bool
 	nesnA    bool
 	lead     sim.Duration // estimated gap from tx start to the master's anchor
@@ -285,8 +285,8 @@ func (inj *Injector) fire(frame medium.Frame) {
 	inj.stack.Radio.SetAccessAddress(frame.AccessAddress)
 	act.txStart = inj.stack.Sched.Now()
 	act.txEnd = act.txStart.Add(frame.AirTime())
-	sim.Emit(inj.stack.Tracer, act.txStart, inj.stack.Name, "inject-tx", map[string]any{
-		"event": act.event, "ch": act.channel, "len": len(frame.PDU),
+	sim.Emit(inj.stack.Tracer, act.txStart, inj.stack.Name, "inject-tx", func() []sim.Field {
+		return []sim.Field{sim.F("event", act.event), sim.F("ch", act.channel), sim.F("len", len(frame.PDU))}
 	})
 	// Open the forensics entry before the transmission hits the medium,
 	// so the medium's tx/lock/collision events correlate to it.
@@ -384,8 +384,8 @@ func (inj *Injector) settle(a Attempt) {
 	act := inj.active
 	st := inj.sniffer.State()
 	act.report.Attempts = append(act.report.Attempts, a)
-	sim.Emit(inj.stack.Tracer, inj.stack.Sched.Now(), inj.stack.Name, "inject-attempt", map[string]any{
-		"n": a.Number, "outcome": string(a.Outcome), "event": a.Event,
+	sim.Emit(inj.stack.Tracer, inj.stack.Sched.Now(), inj.stack.Name, "inject-attempt", func() []sim.Field {
+		return []sim.Field{sim.F("n", a.Number), sim.F("outcome", string(a.Outcome)), sim.F("event", a.Event)}
 	})
 	inj.stack.Obs.EndAttempt(obs.AttemptEnd{
 		Outcome:        string(a.Outcome),

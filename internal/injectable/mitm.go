@@ -152,7 +152,9 @@ func (m *MITM) close(reason string) {
 	m.stack.Radio.OnFrame = nil
 	m.stack.Radio.OnTxDone = nil
 	m.stack.Radio.StopListening()
-	sim.Emit(m.stack.Tracer, m.stack.Sched.Now(), m.stack.Name, "mitm-closed", map[string]any{"reason": reason})
+	sim.Emit(m.stack.Tracer, m.stack.Sched.Now(), m.stack.Name, "mitm-closed", func() []sim.Field {
+		return []sim.Field{sim.F("reason", reason)}
+	})
 	if m.OnClosed != nil {
 		m.OnClosed(reason)
 	}

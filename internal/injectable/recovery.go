@@ -103,7 +103,9 @@ func (r *Recovery) Run(done func(*ConnState, error)) {
 }
 
 func (r *Recovery) stage(name string) {
-	sim.Emit(r.stack.Tracer, r.stack.Sched.Now(), r.stack.Name, "recovery-stage", map[string]any{"stage": name})
+	sim.Emit(r.stack.Tracer, r.stack.Sched.Now(), r.stack.Name, "recovery-stage", func() []sim.Field {
+		return []sim.Field{sim.F("stage", name)}
+	})
 	if r.OnStage != nil {
 		r.OnStage(name)
 	}

@@ -31,7 +31,7 @@ type Advertiser struct {
 	running bool
 	chanIdx int
 	epoch   uint64 // invalidates stale per-channel timers
-	pending []*sim.Event
+	pending []sim.EventRef
 
 	// OnConnect fires when a CONNECT_REQ addressed to us establishes a
 	// slave connection.
@@ -116,7 +116,9 @@ func (a *Advertiser) advertiseOnNext() {
 		})
 		a.pending = append(a.pending, ev)
 	}
-	a.stack.trace("adv-tx", map[string]any{"ch": ch})
+	a.stack.trace("adv-tx", func() []sim.Field {
+		return []sim.Field{sim.F("ch", ch)}
+	})
 	a.stack.Radio.Transmit(frame)
 }
 
@@ -162,15 +164,21 @@ func (a *Advertiser) onFrame(rx medium.Received) {
 		}
 		req.ChSel = p.ChSel // carried in the PDU header
 		if err := req.Validate(); err != nil {
-			a.stack.trace("connect-req-invalid", map[string]any{"err": err.Error()})
+			a.stack.trace("connect-req-invalid", func() []sim.Field {
+				return []sim.Field{sim.F("err", err.Error())}
+			})
 			a.advertiseOnNext()
 			return
 		}
-		a.stack.trace("connect-req", map[string]any{"from": req.InitAddr.String()})
+		a.stack.trace("connect-req", func() []sim.Field {
+			return []sim.Field{sim.F("from", req.InitAddr.String())}
+		})
 		a.Stop()
 		conn, err := NewSlaveConn(a.stack, FromConnectReq(req), req.InitAddr, rx.EndAt)
 		if err != nil {
-			a.stack.trace("conn-failed", map[string]any{"err": err.Error()})
+			a.stack.trace("conn-failed", func() []sim.Field {
+				return []sim.Field{sim.F("err", err.Error())}
+			})
 			return
 		}
 		if a.OnConnect != nil {

@@ -95,7 +95,7 @@ type Conn struct {
 	lastValidRx sim.Time
 	closed      bool
 
-	timers []*sim.Event
+	timers []sim.EventRef
 
 	// master per-event state
 	awaitingResponse bool
@@ -267,21 +267,23 @@ func (c *Conn) close(reason DisconnectReason) {
 	c.stack.Radio.StopListening()
 	c.stack.Radio.OnFrame = nil
 	c.stack.Radio.OnTxDone = nil
-	c.stack.trace("disconnect", map[string]any{"reason": reason.String(), "role": c.role.String()})
+	c.stack.trace("disconnect", func() []sim.Field {
+		return []sim.Field{sim.F("reason", reason.String()), sim.F("role", c.role.String())}
+	})
 	if c.OnDisconnect != nil {
 		c.OnDisconnect(reason)
 	}
 }
 
 // schedule registers a cancellable timer.
-func (c *Conn) schedule(d sim.Duration, label string, fn func()) *sim.Event {
+func (c *Conn) schedule(d sim.Duration, label string, fn func()) sim.EventRef {
 	ev := c.stack.Sched.After(d, c.stack.Name+":"+label, fn)
 	c.timers = append(c.timers, ev)
 	return ev
 }
 
 // scheduleAt registers a cancellable timer at an absolute time.
-func (c *Conn) scheduleAt(t sim.Time, label string, fn func()) *sim.Event {
+func (c *Conn) scheduleAt(t sim.Time, label string, fn func()) sim.EventRef {
 	now := c.stack.Sched.Now()
 	if t < now {
 		t = now
@@ -420,13 +422,17 @@ func (c *Conn) processNewData(p pdu.DataPDU) bool {
 func (c *Conn) handleControl(p pdu.DataPDU) bool {
 	ctrl, err := pdu.UnmarshalControl(p.Payload)
 	if err != nil {
-		c.stack.trace("bad-control", map[string]any{"err": err.Error()})
+		c.stack.trace("bad-control", func() []sim.Field {
+			return []sim.Field{sim.F("err", err.Error())}
+		})
 		if len(p.Payload) > 0 {
 			c.SendControl(pdu.UnknownRsp{UnknownType: p.Payload[0]})
 		}
 		return true
 	}
-	c.stack.trace("rx-control", map[string]any{"op": ctrl.Opcode().String()})
+	c.stack.trace("rx-control", func() []sim.Field {
+		return []sim.Field{sim.F("op", ctrl.Opcode().String())}
+	})
 	alive := true
 	switch m := ctrl.(type) {
 	case pdu.TerminateInd:
@@ -554,7 +560,9 @@ func (c *Conn) applyInstantProcedures() *pdu.ConnectionUpdateInd {
 	if c.pendingChMap != nil && c.pendingChMap.Instant == c.eventCount {
 		c.selector.SetChannelMap(c.pendingChMap.ChannelMap)
 		c.params.ChannelMap = c.pendingChMap.ChannelMap
-		c.stack.trace("channel-map-applied", map[string]any{"event": c.eventCount})
+		c.stack.trace("channel-map-applied", func() []sim.Field {
+			return []sim.Field{sim.F("event", c.eventCount)}
+		})
 		c.pendingChMap = nil
 	}
 	if c.pendingUpdate != nil && c.pendingUpdate.Instant == c.eventCount {
@@ -573,8 +581,8 @@ func (c *Conn) applyUpdateParams(u *pdu.ConnectionUpdateInd) {
 	c.params.Interval = u.Interval
 	c.params.Latency = u.Latency
 	c.params.Timeout = u.Timeout
-	c.stack.trace("conn-update-applied", map[string]any{
-		"event": c.eventCount, "interval": u.Interval, "winOffset": u.WinOffset,
+	c.stack.trace("conn-update-applied", func() []sim.Field {
+		return []sim.Field{sim.F("event", c.eventCount), sim.F("interval", u.Interval), sim.F("winOffset", u.WinOffset)}
 	})
 }
 

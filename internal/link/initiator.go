@@ -30,7 +30,7 @@ type Initiator struct {
 
 	running bool
 	chanIdx int
-	pending []*sim.Event
+	pending []sim.EventRef
 
 	// OnConnect fires with the established master connection.
 	OnConnect func(c *Conn)
@@ -171,10 +171,14 @@ func (i *Initiator) onFrame(rx medium.Received) {
 			i.stack.Radio.OnTxDone = nil
 			connReqEnd := i.stack.Sched.Now()
 			i.Stop()
-			i.stack.trace("connect-req-sent", map[string]any{"to": adv.AdvAddr.String()})
+			i.stack.trace("connect-req-sent", func() []sim.Field {
+				return []sim.Field{sim.F("to", adv.AdvAddr.String())}
+			})
 			conn, err := NewMasterConn(i.stack, i.cfg.Params, adv.AdvAddr, connReqEnd)
 			if err != nil {
-				i.stack.trace("conn-failed", map[string]any{"err": err.Error()})
+				i.stack.trace("conn-failed", func() []sim.Field {
+					return []sim.Field{sim.F("err", err.Error())}
+				})
 				return
 			}
 			if i.OnConnect != nil {

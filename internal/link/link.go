@@ -70,7 +70,7 @@ func (s *Stack) wideningScale() float64 {
 }
 
 // trace emits a trace event tagged with the stack's name.
-func (s *Stack) trace(kind string, fields map[string]any) {
+func (s *Stack) trace(kind string, fields sim.FieldFunc) {
 	sim.Emit(s.Tracer, s.Sched.Now(), s.Name, kind, fields)
 }
 

@@ -58,7 +58,9 @@ func (c *Conn) masterEventBody() {
 	c.lastAnchor = anchor
 	c.anchorKnown = true
 	c.emitEvent(ch, anchor, false)
-	c.stack.trace("anchor", map[string]any{"event": c.eventCount, "ch": ch})
+	c.stack.trace("anchor", func() []sim.Field {
+		return []sim.Field{sim.F("event", c.eventCount), sim.F("ch", ch)}
+	})
 
 	frame := c.nextPDU()
 	c.awaitingResponse = true
@@ -86,7 +88,9 @@ func (c *Conn) masterEventBody() {
 			}
 			c.awaitingResponse = false
 			c.stack.Radio.StopListening()
-			c.stack.trace("no-response", map[string]any{"event": c.eventCount})
+			c.stack.trace("no-response", func() []sim.Field {
+				return []sim.Field{sim.F("event", c.eventCount)}
+			})
 			c.closeMasterEvent()
 		})
 	}
@@ -108,7 +112,9 @@ func (c *Conn) masterOnFrame(rx medium.Received) {
 			}
 		}
 	} else {
-		c.stack.trace("crc-fail", map[string]any{"event": c.eventCount})
+		c.stack.trace("crc-fail", func() []sim.Field {
+			return []sim.Field{sim.F("event", c.eventCount)}
+		})
 	}
 	c.closeMasterEvent()
 }

@@ -132,8 +132,8 @@ func (c *Conn) slaveOpenWindow(width sim.Duration) {
 	ch := c.selector.ChannelFor(c.eventCount)
 	c.stack.Radio.SetChannel(phy.Channel(ch))
 	c.stack.Radio.StartListening()
-	c.stack.trace("win-open", map[string]any{
-		"event": c.eventCount, "ch": ch, "width": width.String(),
+	c.stack.trace("win-open", func() []sim.Field {
+		return []sim.Field{sim.F("event", c.eventCount), sim.F("ch", ch), sim.F("width", width.String())}
 	})
 	c.ins.onWindowOpen(c, ch, width)
 	c.winEpoch++
@@ -158,7 +158,9 @@ func (c *Conn) slaveWindowClose(epoch uint64) {
 		return
 	}
 	c.stack.Radio.StopListening()
-	c.stack.trace("missed-event", map[string]any{"event": c.eventCount})
+	c.stack.trace("missed-event", func() []sim.Field {
+		return []sim.Field{sim.F("event", c.eventCount)}
+	})
 	c.emitEvent(c.selector.ChannelFor(c.eventCount), 0, true)
 	c.eventCount++
 	c.missedEvents++
@@ -196,7 +198,9 @@ func (c *Conn) slaveOnFrame(rx medium.Received) {
 		// SN/NESN do not advance — the response repeats the previous NESN,
 		// which is exactly what the attacker's success heuristic (eq. 7)
 		// observes.
-		c.stack.trace("crc-fail", map[string]any{"event": c.eventCount})
+		c.stack.trace("crc-fail", func() []sim.Field {
+			return []sim.Field{sim.F("event", c.eventCount)}
+		})
 		c.ins.onCRCFail()
 	}
 

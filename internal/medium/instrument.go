@@ -63,7 +63,7 @@ func (ins *instruments) onLock(r *Radio, t *transmission) {
 		return
 	}
 	ins.locks.Inc()
-	ins.hub.Led().MediumLock(r.name, t.radio.name, t.start, float64(ins.med.rssiAt(t, r.pos)))
+	ins.hub.Led().MediumLock(r.name, t.radio.name, t.start, float64(ins.med.rssiAt(t, r)))
 }
 
 // onLockFail accounts a defeated preamble lock at radio r.

@@ -24,6 +24,10 @@ import (
 	"injectable/internal/sim"
 )
 
+// lossUnset marks an empty slot in the per-radio-pair path-loss cache.
+// Real losses are finite positive dB figures, so +Inf is unreachable.
+var lossUnset = math.Inf(1)
+
 // Frame is the logical content of one on-air BLE frame: everything after
 // the preamble, before whitening. The CRC field carries the 24-bit CRC as
 // computed by the *sender* (an attacker who sniffed the wrong CRCInit will
@@ -103,6 +107,12 @@ type Config struct {
 	// Obs receives medium-layer metrics and forensics-ledger events.
 	// Nil means no observability instrumentation.
 	Obs *obs.Hub
+	// Arena, when set, backs frame-PDU clone buffers so per-frame copies
+	// bump-allocate instead of hitting the garbage collector. Nil means the
+	// medium owns a private arena. The arena must not be Reset while any
+	// frame delivered by this medium is still referenced (in practice: reset
+	// only between trials).
+	Arena *sim.ByteArena
 }
 
 // Medium is the shared radio channel. Create radios with NewRadio; all
@@ -116,6 +126,19 @@ type Medium struct {
 	active    []*transmission
 	observers []Observer
 	ins       *instruments
+	arena     *sim.ByteArena
+
+	// scratch is reused by interferersDuring so the overlap scan in the
+	// deliver/lock hot path does not allocate. Safe because the result is
+	// always consumed before the next call (capture models are pure and
+	// never re-enter the medium).
+	scratch []*transmission
+	// loss caches path loss per (tx radio, rx radio, channel). Path loss
+	// depends only on positions and channel frequency, both of which change
+	// rarely (experiment setup), while deliver/preambleClean query the same
+	// pairs every connection event. Entries hold lossUnset until computed;
+	// SetPosition and NewRadio invalidate.
+	loss []float64
 }
 
 // New creates a medium on the given scheduler.
@@ -129,12 +152,46 @@ func New(sched *sim.Scheduler, rng *sim.RNG, cfg Config) *Medium {
 	if cfg.PreambleCaptureMargin == 0 {
 		cfg.PreambleCaptureMargin = 3
 	}
-	m := &Medium{sched: sched, rng: rng.Child("medium"), cfg: cfg}
+	if cfg.Arena == nil {
+		cfg.Arena = sim.NewByteArena()
+	}
+	m := &Medium{sched: sched, rng: rng.Child("medium"), cfg: cfg, arena: cfg.Arena}
 	m.ins = newInstruments(m, cfg.Obs)
 	// The ledger reconstructs signal powers (e.g. the master's RSSI at
 	// the victim) through the medium's own path-loss model.
 	cfg.Obs.Led().SetRSSIProbe(m.probeRSSI)
 	return m
+}
+
+// cloneFrame copies a frame, backing the PDU with the medium's arena.
+func (m *Medium) cloneFrame(f Frame) Frame {
+	c := f
+	c.PDU = m.arena.Copy(f.PDU)
+	return c
+}
+
+// invalidateLossCache grows the cache to the current radio count and marks
+// every entry unset. Called when a radio is added or moved.
+func (m *Medium) invalidateLossCache() {
+	n := len(m.radios) * len(m.radios) * phy.NumChannels
+	if cap(m.loss) < n {
+		m.loss = make([]float64, n)
+	}
+	m.loss = m.loss[:n]
+	for i := range m.loss {
+		m.loss[i] = lossUnset
+	}
+}
+
+// pathLoss returns the (cached) path loss from tx to rx on ch.
+func (m *Medium) pathLoss(tx, rx *Radio, ch phy.Channel) float64 {
+	idx := (tx.id*len(m.radios)+rx.id)*phy.NumChannels + int(ch)
+	l := m.loss[idx]
+	if l == lossUnset {
+		l = float64(m.cfg.PathLoss.Loss(tx.pos, rx.pos, ch))
+		m.loss[idx] = l
+	}
+	return l
 }
 
 // Scheduler returns the scheduler the medium runs on.
@@ -146,9 +203,10 @@ func (m *Medium) AddObserver(o Observer) { m.observers = append(m.observers, o) 
 // Now returns the current simulation time.
 func (m *Medium) Now() sim.Time { return m.sched.Now() }
 
-// rssiAt returns the received power of tx at position rx on channel ch.
-func (m *Medium) rssiAt(t *transmission, rx phy.Position) phy.DBm {
-	return phy.ReceivedPower(m.cfg.PathLoss, t.radio.txPower, t.radio.pos, rx, t.channel)
+// rssiAt returns the received power of t at radio r on t's channel. Only
+// the path loss is cached, so SetTxPower takes effect immediately.
+func (m *Medium) rssiAt(t *transmission, r *Radio) phy.DBm {
+	return t.radio.txPower - phy.DBm(m.pathLoss(t.radio, r, t.channel))
 }
 
 // pruneActive drops transmissions that ended before now.
@@ -195,8 +253,11 @@ func (m *Medium) begin(t *transmission) {
 	for _, o := range m.observers {
 		o.ObserveTx(obs)
 	}
-	sim.Emit(m.cfg.Tracer, t.start, t.radio.name, "tx-start", map[string]any{
-		"ch": t.channel, "len": len(t.frame.PDU), "end": t.end, "noise": t.noise,
+	sim.Emit(m.cfg.Tracer, t.start, t.radio.name, "tx-start", func() []sim.Field {
+		return []sim.Field{
+			sim.F("ch", t.channel), sim.F("len", len(t.frame.PDU)),
+			sim.F("end", t.end), sim.F("noise", t.noise),
+		}
 	})
 	m.ins.onTxBegin(t)
 
@@ -213,9 +274,10 @@ func (m *Medium) begin(t *transmission) {
 }
 
 // interferersDuring returns active transmissions (other than want) on ch
-// overlapping [from, to].
+// overlapping [from, to]. The returned slice aliases the medium's scratch
+// buffer and is only valid until the next call.
 func (m *Medium) interferersDuring(want *transmission, ch phy.Channel, from, to sim.Time) []*transmission {
-	var out []*transmission
+	out := m.scratch[:0]
 	for _, t := range m.active {
 		if t == want || t.channel != ch {
 			continue
@@ -224,6 +286,7 @@ func (m *Medium) interferersDuring(want *transmission, ch phy.Channel, from, to 
 			out = append(out, t)
 		}
 	}
+	m.scratch = out
 	return out
 }
 
@@ -238,14 +301,14 @@ func (m *Medium) interferersDuring(want *transmission, ch phy.Channel, from, to 
 //     is why the slave still locks onto an injected frame whose tail the
 //     legitimate master tramples (paper §V-D situation b).
 func (m *Medium) preambleClean(t *transmission, r *Radio) bool {
-	want := m.rssiAt(t, r.pos)
+	want := m.rssiAt(t, r)
 	preambleEnd := t.start.Add(preambleDuration(t.frame.Mode))
 	aaEnd := t.start.Add(t.frame.Mode.PreambleAATime())
 	for _, i := range m.interferersDuring(t, t.channel, t.start, aaEnd) {
 		if i.radio == r {
 			return false // receiver was itself transmitting over the preamble
 		}
-		sir := float64(want) - float64(m.rssiAt(i, r.pos))
+		sir := float64(want) - float64(m.rssiAt(i, r))
 		if overlap(t.start, preambleEnd, i.start, i.end) > 0 {
 			if sir < m.cfg.PreambleCaptureMargin {
 				return false
@@ -272,11 +335,17 @@ func preambleDuration(mode phy.Mode) sim.Duration {
 }
 
 // deliver completes reception of t at r, applying the collision model.
+//
+// The frame is cloned lazily: the collision and fade decisions only need
+// powers and lengths, so the PDU copy happens once the outcome is known —
+// and not at all when no consumer (r.OnFrame) is attached. Every RNG draw
+// is consumed regardless, keeping the draw sequence — and therefore every
+// seeded experiment table — independent of who is listening.
 func (m *Medium) deliver(t *transmission, r *Radio) {
 	rx := Received{
-		Frame:   t.frame.Clone(),
+		Frame:   t.frame, // shared until cloned below
 		Channel: t.channel,
-		RSSI:    m.rssiAt(t, r.pos),
+		RSSI:    m.rssiAt(t, r),
 		StartAt: t.start,
 		EndAt:   t.end,
 	}
@@ -286,8 +355,9 @@ func (m *Medium) deliver(t *transmission, r *Radio) {
 	bodyStart := t.start.Add(t.frame.Mode.PreambleAATime())
 	collided, minSIR := false, math.Inf(1)
 	for _, i := range m.interferersDuring(t, t.channel, bodyStart, t.end) {
+		i := i
 		ov := overlap(bodyStart, t.end, i.start, i.end)
-		sir := float64(rx.RSSI) - float64(m.rssiAt(i, r.pos))
+		sir := float64(rx.RSSI) - float64(m.rssiAt(i, r))
 		collided = true
 		if sir < minSIR {
 			minSIR = sir
@@ -302,9 +372,12 @@ func (m *Medium) deliver(t *transmission, r *Radio) {
 		} else if !m.cfg.Capture.Survives(m.rng, sir, ov) {
 			rx.Corrupted = true
 		}
-		sim.Emit(m.cfg.Tracer, t.end, r.name, "collision", map[string]any{
-			"with": i.radio.name, "overlap": ov, "sir": fmt.Sprintf("%.1f", sir),
-			"corrupted": rx.Corrupted,
+		corrupted := rx.Corrupted
+		sim.Emit(m.cfg.Tracer, t.end, r.name, "collision", func() []sim.Field {
+			return []sim.Field{
+				sim.F("with", i.radio.name), sim.F("overlap", ov),
+				sim.F("sir", fmt.Sprintf("%.1f", sir)), sim.F("corrupted", corrupted),
+			}
 		})
 	}
 	// Sensitivity fade: frames close to the noise floor occasionally drop.
@@ -313,11 +386,22 @@ func (m *Medium) deliver(t *transmission, r *Radio) {
 		rx.Corrupted = true
 	}
 	if rx.Corrupted {
-		m.corrupt(&rx.Frame)
+		// Draw the corruption pattern unconditionally — the RNG stream must
+		// advance identically whether or not anyone consumes the frame.
+		flips, bits, mask := m.corruptDraws(len(t.frame.PDU))
+		if r.OnFrame != nil {
+			rx.Frame = m.cloneFrame(t.frame)
+			applyCorruption(&rx.Frame, flips, bits, mask)
+		}
+	} else if r.OnFrame != nil {
+		rx.Frame = m.cloneFrame(t.frame)
 	}
-	sim.Emit(m.cfg.Tracer, t.end, r.name, "rx", map[string]any{
-		"ch": t.channel, "len": len(rx.Frame.PDU), "rssi": rx.RSSI,
-		"corrupted": rx.Corrupted, "start": t.start,
+	sim.Emit(m.cfg.Tracer, t.end, r.name, "rx", func() []sim.Field {
+		return []sim.Field{
+			sim.F("ch", t.channel), sim.F("len", len(rx.Frame.PDU)),
+			sim.F("rssi", rx.RSSI), sim.F("corrupted", rx.Corrupted),
+			sim.F("start", t.start),
+		}
 	})
 	if !collided {
 		minSIR = 0
@@ -347,16 +431,26 @@ func frameLossFromSNR(snrDB float64, n int) float64 {
 	return loss
 }
 
-// corrupt mangles the frame so the upper layer's CRC check fails: flips a
-// handful of payload bits and perturbs the transported CRC.
-func (m *Medium) corrupt(f *Frame) {
-	if len(f.PDU) > 0 {
-		flips := 1 + m.rng.Intn(4)
+// corruptDraws consumes the RNG draws for one frame corruption: up to four
+// payload bit positions and a CRC perturbation mask. Split from the
+// application so deliver can keep the RNG stream identical even when no
+// receiver consumes the frame (and the clone is skipped).
+func (m *Medium) corruptDraws(pduLen int) (flips int, bits [4]int, mask uint32) {
+	if pduLen > 0 {
+		flips = 1 + m.rng.Intn(4)
 		for i := 0; i < flips; i++ {
-			bit := m.rng.Intn(len(f.PDU) * 8)
-			f.PDU[bit/8] ^= 1 << (bit % 8)
+			bits[i] = m.rng.Intn(pduLen * 8)
 		}
 	}
-	mask := uint32(1+m.rng.Intn(0xFFFFFF)) & 0xFFFFFF
+	mask = uint32(1+m.rng.Intn(0xFFFFFF)) & 0xFFFFFF
+	return flips, bits, mask
+}
+
+// applyCorruption mangles the frame so the upper layer's CRC check fails:
+// flips the drawn payload bits and perturbs the transported CRC.
+func applyCorruption(f *Frame, flips int, bits [4]int, mask uint32) {
+	for i := 0; i < flips; i++ {
+		f.PDU[bits[i]/8] ^= 1 << (bits[i] % 8)
+	}
 	f.CRC ^= mask
 }

@@ -44,10 +44,18 @@ type RadioConfig struct {
 type Radio struct {
 	name        string
 	med         *Medium
+	id          int // index into Medium.radios; keys the path-loss cache
 	pos         phy.Position
 	txPower     phy.DBm
 	sensitivity phy.DBm
 	mode        phy.Mode
+
+	// Scheduler labels are hot-path strings; concatenating them per event
+	// allocates, so they are built once here.
+	lockLabel       string
+	txEndLabel      string
+	noiseEndLabel   string
+	rxCompleteLabel string
 
 	channel     phy.Channel
 	aaFilter    uint32
@@ -55,8 +63,8 @@ type Radio struct {
 
 	state   radioState
 	locked  *transmission
-	txEnd   *sim.Event
-	pending map[*transmission]*sim.Event
+	txEnd   sim.EventRef
+	pending map[*transmission]sim.EventRef
 
 	// OnFrame is called when a locked frame completes, even if corrupted.
 	OnFrame func(rx Received)
@@ -76,16 +84,22 @@ func (m *Medium) NewRadio(cfg RadioConfig) *Radio {
 		cfg.Mode = phy.LE1M
 	}
 	r := &Radio{
-		name:        cfg.Name,
-		med:         m,
-		pos:         cfg.Position,
-		txPower:     cfg.TxPower,
-		sensitivity: cfg.Sensitivity,
-		mode:        cfg.Mode,
-		state:       radioIdle,
-		pending:     make(map[*transmission]*sim.Event),
+		name:            cfg.Name,
+		med:             m,
+		id:              len(m.radios),
+		pos:             cfg.Position,
+		txPower:         cfg.TxPower,
+		sensitivity:     cfg.Sensitivity,
+		mode:            cfg.Mode,
+		lockLabel:       cfg.Name + ":lock",
+		txEndLabel:      cfg.Name + ":tx-end",
+		noiseEndLabel:   cfg.Name + ":noise-end",
+		rxCompleteLabel: cfg.Name + ":rx-complete",
+		state:           radioIdle,
+		pending:         make(map[*transmission]sim.EventRef),
 	}
 	m.radios = append(m.radios, r)
+	m.invalidateLossCache()
 	return r
 }
 
@@ -96,8 +110,11 @@ func (r *Radio) Name() string { return r.name }
 func (r *Radio) Position() phy.Position { return r.pos }
 
 // SetPosition moves the radio (the experiment harness repositions the
-// attacker between runs).
-func (r *Radio) SetPosition(p phy.Position) { r.pos = p }
+// attacker between runs). Moving invalidates the medium's path-loss cache.
+func (r *Radio) SetPosition(p phy.Position) {
+	r.pos = p
+	r.med.invalidateLossCache()
+}
 
 // TxPower returns the transmit power.
 func (r *Radio) TxPower() phy.DBm { return r.txPower }
@@ -195,7 +212,7 @@ func (r *Radio) Transmit(f Frame) {
 		panic(fmt.Sprintf("medium: %s: Transmit while transmitting", r.name))
 	}
 	r.abortReceive()
-	f = f.Clone()
+	f = r.med.cloneFrame(f)
 	f.Mode = r.mode
 	now := r.med.sched.Now()
 	t := &transmission{
@@ -207,7 +224,7 @@ func (r *Radio) Transmit(f Frame) {
 	}
 	r.state = radioTransmitting
 	r.med.begin(t)
-	r.txEnd = r.med.sched.At(t.end, r.name+":tx-end", func() {
+	r.txEnd = r.med.sched.At(t.end, r.txEndLabel, func() {
 		r.state = radioIdle
 		if r.OnTxDone != nil {
 			r.OnTxDone()
@@ -232,7 +249,7 @@ func (r *Radio) TransmitNoise(d sim.Duration) {
 	}
 	r.state = radioTransmitting
 	r.med.begin(t)
-	r.txEnd = r.med.sched.At(t.end, r.name+":noise-end", func() {
+	r.txEnd = r.med.sched.At(t.end, r.noiseEndLabel, func() {
 		r.state = radioIdle
 		if r.OnTxDone != nil {
 			r.OnTxDone()
@@ -250,13 +267,13 @@ func (r *Radio) maybeScheduleLock(t *transmission, lockAt sim.Time) {
 	if t.channel != r.channel {
 		return
 	}
-	if float64(r.med.rssiAt(t, r.pos)) < float64(r.sensitivity) {
+	if float64(r.med.rssiAt(t, r)) < float64(r.sensitivity) {
 		return
 	}
 	if !r.promiscuous && t.frame.AccessAddress != r.aaFilter {
 		return
 	}
-	ev := r.med.sched.At(lockAt, r.name+":lock", func() {
+	ev := r.med.sched.At(lockAt, r.lockLabel, func() {
 		delete(r.pending, t)
 		r.tryLock(t)
 	})
@@ -272,8 +289,8 @@ func (r *Radio) tryLock(t *transmission) {
 		return
 	}
 	if !r.med.preambleClean(t, r) {
-		sim.Emit(r.med.cfg.Tracer, r.med.sched.Now(), r.name, "lock-fail", map[string]any{
-			"from": t.radio.name, "reason": "preamble-collision",
+		sim.Emit(r.med.cfg.Tracer, r.med.sched.Now(), r.name, "lock-fail", func() []sim.Field {
+			return []sim.Field{sim.F("from", t.radio.name), sim.F("reason", "preamble-collision")}
 		})
 		r.med.ins.onLockFail(r, t, "preamble-collision")
 		return
@@ -281,11 +298,11 @@ func (r *Radio) tryLock(t *transmission) {
 	r.state = radioLocked
 	r.locked = t
 	r.cancelPendingLocks()
-	sim.Emit(r.med.cfg.Tracer, r.med.sched.Now(), r.name, "lock", map[string]any{
-		"from": t.radio.name, "ch": t.channel, "start": t.start,
+	sim.Emit(r.med.cfg.Tracer, r.med.sched.Now(), r.name, "lock", func() []sim.Field {
+		return []sim.Field{sim.F("from", t.radio.name), sim.F("ch", t.channel), sim.F("start", t.start)}
 	})
 	r.med.ins.onLock(r, t)
-	r.med.sched.At(t.end, r.name+":rx-complete", func() {
+	r.med.sched.At(t.end, r.rxCompleteLabel, func() {
 		if r.locked != t {
 			return // channel change or transmit aborted the reception
 		}

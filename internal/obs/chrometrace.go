@@ -98,11 +98,14 @@ func WriteChromeTrace(w io.Writer, events []sim.TraceEvent, dropped int, ledger 
 func eventSpan(e sim.TraceEvent) (sim.Duration, bool) {
 	switch e.Kind {
 	case "tx-start":
-		if end, ok := e.Fields["end"].(sim.Time); ok && end > e.At {
-			return end.Sub(e.At), true
+		if v, ok := e.Field("end"); ok {
+			if end, ok := v.(sim.Time); ok && end > e.At {
+				return end.Sub(e.At), true
+			}
 		}
 	case "win-open":
-		switch v := e.Fields["width"].(type) {
+		v, _ := e.Field("width")
+		switch v := v.(type) {
 		case sim.Duration:
 			return v, true
 		case string:
@@ -115,13 +118,13 @@ func eventSpan(e sim.TraceEvent) (sim.Duration, bool) {
 }
 
 // stringifyFields renders trace fields as deterministic string args.
-func stringifyFields(fields map[string]any) map[string]string {
+func stringifyFields(fields []sim.Field) map[string]string {
 	if len(fields) == 0 {
 		return nil
 	}
 	out := make(map[string]string, len(fields))
-	for k, v := range fields {
-		out[k] = fmt.Sprint(v)
+	for _, f := range fields {
+		out[f.K] = fmt.Sprint(f.V)
 	}
 	return out
 }

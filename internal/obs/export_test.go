@@ -80,9 +80,9 @@ func TestWriteMetricsJSONL(t *testing.T) {
 func TestWriteChromeTrace(t *testing.T) {
 	events := []sim.TraceEvent{
 		{At: sim.Time(100 * sim.Microsecond), Source: "attacker", Kind: "tx-start",
-			Fields: map[string]any{"end": sim.Time(250 * sim.Microsecond)}},
+			Fields: []sim.Field{sim.F("end", sim.Time(250*sim.Microsecond))}},
 		{At: sim.Time(90 * sim.Microsecond), Source: "bulb", Kind: "win-open",
-			Fields: map[string]any{"width": "150µs"}},
+			Fields: []sim.Field{sim.F("width", "150µs")}},
 		{At: sim.Time(300 * sim.Microsecond), Source: "bulb", Kind: "anchor"},
 	}
 	_, led := exportFixture()

@@ -94,7 +94,7 @@ func (c *Clock) SampleJitter() Duration {
 
 // AfterLocal schedules fn after a local-clock duration d, applying drift
 // and one jitter sample. It returns the event so callers can cancel it.
-func (c *Clock) AfterLocal(d Duration, label string, fn func()) *Event {
+func (c *Clock) AfterLocal(d Duration, label string, fn func()) EventRef {
 	td := c.scale(d) + c.SampleJitter()
 	if td < 0 {
 		td = 0
@@ -105,7 +105,7 @@ func (c *Clock) AfterLocal(d Duration, label string, fn func()) *Event {
 // AtLocalOffset schedules fn at base + local duration d (drift applied to d
 // only), with one jitter sample. base is a true-time instant the device
 // observed directly (e.g. a received frame's start), so it carries no drift.
-func (c *Clock) AtLocalOffset(base Time, d Duration, label string, fn func()) *Event {
+func (c *Clock) AtLocalOffset(base Time, d Duration, label string, fn func()) EventRef {
 	t := base.Add(c.scale(d) + c.SampleJitter())
 	if t < c.sched.Now() {
 		t = c.sched.Now()

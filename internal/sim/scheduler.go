@@ -1,72 +1,78 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// Event is a scheduled callback. The zero Event is invalid.
-type Event struct {
+// event is one scheduled callback. Events are owned by their Scheduler and
+// recycled through a free list once they run or a cancelled entry is popped;
+// user code refers to them only through generation-checked EventRefs, so a
+// stale reference can never touch a recycled (and possibly rescheduled)
+// struct.
+type event struct {
 	at     Time
 	seq    uint64 // tie-breaker: FIFO among events at the same instant
 	fn     func()
 	label  string
-	index  int // heap index, -1 once popped or cancelled
+	gen    uint32 // incremented on recycle; EventRefs must match to act
 	cancel bool
+	next   *event // free-list link
 }
 
-// At returns the instant the event is scheduled for.
-func (e *Event) At() Time { return e.at }
+// EventRef is a handle to a scheduled event. The zero EventRef is valid and
+// refers to nothing (Cancel is a no-op on it). A ref goes stale once its
+// event runs or its cancelled slot is reclaimed; stale refs are inert — all
+// methods return zero values and Cancel does nothing — so holding a ref
+// past an event's lifetime is always safe.
+type EventRef struct {
+	e   *event
+	gen uint32
+}
 
-// Label returns the human-readable label given at scheduling time.
-func (e *Event) Label() string { return e.label }
+// live reports whether the ref still addresses its original scheduling.
+func (r EventRef) live() bool { return r.e != nil && r.e.gen == r.gen }
 
-// Cancelled reports whether Cancel was called on the event.
-func (e *Event) Cancelled() bool { return e.cancel }
-
-// eventQueue is a min-heap ordered by (at, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// At returns the instant the event is scheduled for, or 0 if the ref is
+// stale (the event already ran or was reclaimed).
+func (r EventRef) At() Time {
+	if !r.live() {
+		return 0
 	}
-	return q[i].seq < q[j].seq
+	return r.e.at
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// Label returns the label given at scheduling time, or "" for a stale ref.
+func (r EventRef) Label() string {
+	if !r.live() {
+		return ""
+	}
+	return r.e.label
 }
 
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
+// Cancelled reports whether Cancel hit this scheduling before it ran. Once
+// the event is reclaimed (it ran, or its cancelled slot was popped) the ref
+// is stale and Cancelled reports false.
+func (r EventRef) Cancelled() bool { return r.live() && r.e.cancel }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
-}
+// Pending reports whether the event is still scheduled to run: live and
+// not cancelled.
+func (r EventRef) Pending() bool { return r.live() && !r.e.cancel }
 
 // Scheduler is a deterministic single-threaded discrete-event scheduler.
 // Events scheduled for the same instant run in FIFO order. The zero value
 // is ready to use.
+//
+// The event queue is an inlined 4-ary min-heap over a slice of recycled
+// event structs: scheduling and stepping allocate nothing in steady state
+// (no container/heap interface boxing, no per-event garbage). Cancellation
+// is lazy — a cancelled event stays queued until its instant is reached and
+// is skipped and reclaimed then — which is why Pending() counts cancelled
+// events that have not yet been popped.
 type Scheduler struct {
 	now    Time
-	queue  eventQueue
+	heap   []*event // 4-ary min-heap ordered by (at, seq)
 	seq    uint64
 	halted bool
 	ran    uint64
+	free   *event // recycled events
 }
 
 // NewScheduler returns an empty scheduler positioned at time zero.
@@ -77,63 +83,151 @@ func (s *Scheduler) Now() Time { return s.now }
 
 // Pending returns the number of events waiting to run (including cancelled
 // events that have not yet been popped).
-func (s *Scheduler) Pending() int { return len(s.queue) }
+func (s *Scheduler) Pending() int { return len(s.heap) }
 
 // Processed returns the total number of events executed so far.
 func (s *Scheduler) Processed() uint64 { return s.ran }
 
+// alloc takes an event from the free list or the heap allocator.
+func (s *Scheduler) alloc() *event {
+	if e := s.free; e != nil {
+		s.free = e.next
+		e.next = nil
+		return e
+	}
+	return &event{}
+}
+
+// recycle returns a popped event to the free list, invalidating every
+// EventRef issued for it and releasing its callback.
+func (s *Scheduler) recycle(e *event) {
+	e.gen++
+	e.fn = nil
+	e.label = ""
+	e.cancel = false
+	e.next = s.free
+	s.free = e
+}
+
 // At schedules fn to run at the absolute instant t. Scheduling in the past
 // panics: it is always a logic error in a discrete-event model.
-func (s *Scheduler) At(t Time, label string, fn func()) *Event {
+func (s *Scheduler) At(t Time, label string, fn func()) EventRef {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling %q at %v, before now %v", label, t, s.now))
 	}
 	s.seq++
-	e := &Event{at: t, seq: s.seq, fn: fn, label: label}
-	heap.Push(&s.queue, e)
-	return e
+	e := s.alloc()
+	e.at, e.seq, e.fn, e.label = t, s.seq, fn, label
+	s.push(e)
+	return EventRef{e: e, gen: e.gen}
 }
 
 // After schedules fn to run d after the current instant.
-func (s *Scheduler) After(d Duration, label string, fn func()) *Event {
+func (s *Scheduler) After(d Duration, label string, fn func()) EventRef {
 	if d < 0 {
 		d = 0
 	}
 	return s.At(s.now.Add(d), label, fn)
 }
 
-// Cancel prevents a scheduled event from running. Cancelling an event that
-// already ran (or was already cancelled) is a no-op.
-func (s *Scheduler) Cancel(e *Event) {
-	if e == nil || e.cancel {
+// Cancel prevents a scheduled event from running. Cancelling a stale ref —
+// the event already ran, was already reclaimed, or the ref is zero — is a
+// no-op, as is cancelling twice.
+func (s *Scheduler) Cancel(ref EventRef) {
+	if !ref.live() {
 		return
 	}
-	e.cancel = true
-	if e.index >= 0 {
-		heap.Remove(&s.queue, e.index)
-		e.index = -1
+	ref.e.cancel = true
+}
+
+// less orders events by (at, seq).
+func less(a, b *event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// push appends e and sifts it up the 4-ary heap.
+func (s *Scheduler) push(e *event) {
+	s.heap = append(s.heap, e)
+	i := len(s.heap) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !less(e, s.heap[p]) {
+			break
+		}
+		s.heap[i] = s.heap[p]
+		i = p
 	}
+	s.heap[i] = e
+}
+
+// pop removes and returns the minimum event. The heap must be non-empty.
+func (s *Scheduler) pop() *event {
+	h := s.heap
+	top := h[0]
+	n := len(h) - 1
+	e := h[n]
+	h[n] = nil
+	s.heap = h[:n]
+	if n == 0 {
+		return top
+	}
+	// Sift the former last element down from the root.
+	h = s.heap
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if less(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !less(h[m], e) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = e
+	return top
+}
+
+// peek discards (and reclaims) cancelled events at the top of the heap and
+// returns the next runnable event without removing it, or nil.
+func (s *Scheduler) peek() *event {
+	for len(s.heap) > 0 {
+		e := s.heap[0]
+		if !e.cancel {
+			return e
+		}
+		s.recycle(s.pop())
+	}
+	return nil
 }
 
 // Step runs the single next event. It reports false when the queue is empty
 // or the scheduler has been halted.
 func (s *Scheduler) Step() bool {
-	for {
-		if s.halted || len(s.queue) == 0 {
-			return false
-		}
-		e := heap.Pop(&s.queue).(*Event)
-		if e.cancel {
-			continue
-		}
-		if e.at < s.now {
-			panic(fmt.Sprintf("sim: time went backwards: %v < %v", e.at, s.now))
-		}
-		s.now = e.at
-		s.ran++
-		e.fn()
-		return true
+	if s.halted || s.peek() == nil {
+		return false
 	}
+	e := s.pop()
+	if e.at < s.now {
+		panic(fmt.Sprintf("sim: time went backwards: %v < %v", e.at, s.now))
+	}
+	s.now = e.at
+	s.ran++
+	fn := e.fn
+	s.recycle(e)
+	fn()
+	return true
 }
 
 // Run executes events until the queue drains or the scheduler halts.
@@ -145,7 +239,11 @@ func (s *Scheduler) Run() {
 // RunUntil executes events with time ≤ deadline. The clock is advanced to
 // the deadline afterwards, even if the queue drained earlier.
 func (s *Scheduler) RunUntil(deadline Time) {
-	for !s.halted && len(s.queue) > 0 && s.queue[0].at <= deadline {
+	for !s.halted {
+		e := s.peek()
+		if e == nil || e.at > deadline {
+			break
+		}
 		s.Step()
 	}
 	if !s.halted && s.now < deadline {

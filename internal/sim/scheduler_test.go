@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -56,17 +58,56 @@ func TestSchedulerCancel(t *testing.T) {
 	s := NewScheduler()
 	ran := false
 	e := s.After(Microsecond, "x", func() { ran = true })
+	if !e.Pending() {
+		t.Fatal("event not pending after scheduling")
+	}
 	s.Cancel(e)
+	if !e.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+	if e.Pending() {
+		t.Fatal("cancelled event still pending")
+	}
 	s.Run()
 	if ran {
 		t.Fatal("cancelled event ran")
 	}
-	if !e.Cancelled() {
-		t.Fatal("event not marked cancelled")
-	}
-	// Cancelling again must be a no-op.
+	// Cancelling again — and cancelling a zero ref — must be no-ops.
 	s.Cancel(e)
-	s.Cancel(nil)
+	s.Cancel(EventRef{})
+}
+
+func TestSchedulerStaleRefIsInert(t *testing.T) {
+	s := NewScheduler()
+	e := s.After(Microsecond, "ran", func() {})
+	s.Run()
+	// The event ran: its ref is stale and every accessor is inert.
+	if e.Pending() || e.Cancelled() {
+		t.Fatal("stale ref not inert")
+	}
+	if e.At() != 0 || e.Label() != "" {
+		t.Fatalf("stale ref leaked data: at=%v label=%q", e.At(), e.Label())
+	}
+	s.Cancel(e) // must not disturb later events
+	ran := false
+	f := s.After(Microsecond, "later", func() { ran = true })
+	s.Cancel(e) // stale ref again, now that the struct is re-used
+	s.Run()
+	if !ran {
+		t.Fatal("stale Cancel hit a recycled event")
+	}
+	_ = f
+}
+
+func TestSchedulerEventRefAccessors(t *testing.T) {
+	s := NewScheduler()
+	e := s.At(Time(5*Microsecond), "probe", func() {})
+	if e.At() != Time(5*Microsecond) {
+		t.Fatalf("At = %v", e.At())
+	}
+	if e.Label() != "probe" {
+		t.Fatalf("Label = %q", e.Label())
+	}
 }
 
 func TestSchedulerCancelOneOfMany(t *testing.T) {
@@ -173,6 +214,131 @@ func TestSchedulerOrderProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// refModel is a naive sorted-slice reference scheduler: schedule keeps the
+// slice ordered by (at, seq); run pops the head. It is the executable spec
+// the 4-ary heap is tested against.
+type refModel struct {
+	events []refEvent
+	seq    uint64
+	now    Time
+}
+
+type refEvent struct {
+	at        Time
+	seq       uint64
+	id        int
+	cancelled bool
+}
+
+func (m *refModel) schedule(at Time, id int) uint64 {
+	m.seq++
+	e := refEvent{at: at, seq: m.seq, id: id}
+	i := sort.Search(len(m.events), func(i int) bool {
+		o := m.events[i]
+		return o.at > e.at || (o.at == e.at && o.seq > e.seq)
+	})
+	m.events = append(m.events, refEvent{})
+	copy(m.events[i+1:], m.events[i:])
+	m.events[i] = e
+	return e.seq
+}
+
+func (m *refModel) cancel(seq uint64) {
+	for i := range m.events {
+		if m.events[i].seq == seq {
+			m.events[i].cancelled = true
+		}
+	}
+}
+
+func (m *refModel) run() []int {
+	var order []int
+	for _, e := range m.events {
+		if !e.cancelled {
+			m.now = e.at
+			order = append(order, e.id)
+		}
+	}
+	m.events = nil
+	return order
+}
+
+// TestSchedulerMatchesReferenceModel drives the 4-ary heap scheduler and
+// the sorted-slice reference through the same randomized sequence of
+// schedule / cancel / re-schedule operations and requires identical
+// execution order — the property that keeps RNG draw order, and therefore
+// every experiment table, byte-identical across scheduler rewrites.
+func TestSchedulerMatchesReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 200; round++ {
+		s := NewScheduler()
+		ref := &refModel{}
+		var got []int
+		type handle struct {
+			ref EventRef
+			seq uint64
+		}
+		var handles []handle
+		n := 1 + rng.Intn(60)
+		for op := 0; op < n; op++ {
+			switch {
+			case len(handles) > 0 && rng.Intn(4) == 0:
+				// Cancel a random earlier event (possibly twice).
+				h := handles[rng.Intn(len(handles))]
+				s.Cancel(h.ref)
+				ref.cancel(h.seq)
+			default:
+				id := op
+				at := Time(rng.Intn(50)) * Time(Microsecond)
+				ev := s.At(at, "e", func() { got = append(got, id) })
+				seq := ref.schedule(at, id)
+				handles = append(handles, handle{ev, seq})
+				if rng.Intn(8) == 0 {
+					// Immediately cancel and re-schedule at a new time:
+					// the recycled struct must not resurrect the old ref.
+					s.Cancel(ev)
+					ref.cancel(seq)
+					at2 := Time(rng.Intn(50)) * Time(Microsecond)
+					ev2 := s.At(at2, "r", func() { got = append(got, -id) })
+					seq2 := ref.schedule(at2, -id)
+					handles = append(handles, handle{ev2, seq2})
+				}
+			}
+		}
+		s.Run()
+		want := ref.run()
+		if len(got) != len(want) {
+			t.Fatalf("round %d: ran %d events, want %d\ngot %v\nwant %v",
+				round, len(got), len(want), got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: order mismatch at %d\ngot %v\nwant %v", round, i, got, want)
+			}
+		}
+		if s.now != ref.now && len(want) > 0 {
+			t.Fatalf("round %d: clock %v, want %v", round, s.now, ref.now)
+		}
+	}
+}
+
+// TestSchedulerFreeListReuse checks that events are recycled through the
+// free list and that recycling invalidates old refs.
+func TestSchedulerFreeListReuse(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 3; i++ {
+		s.After(Microsecond, "warm", func() {})
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		s.After(Microsecond, "steady", func() {})
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state At+Step allocates %v per run, want 0", allocs)
 	}
 }
 

@@ -7,25 +7,49 @@ import (
 	"strings"
 )
 
+// Field is one key/value pair attached to a TraceEvent. Fields are kept as
+// an ordered slice rather than a map so building them is a single small
+// allocation — and, via Emit's lazy builder, no allocation at all when
+// tracing is disabled.
+type Field struct {
+	K string
+	V any
+}
+
+// F builds a Field; it keeps lazy field-builder closures compact.
+func F(k string, v any) Field { return Field{K: k, V: v} }
+
+// FieldFunc lazily builds an event's fields. Emit only invokes it when a
+// tracer is attached, so call sites pay nothing — no map, no slice, no
+// boxing, no formatting — when tracing is off.
+type FieldFunc func() []Field
+
 // TraceEvent is one structured record emitted by a simulation component.
 type TraceEvent struct {
 	At     Time
 	Source string // component that emitted the event, e.g. "slave-ll"
 	Kind   string // event kind, e.g. "anchor", "tx", "rx", "inject"
-	Fields map[string]any
+	Fields []Field
 }
 
-// String renders the event on one line for logs.
-func (e TraceEvent) String() string {
-	keys := make([]string, 0, len(e.Fields))
-	for k := range e.Fields {
-		keys = append(keys, k)
+// Field returns the value of the named field and whether it is present.
+func (e TraceEvent) Field(key string) (any, bool) {
+	for _, f := range e.Fields {
+		if f.K == key {
+			return f.V, true
+		}
 	}
-	sort.Strings(keys)
+	return nil, false
+}
+
+// String renders the event on one line for logs, fields sorted by key.
+func (e TraceEvent) String() string {
+	fields := append([]Field(nil), e.Fields...)
+	sort.Slice(fields, func(i, j int) bool { return fields[i].K < fields[j].K })
 	var b strings.Builder
 	fmt.Fprintf(&b, "%v %-14s %-18s", e.At, e.Source, e.Kind)
-	for _, k := range keys {
-		fmt.Fprintf(&b, " %s=%v", k, e.Fields[k])
+	for _, f := range fields {
+		fmt.Fprintf(&b, " %s=%v", f.K, f.V)
 	}
 	return b.String()
 }
@@ -99,6 +123,17 @@ func (t *RecordingTracer) Trace(e TraceEvent) {
 // Dropped returns how many events were discarded to honour Limit.
 func (t *RecordingTracer) Dropped() int { return t.dropped }
 
+// Each calls fn for every recorded event in arrival order, unwinding the
+// ring in place (no copy) when Limit has been reached.
+func (t *RecordingTracer) Each(fn func(e TraceEvent)) {
+	for i := t.head; i < len(t.Events); i++ {
+		fn(t.Events[i])
+	}
+	for i := 0; i < t.head; i++ {
+		fn(t.Events[i])
+	}
+}
+
 // Snapshot returns the recorded events in arrival order (unwinding the
 // ring when Limit has been reached). The slice is a copy.
 func (t *RecordingTracer) Snapshot() []TraceEvent {
@@ -108,14 +143,15 @@ func (t *RecordingTracer) Snapshot() []TraceEvent {
 	return out
 }
 
-// Filter returns the recorded events of a given kind, in arrival order.
+// Filter returns the recorded events of a given kind, in arrival order. It
+// walks the ring directly rather than materialising a Snapshot copy first.
 func (t *RecordingTracer) Filter(kind string) []TraceEvent {
 	var out []TraceEvent
-	for _, e := range t.Snapshot() {
+	t.Each(func(e TraceEvent) {
 		if e.Kind == kind {
 			out = append(out, e)
 		}
-	}
+	})
 	return out
 }
 
@@ -141,10 +177,18 @@ func (m MultiTracer) Trace(e TraceEvent) {
 
 var _ Tracer = MultiTracer{}
 
-// Emit is a convenience for components holding a Tracer and a Scheduler.
-func Emit(tr Tracer, at Time, source, kind string, fields map[string]any) {
+// Emit is the hot-path tracing entry point for components holding a Tracer
+// and a Scheduler. fields (which may be nil) is only invoked when tr is
+// non-nil: with tracing off the call costs a nil check and nothing else —
+// the lazy builder closure lives on the caller's stack because it never
+// escapes this function.
+func Emit(tr Tracer, at Time, source, kind string, fields FieldFunc) {
 	if tr == nil {
 		return
 	}
-	tr.Trace(TraceEvent{At: at, Source: source, Kind: kind, Fields: fields})
+	var fs []Field
+	if fields != nil {
+		fs = fields()
+	}
+	tr.Trace(TraceEvent{At: at, Source: source, Kind: kind, Fields: fs})
 }

@@ -7,7 +7,7 @@ import (
 
 func TestRecordingTracerFilters(t *testing.T) {
 	tr := NewRecordingTracer("tx")
-	Emit(tr, Time(0), "radio", "tx", map[string]any{"ch": 12})
+	Emit(tr, Time(0), "radio", "tx", func() []Field { return []Field{F("ch", 12)} })
 	Emit(tr, Time(1), "radio", "rx", nil)
 	if len(tr.Events) != 1 || tr.Events[0].Kind != "tx" {
 		t.Fatalf("events = %+v", tr.Events)
@@ -27,7 +27,7 @@ func TestRecordingTracerFilterMethod(t *testing.T) {
 func TestWriterTracerOutput(t *testing.T) {
 	var b strings.Builder
 	tr := WriterTracer{W: &b}
-	Emit(tr, Time(150*Microsecond), "slave", "anchor", map[string]any{"ch": 7, "ev": 3})
+	Emit(tr, Time(150*Microsecond), "slave", "anchor", func() []Field { return []Field{F("ev", 3), F("ch", 7)} })
 	out := b.String()
 	for _, want := range []string{"slave", "anchor", "ch=7", "ev=3"} {
 		if !strings.Contains(out, want) {
@@ -51,6 +51,56 @@ func TestMultiTracerFansOut(t *testing.T) {
 
 func TestEmitNilTracer(t *testing.T) {
 	Emit(nil, 0, "x", "k", nil) // must not panic
+}
+
+func TestEmitLazyFieldsSkippedWhenDisabled(t *testing.T) {
+	built := 0
+	fields := func() []Field { built++; return []Field{F("n", 1)} }
+	Emit(nil, 0, "x", "k", fields)
+	if built != 0 {
+		t.Fatal("field builder invoked under a nil tracer")
+	}
+	tr := NewRecordingTracer()
+	Emit(tr, 0, "x", "k", fields)
+	if built != 1 {
+		t.Fatalf("field builder invoked %d times under a live tracer, want 1", built)
+	}
+	if v, ok := tr.Events[0].Field("n"); !ok || v != 1 {
+		t.Fatalf("Field(n) = %v, %v", v, ok)
+	}
+	if _, ok := tr.Events[0].Field("missing"); ok {
+		t.Fatal("Field reported a missing key")
+	}
+}
+
+func TestEmitNilTracerZeroAlloc(t *testing.T) {
+	ch, n := 7, 42
+	allocs := testing.AllocsPerRun(200, func() {
+		Emit(nil, 0, "radio", "tx", func() []Field {
+			return []Field{F("ch", ch), F("len", n)}
+		})
+	})
+	if allocs != 0 {
+		t.Fatalf("Emit with nil tracer allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestRecordingTracerEachOrder(t *testing.T) {
+	tr := NewBoundedRecordingTracer(3)
+	for i := 0; i < 5; i++ {
+		Emit(tr, Time(i), "a", "k", nil)
+	}
+	var got []Time
+	tr.Each(func(e TraceEvent) { got = append(got, e.At) })
+	want := []Time{2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Each visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Each visited %v, want %v", got, want)
+		}
+	}
 }
 
 func TestBoundedRecordingTracerRing(t *testing.T) {
