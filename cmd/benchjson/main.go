@@ -32,58 +32,67 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		out         = flag.String("o", "", "write parsed benchmarks as JSON to this file (- for stdout)")
-		check       = flag.String("check", "", "compare stdin's benchmarks against this baseline JSON; exit 1 on regression")
-		nsThreshold = flag.Float64("ns-threshold", 30, "percent ns/op increase tolerated in -check mode (allocs/op tolerates none)")
-		nsFatal     = flag.Bool("ns-fatal", false, "treat ns/op threshold breaches as failures instead of warnings")
+		out         = fs.String("o", "", "write parsed benchmarks as JSON to this file (- for stdout)")
+		check       = fs.String("check", "", "compare stdin's benchmarks against this baseline JSON; exit 1 on regression")
+		nsThreshold = fs.Float64("ns-threshold", 30, "percent ns/op increase tolerated in -check mode (allocs/op tolerates none)")
+		nsFatal     = fs.Bool("ns-fatal", false, "treat ns/op threshold breaches as failures instead of warnings")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
 
 	if (*out == "") == (*check == "") {
-		fmt.Fprintln(os.Stderr, "benchjson: exactly one of -o or -check is required")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchjson: exactly one of -o or -check is required")
+		return 2
 	}
 
-	cur, err := benchfmt.Parse(os.Stdin)
+	cur, err := benchfmt.Parse(stdin)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: parsing stdin: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "benchjson: parsing stdin: %v\n", err)
+		return 2
 	}
 	if len(cur.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchjson: no benchmark result lines on stdin")
+		return 2
 	}
 
 	if *out != "" {
-		if err := write(*out, cur); err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-			os.Exit(2)
+		if err := write(*out, stdout, cur); err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 2
 		}
-		return
+		return 0
 	}
 
 	base, err := read(*check)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: reading baseline: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "benchjson: reading baseline: %v\n", err)
+		return 2
 	}
 	report := benchfmt.Compare(base, cur, benchfmt.GateConfig{
 		NSThresholdPct: *nsThreshold,
 		NSFatal:        *nsFatal,
 	})
 	for _, line := range report.Lines {
-		fmt.Println(line)
+		fmt.Fprintln(stdout, line)
 	}
 	if report.Failed {
-		fmt.Fprintln(os.Stderr, "benchjson: regression gate FAILED")
-		os.Exit(1)
+		fmt.Fprintln(stderr, "benchjson: regression gate FAILED")
+		return 1
 	}
-	fmt.Println("benchjson: regression gate passed")
+	fmt.Fprintln(stdout, "benchjson: regression gate passed")
+	return 0
 }
 
-func write(path string, s *benchfmt.Suite) error {
-	var w io.Writer = os.Stdout
+func write(path string, stdout io.Writer, s *benchfmt.Suite) error {
+	w := stdout
 	if path != "-" {
 		f, err := os.Create(path)
 		if err != nil {

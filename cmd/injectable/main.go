@@ -23,6 +23,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"injectable/internal/experiments"
@@ -37,36 +38,45 @@ import (
 const chromeTraceLimit = 250000
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	scenario := flag.String("scenario", "A", "attack scenario: A, B, C, D, keyboard or encrypted")
-	target := flag.String("target", "lightbulb", "target device: lightbulb, keyfob or smartwatch")
-	seed := flag.Uint64("seed", 1, "simulation seed (runs are deterministic per seed)")
-	withIDS := flag.Bool("ids", false, "attach the passive IDS and report its alerts")
-	trace := flag.Bool("trace", false, "stream the full Link Layer trace to stderr")
-	pcapPath := flag.String("pcap", "", "write attacker-sniffed LL traffic to a pcap file")
-	metricsPath := flag.String("metrics", "", "write metrics + injection forensics as JSON lines")
-	chromePath := flag.String("chrome-trace", "", "write a Chrome trace_event file (Perfetto / about:tracing)")
-	forensics := flag.Bool("forensics", false, "print the injection forensics summary")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address during the run")
-	flag.Parse()
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("injectable", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scenario := fs.String("scenario", "A", "attack scenario: A, B, C, D, keyboard or encrypted")
+	target := fs.String("target", "lightbulb", "target device: lightbulb, keyfob or smartwatch")
+	seed := fs.Uint64("seed", 1, "simulation seed (runs are deterministic per seed)")
+	withIDS := fs.Bool("ids", false, "attach the passive IDS and report its alerts")
+	trace := fs.Bool("trace", false, "stream the full Link Layer trace to stderr")
+	pcapPath := fs.String("pcap", "", "write attacker-sniffed LL traffic to a pcap file")
+	metricsPath := fs.String("metrics", "", "write metrics + injection forensics as JSON lines")
+	chromePath := fs.String("chrome-trace", "", "write a Chrome trace_event file (Perfetto / about:tracing)")
+	forensics := fs.Bool("forensics", false, "print the injection forensics summary")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address during the run")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "injectable:", err)
+		return 1
+	}
 
 	if *pprofAddr != "" {
 		srv, err := obs.StartDebugServer(*pprofAddr)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", srv.Addr())
+		fmt.Fprintf(stderr, "pprof: http://%s/debug/pprof/\n", srv.Addr())
 	}
 
 	// Assemble the instrumentation the scenario worlds will carry.
 	var inst experiments.Instrumentation
 	var tracers sim.MultiTracer
 	if *trace {
-		tracers = append(tracers, sim.WriterTracer{W: os.Stderr})
+		tracers = append(tracers, sim.WriterTracer{W: stderr})
 	}
 	var rec *sim.RecordingTracer
 	if *chromePath != "" {
@@ -83,54 +93,57 @@ func run() int {
 	if *pcapPath != "" {
 		f, err := os.Create(*pcapPath)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		pcapFile = f
 		pw, err := pcap.NewWriter(f)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		inst.Pcap = pw
 	}
 
-	code := runScenario(*scenario, *target, *seed, *withIDS, inst)
+	code, err := runScenario(*scenario, *target, *seed, *withIDS, inst, stdout)
+	if err != nil {
+		return fail(err)
+	}
 
 	// Flush the observability outputs before surfacing the exit code.
 	if pcapFile != nil {
-		fmt.Printf("pcap: %d packets (%d bytes) written to %s\n",
+		fmt.Fprintf(stdout, "pcap: %d packets (%d bytes) written to %s\n",
 			inst.Pcap.Packets(), inst.Pcap.BytesWritten(), *pcapPath)
 		if err := pcapFile.Close(); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 	if *metricsPath != "" {
 		if err := writeFileWith(*metricsPath, func(f *os.File) error {
 			return obs.WriteMetricsJSONL(f, inst.Obs.Snapshot(), inst.Obs.Led())
 		}); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Printf("metrics: %d ledger records written to %s\n",
+		fmt.Fprintf(stdout, "metrics: %d ledger records written to %s\n",
 			len(inst.Obs.Led().Records()), *metricsPath)
 	}
 	if *chromePath != "" {
 		if err := writeFileWith(*chromePath, func(f *os.File) error {
 			return obs.WriteChromeTrace(f, rec.Snapshot(), rec.Dropped(), inst.Obs.Led())
 		}); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Printf("chrome-trace: %d events (%d dropped) written to %s\n",
+		fmt.Fprintf(stdout, "chrome-trace: %d events (%d dropped) written to %s\n",
 			len(rec.Events), rec.Dropped(), *chromePath)
 	}
 	if *forensics {
-		if err := inst.Obs.Led().WriteSummary(os.Stdout); err != nil {
-			fatal(err)
+		if err := inst.Obs.Led().WriteSummary(stdout); err != nil {
+			return fail(err)
 		}
 	}
 	return code
 }
 
 // runScenario dispatches and reports one scenario, returning the exit code.
-func runScenario(scenario, target string, seed uint64, withIDS bool, inst experiments.Instrumentation) int {
+func runScenario(scenario, target string, seed uint64, withIDS bool, inst experiments.Instrumentation, stdout io.Writer) (int, error) {
 	switch scenario {
 	case "A", "B", "C", "D":
 		run := map[string]func(string, uint64, bool, experiments.Instrumentation) (experiments.ScenarioOutcome, error){
@@ -141,42 +154,42 @@ func runScenario(scenario, target string, seed uint64, withIDS bool, inst experi
 		}[scenario]
 		out, err := run(target, seed, withIDS, inst)
 		if err != nil {
-			fatal(err)
+			return 0, err
 		}
-		fmt.Printf("scenario %s vs %s: success=%t attempts=%d (%s)\n",
+		fmt.Fprintf(stdout, "scenario %s vs %s: success=%t attempts=%d (%s)\n",
 			scenario, out.Target, out.Success, out.Attempts, out.Detail)
 		if withIDS {
 			if len(out.IDSAlerts) == 0 {
-				fmt.Println("IDS: no alerts")
+				fmt.Fprintln(stdout, "IDS: no alerts")
 			}
 			for kind, n := range out.IDSAlerts {
-				fmt.Printf("IDS: %d × %s\n", n, kind)
+				fmt.Fprintf(stdout, "IDS: %d × %s\n", n, kind)
 			}
 		}
 		if !out.Success {
-			return 1
+			return 1, nil
 		}
 	case "keyboard":
 		out, err := experiments.RunScenarioKeystrokesWith(seed, withIDS, inst)
 		if err != nil {
-			fatal(err)
+			return 0, err
 		}
-		fmt.Printf("scenario keyboard: success=%t hijackAttempts=%d (%s)\n",
+		fmt.Fprintf(stdout, "scenario keyboard: success=%t hijackAttempts=%d (%s)\n",
 			out.Success, out.Attempts, out.Detail)
 		if !out.Success {
-			return 1
+			return 1, nil
 		}
 	case "encrypted":
 		out, err := experiments.RunEncryptedInjectionWith(seed, inst)
 		if err != nil {
-			fatal(err)
+			return 0, err
 		}
-		fmt.Printf("encrypted countermeasure: paired=%t featureTriggered=%t dosDrop=%t\n",
+		fmt.Fprintf(stdout, "encrypted countermeasure: paired=%t featureTriggered=%t dosDrop=%t\n",
 			out.Paired, out.FeatureTriggered, out.ConnectionDropped)
 	default:
-		fatal(fmt.Errorf("unknown scenario %q", scenario))
+		return 0, fmt.Errorf("unknown scenario %q", scenario)
 	}
-	return 0
+	return 0, nil
 }
 
 // writeFileWith creates path, runs write against it and closes it,
@@ -191,9 +204,4 @@ func writeFileWith(path string, write func(f *os.File) error) error {
 		return err
 	}
 	return f.Close()
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "injectable:", err)
-	os.Exit(1)
 }

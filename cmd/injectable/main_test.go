@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, argv ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(argv, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunFlagError(t *testing.T) {
+	if code, _, stderr := runCLI(t, "-nonsense"); code != 2 || !strings.Contains(stderr, "nonsense") {
+		t.Fatalf("bad flag: exit %d stderr %q", code, stderr)
+	}
+}
+
+func TestRunUnknownScenario(t *testing.T) {
+	code, _, stderr := runCLI(t, "-scenario", "Z")
+	if code != 1 {
+		t.Fatalf("unknown scenario: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, `unknown scenario "Z"`) {
+		t.Fatalf("stderr does not name the scenario: %q", stderr)
+	}
+}
+
+// TestRunScenarioASmoke runs the seeded scenario-A attack end to end
+// through the CLI surface (seed 77 is a known-success seed, pinned by the
+// experiments package's own tests).
+func TestRunScenarioASmoke(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-scenario", "A", "-target", "lightbulb", "-seed", "77")
+	if code != 0 {
+		t.Fatalf("scenario A seed 77: exit %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "scenario A vs lightbulb: success=true") {
+		t.Fatalf("unexpected report: %q", stdout)
+	}
+}
+
+func TestRunScenarioAWithForensicsAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "m.jsonl")
+	code, stdout, stderr := runCLI(t,
+		"-scenario", "A", "-seed", "77", "-forensics", "-metrics", metrics)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "ledger records written") {
+		t.Fatalf("metrics banner missing: %q", stdout)
+	}
+	b, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bytes.TrimSpace(b)) == 0 {
+		t.Fatal("metrics file is empty")
+	}
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, argv ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(argv, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunFlagError(t *testing.T) {
+	code, _, stderr := runCapture(t, "-nonsense")
+	if code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "nonsense") {
+		t.Fatalf("stderr does not mention the bad flag: %q", stderr)
+	}
+	if code, _, _ = runCapture(t, "stray"); code != 2 {
+		t.Fatalf("stray positional arg: exit %d, want 2", code)
+	}
+}
+
+func TestRunBadOverride(t *testing.T) {
+	if code, _, stderr := runCapture(t, "-seed", "3", "-base", "-p", "nope=1"); code != 2 {
+		t.Fatalf("unknown param: exit %d, want 2 (stderr %q)", code, stderr)
+	}
+	if code, _, _ := runCapture(t, "-seed", "3", "-base", "-p", "noequals"); code != 2 {
+		t.Fatalf("malformed -p: exit %d, want 2", code)
+	}
+	// Swarm mode must also surface mutate errors, not swallow them.
+	if code, _, _ := runCapture(t, "-worlds", "2", "-p", "nope=1"); code != 2 {
+		t.Fatalf("swarm with unknown param: exit %d, want 2", code)
+	}
+}
+
+func TestRunSingleWorldPasses(t *testing.T) {
+	code, stdout, stderr := runCapture(t, "-seed", "3", "-base")
+	if code != 0 {
+		t.Fatalf("default world: exit %d (stdout %q, stderr %q)", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "all invariants hold") {
+		t.Fatalf("missing pass banner: %q", stdout)
+	}
+}
+
+func TestRunBrokenWideningShrinks(t *testing.T) {
+	code, stdout, _ := runCapture(t,
+		"-seed", "99", "-base", "-p", "breakWidening=0.5", "-shrink")
+	if code != 1 {
+		t.Fatalf("broken widening: exit %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "widening-eq4") {
+		t.Fatalf("violation not reported: %q", stdout)
+	}
+	if !strings.Contains(stdout, "repro: go run ./cmd/simtest -seed 99 -base") ||
+		!strings.Contains(stdout, "breakWidening") {
+		t.Fatalf("repro command missing or incomplete: %q", stdout)
+	}
+}
+
+func TestRunSwarmSmoke(t *testing.T) {
+	code, stdout, stderr := runCapture(t, "-worlds", "4", "-seed-base", "42000", "-v")
+	if code != 0 {
+		t.Fatalf("swarm: exit %d (stdout %q, stderr %q)", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "seeds [42000, 42004)") {
+		t.Fatalf("seed range not logged: %q", stdout)
+	}
+	if got := strings.Count(stdout, "seed 4200"); got != 4 {
+		t.Fatalf("-v printed %d world lines, want 4:\n%s", got, stdout)
+	}
+}

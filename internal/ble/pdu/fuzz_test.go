@@ -1,67 +1,83 @@
 package pdu
 
 import (
+	"bytes"
 	"testing"
-	"testing/quick"
 )
 
 // The decoders face attacker-controlled bytes (that is the entire point of
 // this repository): no input may panic, and any accepted input must
-// round-trip consistently.
+// round-trip consistently. Seed corpora live under testdata/fuzz/; run the
+// engines with e.g.
+//
+//	go test ./internal/ble/pdu -fuzz=FuzzUnmarshalAdvPDU -fuzztime=30s
 
-func TestUnmarshalAdvPDUNeverPanics(t *testing.T) {
-	f := func(b []byte) bool {
+func FuzzUnmarshalAdvPDU(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x40, 0x00})
+	f.Add(AdvPDU{Type: AdvIndType, TxAdd: true, Payload: make([]byte, 8)}.Marshal())
+	f.Add(AdvPDU{Type: ConnectReqType, TxAdd: true, Payload: make([]byte, 34)}.Marshal())
+	f.Add(AdvPDU{Type: ScanReqType, Payload: make([]byte, 12)}.Marshal())
+	f.Fuzz(func(t *testing.T, b []byte) {
 		p, err := UnmarshalAdvPDU(b)
-		if err != nil {
-			return true
+		if err == nil {
+			out, err := UnmarshalAdvPDU(p.Marshal())
+			if err != nil {
+				t.Fatalf("accepted PDU does not re-parse: %v", err)
+			}
+			if out.Type != p.Type || !bytes.Equal(out.Payload, p.Payload) {
+				t.Fatalf("round-trip changed the PDU: %+v -> %+v", p, out)
+			}
+			// The typed payload parsers must tolerate whatever survived the
+			// header check.
+			_, _ = UnmarshalAdvInd(p.Payload)
+			_, _ = UnmarshalConnectReq(p.Payload)
 		}
-		// Accepted inputs re-marshal to the same header+payload.
-		out, err := UnmarshalAdvPDU(p.Marshal())
-		return err == nil && out.Type == p.Type && len(out.Payload) == len(p.Payload)
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestUnmarshalDataPDUNeverPanics(t *testing.T) {
-	f := func(b []byte) bool {
-		p, err := UnmarshalDataPDU(b)
-		if err != nil {
-			return true
-		}
-		out, err := UnmarshalDataPDU(p.Marshal())
-		return err == nil && out.Header == p.Header
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestUnmarshalControlNeverPanics(t *testing.T) {
-	f := func(b []byte) bool {
-		c, err := UnmarshalControl(b)
-		if err != nil {
-			return true
-		}
-		// Accepted control PDUs round-trip bit-exactly.
-		again, err := UnmarshalControl(MarshalControl(c))
-		return err == nil && again.Opcode() == c.Opcode()
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestUnmarshalPayloadParsersNeverPanic(t *testing.T) {
-	f := func(b []byte) bool {
+		// ...and arbitrary bytes, with or without a valid header.
 		_, _ = UnmarshalAdvInd(b)
 		_, _ = UnmarshalScanReq(b)
 		_, _ = UnmarshalScanRsp(b)
 		_, _ = UnmarshalConnectReq(b)
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
-		t.Fatal(err)
-	}
+	})
+}
+
+func FuzzUnmarshalDataPDU(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Empty(false, true).Marshal())
+	f.Add(DataPDU{Header: DataHeader{LLID: LLIDStart}, Payload: []byte{4, 0, 4, 0, 0x52, 5, 0, 1}}.Marshal())
+	f.Add([]byte{0x03, 0x01, 0x12})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, err := UnmarshalDataPDU(b)
+		if err != nil {
+			return
+		}
+		out, err := UnmarshalDataPDU(p.Marshal())
+		if err != nil {
+			t.Fatalf("accepted PDU does not re-parse: %v", err)
+		}
+		if out.Header != p.Header || !bytes.Equal(out.Payload, p.Payload) {
+			t.Fatalf("round-trip changed the PDU: %+v -> %+v", p, out)
+		}
+	})
+}
+
+func FuzzUnmarshalControl(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{byte(OpTerminateInd), 0x13})
+	f.Add([]byte{byte(OpPingReq)})
+	f.Add(MarshalControl(ConnectionUpdateInd{Interval: 36, Timeout: 100}))
+	f.Add(MarshalControl(ChannelMapInd{ChannelMap: 1<<37 - 1}))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		c, err := UnmarshalControl(b)
+		if err != nil {
+			return
+		}
+		again, err := UnmarshalControl(MarshalControl(c))
+		if err != nil {
+			t.Fatalf("accepted control PDU does not re-parse: %v", err)
+		}
+		if again.Opcode() != c.Opcode() {
+			t.Fatalf("round-trip changed the opcode: %v -> %v", c.Opcode(), again.Opcode())
+		}
+	})
 }

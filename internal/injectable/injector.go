@@ -131,6 +131,11 @@ type Injector struct {
 	cfg     InjectorConfig
 
 	active *injection
+
+	// OnAttempt observes every settled injection attempt (instrumentation /
+	// invariant checking). It fires after the attempt is recorded, before
+	// any retry is armed.
+	OnAttempt func(a Attempt)
 }
 
 // injection is one in-progress Inject call.
@@ -392,6 +397,9 @@ func (inj *Injector) settle(a Attempt) {
 		SlaveResponded: a.SlaveSeen,
 		ResponseValid:  len(a.ResponsePDU) > 0,
 	}, float64(st.AnchorJitterEWMA)/float64(sim.Microsecond))
+	if inj.OnAttempt != nil {
+		inj.OnAttempt(a)
+	}
 	if a.Outcome == OutcomeNoResponse {
 		st.MissedEvents++
 		// Adapt: fire a little later next time (the slave heard nothing,

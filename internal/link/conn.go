@@ -39,6 +39,57 @@ type EventInfo struct {
 	Missed  bool // slave only: no master frame seen in the receive window
 }
 
+// WindowKind says which flavour of receive window a slave opened.
+type WindowKind int
+
+// Receive-window kinds.
+const (
+	// WindowInitial: the widened transmit window after CONNECT_REQ (eq. 1).
+	WindowInitial WindowKind = iota + 1
+	// WindowUpdate: the widened transmit window at a connection-update
+	// instant (paper Fig. 2).
+	WindowUpdate
+	// WindowSteady: the steady-state window around the predicted anchor
+	// (eq. 2/3), half-width per eq. 4/5.
+	WindowSteady
+)
+
+// String implements fmt.Stringer.
+func (k WindowKind) String() string {
+	switch k {
+	case WindowInitial:
+		return "initial"
+	case WindowUpdate:
+		return "update"
+	default:
+		return "steady"
+	}
+}
+
+// WindowInfo describes one slave receive window as it opens, carrying the
+// exact inputs of the widening computation (eq. 4/5) so external checkers
+// can recompute it independently.
+type WindowInfo struct {
+	Kind    WindowKind
+	Event   uint16 // connection event counter of this window
+	Channel uint8
+	OpenAt  sim.Time     // when the radio started listening
+	Width   sim.Duration // total listening duration scheduled
+	// Span is the time between the last timing reference (anchor or
+	// CONNECT_REQ end) and the predicted packet start — the
+	// sinceLastAnchor term of eq. 4, stretched by missed events per eq. 5.
+	Span sim.Duration
+	// Widening is the half-window widening actually applied, after the
+	// stack's countermeasure scale.
+	Widening sim.Duration
+	// TxWinSize is the master's transmit-window size (initial/update
+	// windows only; zero for steady-state windows).
+	TxWinSize sim.Duration
+	// MasterPPM and SlavePPM are the two sleep-clock accuracies the
+	// widening was computed from (SCA_M worst case, own rated SCA_S).
+	MasterPPM, SlavePPM float64
+}
+
 // encState tracks the LL encryption-start procedure.
 type encState int
 
@@ -104,6 +155,10 @@ type Conn struct {
 	// a window opens and when a frame arrives in it.
 	winEpoch uint64
 
+	// pendingWindow carries the widening inputs from the scheduling site
+	// to slaveOpenWindow, where OnWindow fires with them.
+	pendingWindow WindowInfo
+
 	// OnData receives CRC-valid, decrypted, non-control data PDUs carrying
 	// new data (SN-deduplicated).
 	OnData func(p pdu.DataPDU)
@@ -117,6 +172,9 @@ type Conn struct {
 	OnLTKRequest func(rand [8]byte, ediv uint16) ([16]byte, bool)
 	// OnEvent observes every connection event (instrumentation).
 	OnEvent func(e EventInfo)
+	// OnWindow observes every slave receive window as it opens, with the
+	// widening-computation inputs (instrumentation / invariant checking).
+	OnWindow func(w WindowInfo)
 }
 
 // newConn wires the common parts of both roles.
@@ -160,6 +218,30 @@ func (c *Conn) Closed() bool { return c.closed }
 // SequenceState returns the current (SN, NESN) counters — what an attacker
 // sniffs to forge eq. 6 of the paper.
 func (c *Conn) SequenceState() (sn, nesn bool) { return c.sn, c.nesn }
+
+// MissedEvents returns the number of events since the last observed anchor
+// (slave only) — the multiplier of the eq. 5 widening span.
+func (c *Conn) MissedEvents() uint16 { return c.missedEvents }
+
+// AnchorKnown reports whether the slave has adopted its first anchor.
+func (c *Conn) AnchorKnown() bool { return c.anchorKnown }
+
+// LastAnchor returns the last timing reference (anchor point, or the
+// CONNECT_REQ end before the first anchor).
+func (c *Conn) LastAnchor() sim.Time { return c.lastAnchor }
+
+// Stack returns the stack this connection runs on.
+func (c *Conn) Stack() *Stack { return c.stack }
+
+// EncryptionCounters returns the LL encryption session's per-direction
+// packet counters. ok is false before a session exists.
+func (c *Conn) EncryptionCounters() (m2s, s2m uint64, ok bool) {
+	if c.session == nil {
+		return 0, 0, false
+	}
+	m2s, s2m = c.session.Counters()
+	return m2s, s2m, true
+}
 
 // Send queues an L2CAP fragment for transmission.
 func (c *Conn) Send(llid pdu.LLID, payload []byte) {

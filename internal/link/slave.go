@@ -36,14 +36,24 @@ func (c *Conn) scaledWidening(w sim.Duration) sim.Duration {
 // scheduleSlaveWindowForTransmitWindow opens the receiver over a
 // master-chosen transmit window (initial connection or connection update).
 func (c *Conn) scheduleSlaveWindowForTransmitWindow(w TransmitWindow, ref sim.Time) {
-	widening := c.scaledWidening(WindowWidening(c.params.MasterSCA.WorstPPM(), c.ownSCA(), w.Start.Sub(ref)))
+	span := w.Start.Sub(ref)
+	widening := c.scaledWidening(WindowWidening(c.params.MasterSCA.WorstPPM(), c.ownSCA(), span))
 	c.ins.onWidening(widening)
-	openOffset := w.Start.Sub(ref) - widening
+	c.setPendingWindow(WindowInitial, span, widening, w.Size)
+	openOffset := span - widening
 	closeOffset := w.End().Sub(ref) + widening
 	ev := c.stack.Clock.AtLocalOffset(ref, openOffset, c.stack.Name+":win-open", func() {
 		c.slaveOpenWindow(closeOffset - openOffset)
 	})
 	c.timers = append(c.timers, ev)
+}
+
+// setPendingWindow stages the widening inputs for the next slaveOpenWindow.
+func (c *Conn) setPendingWindow(kind WindowKind, span, widening, txWinSize sim.Duration) {
+	c.pendingWindow = WindowInfo{
+		Kind: kind, Span: span, Widening: widening, TxWinSize: txWinSize,
+		MasterPPM: c.params.MasterSCA.WorstPPM(), SlavePPM: c.ownSCA(),
+	}
 }
 
 // scheduleNextSlaveWindow predicts the next anchor and opens the widened
@@ -61,9 +71,11 @@ func (c *Conn) scheduleNextSlaveWindow() {
 		c.applyUpdateParams(upd)
 		ref := c.lastAnchor
 		w := NewTransmitWindow(ref.Add(predictedOld), upd.WinOffset, upd.WinSize)
-		widening := c.scaledWidening(WindowWidening(c.params.MasterSCA.WorstPPM(), c.ownSCA(), w.Start.Sub(ref)))
+		span := w.Start.Sub(ref)
+		widening := c.scaledWidening(WindowWidening(c.params.MasterSCA.WorstPPM(), c.ownSCA(), span))
 		c.ins.onWidening(widening)
-		openOffset := w.Start.Sub(ref) - widening
+		c.setPendingWindow(WindowUpdate, span, widening, w.Size)
+		openOffset := span - widening
 		closeOffset := w.End().Sub(ref) + widening
 		ev := c.stack.Clock.AtLocalOffset(ref, openOffset, c.stack.Name+":upd-win-open", func() {
 			c.slaveOpenWindow(closeOffset - openOffset)
@@ -81,6 +93,7 @@ func (c *Conn) scheduleNextSlaveWindow() {
 	span := sim.Duration(c.missedEvents+1) * c.params.IntervalDuration()
 	widening := c.currentWidening()
 	c.ins.onWidening(widening)
+	c.setPendingWindow(WindowSteady, span, widening, 0)
 	ev := c.stack.Clock.AtLocalOffset(c.lastAnchor, span-widening, c.stack.Name+":win-open", func() {
 		c.slaveOpenWindow(2 * widening)
 	})
@@ -136,6 +149,14 @@ func (c *Conn) slaveOpenWindow(width sim.Duration) {
 		return []sim.Field{sim.F("event", c.eventCount), sim.F("ch", ch), sim.F("width", width.String())}
 	})
 	c.ins.onWindowOpen(c, ch, width)
+	if c.OnWindow != nil {
+		w := c.pendingWindow
+		w.Event = c.eventCount
+		w.Channel = ch
+		w.OpenAt = c.stack.Sched.Now()
+		w.Width = width
+		c.OnWindow(w)
+	}
 	c.winEpoch++
 	epoch := c.winEpoch
 	c.schedule(width, "win-close", func() { c.slaveWindowClose(epoch) })

@@ -104,3 +104,10 @@ func (s *Session) takeCounter(dir Direction) uint64 {
 
 // SessionKey exposes SK for test vectors.
 func (s *Session) SessionKey() [16]byte { return s.sk }
+
+// Counters returns the per-direction packet counters (the number of PDUs
+// processed so far in each direction). The counters only ever grow — the
+// monotonicity invariant the simtest checker enforces across a run.
+func (s *Session) Counters() (m2s, s2m uint64) {
+	return s.txCounterM2S, s.txCounterS2M
+}

@@ -77,6 +77,33 @@ type Observer interface {
 	ObserveTx(o TxObservation)
 }
 
+// DeliverObservation is the medium's own account of one frame delivery to
+// a locked receiver: which transmission completed, what interfered with it
+// and which mechanism (if any) corrupted it. Test instrumentation only —
+// protocol code must not use it.
+type DeliverObservation struct {
+	Radio   string // receiving radio
+	Source  string // transmitting radio
+	Channel phy.Channel
+	StartAt sim.Time // on-air start of the delivered frame
+	EndAt   sim.Time // on-air end (also the delivery instant)
+	RSSI    phy.DBm
+	// Collided: at least one other transmission overlapped the frame body.
+	Collided bool
+	// MinSIRdB is the worst signal-to-interference ratio over all
+	// interferers (0 when not collided).
+	MinSIRdB float64
+	// Corrupted mirrors the Received flag handed to the radio.
+	Corrupted bool
+	// CaptureLost: a frame interferer won the capture-model draw.
+	CaptureLost bool
+	// NoiseLost: a jamming burst within noiseCaptureThresholdDB corrupted
+	// the frame (deterministic, no draw involved).
+	NoiseLost bool
+	// FadeLost: the sensitivity-fade draw near the noise floor fired.
+	FadeLost bool
+}
+
 // noiseCaptureThresholdDB is the SIR above which a frame survives
 // co-channel *noise* (jamming). GFSK demodulators need roughly this
 // carrier-to-noise margin; below it the burst reliably breaks the CRC.
@@ -122,11 +149,12 @@ type Medium struct {
 	sched     *sim.Scheduler
 	rng       *sim.RNG
 	cfg       Config
-	radios    []*Radio
-	active    []*transmission
-	observers []Observer
-	ins       *instruments
-	arena     *sim.ByteArena
+	radios     []*Radio
+	active     []*transmission
+	observers  []Observer
+	deliverObs func(DeliverObservation)
+	ins        *instruments
+	arena      *sim.ByteArena
 
 	// scratch is reused by interferersDuring so the overlap scan in the
 	// deliver/lock hot path does not allocate. Safe because the result is
@@ -199,6 +227,11 @@ func (m *Medium) Scheduler() *sim.Scheduler { return m.sched }
 
 // AddObserver registers a wideband observer.
 func (m *Medium) AddObserver(o Observer) { m.observers = append(m.observers, o) }
+
+// SetDeliverObserver installs a hook observing every frame delivery with
+// its corruption attribution. Observation only: it never changes delivery
+// outcomes or the RNG draw sequence. Nil uninstalls.
+func (m *Medium) SetDeliverObserver(fn func(DeliverObservation)) { m.deliverObs = fn }
 
 // Now returns the current simulation time.
 func (m *Medium) Now() sim.Time { return m.sched.Now() }
@@ -354,6 +387,7 @@ func (m *Medium) deliver(t *transmission, r *Radio) {
 	// post-preamble body (the preamble was verified clean at lock time).
 	bodyStart := t.start.Add(t.frame.Mode.PreambleAATime())
 	collided, minSIR := false, math.Inf(1)
+	captureLost, noiseLost, fadeLost := false, false, false
 	for _, i := range m.interferersDuring(t, t.channel, bodyStart, t.end) {
 		i := i
 		ov := overlap(bodyStart, t.end, i.start, i.end)
@@ -368,9 +402,11 @@ func (m *Medium) deliver(t *transmission, r *Radio) {
 			// solid capture margin is corrupted.
 			if sir < noiseCaptureThresholdDB {
 				rx.Corrupted = true
+				noiseLost = true
 			}
 		} else if !m.cfg.Capture.Survives(m.rng, sir, ov) {
 			rx.Corrupted = true
+			captureLost = true
 		}
 		corrupted := rx.Corrupted
 		sim.Emit(m.cfg.Tracer, t.end, r.name, "collision", func() []sim.Field {
@@ -384,6 +420,7 @@ func (m *Medium) deliver(t *transmission, r *Radio) {
 	snr := float64(rx.RSSI) - float64(phy.NoiseFloor)
 	if lossP := frameLossFromSNR(snr, len(t.frame.PDU)); lossP > 0 && m.rng.Bool(lossP) {
 		rx.Corrupted = true
+		fadeLost = true
 	}
 	if rx.Corrupted {
 		// Draw the corruption pattern unconditionally — the RNG stream must
@@ -407,6 +444,14 @@ func (m *Medium) deliver(t *transmission, r *Radio) {
 		minSIR = 0
 	}
 	m.ins.onDeliver(r, t, &rx, collided, minSIR)
+	if m.deliverObs != nil {
+		m.deliverObs(DeliverObservation{
+			Radio: r.name, Source: t.radio.name, Channel: t.channel,
+			StartAt: t.start, EndAt: t.end, RSSI: rx.RSSI,
+			Collided: collided, MinSIRdB: minSIR, Corrupted: rx.Corrupted,
+			CaptureLost: captureLost, NoiseLost: noiseLost, FadeLost: fadeLost,
+		})
+	}
 	r.completeRx(rx)
 }
 

@@ -1,0 +1,65 @@
+package simtest
+
+// Independent reference implementations of both channel selection
+// algorithms, written against spec Vol 6 Part B §4.5.8 rather than against
+// internal/ble/csa. The csa-channel invariant compares the stack's observed
+// hop sequence with these, so a shared bug would have to be introduced
+// twice to go unnoticed.
+
+import "injectable/internal/ble"
+
+// refUsedChannels lists the used data channels of a map in ascending order.
+func refUsedChannels(m ble.ChannelMap) []uint8 {
+	var used []uint8
+	for ch := uint8(0); ch < 37; ch++ {
+		if m&(1<<ch) != 0 {
+			used = append(used, ch)
+		}
+	}
+	return used
+}
+
+// refCSA1Channel computes the CSA#1 data channel for a connection event.
+// The simulated stack starts connections from unmapped channel 0, so the
+// unmapped channel of event e is (e+1)·hop mod 37.
+func refCSA1Channel(event uint16, hop uint8, m ble.ChannelMap) uint8 {
+	un := uint8(((uint32(event) + 1) * uint32(hop)) % 37)
+	if m&(1<<un) != 0 {
+		return un
+	}
+	used := refUsedChannels(m)
+	return used[int(un)%len(used)]
+}
+
+// refCSA2Channel computes the CSA#2 data channel for a connection event
+// (spec Vol 6 Part B §4.5.8.3).
+func refCSA2Channel(event uint16, aa ble.AccessAddress, m ble.ChannelMap) uint8 {
+	channelID := uint16(uint32(aa)>>16) ^ uint16(uint32(aa))
+	x := event ^ channelID
+	for round := 0; round < 3; round++ {
+		x = refPermute(x)
+		x = 17*x + channelID // MAM mod 2^16 via uint16 wraparound
+	}
+	prn := x ^ channelID
+	un := uint8(prn % 37)
+	if m&(1<<un) != 0 {
+		return un
+	}
+	used := refUsedChannels(m)
+	idx := (uint32(len(used)) * uint32(prn)) >> 16
+	return used[idx]
+}
+
+// refPermute bit-reverses each byte of x.
+func refPermute(x uint16) uint16 {
+	var out uint16
+	for bit := 0; bit < 8; bit++ {
+		if x&(1<<bit) != 0 {
+			out |= 1 << (7 - bit)
+		}
+		if x&(1<<(8+bit)) != 0 {
+			out |= 1 << (15 - bit)
+		}
+	}
+	return out
+}

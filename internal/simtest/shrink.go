@@ -1,0 +1,74 @@
+package simtest
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ShrinkResult is a minimised failing world.
+type ShrinkResult struct {
+	Seed uint64
+	// Initial is the original failing run, Final the run of the minimal
+	// parameter vector (still failing, by construction).
+	Initial Result
+	Final   Result
+	// Minimal is the smallest parameter vector found that still fails;
+	// Minimal.Diff() lists the fields that matter.
+	Minimal Params
+	// Runs counts world executions spent shrinking (including the first).
+	Runs int
+}
+
+// ReproCommand renders the one-line reproduction for the minimal world.
+func (s ShrinkResult) ReproCommand() string {
+	parts := []string{fmt.Sprintf("go run ./cmd/simtest -seed %d -base", s.Seed)}
+	for _, d := range s.Minimal.Diff() {
+		parts = append(parts, "-p "+d)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Shrink greedily minimises a failing world: each non-default parameter is
+// reset to its default and the world rerun; resets that keep the failure
+// stick. The pass repeats until a fixed point (resetting one field can
+// unlock resetting another). The result is 1-minimal: putting back any
+// single remaining field makes the failure disappear.
+//
+// If the initial world does not fail, the result's Final is that passing
+// run and Minimal equals the input — callers check Final.Failed().
+func Shrink(seed uint64, p Params) (ShrinkResult, error) {
+	initial, err := RunWorld(seed, p)
+	if err != nil {
+		return ShrinkResult{}, err
+	}
+	out := ShrinkResult{Seed: seed, Initial: initial, Final: initial, Minimal: p, Runs: 1}
+	if !initial.Failed() {
+		return out, nil
+	}
+
+	def := DefaultParams()
+	cur, curRes := p, initial
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fields() {
+			if f.equal(&cur, &def) {
+				continue
+			}
+			cand := cur
+			if err := f.set(&cand, f.get(&def)); err != nil {
+				continue
+			}
+			r, err := RunWorld(seed, cand)
+			out.Runs++
+			if err != nil {
+				continue // reset produced an unrealisable vector; keep the field
+			}
+			if r.Failed() {
+				cur, curRes = cand, r
+				changed = true
+			}
+		}
+	}
+	out.Minimal, out.Final = cur, curRes
+	return out, nil
+}

@@ -1,0 +1,301 @@
+package simtest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"injectable/internal/att"
+	"injectable/internal/ble"
+	"injectable/internal/devices"
+	"injectable/internal/gatt"
+	"injectable/internal/host"
+	"injectable/internal/ids"
+	"injectable/internal/injectable"
+	"injectable/internal/link"
+	"injectable/internal/medium"
+	"injectable/internal/obs"
+	"injectable/internal/phy"
+	"injectable/internal/sim"
+)
+
+// Result is the outcome of one checked world.
+type Result struct {
+	Seed   uint64
+	Params Params
+
+	// Connected: the phone reached an established connection (worlds with
+	// jammers or tight clocks may legitimately fail to connect).
+	Connected bool
+	// SnifferSynced: the attacker's sniffer was following the connection
+	// when the attack phase started (attack scenarios only).
+	SnifferSynced bool
+	// Windows counts slave receive windows the checker inspected.
+	Windows int
+	// InjectTx counts attacker transmissions, Records the forensics
+	// entries reconciled against them.
+	InjectTx int
+	Records  int
+	// AttackDone/AttackSuccess: the scenario's completion callback fired /
+	// reported success (invariants are checked regardless).
+	AttackDone    bool
+	AttackSuccess bool
+	// IDSAlerts counts monitor alerts by kind (IDS worlds only).
+	IDSAlerts map[ids.AlertKind]int
+
+	Violations []Violation
+	Truncated  int
+}
+
+// Failed reports whether any invariant was violated.
+func (r Result) Failed() bool { return len(r.Violations) > 0 }
+
+// InjectionAlerts sums the injection-class IDS alerts (the §VIII
+// detector's positive signal).
+func (r Result) InjectionAlerts() int {
+	return r.IDSAlerts[ids.AlertDoubleFrame] + r.IDSAlerts[ids.AlertAnchorDeviation] +
+		r.IDSAlerts[ids.AlertRogueUpdate] + r.IDSAlerts[ids.AlertScheduleSplit]
+}
+
+// Fingerprint is a deterministic digest of everything observable about the
+// run — two runs of the same seed must produce equal fingerprints
+// regardless of worker count or host.
+func (r Result) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d connected=%t synced=%t windows=%d injectTx=%d records=%d done=%t success=%t",
+		r.Seed, r.Connected, r.SnifferSynced, r.Windows, r.InjectTx, r.Records,
+		r.AttackDone, r.AttackSuccess)
+	kinds := make([]string, 0, len(r.IDSAlerts))
+	for k := range r.IDSAlerts {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, " %s=%d", k, r.IDSAlerts[ids.AlertKind(k)])
+	}
+	fmt.Fprintf(&b, " violations=%d+%d", len(r.Violations), r.Truncated)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "\n%v", v)
+	}
+	return b.String()
+}
+
+// RunWorld builds and runs one world under the invariant engine. The error
+// return is construction-level only (invalid parameters); invariant
+// breaches and failed connections are reported in the Result.
+func RunWorld(seed uint64, p Params) (Result, error) {
+	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	res := Result{Seed: seed, Params: p}
+
+	// The checker must exist before the world (it is the world's tracer),
+	// but needs the world's clock; close over the late-bound pointer.
+	var w *host.World
+	ck := NewChecker(func() sim.Time { return w.Sched.Now() }, p.WideningScale)
+	hub := obs.NewHub()
+	w = host.NewWorld(host.WorldConfig{Seed: seed, Tracer: ck, Obs: hub})
+	w.Medium.AddObserver(ck)
+	w.Medium.SetDeliverObserver(ck.OnDeliver)
+
+	// Victim peripheral at the origin. BreakWidening is the fault-injection
+	// backdoor: the device's widening scale is changed behind the checker's
+	// back, which must surface as a widening-eq4 violation.
+	deviceScale := p.WideningScale
+	if p.BreakWidening > 0 {
+		eff := deviceScale
+		if eff <= 0 {
+			eff = 1
+		}
+		deviceScale = eff * p.BreakWidening
+	}
+	targetDev := w.NewDevice(host.DeviceConfig{
+		Name:          p.Target,
+		Position:      phy.Position{},
+		ClockPPM:      p.TargetPPM,
+		ClockJitter:   usDuration(p.TargetJitterUS),
+		WideningScale: deviceScale,
+	})
+	var (
+		target *host.Peripheral
+		bulb   *devices.Lightbulb
+		fob    *devices.Keyfob
+		watch  *devices.Smartwatch
+	)
+	switch p.Target {
+	case "lightbulb":
+		bulb = devices.NewLightbulb(targetDev)
+		target = bulb.Peripheral
+	case "keyfob":
+		fob = devices.NewKeyfob(targetDev)
+		target = fob.Peripheral
+	case "smartwatch":
+		watch = devices.NewSmartwatch(targetDev)
+		target = watch.Peripheral
+	}
+	target.OnConnect = func(conn *link.Conn) { ck.WatchConn(p.Target, conn) }
+
+	// Phone central opposite the attacker.
+	chMap := ble.AllChannels
+	for ch := 0; ch < p.UnusedChans; ch++ {
+		chMap = chMap.Without(uint8(ch))
+	}
+	activity := sim.Duration(-1)
+	if p.ActivityMS > 0 {
+		activity = sim.Duration(p.ActivityMS) * sim.Millisecond
+	}
+	phone := devices.NewSmartphone(w.NewDevice(host.DeviceConfig{
+		Name:        "phone",
+		Position:    phy.Position{X: p.PhoneDist},
+		ClockPPM:    p.PhonePPM,
+		ClockJitter: usDuration(p.PhoneJitterUS),
+	}), devices.SmartphoneConfig{
+		ConnParams: link.ConnParams{
+			Interval:   p.Interval,
+			Latency:    p.Latency,
+			Hop:        p.Hop,
+			CSA2:       p.CSA2,
+			ChannelMap: chMap,
+		},
+		ActivityInterval: activity,
+	})
+
+	var attacker *injectable.Attacker
+	if p.Scenario != "none" {
+		atk := w.NewDevice(host.DeviceConfig{
+			Name: "attacker", Position: phy.Position{X: -p.AttackerDist},
+			ClockPPM: 20, ClockJitter: 500 * sim.Nanosecond,
+		})
+		attacker = injectable.NewAttacker(atk.Stack, injectable.InjectorConfig{})
+		attacker.Injector.OnAttempt = func(a injectable.Attempt) {
+			ck.CheckAttemptOutcome(string(a.Outcome))
+		}
+	}
+
+	var monitor *ids.Monitor
+	if p.IDS {
+		monitor = ids.New(ids.Config{})
+		w.Medium.AddObserver(monitor)
+	}
+
+	if p.Bystander {
+		// An unrelated advertiser sharing the band: its traffic must never
+		// confuse the connection's invariants.
+		by := devices.NewLightbulb(w.NewDevice(host.DeviceConfig{
+			Name: "bystander", Position: phy.Position{X: 1.5, Y: 2.5},
+		}))
+		by.Peripheral.StartAdvertising()
+	}
+	if p.Jammer {
+		startJammer(w)
+	}
+
+	// Bring the connection up.
+	if attacker != nil {
+		attacker.Sniffer.Start()
+	}
+	target.StartAdvertising()
+	phone.Connect(target.Device.Address())
+	w.RunFor(3 * sim.Second)
+	res.Connected = phone.Central.Connected()
+
+	// Attack phase.
+	if attacker != nil {
+		res.SnifferSynced = attacker.Sniffer.Following()
+	}
+	if res.Connected && attacker != nil && res.SnifferSynced {
+		switch p.Scenario {
+		case "inject":
+			handle, value := featureWrite(p.Target, bulb, fob, watch)
+			err := attacker.InjectWrite(handle, value, func(r injectable.Report) {
+				res.AttackDone = true
+				res.AttackSuccess = r.Success
+			})
+			if err != nil {
+				return res, fmt.Errorf("simtest: inject: %w", err)
+			}
+		case "hijack-slave":
+			err := attacker.HijackSlave(simtestServer(), func(h *injectable.SlaveHijack, e error) {
+				res.AttackDone = true
+				res.AttackSuccess = e == nil && h != nil
+			})
+			if err != nil {
+				return res, fmt.Errorf("simtest: hijack-slave: %w", err)
+			}
+		case "hijack-master":
+			err := attacker.HijackMaster(injectable.UpdateParams{},
+				func(h *injectable.MasterHijack, e error) {
+					res.AttackDone = true
+					res.AttackSuccess = e == nil && h != nil
+				})
+			if err != nil {
+				return res, fmt.Errorf("simtest: hijack-master: %w", err)
+			}
+		}
+	}
+	w.RunFor(sim.Duration(p.RunSeconds) * sim.Second)
+
+	ck.Finish(hub.Ledger)
+	res.Windows = ck.Windows()
+	res.InjectTx = ck.InjectTxCount()
+	res.Records = len(hub.Ledger.Records())
+	if monitor != nil {
+		res.IDSAlerts = make(map[ids.AlertKind]int)
+		for _, a := range monitor.Alerts() {
+			res.IDSAlerts[a.Kind]++
+		}
+	}
+	res.Violations = ck.Violations()
+	res.Truncated = ck.Truncated()
+	return res, nil
+}
+
+// usDuration converts fractional microseconds to a sim.Duration.
+func usDuration(us float64) sim.Duration {
+	return sim.Duration(us * float64(sim.Microsecond))
+}
+
+// featureWrite picks the scenario-A write for the generated target.
+func featureWrite(name string, bulb *devices.Lightbulb, fob *devices.Keyfob, watch *devices.Smartwatch) (uint16, []byte) {
+	switch name {
+	case "lightbulb":
+		return bulb.ControlHandle(), devices.PowerCommand(true)
+	case "keyfob":
+		return fob.AlertHandle(), devices.RingCommand()
+	default:
+		return watch.SMSHandle(), []byte("simtest")
+	}
+}
+
+// simtestServer is the minimal GATT profile the slave hijack serves.
+func simtestServer() *gatt.Server {
+	srv := gatt.NewServer(func([]byte) {})
+	srv.AddService(&gatt.Service{
+		UUID: att.UUID16(0x1800),
+		Characteristics: []*gatt.Characteristic{{
+			UUID: att.UUID16(0x2A00), Properties: gatt.PropRead, Value: []byte("simtest"),
+		}},
+	})
+	return srv
+}
+
+// startJammer schedules periodic wideband noise bursts cycling across the
+// data channels: 2 ms of noise every 30 ms from a dedicated raw radio.
+func startJammer(w *host.World) {
+	radio := w.Medium.NewRadio(medium.RadioConfig{
+		Name: "jammer", Position: phy.Position{Y: -4},
+	})
+	const (
+		burst  = 2 * sim.Millisecond
+		period = 30 * sim.Millisecond
+	)
+	ch := phy.Channel(0)
+	var fire func()
+	fire = func() {
+		radio.SetChannel(ch)
+		radio.TransmitNoise(burst)
+		ch = phy.Channel((int(ch) + 7) % 37)
+		w.Sched.After(period, "jammer:burst", fire)
+	}
+	w.Sched.After(period, "jammer:burst", fire)
+}
