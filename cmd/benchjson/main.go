@@ -39,10 +39,11 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		out         = fs.String("o", "", "write parsed benchmarks as JSON to this file (- for stdout)")
-		check       = fs.String("check", "", "compare stdin's benchmarks against this baseline JSON; exit 1 on regression")
-		nsThreshold = fs.Float64("ns-threshold", 30, "percent ns/op increase tolerated in -check mode (allocs/op tolerates none)")
-		nsFatal     = fs.Bool("ns-fatal", false, "treat ns/op threshold breaches as failures instead of warnings")
+		out             = fs.String("o", "", "write parsed benchmarks as JSON to this file (- for stdout)")
+		check           = fs.String("check", "", "compare stdin's benchmarks against this baseline JSON; exit 1 on regression")
+		nsThreshold     = fs.Float64("ns-threshold", 30, "percent ns/op increase tolerated in -check mode (allocs/op tolerates none)")
+		allocsThreshold = fs.Float64("allocs-threshold", 0, "percent allocs/op increase tolerated in -check mode (0 = strict; use for HTTP-path benches whose counts wobble)")
+		nsFatal         = fs.Bool("ns-fatal", false, "treat ns/op threshold breaches as failures instead of warnings")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -77,8 +78,9 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 	report := benchfmt.Compare(base, cur, benchfmt.GateConfig{
-		NSThresholdPct: *nsThreshold,
-		NSFatal:        *nsFatal,
+		NSThresholdPct:    *nsThreshold,
+		NSFatal:           *nsFatal,
+		AllocThresholdPct: *allocsThreshold,
 	})
 	for _, line := range report.Lines {
 		fmt.Fprintln(stdout, line)

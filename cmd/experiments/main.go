@@ -14,6 +14,7 @@
 //	experiments -run exp1 -trials 25 -seed 1000
 //	experiments -run exp1 -parallel 8    # fan trials over 8 workers (same output)
 //	experiments -run exp1 -jsonl exp1.jsonl  # stream per-trial results
+//	experiments -run exp1 -ndjson exp1.ndjson  # deterministic result stream (diffable against injectabled)
 //	experiments -run exp1 -metrics exp1-metrics.jsonl  # aggregated per-point metrics
 //	experiments -run exp1 -v             # campaign summary (workers, utilization)
 //	experiments -run exp1 -pprof localhost:6060  # live pprof during the run
@@ -53,6 +54,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	quiet := fs.Bool("q", false, "suppress progress dots")
 	parallel := fs.Int("parallel", 0, "campaign workers: 0 = all cores, 1 = serial (output is identical either way)")
 	jsonlPath := fs.String("jsonl", "", "stream per-trial campaign results as JSON lines to this file")
+	ndjsonPath := fs.String("ndjson", "", "stream the deterministic per-trial result lines (no wall-clock fields; byte-identical to a served campaign of the same spec) to this file")
 	metricsPath := fs.String("metrics", "", "write aggregated per-point metric snapshots as JSON lines to this file")
 	verbose := fs.Bool("v", false, "print the campaign run summary (workers, trials, utilization) to stderr")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address during the run")
@@ -96,6 +98,15 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 		defer f.Close()
 		opts.JSONL = f
+	}
+	if *ndjsonPath != "" {
+		f, err := os.Create(*ndjsonPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
+		}
+		defer f.Close()
+		opts.NDJSON = f
 	}
 	newline := func() {
 		if !*quiet {

@@ -1,8 +1,15 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"injectable/internal/serve"
 )
 
 func TestUnknownRunNameListsExperimentsAndFailsNonzero(t *testing.T) {
@@ -65,5 +72,36 @@ func TestParallelOutputByteIdentical(t *testing.T) {
 	if serial != parallel {
 		t.Errorf("-parallel 8 output differs from -parallel 1:\n%s\n--- vs ---\n%s",
 			parallel, serial)
+	}
+}
+
+// TestNDJSONMatchesServedCampaign pins the batch CLI and the daemon to
+// one deterministic stream format: -ndjson output for a sweep must be
+// byte-identical to the NDJSON a served job of the same spec returns.
+func TestNDJSONMatchesServedCampaign(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "exp1.ndjson")
+	var stdout, stderr strings.Builder
+	code := run([]string{"-run", "exp1", "-trials", "1", "-q", "-parallel", "1",
+		"-seed", "1000", "-ndjson", path}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("CLI exited %d: %s", code, stderr.String())
+	}
+	cli, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := serve.NewServer(serve.Config{TrialWorkers: 4})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	res, err := (&serve.Client{Base: ts.URL}).Run(context.Background(),
+		serve.JobSpec{Experiment: "exp1", Trials: 1, SeedBase: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cli, res.Body) {
+		t.Errorf("CLI -ndjson differs from served campaign:\n%s\n--- vs ---\n%s",
+			cli, res.Body)
 	}
 }

@@ -1,0 +1,254 @@
+// Command injectabled is the campaign-as-a-service daemon: it serves the
+// simulation study catalog (Fig. 9 sweeps, design ablations, attack
+// scenarios) as HTTP jobs with admission control, deduplication and
+// deterministic streaming results.
+//
+// Usage:
+//
+//	injectabled serve   [-addr host:port] [-queue-cap n] [-job-workers n] ...
+//	injectabled submit  [-addr url] -experiment name [-target t] [-trials n] ...
+//	injectabled loadgen [-addr url | -self] [-clients n] [-jobs n] ...
+//
+// serve runs until SIGINT/SIGTERM, then drains: accepted jobs finish,
+// new submissions are rejected with 503. A second signal cancels the
+// remaining jobs and exits immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"injectable/internal/obs"
+	"injectable/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run dispatches a subcommand. ready, when non-nil, receives the serve
+// listener's address once it is accepting connections (used by tests;
+// nil in production).
+func run(argv []string, stdout, stderr io.Writer, ready chan<- string) int {
+	if len(argv) == 0 {
+		usage(stderr)
+		return 2
+	}
+	switch argv[0] {
+	case "serve":
+		return runServe(argv[1:], stdout, stderr, ready)
+	case "submit":
+		return runSubmit(argv[1:], stdout, stderr)
+	case "loadgen":
+		return runLoadgen(argv[1:], stdout, stderr)
+	case "-h", "-help", "--help", "help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "injectabled: unknown subcommand %q\n", argv[0])
+		usage(stderr)
+		return 2
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage:
+  injectabled serve   [-addr host:port] [-queue-cap n] [-job-workers n] [-trial-workers n] [-cache-entries n] [-drain-timeout d]
+  injectabled submit  [-addr url] -experiment name [-target t] [-trials n] [-seed-base n] [-priority n] [-timeout-ms n] [-o file]
+  injectabled loadgen [-addr url | -self] [-clients n] [-jobs n] [-experiment name] [-target t] [-trials n] [-variants n]
+`)
+}
+
+// signalCh is replaced by tests to inject shutdown signals.
+var signalCh = func() <-chan os.Signal {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	return ch
+}
+
+func runServe(argv []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("injectabled serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8077", "listen address")
+	queueCap := fs.Int("queue-cap", 64, "admission queue capacity (full queue answers 429)")
+	jobWorkers := fs.Int("job-workers", 2, "concurrently executing jobs")
+	trialWorkers := fs.Int("trial-workers", 0, "campaign workers per job (0 = all cores)")
+	cacheEntries := fs.Int("cache-entries", 256, "completed-result LRU size")
+	retryAfter := fs.Duration("retry-after", 2*time.Second, "Retry-After hint on 429/503")
+	jobTimeout := fs.Duration("job-timeout", 5*time.Minute, "default per-job deadline")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Minute, "max wait for accepted jobs on shutdown")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	hub := obs.NewHub()
+	srv := serve.NewServer(serve.Config{
+		Hub:            hub,
+		QueueCap:       *queueCap,
+		JobWorkers:     *jobWorkers,
+		TrialWorkers:   *trialWorkers,
+		CacheEntries:   *cacheEntries,
+		RetryAfter:     *retryAfter,
+		DefaultTimeout: *jobTimeout,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "injectabled:", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(stderr, "injectabled: serving on http://%s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	sig := signalCh()
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(stderr, "injectabled:", err)
+		return 1
+	case s := <-sig:
+		fmt.Fprintf(stderr, "injectabled: %v — draining (finishing accepted jobs, rejecting new)\n", s)
+	}
+
+	// Drain: finish accepted jobs while /readyz reports 503. A second
+	// signal — or the drain timeout — cancels what is left.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	go func() {
+		<-sig
+		fmt.Fprintln(stderr, "injectabled: second signal — canceling remaining jobs")
+		cancel()
+	}()
+	code := 0
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintln(stderr, "injectabled: drain aborted:", err)
+		srv.Close()
+		code = 1
+	}
+	shutdownCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	httpSrv.Shutdown(shutdownCtx)
+	fmt.Fprintln(stderr, "injectabled: bye")
+	return code
+}
+
+// specFlags registers the job-spec flags shared by submit and loadgen.
+func specFlags(fs *flag.FlagSet) func() serve.JobSpec {
+	experiment := fs.String("experiment", "", "experiment or scenario name (see GET /v1/experiments)")
+	target := fs.String("target", "", "scenario target device")
+	trials := fs.Int("trials", 0, "trials per point (0 = the paper's 25)")
+	seedBase := fs.Uint64("seed-base", 0, "base seed (0 = 1000)")
+	priority := fs.Int("priority", 0, "admission priority 0-9 (higher runs first)")
+	timeoutMS := fs.Int64("timeout-ms", 0, "job deadline in ms (0 = server default)")
+	return func() serve.JobSpec {
+		return serve.JobSpec{
+			Experiment: *experiment,
+			Target:     *target,
+			Trials:     *trials,
+			SeedBase:   *seedBase,
+			Priority:   *priority,
+			TimeoutMS:  *timeoutMS,
+		}
+	}
+}
+
+func runSubmit(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("injectabled submit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "http://127.0.0.1:8077", "daemon base URL")
+	out := fs.String("o", "", "write the NDJSON stream to this file (default stdout)")
+	spec := specFlags(fs)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	client := &serve.Client{Base: *addr}
+	res, err := client.Run(context.Background(), spec())
+	if err != nil {
+		fmt.Fprintln(stderr, "injectabled:", err)
+		var apiErr *serve.APIError
+		if errors.As(err, &apiErr) && (apiErr.Status == 429 || apiErr.Status == 503) {
+			return 3 // distinguishable "try again later"
+		}
+		return 1
+	}
+	fmt.Fprintf(stderr, "injectabled: job %s cache: %s\n", res.JobID, res.Cache)
+	w := io.Writer(stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(stderr, "injectabled:", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := w.Write(res.Body); err != nil {
+		fmt.Fprintln(stderr, "injectabled:", err)
+		return 1
+	}
+	return 0
+}
+
+func runLoadgen(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("injectabled loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "http://127.0.0.1:8077", "daemon base URL")
+	self := fs.Bool("self", false, "run against a fresh in-process daemon instead of -addr")
+	clients := fs.Int("clients", 8, "concurrent submitters")
+	jobs := fs.Int("jobs", 64, "total submissions")
+	variants := fs.Int("variants", 0, "distinct seed_base variants of the spec (0 = default mix)")
+	spec := specFlags(fs)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	base := *addr
+	if *self {
+		srv := serve.NewServer(serve.Config{Hub: obs.NewHub()})
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(stderr, "injectabled:", err)
+			return 1
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go httpSrv.Serve(ln)
+		defer httpSrv.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(stderr, "loadgen: in-process daemon on %s\n", base)
+	}
+
+	cfg := serve.LoadgenConfig{Clients: *clients, Jobs: *jobs}
+	if s := spec(); s.Experiment != "" {
+		if *variants <= 0 {
+			*variants = 1
+		}
+		s = s.Normalize()
+		for v := 0; v < *variants; v++ {
+			vs := s
+			vs.SeedBase = s.SeedBase + uint64(v)*1_000_000
+			cfg.Specs = append(cfg.Specs, vs)
+		}
+	}
+	rep, err := serve.Loadgen(context.Background(), &serve.Client{Base: base}, cfg, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "injectabled:", err)
+		return 1
+	}
+	fmt.Fprint(stdout, rep.Table())
+	return 0
+}

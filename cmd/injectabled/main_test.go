@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestUnknownSubcommand(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"frobnicate"}, &stdout, &stderr, nil); code == 0 {
+		t.Fatal("unknown subcommand exited 0")
+	}
+	if !strings.Contains(stderr.String(), "frobnicate") {
+		t.Errorf("stderr does not name the bad subcommand: %s", stderr.String())
+	}
+}
+
+func TestNoArgsPrintsUsage(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run(nil, &stdout, &stderr, nil); code == 0 {
+		t.Fatal("no-args exited 0")
+	}
+	if !strings.Contains(stderr.String(), "usage") {
+		t.Errorf("stderr missing usage: %s", stderr.String())
+	}
+}
+
+// TestServeSubmitDrain is the end-to-end daemon path: serve, submit the
+// same scenario job twice (second must be a byte-identical cache hit),
+// then SIGTERM and expect a clean drain.
+func TestServeSubmitDrain(t *testing.T) {
+	sig := make(chan os.Signal, 2)
+	signalCh = func() <-chan os.Signal { return sig }
+
+	ready := make(chan string, 1)
+	exited := make(chan int, 1)
+	var serveErr strings.Builder
+	go func() {
+		exited <- run([]string{"serve", "-addr", "127.0.0.1:0", "-trial-workers", "2"},
+			&strings.Builder{}, &serveErr, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon never became ready: %s", serveErr.String())
+	}
+	base := "http://" + addr
+
+	submit := func(out string) (int, string) {
+		var stdout, stderr strings.Builder
+		code := run([]string{"submit", "-addr", base,
+			"-experiment", "scenarioA", "-target", "lightbulb",
+			"-trials", "2", "-seed-base", "7", "-o", out},
+			&stdout, &stderr, nil)
+		return code, stderr.String()
+	}
+	dir := t.TempDir()
+	first, second := filepath.Join(dir, "a.ndjson"), filepath.Join(dir, "b.ndjson")
+	if code, msg := submit(first); code != 0 {
+		t.Fatalf("first submit exited %d: %s", code, msg)
+	}
+	code, msg := submit(second)
+	if code != 0 {
+		t.Fatalf("second submit exited %d: %s", code, msg)
+	}
+	if !strings.Contains(msg, "cache: hit") {
+		t.Errorf("second submit was not a cache hit: %s", msg)
+	}
+	a, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || !bytes.Equal(a, b) {
+		t.Errorf("cache replay not byte-identical (%d vs %d bytes)", len(a), len(b))
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case code := <-exited:
+		if code != 0 {
+			t.Fatalf("serve exited %d after SIGTERM: %s", code, serveErr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("serve did not exit after SIGTERM: %s", serveErr.String())
+	}
+}
+
+// TestLoadgenSelf exercises the self-contained load mode and its table.
+func TestLoadgenSelf(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"loadgen", "-self", "-clients", "4", "-jobs", "12",
+		"-experiment", "scenarioA", "-target", "lightbulb", "-trials", "2",
+		"-seed-base", "7", "-variants", "2"},
+		&stdout, &stderr, nil)
+	if code != 0 {
+		t.Fatalf("loadgen exited %d: %s", code, stderr.String())
+	}
+	table := stdout.String()
+	for _, want := range []string{"throughput jobs/s", "latency p50", "latency p99",
+		"cache hit ratio", "errors"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	if !strings.Contains(table, fmt.Sprintf("%-22s %12s", "errors", "0")) {
+		t.Errorf("loadgen reported errors:\n%s\n%s", table, stderr.String())
+	}
+}

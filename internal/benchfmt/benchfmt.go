@@ -103,6 +103,11 @@ type GateConfig struct {
 	NSThresholdPct float64
 	// NSFatal promotes ns/op breaches from warnings to failures.
 	NSFatal bool
+	// AllocThresholdPct is the tolerated allocs/op increase in percent.
+	// The default 0 keeps the strict rule: any increase fails. A small
+	// tolerance fits benchmarks whose allocation count is not perfectly
+	// deterministic (HTTP paths, pooled buffers warming up).
+	AllocThresholdPct float64
 }
 
 // Report is the outcome of a Compare.
@@ -141,7 +146,7 @@ func Compare(base, cur *Suite, cfg GateConfig) Report {
 			rep.Lines = append(rep.Lines, fmt.Sprintf("NEW   %s (no baseline, skipped)", name))
 			continue
 		}
-		if line, failed, ok := gateMetric(name, "allocs/op", b, c, 0, true); ok {
+		if line, failed, ok := gateMetric(name, "allocs/op", b, c, cfg.AllocThresholdPct, true); ok {
 			rep.Lines = append(rep.Lines, line)
 			rep.Failed = rep.Failed || failed
 		}

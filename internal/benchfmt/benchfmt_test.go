@@ -138,3 +138,17 @@ func TestCompareMissingBenchmarksSkipped(t *testing.T) {
 		t.Fatalf("missing NEW/GONE markers:\n%s", joined)
 	}
 }
+
+func TestCompareAllocThresholdTolerates(t *testing.T) {
+	base := suiteOf(bench("BenchmarkA", 100, 100))
+	cur := suiteOf(bench("BenchmarkA", 100, 108))
+	rep := Compare(base, cur, GateConfig{NSThresholdPct: 30, AllocThresholdPct: 10})
+	if rep.Failed {
+		t.Fatalf("+8%% allocs/op failed a 10%% gate:\n%s", strings.Join(rep.Lines, "\n"))
+	}
+	cur = suiteOf(bench("BenchmarkA", 100, 115))
+	rep = Compare(base, cur, GateConfig{NSThresholdPct: 30, AllocThresholdPct: 10})
+	if !rep.Failed {
+		t.Fatalf("+15%% allocs/op passed a 10%% gate:\n%s", strings.Join(rep.Lines, "\n"))
+	}
+}

@@ -18,6 +18,7 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -106,6 +107,12 @@ type Trial struct {
 	// reuse never changes trial results — the arena carries no RNG or
 	// simulation state across trials.
 	Arena *sim.Arena
+	// Ctx is the campaign's context (never nil under RunContext). Trial
+	// functions should observe it — directly or by threading it into the
+	// world they drive — so an in-flight trial aborts promptly when the
+	// campaign is cancelled or its deadline expires; a trial that ignores
+	// it still stops the campaign, just one full trial later.
+	Ctx context.Context
 
 	run TrialFunc
 }

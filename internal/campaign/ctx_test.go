@@ -1,0 +1,136 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRunContextCancelMidCampaign cancels a campaign while trials are in
+// flight and asserts three things: RunContext returns promptly (bounded
+// shutdown), the returned error is the context's, and no worker
+// goroutines are leaked.
+func TestRunContextCancelMidCampaign(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	firstStarted := make(chan struct{})
+	var signal sync.Once
+	spec := &Spec{
+		Name:     "cancel-mid",
+		SeedBase: 1,
+		Points: []Point{{
+			Label:  "p",
+			Trials: 200,
+			Run: func(tr Trial) (any, error) {
+				signal.Do(func() { close(firstStarted) })
+				// A well-behaved trial: poll its context the way the
+				// experiments layer does between simulation slices.
+				select {
+				case <-tr.Ctx.Done():
+					return nil, tr.Ctx.Err()
+				case <-time.After(5 * time.Millisecond):
+					return tr.Index, nil
+				}
+			},
+		}},
+	}
+
+	go func() {
+		<-firstStarted
+		cancel()
+	}()
+
+	start := time.Now()
+	out, err := (&Runner{Workers: 4}).RunContext(ctx, spec)
+	elapsed := time.Since(start)
+
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext error = %v, want context.Canceled", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("shutdown took %v, want bounded well under 2s", elapsed)
+	}
+	if len(out.Results) >= spec.TotalTrials() {
+		t.Fatalf("campaign ran to completion (%d results) despite cancellation", len(out.Results))
+	}
+	// Results must still be the collated ordinal prefix.
+	for i, r := range out.Results {
+		if r.Ordinal != i {
+			t.Fatalf("result %d has ordinal %d; want contiguous prefix", i, r.Ordinal)
+		}
+	}
+
+	// All pool goroutines (workers, feeder, closer, timers) must wind down.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunContextDeadline runs a campaign whose deadline expires mid-way
+// and asserts the error is DeadlineExceeded with a contiguous prefix of
+// results.
+func TestRunContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	spec := &Spec{
+		Name: "deadline", SeedBase: 1,
+		Points: []Point{{
+			Label: "p", Trials: 1000,
+			Run: func(tr Trial) (any, error) {
+				select {
+				case <-tr.Ctx.Done():
+					return nil, tr.Ctx.Err()
+				case <-time.After(time.Millisecond):
+					return nil, nil
+				}
+			},
+		}},
+	}
+	_, err := (&Runner{Workers: 2}).RunContext(ctx, spec)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunContext error = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunContextCompleted asserts an uncancelled context changes nothing:
+// Run and RunContext(Background) produce identical outcomes.
+func TestRunContextCompleted(t *testing.T) {
+	mk := func() *Spec {
+		return &Spec{
+			Name: "bg", SeedBase: 7,
+			Points: []Point{{
+				Label: "p", Trials: 50,
+				Run: func(tr Trial) (any, error) { return tr.Seed, nil },
+			}},
+		}
+	}
+	a, err := (&Runner{Workers: 4}).Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (&Runner{Workers: 4}).RunContext(context.Background(), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Results) != len(b.Results) {
+		t.Fatalf("result counts differ: %d vs %d", len(a.Results), len(b.Results))
+	}
+	for i := range a.Results {
+		if a.Results[i].Value != b.Results[i].Value {
+			t.Fatalf("result %d differs: %v vs %v", i, a.Results[i].Value, b.Results[i].Value)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// NDJSON streams a campaign as newline-delimited JSON containing only
+// deterministic fields: unlike JSONL it omits wall-clock measurements
+// (elapsed, worker, campaign metrics), so for a deterministic TrialFunc
+// the emitted byte stream is identical at any worker count and across
+// repeated runs of the same spec. The serving layer relies on this to
+// hand out cached result streams that are byte-for-byte equal to a live
+// run; `cmd/experiments -ndjson` emits the same stream for offline
+// comparison.
+//
+// Stream shape: one "campaign" header line, one "result" line per trial
+// in ordinal order, one "end" trailer with the deterministic tallies.
+type NDJSON struct {
+	enc *json.Encoder
+	err error
+	ok  int
+	bad int
+}
+
+// NewNDJSON returns a sink writing the deterministic stream to w.
+func NewNDJSON(w io.Writer) *NDJSON {
+	return &NDJSON{enc: json.NewEncoder(w)}
+}
+
+// Err returns the first write/encode error, if any (the stream is
+// telemetry; it never fails the campaign).
+func (n *NDJSON) Err() error { return n.err }
+
+func (n *NDJSON) emit(v any) {
+	if n.err == nil {
+		n.err = n.enc.Encode(v)
+	}
+}
+
+// Start implements Sink.
+func (n *NDJSON) Start(spec *Spec, totalTrials int) {
+	n.ok, n.bad = 0, 0
+	n.emit(struct {
+		Kind     string `json:"kind"`
+		Campaign string `json:"campaign"`
+		SeedBase uint64 `json:"seed_base"`
+		Points   int    `json:"points"`
+		Trials   int    `json:"trials"`
+	}{"campaign", spec.Name, spec.SeedBase, len(spec.Points), totalTrials})
+}
+
+// Result implements Sink.
+func (n *NDJSON) Result(r Result) {
+	if r.Err == nil {
+		n.ok++
+	} else {
+		n.bad++
+	}
+	line := struct {
+		Kind     string          `json:"kind"`
+		Point    string          `json:"point"`
+		Trial    int             `json:"trial"`
+		Seed     uint64          `json:"seed"`
+		OK       bool            `json:"ok"`
+		Err      string          `json:"err,omitempty"`
+		Panicked bool            `json:"panicked,omitempty"`
+		TimedOut bool            `json:"timed_out,omitempty"`
+		Value    json.RawMessage `json:"value,omitempty"`
+	}{
+		Kind:     "result",
+		Point:    r.Point,
+		Trial:    r.Index,
+		Seed:     r.Seed,
+		OK:       r.Err == nil,
+		Panicked: r.Panicked,
+		TimedOut: r.TimedOut,
+	}
+	if r.Err != nil {
+		line.Err = r.Err.Error()
+	}
+	if r.Value != nil {
+		if raw, err := json.Marshal(r.Value); err == nil {
+			line.Value = raw
+		} else {
+			line.Value, _ = json.Marshal(fmt.Sprintf("%v", r.Value))
+		}
+	}
+	n.emit(line)
+}
+
+// Finish implements Sink. Only the deterministic per-result tallies are
+// written; the wall-clock Metrics are deliberately dropped.
+func (n *NDJSON) Finish(Metrics) {
+	n.emit(struct {
+		Kind   string `json:"kind"`
+		Trials int    `json:"trials"`
+		Ok     int    `json:"ok"`
+		Failed int    `json:"failed"`
+	}{"end", n.ok + n.bad, n.ok, n.bad})
+}

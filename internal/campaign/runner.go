@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -95,6 +96,17 @@ type Outcome struct {
 // pool drained). The returned error is nil unless the spec is invalid or
 // FailFast tripped.
 func (r *Runner) Run(spec *Spec) (*Outcome, error) {
+	return r.RunContext(context.Background(), spec)
+}
+
+// RunContext is Run under a context. When ctx is cancelled (or its
+// deadline expires) the feeder stops dispatching, every in-flight trial
+// sees the cancellation through Trial.Ctx, and the call returns the
+// collated prefix of results together with ctx's error. Shutdown latency
+// is bounded by how quickly the trial functions observe Trial.Ctx — the
+// experiments layer checks it between simulation slices — and no worker
+// goroutines are left behind.
+func (r *Runner) RunContext(ctx context.Context, spec *Spec) (*Outcome, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
@@ -138,6 +150,7 @@ func (r *Runner) Run(spec *Spec) (*Outcome, error) {
 			arena := sim.NewArena()
 			for t := range jobs {
 				t.Arena = arena
+				t.Ctx = ctx
 				res := r.runTrial(id, t, ctr)
 				if res.TimedOut {
 					// The abandoned attempt goroutine may still be touching
@@ -154,6 +167,8 @@ func (r *Runner) Run(spec *Spec) (*Outcome, error) {
 			select {
 			case jobs <- t:
 			case <-stop:
+				return
+			case <-ctx.Done():
 				return
 			}
 		}
@@ -204,6 +219,11 @@ func (r *Runner) Run(spec *Spec) (*Outcome, error) {
 	for _, s := range r.Sinks {
 		s.Finish(out.Metrics)
 	}
+	if firstErr == nil {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+	}
 	return out, firstErr
 }
 
@@ -234,6 +254,9 @@ func (r *Runner) runTrial(worker int, t Trial, ctr *counters) Result {
 		}
 		if res.Err == nil || attempt >= r.Retries {
 			break
+		}
+		if t.Ctx != nil && t.Ctx.Err() != nil {
+			break // a cancelled trial would only fail identically again
 		}
 		ctr.retried.Add(1)
 	}

@@ -14,7 +14,6 @@ import (
 // al. dismissed injection, and a power-blind coin flip.
 func AblationCaptureModel(opts Options) (*Experiment, error) {
 	opts.applyDefaults()
-	bulb, central, attacker := trianglePositions()
 	exp := &Experiment{
 		ID:     "ablation-capture",
 		Title:  "capture model vs injection attempts (triangle, Hop Interval 36)",
@@ -24,6 +23,17 @@ func AblationCaptureModel(opts Options) (*Experiment, error) {
 			"injection only succeeds when the frame fits before the master's — rarely at these intervals",
 		},
 	}
+	points, err := runSweep(opts, exp.ID, ablationCapturePoints(opts))
+	if err != nil {
+		return nil, err
+	}
+	exp.Points = points
+	return exp, nil
+}
+
+// ablationCapturePoints builds the capture-model ablation sweep.
+func ablationCapturePoints(opts Options) []sweepPoint {
+	bulb, central, attacker := trianglePositions()
 	models := []medium.CaptureModel{
 		medium.DefaultCaptureModel(),
 		medium.Pessimistic{},
@@ -42,12 +52,7 @@ func AblationCaptureModel(opts Options) (*Experiment, error) {
 			},
 		})
 	}
-	points, err := runSweep(opts, exp.ID, pts)
-	if err != nil {
-		return nil, err
-	}
-	exp.Points = points
-	return exp, nil
+	return pts
 }
 
 // AblationAssumedSlaveSCA sweeps the slave-SCA assumption in the widening
@@ -56,7 +61,6 @@ func AblationCaptureModel(opts Options) (*Experiment, error) {
 // and longer collisions.
 func AblationAssumedSlaveSCA(opts Options) (*Experiment, error) {
 	opts.applyDefaults()
-	bulb, central, attacker := trianglePositions()
 	exp := &Experiment{
 		ID:     "ablation-sca",
 		Title:  "assumed slave SCA (ppm) vs injection attempts",
@@ -66,6 +70,17 @@ func AblationAssumedSlaveSCA(opts Options) (*Experiment, error) {
 			"over-estimating the slave's SCA fires before its window opens until the guard adapts",
 		},
 	}
+	points, err := runSweep(opts, exp.ID, ablationSCAPoints(opts))
+	if err != nil {
+		return nil, err
+	}
+	exp.Points = points
+	return exp, nil
+}
+
+// ablationSCAPoints builds the assumed-slave-SCA ablation sweep.
+func ablationSCAPoints(opts Options) []sweepPoint {
+	bulb, central, attacker := trianglePositions()
 	var pts []sweepPoint
 	for i, ppm := range []float64{5, 20, 50, 100, 250} {
 		pts = append(pts, sweepPoint{
@@ -83,12 +98,7 @@ func AblationAssumedSlaveSCA(opts Options) (*Experiment, error) {
 			},
 		})
 	}
-	points, err := runSweep(opts, exp.ID, pts)
-	if err != nil {
-		return nil, err
-	}
-	exp.Points = points
-	return exp, nil
+	return pts
 }
 
 // AblationInjectionTiming compares firing at the window start (the
@@ -96,12 +106,22 @@ func AblationAssumedSlaveSCA(opts Options) (*Experiment, error) {
 // §4.3), where the injected frame must race the master head-on.
 func AblationInjectionTiming(opts Options) (*Experiment, error) {
 	opts.applyDefaults()
-	bulb, central, attacker := trianglePositions()
 	exp := &Experiment{
 		ID:     "ablation-timing",
 		Title:  "injection instant vs attempts (window start vs predicted anchor)",
 		XLabel: "instant",
 	}
+	points, err := runSweep(opts, exp.ID, ablationTimingPoints(opts))
+	if err != nil {
+		return nil, err
+	}
+	exp.Points = points
+	return exp, nil
+}
+
+// ablationTimingPoints builds the injection-instant ablation sweep.
+func ablationTimingPoints(opts Options) []sweepPoint {
+	bulb, central, attacker := trianglePositions()
 	var pts []sweepPoint
 	for i, center := range []bool{false, true} {
 		label := "window-start"
@@ -119,12 +139,7 @@ func AblationInjectionTiming(opts Options) (*Experiment, error) {
 			},
 		})
 	}
-	points, err := runSweep(opts, exp.ID, pts)
-	if err != nil {
-		return nil, err
-	}
-	exp.Points = points
-	return exp, nil
+	return pts
 }
 
 // AblationAdaptiveGuard isolates the injector's guard adaptation: with a
@@ -134,12 +149,22 @@ func AblationInjectionTiming(opts Options) (*Experiment, error) {
 // frozen variant keeps missing.
 func AblationAdaptiveGuard(opts Options) (*Experiment, error) {
 	opts.applyDefaults()
-	bulb, central, attacker := trianglePositions()
 	exp := &Experiment{
 		ID:     "ablation-guard",
 		Title:  "adaptive guard vs frozen guard (assumed slave SCA 250 ppm)",
 		XLabel: "guard",
 	}
+	points, err := runSweep(opts, exp.ID, ablationGuardPoints(opts))
+	if err != nil {
+		return nil, err
+	}
+	exp.Points = points
+	return exp, nil
+}
+
+// ablationGuardPoints builds the adaptive-guard ablation sweep.
+func ablationGuardPoints(opts Options) []sweepPoint {
+	bulb, central, attacker := trianglePositions()
 	var pts []sweepPoint
 	for i, disabled := range []bool{false, true} {
 		label := "adaptive"
@@ -161,28 +186,14 @@ func AblationAdaptiveGuard(opts Options) (*Experiment, error) {
 			},
 		})
 	}
-	points, err := runSweep(opts, exp.ID, pts)
-	if err != nil {
-		return nil, err
-	}
-	exp.Points = points
-	return exp, nil
+	return pts
 }
 
 // HeuristicValidation measures the success heuristic (eq. 7) against
 // simulator ground truth across many trials (DESIGN.md §4.4).
 func HeuristicValidation(opts Options) (*Table, error) {
 	opts.applyDefaults()
-	bulb, central, attacker := trianglePositions()
-	points, err := runSweep(opts, "heuristic-validation", []sweepPoint{{
-		Label:    "heuristic",
-		SeedBase: opts.SeedBase + 70000,
-		Trials:   opts.TrialsPerPoint * 4,
-		Cfg: TrialConfig{
-			Interval: 36, Payload: PayloadColor,
-			BulbPos: bulb, CentralPos: central, AttackerPos: attacker,
-		},
-	}})
+	points, err := runSweep(opts, "heuristic-validation", heuristicPoints(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -199,4 +210,19 @@ func HeuristicValidation(opts Options) (*Table, error) {
 		}},
 		Notes: []string{"the paper validates the ±5 µs timing check empirically (§V-D); so do we"},
 	}, nil
+}
+
+// heuristicPoints builds the eq. 7 validation sweep (4× the usual trial
+// volume on a single configuration).
+func heuristicPoints(opts Options) []sweepPoint {
+	bulb, central, attacker := trianglePositions()
+	return []sweepPoint{{
+		Label:    "heuristic",
+		SeedBase: opts.SeedBase + 70000,
+		Trials:   opts.TrialsPerPoint * 4,
+		Cfg: TrialConfig{
+			Interval: 36, Payload: PayloadColor,
+			BulbPos: bulb, CentralPos: central, AttackerPos: attacker,
+		},
+	}}
 }

@@ -28,6 +28,9 @@ func (o Options) runner(sinks ...campaign.Sink) *campaign.Runner {
 	if o.JSONL != nil {
 		sinks = append(sinks, campaign.NewJSONL(o.JSONL))
 	}
+	if o.NDJSON != nil {
+		sinks = append(sinks, campaign.NewNDJSON(o.NDJSON))
+	}
 	if o.Metrics != nil {
 		sinks = append(sinks, campaign.NewObsJSONL(o.Metrics))
 	}
@@ -46,21 +49,19 @@ func (o Options) runner(sinks ...campaign.Sink) *campaign.Runner {
 	}
 }
 
-// runSweep executes the points as one campaign and collates each point's
-// trials into a SeriesResult. Results stream back in deterministic trial
-// order regardless of opts.Parallel, so the accumulated series — and any
-// table rendered from it — is bit-for-bit identical to a serial run.
-func runSweep(opts Options, name string, pts []sweepPoint) ([]Point, error) {
+// sweepSpec expands the points into a campaign spec whose trial functions
+// run RunTrial and return TrialResult values. The serving layer builds
+// specs through here too (via SweepSpec), so a daemon job executes the
+// exact campaign a CLI sweep would.
+func sweepSpec(opts Options, name string, pts []sweepPoint) *campaign.Spec {
 	spec := &campaign.Spec{Name: name, SeedBase: opts.SeedBase}
-	index := make(map[string]int, len(pts))
-	for i, sp := range pts {
+	for _, sp := range pts {
 		cfg := sp.Cfg
 		base := sp.SeedBase
 		trials := sp.Trials
 		if trials == 0 {
 			trials = opts.TrialsPerPoint
 		}
-		index[sp.Label] = i
 		spec.Points = append(spec.Points, campaign.Point{
 			Label:  sp.Label,
 			Trials: trials,
@@ -70,9 +71,23 @@ func runSweep(opts Options, name string, pts []sweepPoint) ([]Point, error) {
 				c.Seed = t.Seed
 				c.Obs = t.Obs     // nil unless the runner collects observability
 				c.Arena = t.Arena // worker-local allocation reuse
+				c.Ctx = t.Ctx     // campaign cancellation/deadline
 				return RunTrial(c)
 			},
 		})
+	}
+	return spec
+}
+
+// runSweep executes the points as one campaign and collates each point's
+// trials into a SeriesResult. Results stream back in deterministic trial
+// order regardless of opts.Parallel, so the accumulated series — and any
+// table rendered from it — is bit-for-bit identical to a serial run.
+func runSweep(opts Options, name string, pts []sweepPoint) ([]Point, error) {
+	spec := sweepSpec(opts, name, pts)
+	index := make(map[string]int, len(pts))
+	for i, sp := range pts {
+		index[sp.Label] = i
 	}
 
 	series := make([]SeriesResult, len(pts))

@@ -25,6 +25,12 @@ type Options struct {
 	// JSONL, when non-nil, receives one JSON line per trial (plus campaign
 	// header and metrics trailer lines) for offline analysis.
 	JSONL io.Writer
+	// NDJSON, when non-nil, receives the deterministic result stream
+	// (campaign.NewNDJSON): no wall-clock fields, byte-identical at any
+	// Parallel setting and across runs. This is the stream the serving
+	// daemon caches and replays; the flag exists on cmd/experiments so the
+	// two paths can be diffed directly.
+	NDJSON io.Writer
 	// Metrics, when non-nil, turns on per-trial observability (a fresh
 	// obs.Hub per trial) and receives the aggregated per-point metric
 	// snapshots as JSON lines. The stream is byte-identical at any
@@ -89,7 +95,6 @@ func (e *Experiment) Table() *Table {
 // below ≈4.
 func Experiment1HopInterval(opts Options) (*Experiment, error) {
 	opts.applyDefaults()
-	bulb, central, attacker := trianglePositions()
 	exp := &Experiment{
 		ID:     "fig9-exp1",
 		Title:  "attempts before successful injection vs Hop Interval",
@@ -98,6 +103,18 @@ func Experiment1HopInterval(opts Options) (*Experiment, error) {
 			"paper: injection always succeeds; variance decreases 25→100 then stabilises; median < 4",
 		},
 	}
+	points, err := runSweep(opts, exp.ID, exp1Points(opts))
+	if err != nil {
+		return nil, err
+	}
+	exp.Points = points
+	return exp, nil
+}
+
+// exp1Points builds experiment 1's sweep: Hop Interval ∈ {25..150} on the
+// triangle, preserving the historical per-point seed bases.
+func exp1Points(opts Options) []sweepPoint {
+	bulb, central, attacker := trianglePositions()
 	var pts []sweepPoint
 	for i, interval := range []uint16{25, 50, 75, 100, 125, 150} {
 		pts = append(pts, sweepPoint{
@@ -112,12 +129,7 @@ func Experiment1HopInterval(opts Options) (*Experiment, error) {
 			},
 		})
 	}
-	points, err := runSweep(opts, exp.ID, pts)
-	if err != nil {
-		return nil, err
-	}
-	exp.Points = points
-	return exp, nil
+	return pts
 }
 
 // Experiment2PayloadSize reproduces Fig. 9, experiment 2: attempts vs the
@@ -127,7 +139,6 @@ func Experiment1HopInterval(opts Options) (*Experiment, error) {
 // shrinks; medians below ≈3.
 func Experiment2PayloadSize(opts Options) (*Experiment, error) {
 	opts.applyDefaults()
-	bulb, central, attacker := trianglePositions()
 	exp := &Experiment{
 		ID:     "fig9-exp2",
 		Title:  "attempts before successful injection vs payload size (Hop Interval 75)",
@@ -136,6 +147,17 @@ func Experiment2PayloadSize(opts Options) (*Experiment, error) {
 			"paper: reliability increases as payload shrinks (smaller collision overlap); median < 3",
 		},
 	}
+	points, err := runSweep(opts, exp.ID, exp2Points(opts))
+	if err != nil {
+		return nil, err
+	}
+	exp.Points = points
+	return exp, nil
+}
+
+// exp2Points builds experiment 2's sweep: payload size at Hop Interval 75.
+func exp2Points(opts Options) []sweepPoint {
+	bulb, central, attacker := trianglePositions()
 	var pts []sweepPoint
 	for i, payload := range []Payload{PayloadTerminate, PayloadToggle, PayloadPowerOff, PayloadColor} {
 		pts = append(pts, sweepPoint{
@@ -150,12 +172,7 @@ func Experiment2PayloadSize(opts Options) (*Experiment, error) {
 			},
 		})
 	}
-	points, err := runSweep(opts, exp.ID, pts)
-	if err != nil {
-		return nil, err
-	}
-	exp.Points = points
-	return exp, nil
+	return pts
 }
 
 // distancePositions places the attacker d metres from the bulb, on the
@@ -181,6 +198,16 @@ func Experiment3Distance(opts Options) (*Experiment, error) {
 			"paper: variance increases with distance; injection still succeeds from every position (A–F)",
 		},
 	}
+	points, err := runSweep(opts, exp.ID, exp3Points(opts))
+	if err != nil {
+		return nil, err
+	}
+	exp.Points = points
+	return exp, nil
+}
+
+// exp3Points builds experiment 3's sweep: attacker distance, positions A–F.
+func exp3Points(opts Options) []sweepPoint {
 	positions := []struct {
 		label string
 		d     float64
@@ -203,12 +230,7 @@ func Experiment3Distance(opts Options) (*Experiment, error) {
 			},
 		})
 	}
-	points, err := runSweep(opts, exp.ID, pts)
-	if err != nil {
-		return nil, err
-	}
-	exp.Points = points
-	return exp, nil
+	return pts
 }
 
 // Experiment3Wall reproduces Fig. 9, experiment 3 (wall variant):
@@ -226,6 +248,16 @@ func Experiment3Wall(opts Options) (*Experiment, error) {
 			"paper: more attempts than open air at the same distance; still succeeds in the worst case",
 		},
 	}
+	points, err := runSweep(opts, exp.ID, exp3WallPoints(opts))
+	if err != nil {
+		return nil, err
+	}
+	exp.Points = points
+	return exp, nil
+}
+
+// exp3WallPoints builds the wall variant of experiment 3.
+func exp3WallPoints(opts Options) []sweepPoint {
 	var pts []sweepPoint
 	for i, d := range []float64{2, 4, 6, 8} {
 		bulb, central, attacker := distancePositions(d)
@@ -248,12 +280,7 @@ func Experiment3Wall(opts Options) (*Experiment, error) {
 			},
 		})
 	}
-	points, err := runSweep(opts, exp.ID, pts)
-	if err != nil {
-		return nil, err
-	}
-	exp.Points = points
-	return exp, nil
+	return pts
 }
 
 // progress is a nil-safe progress call.

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"injectable/internal/campaign"
+)
+
+// This file is the servable-campaign registry: every multi-trial study in
+// the package, addressable by name, expressed as a campaign.Spec whose
+// trial functions return JSON-marshalable values. The serving daemon
+// (internal/serve) builds its job registry from these entry points, so a
+// queued daemon job runs the exact campaign — same names, same per-point
+// seed bases, same trial functions — as the corresponding CLI sweep, and
+// their deterministic NDJSON streams are byte-identical.
+
+// sweepDef binds a servable sweep name to its campaign id and points.
+type sweepDef struct {
+	id  string
+	pts func(Options) []sweepPoint
+}
+
+// sweepDefs lists every parameter sweep servable by name.
+func sweepDefs() map[string]sweepDef {
+	return map[string]sweepDef{
+		"exp1":             {"fig9-exp1", exp1Points},
+		"exp2":             {"fig9-exp2", exp2Points},
+		"exp3":             {"fig9-exp3", exp3Points},
+		"exp3wall":         {"fig9-exp3wall", exp3WallPoints},
+		"ablation-capture": {"ablation-capture", ablationCapturePoints},
+		"ablation-sca":     {"ablation-sca", ablationSCAPoints},
+		"ablation-timing":  {"ablation-timing", ablationTimingPoints},
+		"ablation-guard":   {"ablation-guard", ablationGuardPoints},
+		"heuristic":        {"heuristic-validation", heuristicPoints},
+	}
+}
+
+// SweepNames lists the servable sweeps in sorted order.
+func SweepNames() []string {
+	defs := sweepDefs()
+	names := make([]string, 0, len(defs))
+	for name := range defs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SweepSpec builds the campaign spec for a named sweep. The spec is
+// identical to the one the Experiment* entry points run, so executing it
+// with a campaign runner reproduces the CLI's per-trial results exactly.
+func SweepSpec(name string, opts Options) (*campaign.Spec, error) {
+	def, ok := sweepDefs()[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown sweep %q", name)
+	}
+	opts.applyDefaults()
+	return sweepSpec(opts, def.id, def.pts(opts)), nil
+}
+
+// scenarioRun is the common shape of the RunScenario* entry points.
+type scenarioRun func(target string, seed uint64, withIDS bool) (ScenarioOutcome, error)
+
+// scenarioDefs lists every servable attack scenario.
+func scenarioDefs() map[string]scenarioRun {
+	return map[string]scenarioRun{
+		"scenarioA": RunScenarioA,
+		"scenarioB": RunScenarioB,
+		"scenarioC": RunScenarioC,
+		"scenarioD": RunScenarioD,
+		"keystrokes": func(_ string, seed uint64, withIDS bool) (ScenarioOutcome, error) {
+			return RunScenarioKeystrokes(seed, withIDS)
+		},
+	}
+}
+
+// ScenarioNames lists the servable scenarios in sorted order.
+func ScenarioNames() []string {
+	defs := scenarioDefs()
+	names := make([]string, 0, len(defs))
+	for name := range defs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ScenarioSpec builds a campaign of independent scenario runs against one
+// target: trial i runs the scenario at seed SeedBase+i. The keystrokes
+// scenario has a fixed topology and takes no target; every other scenario
+// requires one of ScenarioTargets.
+func ScenarioSpec(name, target string, opts Options) (*campaign.Spec, error) {
+	run, ok := scenarioDefs()[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown scenario %q", name)
+	}
+	if name == "keystrokes" {
+		if target != "" {
+			return nil, fmt.Errorf("experiments: scenario %q takes no target", name)
+		}
+		target = "keyfob→keyboard"
+	} else {
+		valid := false
+		for _, t := range ScenarioTargets() {
+			if t == target {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			return nil, fmt.Errorf("experiments: scenario %q: unknown target %q (want one of %v)",
+				name, target, ScenarioTargets())
+		}
+	}
+	opts.applyDefaults()
+	base := opts.SeedBase
+	return &campaign.Spec{
+		Name:     name + "/" + target,
+		SeedBase: base,
+		Points: []campaign.Point{{
+			Label:  target,
+			Trials: opts.TrialsPerPoint,
+			Seed:   func(i int) uint64 { return base + uint64(i) },
+			Run: func(t campaign.Trial) (any, error) {
+				return run(target, t.Seed, false)
+			},
+		}},
+	}, nil
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"injectable/internal/ble/pdu"
@@ -113,6 +114,12 @@ type TrialConfig struct {
 	// it (nil = fresh allocations; campaign workers thread their
 	// worker-local arena through here). Reuse never changes trial results.
 	Arena *sim.Arena
+	// Ctx, when non-nil, cancels the trial: the simulation is advanced in
+	// short slices and aborts with Ctx's error at the first slice boundary
+	// after cancellation (sub-millisecond of wall time). A nil Ctx runs to
+	// completion. Slicing never changes results — the scheduler processes
+	// the same events in the same order either way.
+	Ctx context.Context
 }
 
 // TrialResult reports one trial.
@@ -180,7 +187,9 @@ func RunTrial(cfg TrialConfig) (TrialResult, error) {
 	atk.Sniffer.Start()
 	bulb.Peripheral.StartAdvertising()
 	phone.Connect(bulb.Peripheral.Device.Address())
-	w.RunFor(3 * sim.Second)
+	if err := runFor(w, 3*sim.Second, cfg.Ctx); err != nil {
+		return TrialResult{}, err
+	}
 	if !phone.Central.Connected() {
 		return TrialResult{}, fmt.Errorf("experiments: connection failed (seed %d)", cfg.Seed)
 	}
@@ -204,7 +213,9 @@ func RunTrial(cfg TrialConfig) (TrialResult, error) {
 	if err != nil {
 		return TrialResult{}, err
 	}
-	w.RunFor(cfg.SimBudget)
+	if err := runFor(w, cfg.SimBudget, cfg.Ctx); err != nil {
+		return TrialResult{}, err
+	}
 	if report == nil {
 		return TrialResult{}, fmt.Errorf("experiments: injection did not settle in %v", cfg.SimBudget)
 	}
@@ -214,6 +225,31 @@ func RunTrial(cfg TrialConfig) (TrialResult, error) {
 		EffectObserved:  effect,
 		HeuristicAgrees: report.Success == effect,
 	}, nil
+}
+
+// runFor advances the world by d of virtual time. With a nil ctx it is
+// exactly w.RunFor(d); otherwise the span is walked in short slices with
+// a cancellation check between them. Slicing is invisible to the
+// simulation: RunUntil processes every event up to each boundary and the
+// same events fire in the same order as one contiguous run.
+func runFor(w *host.World, d sim.Duration, ctx context.Context) error {
+	if ctx == nil {
+		w.RunFor(d)
+		return nil
+	}
+	const slice = 250 * sim.Millisecond
+	for d > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		step := d
+		if step > slice {
+			step = slice
+		}
+		w.RunFor(step)
+		d -= step
+	}
+	return ctx.Err()
 }
 
 // RunSeries runs n trials with distinct seeds and accumulates attempts of

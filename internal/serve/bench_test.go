@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"injectable/internal/obs"
+)
+
+// benchServer spins up an in-process daemon over the fast stub registry
+// so the benchmark measures serving overhead (admission, dedup, stream
+// broadcast, HTTP), not simulation cost.
+func benchServer(b *testing.B) (*Server, string, func()) {
+	b.Helper()
+	s := NewServer(Config{
+		Registry:     stubRegistry(nil, nil, nil),
+		Hub:          obs.NewHub(),
+		QueueCap:     1024,
+		JobWorkers:   2,
+		TrialWorkers: 2,
+		CacheEntries: 4096,
+	})
+	ts := httptest.NewServer(s.Handler())
+	return s, ts.URL, func() { ts.Close(); s.Close() }
+}
+
+func benchRun(b *testing.B, base, body string) {
+	b.Helper()
+	resp, err := http.Post(base+"/v1/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("HTTP %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkServeJob measures one synchronous job round trip through the
+// full HTTP path: cache-hit replays a completed stream; cache-miss
+// executes a fresh 8-trial campaign per iteration (distinct seed_base,
+// so dedup never short-circuits it).
+func BenchmarkServeJob(b *testing.B) {
+	b.Run("cache-hit", func(b *testing.B) {
+		_, base, stop := benchServer(b)
+		defer stop()
+		body := `{"experiment":"stub","trials":8,"seed_base":4242}`
+		benchRun(b, base, body) // warm the cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchRun(b, base, body)
+		}
+	})
+	b.Run("cache-miss", func(b *testing.B) {
+		_, base, stop := benchServer(b)
+		defer stop()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchRun(b, base,
+				fmt.Sprintf(`{"experiment":"stub","trials":8,"seed_base":%d}`, 100000+i))
+		}
+	})
+}

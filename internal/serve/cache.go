@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cached is one completed result stream.
+type cached struct {
+	// jobID is the job that produced the stream (returned to cache-hit
+	// submitters so they can reference the original).
+	jobID string
+	// body is the full NDJSON stream, immutable once cached.
+	body []byte
+}
+
+// resultCache is an LRU over completed, deterministic result streams
+// keyed by canonical spec hash. Determinism is what makes this cache
+// semantically free: a hit replays bytes identical to what a fresh run
+// would produce.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recent; values are cache keys
+	entries map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	val  cached
+	elem *list.Element
+}
+
+// newResultCache returns a cache bounded to max entries (min 1).
+func newResultCache(max int) *resultCache {
+	if max < 1 {
+		max = 1
+	}
+	return &resultCache{
+		max:     max,
+		order:   list.New(),
+		entries: map[string]*cacheEntry{},
+	}
+}
+
+// get returns the cached stream for key, marking it most recently used.
+func (c *resultCache) get(key string) (cached, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return cached{}, false
+	}
+	c.order.MoveToFront(e.elem)
+	return e.val, true
+}
+
+// put stores a completed stream, evicting the least recently used entry
+// when over capacity.
+func (c *resultCache) put(key string, val cached) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		e.val = val
+		c.order.MoveToFront(e.elem)
+		return
+	}
+	c.entries[key] = &cacheEntry{val: val, elem: c.order.PushFront(key)}
+	for len(c.entries) > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(string))
+	}
+}
+
+// len returns the number of cached streams.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(3)
+	for i := 0; i < 3; i++ {
+		c.put(fmt.Sprintf("k%d", i), cached{jobID: fmt.Sprintf("j%d", i)})
+	}
+	// Touch k0 so k1 becomes the eviction victim.
+	if _, ok := c.get("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.put("k3", cached{jobID: "j3"})
+	if _, ok := c.get("k1"); ok {
+		t.Error("k1 survived eviction; want LRU evicted")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.get(k); !ok {
+			t.Errorf("%s evicted; want kept", k)
+		}
+	}
+	if n := c.len(); n != 3 {
+		t.Errorf("len = %d, want 3", n)
+	}
+}
+
+func TestCachePutReplaces(t *testing.T) {
+	c := newResultCache(2)
+	c.put("k", cached{jobID: "old", body: []byte("old")})
+	c.put("k", cached{jobID: "new", body: []byte("new")})
+	got, ok := c.get("k")
+	if !ok || string(got.body) != "new" || got.jobID != "new" {
+		t.Fatalf("get = %+v/%v, want replaced entry", got, ok)
+	}
+	if n := c.len(); n != 1 {
+		t.Errorf("len = %d, want 1", n)
+	}
+}
+
+func TestCacheMinCapacity(t *testing.T) {
+	c := newResultCache(0) // clamps to 1
+	c.put("a", cached{jobID: "a"})
+	c.put("b", cached{jobID: "b"})
+	if _, ok := c.get("a"); ok {
+		t.Error("capacity-0 cache kept more than one entry")
+	}
+	if _, ok := c.get("b"); !ok {
+		t.Error("most recent entry missing")
+	}
+}

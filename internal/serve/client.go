@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is a minimal injectabled API client. Base is the daemon's root
+// URL ("http://127.0.0.1:8077"); HTTP defaults to http.DefaultClient.
+type Client struct {
+	Base string
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.Base, "/") + path
+}
+
+// RunResult is a completed synchronous run.
+type RunResult struct {
+	// JobID identifies the job that produced (or cached) the stream.
+	JobID string
+	// Cache is the daemon's disposition: "miss", "join" or "hit".
+	Cache string
+	// Body is the full NDJSON result stream.
+	Body []byte
+}
+
+// Run submits a job synchronously (POST /v1/run) and reads the whole
+// result stream.
+func (c *Client) Run(ctx context.Context, spec JobSpec) (*RunResult, error) {
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/run"), bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeErr(resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		JobID: resp.Header.Get("X-Job-ID"),
+		Cache: resp.Header.Get("X-Cache"),
+		Body:  body,
+	}, nil
+}
+
+// Submit enqueues a job asynchronously (POST /v1/jobs).
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (*JobInfo, error) {
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/jobs"), bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, decodeErr(resp)
+	}
+	var info JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Status fetches a job's current state.
+func (c *Client) Status(ctx context.Context, id string) (*JobInfo, error) {
+	return c.jobCall(ctx, http.MethodGet, "/v1/jobs/"+id)
+}
+
+// Cancel requests cancellation of a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) (*JobInfo, error) {
+	return c.jobCall(ctx, http.MethodPost, "/v1/jobs/"+id+"/cancel")
+}
+
+func (c *Client) jobCall(ctx context.Context, method, path string) (*JobInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.url(path), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeErr(resp)
+	}
+	var info JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Results streams a job's NDJSON results to w, blocking until the job
+// finishes (or ctx is canceled).
+func (c *Client) Results(ctx context.Context, id string, w io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/results"), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeErr(resp)
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+// APIError is a non-2xx daemon response.
+type APIError struct {
+	Status     int
+	Msg        string
+	RetryAfter string
+}
+
+func (e *APIError) Error() string {
+	if e.RetryAfter != "" {
+		return fmt.Sprintf("serve: HTTP %d: %s (retry after %ss)", e.Status, e.Msg, e.RetryAfter)
+	}
+	return fmt.Sprintf("serve: HTTP %d: %s", e.Status, e.Msg)
+}
+
+func decodeErr(resp *http.Response) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	msg := resp.Status
+	if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body) == nil && body.Error != "" {
+		msg = body.Error
+	}
+	return &APIError{
+		Status:     resp.StatusCode,
+		Msg:        msg,
+		RetryAfter: resp.Header.Get("Retry-After"),
+	}
+}

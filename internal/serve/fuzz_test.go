@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeJobSpec hammers the strict wire decoder. Properties:
+//
+//   - it never panics;
+//   - an accepted spec passes its own bounds check;
+//   - Normalize is idempotent;
+//   - re-encoding and re-decoding an accepted spec is lossless, and the
+//     canonical dedup key survives the round trip — the property the
+//     dedup cache's correctness rests on.
+func FuzzDecodeJobSpec(f *testing.F) {
+	f.Add([]byte(`{"experiment":"exp1"}`))
+	f.Add([]byte(`{"experiment":"scenarioA","target":"keyfob","trials":10,"seed_base":42,"priority":3,"timeout_ms":1000}`))
+	f.Add([]byte(`{"experiment":"exp1","bogus":1}`))
+	f.Add([]byte(`{"experiment":"exp1"}{}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"experiment":"heuristic","trials":500,"priority":9}`))
+	f.Add([]byte(`{"experiment":" ","seed_base":18446744073709551615}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeJobSpec(data)
+		if err != nil {
+			return
+		}
+		if cerr := spec.check(); cerr != nil {
+			t.Fatalf("accepted spec fails its own check: %v (spec %+v)", cerr, spec)
+		}
+		norm := spec.Normalize()
+		if norm.Normalize() != norm {
+			t.Fatalf("Normalize not idempotent: %+v", norm)
+		}
+		if spec.Key() != norm.Key() {
+			t.Fatalf("normalization changed the key: %+v vs %+v", spec, norm)
+		}
+		reenc, merr := json.Marshal(spec)
+		if merr != nil {
+			t.Fatalf("accepted spec does not re-encode: %v (%+v)", merr, spec)
+		}
+		spec2, err2 := DecodeJobSpec(reenc)
+		if err2 != nil {
+			t.Fatalf("re-encoded spec rejected: %v (%s)", err2, reenc)
+		}
+		if spec2 != spec {
+			t.Fatalf("round trip changed the spec: %+v vs %+v", spec2, spec)
+		}
+		if spec2.Key() != spec.Key() {
+			t.Fatalf("round trip changed the key: %s vs %s", spec2.Key(), spec.Key())
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LoadgenConfig shapes a load run against a daemon.
+type LoadgenConfig struct {
+	// Clients is the number of concurrent submitters (default 8).
+	Clients int
+	// Jobs is the total number of submissions (default 64).
+	Jobs int
+	// Specs is the job mix, assigned round-robin across submissions;
+	// repeats are what exercises the dedup cache. Default: scenarioA on
+	// the three targets, 5 trials each.
+	Specs []JobSpec
+	// Retries bounds re-submission after a 429/503 (default 50); each
+	// retry waits RetryPause.
+	Retries int
+	// RetryPause is the wait between retries (default 50ms).
+	RetryPause time.Duration
+}
+
+func (c LoadgenConfig) withDefaults() LoadgenConfig {
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.Jobs <= 0 {
+		c.Jobs = 64
+	}
+	if len(c.Specs) == 0 {
+		for _, target := range []string{"lightbulb", "keyfob", "smartwatch"} {
+			c.Specs = append(c.Specs, JobSpec{
+				Experiment: "scenarioA", Target: target, Trials: 5, SeedBase: 9000,
+			})
+		}
+	}
+	if c.Retries <= 0 {
+		c.Retries = 50
+	}
+	if c.RetryPause <= 0 {
+		c.RetryPause = 50 * time.Millisecond
+	}
+	return c
+}
+
+// LoadReport aggregates a load run.
+type LoadReport struct {
+	Jobs          int
+	Clients       int
+	Elapsed       time.Duration
+	Hits          int
+	Joins         int
+	Misses        int
+	Retried       int // 429/503 responses absorbed by retry
+	Errors        int
+	P50, P90, P99 time.Duration
+	JobsPerSec    float64
+}
+
+// CacheHitRatio is hits+joins over completed jobs.
+func (r LoadReport) CacheHitRatio() float64 {
+	total := r.Hits + r.Joins + r.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Hits+r.Joins) / float64(total)
+}
+
+// Table renders the report as an aligned text table.
+func (r LoadReport) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadgen: %d jobs, %d clients, %.2fs wall\n", r.Jobs, r.Clients, r.Elapsed.Seconds())
+	fmt.Fprintf(&b, "%-22s %12s\n", "metric", "value")
+	row := func(k, v string) { fmt.Fprintf(&b, "%-22s %12s\n", k, v) }
+	row("throughput jobs/s", fmt.Sprintf("%.1f", r.JobsPerSec))
+	row("latency p50", fmtMS(r.P50))
+	row("latency p90", fmtMS(r.P90))
+	row("latency p99", fmtMS(r.P99))
+	row("cache hits", fmt.Sprintf("%d", r.Hits))
+	row("singleflight joins", fmt.Sprintf("%d", r.Joins))
+	row("misses (executed)", fmt.Sprintf("%d", r.Misses))
+	row("cache hit ratio", fmt.Sprintf("%.0f%%", 100*r.CacheHitRatio()))
+	row("429/503 retried", fmt.Sprintf("%d", r.Retried))
+	row("errors", fmt.Sprintf("%d", r.Errors))
+	return b.String()
+}
+
+func fmtMS(d time.Duration) string {
+	return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+}
+
+// Loadgen drives Jobs submissions through Clients concurrent workers
+// against the daemon behind client, and reports throughput, latency
+// quantiles and the cache/join/miss split. Progress lines go to logw
+// (may be nil).
+func Loadgen(ctx context.Context, client *Client, cfg LoadgenConfig, logw io.Writer) (*LoadReport, error) {
+	cfg = cfg.withDefaults()
+	type res struct {
+		lat     time.Duration
+		cache   string
+		retried int
+		err     error
+	}
+	results := make([]res, cfg.Jobs)
+	next := make(chan int)
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				spec := cfg.Specs[i%len(cfg.Specs)]
+				t0 := time.Now()
+				var rr *RunResult
+				var err error
+				retried := 0
+				for attempt := 0; ; attempt++ {
+					rr, err = client.Run(ctx, spec)
+					var apiErr *APIError
+					if err != nil && attempt < cfg.Retries &&
+						errors.As(err, &apiErr) && (apiErr.Status == 429 || apiErr.Status == 503) {
+						retried++
+						select {
+						case <-time.After(cfg.RetryPause):
+							continue
+						case <-ctx.Done():
+						}
+					}
+					break
+				}
+				r := res{lat: time.Since(t0), retried: retried, err: err}
+				if err == nil {
+					r.cache = rr.Cache
+				}
+				results[i] = r
+			}
+		}()
+	}
+	for i := 0; i < cfg.Jobs; i++ {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			close(next)
+			wg.Wait()
+			return nil, ctx.Err()
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	rep := &LoadReport{Jobs: cfg.Jobs, Clients: cfg.Clients, Elapsed: time.Since(start)}
+	lats := make([]time.Duration, 0, cfg.Jobs)
+	for _, r := range results {
+		rep.Retried += r.retried
+		if r.err != nil {
+			rep.Errors++
+			continue
+		}
+		lats = append(lats, r.lat)
+		switch r.cache {
+		case "hit":
+			rep.Hits++
+		case "join":
+			rep.Joins++
+		default:
+			rep.Misses++
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if len(lats) > 0 {
+		q := func(p float64) time.Duration {
+			i := int(p * float64(len(lats)-1))
+			return lats[i]
+		}
+		rep.P50, rep.P90, rep.P99 = q(0.50), q(0.90), q(0.99)
+	}
+	if rep.Elapsed > 0 {
+		rep.JobsPerSec = float64(cfg.Jobs-rep.Errors) / rep.Elapsed.Seconds()
+	}
+	if logw != nil {
+		fmt.Fprintf(logw, "loadgen: done (%d ok, %d errors)\n", cfg.Jobs-rep.Errors, rep.Errors)
+	}
+	return rep, nil
+}

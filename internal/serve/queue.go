@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull rejects a submission when the queue is at capacity. The
+// HTTP layer translates it into 429 + Retry-After; it must never block
+// the caller.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// ErrQueueClosed rejects submissions after drain has begun.
+var ErrQueueClosed = errors.New("serve: job queue closed")
+
+// jobQueue is a bounded priority FIFO: pops take the highest non-empty
+// priority level, oldest first within a level. Push never blocks — a full
+// queue is an admission failure, not backpressure. Close stops admission
+// while letting pops drain what was already accepted.
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	cap    int
+	size   int
+	closed bool
+	levels [MaxPriority + 1]jobRing
+}
+
+// jobRing is a FIFO of jobs with an amortized-O(1) head pointer.
+type jobRing struct {
+	items []*job
+	head  int
+}
+
+func (r *jobRing) push(j *job) { r.items = append(r.items, j) }
+
+func (r *jobRing) pop() *job {
+	j := r.items[r.head]
+	r.items[r.head] = nil
+	r.head++
+	if r.head > len(r.items)/2 && r.head > 16 {
+		r.items = append(r.items[:0], r.items[r.head:]...)
+		r.head = 0
+	}
+	return j
+}
+
+func (r *jobRing) len() int { return len(r.items) - r.head }
+
+// newJobQueue returns a queue admitting at most capacity jobs.
+func newJobQueue(capacity int) *jobQueue {
+	q := &jobQueue{cap: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push admits a job or fails immediately with ErrQueueFull/ErrQueueClosed.
+func (q *jobQueue) push(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if q.size >= q.cap {
+		return ErrQueueFull
+	}
+	p := j.spec.Priority
+	q.levels[p].push(j)
+	q.size++
+	q.cond.Signal()
+	return nil
+}
+
+// pop blocks until a job is available or the queue is closed and empty;
+// the second return is false only in the latter case.
+func (q *jobQueue) pop() (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.size > 0 {
+			for p := MaxPriority; p >= 0; p-- {
+				if q.levels[p].len() > 0 {
+					q.size--
+					return q.levels[p].pop(), true
+				}
+			}
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// close stops admission; blocked and future pops drain the remainder.
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// depth returns the number of queued jobs.
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func qjob(id string, prio int) *job {
+	return newJob(id, JobSpec{Experiment: "stub", Priority: prio}.Normalize(), time.Now())
+}
+
+func TestQueuePriorityThenFIFO(t *testing.T) {
+	q := newJobQueue(16)
+	// Two priority levels, interleaved pushes.
+	for i := 0; i < 3; i++ {
+		if err := q.push(qjob(fmt.Sprintf("lo-%d", i), 0)); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.push(qjob(fmt.Sprintf("hi-%d", i), 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"hi-0", "hi-1", "hi-2", "lo-0", "lo-1", "lo-2"}
+	for _, id := range want {
+		j, ok := q.pop()
+		if !ok {
+			t.Fatal("queue closed unexpectedly")
+		}
+		if j.id != id {
+			t.Fatalf("popped %s, want %s", j.id, id)
+		}
+	}
+}
+
+func TestQueueFullAndClosed(t *testing.T) {
+	q := newJobQueue(2)
+	if err := q.push(qjob("a", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(qjob("b", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(qjob("c", 0)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("push to full queue: %v, want ErrQueueFull", err)
+	}
+	if d := q.depth(); d != 2 {
+		t.Fatalf("depth = %d, want 2", d)
+	}
+	q.close()
+	if err := q.push(qjob("d", 0)); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("push to closed queue: %v, want ErrQueueClosed", err)
+	}
+	// Close drains: the two accepted jobs still pop, then pops fail.
+	for _, id := range []string{"a", "b"} {
+		j, ok := q.pop()
+		if !ok || j.id != id {
+			t.Fatalf("drain pop = %v/%v, want %s", j, ok, id)
+		}
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop succeeded on closed empty queue")
+	}
+}
+
+func TestQueuePopBlocksUntilPush(t *testing.T) {
+	q := newJobQueue(4)
+	got := make(chan string, 1)
+	go func() {
+		j, ok := q.pop()
+		if ok {
+			got <- j.id
+		} else {
+			got <- "(closed)"
+		}
+	}()
+	select {
+	case id := <-got:
+		t.Fatalf("pop returned %s before any push", id)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := q.push(qjob("x", 0)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case id := <-got:
+		if id != "x" {
+			t.Fatalf("pop = %s, want x", id)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pop did not wake after push")
+	}
+}
+
+func TestQueueCloseWakesBlockedPop(t *testing.T) {
+	q := newJobQueue(4)
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.pop()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("pop returned a job from an empty closed queue")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("close did not wake blocked pop")
+	}
+}

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"injectable/internal/campaign"
+	"injectable/internal/experiments"
+)
+
+// Entry is one servable campaign kind.
+type Entry struct {
+	// Name is the experiment name jobs refer to.
+	Name string
+	// Targets lists the allowed Target values; empty means the entry
+	// takes no target.
+	Targets []string
+	// Build expands a validated, normalized job spec into the campaign to
+	// run. The returned spec's trial functions must be deterministic in
+	// the trial seed — that is what makes result streams cacheable.
+	Build func(spec JobSpec) (*campaign.Spec, error)
+}
+
+// Registry maps experiment names to entries. Construct with NewRegistry
+// and Register; the zero value is empty but usable.
+type Registry struct {
+	entries map[string]Entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{entries: map[string]Entry{}} }
+
+// Register adds (or replaces) an entry.
+func (r *Registry) Register(e Entry) {
+	if r.entries == nil {
+		r.entries = map[string]Entry{}
+	}
+	r.entries[e.Name] = e
+}
+
+// Names lists registered experiments in sorted order.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup returns the entry for a name.
+func (r *Registry) Lookup(name string) (Entry, bool) {
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// Validate checks a decoded spec against the registry: the experiment
+// must exist and the target must be legal for it. It returns the
+// normalized spec ready for Build.
+func (r *Registry) Validate(spec JobSpec) (JobSpec, error) {
+	e, ok := r.entries[spec.Experiment]
+	if !ok {
+		return JobSpec{}, fmt.Errorf("serve: unknown experiment %q (available: %v)",
+			spec.Experiment, r.Names())
+	}
+	if len(e.Targets) == 0 {
+		if spec.Target != "" {
+			return JobSpec{}, fmt.Errorf("serve: experiment %q takes no target", spec.Experiment)
+		}
+	} else {
+		ok := false
+		for _, t := range e.Targets {
+			if t == spec.Target {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return JobSpec{}, fmt.Errorf("serve: experiment %q: unknown target %q (want one of %v)",
+				spec.Experiment, spec.Target, e.Targets)
+		}
+	}
+	return spec.Normalize(), nil
+}
+
+// Build validates the spec and expands it into its campaign.
+func (r *Registry) Build(spec JobSpec) (*campaign.Spec, error) {
+	norm, err := r.Validate(spec)
+	if err != nil {
+		return nil, err
+	}
+	e := r.entries[norm.Experiment]
+	return e.Build(norm)
+}
+
+// DefaultRegistry exposes every servable study in internal/experiments:
+// the Fig. 9 sweeps, the design ablations, the heuristic validation and
+// the four attack scenarios (plus the §IX keystrokes extension). Daemon
+// jobs built from it run the exact campaigns the CLI sweeps run.
+func DefaultRegistry() *Registry {
+	r := NewRegistry()
+	for _, name := range experiments.SweepNames() {
+		name := name
+		r.Register(Entry{
+			Name: name,
+			Build: func(spec JobSpec) (*campaign.Spec, error) {
+				return experiments.SweepSpec(name, specOptions(spec))
+			},
+		})
+	}
+	for _, name := range experiments.ScenarioNames() {
+		name := name
+		e := Entry{
+			Name: name,
+			Build: func(spec JobSpec) (*campaign.Spec, error) {
+				return experiments.ScenarioSpec(name, spec.Target, specOptions(spec))
+			},
+		}
+		if name != "keystrokes" {
+			e.Targets = experiments.ScenarioTargets()
+		}
+		r.Register(e)
+	}
+	return r
+}
+
+// specOptions maps the normalized wire spec onto experiment options.
+func specOptions(spec JobSpec) experiments.Options {
+	return experiments.Options{
+		TrialsPerPoint: spec.Trials,
+		SeedBase:       spec.SeedBase,
+	}
+}

@@ -1,0 +1,130 @@
+// Package serve turns the campaign engine into a long-lived service: a
+// daemon that accepts experiment and attack-scenario jobs over HTTP/JSON,
+// validates them against a registry derived from internal/experiments,
+// and executes them on shared campaign worker pools.
+//
+// The serving layer adds what the batch CLIs cannot offer:
+//
+//   - Admission control: a bounded priority-FIFO queue; a full queue
+//     rejects with 429 and a Retry-After hint instead of blocking.
+//   - Deduplication: jobs are keyed by a canonical hash of their
+//     normalized spec. Identical in-flight submissions collapse onto one
+//     execution (singleflight) and completed results are kept in an LRU
+//     cache — and because campaign result streams are deterministic, a
+//     cached response is byte-identical to a live run of the same spec.
+//   - Streaming: per-trial results flow to every subscriber as NDJSON (or
+//     SSE) in deterministic ordinal order while the campaign runs.
+//   - Lifecycle: per-job deadlines and cancellation ride the
+//     context.Context plumbed through campaign.RunContext; SIGTERM drain
+//     finishes every accepted job while rejecting new ones.
+//
+// Everything is observable through an obs.Hub: queue depth, in-flight
+// gauge, admission rejects, cache hit/miss counters and end-to-end
+// latency histograms.
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Limits bound what a single job may ask for; they are admission policy,
+// not correctness constraints.
+const (
+	// MaxTrials caps trials per job (a 500-trial scenario job is minutes
+	// of simulation — beyond that, split the work into several jobs).
+	MaxTrials = 500
+	// MaxPriority is the highest admission priority (0 is the default and
+	// lowest; higher priorities dequeue first).
+	MaxPriority = 9
+	// maxSpecBytes bounds the request body the decoder will look at.
+	maxSpecBytes = 1 << 16
+)
+
+// JobSpec is the wire form of one campaign job.
+type JobSpec struct {
+	// Experiment names a registry entry: a sweep ("exp1", "ablation-sca",
+	// …) or a scenario ("scenarioA", …, "keystrokes").
+	Experiment string `json:"experiment"`
+	// Target selects the scenario's victim device ("lightbulb", "keyfob",
+	// "smartwatch"). Sweeps and the keystrokes scenario take none.
+	Target string `json:"target,omitempty"`
+	// Trials is the per-point trial count (0 = the paper's 25).
+	Trials int `json:"trials,omitempty"`
+	// SeedBase roots every derived trial seed (0 = 1000, the CLI default).
+	SeedBase uint64 `json:"seed_base,omitempty"`
+	// Priority orders admission: higher pops first, FIFO within a level.
+	Priority int `json:"priority,omitempty"`
+	// TimeoutMS is the job's run deadline in milliseconds (0 = server
+	// default). It does not affect results, only whether they arrive, so
+	// it is excluded from the dedup key.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// DecodeJobSpec parses a job spec strictly: unknown fields, trailing
+// garbage and out-of-range values are errors. It does not check the
+// experiment name against a registry — that is the server's job, so the
+// decoder stays a pure function fit for fuzzing.
+func DecodeJobSpec(data []byte) (JobSpec, error) {
+	var spec JobSpec
+	if len(data) > maxSpecBytes {
+		return spec, fmt.Errorf("serve: job spec exceeds %d bytes", maxSpecBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return JobSpec{}, fmt.Errorf("serve: decoding job spec: %w", err)
+	}
+	if dec.More() {
+		return JobSpec{}, errors.New("serve: trailing data after job spec")
+	}
+	if err := spec.check(); err != nil {
+		return JobSpec{}, err
+	}
+	return spec, nil
+}
+
+// check enforces the decoder-level bounds (registry-independent).
+func (s JobSpec) check() error {
+	if s.Experiment == "" {
+		return errors.New("serve: job spec missing experiment")
+	}
+	if s.Trials < 0 || s.Trials > MaxTrials {
+		return fmt.Errorf("serve: trials %d out of range [0,%d]", s.Trials, MaxTrials)
+	}
+	if s.Priority < 0 || s.Priority > MaxPriority {
+		return fmt.Errorf("serve: priority %d out of range [0,%d]", s.Priority, MaxPriority)
+	}
+	if s.TimeoutMS < 0 {
+		return fmt.Errorf("serve: negative timeout_ms %d", s.TimeoutMS)
+	}
+	return nil
+}
+
+// Normalize applies the spec defaults (trials 25, seed base 1000 — the
+// same defaults the CLI applies), so two specs that would run the same
+// campaign normalize to the same value. Normalize is idempotent.
+func (s JobSpec) Normalize() JobSpec {
+	if s.Trials == 0 {
+		s.Trials = 25
+	}
+	if s.SeedBase == 0 {
+		s.SeedBase = 1000
+	}
+	return s
+}
+
+// Key returns the canonical dedup/cache key: a SHA-256 over the fields
+// that determine the result stream — experiment, target, trials, seed
+// base — after normalization. Priority and timeout shape scheduling, not
+// results, and are deliberately excluded.
+func (s JobSpec) Key() string {
+	n := s.Normalize()
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%d\x00%d", n.Experiment, n.Target, n.Trials, n.SeedBase)
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}

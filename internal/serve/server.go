@@ -1,0 +1,522 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"injectable/internal/campaign"
+	"injectable/internal/obs"
+)
+
+// Config shapes a Server. The zero value of every field is replaced by
+// the documented default.
+type Config struct {
+	// Registry maps experiment names to campaigns. Nil means
+	// DefaultRegistry().
+	Registry *Registry
+	// Hub receives the serving metrics. Nil disables them (every obs
+	// method no-ops on nil receivers).
+	Hub *obs.Hub
+	// QueueCap bounds the admission queue (default 64). A full queue
+	// answers 429 with a Retry-After hint.
+	QueueCap int
+	// JobWorkers is the number of campaigns executed concurrently
+	// (default 2). Each job gets its own campaign worker pool.
+	JobWorkers int
+	// TrialWorkers is the campaign pool size per job (default 0 =
+	// GOMAXPROCS). Worker count never changes result bytes.
+	TrialWorkers int
+	// CacheEntries bounds the completed-result LRU (default 256).
+	CacheEntries int
+	// RetryAfter is the hint returned with 429/503 (default 2s).
+	RetryAfter time.Duration
+	// DefaultTimeout caps a job's run when the spec carries no timeout_ms
+	// (default 5m).
+	DefaultTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Registry == nil {
+		c.Registry = DefaultRegistry()
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 2
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 2 * time.Second
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Minute
+	}
+	return c
+}
+
+// errDraining rejects submissions while the server shuts down.
+var errDraining = errors.New("serve: draining, not accepting jobs")
+
+// Server executes campaign jobs behind an HTTP/JSON API.
+//
+// Submission dispositions, in decision order:
+//
+//	draining  -> 503 + Retry-After
+//	invalid   -> 400
+//	join      -> an identical spec is already queued or running; the
+//	             submission attaches to that job (singleflight)
+//	hit       -> an identical spec already completed; the cached stream
+//	             replays byte-identically
+//	miss      -> admitted onto the queue (429 + Retry-After when full)
+type Server struct {
+	cfg   Config
+	queue *jobQueue
+	cache *resultCache
+	ids   jobIDs
+	mux   *http.ServeMux
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job // by id, including terminal jobs
+	live     map[string]*job // by spec key, queued or running only
+	inflight int
+	draining bool
+}
+
+// NewServer starts a server's executors and returns it. Call Drain or
+// Close to stop.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		queue: newJobQueue(cfg.QueueCap),
+		cache: newResultCache(cfg.CacheEntries),
+		jobs:  map[string]*job{},
+		live:  map[string]*job{},
+	}
+	s.routes()
+	for i := 0; i < cfg.JobWorkers; i++ {
+		s.wg.Add(1)
+		go s.executor()
+	}
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// reg is shorthand for the metrics registry (nil-safe).
+func (s *Server) reg() *obs.Registry { return s.cfg.Hub.Reg() }
+
+func msHist() []float64 { return obs.ExponentialBuckets(1, 2, 16) }
+
+// Submit admits a job spec. The returned disposition is one of "miss"
+// (admitted as a fresh execution), "join" (attached to an identical
+// in-flight job) or "hit" (replaying a completed identical job from the
+// cache); the returned job is terminal already on a hit. Errors:
+// errDraining, ErrQueueFull, or a validation error.
+func (s *Server) Submit(spec JobSpec) (*job, string, error) {
+	norm, err := s.cfg.Registry.Validate(spec)
+	if err != nil {
+		s.reg().Counter("serve.reject_invalid").Inc()
+		return nil, "", err
+	}
+	key := norm.Key()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.reg().Counter("serve.reject_draining").Inc()
+		return nil, "", errDraining
+	}
+	if j, ok := s.live[key]; ok {
+		s.reg().Counter("serve.joins").Inc()
+		return j, "join", nil
+	}
+	if c, ok := s.cache.get(key); ok {
+		s.reg().Counter("serve.cache_hits").Inc()
+		j := newJob(s.ids.next(), norm, time.Now())
+		j.buf.Write(c.body)
+		j.buf.seal()
+		j.cacheHit = true
+		j.setStatus(StatusDone, "")
+		s.jobs[j.id] = j
+		return j, "hit", nil
+	}
+	j := newJob(s.ids.next(), norm, time.Now())
+	if err := s.queue.push(j); err != nil {
+		s.reg().Counter("serve.reject_queue_full").Inc()
+		return nil, "", err
+	}
+	s.jobs[j.id] = j
+	s.live[key] = j
+	s.reg().Counter("serve.cache_misses").Inc()
+	s.reg().Counter("serve.jobs_admitted").Inc()
+	s.reg().Gauge("serve.queue_depth").Set(float64(s.queue.depth()))
+	return j, "miss", nil
+}
+
+// Job returns a job by id.
+func (s *Server) Job(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// executor pops and runs jobs until the queue closes and drains.
+func (s *Server) executor() {
+	defer s.wg.Done()
+	for {
+		j, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		s.reg().Gauge("serve.queue_depth").Set(float64(s.queue.depth()))
+		s.runJob(j)
+	}
+}
+
+// runJob executes one admitted job to a terminal state.
+func (s *Server) runJob(j *job) {
+	start := time.Now()
+	s.reg().Histogram("serve.queue_wait_ms", msHist()).
+		Observe(float64(start.Sub(j.submitted).Milliseconds()))
+
+	finish := func(status JobStatus, errMsg string) {
+		j.buf.seal()
+		j.setStatus(status, errMsg)
+		s.mu.Lock()
+		if s.live[j.key] == j {
+			delete(s.live, j.key)
+		}
+		s.mu.Unlock()
+		switch status {
+		case StatusDone:
+			s.reg().Counter("serve.jobs_done").Inc()
+		case StatusCanceled:
+			s.reg().Counter("serve.jobs_canceled").Inc()
+		default:
+			s.reg().Counter("serve.jobs_failed").Inc()
+		}
+		s.reg().Histogram("serve.job_e2e_ms", msHist()).
+			Observe(float64(time.Since(j.submitted).Milliseconds()))
+	}
+
+	if j.canceledCtx.Err() != nil {
+		finish(StatusCanceled, "canceled while queued")
+		return
+	}
+
+	cspec, err := s.cfg.Registry.Build(j.spec)
+	if err != nil {
+		finish(StatusFailed, err.Error())
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if j.spec.TimeoutMS > 0 {
+		timeout = time.Duration(j.spec.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(j.canceledCtx, timeout)
+	defer cancel()
+
+	j.setStatus(StatusRunning, "")
+	s.reg().Gauge("serve.inflight_jobs").Set(float64(s.inflightDelta(1)))
+	defer func() { s.reg().Gauge("serve.inflight_jobs").Set(float64(s.inflightDelta(-1))) }()
+
+	sink := campaign.NewNDJSON(&j.buf)
+	runner := campaign.Runner{
+		Workers: s.cfg.TrialWorkers,
+		Sinks:   []campaign.Sink{sink},
+	}
+	out, err := runner.RunContext(ctx, cspec)
+	switch {
+	case errors.Is(err, context.Canceled):
+		finish(StatusCanceled, "canceled")
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		finish(StatusFailed, "deadline exceeded")
+		return
+	case err != nil:
+		finish(StatusFailed, err.Error())
+		return
+	}
+	// Only a cleanly completed stream is cacheable: cancellation and
+	// per-trial timeouts truncate at a wall-clock-dependent point, and a
+	// replay must be byte-identical to a fresh run.
+	for _, res := range out.Results {
+		if res.TimedOut {
+			finish(StatusDone, "")
+			return
+		}
+	}
+	j.buf.seal()
+	s.cache.put(j.key, cached{jobID: j.id, body: j.buf.bytes()})
+	finish(StatusDone, "")
+}
+
+// inflightDelta adjusts and returns the in-flight job count.
+func (s *Server) inflightDelta(d int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inflight += d
+	return s.inflight
+}
+
+// Drain stops admission, lets the executors finish every accepted job,
+// and returns when they exit (or ctx expires). New submissions are
+// rejected with 503 for HTTP callers.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		s.queue.close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops admission and cancels every queued and running job, then
+// waits for the executors.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.draining = true
+	livejobs := make([]*job, 0, len(s.live))
+	for _, j := range s.live {
+		livejobs = append(livejobs, j)
+	}
+	s.mu.Unlock()
+	s.queue.close()
+	for _, j := range livejobs {
+		j.cancel()
+	}
+	s.wg.Wait()
+}
+
+// ---- HTTP layer ----
+
+func (s *Server) routes() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+}
+
+// httpError writes a JSON error body.
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// retryAfterSecs renders the Retry-After hint (minimum 1s).
+func (s *Server) retryAfterSecs() string {
+	secs := int(s.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// decodeSubmit reads and strictly decodes the request body. The limit
+// reads one byte past the spec cap so an oversized body is detected as
+// such rather than silently truncated into a JSON error.
+func decodeSubmit(r *http.Request) (JobSpec, error) {
+	buf, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		return JobSpec{}, fmt.Errorf("serve: reading job spec: %w", err)
+	}
+	return DecodeJobSpec(buf)
+}
+
+// submitHTTP maps Submit errors onto status codes; on success it returns
+// the job and its disposition.
+func (s *Server) submitHTTP(w http.ResponseWriter, r *http.Request) (*job, string, bool) {
+	spec, err := decodeSubmit(r)
+	if err != nil {
+		s.reg().Counter("serve.reject_invalid").Inc()
+		httpError(w, http.StatusBadRequest, err.Error())
+		return nil, "", false
+	}
+	j, disp, err := s.Submit(spec)
+	switch {
+	case err == nil:
+		return j, disp, true
+	case errors.Is(err, errDraining):
+		w.Header().Set("Retry-After", s.retryAfterSecs())
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrQueueClosed):
+		w.Header().Set("Retry-After", s.retryAfterSecs())
+		httpError(w, http.StatusTooManyRequests, err.Error())
+	default:
+		httpError(w, http.StatusBadRequest, err.Error())
+	}
+	return nil, "", false
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	j, disp, ok := s.submitHTTP(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", disp)
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(j.snapshot())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(j.snapshot())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	j.cancel()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(j.snapshot())
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	if r.Header.Get("Accept") == "text/event-stream" {
+		s.streamSSE(w, r, j)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	streamCopy(w, j.buf.reader(r.Context()))
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	j, disp, ok := s.submitHTTP(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Cache", disp)
+	w.Header().Set("X-Job-ID", j.id)
+	streamCopy(w, j.buf.reader(r.Context()))
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name    string   `json:"name"`
+		Targets []string `json:"targets,omitempty"`
+	}
+	var out []entry
+	for _, name := range s.cfg.Registry.Names() {
+		e, _ := s.cfg.Registry.Lookup(name)
+		out = append(out, entry{Name: e.Name, Targets: e.Targets})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		w.Header().Set("Retry-After", s.retryAfterSecs())
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.cfg.Hub.Snapshot())
+}
+
+// streamCopy copies the job stream to the client, flushing as bytes
+// arrive so subscribers see per-trial results live.
+func streamCopy(w http.ResponseWriter, src interface{ Read([]byte) (int, error) }) {
+	fl, _ := w.(http.Flusher)
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// streamSSE reframes the NDJSON stream as server-sent events: one
+// "result" event per line, then a terminal "end" event.
+func (s *Server) streamSSE(w http.ResponseWriter, r *http.Request, j *job) {
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	fl, _ := w.(http.Flusher)
+	sc := bufio.NewScanner(j.buf.reader(r.Context()))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if _, err := fmt.Fprintf(w, "event: result\ndata: %s\n\n", sc.Bytes()); err != nil {
+			return
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	fmt.Fprint(w, "event: end\ndata: {}\n\n")
+	if fl != nil {
+		fl.Flush()
+	}
+}

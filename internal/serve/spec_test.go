@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDecodeJobSpecValid(t *testing.T) {
+	spec, err := DecodeJobSpec([]byte(
+		`{"experiment":"scenarioA","target":"keyfob","trials":10,"seed_base":42,"priority":3,"timeout_ms":1000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := JobSpec{Experiment: "scenarioA", Target: "keyfob", Trials: 10,
+		SeedBase: 42, Priority: 3, TimeoutMS: 1000}
+	if spec != want {
+		t.Fatalf("decoded %+v, want %+v", spec, want)
+	}
+}
+
+func TestDecodeJobSpecRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":      `{"experiment":"exp1","bogus":1}`,
+		"trailing data":      `{"experiment":"exp1"}{}`,
+		"missing experiment": `{"trials":3}`,
+		"trials too large":   `{"experiment":"exp1","trials":501}`,
+		"negative trials":    `{"experiment":"exp1","trials":-1}`,
+		"priority too large": `{"experiment":"exp1","priority":10}`,
+		"negative timeout":   `{"experiment":"exp1","timeout_ms":-5}`,
+		"not json":           `hello`,
+		"empty":              ``,
+	}
+	for name, body := range cases {
+		if _, err := DecodeJobSpec([]byte(body)); err == nil {
+			t.Errorf("%s: decoded without error: %s", name, body)
+		}
+	}
+}
+
+func TestDecodeJobSpecSizeCap(t *testing.T) {
+	big := `{"experiment":"` + strings.Repeat("x", maxSpecBytes) + `"}`
+	if _, err := DecodeJobSpec([]byte(big)); err == nil {
+		t.Fatal("oversized spec decoded without error")
+	}
+}
+
+func TestNormalizeDefaultsAndIdempotence(t *testing.T) {
+	n := JobSpec{Experiment: "exp1"}.Normalize()
+	if n.Trials != 25 || n.SeedBase != 1000 {
+		t.Fatalf("normalize defaults = trials %d, seed %d; want 25, 1000", n.Trials, n.SeedBase)
+	}
+	if n2 := n.Normalize(); n2 != n {
+		t.Fatalf("normalize not idempotent: %+v vs %+v", n2, n)
+	}
+}
+
+func TestKeyCanonicalization(t *testing.T) {
+	base := JobSpec{Experiment: "scenarioA", Target: "lightbulb"}
+	// Defaults and explicit defaults hash identically.
+	explicit := base
+	explicit.Trials, explicit.SeedBase = 25, 1000
+	if base.Key() != explicit.Key() {
+		t.Error("spec with default trials/seed keys differently from explicit defaults")
+	}
+	// Scheduling knobs are excluded from the key.
+	sched := explicit
+	sched.Priority, sched.TimeoutMS = 9, 60000
+	if sched.Key() != explicit.Key() {
+		t.Error("priority/timeout changed the dedup key")
+	}
+	// Result-determining fields are included.
+	for name, mut := range map[string]JobSpec{
+		"experiment": {Experiment: "scenarioB", Target: "lightbulb", Trials: 25, SeedBase: 1000},
+		"target":     {Experiment: "scenarioA", Target: "keyfob", Trials: 25, SeedBase: 1000},
+		"trials":     {Experiment: "scenarioA", Target: "lightbulb", Trials: 26, SeedBase: 1000},
+		"seed":       {Experiment: "scenarioA", Target: "lightbulb", Trials: 25, SeedBase: 1001},
+	} {
+		if mut.Key() == explicit.Key() {
+			t.Errorf("changing %s did not change the dedup key", name)
+		}
+	}
+}
+
+func TestRegistryValidate(t *testing.T) {
+	r := DefaultRegistry()
+	if _, err := r.Validate(JobSpec{Experiment: "nope"}); err == nil {
+		t.Error("unknown experiment validated")
+	}
+	if _, err := r.Validate(JobSpec{Experiment: "exp1", Target: "lightbulb"}); err == nil {
+		t.Error("sweep with a target validated")
+	}
+	if _, err := r.Validate(JobSpec{Experiment: "scenarioA"}); err == nil {
+		t.Error("scenario without target validated")
+	}
+	if _, err := r.Validate(JobSpec{Experiment: "scenarioA", Target: "toaster"}); err == nil {
+		t.Error("scenario with bogus target validated")
+	}
+	norm, err := r.Validate(JobSpec{Experiment: "scenarioA", Target: "smartwatch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Trials != 25 {
+		t.Errorf("validate did not normalize: %+v", norm)
+	}
+	if _, err := r.Validate(JobSpec{Experiment: "keystrokes"}); err != nil {
+		t.Errorf("keystrokes (targetless scenario) rejected: %v", err)
+	}
+}
