@@ -5,13 +5,20 @@
 //
 // Usage:
 //
-//	injectabled serve   [-addr host:port] [-queue-cap n] [-job-workers n] ...
-//	injectabled submit  [-addr url] -experiment name [-target t] [-trials n] ...
-//	injectabled loadgen [-addr url | -self] [-clients n] [-jobs n] ...
+//	injectabled serve       [-addr host:port] [-queue-cap n] [-job-workers n] ...
+//	injectabled worker      (alias for serve: one node of a campaign fabric)
+//	injectabled submit      [-addr url] -experiment name [-target t] [-trials n] ...
+//	injectabled coordinator -workers url,url,... -experiment name [-shards n] [-journal file] ...
+//	injectabled loadgen     [-addr url | -self] [-clients n] [-jobs n] ...
 //
 // serve runs until SIGINT/SIGTERM, then drains: accepted jobs finish,
 // new submissions are rejected with 503. A second signal cancels the
 // remaining jobs and exits immediately.
+//
+// coordinator shards one sweep across a fleet of worker daemons and
+// merges their streams into a single NDJSON campaign byte-identical to a
+// single-process run. With -journal, completed shards are checkpointed so
+// a rerun after a crash resumes without recomputing them.
 package main
 
 import (
@@ -24,9 +31,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"injectable/internal/fabric"
 	"injectable/internal/obs"
 	"injectable/internal/serve"
 )
@@ -44,10 +53,12 @@ func run(argv []string, stdout, stderr io.Writer, ready chan<- string) int {
 		return 2
 	}
 	switch argv[0] {
-	case "serve":
+	case "serve", "worker":
 		return runServe(argv[1:], stdout, stderr, ready)
 	case "submit":
 		return runSubmit(argv[1:], stdout, stderr)
+	case "coordinator":
+		return runCoordinator(argv[1:], stdout, stderr)
 	case "loadgen":
 		return runLoadgen(argv[1:], stdout, stderr)
 	case "-h", "-help", "--help", "help":
@@ -62,9 +73,11 @@ func run(argv []string, stdout, stderr io.Writer, ready chan<- string) int {
 
 func usage(w io.Writer) {
 	fmt.Fprint(w, `usage:
-  injectabled serve   [-addr host:port] [-queue-cap n] [-job-workers n] [-trial-workers n] [-cache-entries n] [-drain-timeout d]
-  injectabled submit  [-addr url] -experiment name [-target t] [-trials n] [-seed-base n] [-priority n] [-timeout-ms n] [-o file]
-  injectabled loadgen [-addr url | -self] [-clients n] [-jobs n] [-experiment name] [-target t] [-trials n] [-variants n]
+  injectabled serve       [-addr host:port] [-queue-cap n] [-job-workers n] [-trial-workers n] [-cache-entries n] [-drain-timeout d]
+  injectabled worker      (alias for serve)
+  injectabled submit      [-addr url] -experiment name [-target t] [-trials n] [-seed-base n] [-priority n] [-timeout-ms n] [-o file]
+  injectabled coordinator -workers url,url,... -experiment name [-shards n] [-journal file] [-max-attempts n] [-o file]
+  injectabled loadgen     [-addr url | -self] [-clients n] [-jobs n] [-experiment name] [-target t] [-trials n] [-variants n]
 `)
 }
 
@@ -197,6 +210,83 @@ func runSubmit(argv []string, stdout, stderr io.Writer) int {
 		w = f
 	}
 	if _, err := w.Write(res.Body); err != nil {
+		fmt.Fprintln(stderr, "injectabled:", err)
+		return 1
+	}
+	return 0
+}
+
+// runCoordinator shards one campaign across a worker fleet and merges
+// the results. The summary line on stderr is stable, machine-assertable
+// output: the CI smoke job greps it to prove a resumed campaign
+// dispatched zero shards.
+func runCoordinator(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("injectabled coordinator", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workersFlag := fs.String("workers", "", "comma-separated worker daemon base URLs (required)")
+	shards := fs.Int("shards", 0, "max shards (0 = one per sweep point)")
+	journalPath := fs.String("journal", "", "shard checkpoint file; reruns resume completed shards from it")
+	out := fs.String("o", "", "write the merged NDJSON stream to this file (default stdout)")
+	maxAttempts := fs.Int("max-attempts", 3, "dispatch attempts per shard before the campaign fails")
+	workerFailures := fs.Int("worker-failures", 3, "consecutive failures before a worker is abandoned")
+	spec := specFlags(fs)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	var workers []string
+	for _, w := range strings.Split(*workersFlag, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			workers = append(workers, w)
+		}
+	}
+	if len(workers) == 0 {
+		fmt.Fprintln(stderr, "injectabled: coordinator needs -workers url[,url...]")
+		return 2
+	}
+
+	plan, err := fabric.PlanShards(serve.DefaultRegistry(), spec(), *shards)
+	if err != nil {
+		fmt.Fprintln(stderr, "injectabled:", err)
+		return 2
+	}
+
+	cfg := fabric.Config{
+		Workers:        workers,
+		Retry:          serve.Retry{Max: 4, Base: 250 * time.Millisecond, Cap: 5 * time.Second},
+		MaxAttempts:    *maxAttempts,
+		WorkerFailures: *workerFailures,
+		Hub:            obs.NewHub(),
+	}
+	if *journalPath != "" {
+		j, recs, err := fabric.OpenJournal(*journalPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "injectabled:", err)
+			return 1
+		}
+		defer j.Close()
+		cfg.Journal = j
+		cfg.Resume = recs
+	}
+
+	w := io.Writer(stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(stderr, "injectabled:", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	rep, err := fabric.Run(ctx, cfg, plan, w)
+	if rep != nil {
+		fmt.Fprintf(stderr, "fabric: shards=%d resumed=%d dispatched=%d retried=%d workers_lost=%d trials=%d ok=%d failed=%d bytes=%d\n",
+			rep.Shards, rep.Resumed, rep.Dispatched, rep.Retried, rep.WorkersLost, rep.Trials, rep.OK, rep.Failed, rep.Bytes)
+	}
+	if err != nil {
 		fmt.Fprintln(stderr, "injectabled:", err)
 		return 1
 	}

@@ -3,12 +3,16 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"syscall"
 	"testing"
 	"time"
+
+	"injectable/internal/serve"
 )
 
 func TestUnknownSubcommand(t *testing.T) {
@@ -115,5 +119,109 @@ func TestLoadgenSelf(t *testing.T) {
 	}
 	if !strings.Contains(table, fmt.Sprintf("%-22s %12s", "errors", "0")) {
 		t.Errorf("loadgen reported errors:\n%s\n%s", table, stderr.String())
+	}
+}
+
+// TestWorkerAliasServes proves `worker` is the serve mode under a fabric
+// name: it boots, answers /healthz, and drains on SIGTERM.
+func TestWorkerAliasServes(t *testing.T) {
+	sig := make(chan os.Signal, 2)
+	signalCh = func() <-chan os.Signal { return sig }
+
+	ready := make(chan string, 1)
+	exited := make(chan int, 1)
+	var serveErr strings.Builder
+	go func() {
+		exited <- run([]string{"worker", "-addr", "127.0.0.1:0", "-trial-workers", "2"},
+			&strings.Builder{}, &serveErr, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("worker never became ready: %s", serveErr.String())
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("worker /healthz answered %d", resp.StatusCode)
+	}
+	sig <- syscall.SIGTERM
+	select {
+	case code := <-exited:
+		if code != 0 {
+			t.Fatalf("worker exited %d after SIGTERM: %s", code, serveErr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("worker did not exit after SIGTERM: %s", serveErr.String())
+	}
+}
+
+// TestCoordinatorMergeAndResume drives the coordinator CLI against two
+// in-process workers: the merged stream must be byte-identical to an
+// unsharded submit of the same spec, and a rerun over the same journal
+// must resume every shard (dispatched=0 in the summary line).
+func TestCoordinatorMergeAndResume(t *testing.T) {
+	workers := make([]string, 2)
+	for i := range workers {
+		srv := serve.NewServer(serve.Config{QueueCap: 32, JobWorkers: 1, TrialWorkers: 2})
+		hs := httptest.NewServer(srv.Handler())
+		t.Cleanup(hs.Close)
+		t.Cleanup(srv.Close)
+		workers[i] = hs.URL
+	}
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref.ndjson")
+	merged := filepath.Join(dir, "merged.ndjson")
+	journal := filepath.Join(dir, "shards.journal")
+
+	var stdout, stderr strings.Builder
+	if code := run([]string{"submit", "-addr", workers[0],
+		"-experiment", "exp1", "-trials", "2", "-o", ref}, &stdout, &stderr, nil); code != 0 {
+		t.Fatalf("reference submit exited %d: %s", code, stderr.String())
+	}
+
+	coord := func(out string) string {
+		var stdout, stderr strings.Builder
+		code := run([]string{"coordinator",
+			"-workers", strings.Join(workers, ","),
+			"-journal", journal, "-o", out,
+			"-experiment", "exp1", "-trials", "2"}, &stdout, &stderr, nil)
+		if code != 0 {
+			t.Fatalf("coordinator exited %d: %s", code, stderr.String())
+		}
+		return stderr.String()
+	}
+
+	msg := coord(merged)
+	if !strings.Contains(msg, "shards=6 resumed=0 dispatched=6") {
+		t.Fatalf("first run summary: %s", msg)
+	}
+	want, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 || !bytes.Equal(got, want) {
+		t.Fatalf("merged stream (%d bytes) differs from unsharded submit (%d bytes)", len(got), len(want))
+	}
+
+	rerun := filepath.Join(dir, "rerun.ndjson")
+	msg = coord(rerun)
+	if !strings.Contains(msg, "shards=6 resumed=6 dispatched=0 retried=0") {
+		t.Fatalf("resumed run summary: %s", msg)
+	}
+	got2, err := os.ReadFile(rerun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, want) {
+		t.Fatal("resumed stream differs from unsharded submit")
 	}
 }

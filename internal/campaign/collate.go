@@ -1,0 +1,53 @@
+package campaign
+
+// Collator releases out-of-order items in ordinal order. It is the
+// ordered-collation core the runner uses to turn a worker pool's
+// completion-order result stream back into the serial-order sequence, and
+// the distributed fabric uses the same mechanism one level up to merge
+// shard streams arriving from remote workers into deterministic campaign
+// order.
+//
+// Ordinals must form a dense sequence starting at the constructor's base;
+// each ordinal must be added exactly once. Collator is not goroutine-safe:
+// like the runner's collation loop, it belongs to a single consumer
+// draining a channel.
+type Collator[T any] struct {
+	next    int
+	pending map[int]T
+	out     []T
+}
+
+// NewCollator returns a collator expecting ordinals next, next+1, ....
+func NewCollator[T any](next int) *Collator[T] {
+	return &Collator[T]{next: next, pending: make(map[int]T)}
+}
+
+// Add accepts the item with the given ordinal and returns the items that
+// are now releasable in order (empty unless ordinal filled the gap at the
+// front). The returned slice is reused by the next Add call — consume it
+// before adding again.
+func (c *Collator[T]) Add(ordinal int, v T) []T {
+	c.out = c.out[:0]
+	if ordinal != c.next {
+		c.pending[ordinal] = v
+		return c.out
+	}
+	c.out = append(c.out, v)
+	c.next++
+	for {
+		head, ok := c.pending[c.next]
+		if !ok {
+			return c.out
+		}
+		delete(c.pending, c.next)
+		c.out = append(c.out, head)
+		c.next++
+	}
+}
+
+// Next returns the ordinal the collator is waiting for.
+func (c *Collator[T]) Next() int { return c.next }
+
+// Pending returns how many items are buffered waiting for the gap at the
+// front to fill.
+func (c *Collator[T]) Pending() int { return len(c.pending) }

@@ -1,0 +1,102 @@
+package campaign
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestCollatorOutOfOrder drives the collator with a fully reversed and a
+// randomly shuffled arrival order and checks the released sequence is the
+// ordinal sequence both times — the property the runner's sink ordering
+// and the fabric's cross-node shard merge rest on.
+func TestCollatorOutOfOrder(t *testing.T) {
+	const n = 64
+	orders := map[string][]int{
+		"reversed": make([]int, n),
+		"shuffled": rand.New(rand.NewSource(7)).Perm(n),
+	}
+	for i := range orders["reversed"] {
+		orders["reversed"][i] = n - 1 - i
+	}
+	for name, arrival := range orders {
+		c := NewCollator[int](0)
+		var got []int
+		for _, ord := range arrival {
+			got = append(got, c.Add(ord, ord*10)...)
+		}
+		if c.Pending() != 0 {
+			t.Fatalf("%s: %d items still pending after all %d added", name, c.Pending(), n)
+		}
+		if c.Next() != n {
+			t.Fatalf("%s: Next() = %d, want %d", name, c.Next(), n)
+		}
+		if len(got) != n {
+			t.Fatalf("%s: released %d items, want %d", name, len(got), n)
+		}
+		for i, v := range got {
+			if v != i*10 {
+				t.Fatalf("%s: release position %d got %d, want %d", name, i, v, i*10)
+			}
+		}
+	}
+}
+
+// TestCollatorGapHoldsBack checks nothing is released while the front
+// ordinal is missing, and that filling the gap releases the whole run.
+func TestCollatorGapHoldsBack(t *testing.T) {
+	c := NewCollator[string](0)
+	for _, ord := range []int{2, 1, 3} {
+		if out := c.Add(ord, "x"); len(out) != 0 {
+			t.Fatalf("ordinal %d released %d items before the gap at 0 filled", ord, len(out))
+		}
+	}
+	if c.Pending() != 3 {
+		t.Fatalf("Pending() = %d, want 3", c.Pending())
+	}
+	if out := c.Add(0, "x"); len(out) != 4 {
+		t.Fatalf("filling the gap released %d items, want 4", len(out))
+	}
+}
+
+// TestCollatorNonZeroBase covers a collator rooted at an arbitrary first
+// ordinal (a resumed merge starts past the journaled prefix).
+func TestCollatorNonZeroBase(t *testing.T) {
+	c := NewCollator[int](5)
+	if out := c.Add(6, 6); len(out) != 0 {
+		t.Fatalf("ordinal 6 released early: %v", out)
+	}
+	out := c.Add(5, 5)
+	if len(out) != 2 || out[0] != 5 || out[1] != 6 {
+		t.Fatalf("Add(5) released %v, want [5 6]", out)
+	}
+}
+
+// TestNDJSONFrameHelpers pins the exported header/trailer bytes to what
+// the sink itself writes, so a fabric-merged stream's frame lines cannot
+// drift from a single-process run's.
+func TestNDJSONFrameHelpers(t *testing.T) {
+	spec := &Spec{
+		Name:     "fig9-exp1",
+		SeedBase: 1000,
+		Points: []Point{
+			{Label: "a", Trials: 2, Run: func(Trial) (any, error) { return nil, nil }},
+			{Label: "b", Trials: 1, Run: func(Trial) (any, error) { return nil, nil }},
+		},
+	}
+	var buf bytes.Buffer
+	sink := NewNDJSON(&buf)
+	sink.Start(spec, spec.TotalTrials())
+	header := append([]byte(nil), buf.Bytes()...)
+	if want := NDJSONHeader("fig9-exp1", 1000, 2, 3); !bytes.Equal(header, want) {
+		t.Fatalf("sink header %q != NDJSONHeader %q", header, want)
+	}
+	buf.Reset()
+	sink.Result(Result{Point: "a", Index: 0})
+	sink.Result(Result{Point: "a", Index: 1, Err: ErrTimeout})
+	buf.Reset()
+	sink.Finish(Metrics{})
+	if want := NDJSONTrailer(2, 1, 1); !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("sink trailer %q != NDJSONTrailer %q", buf.Bytes(), want)
+	}
+}

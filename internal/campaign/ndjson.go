@@ -39,16 +39,52 @@ func (n *NDJSON) emit(v any) {
 	}
 }
 
+// ndjsonHeader is the stream's first line; ndjsonEnd its last. The
+// NDJSON sink and the exported NDJSONHeader/NDJSONTrailer helpers share
+// these structs so a frame composed outside a live campaign — the
+// distributed fabric writes one global header over many merged shard
+// streams — cannot drift from the bytes the sink emits.
+type ndjsonHeader struct {
+	Kind     string `json:"kind"`
+	Campaign string `json:"campaign"`
+	SeedBase uint64 `json:"seed_base"`
+	Points   int    `json:"points"`
+	Trials   int    `json:"trials"`
+}
+
+type ndjsonEnd struct {
+	Kind   string `json:"kind"`
+	Trials int    `json:"trials"`
+	Ok     int    `json:"ok"`
+	Failed int    `json:"failed"`
+}
+
+// NDJSONHeader renders the "campaign" header line (newline included)
+// exactly as the sink writes it for a campaign with this identity.
+func NDJSONHeader(name string, seedBase uint64, points, totalTrials int) []byte {
+	return mustLine(ndjsonHeader{"campaign", name, seedBase, points, totalTrials})
+}
+
+// NDJSONTrailer renders the "end" trailer line (newline included) exactly
+// as the sink writes it for these tallies.
+func NDJSONTrailer(trials, ok, failed int) []byte {
+	return mustLine(ndjsonEnd{"end", trials, ok, failed})
+}
+
+// mustLine marshals one NDJSON line; the structs above cannot fail to
+// marshal.
+func mustLine(v any) []byte {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return append(raw, '\n')
+}
+
 // Start implements Sink.
 func (n *NDJSON) Start(spec *Spec, totalTrials int) {
 	n.ok, n.bad = 0, 0
-	n.emit(struct {
-		Kind     string `json:"kind"`
-		Campaign string `json:"campaign"`
-		SeedBase uint64 `json:"seed_base"`
-		Points   int    `json:"points"`
-		Trials   int    `json:"trials"`
-	}{"campaign", spec.Name, spec.SeedBase, len(spec.Points), totalTrials})
+	n.emit(ndjsonHeader{"campaign", spec.Name, spec.SeedBase, len(spec.Points), totalTrials})
 }
 
 // Result implements Sink.
@@ -93,10 +129,5 @@ func (n *NDJSON) Result(r Result) {
 // Finish implements Sink. Only the deterministic per-result tallies are
 // written; the wall-clock Metrics are deliberately dropped.
 func (n *NDJSON) Finish(Metrics) {
-	n.emit(struct {
-		Kind   string `json:"kind"`
-		Trials int    `json:"trials"`
-		Ok     int    `json:"ok"`
-		Failed int    `json:"failed"`
-	}{"end", n.ok + n.bad, n.ok, n.bad})
+	n.emit(ndjsonEnd{"end", n.ok + n.bad, n.ok, n.bad})
 }

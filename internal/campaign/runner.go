@@ -180,20 +180,12 @@ func (r *Runner) RunContext(ctx context.Context, spec *Spec) (*Outcome, error) {
 
 	// Collate into ordinal order. Everything downstream of this loop —
 	// sinks, Results, the fail-fast error — sees the serial-order sequence.
-	pending := make(map[int]Result)
-	next := 0
+	coll := NewCollator[Result](0)
 	var firstErr error
 	aborted := false
 	for res := range resCh {
 		ctr.record(res)
-		pending[res.Ordinal] = res
-		for {
-			ordered, ok := pending[next]
-			if !ok {
-				break
-			}
-			delete(pending, next)
-			next++
+		for _, ordered := range coll.Add(res.Ordinal, res) {
 			if aborted {
 				continue
 			}

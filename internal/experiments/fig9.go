@@ -39,6 +39,16 @@ type Options struct {
 	// Verbose, when non-nil, receives the campaign engine's run summary
 	// (workers, trials, retries, utilization) after each sweep.
 	Verbose io.Writer
+	// PointStart/PointCount select a contiguous sub-range of a servable
+	// study's points: the range [PointStart, PointStart+PointCount), with
+	// PointCount 0 meaning "through the last point". The distributed
+	// fabric shards campaigns along this axis; per-point seed bases are
+	// absolute, so a sliced run's trials are bit-identical to the same
+	// points inside a full run. (0, 0) — the zero value — selects every
+	// point. Only SweepSpec and ScenarioSpec honor the range; the
+	// Experiment* table entry points always run the full study.
+	PointStart int
+	PointCount int
 }
 
 func (o *Options) applyDefaults() {

@@ -50,13 +50,53 @@ func SweepNames() []string {
 // SweepSpec builds the campaign spec for a named sweep. The spec is
 // identical to the one the Experiment* entry points run, so executing it
 // with a campaign runner reproduces the CLI's per-trial results exactly.
+// When opts carries a point range, only that slice of the sweep's points
+// is expanded; the sliced trials are bit-identical to the corresponding
+// points of the full sweep because every point's seed base is absolute.
 func SweepSpec(name string, opts Options) (*campaign.Spec, error) {
 	def, ok := sweepDefs()[name]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown sweep %q", name)
 	}
 	opts.applyDefaults()
-	return sweepSpec(opts, def.id, def.pts(opts)), nil
+	pts, err := slicePoints(name, def.pts(opts), opts.PointStart, opts.PointCount)
+	if err != nil {
+		return nil, err
+	}
+	return sweepSpec(opts, def.id, pts), nil
+}
+
+// SweepPointCount reports how many points a named sweep expands to under
+// these options — the fabric planner's shard-range arithmetic.
+func SweepPointCount(name string, opts Options) (int, error) {
+	def, ok := sweepDefs()[name]
+	if !ok {
+		return 0, fmt.Errorf("experiments: unknown sweep %q", name)
+	}
+	opts.applyDefaults()
+	return len(def.pts(opts)), nil
+}
+
+// slicePoints bounds-checks and applies a point range: [start, start+count)
+// with count 0 meaning "through the end". (0, 0) returns pts unchanged.
+func slicePoints[P any](name string, pts []P, start, count int) ([]P, error) {
+	if start == 0 && count == 0 {
+		return pts, nil
+	}
+	if start < 0 || count < 0 {
+		return nil, fmt.Errorf("experiments: %s: negative point range [%d,+%d)", name, start, count)
+	}
+	if start >= len(pts) {
+		return nil, fmt.Errorf("experiments: %s: point start %d beyond the %d points", name, start, len(pts))
+	}
+	end := len(pts)
+	if count > 0 {
+		end = start + count
+		if end > len(pts) {
+			return nil, fmt.Errorf("experiments: %s: point range [%d,%d) beyond the %d points", name, start, end, len(pts))
+		}
+	}
+	return pts[start:end], nil
 }
 
 // scenarioRun is the common shape of the RunScenario* entry points.
@@ -115,16 +155,20 @@ func ScenarioSpec(name, target string, opts Options) (*campaign.Spec, error) {
 	}
 	opts.applyDefaults()
 	base := opts.SeedBase
+	points, err := slicePoints(name, []campaign.Point{{
+		Label:  target,
+		Trials: opts.TrialsPerPoint,
+		Seed:   func(i int) uint64 { return base + uint64(i) },
+		Run: func(t campaign.Trial) (any, error) {
+			return run(target, t.Seed, false)
+		},
+	}}, opts.PointStart, opts.PointCount)
+	if err != nil {
+		return nil, err
+	}
 	return &campaign.Spec{
 		Name:     name + "/" + target,
 		SeedBase: base,
-		Points: []campaign.Point{{
-			Label:  target,
-			Trials: opts.TrialsPerPoint,
-			Seed:   func(i int) uint64 { return base + uint64(i) },
-			Run: func(t campaign.Trial) (any, error) {
-				return run(target, t.Seed, false)
-			},
-		}},
+		Points:   points,
 	}, nil
 }

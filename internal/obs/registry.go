@@ -200,6 +200,12 @@ func ExponentialBuckets(start, factor float64, n int) []float64 {
 	return b
 }
 
+// LatencyBucketsMS returns the standard millisecond latency layout shared
+// by the serving and fabric layers: doubling buckets from 1 ms to ~32 s.
+// Sharing one layout keeps queue-wait, job end-to-end and shard-latency
+// histograms directly comparable in one dashboard.
+func LatencyBucketsMS() []float64 { return ExponentialBuckets(1, 2, 16) }
+
 // Registry is a named collection of instruments. Registration
 // (Counter/Gauge/Histogram) is get-or-create under a mutex and returns
 // a stable handle; the handles themselves are lock-free. A nil

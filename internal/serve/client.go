@@ -6,8 +6,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 )
 
 // Client is a minimal injectabled API client. Base is the daemon's root
@@ -15,6 +18,119 @@ import (
 type Client struct {
 	Base string
 	HTTP *http.Client
+	// Retry governs automatic resubmission when the daemon throttles
+	// (429 queue-full, 503 draining). The zero value disables retries —
+	// the historical behavior, and the right one for callers that do
+	// their own failover (the fabric dispatcher reroutes to another
+	// worker instead of hammering a busy one).
+	Retry Retry
+}
+
+// Retry is the client's throttle-retry policy: capped exponential backoff
+// with full jitter, honoring the server's Retry-After hint as the floor of
+// each wait. Only 429 and 503 responses are retried — they are explicit
+// "try again later" signals carrying Retry-After; transport errors and
+// every other status surface immediately.
+type Retry struct {
+	// Max is the number of retries after the initial attempt (0 = none).
+	Max int
+	// Base is the first backoff step (default 200ms); it doubles per retry.
+	Base time.Duration
+	// Cap bounds any single wait (default 5s).
+	Cap time.Duration
+
+	// sleep is stubbed by tests; nil means a real timer.
+	sleep func(time.Duration)
+}
+
+// backoff computes the wait before retry attempt (0-based), honoring the
+// server's Retry-After seconds as a floor and applying full jitter in
+// [w/2, w) so a rejected fleet does not resubmit in lockstep.
+func (r Retry) backoff(attempt int, retryAfter string) time.Duration {
+	base := r.Base
+	if base <= 0 {
+		base = 200 * time.Millisecond
+	}
+	cap := r.Cap
+	if cap <= 0 {
+		cap = 5 * time.Second
+	}
+	w := base << uint(attempt)
+	if w > cap || w <= 0 {
+		w = cap
+	}
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs >= 0 {
+		if hint := time.Duration(secs) * time.Second; hint > w {
+			w = hint
+		}
+		if w > cap {
+			w = cap
+		}
+	}
+	if w <= 0 {
+		return 0
+	}
+	half := w / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// wait sleeps for d or until ctx is done.
+func (r Retry) wait(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return nil
+	}
+	if r.sleep != nil {
+		r.sleep(d)
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retryable reports whether a status is an explicit throttle signal.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// postSpec POSTs a job spec to path, resubmitting throttled responses per
+// the client's Retry policy. The caller owns the returned response body.
+func (c *Client) postSpec(ctx context.Context, path string, spec JobSpec) (*http.Response, error) {
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url(path), bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if !retryable(resp.StatusCode) || attempt >= c.Retry.Max {
+			return resp, nil
+		}
+		apiErr := decodeErr(resp) // also drains what we need from the body
+		resp.Body.Close()
+		retryAfter := ""
+		if e, ok := apiErr.(*APIError); ok {
+			retryAfter = e.RetryAfter
+		}
+		if werr := c.Retry.wait(ctx, c.Retry.backoff(attempt, retryAfter)); werr != nil {
+			return nil, fmt.Errorf("serve: retry wait: %w (last: %v)", werr, apiErr)
+		}
+	}
 }
 
 func (c *Client) http() *http.Client {
@@ -39,18 +155,9 @@ type RunResult struct {
 }
 
 // Run submits a job synchronously (POST /v1/run) and reads the whole
-// result stream.
+// result stream, retrying throttled submissions per the Retry policy.
 func (c *Client) Run(ctx context.Context, spec JobSpec) (*RunResult, error) {
-	payload, err := json.Marshal(spec)
-	if err != nil {
-		return nil, err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/run"), bytes.NewReader(payload))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.http().Do(req)
+	resp, err := c.postSpec(ctx, "/v1/run", spec)
 	if err != nil {
 		return nil, err
 	}
@@ -69,18 +176,10 @@ func (c *Client) Run(ctx context.Context, spec JobSpec) (*RunResult, error) {
 	}, nil
 }
 
-// Submit enqueues a job asynchronously (POST /v1/jobs).
+// Submit enqueues a job asynchronously (POST /v1/jobs), retrying
+// throttled submissions per the Retry policy.
 func (c *Client) Submit(ctx context.Context, spec JobSpec) (*JobInfo, error) {
-	payload, err := json.Marshal(spec)
-	if err != nil {
-		return nil, err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/jobs"), bytes.NewReader(payload))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.http().Do(req)
+	resp, err := c.postSpec(ctx, "/v1/jobs", spec)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// throttleStub is an HTTP server that answers 429 + Retry-After for the
+// first reject requests, then succeeds with a fixed NDJSON body.
+func throttleStub(t *testing.T, reject int, retryAfter string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if int(n) <= reject {
+			w.Header().Set("Retry-After", retryAfter)
+			httpError(w, http.StatusTooManyRequests, "serve: queue full")
+			return
+		}
+		w.Header().Set("X-Job-ID", "j-0001")
+		w.Header().Set("X-Cache", "miss")
+		w.Write([]byte(`{"kind":"campaign"}` + "\n"))
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+func TestClientRetriesThrottledRun(t *testing.T) {
+	srv, calls := throttleStub(t, 2, "0")
+	var waits []time.Duration
+	c := &Client{Base: srv.URL, Retry: Retry{
+		Max:   3,
+		Base:  time.Millisecond,
+		sleep: func(d time.Duration) { waits = append(waits, d) },
+	}}
+	res, err := c.Run(context.Background(), JobSpec{Experiment: "exp1"})
+	if err != nil {
+		t.Fatalf("Run with retries failed: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (2 throttled + 1 success)", got)
+	}
+	if len(waits) != 2 {
+		t.Fatalf("client slept %d times, want 2", len(waits))
+	}
+	if res.Cache != "miss" || res.JobID != "j-0001" {
+		t.Fatalf("unexpected result meta: %+v", res)
+	}
+}
+
+func TestClientExhaustsRetries(t *testing.T) {
+	srv, calls := throttleStub(t, 100, "0")
+	c := &Client{Base: srv.URL, Retry: Retry{Max: 2, Base: time.Millisecond, sleep: func(time.Duration) {}}}
+	_, err := c.Run(context.Background(), JobSpec{Experiment: "exp1"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("want final *APIError 429, got %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (initial + 2 retries)", got)
+	}
+}
+
+func TestClientDoesNotRetryNonThrottle(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		httpError(w, http.StatusBadRequest, "serve: bad spec")
+	}))
+	defer srv.Close()
+	c := &Client{Base: srv.URL, Retry: Retry{Max: 5, Base: time.Millisecond, sleep: func(time.Duration) {
+		t.Fatal("client slept for a non-retryable status")
+	}}}
+	_, err := c.Submit(context.Background(), JobSpec{Experiment: "exp1"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("want *APIError 400, got %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (no retries on 400)", got)
+	}
+}
+
+func TestClientRetryHonorsRetryAfterAndCap(t *testing.T) {
+	// Retry-After of 3600s must be clamped to Cap; the jittered wait lands
+	// in [cap/2, cap].
+	r := Retry{Max: 1, Base: time.Millisecond, Cap: 50 * time.Millisecond}
+	for i := 0; i < 100; i++ {
+		w := r.backoff(0, "3600")
+		if w < 25*time.Millisecond || w > 50*time.Millisecond {
+			t.Fatalf("backoff %v outside [cap/2, cap]", w)
+		}
+	}
+	// The hint floors the exponential step: attempt 0 at base 1ms with
+	// Retry-After: 1 waits on the order of a second, not a millisecond.
+	roomy := Retry{Max: 1, Base: time.Millisecond, Cap: 10 * time.Second}
+	if w := roomy.backoff(0, "1"); w < 500*time.Millisecond {
+		t.Fatalf("backoff %v ignored the Retry-After floor", w)
+	}
+	// Garbage hints fall back to the exponential step.
+	if w := r.backoff(0, "soon"); w > time.Millisecond {
+		t.Fatalf("backoff %v for a garbage hint exceeds the base step", w)
+	}
+}
+
+func TestClientRetryWaitRespectsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	srv, calls := throttleStub(t, 100, "0")
+	c := &Client{Base: srv.URL, Retry: Retry{Max: 5, Base: time.Millisecond, sleep: func(time.Duration) {}}}
+	_, err := c.Run(ctx, JobSpec{Experiment: "exp1"})
+	if err == nil {
+		t.Fatal("Run with a canceled context succeeded")
+	}
+	if got := calls.Load(); got > 1 {
+		t.Fatalf("client kept retrying after cancellation: %d requests", got)
+	}
+}

@@ -22,6 +22,9 @@ func FuzzDecodeJobSpec(f *testing.F) {
 	f.Add([]byte(``))
 	f.Add([]byte(`{"experiment":"heuristic","trials":500,"priority":9}`))
 	f.Add([]byte(`{"experiment":" ","seed_base":18446744073709551615}`))
+	f.Add([]byte(`{"experiment":"exp1","point_start":2,"point_count":2}`))
+	f.Add([]byte(`{"experiment":"exp1","point_start":1048577}`))
+	f.Add([]byte(`{"experiment":"exp1","point_count":-1}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		spec, err := DecodeJobSpec(data)

@@ -80,7 +80,17 @@ func (r *Registry) Validate(spec JobSpec) (JobSpec, error) {
 				spec.Experiment, spec.Target, e.Targets)
 		}
 	}
-	return spec.Normalize(), nil
+	norm := spec.Normalize()
+	if norm.PointStart != 0 || norm.PointCount != 0 {
+		// A point range can only be checked against the experiment's real
+		// point list; building the spec is cheap (closure construction, no
+		// simulation) and rejects a bad range at admission instead of
+		// surfacing it as a failed job.
+		if _, err := e.Build(norm); err != nil {
+			return JobSpec{}, err
+		}
+	}
+	return norm, nil
 }
 
 // Build validates the spec and expands it into its campaign.
@@ -129,5 +139,7 @@ func specOptions(spec JobSpec) experiments.Options {
 	return experiments.Options{
 		TrialsPerPoint: spec.Trials,
 		SeedBase:       spec.SeedBase,
+		PointStart:     spec.PointStart,
+		PointCount:     spec.PointCount,
 	}
 }

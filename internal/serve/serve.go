@@ -43,6 +43,9 @@ const (
 	MaxPriority = 9
 	// maxSpecBytes bounds the request body the decoder will look at.
 	maxSpecBytes = 1 << 16
+	// maxPoints bounds point_start/point_count at the decoder (no real
+	// sweep has more points; the registry enforces the exact range).
+	maxPoints = 1 << 20
 )
 
 // JobSpec is the wire form of one campaign job.
@@ -63,6 +66,14 @@ type JobSpec struct {
 	// default). It does not affect results, only whether they arrive, so
 	// it is excluded from the dedup key.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// PointStart and PointCount restrict the job to a contiguous range of
+	// the experiment's sweep points: [PointStart, PointStart+PointCount),
+	// with PointCount 0 meaning "through the last point". (0, 0) runs the
+	// whole experiment. The distributed campaign fabric shards sweeps
+	// along this axis; the range changes which results the stream holds,
+	// so unlike priority/timeout it participates in the dedup key.
+	PointStart int `json:"point_start,omitempty"`
+	PointCount int `json:"point_count,omitempty"`
 }
 
 // DecodeJobSpec parses a job spec strictly: unknown fields, trailing
@@ -102,6 +113,12 @@ func (s JobSpec) check() error {
 	if s.TimeoutMS < 0 {
 		return fmt.Errorf("serve: negative timeout_ms %d", s.TimeoutMS)
 	}
+	if s.PointStart < 0 || s.PointStart > maxPoints {
+		return fmt.Errorf("serve: point_start %d out of range [0,%d]", s.PointStart, maxPoints)
+	}
+	if s.PointCount < 0 || s.PointCount > maxPoints {
+		return fmt.Errorf("serve: point_count %d out of range [0,%d]", s.PointCount, maxPoints)
+	}
 	return nil
 }
 
@@ -120,11 +137,19 @@ func (s JobSpec) Normalize() JobSpec {
 
 // Key returns the canonical dedup/cache key: a SHA-256 over the fields
 // that determine the result stream — experiment, target, trials, seed
-// base — after normalization. Priority and timeout shape scheduling, not
-// results, and are deliberately excluded.
+// base, and the point range when one is set — after normalization.
+// Priority and timeout shape scheduling, not results, and are
+// deliberately excluded. A full-campaign spec (no point range) hashes
+// exactly as it did before ranges existed, so fleet-wide dedup keys stay
+// stable across daemon versions; a shard's key extends the campaign hash
+// with its range, which is what makes shard keys canonical across the
+// fleet (same spec + same range → same key on every node).
 func (s JobSpec) Key() string {
 	n := s.Normalize()
 	h := sha256.New()
 	fmt.Fprintf(h, "%s\x00%s\x00%d\x00%d", n.Experiment, n.Target, n.Trials, n.SeedBase)
+	if n.PointStart != 0 || n.PointCount != 0 {
+		fmt.Fprintf(h, "\x00points\x00%d\x00%d", n.PointStart, n.PointCount)
+	}
 	return hex.EncodeToString(h.Sum(nil))[:32]
 }

@@ -119,7 +119,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // reg is shorthand for the metrics registry (nil-safe).
 func (s *Server) reg() *obs.Registry { return s.cfg.Hub.Reg() }
 
-func msHist() []float64 { return obs.ExponentialBuckets(1, 2, 16) }
+func msHist() []float64 { return obs.LatencyBucketsMS() }
 
 // Submit admits a job spec. The returned disposition is one of "miss"
 // (admitted as a fresh execution), "join" (attached to an identical

@@ -1,8 +1,11 @@
 package serve
 
 import (
+	"bytes"
 	"strings"
 	"testing"
+
+	"injectable/internal/campaign"
 )
 
 func TestDecodeJobSpecValid(t *testing.T) {
@@ -104,5 +107,75 @@ func TestRegistryValidate(t *testing.T) {
 	}
 	if _, err := r.Validate(JobSpec{Experiment: "keystrokes"}); err != nil {
 		t.Errorf("keystrokes (targetless scenario) rejected: %v", err)
+	}
+}
+
+func TestPointRangeKeyAndValidate(t *testing.T) {
+	full := JobSpec{Experiment: "exp1", Trials: 2}
+	shard := full
+	shard.PointStart, shard.PointCount = 2, 2
+	if shard.Key() == full.Key() {
+		t.Error("point range did not change the dedup key")
+	}
+	other := full
+	other.PointStart, other.PointCount = 2, 3
+	if other.Key() == shard.Key() {
+		t.Error("different point ranges share a dedup key")
+	}
+
+	r := DefaultRegistry()
+	if _, err := r.Validate(shard); err != nil {
+		t.Errorf("valid point range rejected: %v", err)
+	}
+	// exp1 has 6 points; a range past the end must be rejected at admission.
+	bad := full
+	bad.PointStart = 99
+	if _, err := r.Validate(bad); err == nil {
+		t.Error("out-of-range point_start validated")
+	}
+	bad = full
+	bad.PointStart, bad.PointCount = 4, 5
+	if _, err := r.Validate(bad); err == nil {
+		t.Error("overlong point range validated")
+	}
+}
+
+// TestPointRangeSlicesStream checks a sharded job's result lines are the
+// exact byte subrange of the full campaign's stream: same points, same
+// seeds, same values — only the header/trailer frame differs. This is the
+// property the fabric's cross-node merge is built on.
+func TestPointRangeSlicesStream(t *testing.T) {
+	r := DefaultRegistry()
+	render := func(spec JobSpec) []byte {
+		t.Helper()
+		cspec, err := r.Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		runner := campaign.Runner{Workers: 2, Sinks: []campaign.Sink{campaign.NewNDJSON(&buf)}}
+		if _, err := runner.Run(cspec); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	stripFrame := func(stream []byte) []byte {
+		t.Helper()
+		head := bytes.IndexByte(stream, '\n')
+		tail := bytes.LastIndexByte(stream[:len(stream)-1], '\n')
+		if head < 0 || tail < head {
+			t.Fatalf("stream too short: %q", stream)
+		}
+		return stream[head+1 : tail+1]
+	}
+
+	full := stripFrame(render(JobSpec{Experiment: "exp1", Trials: 2}))
+	var sharded []byte
+	for start := 0; start < 6; start += 2 {
+		spec := JobSpec{Experiment: "exp1", Trials: 2, PointStart: start, PointCount: 2}
+		sharded = append(sharded, stripFrame(render(spec))...)
+	}
+	if !bytes.Equal(full, sharded) {
+		t.Fatalf("concatenated shard payloads differ from the full run:\nfull:\n%s\nsharded:\n%s", full, sharded)
 	}
 }
