@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -58,7 +59,7 @@ func run(argv []string, stdout, stderr io.Writer, ready chan<- string) int {
 	case "submit":
 		return runSubmit(argv[1:], stdout, stderr)
 	case "coordinator":
-		return runCoordinator(argv[1:], stdout, stderr)
+		return runCoordinator(argv[1:], stdout, stderr, ready)
 	case "loadgen":
 		return runLoadgen(argv[1:], stdout, stderr)
 	case "-h", "-help", "--help", "help":
@@ -73,10 +74,11 @@ func run(argv []string, stdout, stderr io.Writer, ready chan<- string) int {
 
 func usage(w io.Writer) {
 	fmt.Fprint(w, `usage:
-  injectabled serve       [-addr host:port] [-queue-cap n] [-job-workers n] [-trial-workers n] [-cache-entries n] [-drain-timeout d]
+  injectabled serve       [-addr host:port] [-queue-cap n] [-job-workers n] [-trial-workers n] [-cache-entries n] [-drain-timeout d] [-log-level l] [-pprof addr]
   injectabled worker      (alias for serve)
   injectabled submit      [-addr url] -experiment name [-target t] [-trials n] [-seed-base n] [-priority n] [-timeout-ms n] [-o file]
   injectabled coordinator -workers url,url,... -experiment name [-shards n] [-journal file] [-max-attempts n] [-o file]
+                          [-status addr] [-linger d] [-trace file] [-scrape-interval d] [-log-level l] [-pprof addr]
   injectabled loadgen     [-addr url | -self] [-clients n] [-jobs n] [-experiment name] [-target t] [-trials n] [-variants n]
 `)
 }
@@ -86,6 +88,35 @@ var signalCh = func() <-chan os.Signal {
 	ch := make(chan os.Signal, 2)
 	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
 	return ch
+}
+
+// obsFlags registers the shared observability flags (-log-level, -pprof)
+// and returns a setup function that builds the logger and starts the
+// optional pprof debug server. The returned cleanup is safe to call
+// unconditionally.
+func obsFlags(fs *flag.FlagSet) func(stderr io.Writer) (*slog.Logger, func(), error) {
+	logLevel := fs.String("log-level", "", "structured log level: debug|info|warn|error (default: no structured logs)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and /debug/runtime on this address")
+	return func(stderr io.Writer) (*slog.Logger, func(), error) {
+		lg := obs.NopLogger()
+		if *logLevel != "" {
+			level, err := obs.ParseLogLevel(*logLevel)
+			if err != nil {
+				return nil, func() {}, err
+			}
+			lg = obs.NewLogger(stderr, level)
+		}
+		cleanup := func() {}
+		if *pprofAddr != "" {
+			dbg, err := obs.StartDebugServer(*pprofAddr)
+			if err != nil {
+				return nil, cleanup, err
+			}
+			fmt.Fprintf(stderr, "injectabled: pprof on http://%s/debug/pprof/\n", dbg.Addr())
+			cleanup = func() { dbg.Close() }
+		}
+		return lg, cleanup, nil
+	}
 }
 
 func runServe(argv []string, stdout, stderr io.Writer, ready chan<- string) int {
@@ -99,9 +130,16 @@ func runServe(argv []string, stdout, stderr io.Writer, ready chan<- string) int 
 	retryAfter := fs.Duration("retry-after", 2*time.Second, "Retry-After hint on 429/503")
 	jobTimeout := fs.Duration("job-timeout", 5*time.Minute, "default per-job deadline")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Minute, "max wait for accepted jobs on shutdown")
+	obsSetup := obsFlags(fs)
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
+	lg, obsCleanup, err := obsSetup(stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "injectabled:", err)
+		return 2
+	}
+	defer obsCleanup()
 
 	hub := obs.NewHub()
 	srv := serve.NewServer(serve.Config{
@@ -112,6 +150,7 @@ func runServe(argv []string, stdout, stderr io.Writer, ready chan<- string) int 
 		CacheEntries:   *cacheEntries,
 		RetryAfter:     *retryAfter,
 		DefaultTimeout: *jobTimeout,
+		Log:            lg,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -220,7 +259,14 @@ func runSubmit(argv []string, stdout, stderr io.Writer) int {
 // the results. The summary line on stderr is stable, machine-assertable
 // output: the CI smoke job greps it to prove a resumed campaign
 // dispatched zero shards.
-func runCoordinator(argv []string, stdout, stderr io.Writer) int {
+//
+// With -status, a fleet observability surface (merged /metrics,
+// /v1/fleet, /v1/spans, /v1/trace) serves throughout the run and for
+// -linger afterwards so scrapers can collect the final state; ready
+// (tests) receives the status listener's address, or "" when -status is
+// off. With -trace, the merged cross-process Chrome trace is written
+// after the run.
+func runCoordinator(argv []string, stdout, stderr io.Writer, ready chan<- string) int {
 	fs := flag.NewFlagSet("injectabled coordinator", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	workersFlag := fs.String("workers", "", "comma-separated worker daemon base URLs (required)")
@@ -229,6 +275,11 @@ func runCoordinator(argv []string, stdout, stderr io.Writer) int {
 	out := fs.String("o", "", "write the merged NDJSON stream to this file (default stdout)")
 	maxAttempts := fs.Int("max-attempts", 3, "dispatch attempts per shard before the campaign fails")
 	workerFailures := fs.Int("worker-failures", 3, "consecutive failures before a worker is abandoned")
+	statusAddr := fs.String("status", "", "serve the fleet status surface (/metrics, /v1/fleet, /v1/trace) on this address")
+	scrapeEvery := fs.Duration("scrape-interval", 2*time.Second, "worker metrics scrape period for the status surface")
+	linger := fs.Duration("linger", 0, "keep the status surface up this long after the run (0 = exit immediately)")
+	tracePath := fs.String("trace", "", "write the merged cross-process Chrome trace to this file after the run")
+	obsSetup := obsFlags(fs)
 	spec := specFlags(fs)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -243,6 +294,12 @@ func runCoordinator(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "injectabled: coordinator needs -workers url[,url...]")
 		return 2
 	}
+	lg, obsCleanup, err := obsSetup(stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "injectabled:", err)
+		return 2
+	}
+	defer obsCleanup()
 
 	plan, err := fabric.PlanShards(serve.DefaultRegistry(), spec(), *shards)
 	if err != nil {
@@ -250,12 +307,16 @@ func runCoordinator(argv []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	hub := obs.NewHub()
+	st := fabric.NewStatus()
 	cfg := fabric.Config{
 		Workers:        workers,
 		Retry:          serve.Retry{Max: 4, Base: 250 * time.Millisecond, Cap: 5 * time.Second},
 		MaxAttempts:    *maxAttempts,
 		WorkerFailures: *workerFailures,
-		Hub:            obs.NewHub(),
+		Hub:            hub,
+		Log:            lg,
+		Status:         st,
 	}
 	if *journalPath != "" {
 		j, recs, err := fabric.OpenJournal(*journalPath)
@@ -279,18 +340,100 @@ func runCoordinator(argv []string, stdout, stderr io.Writer) int {
 		w = f
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := signalCh()
+	go func() {
+		select {
+		case s := <-sig:
+			fmt.Fprintf(stderr, "injectabled: %v — aborting campaign (journal retains finished shards)\n", s)
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	// The aggregator exists whenever either observability output was
+	// requested; the HTTP surface only with -status.
+	var agg *fabric.Aggregator
+	if *statusAddr != "" || *tracePath != "" {
+		agg = fabric.NewAggregator(fabric.AggregatorConfig{
+			Workers:  workers,
+			Interval: *scrapeEvery,
+			Local:    hub,
+			Status:   st,
+			Log:      lg,
+		})
+	}
+	var statusSrv *http.Server
+	if *statusAddr != "" {
+		ln, err := net.Listen("tcp", *statusAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "injectabled:", err)
+			return 1
+		}
+		statusSrv = &http.Server{Handler: agg.Handler()}
+		go statusSrv.Serve(ln)
+		defer statusSrv.Close()
+		fmt.Fprintf(stderr, "injectabled: fleet status on http://%s\n", ln.Addr())
+		go agg.Run(ctx)
+		if ready != nil {
+			ready <- ln.Addr().String()
+		}
+	} else if ready != nil {
+		ready <- ""
+	}
+
 	rep, err := fabric.Run(ctx, cfg, plan, w)
 	if rep != nil {
 		fmt.Fprintf(stderr, "fabric: shards=%d resumed=%d dispatched=%d retried=%d workers_lost=%d trials=%d ok=%d failed=%d bytes=%d\n",
 			rep.Shards, rep.Resumed, rep.Dispatched, rep.Retried, rep.WorkersLost, rep.Trials, rep.OK, rep.Failed, rep.Bytes)
 	}
+	code := 0
 	if err != nil {
 		fmt.Fprintln(stderr, "injectabled:", err)
-		return 1
+		code = 1
 	}
-	return 0
+
+	if agg != nil {
+		// Final scrape so the surface (and the trace) reflects the
+		// workers' post-campaign counters even between ticks.
+		scrapeCtx, scrapeCancel := context.WithTimeout(context.Background(), 10*time.Second)
+		agg.ScrapeOnce(scrapeCtx)
+		if *tracePath != "" {
+			if terr := writeFleetTrace(scrapeCtx, agg, *tracePath, plan.Key); terr != nil {
+				fmt.Fprintln(stderr, "injectabled:", terr)
+				if code == 0 {
+					code = 1
+				}
+			} else {
+				fmt.Fprintf(stderr, "injectabled: fleet trace written to %s\n", *tracePath)
+			}
+		}
+		scrapeCancel()
+	}
+
+	if statusSrv != nil && *linger > 0 && code == 0 {
+		fmt.Fprintf(stderr, "injectabled: lingering %v for scrapers (signal to exit)\n", *linger)
+		select {
+		case <-time.After(*linger):
+		case <-sig:
+		case <-ctx.Done():
+		}
+	}
+	return code
+}
+
+// writeFleetTrace assembles and writes the merged Chrome trace file.
+func writeFleetTrace(ctx context.Context, agg *fabric.Aggregator, path, trace string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := agg.FleetTrace(ctx, f, trace); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func runLoadgen(argv []string, stdout, stderr io.Writer) int {

@@ -1,0 +1,70 @@
+// Command promlint validates Prometheus text exposition read from stdin
+// (or files) against the repo's strict parser: TYPE before samples, no
+// duplicate series, non-negative counters, cumulative histogram buckets
+// whose +Inf count matches _count. CI pipes curled /metrics output
+// through it to prove the fleet exposition is well-formed.
+//
+// Usage:
+//
+//	curl -s http://host/metrics?format=prom | promlint
+//	promlint dump1.prom dump2.prom
+//
+// Exit status 0 when every input parses; 1 on the first violation.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"injectable/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(argv) == 0 {
+		return lint("<stdin>", stdin, stdout, stderr)
+	}
+	for _, path := range argv {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "promlint:", err)
+			return 1
+		}
+		code := lint(path, f, stdout, stderr)
+		f.Close()
+		if code != 0 {
+			return code
+		}
+	}
+	return 0
+}
+
+func lint(name string, r io.Reader, stdout, stderr io.Writer) int {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		fmt.Fprintln(stderr, "promlint:", err)
+		return 1
+	}
+	fams, err := obs.ParsePromText(data)
+	if err != nil {
+		fmt.Fprintf(stderr, "promlint: %s: %v\n", name, err)
+		return 1
+	}
+	names := make([]string, 0, len(fams))
+	series := 0
+	for fname, fam := range fams {
+		names = append(names, fname)
+		series += len(fam.Samples)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(stdout, "%s: OK — %d families, %d series\n", name, len(fams), series)
+	for _, fname := range names {
+		fmt.Fprintf(stdout, "  %-40s %s\n", fname, fams[fname].Type)
+	}
+	return 0
+}

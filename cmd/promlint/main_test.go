@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodExpo = `# TYPE serve_jobs_done counter
+serve_jobs_done 6
+# TYPE serve_queue_wait_ms histogram
+serve_queue_wait_ms_bucket{le="1"} 2
+serve_queue_wait_ms_bucket{le="+Inf"} 6
+serve_queue_wait_ms_sum 12.5
+serve_queue_wait_ms_count 6
+`
+
+func TestLintAcceptsValidExposition(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run(nil, strings.NewReader(goodExpo), &stdout, &stderr); code != 0 {
+		t.Fatalf("valid exposition rejected: %s", stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "2 families") || !strings.Contains(out, "serve_queue_wait_ms") {
+		t.Errorf("summary missing families: %s", out)
+	}
+}
+
+func TestLintRejectsBrokenCumulativity(t *testing.T) {
+	bad := `# TYPE h histogram
+h_bucket{le="1"} 5
+h_bucket{le="2"} 3
+h_bucket{le="+Inf"} 5
+h_sum 4
+h_count 5
+`
+	var stdout, stderr strings.Builder
+	if code := run(nil, strings.NewReader(bad), &stdout, &stderr); code == 0 {
+		t.Fatal("non-cumulative histogram accepted")
+	}
+	if !strings.Contains(stderr.String(), "promlint:") {
+		t.Errorf("stderr missing diagnostic: %s", stderr.String())
+	}
+}
+
+func TestLintRejectsMissingFile(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"/nonexistent/expo.prom"}, strings.NewReader(""), &stdout, &stderr); code == 0 {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -15,6 +15,12 @@ type Collator[T any] struct {
 	next    int
 	pending map[int]T
 	out     []T
+
+	// OnRelease, when non-nil, is called with each ordinal as it becomes
+	// releasable (in release order, before Add returns). Observability
+	// layers hook it to timestamp merge progress without the collator
+	// knowing about spans.
+	OnRelease func(ordinal int)
 }
 
 // NewCollator returns a collator expecting ordinals next, next+1, ....
@@ -32,16 +38,22 @@ func (c *Collator[T]) Add(ordinal int, v T) []T {
 		c.pending[ordinal] = v
 		return c.out
 	}
-	c.out = append(c.out, v)
-	c.next++
+	c.release(ordinal, v)
 	for {
 		head, ok := c.pending[c.next]
 		if !ok {
 			return c.out
 		}
 		delete(c.pending, c.next)
-		c.out = append(c.out, head)
-		c.next++
+		c.release(c.next, head)
+	}
+}
+
+func (c *Collator[T]) release(ordinal int, v T) {
+	c.out = append(c.out, v)
+	c.next++
+	if c.OnRelease != nil {
+		c.OnRelease(ordinal)
 	}
 }
 

@@ -42,6 +42,28 @@ func TestCollatorOutOfOrder(t *testing.T) {
 	}
 }
 
+// TestCollatorOnRelease checks the hook fires once per ordinal, in
+// release order, even when a gap-fill releases a run of buffered items.
+func TestCollatorOnRelease(t *testing.T) {
+	c := NewCollator[string](0)
+	var fired []int
+	c.OnRelease = func(ordinal int) { fired = append(fired, ordinal) }
+	c.Add(2, "c")
+	c.Add(1, "b")
+	if len(fired) != 0 {
+		t.Fatalf("hook fired %v before the front gap filled", fired)
+	}
+	c.Add(0, "a")
+	if len(fired) != 3 {
+		t.Fatalf("hook fired %d times, want 3", len(fired))
+	}
+	for i, ord := range fired {
+		if ord != i {
+			t.Fatalf("hook order %v, want release order", fired)
+		}
+	}
+}
+
 // TestCollatorGapHoldsBack checks nothing is released while the front
 // ordinal is missing, and that filling the gap releases the whole run.
 func TestCollatorGapHoldsBack(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"time"
 
@@ -37,8 +38,13 @@ type Config struct {
 	// dispatched.
 	Journal *Journal
 	Resume  []ShardRecord
-	// Hub receives fabric metrics (nil disables them).
+	// Hub receives fabric metrics and spans (nil disables them).
 	Hub *obs.Hub
+	// Log receives structured lifecycle events (nil = silent).
+	Log *slog.Logger
+	// Status, when non-nil, receives live per-shard and per-worker state
+	// transitions; the Aggregator serves it as /v1/fleet.
+	Status *Status
 }
 
 func (c Config) withDefaults() Config {
@@ -92,7 +98,11 @@ func Run(ctx context.Context, cfg Config, plan *Plan, w io.Writer) (*Report, err
 		return nil, fmt.Errorf("fabric: no workers configured")
 	}
 	reg := cfg.Hub.Reg()
+	lg := obs.LoggerOr(cfg.Log)
+	cfg.Status.beginPlan(plan, cfg.Workers)
 	rep := &Report{Shards: len(plan.Shards)}
+	lg.Info("campaign starting", "campaign", plan.Key, "shards", len(plan.Shards),
+		"workers", len(cfg.Workers), "trials", plan.Trials)
 
 	countWrite := func(p []byte) error {
 		n, err := w.Write(p)
@@ -114,6 +124,9 @@ func Run(ctx context.Context, cfg Config, plan *Plan, w io.Writer) (*Report, err
 		}
 	}
 	coll := campaign.NewCollator[[]byte](0)
+	coll.OnRelease = func(ordinal int) {
+		cfg.Hub.Spans().Add(obs.Mark(plan.Key, "merge", "shard", obs.SpanArg(ordinal)))
+	}
 	release := func(idx int, payload []byte) error {
 		for _, p := range coll.Add(idx, payload) {
 			if err := countWrite(p); err != nil {
@@ -130,6 +143,7 @@ func Run(ctx context.Context, cfg Config, plan *Plan, w io.Writer) (*Report, err
 			rep.OK += rec.OK
 			rep.Failed += rec.Failed
 			reg.Counter("fabric.shards_resumed").Inc()
+			cfg.Status.shardPhase(s.Index, ShardResumed, "")
 			if err := release(s.Index, rec.Body); err != nil {
 				return rep, err
 			}
@@ -141,15 +155,21 @@ func Run(ctx context.Context, cfg Config, plan *Plan, w io.Writer) (*Report, err
 
 	if len(todo) > 0 {
 		if err := dispatch(ctx, cfg, plan, todo, rep, release); err != nil {
+			cfg.Status.finish(err)
 			return rep, err
 		}
 	}
 
 	rep.Trials = rep.OK + rep.Failed
 	if err := countWrite(campaign.NDJSONTrailer(rep.Trials, rep.OK, rep.Failed)); err != nil {
+		cfg.Status.finish(err)
 		return rep, fmt.Errorf("fabric: writing merged trailer: %w", err)
 	}
 	reg.Counter("fabric.campaigns_merged").Inc()
+	cfg.Status.finish(nil)
+	lg.Info("campaign merged", "campaign", plan.Key, "bytes", rep.Bytes,
+		"trials", rep.Trials, "ok", rep.OK, "failed", rep.Failed,
+		"dispatched", rep.Dispatched, "retried", rep.Retried, "resumed", rep.Resumed)
 	return rep, nil
 }
 
@@ -157,6 +177,7 @@ func Run(ctx context.Context, cfg Config, plan *Plan, w io.Writer) (*Report, err
 // completed payloads to release in shard order.
 func dispatch(ctx context.Context, cfg Config, plan *Plan, todo []int, rep *Report, release func(int, []byte) error) error {
 	reg := cfg.Hub.Reg()
+	lg := obs.LoggerOr(cfg.Log)
 	// Workers run under a child context so an aborted dispatch (shard
 	// exhausted its attempts, write error) stops their in-flight requests
 	// instead of letting them run to completion unobserved.
@@ -202,6 +223,9 @@ func dispatch(ctx context.Context, cfg Config, plan *Plan, todo []int, rep *Repo
 			live--
 			rep.WorkersLost++
 			reg.Counter("fabric.workers_lost").Inc()
+			cfg.Status.workerLost(o.worker)
+			cfg.Hub.Spans().Add(obs.Mark(plan.Key, "worker-lost", "worker", o.worker))
+			lg.Warn("worker lost", "campaign", plan.Key, "worker", o.worker, "live", live)
 			continue
 		}
 		rep.Dispatched++
@@ -215,11 +239,19 @@ func dispatch(ctx context.Context, cfg Config, plan *Plan, todo []int, rep *Repo
 			}
 			rep.Retried++
 			reg.Counter("fabric.shards_retried").Inc()
+			cfg.Status.shardPhase(o.shard, ShardRetrying, o.worker)
+			cfg.Hub.Spans().Add(obs.Mark(plan.Key, "redispatch",
+				"shard", obs.SpanArg(o.shard), "worker", o.worker))
+			lg.Warn("shard redispatched", "campaign", plan.Key, "shard", o.shard,
+				"worker", o.worker, "attempt", attempts[o.shard], "err", o.err)
 			queue <- o.shard
 			continue
 		}
 		latency.Observe(float64(o.elapsed.Milliseconds()))
 		reg.Counter("fabric.shards_completed").Inc()
+		cfg.Status.shardPhase(o.shard, ShardDone, o.worker)
+		lg.Debug("shard completed", "campaign", plan.Key, "shard", o.shard,
+			"worker", o.worker, "ms", o.elapsed.Milliseconds(), "ok", o.ok, "failed", o.failed)
 		if cfg.Journal != nil {
 			rec := ShardRecord{
 				Key:    plan.Shards[o.shard].Key,
@@ -246,15 +278,26 @@ func dispatch(ctx context.Context, cfg Config, plan *Plan, todo []int, rep *Repo
 // or the worker proves dead (WorkerFailures consecutive errors), then
 // reports its obituary.
 func workerLoop(ctx context.Context, cfg Config, plan *Plan, base string, queue <-chan int, outcomes chan<- outcome) {
-	client := &serve.Client{Base: base, HTTP: cfg.HTTP, Retry: cfg.Retry}
+	// Trace propagation: every shard submission carries the campaign's
+	// canonical hash, so worker-side queue/run spans join the fleet trace.
+	client := &serve.Client{Base: base, HTTP: cfg.HTTP, Retry: cfg.Retry, Trace: plan.Key}
+	spans := cfg.Hub.Spans()
 	consecutive := 0
 	for idx := range queue {
 		shard := plan.Shards[idx]
+		cfg.Status.shardPhase(idx, ShardRunning, base)
 		start := time.Now()
 		o := outcome{shard: idx, worker: base}
 		res, err := client.Run(ctx, shard.Spec)
+		spans.Add(obs.NewSpan(plan.Key, "dispatch", start,
+			"shard", obs.SpanArg(idx), "worker", base))
 		if err == nil {
+			spans.Add(obs.Mark(plan.Key, "stream",
+				"shard", obs.SpanArg(idx), "worker", base, "bytes", obs.SpanArg(len(res.Body))))
+			vstart := time.Now()
 			o.payload, o.ok, o.failed, err = splitShardStream(res.Body, shard.Trials)
+			spans.Add(obs.NewSpan(plan.Key, "validate", vstart,
+				"shard", obs.SpanArg(idx), "worker", base))
 		}
 		o.err = err
 		o.elapsed = time.Since(start)

@@ -1,0 +1,457 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"injectable/internal/obs"
+	"injectable/internal/serve"
+)
+
+// This file is the coordinator's live observability surface. Two pieces
+// compose it:
+//
+//   - Status: a mutex-protected shard/worker state machine the dispatch
+//     loop updates in place. It answers "where is shard 7 right now" —
+//     something scraping workers can never reconstruct, because a shard's
+//     phase (queued, retrying after a worker died, resumed from the
+//     journal) only exists in the coordinator's head.
+//   - Aggregator: a scraper that polls every worker's /metrics JSON
+//     snapshot, folds them with obs.Snapshot.Merge (plus the
+//     coordinator's own hub), and serves the fleet-wide view: merged
+//     /metrics (JSON and Prometheus text), /v1/fleet (Status + worker
+//     health + latency quantiles), and /v1/spans. FleetTrace assembles
+//     the cross-process Chrome trace by pulling every worker's spans for
+//     one trace id next to the coordinator's own.
+
+// ShardPhase is one shard's position in the dispatch state machine.
+type ShardPhase string
+
+const (
+	ShardPending  ShardPhase = "pending"  // planned, not yet picked up
+	ShardResumed  ShardPhase = "resumed"  // merged from the journal, never dispatched
+	ShardRunning  ShardPhase = "running"  // in flight on a worker
+	ShardRetrying ShardPhase = "retrying" // failed, queued for redispatch
+	ShardDone     ShardPhase = "done"     // payload validated and merged
+)
+
+// ShardStatus is one shard's live state.
+type ShardStatus struct {
+	Index    int        `json:"index"`
+	Key      string     `json:"key"`
+	Phase    ShardPhase `json:"phase"`
+	Worker   string     `json:"worker,omitempty"` // last worker to touch it
+	Attempts int        `json:"attempts"`         // dispatch attempts so far
+	Trials   int        `json:"trials"`
+}
+
+// Status tracks a coordinator run's live shard and worker state. A nil
+// *Status is valid everywhere one is plumbed: every method no-ops, the
+// same convention obs uses. One Status serves one campaign at a time;
+// beginPlan resets it.
+type Status struct {
+	mu           sync.Mutex
+	campaign     string
+	shards       []ShardStatus
+	workers      []string
+	lost         map[string]bool
+	redispatches int
+	started      time.Time
+	finished     bool
+	errMsg       string
+}
+
+// NewStatus returns an empty status surface, ready to hand to both a
+// coordinator Config and an Aggregator.
+func NewStatus() *Status { return &Status{} }
+
+func (st *Status) beginPlan(plan *Plan, workers []string) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.campaign = plan.Key
+	st.workers = append([]string(nil), workers...)
+	st.lost = map[string]bool{}
+	st.redispatches = 0
+	st.started = time.Now()
+	st.finished = false
+	st.errMsg = ""
+	st.shards = make([]ShardStatus, len(plan.Shards))
+	for i, s := range plan.Shards {
+		st.shards[i] = ShardStatus{Index: s.Index, Key: s.Key, Phase: ShardPending, Trials: s.Trials}
+	}
+}
+
+func (st *Status) shardPhase(idx int, phase ShardPhase, worker string) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if idx < 0 || idx >= len(st.shards) {
+		return
+	}
+	s := &st.shards[idx]
+	s.Phase = phase
+	if worker != "" {
+		s.Worker = worker
+	}
+	switch phase {
+	case ShardRunning:
+		s.Attempts++
+	case ShardRetrying:
+		st.redispatches++
+	}
+}
+
+func (st *Status) workerLost(base string) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.lost[base] = true
+}
+
+func (st *Status) finish(err error) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.finished = true
+	if err != nil {
+		st.errMsg = err.Error()
+	}
+}
+
+// WorkerStatus is one worker's fleet-view row: dispatch-side liveness
+// from the coordinator plus scrape-side health from the aggregator.
+type WorkerStatus struct {
+	Base string `json:"base"`
+	// State is "active" or "lost" (abandoned by the dispatcher).
+	State string `json:"state"`
+	// ScrapeOK reports whether the last metrics scrape succeeded;
+	// ScrapeErr carries the failure when it did not. LastScrapeUnixMS is
+	// 0 until the first scrape completes.
+	ScrapeOK         bool   `json:"scrape_ok"`
+	ScrapeErr        string `json:"scrape_err,omitempty"`
+	LastScrapeUnixMS int64  `json:"last_scrape_unix_ms,omitempty"`
+	// JobsDone is the worker's serve.jobs_done counter from its last
+	// scrape (-1 before the first successful scrape).
+	JobsDone int64 `json:"jobs_done"`
+}
+
+// LatencyQuantiles summarizes one latency histogram from the merged
+// fleet snapshot.
+type LatencyQuantiles struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P90   float64 `json:"p90_ms"`
+	P99   float64 `json:"p99_ms"`
+}
+
+// FleetStatus is the /v1/fleet wire form: the live campaign state plus
+// fleet-wide latency summaries.
+type FleetStatus struct {
+	Campaign string `json:"campaign,omitempty"`
+	Finished bool   `json:"finished"`
+	Err      string `json:"error,omitempty"`
+	// Progress is merged shards (done or resumed) over planned shards,
+	// in [0,1]; 0 when no plan has begun.
+	Progress     float64          `json:"progress"`
+	ShardsTotal  int              `json:"shards_total"`
+	ShardsDone   int              `json:"shards_done"`
+	Redispatches int              `json:"redispatches"`
+	WorkersLost  int              `json:"workers_lost"`
+	Shards       []ShardStatus    `json:"shards,omitempty"`
+	Workers      []WorkerStatus   `json:"workers"`
+	JobE2E       LatencyQuantiles `json:"job_e2e_ms"`
+	QueueWait    LatencyQuantiles `json:"queue_wait_ms"`
+	ShardLatency LatencyQuantiles `json:"shard_latency_ms"`
+}
+
+// AggregatorConfig shapes the fleet scraper.
+type AggregatorConfig struct {
+	// Workers are the worker daemons' base URLs to scrape.
+	Workers []string
+	// HTTP is the scrape transport (nil = http.DefaultClient).
+	HTTP *http.Client
+	// Interval is the scrape period for Run (default 2s).
+	Interval time.Duration
+	// Local, when non-nil, is the coordinator's own hub; its snapshot and
+	// spans are folded into the fleet view alongside the workers'.
+	Local *obs.Hub
+	// Status is the dispatch-side state surface (may be nil).
+	Status *Status
+	// Log receives scrape failures (nil = silent).
+	Log *slog.Logger
+}
+
+// Aggregator scrapes worker metrics and serves the fleet-wide view.
+type Aggregator struct {
+	cfg AggregatorConfig
+	log *slog.Logger
+
+	mu      sync.Mutex
+	scraped map[string]*obs.Snapshot // last good snapshot per worker
+	health  map[string]*WorkerStatus
+}
+
+// NewAggregator returns an aggregator; call ScrapeOnce or Run to fill it.
+func NewAggregator(cfg AggregatorConfig) *Aggregator {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	a := &Aggregator{
+		cfg:     cfg,
+		log:     obs.LoggerOr(cfg.Log),
+		scraped: map[string]*obs.Snapshot{},
+		health:  map[string]*WorkerStatus{},
+	}
+	for _, base := range cfg.Workers {
+		a.health[base] = &WorkerStatus{Base: base, State: "active", JobsDone: -1}
+	}
+	return a
+}
+
+func (a *Aggregator) client(base string) *serve.Client {
+	return &serve.Client{Base: base, HTTP: a.cfg.HTTP}
+}
+
+// ScrapeOnce polls every worker's /metrics once, concurrently. A worker
+// that fails to answer keeps its previous snapshot (the fleet view
+// degrades to slightly stale rather than dropping the worker's counts)
+// and is marked unhealthy until the next success.
+func (a *Aggregator) ScrapeOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, base := range a.cfg.Workers {
+		wg.Add(1)
+		go func(base string) {
+			defer wg.Done()
+			snap, err := a.client(base).Metrics(ctx)
+			now := time.Now().UnixMilli()
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			h := a.health[base]
+			h.LastScrapeUnixMS = now
+			if err != nil {
+				h.ScrapeOK = false
+				h.ScrapeErr = err.Error()
+				a.log.Warn("worker scrape failed", "worker", base, "err", err)
+				return
+			}
+			h.ScrapeOK = true
+			h.ScrapeErr = ""
+			h.JobsDone = counterValue(snap, "serve.jobs_done")
+			a.scraped[base] = snap
+		}(base)
+	}
+	wg.Wait()
+}
+
+// Run scrapes on the configured interval until ctx is done. One scrape
+// happens immediately so the surface is live before the first tick.
+func (a *Aggregator) Run(ctx context.Context) {
+	t := time.NewTicker(a.cfg.Interval)
+	defer t.Stop()
+	a.ScrapeOnce(ctx)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			a.ScrapeOnce(ctx)
+		}
+	}
+}
+
+// Fleet returns the fleet-wide metrics snapshot: every worker's last
+// scraped snapshot merged via obs.Snapshot.Merge, plus the local hub's
+// when one is configured. Workers merge in sorted-URL order so the
+// result is deterministic.
+func (a *Aggregator) Fleet() *obs.Snapshot {
+	a.mu.Lock()
+	bases := make([]string, 0, len(a.scraped))
+	for base := range a.scraped {
+		bases = append(bases, base)
+	}
+	sort.Strings(bases)
+	fleet := &obs.Snapshot{}
+	for _, base := range bases {
+		fleet.Merge(a.scraped[base])
+	}
+	a.mu.Unlock()
+	if a.cfg.Local != nil {
+		fleet.Merge(a.cfg.Local.Snapshot())
+	}
+	return fleet
+}
+
+// FleetStatus assembles the /v1/fleet view from the dispatch-side Status
+// and the scrape-side health plus merged latency histograms.
+func (a *Aggregator) FleetStatus() FleetStatus {
+	out := FleetStatus{Workers: []WorkerStatus{}}
+
+	var lost map[string]bool
+	st := a.cfg.Status
+	if st != nil {
+		st.mu.Lock()
+		out.Campaign = st.campaign
+		out.Finished = st.finished
+		out.Err = st.errMsg
+		out.Redispatches = st.redispatches
+		out.ShardsTotal = len(st.shards)
+		out.Shards = append([]ShardStatus(nil), st.shards...)
+		lost = make(map[string]bool, len(st.lost))
+		for w := range st.lost {
+			lost[w] = true
+		}
+		st.mu.Unlock()
+		for _, s := range out.Shards {
+			if s.Phase == ShardDone || s.Phase == ShardResumed {
+				out.ShardsDone++
+			}
+		}
+		if out.ShardsTotal > 0 {
+			out.Progress = float64(out.ShardsDone) / float64(out.ShardsTotal)
+		}
+		out.WorkersLost = len(lost)
+	}
+
+	a.mu.Lock()
+	bases := make([]string, 0, len(a.health))
+	for base := range a.health {
+		bases = append(bases, base)
+	}
+	sort.Strings(bases)
+	for _, base := range bases {
+		h := *a.health[base]
+		if lost[base] {
+			h.State = "lost"
+		}
+		out.Workers = append(out.Workers, h)
+	}
+	a.mu.Unlock()
+
+	fleet := a.Fleet()
+	out.JobE2E = quantiles(fleet, "serve.job_e2e_ms")
+	out.QueueWait = quantiles(fleet, "serve.queue_wait_ms")
+	out.ShardLatency = quantiles(fleet, "fabric.shard_latency_ms")
+	return out
+}
+
+// FleetSpans returns the coordinator's spans plus every worker's,
+// grouped per process for WriteFleetTrace. trace filters to one trace id
+// ("" keeps everything). Workers that fail to answer contribute an empty
+// lane rather than failing the assembly.
+func (a *Aggregator) FleetSpans(ctx context.Context, trace string) []obs.ProcessSpans {
+	procs := []obs.ProcessSpans{}
+	if a.cfg.Local != nil {
+		spans := a.cfg.Local.Spans().Snapshot()
+		if trace != "" {
+			spans = obs.FilterTrace(spans, trace)
+		}
+		procs = append(procs, obs.ProcessSpans{Process: "coordinator", Spans: spans})
+	}
+	for _, base := range a.cfg.Workers {
+		spans, err := a.client(base).Spans(ctx, trace)
+		if err != nil {
+			a.log.Warn("worker span fetch failed", "worker", base, "err", err)
+		}
+		procs = append(procs, obs.ProcessSpans{Process: base, Spans: spans})
+	}
+	return procs
+}
+
+// FleetTrace writes the merged cross-process Chrome trace for one trace
+// id (or every span when trace is "").
+func (a *Aggregator) FleetTrace(ctx context.Context, w io.Writer, trace string) error {
+	return obs.WriteFleetTrace(w, a.FleetSpans(ctx, trace))
+}
+
+// Handler serves the fleet surface:
+//
+//	GET /metrics            merged fleet snapshot (JSON; ?format=prom for text exposition)
+//	GET /v1/fleet           live FleetStatus
+//	GET /v1/spans           coordinator's own spans (?trace= filters)
+//	GET /v1/trace           merged cross-process Chrome trace (?trace= filters)
+//	GET /healthz            liveness
+func (a *Aggregator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		fleet := a.Fleet()
+		if f := r.URL.Query().Get("format"); f == "prom" || f == "prometheus" {
+			w.Header().Set("Content-Type", obs.PromContentType)
+			if err := obs.WritePromText(w, fleet); err != nil {
+				a.log.Warn("prom exposition failed", "err", err)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(fleet)
+	})
+	mux.HandleFunc("GET /v1/fleet", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(a.FleetStatus())
+	})
+	mux.HandleFunc("GET /v1/spans", func(w http.ResponseWriter, r *http.Request) {
+		spans := []obs.Span{}
+		if a.cfg.Local != nil {
+			spans = a.cfg.Local.Spans().Snapshot()
+		}
+		if trace := r.URL.Query().Get("trace"); trace != "" {
+			spans = obs.FilterTrace(spans, trace)
+		}
+		if spans == nil {
+			spans = []obs.Span{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(spans)
+	})
+	mux.HandleFunc("GET /v1/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := a.FleetTrace(r.Context(), w, r.URL.Query().Get("trace")); err != nil {
+			a.log.Warn("fleet trace failed", "err", err)
+		}
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// counterValue returns a named counter from a snapshot (-1 if absent).
+func counterValue(s *obs.Snapshot, name string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return -1
+}
+
+// quantiles summarizes a named histogram from the merged snapshot.
+func quantiles(s *obs.Snapshot, name string) LatencyQuantiles {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return LatencyQuantiles{
+				Count: h.Count,
+				P50:   h.Quantile(0.50),
+				P90:   h.Quantile(0.90),
+				P99:   h.Quantile(0.99),
+			}
+		}
+	}
+	return LatencyQuantiles{}
+}

@@ -2,18 +2,19 @@ package obs
 
 import "sort"
 
-// Hub bundles the per-run metrics registry and forensics ledger. A nil
-// *Hub is valid everywhere a Hub is plumbed: Reg() and Led() return nil
-// receivers whose methods are no-ops, so instrumented layers never need
-// an observability-enabled check.
+// Hub bundles the per-run metrics registry, forensics ledger and span
+// log. A nil *Hub is valid everywhere a Hub is plumbed: Reg(), Led() and
+// Spans() return nil receivers whose methods are no-ops, so instrumented
+// layers never need an observability-enabled check.
 type Hub struct {
 	Registry *Registry
 	Ledger   *Ledger
+	SpanLog  *SpanLog
 }
 
-// NewHub returns a hub with a fresh registry and ledger.
+// NewHub returns a hub with a fresh registry, ledger and span log.
 func NewHub() *Hub {
-	return &Hub{Registry: NewRegistry(), Ledger: NewLedger()}
+	return &Hub{Registry: NewRegistry(), Ledger: NewLedger(), SpanLog: NewSpanLog(0)}
 }
 
 // Reg returns the registry (nil when the hub is nil).
@@ -30,6 +31,14 @@ func (h *Hub) Led() *Ledger {
 		return nil
 	}
 	return h.Ledger
+}
+
+// Spans returns the span log (nil when the hub is nil).
+func (h *Hub) Spans() *SpanLog {
+	if h == nil {
+		return nil
+	}
+	return h.SpanLog
 }
 
 // Snapshot captures the registry (empty snapshot when the hub is nil).

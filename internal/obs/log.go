@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// This file is the shared structured-logging surface: every daemon and
+// CLI builds its logger here so the fleet emits one line format
+// (leveled key=value text) and one flag vocabulary (-log-level) across
+// serve, fabric and the injectabled subcommands. Libraries accept a
+// *slog.Logger in their Config and treat nil as "silent" via LoggerOr,
+// keeping the historical quiet default.
+
+// ParseLogLevel maps the -log-level flag vocabulary onto slog levels.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// NewLogger returns the fleet's standard leveled text logger writing
+// to w.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// nopHandler drops every record without formatting it.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+// NopLogger returns a logger that discards everything at zero cost
+// (Enabled is false for every level, so arguments are never evaluated).
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }
+
+// LoggerOr returns l, or a silent logger when l is nil, so library code
+// can log unconditionally against an optional Config logger.
+func LoggerOr(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return NopLogger()
+	}
+	return l
+}

@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Snapshot in the Prometheus text exposition format
+// (version 0.0.4) so any scrape-based collector can consume the fleet's
+// metrics without a translation sidecar, and provides the strict parser
+// CI uses to validate the exposition end to end.
+//
+// Registry instrument names map onto Prometheus series like this:
+//
+//   - Characters outside [a-zA-Z0-9_:] in the base name become '_', so
+//     "serve.queue_depth" renders as "serve_queue_depth".
+//   - A name may carry an inline label set, "serve.http_errors{code="429"}";
+//     the suffix becomes the series' labels with values re-escaped per the
+//     exposition rules. Malformed label suffixes fall back to sanitizing
+//     the whole name (braces become '_') so rendering never fails on a
+//     hostile instrument name.
+//   - Histograms expand into the conventional _bucket (cumulative, with a
+//     final le="+Inf"), _sum and _count series.
+//
+// The snapshot is name-sorted, so the rendered bytes are deterministic —
+// the golden test pins the exact layout.
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promLabel is one rendered label pair. Value holds the unescaped text.
+type promLabel struct {
+	Name  string
+	Value string
+}
+
+// WritePromText renders the snapshot in Prometheus text exposition
+// format: one "# TYPE" header per metric family followed by its samples,
+// counters first, then gauges, then histograms, each group in the
+// snapshot's name-sorted order. It fails if two instruments collide on
+// the same family name after sanitization (e.g. a counter "a.b" next to
+// a gauge "a_b") — a collision would make the exposition ambiguous.
+func WritePromText(w io.Writer, snap *Snapshot) error {
+	bw := bufio.NewWriter(w)
+	seen := map[string]string{} // family name -> type
+	declare := func(name, typ string) error {
+		if prev, ok := seen[name]; ok {
+			if prev != typ {
+				return fmt.Errorf("obs: prom family %q declared as both %s and %s", name, prev, typ)
+			}
+			return nil
+		}
+		seen[name] = typ
+		_, err := fmt.Fprintf(bw, "# TYPE %s %s\n", name, typ)
+		return err
+	}
+
+	for _, c := range snap.Counters {
+		base, labels := splitInstrumentName(c.Name)
+		if err := declare(base, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, "%s %d\n", promSeries(base, labels), c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range snap.Gauges {
+		base, labels := splitInstrumentName(g.Name)
+		if err := declare(base, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, "%s %s\n", promSeries(base, labels), promFloat(g.Value)); err != nil {
+			return err
+		}
+	}
+	for _, h := range snap.Histograms {
+		base, labels := splitInstrumentName(h.Name)
+		if err := declare(base, "histogram"); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			le := append(append([]promLabel{}, labels...), promLabel{"le", promFloat(bound)})
+			if _, err := fmt.Fprintf(bw, "%s %d\n", promSeries(base+"_bucket", le), cum); err != nil {
+				return err
+			}
+		}
+		if len(h.Counts) > 0 {
+			cum += h.Counts[len(h.Counts)-1]
+		}
+		inf := append(append([]promLabel{}, labels...), promLabel{"le", "+Inf"})
+		if _, err := fmt.Fprintf(bw, "%s %d\n", promSeries(base+"_bucket", inf), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, "%s %s\n", promSeries(base+"_sum", labels), promFloat(h.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, "%s %d\n", promSeries(base+"_count", labels), h.Count); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// promSeries renders "name{k="v",...}" with escaped label values.
+func promSeries(name string, labels []promLabel) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promFloat renders a float the way the exposition format expects.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabelValue applies the exposition escaping: backslash, double
+// quote and newline.
+func escapeLabelValue(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// splitInstrumentName separates a registry instrument name into its
+// sanitized Prometheus base name and inline labels. A name without a
+// well-formed {k="v",...} suffix sanitizes wholesale.
+func splitInstrumentName(name string) (string, []promLabel) {
+	open := strings.IndexByte(name, '{')
+	if open > 0 && strings.HasSuffix(name, "}") {
+		if labels, ok := parseInlineLabels(name[open+1 : len(name)-1]); ok {
+			return promName(name[:open]), labels
+		}
+	}
+	return promName(name), nil
+}
+
+// parseInlineLabels parses `k="v",k2="v2"` from an instrument name. The
+// values use the same escaping as the exposition format.
+func parseInlineLabels(s string) ([]promLabel, bool) {
+	var labels []promLabel
+	for len(s) > 0 {
+		eq := strings.Index(s, `="`)
+		if eq <= 0 {
+			return nil, false
+		}
+		name := s[:eq]
+		if !validLabelName(name) {
+			return nil, false
+		}
+		rest := s[eq+2:]
+		val, n, ok := unescapeLabelValue(rest)
+		if !ok {
+			return nil, false
+		}
+		labels = append(labels, promLabel{name, val})
+		s = rest[n:]
+		if len(s) == 0 {
+			break
+		}
+		if s[0] != ',' {
+			return nil, false
+		}
+		s = s[1:]
+	}
+	return labels, len(labels) > 0
+}
+
+// unescapeLabelValue consumes an escaped label value up to its closing
+// quote, returning the unescaped text and how many input bytes were used
+// (including the closing quote).
+func unescapeLabelValue(s string) (string, int, bool) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), i + 1, true
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, false
+			}
+			i++
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, false
+			}
+		case '\n':
+			return "", 0, false
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", 0, false
+}
+
+// promName sanitizes a base metric name to [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z'):
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// validLabelName reports whether s is a legal Prometheus label name.
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && !(i > 0 && r >= '0' && r <= '9') {
+			return false
+		}
+	}
+	return true
+}

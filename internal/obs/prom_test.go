@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestWritePromTextGolden pins the exact exposition bytes for a registry
+// exercising every instrument kind, inline labels, value escaping and
+// name sanitization. The layout is deterministic because the snapshot is
+// name-sorted; any byte change here is a wire-format change.
+func TestWritePromTextGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.jobs_admitted").Add(7)
+	r.Counter(`serve.http_errors{code="400"}`).Add(2)
+	r.Counter(`serve.http_errors{code="429"}`).Add(5)
+	r.Counter(`weird.path{p="a\"b\\c\nd"}`).Add(1)
+	r.Counter("9starts.with-digit").Add(3)
+	r.Gauge("serve.queue_depth").Set(4)
+	r.Gauge("sim.temp_c").Set(-12.5)
+	h := r.Histogram("serve.job_e2e_ms", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 9} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := WritePromText(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE _9starts_with_digit counter
+_9starts_with_digit 3
+# TYPE serve_http_errors counter
+serve_http_errors{code="400"} 2
+serve_http_errors{code="429"} 5
+# TYPE serve_jobs_admitted counter
+serve_jobs_admitted 7
+# TYPE weird_path counter
+weird_path{p="a\"b\\c\nd"} 1
+# TYPE serve_queue_depth gauge
+serve_queue_depth 4
+# TYPE sim_temp_c gauge
+sim_temp_c -12.5
+# TYPE serve_job_e2e_ms histogram
+serve_job_e2e_ms_bucket{le="1"} 1
+serve_job_e2e_ms_bucket{le="2"} 2
+serve_job_e2e_ms_bucket{le="4"} 3
+serve_job_e2e_ms_bucket{le="+Inf"} 4
+serve_job_e2e_ms_sum 14
+serve_job_e2e_ms_count 4
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// The strict parser must accept our own output (round trip), and the
+	// escaped label value must unescape to the original.
+	fams, err := ParsePromText(buf.Bytes())
+	if err != nil {
+		t.Fatalf("own exposition rejected: %v", err)
+	}
+	if got := len(fams); got != 7 {
+		t.Errorf("parsed %d families, want 7", got)
+	}
+	wp := fams["weird_path"]
+	if wp == nil || len(wp.Samples) != 1 {
+		t.Fatalf("weird_path family missing: %+v", wp)
+	}
+	if got := wp.Samples[0].Label("p"); got != "a\"b\\c\nd" {
+		t.Errorf("label round trip: %q", got)
+	}
+	hist := fams["serve_job_e2e_ms"]
+	if hist == nil || hist.Type != "histogram" {
+		t.Fatalf("histogram family missing: %+v", hist)
+	}
+}
+
+// TestWritePromTextEmpty renders an empty snapshot as zero bytes.
+func TestWritePromTextEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePromText(&buf, &Snapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty snapshot rendered %q", buf.String())
+	}
+}
+
+// TestWritePromTextFamilyCollision rejects two instruments whose names
+// collide on one family with different types after sanitization.
+func TestWritePromTextFamilyCollision(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.b").Inc()
+	r.Gauge("a_b").Set(1)
+	if err := WritePromText(&bytes.Buffer{}, r.Snapshot()); err == nil {
+		t.Fatal("counter/gauge family collision not rejected")
+	}
+}
+
+// TestParsePromTextRejects covers the strict parser's validation: each
+// input violates exactly one invariant and must fail with a message
+// naming the problem.
+func TestParsePromTextRejects(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"sample outside TYPE", "a 1\n", "outside"},
+		{"duplicate family", "# TYPE a counter\na 1\n# TYPE a counter\n", "twice"},
+		{"duplicate series", "# TYPE a counter\na 1\na 2\n", "duplicate series"},
+		{"negative counter", "# TYPE a counter\na -1\n", "negative"},
+		{"bad metric name", "# TYPE a-b counter\n", "invalid metric name"},
+		{"bad label name", `# TYPE a counter` + "\n" + `a{0x="y"} 1` + "\n", "label"},
+		{"bad escape", `# TYPE a counter` + "\n" + `a{x="\q"} 1` + "\n", "escape"},
+		{"unterminated labels", `# TYPE a counter` + "\n" + `a{x="y" 1` + "\n", "label"},
+		{"bad value", "# TYPE a gauge\na pony\n", "unparsable"},
+		{"trailing field", "# TYPE a gauge\na 1 2\n", "malformed value"},
+		{"unknown type", "# TYPE a flummox\n", "unknown metric type"},
+		{"histogram no +Inf", "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 1` + "\nh_sum 1\nh_count 1\n", "+Inf"},
+		{"histogram non-cumulative", "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="2"} 3` + "\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 5\n", "non-cumulative"},
+		{"histogram count mismatch", "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 4\n", "_count"},
+		{"histogram missing sum", "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_count 5\n", "_sum"},
+		{"histogram stray series", "# TYPE h histogram\nh_extra 1\n", "outside"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParsePromText([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("accepted invalid input %q", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestParsePromTextAcceptsHelp allows HELP and comment lines, Inf/NaN
+// gauge values, and an untyped family.
+func TestParsePromTextAccepts(t *testing.T) {
+	in := "# HELP g a gauge of little consequence\n" +
+		"# just a comment\n" +
+		"# TYPE g gauge\ng +Inf\n" +
+		"# TYPE u untyped\nu NaN\n"
+	fams, err := ParsePromText([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(fams["g"].Samples[0].Value, 1) {
+		t.Errorf("gauge +Inf parsed as %v", fams["g"].Samples[0].Value)
+	}
+	if !math.IsNaN(fams["u"].Samples[0].Value) {
+		t.Errorf("untyped NaN parsed as %v", fams["u"].Samples[0].Value)
+	}
+}
+
+// TestPromHistogramCumulativeMonotone renders a histogram whose raw
+// per-bucket counts are wildly uneven and checks the exposition's
+// cumulative buckets never decrease — the invariant scrapers depend on
+// for rate() over le series.
+func TestPromHistogramCumulativeMonotone(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("m", []float64{1, 2, 3, 4, 5})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i % 7))
+	}
+	var buf bytes.Buffer
+	if err := WritePromText(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParsePromText(buf.Bytes()); err != nil {
+		t.Fatalf("cumulative rendering rejected: %v", err)
+	}
+}

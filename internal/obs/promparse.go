@@ -1,0 +1,352 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one parsed exposition sample.
+type PromSample struct {
+	// Name is the full series name, including any _bucket/_sum/_count
+	// suffix for histogram children.
+	Name string
+	// Labels holds the unescaped label pairs in order of appearance.
+	Labels []promLabel
+	// Value is the sample value.
+	Value float64
+}
+
+// Label returns the value of the named label ("" when absent).
+func (s PromSample) Label(name string) string {
+	for _, l := range s.Labels {
+		if l.Name == name {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// PromFamily is one parsed metric family: a TYPE declaration plus its
+// samples in input order.
+type PromFamily struct {
+	Name    string
+	Type    string // "counter", "gauge", "histogram", "summary", "untyped"
+	Samples []PromSample
+}
+
+// ParsePromText strictly parses and validates a Prometheus text
+// exposition (format 0.0.4). Beyond the grammar, it enforces the
+// invariants a correct exporter must hold:
+//
+//   - every sample belongs to a family declared by a preceding # TYPE
+//     line, and each family is declared exactly once;
+//   - metric and label names are lexically valid; label values use only
+//     legal escapes; values parse as floats (+Inf/-Inf/NaN allowed);
+//   - no two samples share the same name and label set;
+//   - counter values are finite and non-negative;
+//   - each histogram has a le="+Inf" bucket, its buckets are cumulative
+//     (non-decreasing in le order), _count equals the +Inf bucket, and a
+//     _sum sample is present.
+//
+// It returns the families keyed by name. Any violation is an error
+// naming the offending line.
+func ParsePromText(data []byte) (map[string]*PromFamily, error) {
+	families := map[string]*PromFamily{}
+	var current *PromFamily
+	seenSeries := map[string]bool{}
+
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 2 {
+				continue // bare comment
+			}
+			switch fields[1] {
+			case "TYPE":
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				name, typ := fields[2], fields[3]
+				if !validMetricName(name) {
+					return nil, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := families[name]; dup {
+					return nil, fmt.Errorf("line %d: family %q declared twice", lineNo, name)
+				}
+				current = &PromFamily{Name: name, Type: typ}
+				families[name] = current
+			case "HELP":
+				// HELP text is free-form; nothing to validate.
+			default:
+				// Other comments are permitted by the format.
+			}
+			continue
+		}
+
+		sample, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := familyFor(current, sample.Name)
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %q outside its family's TYPE block", lineNo, sample.Name)
+		}
+		if fam.Type == "counter" && (sample.Value < 0 || math.IsInf(sample.Value, 0) || math.IsNaN(sample.Value)) {
+			return nil, fmt.Errorf("line %d: counter %s has non-finite or negative value %v", lineNo, sample.Name, sample.Value)
+		}
+		key := seriesKey(sample)
+		if seenSeries[key] {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seenSeries[key] = true
+		fam.Samples = append(fam.Samples, sample)
+	}
+
+	for _, fam := range families {
+		if fam.Type == "histogram" {
+			if err := validateHistogramFamily(fam); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return families, nil
+}
+
+// familyFor matches a sample to the family whose TYPE block it is in.
+// Histogram children (_bucket/_sum/_count) belong to their parent.
+func familyFor(current *PromFamily, sampleName string) *PromFamily {
+	if current == nil {
+		return nil
+	}
+	if sampleName == current.Name {
+		return current
+	}
+	if current.Type == "histogram" || current.Type == "summary" {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if sampleName == current.Name+suffix {
+				return current
+			}
+		}
+	}
+	return nil
+}
+
+// parsePromSample parses one `name{labels} value` line.
+func parsePromSample(line string) (PromSample, error) {
+	var s PromSample
+	rest := line
+	end := strings.IndexAny(rest, "{ ")
+	if end < 0 {
+		return s, fmt.Errorf("malformed sample line %q", line)
+	}
+	s.Name = rest[:end]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[end:]
+	if rest[0] == '{' {
+		labels, used, err := parseExpositionLabels(rest[1:])
+		if err != nil {
+			return s, fmt.Errorf("sample %q: %w", s.Name, err)
+		}
+		s.Labels = labels
+		rest = rest[1+used:]
+	}
+	if len(rest) == 0 || rest[0] != ' ' {
+		return s, fmt.Errorf("sample %q: missing value separator", s.Name)
+	}
+	valText := strings.TrimSpace(rest[1:])
+	if valText == "" || strings.ContainsAny(valText, " \t") {
+		// A second field would be a timestamp; our exporters never emit
+		// one, so the strict parser treats it as garbage.
+		return s, fmt.Errorf("sample %q: malformed value %q", s.Name, valText)
+	}
+	v, err := parsePromValue(valText)
+	if err != nil {
+		return s, fmt.Errorf("sample %q: %w", s.Name, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseExpositionLabels parses `k="v",...}` (after the opening brace),
+// returning the labels and bytes consumed including the closing brace.
+func parseExpositionLabels(s string) ([]promLabel, int, error) {
+	var labels []promLabel
+	names := map[string]bool{}
+	pos := 0
+	for {
+		if pos >= len(s) {
+			return nil, 0, fmt.Errorf("unterminated label set")
+		}
+		if s[pos] == '}' {
+			return labels, pos + 1, nil
+		}
+		eq := strings.Index(s[pos:], `="`)
+		if eq <= 0 {
+			return nil, 0, fmt.Errorf("malformed label at %q", s[pos:])
+		}
+		name := s[pos : pos+eq]
+		if !validLabelName(name) {
+			return nil, 0, fmt.Errorf("invalid label name %q", name)
+		}
+		if names[name] {
+			return nil, 0, fmt.Errorf("duplicate label name %q", name)
+		}
+		names[name] = true
+		val, used, ok := unescapeLabelValue(s[pos+eq+2:])
+		if !ok {
+			return nil, 0, fmt.Errorf("bad escape in value of label %q", name)
+		}
+		labels = append(labels, promLabel{name, val})
+		pos += eq + 2 + used
+		if pos < len(s) && s[pos] == ',' {
+			pos++
+		}
+	}
+}
+
+// parsePromValue parses an exposition float.
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("unparsable value %q", s)
+	}
+	return v, nil
+}
+
+// validMetricName reports whether s is a legal Prometheus metric name.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && !(i > 0 && r >= '0' && r <= '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// seriesKey is a sample's identity: name plus sorted label pairs.
+func seriesKey(s PromSample) string {
+	labels := append([]promLabel{}, s.Labels...)
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Name < labels[j].Name })
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for _, l := range labels {
+		fmt.Fprintf(&b, "|%s=%q", l.Name, l.Value)
+	}
+	return b.String()
+}
+
+// validateHistogramFamily enforces the histogram invariants: cumulative
+// non-decreasing buckets grouped by their non-le labels, a le="+Inf"
+// bucket per group, _count matching it, and a _sum present.
+func validateHistogramFamily(fam *PromFamily) error {
+	type group struct {
+		buckets  []PromSample
+		sum      *PromSample
+		count    *PromSample
+		hasInf   bool
+		infValue float64
+	}
+	groups := map[string]*group{}
+	groupOf := func(s PromSample) *group {
+		var nonLE []promLabel
+		for _, l := range s.Labels {
+			if l.Name != "le" {
+				nonLE = append(nonLE, l)
+			}
+		}
+		key := seriesKey(PromSample{Name: fam.Name, Labels: nonLE})
+		g, ok := groups[key]
+		if !ok {
+			g = &group{}
+			groups[key] = g
+		}
+		return g
+	}
+
+	for i := range fam.Samples {
+		s := fam.Samples[i]
+		g := groupOf(s)
+		switch s.Name {
+		case fam.Name + "_bucket":
+			le := s.Label("le")
+			if le == "" {
+				return fmt.Errorf("histogram %s: bucket without le label", fam.Name)
+			}
+			bound, err := parsePromValue(le)
+			if err != nil {
+				return fmt.Errorf("histogram %s: bad le %q", fam.Name, le)
+			}
+			if math.IsInf(bound, 1) {
+				g.hasInf, g.infValue = true, s.Value
+			}
+			g.buckets = append(g.buckets, s)
+		case fam.Name + "_sum":
+			g.sum = &fam.Samples[i]
+		case fam.Name + "_count":
+			g.count = &fam.Samples[i]
+		default:
+			return fmt.Errorf("histogram %s: unexpected series %s", fam.Name, s.Name)
+		}
+	}
+
+	for key, g := range groups {
+		if len(g.buckets) == 0 {
+			return fmt.Errorf("histogram %s (%s): no buckets", fam.Name, key)
+		}
+		if !g.hasInf {
+			return fmt.Errorf("histogram %s (%s): missing le=\"+Inf\" bucket", fam.Name, key)
+		}
+		sorted := append([]PromSample{}, g.buckets...)
+		sort.Slice(sorted, func(i, j int) bool {
+			bi, _ := parsePromValue(sorted[i].Label("le"))
+			bj, _ := parsePromValue(sorted[j].Label("le"))
+			return bi < bj
+		})
+		prev := math.Inf(-1)
+		for _, b := range sorted {
+			if b.Value < prev {
+				return fmt.Errorf("histogram %s (%s): non-cumulative bucket le=%q (%v < %v)",
+					fam.Name, key, b.Label("le"), b.Value, prev)
+			}
+			prev = b.Value
+		}
+		if g.count == nil {
+			return fmt.Errorf("histogram %s (%s): missing _count", fam.Name, key)
+		}
+		if g.sum == nil {
+			return fmt.Errorf("histogram %s (%s): missing _sum", fam.Name, key)
+		}
+		if g.count.Value != g.infValue {
+			return fmt.Errorf("histogram %s (%s): _count %v != le=\"+Inf\" bucket %v",
+				fam.Name, key, g.count.Value, g.infValue)
+		}
+	}
+	return nil
+}

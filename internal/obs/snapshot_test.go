@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func snapOf(build func(r *Registry)) *Snapshot {
+	r := NewRegistry()
+	build(r)
+	return r.Snapshot()
+}
+
+// TestMergeMismatchedHistogramBounds: when two snapshots hold the same
+// histogram under different bucket layouts, the merge keeps the
+// receiver's buckets untouched but still folds the exact aggregates
+// (count/sum/min/max), so quantile clamping stays correct fleet-wide
+// even across daemons running different bucket configurations.
+func TestMergeMismatchedHistogramBounds(t *testing.T) {
+	a := snapOf(func(r *Registry) {
+		h := r.Histogram("lat", []float64{1, 2, 4})
+		h.Observe(1)
+		h.Observe(3)
+	})
+	b := snapOf(func(r *Registry) {
+		h := r.Histogram("lat", []float64{10, 20})
+		h.Observe(15)
+		h.Observe(0.5)
+	})
+	wantCounts := append([]int64{}, a.Histograms[0].Counts...)
+
+	a.Merge(b)
+	h := a.Histograms[0]
+	if !reflect.DeepEqual(h.Counts, wantCounts) {
+		t.Errorf("mismatched-bounds merge changed buckets: %v -> %v", wantCounts, h.Counts)
+	}
+	if !reflect.DeepEqual(h.Bounds, []float64{1, 2, 4}) {
+		t.Errorf("merge replaced bounds: %v", h.Bounds)
+	}
+	if h.Count != 4 || h.Sum != 19.5 {
+		t.Errorf("aggregates not merged: count=%d sum=%v", h.Count, h.Sum)
+	}
+	if h.Min != 0.5 || h.Max != 15 {
+		t.Errorf("min/max not merged: min=%v max=%v", h.Min, h.Max)
+	}
+}
+
+// TestMergeDisjointInstruments: instruments unique to either side are
+// all kept, and the result stays name-sorted (the property the
+// deterministic exports and the prom encoder rely on).
+func TestMergeDisjointInstruments(t *testing.T) {
+	a := snapOf(func(r *Registry) {
+		r.Counter("fabric.shards_completed").Add(3)
+		r.Gauge("fabric.shards_planned").Set(6)
+		r.Histogram("fabric.shard_latency_ms", []float64{1, 2}).Observe(1)
+	})
+	b := snapOf(func(r *Registry) {
+		r.Counter("serve.jobs_done").Add(5)
+		r.Gauge("serve.queue_depth").Set(0)
+		r.Histogram("serve.job_e2e_ms", []float64{1, 2}).Observe(2)
+	})
+	a.Merge(b)
+	if len(a.Counters) != 2 || len(a.Gauges) != 2 || len(a.Histograms) != 2 {
+		t.Fatalf("disjoint merge dropped instruments: %+v", a)
+	}
+	for i := 1; i < len(a.Counters); i++ {
+		if a.Counters[i-1].Name >= a.Counters[i].Name {
+			t.Errorf("counters unsorted after merge: %q >= %q", a.Counters[i-1].Name, a.Counters[i].Name)
+		}
+	}
+	for i := 1; i < len(a.Histograms); i++ {
+		if a.Histograms[i-1].Name >= a.Histograms[i].Name {
+			t.Errorf("histograms unsorted after merge: %q >= %q", a.Histograms[i-1].Name, a.Histograms[i].Name)
+		}
+	}
+}
+
+// TestMergeEmptyHistogramSides: an empty histogram on either side must
+// not poison min/max (the empty side carries no observed range).
+func TestMergeEmptyHistogramSides(t *testing.T) {
+	full := func() *Snapshot {
+		return snapOf(func(r *Registry) {
+			h := r.Histogram("h", []float64{1})
+			h.Observe(0.5)
+			h.Observe(7)
+		})
+	}
+	empty := func() *Snapshot {
+		return snapOf(func(r *Registry) { r.Histogram("h", []float64{1}) })
+	}
+
+	a := full()
+	a.Merge(empty())
+	if h := a.Histograms[0]; h.Count != 2 || h.Min != 0.5 || h.Max != 7 {
+		t.Errorf("full+empty: %+v", h)
+	}
+	b := empty()
+	b.Merge(full())
+	if h := b.Histograms[0]; h.Count != 2 || h.Min != 0.5 || h.Max != 7 {
+		t.Errorf("empty+full: %+v", h)
+	}
+}
+
+// TestMergeIsSumOfWorkers models the coordinator aggregation contract:
+// merging N worker snapshots into an empty fleet snapshot yields, for
+// every counter, the sum of the workers' values, independent of merge
+// order for counters and histograms.
+func TestMergeIsSumOfWorkers(t *testing.T) {
+	w1 := snapOf(func(r *Registry) {
+		r.Counter("serve.jobs_done").Add(2)
+		r.Counter("serve.cache_hits").Add(1)
+		r.Histogram("serve.job_e2e_ms", []float64{1, 2, 4}).Observe(1.5)
+	})
+	w2 := snapOf(func(r *Registry) {
+		r.Counter("serve.jobs_done").Add(4)
+		r.Histogram("serve.job_e2e_ms", []float64{1, 2, 4}).Observe(3)
+	})
+
+	fleet := &Snapshot{}
+	fleet.Merge(w1)
+	fleet.Merge(w2)
+
+	want := map[string]int64{"serve.cache_hits": 1, "serve.jobs_done": 6}
+	for _, c := range fleet.Counters {
+		if c.Value != want[c.Name] {
+			t.Errorf("fleet %s = %d, want %d", c.Name, c.Value, want[c.Name])
+		}
+	}
+	if h := fleet.Histograms[0]; h.Count != 2 || !reflect.DeepEqual(h.Counts, []int64{0, 1, 1, 0}) {
+		t.Errorf("fleet histogram: %+v", h)
+	}
+
+	// Reverse order must agree on everything except gauge semantics.
+	rev := &Snapshot{}
+	rev.Merge(w2)
+	rev.Merge(w1)
+	if !reflect.DeepEqual(rev.Counters, fleet.Counters) || !reflect.DeepEqual(rev.Histograms, fleet.Histograms) {
+		t.Error("counter/histogram merge is order-dependent")
+	}
+}

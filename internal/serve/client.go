@@ -11,13 +11,23 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"injectable/internal/obs"
 )
+
+// TraceHeader carries a caller's trace id on job submissions. A fabric
+// coordinator sets it to its campaign-level spec hash so the worker's
+// queue/run spans land in the same cross-process trace.
+const TraceHeader = "X-Trace-Id"
 
 // Client is a minimal injectabled API client. Base is the daemon's root
 // URL ("http://127.0.0.1:8077"); HTTP defaults to http.DefaultClient.
 type Client struct {
 	Base string
 	HTTP *http.Client
+	// Trace, when non-empty, is sent as the X-Trace-Id header on every
+	// job submission so server-side spans join the caller's trace.
+	Trace string
 	// Retry governs automatic resubmission when the daemon throttles
 	// (429 queue-full, 503 draining). The zero value disables retries —
 	// the historical behavior, and the right one for callers that do
@@ -114,6 +124,9 @@ func (c *Client) postSpec(ctx context.Context, path string, spec JobSpec) (*http
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if c.Trace != "" {
+			req.Header.Set(TraceHeader, c.Trace)
+		}
 		resp, err := c.http().Do(req)
 		if err != nil {
 			return nil, err
@@ -243,6 +256,48 @@ func (c *Client) Results(ctx context.Context, id string, w io.Writer) error {
 	return err
 }
 
+// Metrics fetches the daemon's JSON metrics snapshot (GET /metrics).
+// The fleet aggregator scrapes workers through this and merges the
+// snapshots into the fleet-wide view.
+func (c *Client) Metrics(ctx context.Context) (*obs.Snapshot, error) {
+	var snap obs.Snapshot
+	if err := c.getJSON(ctx, "/metrics", &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// Spans fetches the daemon's recorded spans (GET /v1/spans), optionally
+// filtered to one trace id.
+func (c *Client) Spans(ctx context.Context, trace string) ([]obs.Span, error) {
+	path := "/v1/spans"
+	if trace != "" {
+		path += "?trace=" + trace
+	}
+	var spans []obs.Span
+	if err := c.getJSON(ctx, path, &spans); err != nil {
+		return nil, err
+	}
+	return spans, nil
+}
+
+// getJSON GETs path and decodes the 200 body into out.
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeErr(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
 // APIError is a non-2xx daemon response.
 type APIError struct {
 	Status     int
@@ -257,13 +312,25 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("serve: HTTP %d: %s", e.Status, e.Msg)
 }
 
+// decodeErr turns a non-2xx response into an *APIError carrying the
+// server's JSON error message. When the body is not the daemon's
+// {"error": ...} form (a proxy page, a panic trace), a trimmed snippet
+// of the raw body is surfaced instead of the bare status line so the
+// caller's error says what the server actually sent.
 func decodeErr(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	msg := resp.Status
 	var body struct {
 		Error string `json:"error"`
 	}
-	msg := resp.Status
-	if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body) == nil && body.Error != "" {
+	if json.Unmarshal(raw, &body) == nil && body.Error != "" {
 		msg = body.Error
+	} else if snippet := strings.TrimSpace(string(raw)); snippet != "" {
+		const maxSnippet = 200
+		if len(snippet) > maxSnippet {
+			snippet = snippet[:maxSnippet] + "..."
+		}
+		msg = resp.Status + ": " + snippet
 	}
 	return &APIError{
 		Status:     resp.StatusCode,

@@ -5,10 +5,18 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync/atomic"
 	"testing"
 	"time"
 )
+
+// jsonError writes the daemon's JSON error shape from stub servers.
+func jsonError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write([]byte(`{"error":` + strconv.Quote(msg) + `}`))
+}
 
 // throttleStub is an HTTP server that answers 429 + Retry-After for the
 // first reject requests, then succeeds with a fixed NDJSON body.
@@ -19,7 +27,7 @@ func throttleStub(t *testing.T, reject int, retryAfter string) (*httptest.Server
 		n := calls.Add(1)
 		if int(n) <= reject {
 			w.Header().Set("Retry-After", retryAfter)
-			httpError(w, http.StatusTooManyRequests, "serve: queue full")
+			jsonError(w, http.StatusTooManyRequests, "serve: queue full")
 			return
 		}
 		w.Header().Set("X-Job-ID", "j-0001")
@@ -70,7 +78,7 @@ func TestClientDoesNotRetryNonThrottle(t *testing.T) {
 	var calls atomic.Int64
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		calls.Add(1)
-		httpError(w, http.StatusBadRequest, "serve: bad spec")
+		jsonError(w, http.StatusBadRequest, "serve: bad spec")
 	}))
 	defer srv.Close()
 	c := &Client{Base: srv.URL, Retry: Retry{Max: 5, Base: time.Millisecond, sleep: func(time.Duration) {

@@ -26,6 +26,9 @@ type job struct {
 	id   string
 	spec JobSpec // normalized
 	key  string
+	// trace is the job's trace id: the submitter's X-Trace-Id when one
+	// was propagated (fabric dispatch), else the canonical spec key.
+	trace string
 
 	// submitted is when the job was admitted (for queue-wait latency).
 	submitted time.Time

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"injectable/internal/obs"
+)
+
+// TestMetricsPromExposition: /metrics?format=prom renders the hub
+// snapshot in text exposition form, parseable by the strict in-repo
+// parser, and the http_errors counter carries a code label.
+func TestMetricsPromExposition(t *testing.T) {
+	hub := obs.NewHub()
+	s := NewServer(Config{Registry: stubRegistry(nil, nil, nil), Hub: hub})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// One good run plus one invalid spec so both success metrics and an
+	// http_errors{code="400"} series exist.
+	resp, _ := postRun(t, ts.URL, `{"experiment":"stub","trials":4,"seed_base":9}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: HTTP %d", resp.StatusCode)
+	}
+	resp, _ = postRun(t, ts.URL, `{"experiment":"nope"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad spec: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	promResp, err := http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer promResp.Body.Close()
+	if ct := promResp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Errorf("content type %q, want %q", ct, obs.PromContentType)
+	}
+	buf := make([]byte, 1<<20)
+	n, _ := promResp.Body.Read(buf)
+	for {
+		m, err := promResp.Body.Read(buf[n:])
+		n += m
+		if err != nil {
+			break
+		}
+	}
+	fams, err := obs.ParsePromText(buf[:n])
+	if err != nil {
+		t.Fatalf("exposition failed strict parse: %v\n%s", err, buf[:n])
+	}
+	errFam, ok := fams["serve_http_errors"]
+	if !ok {
+		t.Fatalf("no serve_http_errors family in %v", keys(fams))
+	}
+	found := false
+	for _, sm := range errFam.Samples {
+		if sm.Label("code") == "400" && sm.Value >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no serve_http_errors{code=\"400\"} >= 1: %+v", errFam.Samples)
+	}
+	if _, ok := fams["serve_jobs_done"]; !ok {
+		t.Error("serve_jobs_done missing from exposition")
+	}
+	if _, ok := fams["serve_job_e2e_ms"]; !ok {
+		t.Error("serve_job_e2e_ms histogram missing from exposition")
+	}
+}
+
+func keys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestStreamBytesCounter: every byte streamed to a client is counted.
+func TestStreamBytesCounter(t *testing.T) {
+	hub := obs.NewHub()
+	s := NewServer(Config{Registry: stubRegistry(nil, nil, nil), Hub: hub})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := postRun(t, ts.URL, `{"experiment":"stub","trials":6,"seed_base":3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: HTTP %d", resp.StatusCode)
+	}
+	snap := hub.Snapshot()
+	var egress int64
+	for _, c := range snap.Counters {
+		if c.Name == "serve.stream_bytes" {
+			egress = c.Value
+		}
+	}
+	if egress != int64(len(body)) {
+		t.Errorf("serve.stream_bytes = %d, want %d (body length)", egress, len(body))
+	}
+}
+
+// TestTraceHeaderPropagation: a submitted X-Trace-Id becomes the trace id
+// on the job's queue/run spans, and /v1/spans?trace= filters to it.
+func TestTraceHeaderPropagation(t *testing.T) {
+	hub := obs.NewHub()
+	s := NewServer(Config{Registry: stubRegistry(nil, nil, nil), Hub: hub})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, Trace: "fleet-abc123"}
+	if _, err := c.Run(context.Background(), JobSpec{Experiment: "stub", Trials: 3, SeedBase: 11}); err != nil {
+		t.Fatal(err)
+	}
+
+	spans, err := c.Spans(context.Background(), "fleet-abc123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, sp := range spans {
+		if sp.Trace != "fleet-abc123" {
+			t.Errorf("span %q has trace %q", sp.Name, sp.Trace)
+		}
+		names[sp.Name] = true
+	}
+	if !names["queue"] || !names["run"] {
+		t.Errorf("missing queue/run spans in trace: %v", names)
+	}
+
+	// Without the header, the trace id defaults to the spec key — the
+	// fleet-abc123 trace must not pick up this second job's spans.
+	plain := &Client{Base: ts.URL}
+	if _, err := plain.Run(context.Background(), JobSpec{Experiment: "stub", Trials: 5, SeedBase: 12}); err != nil {
+		t.Fatal(err)
+	}
+	again, err := c.Spans(context.Background(), "fleet-abc123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(spans) {
+		t.Errorf("foreign spans leaked into trace: %d -> %d", len(spans), len(again))
+	}
+	all, err := c.Spans(context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) <= len(spans) {
+		t.Errorf("unfiltered spans (%d) should exceed one trace's (%d)", len(all), len(spans))
+	}
+}
+
+// TestClientErrorIncludesServerBody: decodeErr surfaces the JSON error
+// message, and falls back to a raw-body snippet for non-JSON responses.
+func TestClientErrorIncludesServerBody(t *testing.T) {
+	hub := obs.NewHub()
+	s := NewServer(Config{Registry: stubRegistry(nil, nil, nil), Hub: hub})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL}
+	_, err := c.Run(context.Background(), JobSpec{Experiment: "does-not-exist"})
+	if err == nil || !strings.Contains(err.Error(), "does-not-exist") {
+		t.Errorf("client error lost the server's message: %v", err)
+	}
+
+	// A proxy-style HTML error page: the snippet, not just the status line.
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadGateway)
+		w.Write([]byte("<html>upstream exploded</html>"))
+	}))
+	defer proxy.Close()
+	pc := &Client{Base: proxy.URL}
+	_, err = pc.Run(context.Background(), JobSpec{Experiment: "stub"})
+	if err == nil || !strings.Contains(err.Error(), "upstream exploded") {
+		t.Errorf("client error lost the raw body snippet: %v", err)
+	}
+}
+
+// TestMetricsJSONRoundTrip: Client.Metrics decodes the JSON snapshot the
+// aggregator scrapes, preserving counters for a later Merge.
+func TestMetricsJSONRoundTrip(t *testing.T) {
+	hub := obs.NewHub()
+	s := NewServer(Config{Registry: stubRegistry(nil, nil, nil), Hub: hub})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if resp, _ := postRun(t, ts.URL, `{"experiment":"stub","trials":2,"seed_base":1}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: HTTP %d", resp.StatusCode)
+	}
+	c := &Client{Base: ts.URL}
+	snap, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done int64 = -1
+	for _, ct := range snap.Counters {
+		if ct.Name == "serve.jobs_done" {
+			done = ct.Value
+		}
+	}
+	if done != 1 {
+		t.Errorf("scraped serve.jobs_done = %d, want 1", done)
+	}
+}

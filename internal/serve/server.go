@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -41,6 +42,9 @@ type Config struct {
 	// DefaultTimeout caps a job's run when the spec carries no timeout_ms
 	// (default 5m).
 	DefaultTimeout time.Duration
+	// Log receives structured lifecycle events (admissions, completions,
+	// rejects, drain). Nil means silent — the historical behavior.
+	Log *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +90,7 @@ type Server struct {
 	ids   jobIDs
 	mux   *http.ServeMux
 	wg    sync.WaitGroup
+	log   *slog.Logger
 
 	mu       sync.Mutex
 	jobs     map[string]*job // by id, including terminal jobs
@@ -104,6 +109,7 @@ func NewServer(cfg Config) *Server {
 		cache: newResultCache(cfg.CacheEntries),
 		jobs:  map[string]*job{},
 		live:  map[string]*job{},
+		log:   obs.LoggerOr(cfg.Log),
 	}
 	s.routes()
 	for i := 0; i < cfg.JobWorkers; i++ {
@@ -127,36 +133,55 @@ func msHist() []float64 { return obs.LatencyBucketsMS() }
 // cache); the returned job is terminal already on a hit. Errors:
 // errDraining, ErrQueueFull, or a validation error.
 func (s *Server) Submit(spec JobSpec) (*job, string, error) {
+	return s.submit(spec, "")
+}
+
+// submit is Submit with an optional caller-propagated trace id (from the
+// X-Trace-Id header; a coordinator passes its campaign-level spec hash so
+// worker-side spans join the fleet trace). An empty trace defaults to the
+// job's own canonical key.
+func (s *Server) submit(spec JobSpec, trace string) (*job, string, error) {
 	norm, err := s.cfg.Registry.Validate(spec)
 	if err != nil {
 		s.reg().Counter("serve.reject_invalid").Inc()
+		s.log.Warn("job rejected", "reason", "invalid", "err", err)
 		return nil, "", err
 	}
 	key := norm.Key()
+	if trace == "" {
+		trace = key
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		s.reg().Counter("serve.reject_draining").Inc()
+		s.log.Warn("job rejected", "reason", "draining", "key", key)
 		return nil, "", errDraining
 	}
 	if j, ok := s.live[key]; ok {
 		s.reg().Counter("serve.joins").Inc()
+		s.log.Debug("job joined", "id", j.id, "key", key)
 		return j, "join", nil
 	}
 	if c, ok := s.cache.get(key); ok {
 		s.reg().Counter("serve.cache_hits").Inc()
 		j := newJob(s.ids.next(), norm, time.Now())
+		j.trace = trace
 		j.buf.Write(c.body)
 		j.buf.seal()
 		j.cacheHit = true
 		j.setStatus(StatusDone, "")
 		s.jobs[j.id] = j
+		s.cfg.Hub.Spans().Add(obs.Mark(trace, "cache-hit", "job", j.id, "key", key))
+		s.log.Debug("cache hit", "id", j.id, "key", key)
 		return j, "hit", nil
 	}
 	j := newJob(s.ids.next(), norm, time.Now())
+	j.trace = trace
 	if err := s.queue.push(j); err != nil {
 		s.reg().Counter("serve.reject_queue_full").Inc()
+		s.log.Warn("job rejected", "reason", "queue full", "key", key)
 		return nil, "", err
 	}
 	s.jobs[j.id] = j
@@ -164,6 +189,8 @@ func (s *Server) Submit(spec JobSpec) (*job, string, error) {
 	s.reg().Counter("serve.cache_misses").Inc()
 	s.reg().Counter("serve.jobs_admitted").Inc()
 	s.reg().Gauge("serve.queue_depth").Set(float64(s.queue.depth()))
+	s.log.Info("job admitted", "id", j.id, "experiment", norm.Experiment,
+		"target", norm.Target, "trials", norm.Trials, "key", key, "depth", s.queue.depth())
 	return j, "miss", nil
 }
 
@@ -193,6 +220,8 @@ func (s *Server) runJob(j *job) {
 	start := time.Now()
 	s.reg().Histogram("serve.queue_wait_ms", msHist()).
 		Observe(float64(start.Sub(j.submitted).Milliseconds()))
+	s.cfg.Hub.Spans().Add(obs.NewSpan(j.trace, "queue", j.submitted,
+		"job", j.id, "experiment", j.spec.Experiment))
 
 	finish := func(status JobStatus, errMsg string) {
 		j.buf.seal()
@@ -212,6 +241,10 @@ func (s *Server) runJob(j *job) {
 		}
 		s.reg().Histogram("serve.job_e2e_ms", msHist()).
 			Observe(float64(time.Since(j.submitted).Milliseconds()))
+		s.cfg.Hub.Spans().Add(obs.NewSpan(j.trace, "run", start,
+			"job", j.id, "experiment", j.spec.Experiment, "status", string(status)))
+		s.log.Info("job finished", "id", j.id, "status", status, "err", errMsg,
+			"e2e_ms", time.Since(j.submitted).Milliseconds())
 	}
 
 	if j.canceledCtx.Err() != nil {
@@ -284,6 +317,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.draining = true
 	s.mu.Unlock()
 	if !already {
+		s.log.Info("draining", "inflight", s.inflightDelta(0), "queued", s.queue.depth())
 		s.queue.close()
 	}
 	done := make(chan struct{})
@@ -329,11 +363,15 @@ func (s *Server) routes() {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/spans", s.handleSpans)
 	s.mux = mux
 }
 
-// httpError writes a JSON error body.
-func httpError(w http.ResponseWriter, code int, msg string) {
+// httpError writes a JSON error body and counts the rejection per status
+// code, so rejects show up in the exposition as
+// serve_http_errors{code="..."}.
+func (s *Server) httpError(w http.ResponseWriter, code int, msg string) {
+	s.reg().Counter(fmt.Sprintf("serve.http_errors{code=%q}", strconv.Itoa(code))).Inc()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": msg})
@@ -360,26 +398,27 @@ func decodeSubmit(r *http.Request) (JobSpec, error) {
 }
 
 // submitHTTP maps Submit errors onto status codes; on success it returns
-// the job and its disposition.
+// the job and its disposition. A caller-supplied X-Trace-Id header (the
+// coordinator's campaign hash) becomes the job's trace id.
 func (s *Server) submitHTTP(w http.ResponseWriter, r *http.Request) (*job, string, bool) {
 	spec, err := decodeSubmit(r)
 	if err != nil {
 		s.reg().Counter("serve.reject_invalid").Inc()
-		httpError(w, http.StatusBadRequest, err.Error())
+		s.httpError(w, http.StatusBadRequest, err.Error())
 		return nil, "", false
 	}
-	j, disp, err := s.Submit(spec)
+	j, disp, err := s.submit(spec, r.Header.Get(TraceHeader))
 	switch {
 	case err == nil:
 		return j, disp, true
 	case errors.Is(err, errDraining):
 		w.Header().Set("Retry-After", s.retryAfterSecs())
-		httpError(w, http.StatusServiceUnavailable, err.Error())
+		s.httpError(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrQueueClosed):
 		w.Header().Set("Retry-After", s.retryAfterSecs())
-		httpError(w, http.StatusTooManyRequests, err.Error())
+		s.httpError(w, http.StatusTooManyRequests, err.Error())
 	default:
-		httpError(w, http.StatusBadRequest, err.Error())
+		s.httpError(w, http.StatusBadRequest, err.Error())
 	}
 	return nil, "", false
 }
@@ -398,7 +437,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.Job(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown job id")
+		s.httpError(w, http.StatusNotFound, "unknown job id")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -408,7 +447,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.Job(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown job id")
+		s.httpError(w, http.StatusNotFound, "unknown job id")
 		return
 	}
 	j.cancel()
@@ -419,7 +458,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.Job(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown job id")
+		s.httpError(w, http.StatusNotFound, "unknown job id")
 		return
 	}
 	if r.Header.Get("Accept") == "text/event-stream" {
@@ -427,7 +466,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	streamCopy(w, j.buf.reader(r.Context()))
+	s.streamCopy(w, j.buf.reader(r.Context()))
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -438,7 +477,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Cache", disp)
 	w.Header().Set("X-Job-ID", j.id)
-	streamCopy(w, j.buf.reader(r.Context()))
+	s.streamCopy(w, j.buf.reader(r.Context()))
 }
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
@@ -466,22 +505,59 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	if draining {
 		w.Header().Set("Retry-After", s.retryAfterSecs())
-		httpError(w, http.StatusServiceUnavailable, "draining")
+		s.httpError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ready")
 }
 
+// handleMetrics serves the process's metrics snapshot: JSON by default,
+// Prometheus text exposition with ?format=prom (or an Accept header
+// preferring text/plain), so the same endpoint feeds both the fleet
+// aggregator and scrape-based collectors.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsProm(r) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		if err := obs.WritePromText(w, s.cfg.Hub.Snapshot()); err != nil {
+			s.log.Warn("prom exposition failed", "err", err)
+		}
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(s.cfg.Hub.Snapshot())
 }
 
+// wantsProm reports whether a /metrics request asked for the text
+// exposition format.
+func wantsProm(r *http.Request) bool {
+	if f := r.URL.Query().Get("format"); f == "prom" || f == "prometheus" {
+		return true
+	}
+	return false
+}
+
+// handleSpans serves the recorded spans as JSON, optionally filtered to
+// one trace id (?trace=...). The coordinator uses it to assemble the
+// cross-process fleet trace.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	spans := s.cfg.Hub.Spans().Snapshot()
+	if trace := r.URL.Query().Get("trace"); trace != "" {
+		spans = obs.FilterTrace(spans, trace)
+	}
+	if spans == nil {
+		spans = []obs.Span{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(spans)
+}
+
 // streamCopy copies the job stream to the client, flushing as bytes
-// arrive so subscribers see per-trial results live.
-func streamCopy(w http.ResponseWriter, src interface{ Read([]byte) (int, error) }) {
+// arrive so subscribers see per-trial results live. Every byte sent is
+// counted in serve.stream_bytes, so egress volume is visible fleet-wide.
+func (s *Server) streamCopy(w http.ResponseWriter, src interface{ Read([]byte) (int, error) }) {
 	fl, _ := w.(http.Flusher)
+	egress := s.reg().Counter("serve.stream_bytes")
 	buf := make([]byte, 32*1024)
 	for {
 		n, err := src.Read(buf)
@@ -489,6 +565,7 @@ func streamCopy(w http.ResponseWriter, src interface{ Read([]byte) (int, error) 
 			if _, werr := w.Write(buf[:n]); werr != nil {
 				return
 			}
+			egress.Add(int64(n))
 			if fl != nil {
 				fl.Flush()
 			}
