@@ -7,8 +7,9 @@
 //
 //	injectabled serve       [-addr host:port] [-queue-cap n] [-job-workers n] ...
 //	injectabled worker      (alias for serve: one node of a campaign fabric)
-//	injectabled submit      [-addr url] -experiment name [-target t] [-trials n] ...
-//	injectabled coordinator -workers url,url,... -experiment name [-shards n] [-journal file] ...
+//	injectabled submit      [-addr url] -experiment name [-target t] [-trials n] [-format f] ...
+//	injectabled coordinator -workers url,url,... -experiment name [-shards n] [-journal file] [-format f] ...
+//	injectabled transcode   [-i file] [-o file] [-to ndjson|binary]
 //	injectabled loadgen     [-addr url | -self] [-clients n] [-jobs n] ...
 //
 // serve runs until SIGINT/SIGTERM, then drains: accepted jobs finish,
@@ -22,6 +23,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -36,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"injectable/internal/campaign"
 	"injectable/internal/fabric"
 	"injectable/internal/obs"
 	"injectable/internal/serve"
@@ -60,6 +63,8 @@ func run(argv []string, stdout, stderr io.Writer, ready chan<- string) int {
 		return runSubmit(argv[1:], stdout, stderr)
 	case "coordinator":
 		return runCoordinator(argv[1:], stdout, stderr, ready)
+	case "transcode":
+		return runTranscode(argv[1:], stdout, stderr)
 	case "loadgen":
 		return runLoadgen(argv[1:], stdout, stderr)
 	case "-h", "-help", "--help", "help":
@@ -76,9 +81,10 @@ func usage(w io.Writer) {
 	fmt.Fprint(w, `usage:
   injectabled serve       [-addr host:port] [-queue-cap n] [-job-workers n] [-trial-workers n] [-cache-entries n] [-drain-timeout d] [-log-level l] [-pprof addr]
   injectabled worker      (alias for serve)
-  injectabled submit      [-addr url] -experiment name [-target t] [-trials n] [-seed-base n] [-priority n] [-timeout-ms n] [-o file]
-  injectabled coordinator -workers url,url,... -experiment name [-shards n] [-journal file] [-max-attempts n] [-o file]
+  injectabled submit      [-addr url] -experiment name [-target t] [-trials n] [-seed-base n] [-priority n] [-timeout-ms n] [-format ndjson|binary] [-o file]
+  injectabled coordinator -workers url,url,... -experiment name [-shards n] [-journal file] [-max-attempts n] [-format ndjson|binary] [-o file]
                           [-status addr] [-linger d] [-trace file] [-scrape-interval d] [-log-level l] [-pprof addr]
+  injectabled transcode   [-i file] [-o file] [-to ndjson|binary]   (losslessly convert a result stream; direction auto-detected)
   injectabled loadgen     [-addr url | -self] [-clients n] [-jobs n] [-experiment name] [-target t] [-trials n] [-variants n]
 `)
 }
@@ -221,14 +227,25 @@ func runSubmit(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("injectabled submit", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "http://127.0.0.1:8077", "daemon base URL")
-	out := fs.String("o", "", "write the NDJSON stream to this file (default stdout)")
+	out := fs.String("o", "", "write the result stream to this file (default stdout)")
+	format := fs.String("format", serve.FormatNDJSON, "result stream format: ndjson|binary")
 	spec := specFlags(fs)
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
 
 	client := &serve.Client{Base: *addr}
-	res, err := client.Run(context.Background(), spec())
+	var res *serve.RunResult
+	var err error
+	switch *format {
+	case serve.FormatNDJSON:
+		res, err = client.Run(context.Background(), spec())
+	case serve.FormatBinary:
+		res, err = client.RunBinary(context.Background(), spec())
+	default:
+		fmt.Fprintf(stderr, "injectabled: unknown -format %q (want ndjson or binary)\n", *format)
+		return 2
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "injectabled:", err)
 		var apiErr *serve.APIError
@@ -272,7 +289,8 @@ func runCoordinator(argv []string, stdout, stderr io.Writer, ready chan<- string
 	workersFlag := fs.String("workers", "", "comma-separated worker daemon base URLs (required)")
 	shards := fs.Int("shards", 0, "max shards (0 = one per sweep point)")
 	journalPath := fs.String("journal", "", "shard checkpoint file; reruns resume completed shards from it")
-	out := fs.String("o", "", "write the merged NDJSON stream to this file (default stdout)")
+	out := fs.String("o", "", "write the merged stream to this file (default stdout)")
+	format := fs.String("format", serve.FormatNDJSON, "merged output format: ndjson|binary (shards travel binary either way)")
 	maxAttempts := fs.Int("max-attempts", 3, "dispatch attempts per shard before the campaign fails")
 	workerFailures := fs.Int("worker-failures", 3, "consecutive failures before a worker is abandoned")
 	statusAddr := fs.String("status", "", "serve the fleet status surface (/metrics, /v1/fleet, /v1/trace) on this address")
@@ -317,6 +335,7 @@ func runCoordinator(argv []string, stdout, stderr io.Writer, ready chan<- string
 		Hub:            hub,
 		Log:            lg,
 		Status:         st,
+		Format:         *format,
 	}
 	if *journalPath != "" {
 		j, recs, err := fabric.OpenJournal(*journalPath)
@@ -434,6 +453,68 @@ func writeFleetTrace(ctx context.Context, agg *fabric.Aggregator, path, trace st
 		return err
 	}
 	return f.Close()
+}
+
+// runTranscode losslessly converts a complete result stream between the
+// NDJSON and binary trial-record formats. The source format is detected
+// from the stream itself (binary opens with the "IBTR" magic); -to
+// defaults to "the other one", so a bare `transcode` always flips the
+// format. The CI equivalence job round-trips daemon output through this
+// and requires cmp-level identity with the directly served stream.
+func runTranscode(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("injectabled transcode", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("i", "", "input stream file (default stdin)")
+	out := fs.String("o", "", "output file (default stdout)")
+	to := fs.String("to", "", "target format: ndjson|binary (default: the opposite of the input)")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	var data []byte
+	var err error
+	if *in != "" {
+		data, err = os.ReadFile(*in)
+	} else {
+		data, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "injectabled:", err)
+		return 1
+	}
+	isBinary := bytes.HasPrefix(data, []byte("IBTR"))
+	target := *to
+	if target == "" {
+		target = serve.FormatBinary
+		if isBinary {
+			target = serve.FormatNDJSON
+		}
+	}
+	w := io.Writer(stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(stderr, "injectabled:", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	switch {
+	case target == serve.FormatNDJSON && isBinary:
+		err = campaign.TranscodeBinaryToNDJSON(w, data)
+	case target == serve.FormatBinary && !isBinary:
+		err = campaign.TranscodeNDJSONToBinary(w, data)
+	case target == serve.FormatNDJSON || target == serve.FormatBinary:
+		_, err = w.Write(data) // already in the target format
+	default:
+		fmt.Fprintf(stderr, "injectabled: unknown -to %q (want ndjson or binary)\n", target)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "injectabled:", err)
+		return 1
+	}
+	return 0
 }
 
 func runLoadgen(argv []string, stdout, stderr io.Writer) int {

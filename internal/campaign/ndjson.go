@@ -2,7 +2,6 @@ package campaign
 
 import (
 	"encoding/json"
-	"fmt"
 	"io"
 )
 
@@ -87,43 +86,16 @@ func (n *NDJSON) Start(spec *Spec, totalTrials int) {
 	n.emit(ndjsonHeader{"campaign", spec.Name, spec.SeedBase, len(spec.Points), totalTrials})
 }
 
-// Result implements Sink.
+// Result implements Sink. The line bytes are defined by the shared
+// Record model, so the binary codec's NDJSON transcode cannot drift
+// from what a live sink writes.
 func (n *NDJSON) Result(r Result) {
 	if r.Err == nil {
 		n.ok++
 	} else {
 		n.bad++
 	}
-	line := struct {
-		Kind     string          `json:"kind"`
-		Point    string          `json:"point"`
-		Trial    int             `json:"trial"`
-		Seed     uint64          `json:"seed"`
-		OK       bool            `json:"ok"`
-		Err      string          `json:"err,omitempty"`
-		Panicked bool            `json:"panicked,omitempty"`
-		TimedOut bool            `json:"timed_out,omitempty"`
-		Value    json.RawMessage `json:"value,omitempty"`
-	}{
-		Kind:     "result",
-		Point:    r.Point,
-		Trial:    r.Index,
-		Seed:     r.Seed,
-		OK:       r.Err == nil,
-		Panicked: r.Panicked,
-		TimedOut: r.TimedOut,
-	}
-	if r.Err != nil {
-		line.Err = r.Err.Error()
-	}
-	if r.Value != nil {
-		if raw, err := json.Marshal(r.Value); err == nil {
-			line.Value = raw
-		} else {
-			line.Value, _ = json.Marshal(fmt.Sprintf("%v", r.Value))
-		}
-	}
-	n.emit(line)
+	n.emit(NewRecord(r).line())
 }
 
 // Finish implements Sink. Only the deterministic per-result tallies are

@@ -2,7 +2,6 @@ package campaign
 
 import (
 	"encoding/json"
-	"fmt"
 	"io"
 	"sync"
 	"time"
@@ -115,13 +114,7 @@ func (j *JSONL) Result(r Result) {
 	if r.Err != nil {
 		line.Err = r.Err.Error()
 	}
-	if r.Value != nil {
-		if raw, err := json.Marshal(r.Value); err == nil {
-			line.Value = raw
-		} else {
-			line.Value, _ = json.Marshal(fmt.Sprintf("%v", r.Value))
-		}
-	}
+	line.Value = marshalValue(r.Value)
 	j.emit(line)
 }
 

@@ -1,0 +1,184 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"injectable/internal/campaign"
+	"injectable/internal/obs"
+	"injectable/internal/serve"
+)
+
+// serialBinaryStream is serialStream in the binary trial-record format.
+func serialBinaryStream(t *testing.T) []byte {
+	t.Helper()
+	cspec, err := serve.DefaultRegistry().Build(refSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	runner := campaign.Runner{Workers: 1, Sinks: []campaign.Sink{campaign.NewBinary(&buf)}}
+	if _, err := runner.Run(cspec); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFabricBinaryOutput runs the fleet with binary merged output: the
+// bytes must be identical to a single-process binary run, and transcode
+// to exactly the NDJSON the default output would have produced.
+func TestFabricBinaryOutput(t *testing.T) {
+	wantBin := serialBinaryStream(t)
+	wantND := serialStream(t)
+	var merged bytes.Buffer
+	rep, err := Run(context.Background(), Config{
+		Workers: startWorkers(t, 2),
+		Hub:     obs.NewHub(),
+		Format:  serve.FormatBinary,
+	}, plan(t, 0), &merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged.Bytes(), wantBin) {
+		t.Fatal("binary merged stream differs from a single-process binary run")
+	}
+	if rep.Bytes != int64(merged.Len()) {
+		t.Fatalf("report bytes %d, merged %d", rep.Bytes, merged.Len())
+	}
+	var nd bytes.Buffer
+	if err := campaign.TranscodeBinaryToNDJSON(&nd, merged.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(nd.Bytes(), wantND) {
+		t.Fatal("transcoded binary merge differs from the NDJSON reference")
+	}
+}
+
+// TestFabricRejectsUnknownFormat pins the config validation.
+func TestFabricRejectsUnknownFormat(t *testing.T) {
+	_, err := Run(context.Background(), Config{
+		Workers: []string{"http://127.0.0.1:1"},
+		Format:  "csv",
+	}, plan(t, 0), &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+// TestSplitBinaryShard pins the frame validation binary dispatch rests
+// on: tallies extracted without decoding records, trial-count mismatch
+// and torn streams rejected.
+func TestSplitBinaryShard(t *testing.T) {
+	recs := []campaign.Record{
+		{Point: "a", Trial: 0, Seed: 1, OK: true},
+		{Point: "a", Trial: 1, Seed: 2, Err: "boom"},
+	}
+	stream := campaign.EncodeBinary(
+		campaign.StreamInfo{Name: "x", SeedBase: 1, Points: 1, Trials: 2},
+		recs, campaign.StreamTallies{Trials: 2, OK: 1, Failed: 1})
+
+	payload, ok, failed, err := splitBinaryShard(stream, 2)
+	if err != nil || ok != 1 || failed != 1 {
+		t.Fatalf("split = ok %d, failed %d, err %v", ok, failed, err)
+	}
+	wantPayload := campaign.AppendBinaryRecord(nil, recs[0])
+	wantPayload = campaign.AppendBinaryRecord(wantPayload, recs[1])
+	if !bytes.Equal(payload, wantPayload) {
+		t.Fatal("payload is not the raw result-frame region")
+	}
+	if _, _, _, err := splitBinaryShard(stream, 3); err == nil {
+		t.Fatal("trial-count mismatch accepted")
+	}
+	if _, _, _, err := splitBinaryShard(stream[:len(stream)-2], 2); err == nil {
+		t.Fatal("torn stream accepted")
+	}
+	if _, _, _, err := splitBinaryShard([]byte(`{"kind":"campaign"}`+"\n"), 0); err == nil {
+		t.Fatal("NDJSON stream accepted as binary")
+	}
+}
+
+// TestNormalizeShardBody pins the journal upgrade path: binary bodies
+// pass through untouched, pre-codec NDJSON bodies are re-encoded to the
+// exact frames the binary sink would have produced, and corrupt legacy
+// bodies error rather than merging garbage.
+func TestNormalizeShardBody(t *testing.T) {
+	rec := campaign.Record{Point: "p", Trial: 3, Seed: 77, OK: true, Value: []byte(`{"success":true}`)}
+	bin := campaign.AppendBinaryRecord(nil, rec)
+	got, err := normalizeShardBody(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &bin[0] {
+		t.Fatal("binary body was copied, want pass-through")
+	}
+
+	line, err := rec.AppendNDJSONLine(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upgraded, err := normalizeShardBody(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(upgraded, bin) {
+		t.Fatal("upgraded NDJSON body differs from the binary encoding")
+	}
+
+	if got, err := normalizeShardBody(nil); err != nil || len(got) != 0 {
+		t.Fatalf("empty body = %q, %v", got, err)
+	}
+	if _, err := normalizeShardBody([]byte("{not json\n")); err == nil {
+		t.Fatal("corrupt legacy body accepted")
+	}
+}
+
+// TestFabricResumeLegacyJournal resumes a campaign from shard records
+// whose bodies are NDJSON result lines — the checkpoint format before
+// the binary codec — with no reachable workers. The merged output must
+// still be byte-identical to the serial run, in both output formats.
+func TestFabricResumeLegacyJournal(t *testing.T) {
+	p := plan(t, 0)
+	reg := serve.DefaultRegistry()
+	var resume []ShardRecord
+	for _, s := range p.Shards {
+		cspec, err := reg.Build(s.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		runner := campaign.Runner{Workers: 1, Sinks: []campaign.Sink{campaign.NewNDJSON(&buf)}}
+		if _, err := runner.Run(cspec); err != nil {
+			t.Fatal(err)
+		}
+		body, ok, failed, err := splitShardStream(buf.Bytes(), s.Trials)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resume = append(resume, ShardRecord{Key: s.Key, Index: s.Index, OK: ok, Failed: failed, Body: body})
+	}
+
+	for _, tc := range []struct {
+		format string
+		want   []byte
+	}{
+		{serve.FormatNDJSON, serialStream(t)},
+		{serve.FormatBinary, serialBinaryStream(t)},
+	} {
+		var merged bytes.Buffer
+		rep, err := Run(context.Background(), Config{
+			Workers: []string{"http://127.0.0.1:1"}, // unreachable: resume must not dispatch
+			Resume:  resume,
+			Format:  tc.format,
+		}, p, &merged)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.format, err)
+		}
+		if rep.Dispatched != 0 || rep.Resumed != len(p.Shards) {
+			t.Fatalf("%s: report %+v, want full resume", tc.format, rep)
+		}
+		if !bytes.Equal(merged.Bytes(), tc.want) {
+			t.Fatalf("%s: legacy-journal resume differs from serial run", tc.format)
+		}
+	}
+}

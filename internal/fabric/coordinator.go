@@ -45,6 +45,13 @@ type Config struct {
 	// Status, when non-nil, receives live per-shard and per-worker state
 	// transitions; the Aggregator serves it as /v1/fleet.
 	Status *Status
+	// Format selects the merged output stream written to w:
+	// serve.FormatNDJSON (the default, byte-identical to a single-process
+	// NDJSON run) or serve.FormatBinary (byte-identical to a
+	// single-process binary run). Shard streams always travel binary
+	// between workers and coordinator regardless of this setting; it only
+	// picks the final rendering.
+	Format string
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +84,17 @@ type Report struct {
 	Bytes int64
 }
 
+// mergeWriter adapts the coordinator's byte-counting write closure to
+// io.Writer for the streaming transcoder.
+type mergeWriter func([]byte) error
+
+func (f mergeWriter) Write(p []byte) (int, error) {
+	if err := f(p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
 // outcome is one shard dispatch attempt's result, or a worker obituary.
 type outcome struct {
 	shard      int
@@ -88,14 +106,29 @@ type outcome struct {
 	workerDead bool
 }
 
-// Run executes the plan across the fleet and writes the merged NDJSON
-// stream to w. The merged bytes are identical to a single-process run of
-// plan.Spec; on error (including ctx cancellation) the journal retains
-// every shard that completed, so a rerun resumes instead of recomputing.
+// Run executes the plan across the fleet and writes the merged stream
+// to w in cfg.Format (NDJSON by default). The merged bytes are identical
+// to a single-process run of plan.Spec; on error (including ctx
+// cancellation) the journal retains every shard that completed, so a
+// rerun resumes instead of recomputing.
+//
+// Internally every shard travels as binary trial-record frames: workers
+// answer /v1/run?format=binary (their cached slab, zero-copy on hits),
+// the coordinator validates the frame walk and trailer tallies, journals
+// the raw frames, and merges by concatenation — records are only decoded
+// at the very edge, and only when the merged output is NDJSON.
 func Run(ctx context.Context, cfg Config, plan *Plan, w io.Writer) (*Report, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Workers) == 0 {
 		return nil, fmt.Errorf("fabric: no workers configured")
+	}
+	binaryOut := false
+	switch cfg.Format {
+	case "", serve.FormatNDJSON:
+	case serve.FormatBinary:
+		binaryOut = true
+	default:
+		return nil, fmt.Errorf("fabric: unknown output format %q", cfg.Format)
 	}
 	reg := cfg.Hub.Reg()
 	lg := obs.LoggerOr(cfg.Log)
@@ -109,7 +142,11 @@ func Run(ctx context.Context, cfg Config, plan *Plan, w io.Writer) (*Report, err
 		rep.Bytes += int64(n)
 		return err
 	}
-	if err := countWrite(campaign.NDJSONHeader(plan.Name, plan.SeedBase, plan.Points, plan.Trials)); err != nil {
+	header := campaign.NDJSONHeader(plan.Name, plan.SeedBase, plan.Points, plan.Trials)
+	if binaryOut {
+		header = campaign.BinaryHeader(plan.Name, plan.SeedBase, plan.Points, plan.Trials)
+	}
+	if err := countWrite(header); err != nil {
 		return rep, fmt.Errorf("fabric: writing merged header: %w", err)
 	}
 
@@ -129,8 +166,14 @@ func Run(ctx context.Context, cfg Config, plan *Plan, w io.Writer) (*Report, err
 	}
 	release := func(idx int, payload []byte) error {
 		for _, p := range coll.Add(idx, payload) {
-			if err := countWrite(p); err != nil {
-				return fmt.Errorf("fabric: writing merged payload: %w", err)
+			if binaryOut {
+				if err := countWrite(p); err != nil {
+					return fmt.Errorf("fabric: writing merged payload: %w", err)
+				}
+				continue
+			}
+			if err := campaign.TranscodeResultFrames(mergeWriter(countWrite), p); err != nil {
+				return fmt.Errorf("fabric: rendering merged payload: %w", err)
 			}
 		}
 		return nil
@@ -139,12 +182,16 @@ func Run(ctx context.Context, cfg Config, plan *Plan, w io.Writer) (*Report, err
 	var todo []int
 	for _, s := range plan.Shards {
 		if rec, ok := resumed[s.Key]; ok {
+			body, err := normalizeShardBody(rec.Body)
+			if err != nil {
+				return rep, err
+			}
 			rep.Resumed++
 			rep.OK += rec.OK
 			rep.Failed += rec.Failed
 			reg.Counter("fabric.shards_resumed").Inc()
 			cfg.Status.shardPhase(s.Index, ShardResumed, "")
-			if err := release(s.Index, rec.Body); err != nil {
+			if err := release(s.Index, body); err != nil {
 				return rep, err
 			}
 			continue
@@ -161,7 +208,11 @@ func Run(ctx context.Context, cfg Config, plan *Plan, w io.Writer) (*Report, err
 	}
 
 	rep.Trials = rep.OK + rep.Failed
-	if err := countWrite(campaign.NDJSONTrailer(rep.Trials, rep.OK, rep.Failed)); err != nil {
+	trailer := campaign.NDJSONTrailer(rep.Trials, rep.OK, rep.Failed)
+	if binaryOut {
+		trailer = campaign.BinaryTrailer(rep.Trials, rep.OK, rep.Failed)
+	}
+	if err := countWrite(trailer); err != nil {
 		cfg.Status.finish(err)
 		return rep, fmt.Errorf("fabric: writing merged trailer: %w", err)
 	}
@@ -288,14 +339,14 @@ func workerLoop(ctx context.Context, cfg Config, plan *Plan, base string, queue 
 		cfg.Status.shardPhase(idx, ShardRunning, base)
 		start := time.Now()
 		o := outcome{shard: idx, worker: base}
-		res, err := client.Run(ctx, shard.Spec)
+		res, err := client.RunBinary(ctx, shard.Spec)
 		spans.Add(obs.NewSpan(plan.Key, "dispatch", start,
 			"shard", obs.SpanArg(idx), "worker", base))
 		if err == nil {
 			spans.Add(obs.Mark(plan.Key, "stream",
 				"shard", obs.SpanArg(idx), "worker", base, "bytes", obs.SpanArg(len(res.Body))))
 			vstart := time.Now()
-			o.payload, o.ok, o.failed, err = splitShardStream(res.Body, shard.Trials)
+			o.payload, o.ok, o.failed, err = splitBinaryShard(res.Body, shard.Trials)
 			spans.Add(obs.NewSpan(plan.Key, "validate", vstart,
 				"shard", obs.SpanArg(idx), "worker", base))
 		}

@@ -45,8 +45,10 @@ type ShardRecord struct {
 	// OK and Failed are the shard stream's trailer tallies.
 	OK     int
 	Failed int
-	// Body is the shard's trimmed NDJSON payload: the result lines with
-	// the per-shard header and trailer frame removed.
+	// Body is the shard's trimmed payload with the per-shard header and
+	// trailer frames removed: raw binary result frames in current
+	// journals, NDJSON result lines in journals written before the
+	// binary codec (normalizeShardBody upgrades those on resume).
 	Body []byte
 }
 

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+
+	"injectable/internal/campaign"
 )
 
 // shardFrame is the subset of the per-shard NDJSON frame lines the
@@ -46,4 +48,47 @@ func splitShardStream(stream []byte, wantTrials int) (payload []byte, ok, failed
 			end.Trials, wantTrials)
 	}
 	return stream[head+1 : tail+1], end.Ok, end.Failed, nil
+}
+
+// splitBinaryShard is splitShardStream for the binary trial-record
+// format workers now stream: it CRC-validates the frame walk, strips
+// the header and end frames, and checks the trailer's trial count
+// against the shard (a cancelled worker yields a torn stream, which the
+// frame walk rejects — a redispatch, never a silently short merge). The
+// returned payload aliases stream and is raw result frames the merger
+// concatenates without decoding a single record.
+func splitBinaryShard(stream []byte, wantTrials int) (payload []byte, ok, failed int, err error) {
+	_, payload, tallies, err := campaign.SplitBinaryStream(stream)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("fabric: shard stream rejected: %w", err)
+	}
+	if tallies.Trials != wantTrials {
+		return nil, 0, 0, fmt.Errorf("fabric: shard stream holds %d trials, want %d (worker cancelled mid-shard?)",
+			tallies.Trials, wantTrials)
+	}
+	return payload, tallies.OK, tallies.Failed, nil
+}
+
+// normalizeShardBody upgrades a checkpointed shard body to the binary
+// result-frame form the merger works in. Journals written before the
+// binary codec hold NDJSON result lines — those always open with '{',
+// a byte no binary frame starts with ('R' = 0x52) — so resume keeps
+// working across the format change instead of recomputing the fleet's
+// finished shards.
+func normalizeShardBody(body []byte) ([]byte, error) {
+	if len(body) == 0 || body[0] != '{' {
+		return body, nil
+	}
+	out := make([]byte, 0, len(body))
+	for _, line := range bytes.Split(body, []byte{'\n'}) {
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := campaign.ParseNDJSONResult(line)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: upgrading journaled NDJSON shard body: %w", err)
+		}
+		out = campaign.AppendBinaryRecord(out, rec)
+	}
+	return out, nil
 }

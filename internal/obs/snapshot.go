@@ -108,10 +108,15 @@ func (s *Snapshot) Merge(other *Snapshot) {
 		func(a, b GaugeSnapshot) GaugeSnapshot { return b })
 	s.Histograms = mergeByName(s.Histograms, other.Histograms,
 		func(h HistogramSnapshot) string { return h.Name },
-		mergeHistograms)
+		MergeHistograms)
 }
 
-func mergeHistograms(a, b HistogramSnapshot) HistogramSnapshot {
+// MergeHistograms folds b into a copy of a: matching bucket bounds sum
+// count-for-count, mismatched bounds keep a's buckets but still merge
+// the exact aggregates (count, sum, min, max). The serving layer's
+// columnar aggregation endpoint leans on this to fold per-point latency
+// histograms into campaign totals.
+func MergeHistograms(a, b HistogramSnapshot) HistogramSnapshot {
 	if len(a.Bounds) == len(b.Bounds) {
 		same := true
 		for i := range a.Bounds {

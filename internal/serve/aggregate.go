@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"injectable/internal/campaign"
+	"injectable/internal/obs"
+)
+
+// Columnar aggregation: dashboards asking "what is the success rate at
+// each sweep point?" should pull kilobytes, not replay megabytes of
+// trial stream. AggregateStream scans the cached binary slab directly —
+// record values are only JSON-probed for the two fields every
+// experiment value carries (success, attempts), nothing else is
+// materialized — and folds per-point attempts histograms into a
+// campaign total with obs.MergeHistograms.
+
+// PointAggregate is one sweep point's column summary.
+type PointAggregate struct {
+	Point       string  `json:"point"`
+	Trials      int     `json:"trials"`
+	OK          int     `json:"ok"`
+	Failed      int     `json:"failed"`
+	Successes   int     `json:"successes"`
+	SuccessRate float64 `json:"success_rate"`
+	// Attempts is the injection-latency histogram: connection events
+	// until the hijack/injection landed, as reported by the trial value.
+	Attempts obs.HistogramSnapshot `json:"attempts"`
+}
+
+// Aggregate is the campaign-level columnar summary served by
+// /v1/aggregate.
+type Aggregate struct {
+	Campaign    string           `json:"campaign"`
+	SeedBase    uint64           `json:"seed_base"`
+	Trials      int              `json:"trials"`
+	OK          int              `json:"ok"`
+	Failed      int              `json:"failed"`
+	Successes   int              `json:"successes"`
+	SuccessRate float64          `json:"success_rate"`
+	Points      []PointAggregate `json:"points"`
+	// Attempts merges every point's histogram (exact count/sum/min/max,
+	// bucket-for-bucket since all points share one layout).
+	Attempts obs.HistogramSnapshot `json:"attempts"`
+}
+
+// attemptBounds is the shared bucket layout for attempts histograms:
+// unit buckets over the plausible injection-latency range (the paper's
+// campaigns succeed within a few tens of connection events).
+func attemptBounds() []float64 { return obs.LinearBuckets(1, 1, 32) }
+
+// newAttemptsHist returns an empty snapshot with the shared layout.
+func newAttemptsHist() obs.HistogramSnapshot {
+	return obs.HistogramSnapshot{
+		Name:   "attempts",
+		Bounds: attemptBounds(),
+		Counts: make([]int64, len(attemptBounds())+1),
+	}
+}
+
+// observe folds one sample into a snapshot, mirroring
+// obs.Histogram.Observe bucketing (bucket i counts bounds[i-1] < v <=
+// bounds[i], last bucket is overflow).
+func observe(h *obs.HistogramSnapshot, v float64) {
+	i := sort.SearchFloat64s(h.Bounds, v)
+	h.Counts[i]++
+	h.Sum += v
+	if h.Count == 0 {
+		h.Min, h.Max = v, v
+	} else {
+		if v < h.Min {
+			h.Min = v
+		}
+		if v > h.Max {
+			h.Max = v
+		}
+	}
+	h.Count++
+}
+
+// valueProbe is the slice of a trial value the aggregator reads. Every
+// experiment value in the registry (sweep TrialResult, scenario
+// ScenarioOutcome) carries these two fields; foreign values simply
+// contribute no success and no attempts sample.
+type valueProbe struct {
+	Success  bool `json:"success"`
+	Attempts int  `json:"attempts"`
+}
+
+// AggregateStream computes the columnar aggregate of a complete binary
+// trial stream. Point columns appear in first-seen (= ordinal) order,
+// so the aggregate is as deterministic as the stream itself.
+func AggregateStream(slab []byte) (*Aggregate, error) {
+	agg := &Aggregate{Attempts: newAttemptsHist()}
+	index := map[string]int{}
+	info, tallies, err := campaign.ScanBinary(slab, func(rec campaign.Record) error {
+		i, ok := index[rec.Point]
+		if !ok {
+			i = len(agg.Points)
+			index[rec.Point] = i
+			agg.Points = append(agg.Points, PointAggregate{
+				Point:    rec.Point,
+				Attempts: newAttemptsHist(),
+			})
+		}
+		p := &agg.Points[i]
+		p.Trials++
+		if rec.OK {
+			p.OK++
+		} else {
+			p.Failed++
+		}
+		if len(rec.Value) > 0 && rec.Value[0] == '{' {
+			var v valueProbe
+			if json.Unmarshal(rec.Value, &v) == nil {
+				if v.Success {
+					p.Successes++
+				}
+				if v.Attempts > 0 {
+					observe(&p.Attempts, float64(v.Attempts))
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: aggregating result stream: %w", err)
+	}
+	agg.Campaign = info.Name
+	agg.SeedBase = info.SeedBase
+	agg.Trials = tallies.Trials
+	agg.OK = tallies.OK
+	agg.Failed = tallies.Failed
+	for i := range agg.Points {
+		p := &agg.Points[i]
+		if p.Trials > 0 {
+			p.SuccessRate = float64(p.Successes) / float64(p.Trials)
+		}
+		agg.Successes += p.Successes
+		agg.Attempts = obs.MergeHistograms(agg.Attempts, p.Attempts)
+	}
+	if agg.Trials > 0 {
+		agg.SuccessRate = float64(agg.Successes) / float64(agg.Trials)
+	}
+	return agg, nil
+}

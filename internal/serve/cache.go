@@ -1,17 +1,60 @@
 package serve
 
 import (
+	"bytes"
 	"container/list"
 	"sync"
+
+	"injectable/internal/campaign"
 )
 
-// cached is one completed result stream.
+// cached is one completed result stream: the immutable binary slab a
+// campaign ran into, plus lazily memoized renderings (NDJSON transcode,
+// columnar aggregate) built at most once per entry. An evicted entry
+// stays valid for any reader still holding it — eviction only drops the
+// cache's reference, never mutates the slab.
 type cached struct {
-	// jobID is the job that produced the stream (returned to cache-hit
-	// submitters so they can reference the original).
+	// jobID is the job that produced the stream. Terminal jobs are never
+	// evicted from the server's job table, so a cache hit hands back the
+	// original job and replays its sealed buffer zero-copy.
 	jobID string
-	// body is the full NDJSON stream, immutable once cached.
-	body []byte
+	// slab is the full binary trial stream, immutable once cached.
+	slab []byte
+
+	mu     sync.Mutex
+	ndjson []byte     // memoized NDJSON rendering of slab
+	agg    *Aggregate // memoized columnar aggregate of slab
+}
+
+// ndjsonSlab returns the NDJSON rendering of the binary slab,
+// transcoding on first use and serving the memoized bytes after.
+func (c *cached) ndjsonSlab() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ndjson == nil {
+		var buf bytes.Buffer
+		buf.Grow(2 * len(c.slab))
+		if err := campaign.TranscodeBinaryToNDJSON(&buf, c.slab); err != nil {
+			return nil, err
+		}
+		c.ndjson = buf.Bytes()
+	}
+	return c.ndjson, nil
+}
+
+// aggregate returns the columnar aggregate of the slab, scanning on
+// first use and serving the memoized result after.
+func (c *cached) aggregate() (*Aggregate, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.agg == nil {
+		agg, err := AggregateStream(c.slab)
+		if err != nil {
+			return nil, err
+		}
+		c.agg = agg
+	}
+	return c.agg, nil
 }
 
 // resultCache is an LRU over completed, deterministic result streams
@@ -26,7 +69,7 @@ type resultCache struct {
 }
 
 type cacheEntry struct {
-	val  cached
+	val  *cached
 	elem *list.Element
 }
 
@@ -43,12 +86,12 @@ func newResultCache(max int) *resultCache {
 }
 
 // get returns the cached stream for key, marking it most recently used.
-func (c *resultCache) get(key string) (cached, bool) {
+func (c *resultCache) get(key string) (*cached, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.entries[key]
 	if !ok {
-		return cached{}, false
+		return nil, false
 	}
 	c.order.MoveToFront(e.elem)
 	return e.val, true
@@ -56,7 +99,7 @@ func (c *resultCache) get(key string) (cached, bool) {
 
 // put stores a completed stream, evicting the least recently used entry
 // when over capacity.
-func (c *resultCache) put(key string, val cached) {
+func (c *resultCache) put(key string, val *cached) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.entries[key]; ok {

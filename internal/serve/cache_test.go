@@ -1,20 +1,24 @@
 package serve
 
 import (
+	"bytes"
 	"fmt"
+	"sync"
 	"testing"
+
+	"injectable/internal/campaign"
 )
 
 func TestCacheLRUEviction(t *testing.T) {
 	c := newResultCache(3)
 	for i := 0; i < 3; i++ {
-		c.put(fmt.Sprintf("k%d", i), cached{jobID: fmt.Sprintf("j%d", i)})
+		c.put(fmt.Sprintf("k%d", i), &cached{jobID: fmt.Sprintf("j%d", i)})
 	}
 	// Touch k0 so k1 becomes the eviction victim.
 	if _, ok := c.get("k0"); !ok {
 		t.Fatal("k0 missing")
 	}
-	c.put("k3", cached{jobID: "j3"})
+	c.put("k3", &cached{jobID: "j3"})
 	if _, ok := c.get("k1"); ok {
 		t.Error("k1 survived eviction; want LRU evicted")
 	}
@@ -30,10 +34,10 @@ func TestCacheLRUEviction(t *testing.T) {
 
 func TestCachePutReplaces(t *testing.T) {
 	c := newResultCache(2)
-	c.put("k", cached{jobID: "old", body: []byte("old")})
-	c.put("k", cached{jobID: "new", body: []byte("new")})
+	c.put("k", &cached{jobID: "old", slab: []byte("old")})
+	c.put("k", &cached{jobID: "new", slab: []byte("new")})
 	got, ok := c.get("k")
-	if !ok || string(got.body) != "new" || got.jobID != "new" {
+	if !ok || string(got.slab) != "new" || got.jobID != "new" {
 		t.Fatalf("get = %+v/%v, want replaced entry", got, ok)
 	}
 	if n := c.len(); n != 1 {
@@ -43,12 +47,115 @@ func TestCachePutReplaces(t *testing.T) {
 
 func TestCacheMinCapacity(t *testing.T) {
 	c := newResultCache(0) // clamps to 1
-	c.put("a", cached{jobID: "a"})
-	c.put("b", cached{jobID: "b"})
+	c.put("a", &cached{jobID: "a"})
+	c.put("b", &cached{jobID: "b"})
 	if _, ok := c.get("a"); ok {
 		t.Error("capacity-0 cache kept more than one entry")
 	}
 	if _, ok := c.get("b"); !ok {
 		t.Error("most recent entry missing")
+	}
+}
+
+// TestCacheConcurrentPutGet hammers a small cache from many goroutines
+// and then verifies the LRU invariants still hold: size within bound,
+// every surviving entry internally consistent (key matches its slab),
+// and a get-refreshed key survives a subsequent eviction wave.
+func TestCacheConcurrentPutGet(t *testing.T) {
+	c := newResultCache(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (g*31+i)%24)
+				if i%3 == 0 {
+					c.put(k, &cached{jobID: k, slab: []byte(k)})
+				} else if e, ok := c.get(k); ok && string(e.slab) != k {
+					t.Errorf("entry %s holds slab %q", k, e.slab)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.len(); n > 8 {
+		t.Fatalf("cache grew past its bound: %d entries", n)
+	}
+	// Deterministic eviction-order check after the storm: insert fresh
+	// keys, keep one hot with gets, and verify the hot key outlives the
+	// cold ones.
+	for i := 0; i < 8; i++ {
+		c.put(fmt.Sprintf("fresh%d", i), &cached{jobID: "x"})
+	}
+	for i := 0; i < 16; i++ {
+		c.get("fresh0")
+		c.put(fmt.Sprintf("spill%d", i), &cached{jobID: "y"})
+	}
+	if _, ok := c.get("fresh0"); !ok {
+		t.Error("hot entry evicted before cold ones")
+	}
+	if _, ok := c.get("fresh1"); ok {
+		t.Error("cold entry survived 16 evictions")
+	}
+}
+
+// TestCacheSlabImmutableAfterEviction pins the zero-copy contract: a
+// reader holding an evicted entry keeps seeing the exact original
+// bytes — eviction drops the cache's reference, nothing more.
+func TestCacheSlabImmutableAfterEviction(t *testing.T) {
+	slab := campaign.BinaryHeader("camp", 7, 1, 1)
+	slab = campaign.AppendBinaryRecord(slab, campaign.Record{Point: "p0", Seed: 9, OK: true})
+	slab = append(slab, campaign.BinaryTrailer(1, 1, 0)...)
+	want := append([]byte(nil), slab...)
+
+	c := newResultCache(1)
+	c.put("k", &cached{jobID: "j", slab: slab})
+	held, ok := c.get("k")
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	nd1, err := held.ndjsonSlab() // memoize the transcode before eviction
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.put("other", &cached{jobID: "j2", slab: []byte("xxxx")}) // evicts k
+	if _, ok := c.get("k"); ok {
+		t.Fatal("k survived eviction in a capacity-1 cache")
+	}
+	if !bytes.Equal(held.slab, want) {
+		t.Fatal("slab bytes changed after eviction")
+	}
+	nd2, err := held.ndjsonSlab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(nd1, nd2) {
+		t.Fatal("memoized NDJSON transcode changed after eviction")
+	}
+	var fresh bytes.Buffer
+	if err := campaign.TranscodeBinaryToNDJSON(&fresh, held.slab); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fresh.Bytes(), nd1) {
+		t.Fatal("memoized transcode differs from a fresh transcode")
+	}
+}
+
+// TestCachedTranscodeMemoized verifies the NDJSON rendering is built
+// once and the identical slice is handed to every caller.
+func TestCachedTranscodeMemoized(t *testing.T) {
+	slab := append(campaign.BinaryHeader("c", 1, 0, 0), campaign.BinaryTrailer(0, 0, 0)...)
+	e := &cached{jobID: "j", slab: slab}
+	a, err := e.ndjsonSlab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.ndjsonSlab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || &a[0] != &b[0] {
+		t.Fatal("transcode was not memoized")
 	}
 }

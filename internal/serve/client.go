@@ -163,14 +163,28 @@ type RunResult struct {
 	JobID string
 	// Cache is the daemon's disposition: "miss", "join" or "hit".
 	Cache string
-	// Body is the full NDJSON result stream.
+	// Body is the full result stream (NDJSON from Run, binary frames
+	// from RunBinary).
 	Body []byte
 }
 
 // Run submits a job synchronously (POST /v1/run) and reads the whole
-// result stream, retrying throttled submissions per the Retry policy.
+// NDJSON result stream, retrying throttled submissions per the Retry
+// policy.
 func (c *Client) Run(ctx context.Context, spec JobSpec) (*RunResult, error) {
-	resp, err := c.postSpec(ctx, "/v1/run", spec)
+	return c.run(ctx, "/v1/run", spec)
+}
+
+// RunBinary is Run in the binary trial-record format: the daemon
+// answers with its cached slab verbatim (zero-copy on hits), and the
+// caller gets frames it can validate, merge or transcode without JSON
+// parsing. The fabric dispatcher moves every shard stream this way.
+func (c *Client) RunBinary(ctx context.Context, spec JobSpec) (*RunResult, error) {
+	return c.run(ctx, "/v1/run?format="+FormatBinary, spec)
+}
+
+func (c *Client) run(ctx context.Context, path string, spec JobSpec) (*RunResult, error) {
+	resp, err := c.postSpec(ctx, path, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -187,6 +201,25 @@ func (c *Client) Run(ctx context.Context, spec JobSpec) (*RunResult, error) {
 		Cache: resp.Header.Get("X-Cache"),
 		Body:  body,
 	}, nil
+}
+
+// Aggregate submits a job synchronously (POST /v1/aggregate) and
+// returns its columnar summary — per-point success rates and attempts
+// histograms — instead of the trial stream.
+func (c *Client) Aggregate(ctx context.Context, spec JobSpec) (*Aggregate, error) {
+	resp, err := c.postSpec(ctx, "/v1/aggregate", spec)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeErr(resp)
+	}
+	var agg Aggregate
+	if err := json.NewDecoder(resp.Body).Decode(&agg); err != nil {
+		return nil, err
+	}
+	return &agg, nil
 }
 
 // Submit enqueues a job asynchronously (POST /v1/jobs), retrying

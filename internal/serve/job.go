@@ -43,10 +43,9 @@ type job struct {
 	buf  streamBuf
 	done chan struct{} // closed exactly once when the job reaches a terminal state
 
-	mu       sync.Mutex
-	status   JobStatus
-	errMsg   string
-	cacheHit bool // terminal state came from the cache, not an execution
+	mu     sync.Mutex
+	status JobStatus
+	errMsg string
 }
 
 func newJob(id string, spec JobSpec, now time.Time) *job {
@@ -154,6 +153,19 @@ func (b *streamBuf) bytes() []byte {
 	out := make([]byte, len(b.data))
 	copy(out, b.data)
 	return out
+}
+
+// sealedBytes returns the underlying buffer without copying, and whether
+// the stream is sealed. Writes are dropped once sealed, so the returned
+// slab is immutable — this is what lets the cache and the HTTP layer
+// serve completed streams zero-copy.
+func (b *streamBuf) sealedBytes() ([]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.sealed {
+		return nil, false
+	}
+	return b.data, true
 }
 
 // reader returns an io.Reader over the stream from offset 0. Reads block

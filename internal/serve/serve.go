@@ -30,6 +30,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
 )
 
 // Limits bound what a single job may ask for; they are admission policy,
@@ -144,12 +145,29 @@ func (s JobSpec) Normalize() JobSpec {
 // stable across daemon versions; a shard's key extends the campaign hash
 // with its range, which is what makes shard keys canonical across the
 // fleet (same spec + same range → same key on every node).
+// Key is on the cache-hit hot path, so it renders the preimage into a
+// small append buffer and hashes with sha256.Sum256 instead of streaming
+// fmt.Fprintf through a sha256.New writer; the preimage bytes — and
+// therefore every key — are identical to what earlier daemon versions
+// produced.
 func (s JobSpec) Key() string {
 	n := s.Normalize()
-	h := sha256.New()
-	fmt.Fprintf(h, "%s\x00%s\x00%d\x00%d", n.Experiment, n.Target, n.Trials, n.SeedBase)
+	buf := make([]byte, 0, 96)
+	buf = append(buf, n.Experiment...)
+	buf = append(buf, 0)
+	buf = append(buf, n.Target...)
+	buf = append(buf, 0)
+	buf = strconv.AppendInt(buf, int64(n.Trials), 10)
+	buf = append(buf, 0)
+	buf = strconv.AppendUint(buf, n.SeedBase, 10)
 	if n.PointStart != 0 || n.PointCount != 0 {
-		fmt.Fprintf(h, "\x00points\x00%d\x00%d", n.PointStart, n.PointCount)
+		buf = append(buf, "\x00points\x00"...)
+		buf = strconv.AppendInt(buf, int64(n.PointStart), 10)
+		buf = append(buf, 0)
+		buf = strconv.AppendInt(buf, int64(n.PointCount), 10)
 	}
-	return hex.EncodeToString(h.Sum(nil))[:32]
+	sum := sha256.Sum256(buf)
+	var hx [64]byte
+	hex.Encode(hx[:], sum[:])
+	return string(hx[:32])
 }

@@ -10,6 +10,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -165,17 +166,18 @@ func (s *Server) submit(spec JobSpec, trace string) (*job, string, error) {
 		return j, "join", nil
 	}
 	if c, ok := s.cache.get(key); ok {
-		s.reg().Counter("serve.cache_hits").Inc()
-		j := newJob(s.ids.next(), norm, time.Now())
-		j.trace = trace
-		j.buf.Write(c.body)
-		j.buf.seal()
-		j.cacheHit = true
-		j.setStatus(StatusDone, "")
-		s.jobs[j.id] = j
-		s.cfg.Hub.Spans().Add(obs.Mark(trace, "cache-hit", "job", j.id, "key", key))
-		s.log.Debug("cache hit", "id", j.id, "key", key)
-		return j, "hit", nil
+		// Terminal jobs are never dropped from s.jobs, so the job that
+		// produced the cached slab is still here; hand it back and let the
+		// HTTP layer replay its sealed buffer zero-copy. No fresh job, no
+		// context, no 40 KB copy — this is the serving hot path.
+		if j, live := s.jobs[c.jobID]; live {
+			s.reg().Counter("serve.cache_hits").Inc()
+			s.cfg.Hub.Spans().Add(obs.Mark(trace, "cache-hit", "job", j.id, "key", key))
+			if s.log.Enabled(context.Background(), slog.LevelDebug) {
+				s.log.Debug("cache hit", "id", j.id, "key", key)
+			}
+			return j, "hit", nil
+		}
 	}
 	j := newJob(s.ids.next(), norm, time.Now())
 	j.trace = trace
@@ -269,7 +271,9 @@ func (s *Server) runJob(j *job) {
 	s.reg().Gauge("serve.inflight_jobs").Set(float64(s.inflightDelta(1)))
 	defer func() { s.reg().Gauge("serve.inflight_jobs").Set(float64(s.inflightDelta(-1))) }()
 
-	sink := campaign.NewNDJSON(&j.buf)
+	// Campaigns run once, into the binary codec; NDJSON and SSE are
+	// on-demand transcodes of these bytes.
+	sink := campaign.NewBinary(&j.buf)
 	runner := campaign.Runner{
 		Workers: s.cfg.TrialWorkers,
 		Sinks:   []campaign.Sink{sink},
@@ -296,7 +300,11 @@ func (s *Server) runJob(j *job) {
 		}
 	}
 	j.buf.seal()
-	s.cache.put(j.key, cached{jobID: j.id, body: j.buf.bytes()})
+	if slab, ok := j.buf.sealedBytes(); ok {
+		// The sealed buffer is immutable, so the cache can adopt it
+		// without copying; hits replay the same slab zero-copy.
+		s.cache.put(j.key, &cached{jobID: j.id, slab: slab})
+	}
 	finish(StatusDone, "")
 }
 
@@ -357,14 +365,57 @@ func (s *Server) routes() {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /v1/jobs/{id}/aggregate", s.handleJobAggregate)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/aggregate", s.handleAggregate)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/spans", s.handleSpans)
 	s.mux = mux
+}
+
+// Result stream formats. The binary codec is the storage format; NDJSON
+// (the default, for compatibility with every existing consumer) and SSE
+// are transcoded on demand.
+const (
+	FormatBinary = "binary"
+	FormatNDJSON = "ndjson"
+	formatSSE    = "sse"
+
+	// BinaryContentType labels the campaign binary trial stream.
+	BinaryContentType = "application/x-injectable-trials"
+)
+
+// streamFormat resolves a results request's format: the ?format= query
+// wins, then the Accept header, then the NDJSON default. SSE remains a
+// results-endpoint affordance only (allowSSE), matching the existing
+// API shape.
+func streamFormat(r *http.Request, allowSSE bool) (string, error) {
+	switch f := r.URL.Query().Get("format"); f {
+	case "":
+	case FormatBinary:
+		return FormatBinary, nil
+	case FormatNDJSON:
+		return FormatNDJSON, nil
+	case formatSSE:
+		if allowSSE {
+			return formatSSE, nil
+		}
+		return "", fmt.Errorf("serve: format %q not supported on this endpoint", f)
+	default:
+		return "", fmt.Errorf("serve: unknown format %q (want %q or %q)", f, FormatBinary, FormatNDJSON)
+	}
+	accept := r.Header.Get("Accept")
+	switch {
+	case allowSSE && accept == "text/event-stream":
+		return formatSSE, nil
+	case strings.Contains(accept, BinaryContentType):
+		return FormatBinary, nil
+	}
+	return FormatNDJSON, nil
 }
 
 // httpError writes a JSON error body and counts the rejection per status
@@ -461,23 +512,145 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusNotFound, "unknown job id")
 		return
 	}
-	if r.Header.Get("Accept") == "text/event-stream" {
-		s.streamSSE(w, r, j)
+	format, err := streamFormat(r, true)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	s.streamCopy(w, j.buf.reader(r.Context()))
+	s.serveStream(w, r, j, format)
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	format, err := streamFormat(r, false)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	j, disp, ok := s.submitHTTP(w, r)
 	if !ok {
 		return
 	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Cache", disp)
 	w.Header().Set("X-Job-ID", j.id)
-	s.streamCopy(w, j.buf.reader(r.Context()))
+	s.serveStream(w, r, j, format)
+}
+
+// serveStream writes job j's result stream in the negotiated format.
+// Completed streams go out zero-copy: binary replays the sealed slab
+// itself, NDJSON replays the per-cache-entry memoized transcode. Live
+// streams flow through the broadcast buffer — transcoded frame-by-frame
+// for NDJSON/SSE subscribers — so every consumer sees per-trial results
+// as they land.
+func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, j *job, format string) {
+	switch format {
+	case FormatBinary:
+		w.Header().Set("Content-Type", BinaryContentType)
+		if slab, ok := j.buf.sealedBytes(); ok {
+			s.writeSlab(w, slab)
+			return
+		}
+		s.streamCopy(w, j.buf.reader(r.Context()))
+	case formatSSE:
+		s.streamSSE(w, r, j)
+	default:
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if nd, ok := s.ndjsonSlab(j); ok {
+			s.writeSlab(w, nd)
+			return
+		}
+		s.streamCopy(w, campaign.NewBinaryNDJSONReader(j.buf.reader(r.Context())))
+	}
+}
+
+// ndjsonSlab returns the memoized NDJSON rendering of a completed,
+// cached job's slab. Jobs that finished without entering the cache
+// (timed-out trials, failures) fall back to the streaming transcoder.
+func (s *Server) ndjsonSlab(j *job) ([]byte, bool) {
+	c, ok := s.cache.get(j.key)
+	if !ok || c.jobID != j.id {
+		return nil, false
+	}
+	nd, err := c.ndjsonSlab()
+	if err != nil {
+		return nil, false
+	}
+	return nd, true
+}
+
+// writeSlab sends one completed stream in a single write, counting it
+// in the same egress counter the streaming path feeds.
+func (s *Server) writeSlab(w http.ResponseWriter, slab []byte) {
+	if _, err := w.Write(slab); err != nil {
+		return
+	}
+	s.reg().Counter("serve.stream_bytes").Add(int64(len(slab)))
+}
+
+// awaitTerminal blocks until j reaches a terminal state or ctx expires.
+func awaitTerminal(ctx context.Context, j *job) error {
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// aggregateJob renders a terminal job's columnar aggregate, memoized on
+// the cache entry when the job's stream was cacheable.
+func (s *Server) aggregateJob(j *job) (*Aggregate, error) {
+	if c, ok := s.cache.get(j.key); ok && c.jobID == j.id {
+		return c.aggregate()
+	}
+	slab, ok := j.buf.sealedBytes()
+	if !ok {
+		return nil, errors.New("serve: job stream not sealed")
+	}
+	return AggregateStream(slab)
+}
+
+// serveAggregate waits the job out and writes its aggregate (or maps
+// the failure onto a status code).
+func (s *Server) serveAggregate(w http.ResponseWriter, r *http.Request, j *job) {
+	if err := awaitTerminal(r.Context(), j); err != nil {
+		return // client went away; nothing sensible to write
+	}
+	if snap := j.snapshot(); snap.Status != StatusDone {
+		s.httpError(w, http.StatusConflict,
+			fmt.Sprintf("serve: job %s %s: %s", j.id, snap.Status, snap.Error))
+		return
+	}
+	agg, err := s.aggregateJob(j)
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(agg)
+}
+
+// handleAggregate is POST /v1/aggregate: submit (or join/hit) a spec and
+// answer with its columnar aggregate instead of the trial stream —
+// kilobytes of per-point success rates and latency histograms rather
+// than the full replay.
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	j, disp, ok := s.submitHTTP(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("X-Cache", disp)
+	w.Header().Set("X-Job-ID", j.id)
+	s.serveAggregate(w, r, j)
+}
+
+// handleJobAggregate is GET /v1/jobs/{id}/aggregate.
+func (s *Server) handleJobAggregate(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		s.httpError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	s.serveAggregate(w, r, j)
 }
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
@@ -576,13 +749,14 @@ func (s *Server) streamCopy(w http.ResponseWriter, src interface{ Read([]byte) (
 	}
 }
 
-// streamSSE reframes the NDJSON stream as server-sent events: one
-// "result" event per line, then a terminal "end" event.
+// streamSSE reframes the stream as server-sent events: one "result"
+// event per NDJSON line (transcoded live from the binary buffer), then
+// a terminal "end" event.
 func (s *Server) streamSSE(w http.ResponseWriter, r *http.Request, j *job) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	fl, _ := w.(http.Flusher)
-	sc := bufio.NewScanner(j.buf.reader(r.Context()))
+	sc := bufio.NewScanner(campaign.NewBinaryNDJSONReader(j.buf.reader(r.Context())))
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
 		if _, err := fmt.Fprintf(w, "event: result\ndata: %s\n\n", sc.Bytes()); err != nil {
