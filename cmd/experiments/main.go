@@ -39,7 +39,7 @@ func main() {
 // experimentOrder is the -run all sequence (and the -run list output).
 var experimentOrder = []string{
 	"tableI", "tableII", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-	"exp1", "exp2", "exp3", "exp3wall",
+	"exp1", "exp2", "exp3", "exp3wall", "counterfactual",
 	"scenarioA", "scenarioB", "scenarioC", "scenarioD", "keystrokes",
 	"encrypted", "ids", "idsvalidation", "countermeasures", "baselines", "ablations",
 }
@@ -57,8 +57,14 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	ndjsonPath := fs.String("ndjson", "", "stream the deterministic per-trial result lines (no wall-clock fields; byte-identical to a served campaign of the same spec) to this file")
 	metricsPath := fs.String("metrics", "", "write aggregated per-point metric snapshots as JSON lines to this file")
 	verbose := fs.Bool("v", false, "print the campaign run summary (workers, trials, utilization) to stderr")
+	warmup := fs.String("warmup", "", `sweep trial strategy: "" (per-trial worlds), "shared" (fork a warm snapshot per point) or "shared-fresh" (fork reference)`)
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address during the run")
 	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if !experiments.ValidWarmup(*warmup) {
+		fmt.Fprintf(stderr, "experiments: unknown -warmup %q (want \"\", %q or %q)\n",
+			*warmup, experiments.WarmupShared, experiments.WarmupSharedFresh)
 		return 2
 	}
 
@@ -72,7 +78,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "pprof: http://%s/debug/pprof/\n", srv.Addr())
 	}
 
-	opts := experiments.Options{TrialsPerPoint: *trials, SeedBase: *seed, Parallel: *parallel}
+	opts := experiments.Options{TrialsPerPoint: *trials, SeedBase: *seed, Parallel: *parallel, Warmup: *warmup}
 	if *verbose {
 		opts.Verbose = stderr
 	}
@@ -179,6 +185,15 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		"exp3wall": expErr(func() (*experiments.Experiment, error) {
 			return experiments.Experiment3Wall(opts)
 		}),
+		"counterfactual": func() error {
+			pts, err := experiments.ExperimentCounterfactual(opts)
+			newline()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, experiments.CounterfactualTable(pts).Render())
+			return nil
+		},
 		"scenarioA": scenarioRunner("scenario A — illegitimate feature use (§VI-A)", experiments.RunScenarioA),
 		"scenarioB": scenarioRunner("scenario B — slave hijack (§VI-B)", experiments.RunScenarioB),
 		"scenarioC": scenarioRunner("scenario C — master hijack (§VI-C)", experiments.RunScenarioC),

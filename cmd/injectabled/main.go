@@ -211,6 +211,7 @@ func specFlags(fs *flag.FlagSet) func() serve.JobSpec {
 	seedBase := fs.Uint64("seed-base", 0, "base seed (0 = 1000)")
 	priority := fs.Int("priority", 0, "admission priority 0-9 (higher runs first)")
 	timeoutMS := fs.Int64("timeout-ms", 0, "job deadline in ms (0 = server default)")
+	warmup := fs.String("warmup", "", `sweep trial strategy: "" (per-trial worlds), "shared" (fork a warm snapshot) or "shared-fresh" (fork reference)`)
 	return func() serve.JobSpec {
 		return serve.JobSpec{
 			Experiment: *experiment,
@@ -219,6 +220,7 @@ func specFlags(fs *flag.FlagSet) func() serve.JobSpec {
 			SeedBase:   *seedBase,
 			Priority:   *priority,
 			TimeoutMS:  *timeoutMS,
+			Warmup:     *warmup,
 		}
 	}
 }

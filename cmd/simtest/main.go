@@ -41,6 +41,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		seedBase = fs.Uint64("seed-base", 1, "swarm mode: first seed")
 		parallel = fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS); results are identical at any value")
 		shrink   = fs.Bool("shrink", false, "on failure, minimise the world and print a repro command")
+		fork     = fs.Bool("fork", false, "fork-equivalence mode: snapshot each world mid-run, replay it, and require identical timelines")
 		base     = fs.Bool("base", false, "start from default parameters instead of generating from the seed")
 		verbose  = fs.Bool("v", false, "print one line per world")
 		overs    paramFlags
@@ -71,26 +72,34 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 
 	if *seed >= 0 {
-		return runOne(uint64(*seed), mutate, *shrink, stdout, stderr)
+		return runOne(uint64(*seed), mutate, *shrink, *fork, stdout, stderr)
 	}
-	return runSwarm(*seedBase, *worlds, *parallel, mutate, *shrink, *verbose, stdout, stderr)
+	return runSwarm(*seedBase, *worlds, *parallel, mutate, *shrink, *fork, *verbose, stdout, stderr)
 }
 
 // runOne reruns a single world (optionally shrinking a failure).
-func runOne(seed uint64, mutate func(*simtest.Params) error, shrink bool, stdout, stderr io.Writer) int {
+func runOne(seed uint64, mutate func(*simtest.Params) error, shrink, fork bool, stdout, stderr io.Writer) int {
 	p := simtest.Generate(seed)
 	if err := mutate(&p); err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	res, err := simtest.RunWorld(seed, p)
+	runWorld, shrinkWorld := simtest.RunWorld, simtest.Shrink
+	if fork {
+		runWorld, shrinkWorld = simtest.RunWorldFork, simtest.ShrinkFork
+	}
+	res, err := runWorld(seed, p)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	printWorld(stdout, res)
 	if !res.Failed() {
-		fmt.Fprintf(stdout, "seed %d: all invariants hold\n", seed)
+		if fork {
+			fmt.Fprintf(stdout, "seed %d: all invariants hold, fork replay identical\n", seed)
+		} else {
+			fmt.Fprintf(stdout, "seed %d: all invariants hold\n", seed)
+		}
 		return 0
 	}
 	for _, v := range res.Violations {
@@ -100,7 +109,7 @@ func runOne(seed uint64, mutate func(*simtest.Params) error, shrink bool, stdout
 		fmt.Fprintf(stdout, "  ... and %d more\n", res.Truncated)
 	}
 	if shrink {
-		s, err := simtest.Shrink(seed, p)
+		s, err := shrinkWorld(seed, p)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2
@@ -112,12 +121,13 @@ func runOne(seed uint64, mutate func(*simtest.Params) error, shrink bool, stdout
 }
 
 // runSwarm runs the randomized swarm and reports failures.
-func runSwarm(seedBase uint64, worlds, parallel int, mutate func(*simtest.Params) error, shrink, verbose bool, stdout, stderr io.Writer) int {
+func runSwarm(seedBase uint64, worlds, parallel int, mutate func(*simtest.Params) error, shrink, fork, verbose bool, stdout, stderr io.Writer) int {
 	var mutateErr error
 	sum, err := simtest.Swarm(simtest.SwarmConfig{
 		SeedBase: seedBase,
 		Worlds:   worlds,
 		Parallel: parallel,
+		Fork:     fork,
 		Mutate: func(p *simtest.Params) {
 			if err := mutate(p); err != nil && mutateErr == nil {
 				mutateErr = err
@@ -146,14 +156,22 @@ func runSwarm(seedBase uint64, worlds, parallel int, mutate func(*simtest.Params
 		fmt.Fprintf(stdout, "FAIL seed %d (%v): %d violation(s), first: %v\n",
 			f.Seed, f.Params, len(f.Violations)+f.Truncated, f.Violations[0])
 		if shrink {
-			s, err := simtest.Shrink(f.Seed, f.Params)
+			shrinkWorld := simtest.Shrink
+			if fork {
+				shrinkWorld = simtest.ShrinkFork
+			}
+			s, err := shrinkWorld(f.Seed, f.Params)
 			if err != nil {
 				fmt.Fprintf(stderr, "shrink seed %d: %v\n", f.Seed, err)
 				continue
 			}
 			fmt.Fprintf(stdout, "  shrunk in %d runs: %s\n", s.Runs, s.ReproCommand())
 		} else {
-			fmt.Fprintf(stdout, "  repro: go run ./cmd/simtest -seed %d -shrink\n", f.Seed)
+			repro := fmt.Sprintf("go run ./cmd/simtest -seed %d -shrink", f.Seed)
+			if fork {
+				repro += " -fork"
+			}
+			fmt.Fprintf(stdout, "  repro: %s\n", repro)
 		}
 	}
 	if sum.Failed() {

@@ -31,6 +31,37 @@ import (
 // the runner may invoke it from any worker goroutine.
 type TrialFunc func(t Trial) (any, error)
 
+// Warmup identifies one warmup invocation: the environment a worker is
+// about to build and reuse across the trials it runs at one point.
+type Warmup struct {
+	// Campaign is the spec's Name; Point the owning point's Label.
+	Campaign string
+	Point    string
+	// Seed is the point's derived warmup seed (DeriveWarmSeed unless the
+	// warmup function derives its own — trial seeds never collide with it).
+	Seed uint64
+	// Arena is the worker-local arena the warmed environment should be
+	// built on; it is the same arena the point's trials will see.
+	Arena *sim.Arena
+	// Ctx is the campaign's context.
+	Ctx context.Context
+}
+
+// WarmupFunc builds a point's warmed environment — typically a simulated
+// world advanced to a snapshot the point's trials fork from. It runs on a
+// worker goroutine at most once per (worker, point): the worker caches the
+// value and hands it to every trial of the point via Trial.Warm. The value
+// is worker-local, so the trial functions of one worker may mutate it
+// (fork, run, restore) without synchronisation.
+type WarmupFunc func(u Warmup) (any, error)
+
+// DeriveWarmSeed is the default warmup-seed derivation, a sibling stream
+// of the point's trial seeds ("warm" vs "trial"/i) so warmup randomness
+// never overlaps any trial's.
+func DeriveWarmSeed(seedBase uint64, point string) uint64 {
+	return sim.NewRNG(seedBase).Child(point).Child("warm").Seed()
+}
+
 // Point is one configuration within a campaign: a label, a trial count and
 // the function that runs one trial of it.
 type Point struct {
@@ -44,6 +75,12 @@ type Point struct {
 	// uses this to keep its historical linear seed layout (and therefore
 	// byte-identical tables) while still running under the pool.
 	Seed func(index int) uint64
+	// Warmup, when set, builds a reusable environment once per (worker,
+	// point); every trial of the point receives it via Trial.Warm. Optional.
+	Warmup WarmupFunc
+	// WarmSeed optionally overrides the warmup seed (0 keeps the default
+	// DeriveWarmSeed(spec.SeedBase, Label)).
+	WarmSeed uint64
 	// Run executes one trial. Required.
 	Run TrialFunc
 }
@@ -113,8 +150,21 @@ type Trial struct {
 	// campaign is cancelled or its deadline expires; a trial that ignores
 	// it still stops the campaign, just one full trial later.
 	Ctx context.Context
+	// Warm is the worker's cached warmed environment for this trial's
+	// point, non-nil only when the point declares a Warmup and it
+	// succeeded. It is owned by this worker: the trial function may fork
+	// and mutate it without synchronisation, but must leave it reusable
+	// for the point's next trial on the same worker.
+	Warm any
+	// WarmErr reports a failed (or panicked) warmup for this trial's
+	// point; when set, Warm is nil. The error is handed to the trial
+	// function unwrapped so it can fail exactly as a self-warming trial
+	// would, keeping output streams byte-identical across execution modes.
+	WarmErr error
 
-	run TrialFunc
+	run      TrialFunc
+	warmup   WarmupFunc
+	warmSeed uint64
 }
 
 // RNG returns a fresh deterministic stream owned exclusively by this
@@ -134,6 +184,10 @@ func flatten(s *Spec) []Trial {
 	trials := make([]Trial, 0, s.TotalTrials())
 	ordinal := 0
 	for _, p := range s.Points {
+		warmSeed := p.WarmSeed
+		if warmSeed == 0 {
+			warmSeed = DeriveWarmSeed(s.SeedBase, p.Label)
+		}
 		for i := 0; i < p.Trials; i++ {
 			seed := DeriveSeed(s.SeedBase, p.Label, i)
 			if p.Seed != nil {
@@ -146,6 +200,8 @@ func flatten(s *Spec) []Trial {
 				Ordinal:  ordinal,
 				Seed:     seed,
 				run:      p.Run,
+				warmup:   p.Warmup,
+				warmSeed: warmSeed,
 			})
 			ordinal++
 		}

@@ -26,6 +26,11 @@ type Metrics struct {
 	TimedOut int `json:"timed_out"`
 	// Retried counts extra attempts consumed across all trials.
 	Retried int `json:"retried"`
+	// Warmups counts point-warmup invocations across all workers (0 when
+	// no point declares a Warmup). Each worker warms each point at most
+	// once, so this is bounded by workers × points — a large value next to
+	// a small Trials means warm-world reuse is not paying for itself.
+	Warmups int `json:"warmups,omitempty"`
 	// Wall is the campaign's wall-clock duration.
 	Wall time.Duration `json:"wall_ns"`
 	// Busy is the summed per-trial wall time across all workers.
@@ -49,6 +54,7 @@ type counters struct {
 	panicked, timedOut        int
 	busy                      time.Duration
 	retried                   atomic.Int64
+	warmups                   atomic.Int64
 }
 
 // record tallies one completed result.
@@ -78,6 +84,7 @@ func (c *counters) snapshot(workers int, wall time.Duration) Metrics {
 		Panicked:  c.panicked,
 		TimedOut:  c.timedOut,
 		Retried:   int(c.retried.Load()),
+		Warmups:   int(c.warmups.Load()),
 		Wall:      wall,
 		Busy:      c.busy,
 	}

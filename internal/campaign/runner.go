@@ -148,14 +148,29 @@ func (r *Runner) RunContext(ctx context.Context, spec *Spec) (*Outcome, error) {
 			// trials so steady-state trials recycle scheduler events and
 			// frame buffers instead of re-allocating them.
 			arena := sim.NewArena()
+			// One warm slot per worker: the jobs channel delivers trials
+			// point-major, so a worker's points are non-decreasing and a
+			// single cached environment warms each point at most once per
+			// worker. An arena hosts one live world, so a new point's warm
+			// world evicts the previous point's.
+			var warm warmSlot
 			for t := range jobs {
 				t.Arena = arena
 				t.Ctx = ctx
+				if t.warmup != nil {
+					if !warm.valid || warm.point != t.Point {
+						warm = runWarmup(t, ctx)
+						ctr.warmups.Add(1)
+					}
+					t.Warm, t.WarmErr = warm.value, warm.err
+				}
 				res := r.runTrial(id, t, ctr)
 				if res.TimedOut {
 					// The abandoned attempt goroutine may still be touching
-					// the arena; hand the next trial a fresh one.
+					// the arena (and any warm world built on it); hand the
+					// next trial a fresh one and re-warm.
 					arena = sim.NewArena()
+					warm = warmSlot{}
 				}
 				resCh <- res
 			}
@@ -217,6 +232,35 @@ func (r *Runner) RunContext(ctx context.Context, spec *Spec) (*Outcome, error) {
 		}
 	}
 	return out, firstErr
+}
+
+// warmSlot caches one point's warmed environment on a worker. A failed
+// warmup is cached too: every trial of the point receives the same error
+// instead of re-warming (a deterministic warmup would fail identically).
+type warmSlot struct {
+	valid bool
+	point string
+	value any
+	err   error
+}
+
+// runWarmup builds one point's warmed environment with panic recovery.
+func runWarmup(t Trial, ctx context.Context) (slot warmSlot) {
+	slot = warmSlot{valid: true, point: t.Point}
+	defer func() {
+		if v := recover(); v != nil {
+			slot.value = nil
+			slot.err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	slot.value, slot.err = t.warmup(Warmup{
+		Campaign: t.Campaign,
+		Point:    t.Point,
+		Seed:     t.warmSeed,
+		Arena:    t.Arena,
+		Ctx:      ctx,
+	})
+	return slot
 }
 
 // runTrial runs one trial with retries, panic recovery and the deadline.

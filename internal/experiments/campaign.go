@@ -49,6 +49,20 @@ func (o Options) runner(sinks ...campaign.Sink) *campaign.Runner {
 	}
 }
 
+// Warmup modes accepted by Options.Warmup (see its doc comment).
+const (
+	// WarmupShared forks every trial from a per-(worker, point) snapshot.
+	WarmupShared = "shared"
+	// WarmupSharedFresh is the fork path's differential reference: fresh
+	// worlds, shared warm seed, per-trial rekey.
+	WarmupSharedFresh = "shared-fresh"
+)
+
+// ValidWarmup reports whether s names a warmup mode ("" included).
+func ValidWarmup(s string) bool {
+	return s == "" || s == WarmupShared || s == WarmupSharedFresh
+}
+
 // sweepSpec expands the points into a campaign spec whose trial functions
 // run RunTrial and return TrialResult values. The serving layer builds
 // specs through here too (via SweepSpec), so a daemon job executes the
@@ -62,19 +76,52 @@ func sweepSpec(opts Options, name string, pts []sweepPoint) *campaign.Spec {
 		if trials == 0 {
 			trials = opts.TrialsPerPoint
 		}
-		spec.Points = append(spec.Points, campaign.Point{
+		point := campaign.Point{
 			Label:  sp.Label,
 			Trials: trials,
 			Seed:   func(i int) uint64 { return base + uint64(i) },
-			Run: func(t campaign.Trial) (any, error) {
+		}
+		switch opts.Warmup {
+		case WarmupShared:
+			point.WarmSeed = WarmTrialSeed(base)
+			point.Warmup = func(u campaign.Warmup) (any, error) {
+				c := cfg
+				c.Arena = u.Arena
+				c.Ctx = u.Ctx
+				wt, err := NewWarmTrial(c, u.Seed)
+				if err != nil {
+					return nil, err
+				}
+				return wt, nil
+			}
+			point.Run = func(t campaign.Trial) (any, error) {
+				if t.WarmErr != nil {
+					// Unwrapped, and paired with a zero TrialResult — exactly
+					// what a shared-fresh trial yields when its own warm phase
+					// fails, so the two modes' NDJSON streams stay identical.
+					return TrialResult{}, t.WarmErr
+				}
+				return t.Warm.(*WarmTrial).RunFork(t.Seed, t.Obs, t.Ctx)
+			}
+		case WarmupSharedFresh:
+			point.Run = func(t campaign.Trial) (any, error) {
+				c := cfg
+				c.Obs = t.Obs
+				c.Arena = t.Arena
+				c.Ctx = t.Ctx
+				return RunTrialWarmFresh(c, WarmTrialSeed(base), t.Seed)
+			}
+		default:
+			point.Run = func(t campaign.Trial) (any, error) {
 				c := cfg
 				c.Seed = t.Seed
 				c.Obs = t.Obs     // nil unless the runner collects observability
 				c.Arena = t.Arena // worker-local allocation reuse
 				c.Ctx = t.Ctx     // campaign cancellation/deadline
 				return RunTrial(c)
-			},
-		})
+			}
+		}
+		spec.Points = append(spec.Points, point)
 	}
 	return spec
 }

@@ -1,8 +1,13 @@
 package experiments
 
 import (
+	"bytes"
+	"fmt"
 	"runtime/debug"
 	"testing"
+
+	"injectable/internal/medium"
+	"injectable/internal/phy"
 )
 
 // TestDeterminismIndependentOfGCAndWorkers is the regression fence for the
@@ -46,5 +51,94 @@ func TestDeterminismIndependentOfGCAndWorkers(t *testing.T) {
 			t.Errorf("%s output differs from default-GC serial run:\n%s\n--- vs ---\n%s",
 				c.name, c.got, baseline)
 		}
+	}
+}
+
+// TestForkDeterminismMatrix is the fork path's differential harness run at
+// campaign scale: for several ablation dimensions (payload, phone-grade
+// clock, wall, capture model), the full sweep pipeline — campaign engine,
+// per-trial obs hubs, NDJSON and metrics encoders — must emit byte-for-byte
+// identical streams whether trials fork a per-worker snapshot ("shared") or
+// build fresh worlds with the shared warm seed ("shared-fresh"), at any
+// worker count. Any divergence indicts snapshot capture/restore or stream
+// rekeying, with the failing dimension naming the state that escaped.
+func TestForkDeterminismMatrix(t *testing.T) {
+	bulb, central, attacker := trianglePositions()
+	base := TrialConfig{
+		Interval: 36, Payload: PayloadPowerOff,
+		BulbPos: bulb, CentralPos: central, AttackerPos: attacker,
+		MaxAttempts: 40,
+	}
+	configs := []struct {
+		name string
+		cfg  func() TrialConfig
+	}{
+		{"payload-toggle", func() TrialConfig {
+			c := base
+			c.Interval, c.Payload = 75, PayloadToggle
+			return c
+		}},
+		{"phone-grade", func() TrialConfig {
+			c := base
+			c.PhoneGrade = true
+			return c
+		}},
+		{"wall", func() TrialConfig {
+			c := base
+			c.AttackerPos = phy.Position{X: -2}
+			c.Walls = []phy.Wall{{
+				A:    phy.Position{X: -0.5, Y: -10},
+				B:    phy.Position{X: -0.5, Y: 10},
+				Loss: phy.DefaultWallLoss,
+			}}
+			return c
+		}},
+		{"capture-coinflip", func() TrialConfig {
+			c := base
+			c.Capture = medium.CoinFlip{P: 0.35}
+			return c
+		}},
+	}
+
+	for _, tc := range configs {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			pts := []sweepPoint{{Label: tc.name, SeedBase: 6000, Cfg: tc.cfg()}}
+			run := func(mode string, parallel int) (ndjson, metrics string) {
+				var nd, mt bytes.Buffer
+				opts := Options{
+					TrialsPerPoint: 3,
+					Parallel:       parallel,
+					Warmup:         mode,
+					NDJSON:         &nd,
+					Metrics:        &mt,
+				}
+				if _, err := runSweep(opts, "fork-determinism", pts); err != nil {
+					t.Fatalf("%s parallel=%d: %v", mode, parallel, err)
+				}
+				return nd.String(), mt.String()
+			}
+
+			refND, refMT := run(WarmupSharedFresh, 1)
+			if refND == "" || refMT == "" {
+				t.Fatal("reference run produced empty streams")
+			}
+			for _, mode := range []string{WarmupShared, WarmupSharedFresh} {
+				for _, parallel := range []int{1, 4, 8} {
+					if mode == WarmupSharedFresh && parallel == 1 {
+						continue // the reference itself
+					}
+					nd, mt := run(mode, parallel)
+					label := fmt.Sprintf("%s parallel=%d", mode, parallel)
+					if nd != refND {
+						t.Errorf("%s: NDJSON diverges from shared-fresh serial reference:\n%s\n--- vs ---\n%s",
+							label, nd, refND)
+					}
+					if mt != refMT {
+						t.Errorf("%s: metrics stream diverges:\n%s\n--- vs ---\n%s", label, mt, refMT)
+					}
+				}
+			}
+		})
 	}
 }

@@ -39,6 +39,26 @@ type Options struct {
 	// Verbose, when non-nil, receives the campaign engine's run summary
 	// (workers, trials, retries, utilization) after each sweep.
 	Verbose io.Writer
+	// Warmup selects the trial execution strategy for sweeps:
+	//
+	//   ""             — historical default: every trial builds and warms its
+	//                    own world from its own seed.
+	//   "shared"       — fork fast path: each worker warms one world per
+	//                    point (connection established, sniffer synced),
+	//                    snapshots it, and forks every trial from the
+	//                    snapshot with trial-specific randomness.
+	//   "shared-fresh" — differential reference for "shared": every trial
+	//                    builds a fresh world but warms it with the point's
+	//                    shared warm seed and rekeys with the trial seed.
+	//                    Byte-identical outputs to "shared" with no snapshot
+	//                    machinery involved — any divergence between the two
+	//                    modes indicts snapshot/restore.
+	//
+	// "shared" and "shared-fresh" agree with each other but sample different
+	// worlds than "": the warm phase draws from the shared warm seed rather
+	// than the trial seed, so per-trial numbers differ from the historical
+	// stream (statistics are equivalent).
+	Warmup string
 	// PointStart/PointCount select a contiguous sub-range of a servable
 	// study's points: the range [PointStart, PointStart+PointCount), with
 	// PointCount 0 meaning "through the last point". The distributed

@@ -36,13 +36,20 @@ func sweepDefs() map[string]sweepDef {
 	}
 }
 
+// counterfactualName is the one servable study that is not a plain
+// RunTrial sweep: its trials return CounterfactualOutcome values and its
+// points carry fork warmups, so the registry special-cases it rather than
+// forcing it through sweepSpec.
+const counterfactualName = "counterfactual"
+
 // SweepNames lists the servable sweeps in sorted order.
 func SweepNames() []string {
 	defs := sweepDefs()
-	names := make([]string, 0, len(defs))
+	names := make([]string, 0, len(defs)+1)
 	for name := range defs {
 		names = append(names, name)
 	}
+	names = append(names, counterfactualName)
 	sort.Strings(names)
 	return names
 }
@@ -54,6 +61,14 @@ func SweepNames() []string {
 // is expanded; the sliced trials are bit-identical to the corresponding
 // points of the full sweep because every point's seed base is absolute.
 func SweepSpec(name string, opts Options) (*campaign.Spec, error) {
+	if name == counterfactualName {
+		opts.applyDefaults()
+		pts, err := slicePoints(name, counterfactualPoints(opts), opts.PointStart, opts.PointCount)
+		if err != nil {
+			return nil, err
+		}
+		return counterfactualSpec(opts, pts), nil
+	}
 	def, ok := sweepDefs()[name]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown sweep %q", name)
@@ -69,11 +84,14 @@ func SweepSpec(name string, opts Options) (*campaign.Spec, error) {
 // SweepPointCount reports how many points a named sweep expands to under
 // these options — the fabric planner's shard-range arithmetic.
 func SweepPointCount(name string, opts Options) (int, error) {
+	opts.applyDefaults()
+	if name == counterfactualName {
+		return len(counterfactualPoints(opts)), nil
+	}
 	def, ok := sweepDefs()[name]
 	if !ok {
 		return 0, fmt.Errorf("experiments: unknown sweep %q", name)
 	}
-	opts.applyDefaults()
 	return len(def.pts(opts)), nil
 }
 
@@ -134,6 +152,11 @@ func ScenarioSpec(name, target string, opts Options) (*campaign.Spec, error) {
 	run, ok := scenarioDefs()[name]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown scenario %q", name)
+	}
+	if opts.Warmup != "" {
+		// Scenario worlds are built per trial by their run functions; there
+		// is no shared warm snapshot to fork.
+		return nil, fmt.Errorf("experiments: scenario %q takes no warmup mode", name)
 	}
 	if name == "keystrokes" {
 		if target != "" {

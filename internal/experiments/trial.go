@@ -133,9 +133,10 @@ type TrialResult struct {
 	HeuristicAgrees bool
 }
 
-// RunTrial builds a fresh world, establishes the connection, synchronises
-// the attacker and performs one injection run.
-func RunTrial(cfg TrialConfig) (TrialResult, error) {
+// withDefaults returns cfg with every zero knob filled in. All entry
+// points (fresh, warm-fresh and fork-based execution) normalise through
+// here so a configuration means the same trial everywhere.
+func (cfg TrialConfig) withDefaults() TrialConfig {
 	if cfg.Interval == 0 {
 		cfg.Interval = 36
 	}
@@ -154,7 +155,22 @@ func RunTrial(cfg TrialConfig) (TrialResult, error) {
 	if cfg.MaxAttempts != 0 {
 		cfg.Injector.MaxAttempts = cfg.MaxAttempts
 	}
+	return cfg
+}
 
+// trialWorld bundles one trial configuration's world and actors.
+type trialWorld struct {
+	w     *host.World
+	bulb  *devices.Lightbulb
+	phone *devices.Smartphone
+	atk   *injectable.Attacker
+}
+
+// buildTrialWorld constructs the world, devices and attacker for cfg
+// (defaults already applied). The actor wrappers are registered as
+// snapshot roots so a snapshot taken from this world — and RekeyStreams —
+// reaches every piece of their state.
+func buildTrialWorld(cfg TrialConfig) *trialWorld {
 	w := host.NewWorld(host.WorldConfig{
 		Seed: cfg.Seed,
 		Medium: medium.Config{
@@ -183,37 +199,49 @@ func RunTrial(cfg TrialConfig) (TrialResult, error) {
 		ClockPPM: 20, ClockJitter: 500 * sim.Nanosecond,
 	})
 	atk := injectable.NewAttacker(attacker.Stack, cfg.Injector)
+	w.AddSnapshotRoot(bulb, phone, atk)
+	return &trialWorld{w: w, bulb: bulb, phone: phone, atk: atk}
+}
 
-	atk.Sniffer.Start()
-	bulb.Peripheral.StartAdvertising()
-	phone.Connect(bulb.Peripheral.Device.Address())
-	if err := runFor(w, 3*sim.Second, cfg.Ctx); err != nil {
-		return TrialResult{}, err
+// warm advances through connection establishment and attacker
+// synchronisation — everything that happens before the injection run and
+// is identical across the trials of one configuration.
+func (tw *trialWorld) warm(cfg TrialConfig) error {
+	tw.atk.Sniffer.Start()
+	tw.bulb.Peripheral.StartAdvertising()
+	tw.phone.Connect(tw.bulb.Peripheral.Device.Address())
+	if err := runFor(tw.w, 3*sim.Second, cfg.Ctx); err != nil {
+		return err
 	}
-	if !phone.Central.Connected() {
-		return TrialResult{}, fmt.Errorf("experiments: connection failed (seed %d)", cfg.Seed)
+	if !tw.phone.Central.Connected() {
+		return fmt.Errorf("experiments: connection failed (seed %d)", cfg.Seed)
 	}
-	if !atk.Sniffer.Following() {
-		return TrialResult{}, fmt.Errorf("experiments: sniffer failed to sync (seed %d)", cfg.Seed)
+	if !tw.atk.Sniffer.Following() {
+		return fmt.Errorf("experiments: sniffer failed to sync (seed %d)", cfg.Seed)
 	}
+	return nil
+}
 
+// attack performs one injection run against the warmed world and checks
+// the heuristic verdict against device-model ground truth.
+func (tw *trialWorld) attack(cfg TrialConfig) (TrialResult, error) {
 	// Ground-truth observers.
 	effect := false
 	switch cfg.Payload {
 	case PayloadTerminate:
-		bulb.Peripheral.OnDisconnect = func(link.DisconnectReason) { effect = true }
+		tw.bulb.Peripheral.OnDisconnect = func(link.DisconnectReason) { effect = true }
 	default:
-		bulb.OnChange = func(string) { effect = true }
+		tw.bulb.OnChange = func(string) { effect = true }
 	}
 
 	var report *injectable.Report
-	err := atk.Injector.Inject(cfg.Payload.frame(bulb.ControlHandle()), func(r injectable.Report) {
+	err := tw.atk.Injector.Inject(cfg.Payload.frame(tw.bulb.ControlHandle()), func(r injectable.Report) {
 		report = &r
 	})
 	if err != nil {
 		return TrialResult{}, err
 	}
-	if err := runFor(w, cfg.SimBudget, cfg.Ctx); err != nil {
+	if err := runFor(tw.w, cfg.SimBudget, cfg.Ctx); err != nil {
 		return TrialResult{}, err
 	}
 	if report == nil {
@@ -227,11 +255,24 @@ func RunTrial(cfg TrialConfig) (TrialResult, error) {
 	}, nil
 }
 
+// RunTrial builds a fresh world, establishes the connection, synchronises
+// the attacker and performs one injection run.
+func RunTrial(cfg TrialConfig) (TrialResult, error) {
+	cfg = cfg.withDefaults()
+	tw := buildTrialWorld(cfg)
+	if err := tw.warm(cfg); err != nil {
+		return TrialResult{}, err
+	}
+	return tw.attack(cfg)
+}
+
 // runFor advances the world by d of virtual time. With a nil ctx it is
 // exactly w.RunFor(d); otherwise the span is walked in short slices with
-// a cancellation check between them. Slicing is invisible to the
+// a cancellation check before each one. Slicing is invisible to the
 // simulation: RunUntil processes every event up to each boundary and the
-// same events fire in the same order as one contiguous run.
+// same events fire in the same order as one contiguous run. A span whose
+// final slice completes is a finished simulation — cancellation arriving
+// during it does not fail the call.
 func runFor(w *host.World, d sim.Duration, ctx context.Context) error {
 	if ctx == nil {
 		w.RunFor(d)
@@ -249,7 +290,7 @@ func runFor(w *host.World, d sim.Duration, ctx context.Context) error {
 		w.RunFor(step)
 		d -= step
 	}
-	return ctx.Err()
+	return nil
 }
 
 // RunSeries runs n trials with distinct seeds and accumulates attempts of

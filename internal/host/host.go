@@ -24,6 +24,15 @@ type World struct {
 	Medium *medium.Medium
 	Tracer sim.Tracer
 	Obs    *obs.Hub
+
+	// devices lists every device created in this world, so a snapshot
+	// reaches link-layer and clock state even where no other pointer path
+	// leads to it.
+	devices []*Device
+	// roots holds extra snapshot roots registered by the owner (device
+	// wrappers, attacker tooling — anything reachable only through
+	// callbacks, which the snapshot engine does not traverse).
+	roots []any
 }
 
 // WorldConfig configures a World.
@@ -132,7 +141,7 @@ func (w *World) NewDevice(cfg DeviceConfig) *Device {
 		Position: cfg.Position,
 		TxPower:  cfg.TxPower,
 	})
-	return &Device{
+	d := &Device{
 		World: w,
 		Stack: &link.Stack{
 			Name:          cfg.Name,
@@ -146,6 +155,8 @@ func (w *World) NewDevice(cfg DeviceConfig) *Device {
 			WideningScale: cfg.WideningScale,
 		},
 	}
+	w.devices = append(w.devices, d)
+	return d
 }
 
 // Address returns the device's address.

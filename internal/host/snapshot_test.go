@@ -1,0 +1,107 @@
+package host_test
+
+import (
+	"fmt"
+	"testing"
+
+	"injectable/internal/devices"
+	"injectable/internal/host"
+	"injectable/internal/link"
+	"injectable/internal/phy"
+	"injectable/internal/sim"
+)
+
+// connectedWorld builds a lightbulb + smartphone world and registers the
+// wrappers as snapshot roots, the way fork-based trials do.
+func connectedWorld(t *testing.T, seed uint64) (*host.World, *devices.Lightbulb, *devices.Smartphone) {
+	t.Helper()
+	w := host.NewWorld(host.WorldConfig{Seed: seed})
+	bulb := devices.NewLightbulb(w.NewDevice(host.DeviceConfig{Name: "bulb"}))
+	phone := devices.NewSmartphone(w.NewDevice(host.DeviceConfig{
+		Name: "central", Position: phy.Position{X: 2},
+	}), devices.SmartphoneConfig{
+		ConnParams:       link.ConnParams{Interval: 36},
+		ActivityInterval: -1,
+	})
+	w.AddSnapshotRoot(bulb, phone)
+	bulb.Peripheral.StartAdvertising()
+	phone.Connect(bulb.Peripheral.Device.Address())
+	return w, bulb, phone
+}
+
+// fingerprint digests the observable end state of a run, including the
+// exact positions of two random streams (equal positions mean both runs
+// consumed randomness identically all the way through).
+func fingerprint(w *host.World, bulb *devices.Lightbulb, phone *devices.Smartphone) string {
+	probe1 := phone.Central.Device.Stack.RNG.Uint64()
+	probe2 := bulb.Peripheral.Device.Stack.RNG.Uint64()
+	return fmt.Sprint(w.Sched.Processed(), w.Now(), phone.Central.Connected(),
+		bulb.Peripheral.Connected(), probe1, probe2)
+}
+
+func TestWorldForkReplaysIdentically(t *testing.T) {
+	w, bulb, phone := connectedWorld(t, 424242)
+	w.RunFor(1 * sim.Second)
+	snap := w.Snapshot()
+
+	w.RunFor(2 * sim.Second)
+	first := fingerprint(w, bulb, phone)
+
+	w.Fork(snap)
+	w.RunFor(2 * sim.Second)
+	if second := fingerprint(w, bulb, phone); second != first {
+		t.Fatalf("forked timeline diverged:\n first=%s\nsecond=%s", first, second)
+	}
+}
+
+func TestWorldForkIsRepeatable(t *testing.T) {
+	w, bulb, phone := connectedWorld(t, 7)
+	w.RunFor(1500 * sim.Millisecond)
+	snap := w.Snapshot()
+
+	var prints []string
+	for i := 0; i < 3; i++ {
+		w.Fork(snap)
+		w.RunFor(1500 * sim.Millisecond)
+		prints = append(prints, fingerprint(w, bulb, phone))
+	}
+	if prints[1] != prints[0] || prints[2] != prints[0] {
+		t.Fatalf("repeated forks diverged: %v", prints)
+	}
+}
+
+func TestForkRekeyMatchesFreshWorldRekey(t *testing.T) {
+	const seed, salt = 99, 31337
+
+	// Path A: warm, snapshot, fork, rekey, run.
+	wa, bulbA, phoneA := connectedWorld(t, seed)
+	wa.RunFor(2 * sim.Second)
+	snap := wa.Snapshot()
+	wa.Fork(snap)
+	wa.RekeyStreams(salt)
+	wa.RunFor(2 * sim.Second)
+	a := fingerprint(wa, bulbA, phoneA)
+
+	// Path B: fresh world, identical warm, rekey, run — no snapshot at all.
+	wb, bulbB, phoneB := connectedWorld(t, seed)
+	wb.RunFor(2 * sim.Second)
+	wb.RekeyStreams(salt)
+	wb.RunFor(2 * sim.Second)
+	b := fingerprint(wb, bulbB, phoneB)
+
+	if a != b {
+		t.Fatalf("fork+rekey diverged from fresh+rekey:\nfork =%s\nfresh=%s", a, b)
+	}
+}
+
+func TestForkForeignSnapshotPanics(t *testing.T) {
+	wa, _, _ := connectedWorld(t, 1)
+	wb, _, _ := connectedWorld(t, 2)
+	snap := wa.Snapshot()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic forking a foreign snapshot")
+		}
+	}()
+	wb.Fork(snap)
+}

@@ -18,6 +18,14 @@ type Attacker struct {
 	Stack    *link.Stack
 	Sniffer  *Sniffer
 	Injector *Injector
+
+	// SlaveHijack / MasterHijack retain the most recent successful role
+	// adoption. The completion callback alone is not enough: an adopted
+	// connection referenced only by scheduler closures is invisible to
+	// world snapshots, and a forked world would replay it with stale
+	// channel-selection state.
+	SlaveHijack  *SlaveHijack
+	MasterHijack *MasterHijack
 }
 
 // NewAttacker builds the attack tooling on a stack.
@@ -95,6 +103,8 @@ type SlaveHijack struct {
 	Conn   *link.Conn
 	GATT   *gatt.Server
 	Report Report
+	// mux keeps the L2CAP reassembly state reachable for snapshots.
+	mux *l2cap.Mux
 }
 
 // HijackSlave injects LL_TERMINATE_IND to expel the slave (which the
@@ -122,8 +132,9 @@ func (a *Attacker) HijackSlave(server *gatt.Server, done func(*SlaveHijack, erro
 			done(nil, err)
 			return
 		}
-		wireServer(conn, server)
-		done(&SlaveHijack{Conn: conn, GATT: server, Report: r}, nil)
+		mux := wireServer(conn, server)
+		a.SlaveHijack = &SlaveHijack{Conn: conn, GATT: server, Report: r, mux: mux}
+		done(a.SlaveHijack, nil)
 	})
 }
 
@@ -163,6 +174,8 @@ type MasterHijack struct {
 	Conn   *link.Conn
 	Client *gatt.Client
 	Report Report
+	// mux keeps the L2CAP reassembly state reachable for snapshots.
+	mux *l2cap.Mux
 }
 
 // HijackMaster injects a forged CONNECTION_UPDATE and takes the master
@@ -228,8 +241,9 @@ func (a *Attacker) takeoverAtInstant(forged pdu.ConnectionUpdateInd, r Report, d
 			done(nil, err)
 			return
 		}
-		client := wireClient(conn)
-		done(&MasterHijack{Conn: conn, Client: client, Report: r}, nil)
+		client, mux := wireClient(conn)
+		a.MasterHijack = &MasterHijack{Conn: conn, Client: client, Report: r, mux: mux}
+		done(a.MasterHijack, nil)
 	}
 	if st.EventCount == forged.Instant {
 		proceed()
@@ -248,21 +262,22 @@ func (a *Attacker) takeoverAtInstant(forged pdu.ConnectionUpdateInd, r Report, d
 }
 
 // wireServer attaches a GATT server to an adopted slave connection.
-func wireServer(conn *link.Conn, server *gatt.Server) {
+func wireServer(conn *link.Conn, server *gatt.Server) *l2cap.Mux {
 	mux := l2cap.NewMux(connSender{conn})
 	server.ATT().SetSend(func(b []byte) { mux.Send(l2cap.CIDATT, b) })
 	mux.Handle(l2cap.CIDATT, server.HandlePDU)
 	conn.OnData = func(p pdu.DataPDU) { mux.HandlePDU(p) }
 	server.ATT().Encrypted = conn.Encrypted
+	return mux
 }
 
 // wireClient attaches a GATT client to an adopted master connection.
-func wireClient(conn *link.Conn) *gatt.Client {
+func wireClient(conn *link.Conn) (*gatt.Client, *l2cap.Mux) {
 	mux := l2cap.NewMux(connSender{conn})
 	client := gatt.NewClient(att.NewClient(func(b []byte) { mux.Send(l2cap.CIDATT, b) }))
 	mux.Handle(l2cap.CIDATT, client.HandlePDU)
 	conn.OnData = func(p pdu.DataPDU) { mux.HandlePDU(p) }
-	return client
+	return client, mux
 }
 
 // connSender adapts link.Conn to l2cap.Transport.

@@ -1,0 +1,86 @@
+package obs
+
+// Absorb folds another registry's instruments into this one: counters
+// add, gauges adopt the source value when the source was ever set, and
+// histograms merge raw buckets, counts, sums and extrema. Instruments
+// missing here are created (histograms with the source's bounds).
+// Fork-based trial execution runs each trial against a private hub and
+// absorbs it into the runner-issued sink at trial end, so the sink's
+// snapshot is indistinguishable from having run the trial there
+// directly. Absorbing a nil source or into a nil registry is a no-op.
+func (r *Registry) Absorb(src *Registry) {
+	if r == nil || src == nil {
+		return
+	}
+	src.mu.Lock()
+	counters := make(map[string]int64, len(src.counters))
+	for name, c := range src.counters {
+		counters[name] = c.Value()
+	}
+	type gaugeVal struct {
+		v   float64
+		set bool
+	}
+	gauges := make(map[string]gaugeVal, len(src.gauges))
+	for name, g := range src.gauges {
+		gauges[name] = gaugeVal{v: g.Value(), set: g.set.Load()}
+	}
+	hists := make(map[string]HistogramSnapshot, len(src.hists))
+	for name, h := range src.hists {
+		hists[name] = h.snapshot(name)
+	}
+	src.mu.Unlock()
+
+	for name, v := range counters {
+		r.Counter(name).Add(v)
+	}
+	for name, g := range gauges {
+		if g.set {
+			r.Gauge(name).Set(g.v)
+		}
+	}
+	for name, s := range hists {
+		h := r.Histogram(name, s.Bounds)
+		if h == nil || len(h.buckets) != len(s.Counts) {
+			continue
+		}
+		for i, n := range s.Counts {
+			h.buckets[i].Add(n)
+		}
+		h.count.Add(s.Count)
+		h.sum.add(s.Sum)
+		if s.Count > 0 {
+			h.min.storeMin(s.Min)
+			h.max.storeMax(s.Max)
+		}
+	}
+}
+
+// Absorb appends the source ledger's completed records (and carries over
+// its latest per-device windows, keeping window correlation seamless for
+// attempts recorded after the absorb). A dangling open attempt in the
+// source is dropped — close it with Abort first.
+func (l *Ledger) Absorb(src *Ledger) {
+	if l == nil || src == nil {
+		return
+	}
+	l.records = append(l.records, src.records...)
+	for _, w := range src.windows {
+		l.LinkWindowOpen(w.Device, w.Event, w.Channel, w.OpenAt, w.Width)
+	}
+}
+
+// Absorb folds the source hub's registry, ledger and span log into this
+// hub. Nil hubs on either side are no-ops.
+func (h *Hub) Absorb(src *Hub) {
+	if h == nil || src == nil {
+		return
+	}
+	h.Reg().Absorb(src.Reg())
+	h.Led().Absorb(src.Led())
+	if h.SpanLog != nil && src.SpanLog != nil {
+		for _, s := range src.SpanLog.Snapshot() {
+			h.SpanLog.Add(s)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+
+	"injectable/internal/sim"
+)
+
+func TestRegistryAbsorbMatchesDirectRecording(t *testing.T) {
+	record := func(r *Registry) {
+		r.Counter("hits").Add(3)
+		r.Counter("misses").Inc()
+		r.Gauge("jitter").Set(2.5)
+		h := r.Histogram("lat", LinearBuckets(1, 1, 4))
+		h.Observe(0.5)
+		h.Observe(2.2)
+		h.Observe(99)
+	}
+
+	direct := NewRegistry()
+	record(direct)
+	record(direct)
+
+	sink := NewRegistry()
+	for i := 0; i < 2; i++ {
+		private := NewRegistry()
+		record(private)
+		sink.Absorb(private)
+	}
+
+	if !reflect.DeepEqual(sink.Snapshot(), direct.Snapshot()) {
+		t.Fatalf("absorbed snapshot differs:\n%+v\nwant\n%+v", sink.Snapshot(), direct.Snapshot())
+	}
+}
+
+func TestRegistryAbsorbGaugeUnsetDoesNotClobber(t *testing.T) {
+	sink := NewRegistry()
+	sink.Gauge("g").Set(7)
+	src := NewRegistry()
+	src.Gauge("g") // registered but never set
+	sink.Absorb(src)
+	if v := sink.Gauge("g").Value(); v != 7 {
+		t.Fatalf("gauge clobbered by unset source: %v", v)
+	}
+	src.Gauge("g").Set(9)
+	sink.Absorb(src)
+	if v := sink.Gauge("g").Value(); v != 9 {
+		t.Fatalf("gauge not adopted from set source: %v", v)
+	}
+}
+
+func TestRegistryAbsorbHistogramQuantiles(t *testing.T) {
+	sink := NewRegistry()
+	a := NewRegistry()
+	for _, v := range []float64{1, 2, 3} {
+		a.Histogram("h", LinearBuckets(0, 1, 10)).Observe(v)
+	}
+	b := NewRegistry()
+	for _, v := range []float64{7, 8} {
+		b.Histogram("h", LinearBuckets(0, 1, 10)).Observe(v)
+	}
+	sink.Absorb(a)
+	sink.Absorb(b)
+	h := sink.Histogram("h", LinearBuckets(0, 1, 10))
+	if h.Count() != 5 {
+		t.Fatalf("count=%d, want 5", h.Count())
+	}
+	if min, max := h.min.load(), h.max.load(); min != 1 || max != 8 {
+		t.Fatalf("min=%v max=%v, want 1 8", min, max)
+	}
+}
+
+func TestLedgerAbsorbAppendsRecordsAndWindows(t *testing.T) {
+	src := NewLedger()
+	src.LinkWindowOpen("slave", 10, 3, 1000, 50)
+	src.BeginAttempt(AttemptStart{Attempt: 1, Event: 10, Channel: 3, TxStart: 1010, TxEnd: 1020})
+	src.EndAttempt(AttemptEnd{Outcome: "success"})
+
+	sink := NewLedger()
+	sink.Absorb(src)
+	if n := len(sink.Records()); n != 1 {
+		t.Fatalf("records=%d, want 1", n)
+	}
+	// Windows carried over: a later attempt on the sink still correlates.
+	sink.BeginAttempt(AttemptStart{Attempt: 2, Event: 10, Channel: 3, TxStart: 2010, TxEnd: 2020})
+	rec := sink.EndAttempt(AttemptEnd{Outcome: "no-response"})
+	if !rec.WindowSeen || rec.WindowDevice != "slave" {
+		t.Fatalf("window not carried over: %+v", rec)
+	}
+}
+
+func TestHubAbsorbNilSafe(t *testing.T) {
+	var nilHub *Hub
+	nilHub.Absorb(NewHub()) // must not panic
+	h := NewHub()
+	h.Absorb(nil)
+	src := NewHub()
+	src.Registry.Counter("c").Inc()
+	src.SpanLog.Add(Mark("t", "mark"))
+	src.Ledger.BeginAttempt(AttemptStart{Attempt: 1})
+	src.Ledger.EndAttempt(AttemptEnd{Outcome: "success"})
+	h.Absorb(src)
+	if h.Registry.Counter("c").Value() != 1 {
+		t.Fatal("counter not absorbed")
+	}
+	if len(h.Ledger.Records()) != 1 {
+		t.Fatal("ledger not absorbed")
+	}
+	if len(h.SpanLog.Snapshot()) != 1 {
+		t.Fatal("spans not absorbed")
+	}
+	_ = sim.Time(0) // keep the sim import anchored to the ledger's time base
+}

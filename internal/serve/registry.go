@@ -81,11 +81,11 @@ func (r *Registry) Validate(spec JobSpec) (JobSpec, error) {
 		}
 	}
 	norm := spec.Normalize()
-	if norm.PointStart != 0 || norm.PointCount != 0 {
-		// A point range can only be checked against the experiment's real
-		// point list; building the spec is cheap (closure construction, no
-		// simulation) and rejects a bad range at admission instead of
-		// surfacing it as a failed job.
+	if norm.PointStart != 0 || norm.PointCount != 0 || norm.Warmup != "" {
+		// A point range or warmup mode can only be checked against the
+		// experiment itself (scenarios take no warmup); building the spec
+		// is cheap (closure construction, no simulation) and rejects a bad
+		// combination at admission instead of surfacing it as a failed job.
 		if _, err := e.Build(norm); err != nil {
 			return JobSpec{}, err
 		}
@@ -141,5 +141,6 @@ func specOptions(spec JobSpec) experiments.Options {
 		SeedBase:       spec.SeedBase,
 		PointStart:     spec.PointStart,
 		PointCount:     spec.PointCount,
+		Warmup:         spec.Warmup,
 	}
 }

@@ -31,6 +31,8 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+
+	"injectable/internal/experiments"
 )
 
 // Limits bound what a single job may ask for; they are admission policy,
@@ -75,6 +77,14 @@ type JobSpec struct {
 	// so unlike priority/timeout it participates in the dedup key.
 	PointStart int `json:"point_start,omitempty"`
 	PointCount int `json:"point_count,omitempty"`
+	// Warmup selects the sweep's trial execution strategy: "" (each trial
+	// builds its own world, the historical default), "shared" (trials fork
+	// a per-point warm snapshot) or "shared-fresh" (the fork path's
+	// differential reference). "shared" and "shared-fresh" produce
+	// byte-identical streams to each other but draw warm-phase randomness
+	// from a different stream than "", so the mode participates in the
+	// dedup key. Scenario jobs reject a warmup.
+	Warmup string `json:"warmup,omitempty"`
 }
 
 // DecodeJobSpec parses a job spec strictly: unknown fields, trailing
@@ -119,6 +129,10 @@ func (s JobSpec) check() error {
 	}
 	if s.PointCount < 0 || s.PointCount > maxPoints {
 		return fmt.Errorf("serve: point_count %d out of range [0,%d]", s.PointCount, maxPoints)
+	}
+	if !experiments.ValidWarmup(s.Warmup) {
+		return fmt.Errorf("serve: unknown warmup %q (want %q or %q)",
+			s.Warmup, experiments.WarmupShared, experiments.WarmupSharedFresh)
 	}
 	return nil
 }
@@ -165,6 +179,12 @@ func (s JobSpec) Key() string {
 		buf = strconv.AppendInt(buf, int64(n.PointStart), 10)
 		buf = append(buf, 0)
 		buf = strconv.AppendInt(buf, int64(n.PointCount), 10)
+	}
+	// Like the point range, the warmup mode extends the preimage only when
+	// set, so pre-existing keys are unchanged.
+	if n.Warmup != "" {
+		buf = append(buf, "\x00warmup\x00"...)
+		buf = append(buf, n.Warmup...)
 	}
 	sum := sha256.Sum256(buf)
 	var hx [64]byte

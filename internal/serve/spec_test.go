@@ -179,3 +179,62 @@ func TestPointRangeSlicesStream(t *testing.T) {
 		t.Fatalf("concatenated shard payloads differ from the full run:\nfull:\n%s\nsharded:\n%s", full, sharded)
 	}
 }
+
+func TestWarmupKeyAndValidate(t *testing.T) {
+	if _, err := DecodeJobSpec([]byte(`{"experiment":"exp1","warmup":"bogus"}`)); err == nil {
+		t.Error("unknown warmup decoded without error")
+	}
+	spec, err := DecodeJobSpec([]byte(`{"experiment":"exp1","warmup":"shared"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Warmup != "shared" {
+		t.Fatalf("decoded warmup %q", spec.Warmup)
+	}
+
+	full := JobSpec{Experiment: "exp1", Trials: 2}
+	forked := full
+	forked.Warmup = "shared"
+	if forked.Key() == full.Key() {
+		t.Error("warmup mode did not change the dedup key")
+	}
+	ref := full
+	ref.Warmup = "shared-fresh"
+	if ref.Key() == forked.Key() {
+		t.Error("shared and shared-fresh share a dedup key")
+	}
+
+	r := DefaultRegistry()
+	if _, err := r.Validate(forked); err != nil {
+		t.Errorf("sweep with warmup rejected: %v", err)
+	}
+	scenario := JobSpec{Experiment: "scenarioA", Target: "lightbulb", Warmup: "shared"}
+	if _, err := r.Validate(scenario); err == nil {
+		t.Error("scenario job with a warmup validated")
+	}
+}
+
+// TestWarmupStreamsMatch is the serving layer's differential determinism
+// check: the same sweep job served in fork mode and in its fresh-world
+// reference mode must stream byte-identical bodies.
+func TestWarmupStreamsMatch(t *testing.T) {
+	r := DefaultRegistry()
+	render := func(spec JobSpec) []byte {
+		t.Helper()
+		cspec, err := r.Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		runner := campaign.Runner{Workers: 3, Sinks: []campaign.Sink{campaign.NewNDJSON(&buf)}}
+		if _, err := runner.Run(cspec); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	forked := render(JobSpec{Experiment: "exp1", Trials: 2, Warmup: "shared"})
+	fresh := render(JobSpec{Experiment: "exp1", Trials: 2, Warmup: "shared-fresh"})
+	if !bytes.Equal(forked, fresh) {
+		t.Fatalf("fork and fresh-reference streams differ:\nforked:\n%s\nfresh:\n%s", forked, fresh)
+	}
+}

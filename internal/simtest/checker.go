@@ -66,6 +66,12 @@ type Checker struct {
 	windows     int
 
 	txLog map[txKey]int
+
+	// watches keeps every per-connection watcher reachable from the
+	// checker. The watchers' window/event hooks are closures, which world
+	// snapshots cannot see through — this slice is what lets a snapshot
+	// capture (and a fork roll back) their cursor state.
+	watches []*connWatch
 }
 
 type txKey struct {
@@ -201,6 +207,7 @@ func (ck *Checker) WatchConn(name string, c *link.Conn) {
 		return
 	}
 	w := &connWatch{ck: ck, name: name, conn: c}
+	ck.watches = append(ck.watches, w)
 	prevWindow, prevEvent := c.OnWindow, c.OnEvent
 	c.OnWindow = func(info link.WindowInfo) {
 		w.onWindow(info)

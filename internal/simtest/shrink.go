@@ -17,11 +17,17 @@ type ShrinkResult struct {
 	Minimal Params
 	// Runs counts world executions spent shrinking (including the first).
 	Runs int
+	// Fork marks a shrink under the fork-equivalence runner; the repro
+	// command carries the -fork flag.
+	Fork bool
 }
 
 // ReproCommand renders the one-line reproduction for the minimal world.
 func (s ShrinkResult) ReproCommand() string {
 	parts := []string{fmt.Sprintf("go run ./cmd/simtest -seed %d -base", s.Seed)}
+	if s.Fork {
+		parts = append(parts, "-fork")
+	}
 	for _, d := range s.Minimal.Diff() {
 		parts = append(parts, "-p "+d)
 	}
@@ -37,11 +43,23 @@ func (s ShrinkResult) ReproCommand() string {
 // If the initial world does not fail, the result's Final is that passing
 // run and Minimal equals the input — callers check Final.Failed().
 func Shrink(seed uint64, p Params) (ShrinkResult, error) {
-	initial, err := RunWorld(seed, p)
+	return shrinkWith(RunWorld, seed, p, false)
+}
+
+// ShrinkFork is Shrink under the fork-equivalence runner: the failure
+// being minimised is "this world's fork replay diverges (or breaks an
+// invariant)", and the repro command carries -fork.
+func ShrinkFork(seed uint64, p Params) (ShrinkResult, error) {
+	return shrinkWith(RunWorldFork, seed, p, true)
+}
+
+// shrinkWith is the shrink loop over an arbitrary world runner.
+func shrinkWith(run func(uint64, Params) (Result, error), seed uint64, p Params, fork bool) (ShrinkResult, error) {
+	initial, err := run(seed, p)
 	if err != nil {
 		return ShrinkResult{}, err
 	}
-	out := ShrinkResult{Seed: seed, Initial: initial, Final: initial, Minimal: p, Runs: 1}
+	out := ShrinkResult{Seed: seed, Initial: initial, Final: initial, Minimal: p, Runs: 1, Fork: fork}
 	if !initial.Failed() {
 		return out, nil
 	}
@@ -58,7 +76,7 @@ func Shrink(seed uint64, p Params) (ShrinkResult, error) {
 			if err := f.set(&cand, f.get(&def)); err != nil {
 				continue
 			}
-			r, err := RunWorld(seed, cand)
+			r, err := run(seed, cand)
 			out.Runs++
 			if err != nil {
 				continue // reset produced an unrealisable vector; keep the field

@@ -15,6 +15,11 @@ type SwarmConfig struct {
 	// Parallel bounds worker concurrency (0 = GOMAXPROCS). Results are
 	// identical for every value — the campaign pool collates by ordinal.
 	Parallel int
+	// Fork, when set, runs every world through the fork-equivalence check
+	// (RunWorldFork): each world is snapshotted at a seed-derived mid-run
+	// instant, run to its horizon, rolled back and replayed, and any
+	// timeline divergence is reported as a "fork-divergence" violation.
+	Fork bool
 	// Mutate, when set, adjusts each generated parameter vector before the
 	// world runs (used for fault injection and targeted swarms).
 	Mutate func(*Params)
@@ -46,6 +51,10 @@ func Swarm(cfg SwarmConfig) (SwarmSummary, error) {
 		return SwarmSummary{}, fmt.Errorf("simtest: swarm needs at least one world")
 	}
 	sum := SwarmSummary{Worlds: cfg.Worlds, ByScenario: make(map[string]int)}
+	runWorld := RunWorld
+	if cfg.Fork {
+		runWorld = RunWorldFork
+	}
 	spec := &campaign.Spec{
 		Name:     "simtest-swarm",
 		SeedBase: cfg.SeedBase,
@@ -58,7 +67,7 @@ func Swarm(cfg SwarmConfig) (SwarmSummary, error) {
 				if cfg.Mutate != nil {
 					cfg.Mutate(&p)
 				}
-				return RunWorld(t.Seed, p)
+				return runWorld(t.Seed, p)
 			},
 		}},
 	}

@@ -80,14 +80,52 @@ func (r Result) Fingerprint() string {
 	return b.String()
 }
 
+// liveWorld is one built world with every piece of mutable run state in
+// struct fields. The snapshot engine reaches state through fields, slices
+// and maps — not through closure variables — so anything a callback
+// mutates (the result record the attack completion callbacks write, the
+// jammer's channel cursor) must hang off this struct, which is registered
+// as a snapshot root. That is what lets ForkCheck roll a half-run world
+// back and replay it.
+type liveWorld struct {
+	res Result
+
+	w        *host.World
+	ck       *Checker
+	hub      *obs.Hub
+	target   *host.Peripheral
+	bulb     *devices.Lightbulb
+	fob      *devices.Keyfob
+	watch    *devices.Smartwatch
+	phone    *devices.Smartphone
+	attacker *injectable.Attacker
+	monitor  *ids.Monitor
+	jam      *jammer
+}
+
 // RunWorld builds and runs one world under the invariant engine. The error
 // return is construction-level only (invalid parameters); invariant
 // breaches and failed connections are reported in the Result.
 func RunWorld(seed uint64, p Params) (Result, error) {
-	if err := p.validate(); err != nil {
+	lw, err := buildWorld(seed, p)
+	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Seed: seed, Params: p}
+	lw.start(p)
+	if err := lw.attack(p); err != nil {
+		return lw.res, err
+	}
+	lw.w.RunFor(sim.Duration(p.RunSeconds) * sim.Second)
+	return lw.collect(), nil
+}
+
+// buildWorld constructs the world, devices and observers for p without
+// running any simulated time.
+func buildWorld(seed uint64, p Params) (*liveWorld, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	lw := &liveWorld{res: Result{Seed: seed, Params: p}}
 
 	// The checker must exist before the world (it is the world's tracer),
 	// but needs the world's clock; close over the late-bound pointer.
@@ -97,6 +135,7 @@ func RunWorld(seed uint64, p Params) (Result, error) {
 	w = host.NewWorld(host.WorldConfig{Seed: seed, Tracer: ck, Obs: hub})
 	w.Medium.AddObserver(ck)
 	w.Medium.SetDeliverObserver(ck.OnDeliver)
+	lw.w, lw.ck, lw.hub = w, ck, hub
 
 	// Victim peripheral at the origin. BreakWidening is the fault-injection
 	// backdoor: the device's widening scale is changed behind the checker's
@@ -116,24 +155,18 @@ func RunWorld(seed uint64, p Params) (Result, error) {
 		ClockJitter:   usDuration(p.TargetJitterUS),
 		WideningScale: deviceScale,
 	})
-	var (
-		target *host.Peripheral
-		bulb   *devices.Lightbulb
-		fob    *devices.Keyfob
-		watch  *devices.Smartwatch
-	)
 	switch p.Target {
 	case "lightbulb":
-		bulb = devices.NewLightbulb(targetDev)
-		target = bulb.Peripheral
+		lw.bulb = devices.NewLightbulb(targetDev)
+		lw.target = lw.bulb.Peripheral
 	case "keyfob":
-		fob = devices.NewKeyfob(targetDev)
-		target = fob.Peripheral
+		lw.fob = devices.NewKeyfob(targetDev)
+		lw.target = lw.fob.Peripheral
 	case "smartwatch":
-		watch = devices.NewSmartwatch(targetDev)
-		target = watch.Peripheral
+		lw.watch = devices.NewSmartwatch(targetDev)
+		lw.target = lw.watch.Peripheral
 	}
-	target.OnConnect = func(conn *link.Conn) { ck.WatchConn(p.Target, conn) }
+	lw.target.OnConnect = func(conn *link.Conn) { ck.WatchConn(p.Target, conn) }
 
 	// Phone central opposite the attacker.
 	chMap := ble.AllChannels
@@ -144,7 +177,7 @@ func RunWorld(seed uint64, p Params) (Result, error) {
 	if p.ActivityMS > 0 {
 		activity = sim.Duration(p.ActivityMS) * sim.Millisecond
 	}
-	phone := devices.NewSmartphone(w.NewDevice(host.DeviceConfig{
+	lw.phone = devices.NewSmartphone(w.NewDevice(host.DeviceConfig{
 		Name:        "phone",
 		Position:    phy.Position{X: p.PhoneDist},
 		ClockPPM:    p.PhonePPM,
@@ -160,22 +193,20 @@ func RunWorld(seed uint64, p Params) (Result, error) {
 		ActivityInterval: activity,
 	})
 
-	var attacker *injectable.Attacker
 	if p.Scenario != "none" {
 		atk := w.NewDevice(host.DeviceConfig{
 			Name: "attacker", Position: phy.Position{X: -p.AttackerDist},
 			ClockPPM: 20, ClockJitter: 500 * sim.Nanosecond,
 		})
-		attacker = injectable.NewAttacker(atk.Stack, injectable.InjectorConfig{})
-		attacker.Injector.OnAttempt = func(a injectable.Attempt) {
+		lw.attacker = injectable.NewAttacker(atk.Stack, injectable.InjectorConfig{})
+		lw.attacker.Injector.OnAttempt = func(a injectable.Attempt) {
 			ck.CheckAttemptOutcome(string(a.Outcome))
 		}
 	}
 
-	var monitor *ids.Monitor
 	if p.IDS {
-		monitor = ids.New(ids.Config{})
-		w.Medium.AddObserver(monitor)
+		lw.monitor = ids.New(ids.Config{})
+		w.Medium.AddObserver(lw.monitor)
 	}
 
 	if p.Bystander {
@@ -187,67 +218,82 @@ func RunWorld(seed uint64, p Params) (Result, error) {
 		by.Peripheral.StartAdvertising()
 	}
 	if p.Jammer {
-		startJammer(w)
+		lw.jam = startJammer(w)
 	}
+	w.AddSnapshotRoot(lw)
+	return lw, nil
+}
 
-	// Bring the connection up.
-	if attacker != nil {
-		attacker.Sniffer.Start()
+// start brings the connection up: 3 s of simulated time covering
+// advertising, CONNECT_REQ and sniffer synchronisation.
+func (lw *liveWorld) start(p Params) {
+	if lw.attacker != nil {
+		lw.attacker.Sniffer.Start()
 	}
-	target.StartAdvertising()
-	phone.Connect(target.Device.Address())
-	w.RunFor(3 * sim.Second)
-	res.Connected = phone.Central.Connected()
+	lw.target.StartAdvertising()
+	lw.phone.Connect(lw.target.Device.Address())
+	lw.w.RunFor(3 * sim.Second)
+	lw.res.Connected = lw.phone.Central.Connected()
+	if lw.attacker != nil {
+		lw.res.SnifferSynced = lw.attacker.Sniffer.Following()
+	}
+}
 
-	// Attack phase.
-	if attacker != nil {
-		res.SnifferSynced = attacker.Sniffer.Following()
+// attack launches the scenario's attacker activity (if the connection and
+// sniffer are up). Completion callbacks write into lw.res — snapshot-visible
+// fields, so a forked world re-reports completion on replay.
+func (lw *liveWorld) attack(p Params) error {
+	if !lw.res.Connected || lw.attacker == nil || !lw.res.SnifferSynced {
+		return nil
 	}
-	if res.Connected && attacker != nil && res.SnifferSynced {
-		switch p.Scenario {
-		case "inject":
-			handle, value := featureWrite(p.Target, bulb, fob, watch)
-			err := attacker.InjectWrite(handle, value, func(r injectable.Report) {
-				res.AttackDone = true
-				res.AttackSuccess = r.Success
+	switch p.Scenario {
+	case "inject":
+		handle, value := featureWrite(p.Target, lw.bulb, lw.fob, lw.watch)
+		err := lw.attacker.InjectWrite(handle, value, func(r injectable.Report) {
+			lw.res.AttackDone = true
+			lw.res.AttackSuccess = r.Success
+		})
+		if err != nil {
+			return fmt.Errorf("simtest: inject: %w", err)
+		}
+	case "hijack-slave":
+		err := lw.attacker.HijackSlave(simtestServer(), func(h *injectable.SlaveHijack, e error) {
+			lw.res.AttackDone = true
+			lw.res.AttackSuccess = e == nil && h != nil
+		})
+		if err != nil {
+			return fmt.Errorf("simtest: hijack-slave: %w", err)
+		}
+	case "hijack-master":
+		err := lw.attacker.HijackMaster(injectable.UpdateParams{},
+			func(h *injectable.MasterHijack, e error) {
+				lw.res.AttackDone = true
+				lw.res.AttackSuccess = e == nil && h != nil
 			})
-			if err != nil {
-				return res, fmt.Errorf("simtest: inject: %w", err)
-			}
-		case "hijack-slave":
-			err := attacker.HijackSlave(simtestServer(), func(h *injectable.SlaveHijack, e error) {
-				res.AttackDone = true
-				res.AttackSuccess = e == nil && h != nil
-			})
-			if err != nil {
-				return res, fmt.Errorf("simtest: hijack-slave: %w", err)
-			}
-		case "hijack-master":
-			err := attacker.HijackMaster(injectable.UpdateParams{},
-				func(h *injectable.MasterHijack, e error) {
-					res.AttackDone = true
-					res.AttackSuccess = e == nil && h != nil
-				})
-			if err != nil {
-				return res, fmt.Errorf("simtest: hijack-master: %w", err)
-			}
+		if err != nil {
+			return fmt.Errorf("simtest: hijack-master: %w", err)
 		}
 	}
-	w.RunFor(sim.Duration(p.RunSeconds) * sim.Second)
+	return nil
+}
 
-	ck.Finish(hub.Ledger)
-	res.Windows = ck.Windows()
-	res.InjectTx = ck.InjectTxCount()
-	res.Records = len(hub.Ledger.Records())
-	if monitor != nil {
-		res.IDSAlerts = make(map[ids.AlertKind]int)
-		for _, a := range monitor.Alerts() {
-			res.IDSAlerts[a.Kind]++
+// collect reconciles the ledger and freezes the result. Everything it
+// writes lives in snapshot-visible state (lw.res, the checker), so a fork
+// taken before collect replays through an identical collect.
+func (lw *liveWorld) collect() Result {
+	lw.ck.Finish(lw.hub.Ledger)
+	lw.res.Windows = lw.ck.Windows()
+	lw.res.InjectTx = lw.ck.InjectTxCount()
+	lw.res.Records = len(lw.hub.Ledger.Records())
+	if lw.monitor != nil {
+		lw.res.IDSAlerts = make(map[ids.AlertKind]int)
+		for _, a := range lw.monitor.Alerts() {
+			lw.res.IDSAlerts[a.Kind]++
 		}
 	}
-	res.Violations = ck.Violations()
-	res.Truncated = ck.Truncated()
-	return res, nil
+	lw.res.Violations = lw.ck.Violations()
+	lw.res.Truncated = lw.ck.Truncated()
+	return lw.res
 }
 
 // usDuration converts fractional microseconds to a sim.Duration.
@@ -279,23 +325,39 @@ func simtestServer() *gatt.Server {
 	return srv
 }
 
-// startJammer schedules periodic wideband noise bursts cycling across the
-// data channels: 2 ms of noise every 30 ms from a dedicated raw radio.
-func startJammer(w *host.World) {
-	radio := w.Medium.NewRadio(medium.RadioConfig{
-		Name: "jammer", Position: phy.Position{Y: -4},
-	})
-	const (
-		burst  = 2 * sim.Millisecond
-		period = 30 * sim.Millisecond
-	)
-	ch := phy.Channel(0)
-	var fire func()
-	fire = func() {
-		radio.SetChannel(ch)
-		radio.TransmitNoise(burst)
-		ch = phy.Channel((int(ch) + 7) % 37)
-		w.Sched.After(period, "jammer:burst", fire)
+// jammer emits periodic wideband noise bursts cycling across the data
+// channels: 2 ms of noise every 30 ms from a dedicated raw radio. Its
+// channel cursor is a struct field rather than a closure variable so that
+// world snapshots capture it: each scheduled burst is the method value
+// j.fire, whose only captured state is j itself (a snapshot root via
+// liveWorld).
+type jammer struct {
+	w     *host.World
+	radio *medium.Radio
+	ch    phy.Channel
+}
+
+const (
+	jammerBurst  = 2 * sim.Millisecond
+	jammerPeriod = 30 * sim.Millisecond
+)
+
+// startJammer builds the jammer and schedules its first burst.
+func startJammer(w *host.World) *jammer {
+	j := &jammer{
+		w: w,
+		radio: w.Medium.NewRadio(medium.RadioConfig{
+			Name: "jammer", Position: phy.Position{Y: -4},
+		}),
 	}
-	w.Sched.After(period, "jammer:burst", fire)
+	w.Sched.After(jammerPeriod, "jammer:burst", j.fire)
+	return j
+}
+
+// fire transmits one burst, advances the channel cursor and reschedules.
+func (j *jammer) fire() {
+	j.radio.SetChannel(j.ch)
+	j.radio.TransmitNoise(jammerBurst)
+	j.ch = phy.Channel((int(j.ch) + 7) % 37)
+	j.w.Sched.After(jammerPeriod, "jammer:burst", j.fire)
 }
