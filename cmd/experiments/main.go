@@ -18,6 +18,7 @@
 //	experiments -run exp1 -metrics exp1-metrics.jsonl  # aggregated per-point metrics
 //	experiments -run exp1 -v             # campaign summary (workers, utilization)
 //	experiments -run exp1 -pprof localhost:6060  # live pprof during the run
+//	experiments -spec world.json         # run a declarative scenario (internal/scenario)
 package main
 
 import (
@@ -30,6 +31,7 @@ import (
 	"injectable/internal/experiments"
 	"injectable/internal/ids"
 	"injectable/internal/obs"
+	"injectable/internal/scenario"
 )
 
 func main() {
@@ -58,6 +60,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	metricsPath := fs.String("metrics", "", "write aggregated per-point metric snapshots as JSON lines to this file")
 	verbose := fs.Bool("v", false, "print the campaign run summary (workers, trials, utilization) to stderr")
 	warmup := fs.String("warmup", "", `sweep trial strategy: "" (per-trial worlds), "shared" (fork a warm snapshot per point) or "shared-fresh" (fork reference)`)
+	specPath := fs.String("spec", "", "run a declarative scenario spec file (JSON) instead of a catalog -run name")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address during the run")
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -118,6 +121,26 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		if !*quiet {
 			fmt.Fprintln(stderr)
 		}
+	}
+	if *specPath != "" {
+		raw, err := os.ReadFile(*specPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
+		}
+		sp, err := scenario.DecodeSpec(raw)
+		if err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 2
+		}
+		exp, err := scenario.Execute(sp, opts)
+		newline()
+		if err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, exp.Table().Render())
+		return 0
 	}
 	tableErr := func(f func() (*experiments.Table, error)) func() error {
 		return func() error {

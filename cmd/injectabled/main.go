@@ -7,8 +7,8 @@
 //
 //	injectabled serve       [-addr host:port] [-queue-cap n] [-job-workers n] ...
 //	injectabled worker      (alias for serve: one node of a campaign fabric)
-//	injectabled submit      [-addr url] -experiment name [-target t] [-trials n] [-format f] ...
-//	injectabled coordinator -workers url,url,... -experiment name [-shards n] [-journal file] [-format f] ...
+//	injectabled submit      [-addr url] -experiment name | -spec file.json [-trials n] [-format f] ...
+//	injectabled coordinator -workers url,url,... -experiment name | -spec file.json [-shards n] [-journal file] [-format f] ...
 //	injectabled transcode   [-i file] [-o file] [-to ndjson|binary]
 //	injectabled loadgen     [-addr url | -self] [-clients n] [-jobs n] ...
 //
@@ -81,8 +81,8 @@ func usage(w io.Writer) {
 	fmt.Fprint(w, `usage:
   injectabled serve       [-addr host:port] [-queue-cap n] [-job-workers n] [-trial-workers n] [-cache-entries n] [-drain-timeout d] [-log-level l] [-pprof addr]
   injectabled worker      (alias for serve)
-  injectabled submit      [-addr url] -experiment name [-target t] [-trials n] [-seed-base n] [-priority n] [-timeout-ms n] [-format ndjson|binary] [-o file]
-  injectabled coordinator -workers url,url,... -experiment name [-shards n] [-journal file] [-max-attempts n] [-format ndjson|binary] [-o file]
+  injectabled submit      [-addr url] -experiment name | -spec file.json [-target t] [-trials n] [-seed-base n] [-priority n] [-timeout-ms n] [-format ndjson|binary] [-o file]
+  injectabled coordinator -workers url,url,... -experiment name | -spec file.json [-shards n] [-journal file] [-max-attempts n] [-format ndjson|binary] [-o file]
                           [-status addr] [-linger d] [-trace file] [-scrape-interval d] [-log-level l] [-pprof addr]
   injectabled transcode   [-i file] [-o file] [-to ndjson|binary]   (losslessly convert a result stream; direction auto-detected)
   injectabled loadgen     [-addr url | -self] [-clients n] [-jobs n] [-experiment name] [-target t] [-trials n] [-variants n]
@@ -203,17 +203,22 @@ func runServe(argv []string, stdout, stderr io.Writer, ready chan<- string) int 
 	return code
 }
 
-// specFlags registers the job-spec flags shared by submit and loadgen.
-func specFlags(fs *flag.FlagSet) func() serve.JobSpec {
+// specFlags registers the job-spec flags shared by submit, coordinator
+// and loadgen. -spec embeds a declarative scenario file
+// (internal/scenario) in place of a catalog experiment name; the file is
+// validated and canonicalized client-side, so the job's dedup key is the
+// one every daemon would compute.
+func specFlags(fs *flag.FlagSet) func() (serve.JobSpec, error) {
 	experiment := fs.String("experiment", "", "experiment or scenario name (see GET /v1/experiments)")
 	target := fs.String("target", "", "scenario target device")
+	specFile := fs.String("spec", "", "declarative scenario spec file (JSON); replaces -experiment/-target")
 	trials := fs.Int("trials", 0, "trials per point (0 = the paper's 25)")
 	seedBase := fs.Uint64("seed-base", 0, "base seed (0 = 1000)")
 	priority := fs.Int("priority", 0, "admission priority 0-9 (higher runs first)")
 	timeoutMS := fs.Int64("timeout-ms", 0, "job deadline in ms (0 = server default)")
 	warmup := fs.String("warmup", "", `sweep trial strategy: "" (per-trial worlds), "shared" (fork a warm snapshot) or "shared-fresh" (fork reference)`)
-	return func() serve.JobSpec {
-		return serve.JobSpec{
+	return func() (serve.JobSpec, error) {
+		spec := serve.JobSpec{
 			Experiment: *experiment,
 			Target:     *target,
 			Trials:     *trials,
@@ -222,6 +227,17 @@ func specFlags(fs *flag.FlagSet) func() serve.JobSpec {
 			TimeoutMS:  *timeoutMS,
 			Warmup:     *warmup,
 		}
+		if *specFile == "" {
+			return spec, nil
+		}
+		if *experiment != "" || *target != "" {
+			return serve.JobSpec{}, errors.New("-spec replaces -experiment/-target; drop them")
+		}
+		raw, err := os.ReadFile(*specFile)
+		if err != nil {
+			return serve.JobSpec{}, err
+		}
+		return serve.ScenarioJobSpec(raw, spec)
 	}
 }
 
@@ -236,14 +252,18 @@ func runSubmit(argv []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	job, err := spec()
+	if err != nil {
+		fmt.Fprintln(stderr, "injectabled:", err)
+		return 2
+	}
 	client := &serve.Client{Base: *addr}
 	var res *serve.RunResult
-	var err error
 	switch *format {
 	case serve.FormatNDJSON:
-		res, err = client.Run(context.Background(), spec())
+		res, err = client.Run(context.Background(), job)
 	case serve.FormatBinary:
-		res, err = client.RunBinary(context.Background(), spec())
+		res, err = client.RunBinary(context.Background(), job)
 	default:
 		fmt.Fprintf(stderr, "injectabled: unknown -format %q (want ndjson or binary)\n", *format)
 		return 2
@@ -321,7 +341,12 @@ func runCoordinator(argv []string, stdout, stderr io.Writer, ready chan<- string
 	}
 	defer obsCleanup()
 
-	plan, err := fabric.PlanShards(serve.DefaultRegistry(), spec(), *shards)
+	job, err := spec()
+	if err != nil {
+		fmt.Fprintln(stderr, "injectabled:", err)
+		return 2
+	}
+	plan, err := fabric.PlanShards(serve.DefaultRegistry(), job, *shards)
 	if err != nil {
 		fmt.Fprintln(stderr, "injectabled:", err)
 		return 2
@@ -548,8 +573,13 @@ func runLoadgen(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "loadgen: in-process daemon on %s\n", base)
 	}
 
+	s, err := spec()
+	if err != nil {
+		fmt.Fprintln(stderr, "injectabled:", err)
+		return 2
+	}
 	cfg := serve.LoadgenConfig{Clients: *clients, Jobs: *jobs}
-	if s := spec(); s.Experiment != "" {
+	if s.Experiment != "" {
 		if *variants <= 0 {
 			*variants = 1
 		}

@@ -32,16 +32,16 @@ func AblationCaptureModel(opts Options) (*Experiment, error) {
 }
 
 // ablationCapturePoints builds the capture-model ablation sweep.
-func ablationCapturePoints(opts Options) []sweepPoint {
+func ablationCapturePoints(opts Options) []SweepPoint {
 	bulb, central, attacker := trianglePositions()
 	models := []medium.CaptureModel{
 		medium.DefaultCaptureModel(),
 		medium.Pessimistic{},
 		medium.CoinFlip{P: 0.35},
 	}
-	var pts []sweepPoint
+	var pts []SweepPoint
 	for i, model := range models {
-		pts = append(pts, sweepPoint{
+		pts = append(pts, SweepPoint{
 			Label:    model.Name(),
 			SeedBase: opts.SeedBase + 40000 + uint64(i)*1000,
 			Cfg: TrialConfig{
@@ -79,11 +79,11 @@ func AblationAssumedSlaveSCA(opts Options) (*Experiment, error) {
 }
 
 // ablationSCAPoints builds the assumed-slave-SCA ablation sweep.
-func ablationSCAPoints(opts Options) []sweepPoint {
+func ablationSCAPoints(opts Options) []SweepPoint {
 	bulb, central, attacker := trianglePositions()
-	var pts []sweepPoint
+	var pts []SweepPoint
 	for i, ppm := range []float64{5, 20, 50, 100, 250} {
-		pts = append(pts, sweepPoint{
+		pts = append(pts, SweepPoint{
 			Label:    fmt.Sprintf("%.0f", ppm),
 			SeedBase: opts.SeedBase + 50000 + uint64(i)*1000,
 			Cfg: TrialConfig{
@@ -120,15 +120,15 @@ func AblationInjectionTiming(opts Options) (*Experiment, error) {
 }
 
 // ablationTimingPoints builds the injection-instant ablation sweep.
-func ablationTimingPoints(opts Options) []sweepPoint {
+func ablationTimingPoints(opts Options) []SweepPoint {
 	bulb, central, attacker := trianglePositions()
-	var pts []sweepPoint
+	var pts []SweepPoint
 	for i, center := range []bool{false, true} {
 		label := "window-start"
 		if center {
 			label = "anchor-center"
 		}
-		pts = append(pts, sweepPoint{
+		pts = append(pts, SweepPoint{
 			Label:    label,
 			SeedBase: opts.SeedBase + 60000 + uint64(i)*1000,
 			Cfg: TrialConfig{
@@ -163,15 +163,15 @@ func AblationAdaptiveGuard(opts Options) (*Experiment, error) {
 }
 
 // ablationGuardPoints builds the adaptive-guard ablation sweep.
-func ablationGuardPoints(opts Options) []sweepPoint {
+func ablationGuardPoints(opts Options) []SweepPoint {
 	bulb, central, attacker := trianglePositions()
-	var pts []sweepPoint
+	var pts []SweepPoint
 	for i, disabled := range []bool{false, true} {
 		label := "adaptive"
 		if disabled {
 			label = "frozen"
 		}
-		pts = append(pts, sweepPoint{
+		pts = append(pts, SweepPoint{
 			Label:    label,
 			SeedBase: opts.SeedBase + 80000 + uint64(i)*1000,
 			Cfg: TrialConfig{
@@ -214,9 +214,9 @@ func HeuristicValidation(opts Options) (*Table, error) {
 
 // heuristicPoints builds the eq. 7 validation sweep (4× the usual trial
 // volume on a single configuration).
-func heuristicPoints(opts Options) []sweepPoint {
+func heuristicPoints(opts Options) []SweepPoint {
 	bulb, central, attacker := trianglePositions()
-	return []sweepPoint{{
+	return []SweepPoint{{
 		Label:    "heuristic",
 		SeedBase: opts.SeedBase + 70000,
 		Trials:   opts.TrialsPerPoint * 4,

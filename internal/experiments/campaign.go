@@ -6,12 +6,15 @@ import (
 	"injectable/internal/campaign"
 )
 
-// sweepPoint is one configuration of a Fig. 9-style sweep, bound to the
+// SweepPoint is one configuration of a Fig. 9-style sweep, bound to the
 // absolute seed base its trials draw from. Trial i runs with seed
 // SeedBase+i — the historical linear layout of the serial loops — so the
 // campaign engine reproduces the exact same worlds (and therefore tables)
-// at any worker count.
-type sweepPoint struct {
+// at any worker count. It is exported (with BuildSweep) so that external
+// point builders — the declarative scenario compiler in
+// internal/scenario — expand into the exact campaign shape the in-repo
+// catalog uses, warmup fork path included.
+type SweepPoint struct {
 	Label string
 	// SeedBase is the absolute base seed; trial i uses SeedBase + i.
 	SeedBase uint64
@@ -63,11 +66,13 @@ func ValidWarmup(s string) bool {
 	return s == "" || s == WarmupShared || s == WarmupSharedFresh
 }
 
-// sweepSpec expands the points into a campaign spec whose trial functions
+// BuildSweep expands the points into a campaign spec whose trial functions
 // run RunTrial and return TrialResult values. The serving layer builds
-// specs through here too (via SweepSpec), so a daemon job executes the
-// exact campaign a CLI sweep would.
-func sweepSpec(opts Options, name string, pts []sweepPoint) *campaign.Spec {
+// specs through here too (via SweepSpec), and the scenario DSL compiler
+// feeds its own points through here, so a daemon job — catalog or
+// DSL-defined — executes the exact campaign a CLI sweep would, including
+// the "shared"/"shared-fresh" snapshot-fork warmup strategies.
+func BuildSweep(opts Options, name string, pts []SweepPoint) *campaign.Spec {
 	spec := &campaign.Spec{Name: name, SeedBase: opts.SeedBase}
 	for _, sp := range pts {
 		cfg := sp.Cfg
@@ -126,12 +131,20 @@ func sweepSpec(opts Options, name string, pts []sweepPoint) *campaign.Spec {
 	return spec
 }
 
+// RunSweepPoints executes pre-built points as one campaign and collates
+// each point's trials, exactly like the catalog entry points do. It is
+// the in-process execution path for external point builders — the
+// scenario DSL's Execute runs its compiled points through here.
+func RunSweepPoints(opts Options, name string, pts []SweepPoint) ([]Point, error) {
+	return runSweep(opts, name, pts)
+}
+
 // runSweep executes the points as one campaign and collates each point's
 // trials into a SeriesResult. Results stream back in deterministic trial
 // order regardless of opts.Parallel, so the accumulated series — and any
 // table rendered from it — is bit-for-bit identical to a serial run.
-func runSweep(opts Options, name string, pts []sweepPoint) ([]Point, error) {
-	spec := sweepSpec(opts, name, pts)
+func runSweep(opts Options, name string, pts []SweepPoint) ([]Point, error) {
+	spec := BuildSweep(opts, name, pts)
 	index := make(map[string]int, len(pts))
 	for i, sp := range pts {
 		index[sp.Label] = i

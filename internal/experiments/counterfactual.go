@@ -17,11 +17,11 @@ import (
 
 // counterfactualPoints sweeps the four payloads at Hop Interval 75 on the
 // paper's triangle, like exp2 but in its own absolute seed block.
-func counterfactualPoints(opts Options) []sweepPoint {
+func counterfactualPoints(opts Options) []SweepPoint {
 	bulb, central, attacker := trianglePositions()
-	var pts []sweepPoint
+	var pts []SweepPoint
 	for i, payload := range []Payload{PayloadTerminate, PayloadToggle, PayloadPowerOff, PayloadColor} {
-		pts = append(pts, sweepPoint{
+		pts = append(pts, SweepPoint{
 			Label:    payload.String(),
 			SeedBase: opts.SeedBase + 90000 + uint64(i)*1000,
 			Cfg: TrialConfig{
@@ -40,7 +40,7 @@ func counterfactualPoints(opts Options) []sweepPoint {
 // trial functions return CounterfactualOutcome values. The study is
 // fork-based by construction (both arms replay one snapshot), so
 // Options.Warmup does not apply here.
-func counterfactualSpec(opts Options, pts []sweepPoint) *campaign.Spec {
+func counterfactualSpec(opts Options, pts []SweepPoint) *campaign.Spec {
 	spec := &campaign.Spec{Name: "counterfactual", SeedBase: opts.SeedBase}
 	for _, sp := range pts {
 		cfg := sp.Cfg

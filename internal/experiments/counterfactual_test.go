@@ -43,7 +43,7 @@ func TestCounterfactualIsServable(t *testing.T) {
 // may fail, and the attack-free arm must never show the effect (the worlds
 // are idle but for the attacker).
 func TestCounterfactualCampaignDeterministic(t *testing.T) {
-	pts := []sweepPoint{
+	pts := []SweepPoint{
 		{Label: "power-off", SeedBase: 7000, Cfg: TrialConfig{
 			Interval: 36, Payload: PayloadPowerOff, MaxAttempts: 40, SimBudget: 20 * sim.Second,
 		}},

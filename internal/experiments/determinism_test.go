@@ -103,7 +103,7 @@ func TestForkDeterminismMatrix(t *testing.T) {
 	for _, tc := range configs {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			pts := []sweepPoint{{Label: tc.name, SeedBase: 6000, Cfg: tc.cfg()}}
+			pts := []SweepPoint{{Label: tc.name, SeedBase: 6000, Cfg: tc.cfg()}}
 			run := func(mode string, parallel int) (ndjson, metrics string) {
 				var nd, mt bytes.Buffer
 				opts := Options{

@@ -80,6 +80,15 @@ func (o *Options) applyDefaults() {
 	}
 }
 
+// WithDefaults returns o with the trial-count and seed-base defaults
+// applied — the exported face of applyDefaults for external spec
+// compilers (internal/scenario) that must mirror the catalog's
+// normalization exactly.
+func (o Options) WithDefaults() Options {
+	o.applyDefaults()
+	return o
+}
+
 // trianglePositions places bulb, central and attacker on the paper's
 // equilateral triangle with 2 m edges (Fig. 8 left).
 func trianglePositions() (bulb, central, attacker phy.Position) {
@@ -143,11 +152,11 @@ func Experiment1HopInterval(opts Options) (*Experiment, error) {
 
 // exp1Points builds experiment 1's sweep: Hop Interval ∈ {25..150} on the
 // triangle, preserving the historical per-point seed bases.
-func exp1Points(opts Options) []sweepPoint {
+func exp1Points(opts Options) []SweepPoint {
 	bulb, central, attacker := trianglePositions()
-	var pts []sweepPoint
+	var pts []SweepPoint
 	for i, interval := range []uint16{25, 50, 75, 100, 125, 150} {
-		pts = append(pts, sweepPoint{
+		pts = append(pts, SweepPoint{
 			Label:    fmt.Sprintf("%d", interval),
 			SeedBase: opts.SeedBase + uint64(i)*1000,
 			Cfg: TrialConfig{
@@ -186,11 +195,11 @@ func Experiment2PayloadSize(opts Options) (*Experiment, error) {
 }
 
 // exp2Points builds experiment 2's sweep: payload size at Hop Interval 75.
-func exp2Points(opts Options) []sweepPoint {
+func exp2Points(opts Options) []SweepPoint {
 	bulb, central, attacker := trianglePositions()
-	var pts []sweepPoint
+	var pts []SweepPoint
 	for i, payload := range []Payload{PayloadTerminate, PayloadToggle, PayloadPowerOff, PayloadColor} {
-		pts = append(pts, sweepPoint{
+		pts = append(pts, SweepPoint{
 			Label:    payload.String(),
 			SeedBase: opts.SeedBase + 10000 + uint64(i)*1000,
 			Cfg: TrialConfig{
@@ -237,17 +246,17 @@ func Experiment3Distance(opts Options) (*Experiment, error) {
 }
 
 // exp3Points builds experiment 3's sweep: attacker distance, positions A–F.
-func exp3Points(opts Options) []sweepPoint {
+func exp3Points(opts Options) []SweepPoint {
 	positions := []struct {
 		label string
 		d     float64
 	}{
 		{"A:1m", 1}, {"B:2m", 2}, {"C:4m", 4}, {"D:6m", 6}, {"E:8m", 8}, {"F:10m", 10},
 	}
-	var pts []sweepPoint
+	var pts []SweepPoint
 	for i, p := range positions {
 		bulb, central, attacker := distancePositions(p.d)
-		pts = append(pts, sweepPoint{
+		pts = append(pts, SweepPoint{
 			Label:    p.label,
 			SeedBase: opts.SeedBase + 20000 + uint64(i)*1000,
 			Cfg: TrialConfig{
@@ -287,8 +296,8 @@ func Experiment3Wall(opts Options) (*Experiment, error) {
 }
 
 // exp3WallPoints builds the wall variant of experiment 3.
-func exp3WallPoints(opts Options) []sweepPoint {
-	var pts []sweepPoint
+func exp3WallPoints(opts Options) []SweepPoint {
+	var pts []SweepPoint
 	for i, d := range []float64{2, 4, 6, 8} {
 		bulb, central, attacker := distancePositions(d)
 		wall := phy.Wall{
@@ -296,7 +305,7 @@ func exp3WallPoints(opts Options) []sweepPoint {
 			B:    phy.Position{X: -0.5, Y: 10},
 			Loss: phy.DefaultWallLoss,
 		}
-		pts = append(pts, sweepPoint{
+		pts = append(pts, SweepPoint{
 			Label:    fmt.Sprintf("%gm+wall", d),
 			SeedBase: opts.SeedBase + 30000 + uint64(i)*1000,
 			Cfg: TrialConfig{

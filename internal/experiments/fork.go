@@ -4,7 +4,6 @@ import (
 	"context"
 
 	"injectable/internal/host"
-	"injectable/internal/link"
 	"injectable/internal/obs"
 	"injectable/internal/sim"
 )
@@ -50,7 +49,10 @@ func NewWarmTrial(cfg TrialConfig, warmSeed uint64) (*WarmTrial, error) {
 	cfg.Seed = warmSeed
 	hub := obs.NewHub()
 	cfg.Obs = hub
-	tw := buildTrialWorld(cfg)
+	tw, err := buildTrialWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
 	if err := tw.warm(cfg); err != nil {
 		return nil, err
 	}
@@ -86,7 +88,10 @@ func RunTrialWarmFresh(cfg TrialConfig, warmSeed, trialSeed uint64) (TrialResult
 	cfg.Seed = warmSeed
 	hub := obs.NewHub()
 	cfg.Obs = hub
-	tw := buildTrialWorld(cfg)
+	tw, err := buildTrialWorld(cfg)
+	if err != nil {
+		return TrialResult{}, err
+	}
 	if err := tw.warm(cfg); err != nil {
 		return TrialResult{}, err
 	}
@@ -131,19 +136,13 @@ func (wt *WarmTrial) RunCounterfactual(trialSeed uint64, sink *obs.Hub, ctx cont
 	// Baseline arm: same fork, same randomness, no injector.
 	wt.tw.w.Fork(wt.snap)
 	wt.tw.w.RekeyStreams(trialSeed)
-	baseline := false
-	switch wt.cfg.Payload {
-	case PayloadTerminate:
-		wt.tw.bulb.Peripheral.OnDisconnect = func(link.DisconnectReason) { baseline = true }
-	default:
-		wt.tw.bulb.OnChange = func(string) { baseline = true }
-	}
+	baseline := wt.tw.effectProbe(wt.cfg)
 	if err := runFor(wt.tw.w, wt.cfg.SimBudget, ctx); err != nil {
 		return CounterfactualOutcome{}, err
 	}
 	return CounterfactualOutcome{
 		Injected:       injected,
-		BaselineEffect: baseline,
-		Causal:         injected.EffectObserved && !baseline,
+		BaselineEffect: baseline(),
+		Causal:         injected.EffectObserved && !baseline(),
 	}, nil
 }

@@ -145,7 +145,7 @@ func TestCampaignMetricsDeterministicAcrossWorkers(t *testing.T) {
 	sweep := func(parallel int) []byte {
 		var buf bytes.Buffer
 		opts := Options{TrialsPerPoint: 2, SeedBase: 4000, Parallel: parallel, Metrics: &buf}
-		pts := []sweepPoint{
+		pts := []SweepPoint{
 			{Label: "hi25", SeedBase: 4000, Cfg: TrialConfig{
 				Interval: 25, Payload: PayloadPowerOff,
 				BulbPos: bulb, CentralPos: central, AttackerPos: attacker,

@@ -18,7 +18,7 @@ import (
 // sweepDef binds a servable sweep name to its campaign id and points.
 type sweepDef struct {
 	id  string
-	pts func(Options) []sweepPoint
+	pts func(Options) []SweepPoint
 }
 
 // sweepDefs lists every parameter sweep servable by name.
@@ -39,7 +39,7 @@ func sweepDefs() map[string]sweepDef {
 // counterfactualName is the one servable study that is not a plain
 // RunTrial sweep: its trials return CounterfactualOutcome values and its
 // points carry fork warmups, so the registry special-cases it rather than
-// forcing it through sweepSpec.
+// forcing it through BuildSweep.
 const counterfactualName = "counterfactual"
 
 // SweepNames lists the servable sweeps in sorted order.
@@ -63,7 +63,7 @@ func SweepNames() []string {
 func SweepSpec(name string, opts Options) (*campaign.Spec, error) {
 	if name == counterfactualName {
 		opts.applyDefaults()
-		pts, err := slicePoints(name, counterfactualPoints(opts), opts.PointStart, opts.PointCount)
+		pts, err := SlicePoints(name, counterfactualPoints(opts), opts.PointStart, opts.PointCount)
 		if err != nil {
 			return nil, err
 		}
@@ -74,11 +74,11 @@ func SweepSpec(name string, opts Options) (*campaign.Spec, error) {
 		return nil, fmt.Errorf("experiments: unknown sweep %q", name)
 	}
 	opts.applyDefaults()
-	pts, err := slicePoints(name, def.pts(opts), opts.PointStart, opts.PointCount)
+	pts, err := SlicePoints(name, def.pts(opts), opts.PointStart, opts.PointCount)
 	if err != nil {
 		return nil, err
 	}
-	return sweepSpec(opts, def.id, pts), nil
+	return BuildSweep(opts, def.id, pts), nil
 }
 
 // SweepPointCount reports how many points a named sweep expands to under
@@ -95,9 +95,9 @@ func SweepPointCount(name string, opts Options) (int, error) {
 	return len(def.pts(opts)), nil
 }
 
-// slicePoints bounds-checks and applies a point range: [start, start+count)
+// SlicePoints bounds-checks and applies a point range: [start, start+count)
 // with count 0 meaning "through the end". (0, 0) returns pts unchanged.
-func slicePoints[P any](name string, pts []P, start, count int) ([]P, error) {
+func SlicePoints[P any](name string, pts []P, start, count int) ([]P, error) {
 	if start == 0 && count == 0 {
 		return pts, nil
 	}
@@ -178,7 +178,7 @@ func ScenarioSpec(name, target string, opts Options) (*campaign.Spec, error) {
 	}
 	opts.applyDefaults()
 	base := opts.SeedBase
-	points, err := slicePoints(name, []campaign.Point{{
+	points, err := SlicePoints(name, []campaign.Point{{
 		Label:  target,
 		Trials: opts.TrialsPerPoint,
 		Seed:   func(i int) uint64 { return base + uint64(i) },

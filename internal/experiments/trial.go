@@ -4,9 +4,13 @@ import (
 	"context"
 	"fmt"
 
+	"injectable/internal/att"
+	"injectable/internal/ble"
 	"injectable/internal/ble/pdu"
 	"injectable/internal/devices"
+	"injectable/internal/gatt"
 	"injectable/internal/host"
+	"injectable/internal/ids"
 	"injectable/internal/injectable"
 	"injectable/internal/link"
 	"injectable/internal/medium"
@@ -32,6 +36,12 @@ const (
 	PayloadPowerOff
 	// PayloadColor: colour command — 16-byte PDU, recolours the bulb.
 	PayloadColor
+	// PayloadFeature: the victim type's feature-trigger write (power-on
+	// for the lightbulb, ring for the keyfob, a forged SMS for the
+	// smartwatch). The PDU length therefore depends on the target, so
+	// PDULen reports 0. This is the payload generalized scenario worlds
+	// use for non-lightbulb victims.
+	PayloadFeature
 )
 
 // PDULen returns the on-air LL PDU length (header + payload).
@@ -61,6 +71,8 @@ func (p Payload) String() string {
 		return "power-off(14B)"
 	case PayloadColor:
 		return "color(16B)"
+	case PayloadFeature:
+		return "feature"
 	default:
 		return fmt.Sprintf("payload(%d)", int(p))
 	}
@@ -120,6 +132,88 @@ type TrialConfig struct {
 	// completion. Slicing never changes results — the scheduler processes
 	// the same events in the same order either way.
 	Ctx context.Context
+
+	// --- Generalized-world knobs (the scenario DSL compiles onto these).
+	// Every zero value reproduces the historical bulb+phone world
+	// byte-for-byte: no extra construction, no extra RNG draws. ---
+
+	// Target picks the victim peripheral type: "" or "lightbulb" (the
+	// historical default), "keyfob" or "smartwatch".
+	Target string
+	// TargetName overrides the victim's trace name ("" = "bulb", the
+	// historical name, whatever the type).
+	TargetName string
+	// CentralName overrides the central's trace name ("" = "central").
+	CentralName string
+	// Latency, Hop, CSA2 and UnusedChans extend the central's connection
+	// request beyond the hop interval: slave latency, hop increment (0 =
+	// stack default), Channel Selection Algorithm #2, and how many of the
+	// lowest data channels the initial channel map marks unused.
+	Latency     uint16
+	Hop         uint8
+	CSA2        bool
+	UnusedChans int
+	// ActivityMS spaces the central's periodic GATT traffic in
+	// milliseconds (0 = none, the historical default).
+	ActivityMS int
+	// TargetPPM/TargetJitter and CentralPPM/CentralJitter override the
+	// victim's and central's sleep-clock model (0 = the stack default).
+	// CentralPPM/CentralJitter take precedence over PhoneGrade.
+	TargetPPM     float64
+	TargetJitter  sim.Duration
+	CentralPPM    float64
+	CentralJitter sim.Duration
+	// WideningScale scales the victim's window-widening countermeasure
+	// (§VIII; 0 = the stack default of 1).
+	WideningScale float64
+	// Extras adds advertising peripherals sharing the band (bystander
+	// traffic; they never connect).
+	Extras []ExtraPeripheral
+	// IDS attaches the §VIII monitor to the medium; the trial result then
+	// carries its total alert count.
+	IDS bool
+	// Goal selects the attacker activity: "" or "inject" (the historical
+	// single-frame injection), "none" (baseline world, no attack),
+	// "hijack-slave", "hijack-master", "mitm", or "update" (forged
+	// CONNECTION_UPDATE_IND without takeover — a stealth schedule split).
+	Goal string
+	// Update tunes the forged connection update for the hijack-master,
+	// mitm and update goals.
+	Update injectable.UpdateParams
+	// GoalDelay postpones the attack launch this far past the warm phase
+	// (0 = launch immediately, the historical behavior).
+	GoalDelay sim.Duration
+}
+
+// ExtraPeripheral is an additional advertising peripheral sharing the
+// band in a generalized scenario world.
+type ExtraPeripheral struct {
+	// Kind is the device type ("" = "lightbulb", or "keyfob",
+	// "smartwatch").
+	Kind string
+	// Name is the trace name ("" = "extraN" by position).
+	Name string
+	// Pos places the device.
+	Pos phy.Position
+}
+
+// Attack goals accepted by TrialConfig.Goal ("" means GoalInject).
+const (
+	GoalInject       = "inject"
+	GoalNone         = "none"
+	GoalHijackSlave  = "hijack-slave"
+	GoalHijackMaster = "hijack-master"
+	GoalMITM         = "mitm"
+	GoalUpdate       = "update"
+)
+
+// ValidGoal reports whether g names an attack goal ("" included).
+func ValidGoal(g string) bool {
+	switch g {
+	case "", GoalInject, GoalNone, GoalHijackSlave, GoalHijackMaster, GoalMITM, GoalUpdate:
+		return true
+	}
+	return false
 }
 
 // TrialResult reports one trial.
@@ -131,6 +225,10 @@ type TrialResult struct {
 	EffectObserved bool
 	// HeuristicAgrees: the heuristic verdict matched the ground truth.
 	HeuristicAgrees bool
+	// IDSAlerts is the §VIII monitor's total alert count, present only
+	// when the trial's world carried the IDS (TrialConfig.IDS). The
+	// omitempty keeps historical result streams byte-identical.
+	IDSAlerts int `json:"IDSAlerts,omitempty"`
 }
 
 // withDefaults returns cfg with every zero knob filled in. All entry
@@ -158,19 +256,29 @@ func (cfg TrialConfig) withDefaults() TrialConfig {
 	return cfg
 }
 
-// trialWorld bundles one trial configuration's world and actors.
+// trialWorld bundles one trial configuration's world and actors. Exactly
+// one of bulb/fob/watch is non-nil (the victim); peripheral aliases its
+// link-layer peripheral whatever the type.
 type trialWorld struct {
-	w     *host.World
-	bulb  *devices.Lightbulb
-	phone *devices.Smartphone
-	atk   *injectable.Attacker
+	w          *host.World
+	bulb       *devices.Lightbulb
+	fob        *devices.Keyfob
+	watch      *devices.Smartwatch
+	peripheral *host.Peripheral
+	phone      *devices.Smartphone
+	atk        *injectable.Attacker
+	monitor    *ids.Monitor
+	extras     []*host.Peripheral
 }
 
 // buildTrialWorld constructs the world, devices and attacker for cfg
 // (defaults already applied). The actor wrappers are registered as
 // snapshot roots so a snapshot taken from this world — and RekeyStreams —
-// reaches every piece of their state.
-func buildTrialWorld(cfg TrialConfig) *trialWorld {
+// reaches every piece of their state. Construction order is fixed
+// (victim, central, attacker, then monitor and extras) and the new-world
+// knobs execute nothing when zero, so historical configurations draw the
+// same RNG streams they always did.
+func buildTrialWorld(cfg TrialConfig) (*trialWorld, error) {
 	w := host.NewWorld(host.WorldConfig{
 		Seed: cfg.Seed,
 		Medium: medium.Config{
@@ -180,27 +288,103 @@ func buildTrialWorld(cfg TrialConfig) *trialWorld {
 		Obs:   cfg.Obs,
 		Arena: cfg.Arena,
 	})
-	bulb := devices.NewLightbulb(w.NewDevice(host.DeviceConfig{
-		Name: "bulb", Position: cfg.BulbPos,
-	}))
-	centralCfg := host.DeviceConfig{Name: "central", Position: cfg.CentralPos}
+	tw := &trialWorld{w: w}
+	targetName := cfg.TargetName
+	if targetName == "" {
+		targetName = "bulb"
+	}
+	targetDev := w.NewDevice(host.DeviceConfig{
+		Name: targetName, Position: cfg.BulbPos,
+		ClockPPM: cfg.TargetPPM, ClockJitter: cfg.TargetJitter,
+		WideningScale: cfg.WideningScale,
+	})
+	var victimRoot any
+	switch cfg.Target {
+	case "", "lightbulb":
+		tw.bulb = devices.NewLightbulb(targetDev)
+		tw.peripheral, victimRoot = tw.bulb.Peripheral, tw.bulb
+	case "keyfob":
+		tw.fob = devices.NewKeyfob(targetDev)
+		tw.peripheral, victimRoot = tw.fob.Peripheral, tw.fob
+	case "smartwatch":
+		tw.watch = devices.NewSmartwatch(targetDev)
+		tw.peripheral, victimRoot = tw.watch.Peripheral, tw.watch
+	default:
+		return nil, fmt.Errorf("experiments: unknown target %q", cfg.Target)
+	}
+	centralName := cfg.CentralName
+	if centralName == "" {
+		centralName = "central"
+	}
+	centralCfg := host.DeviceConfig{Name: centralName, Position: cfg.CentralPos}
 	if cfg.PhoneGrade {
 		// Phones run BLE from a busy SoC: looser sleep clock and more
 		// scheduling jitter than a dedicated controller.
 		centralCfg.ClockPPM = 50
 		centralCfg.ClockJitter = 8 * sim.Microsecond
 	}
-	phone := devices.NewSmartphone(w.NewDevice(centralCfg), devices.SmartphoneConfig{
-		ConnParams:       link.ConnParams{Interval: cfg.Interval},
-		ActivityInterval: -1,
+	if cfg.CentralPPM != 0 {
+		centralCfg.ClockPPM = cfg.CentralPPM
+	}
+	if cfg.CentralJitter != 0 {
+		centralCfg.ClockJitter = cfg.CentralJitter
+	}
+	var chMap ble.ChannelMap
+	for ch := 0; ch < cfg.UnusedChans; ch++ {
+		if chMap == 0 {
+			chMap = ble.AllChannels
+		}
+		chMap = chMap.Without(uint8(ch))
+	}
+	activity := sim.Duration(-1)
+	if cfg.ActivityMS > 0 {
+		activity = sim.Duration(cfg.ActivityMS) * sim.Millisecond
+	}
+	tw.phone = devices.NewSmartphone(w.NewDevice(centralCfg), devices.SmartphoneConfig{
+		ConnParams: link.ConnParams{
+			Interval: cfg.Interval, Latency: cfg.Latency, Hop: cfg.Hop,
+			CSA2: cfg.CSA2, ChannelMap: chMap,
+		},
+		ActivityInterval: activity,
 	})
 	attacker := w.NewDevice(host.DeviceConfig{
 		Name: "attacker", Position: cfg.AttackerPos,
 		ClockPPM: 20, ClockJitter: 500 * sim.Nanosecond,
 	})
-	atk := injectable.NewAttacker(attacker.Stack, cfg.Injector)
-	w.AddSnapshotRoot(bulb, phone, atk)
-	return &trialWorld{w: w, bulb: bulb, phone: phone, atk: atk}
+	tw.atk = injectable.NewAttacker(attacker.Stack, cfg.Injector)
+	w.AddSnapshotRoot(victimRoot, tw.phone, tw.atk)
+	if cfg.IDS {
+		tw.monitor = ids.New(ids.Config{})
+		w.Medium.AddObserver(tw.monitor)
+		// The monitor's alert history must fork with the world, or forked
+		// trials would inherit alerts from earlier forks.
+		w.AddSnapshotRoot(tw.monitor)
+	}
+	for i, ex := range cfg.Extras {
+		name := ex.Name
+		if name == "" {
+			name = fmt.Sprintf("extra%d", i)
+		}
+		dev := w.NewDevice(host.DeviceConfig{Name: name, Position: ex.Pos})
+		var p *host.Peripheral
+		var root any
+		switch ex.Kind {
+		case "", "lightbulb":
+			b := devices.NewLightbulb(dev)
+			p, root = b.Peripheral, b
+		case "keyfob":
+			f := devices.NewKeyfob(dev)
+			p, root = f.Peripheral, f
+		case "smartwatch":
+			sw := devices.NewSmartwatch(dev)
+			p, root = sw.Peripheral, sw
+		default:
+			return nil, fmt.Errorf("experiments: extras[%d]: unknown kind %q", i, ex.Kind)
+		}
+		w.AddSnapshotRoot(root)
+		tw.extras = append(tw.extras, p)
+	}
+	return tw, nil
 }
 
 // warm advances through connection establishment and attacker
@@ -208,10 +392,38 @@ func buildTrialWorld(cfg TrialConfig) *trialWorld {
 // is identical across the trials of one configuration.
 func (tw *trialWorld) warm(cfg TrialConfig) error {
 	tw.atk.Sniffer.Start()
-	tw.bulb.Peripheral.StartAdvertising()
-	tw.phone.Connect(tw.bulb.Peripheral.Device.Address())
+	tw.peripheral.StartAdvertising()
+	for _, p := range tw.extras {
+		p.StartAdvertising()
+	}
+	tw.phone.Connect(tw.peripheral.Device.Address())
 	if err := runFor(tw.w, 3*sim.Second, cfg.Ctx); err != nil {
 		return err
+	}
+	// In a crowded cell, bystander advertisements can collide with the
+	// one-shot CONNECT_REQ — at the victim (the link never forms) or at
+	// the sniffer (it misses the handshake it must observe). The only
+	// recovery is a fresh handshake: tear the link down if it half-formed,
+	// let the victim re-advertise, and initiate again. Worlds where the
+	// fast path above succeeds never enter this loop, so their event
+	// streams are untouched.
+	for attempt := 0; attempt < 4; attempt++ {
+		if tw.phone.Central.Connected() && tw.atk.Sniffer.Following() {
+			return nil
+		}
+		if c := tw.phone.Central.Conn(); c != nil && !c.Closed() {
+			c.Terminate()
+			if err := runFor(tw.w, 500*sim.Millisecond, cfg.Ctx); err != nil {
+				return err
+			}
+		}
+		tw.atk.Sniffer.Stop()
+		tw.atk.Sniffer.Start()
+		tw.peripheral.StartAdvertising()
+		tw.phone.Connect(tw.peripheral.Device.Address())
+		if err := runFor(tw.w, 3*sim.Second, cfg.Ctx); err != nil {
+			return err
+		}
 	}
 	if !tw.phone.Central.Connected() {
 		return fmt.Errorf("experiments: connection failed (seed %d)", cfg.Seed)
@@ -222,21 +434,114 @@ func (tw *trialWorld) warm(cfg TrialConfig) error {
 	return nil
 }
 
-// attack performs one injection run against the warmed world and checks
-// the heuristic verdict against device-model ground truth.
-func (tw *trialWorld) attack(cfg TrialConfig) (TrialResult, error) {
-	// Ground-truth observers.
-	effect := false
-	switch cfg.Payload {
-	case PayloadTerminate:
-		tw.bulb.Peripheral.OnDisconnect = func(link.DisconnectReason) { effect = true }
-	default:
-		tw.bulb.OnChange = func(string) { effect = true }
+// effectProbe arms the ground-truth observer for cfg's payload and
+// returns a getter reporting whether the victim visibly executed the
+// injected command (disconnect, for the terminate payload).
+func (tw *trialWorld) effectProbe(cfg TrialConfig) func() bool {
+	if cfg.Payload == PayloadTerminate {
+		fired := false
+		tw.peripheral.OnDisconnect = func(link.DisconnectReason) { fired = true }
+		return func() bool { return fired }
 	}
+	switch {
+	case tw.fob != nil:
+		return func() bool { return tw.fob.RingCount > 0 }
+	case tw.watch != nil:
+		return func() bool { return len(tw.watch.Messages) > 0 }
+	default:
+		fired := false
+		tw.bulb.OnChange = func(string) { fired = true }
+		return func() bool { return fired }
+	}
+}
 
+// featureWrite returns the victim type's feature-trigger handle and value
+// (the PayloadFeature frame).
+func (tw *trialWorld) featureWrite() (uint16, []byte) {
+	switch {
+	case tw.fob != nil:
+		return tw.fob.AlertHandle(), devices.RingCommand()
+	case tw.watch != nil:
+		return tw.watch.SMSHandle(), []byte("Forged SMS")
+	default:
+		return tw.bulb.ControlHandle(), devices.PowerCommand(true)
+	}
+}
+
+// frame builds the injected PDU for cfg against this world's victim.
+func (tw *trialWorld) frame(cfg TrialConfig) (pdu.DataPDU, error) {
+	if cfg.Payload == PayloadFeature {
+		h, v := tw.featureWrite()
+		return injectable.ForgeATTWriteCommand(h, v), nil
+	}
+	if tw.bulb == nil && cfg.Payload != PayloadTerminate {
+		return pdu.DataPDU{}, fmt.Errorf("experiments: payload %v requires a lightbulb victim (use the feature payload)", cfg.Payload)
+	}
+	var handle uint16
+	if tw.bulb != nil {
+		handle = tw.bulb.ControlHandle()
+	}
+	return cfg.Payload.frame(handle), nil
+}
+
+// launchAttack fires the goal now, or schedules it cfg.GoalDelay into the
+// run. The returned getter surfaces a deferred launch error after the
+// simulation span completes.
+func (tw *trialWorld) launchAttack(cfg TrialConfig, fire func() error) (deferred func() error, err error) {
+	if cfg.GoalDelay <= 0 {
+		return func() error { return nil }, fire()
+	}
+	var launchErr error
+	tw.w.Sched.After(cfg.GoalDelay, "attack:launch", func() { launchErr = fire() })
+	return func() error { return launchErr }, nil
+}
+
+// finish stamps goal-independent observations onto a result.
+func (tw *trialWorld) finish(res TrialResult) TrialResult {
+	if tw.monitor != nil {
+		res.IDSAlerts = len(tw.monitor.Alerts())
+	}
+	return res
+}
+
+// attack performs one attack run against the warmed world, dispatching on
+// the configured goal. The historical single-frame injection is the ""
+// (inject) goal.
+func (tw *trialWorld) attack(cfg TrialConfig) (TrialResult, error) {
+	switch cfg.Goal {
+	case "", GoalInject:
+		return tw.attackInject(cfg)
+	case GoalNone:
+		if err := runFor(tw.w, cfg.SimBudget, cfg.Ctx); err != nil {
+			return TrialResult{}, err
+		}
+		// Baseline world: nothing injected, so the heuristic trivially
+		// agrees with the (absent) effect.
+		return tw.finish(TrialResult{HeuristicAgrees: true}), nil
+	case GoalHijackSlave:
+		return tw.attackHijackSlave(cfg)
+	case GoalHijackMaster:
+		return tw.attackHijackMaster(cfg)
+	case GoalMITM:
+		return tw.attackMITM(cfg)
+	case GoalUpdate:
+		return tw.attackUpdate(cfg)
+	default:
+		return TrialResult{}, fmt.Errorf("experiments: unknown attacker goal %q", cfg.Goal)
+	}
+}
+
+// attackInject is the paper's §VI-A single-frame injection run: inject,
+// then check the heuristic verdict against device-model ground truth.
+func (tw *trialWorld) attackInject(cfg TrialConfig) (TrialResult, error) {
+	effect := tw.effectProbe(cfg)
+	frame, err := tw.frame(cfg)
+	if err != nil {
+		return TrialResult{}, err
+	}
 	var report *injectable.Report
-	err := tw.atk.Injector.Inject(cfg.Payload.frame(tw.bulb.ControlHandle()), func(r injectable.Report) {
-		report = &r
+	deferred, err := tw.launchAttack(cfg, func() error {
+		return tw.atk.Injector.Inject(frame, func(r injectable.Report) { report = &r })
 	})
 	if err != nil {
 		return TrialResult{}, err
@@ -244,22 +549,190 @@ func (tw *trialWorld) attack(cfg TrialConfig) (TrialResult, error) {
 	if err := runFor(tw.w, cfg.SimBudget, cfg.Ctx); err != nil {
 		return TrialResult{}, err
 	}
+	if err := deferred(); err != nil {
+		return TrialResult{}, err
+	}
 	if report == nil {
 		return TrialResult{}, fmt.Errorf("experiments: injection did not settle in %v", cfg.SimBudget)
 	}
-	return TrialResult{
+	return tw.finish(TrialResult{
 		Success:         report.Success,
 		Attempts:        report.AttemptCount(),
-		EffectObserved:  effect,
-		HeuristicAgrees: report.Success == effect,
-	}, nil
+		EffectObserved:  effect(),
+		HeuristicAgrees: report.Success == effect(),
+	}), nil
+}
+
+// attackHijackSlave expels the victim and impersonates it (§VI-B).
+// Success means the impostor holds a live connection to the legitimate
+// master at the end of the budget; the observable effect is the victim's
+// expulsion.
+func (tw *trialWorld) attackHijackSlave(cfg TrialConfig) (TrialResult, error) {
+	var done bool
+	var report *injectable.Report
+	deferred, err := tw.launchAttack(cfg, func() error {
+		return tw.atk.HijackSlave(hijackServer(), func(h *injectable.SlaveHijack, err error) {
+			done = true
+			if err == nil && h != nil {
+				report = &h.Report
+			}
+		})
+	})
+	if err != nil {
+		return TrialResult{}, err
+	}
+	if err := runFor(tw.w, cfg.SimBudget, cfg.Ctx); err != nil {
+		return TrialResult{}, err
+	}
+	if err := deferred(); err != nil {
+		return TrialResult{}, err
+	}
+	if !done {
+		return TrialResult{}, fmt.Errorf("experiments: slave hijack did not settle in %v", cfg.SimBudget)
+	}
+	hj := tw.atk.SlaveHijack
+	success := hj != nil && !hj.Conn.Closed() && tw.phone.Central.Connected()
+	expelled := tw.peripheral.Conn() == nil || tw.peripheral.Conn().Closed()
+	return tw.finish(TrialResult{
+		Success:         success,
+		Attempts:        attemptCount(report),
+		EffectObserved:  expelled,
+		HeuristicAgrees: success == expelled,
+	}), nil
+}
+
+// attackHijackMaster splits the victim onto a forged schedule and adopts
+// the master role (§VI-C). Success means the impostor master holds the
+// victim; the observable effect is the legitimate master losing it.
+func (tw *trialWorld) attackHijackMaster(cfg TrialConfig) (TrialResult, error) {
+	var done bool
+	var report *injectable.Report
+	deferred, err := tw.launchAttack(cfg, func() error {
+		return tw.atk.HijackMaster(cfg.Update, func(h *injectable.MasterHijack, err error) {
+			done = true
+			if err == nil && h != nil {
+				report = &h.Report
+			}
+		})
+	})
+	if err != nil {
+		return TrialResult{}, err
+	}
+	if err := runFor(tw.w, cfg.SimBudget, cfg.Ctx); err != nil {
+		return TrialResult{}, err
+	}
+	if err := deferred(); err != nil {
+		return TrialResult{}, err
+	}
+	if !done {
+		return TrialResult{}, fmt.Errorf("experiments: master hijack did not settle in %v", cfg.SimBudget)
+	}
+	hj := tw.atk.MasterHijack
+	success := hj != nil && !hj.Conn.Closed()
+	lostSlave := !tw.phone.Central.Connected()
+	return tw.finish(TrialResult{
+		Success:         success,
+		Attempts:        attemptCount(report),
+		EffectObserved:  lostSlave,
+		HeuristicAgrees: success == lostSlave,
+	}), nil
+}
+
+// attackMITM interposes on both roles (§VI-D). Success means the relay
+// session is still alive at the end of the budget; the observable effect
+// is the legitimate master still holding (what it believes to be) its
+// device.
+func (tw *trialWorld) attackMITM(cfg TrialConfig) (TrialResult, error) {
+	var done bool
+	var session *injectable.MITM
+	deferred, err := tw.launchAttack(cfg, func() error {
+		return tw.atk.ManInTheMiddle(cfg.Update, injectable.MITMConfig{}, func(m *injectable.MITM, err error) {
+			done = true
+			if err == nil {
+				session = m
+			}
+		})
+	})
+	if err != nil {
+		return TrialResult{}, err
+	}
+	if err := runFor(tw.w, cfg.SimBudget, cfg.Ctx); err != nil {
+		return TrialResult{}, err
+	}
+	if err := deferred(); err != nil {
+		return TrialResult{}, err
+	}
+	if !done {
+		return TrialResult{}, fmt.Errorf("experiments: mitm did not settle in %v", cfg.SimBudget)
+	}
+	success := session != nil && !session.Closed()
+	relayed := success && tw.phone.Central.Connected()
+	return tw.finish(TrialResult{
+		Success:         success,
+		EffectObserved:  relayed,
+		HeuristicAgrees: success == relayed,
+	}), nil
+}
+
+// attackUpdate injects a forged CONNECTION_UPDATE_IND and walks away: the
+// victim adopts the new schedule at the instant while the legitimate
+// master keeps the old one, silently breaking the connection. The
+// observable effect is the legitimate master losing its slave.
+func (tw *trialWorld) attackUpdate(cfg TrialConfig) (TrialResult, error) {
+	var report *injectable.Report
+	deferred, err := tw.launchAttack(cfg, func() error {
+		return tw.atk.InjectConnectionUpdate(cfg.Update, func(r injectable.Report) { report = &r })
+	})
+	if err != nil {
+		return TrialResult{}, err
+	}
+	if err := runFor(tw.w, cfg.SimBudget, cfg.Ctx); err != nil {
+		return TrialResult{}, err
+	}
+	if err := deferred(); err != nil {
+		return TrialResult{}, err
+	}
+	if report == nil {
+		return TrialResult{}, fmt.Errorf("experiments: update injection did not settle in %v", cfg.SimBudget)
+	}
+	lostSlave := !tw.phone.Central.Connected()
+	return tw.finish(TrialResult{
+		Success:         report.Success,
+		Attempts:        report.AttemptCount(),
+		EffectObserved:  lostSlave,
+		HeuristicAgrees: report.Success == lostSlave,
+	}), nil
+}
+
+// attemptCount is a nil-safe report attempt count (a failed hijack's
+// completion callback carries no report).
+func attemptCount(r *injectable.Report) int {
+	if r == nil {
+		return 0
+	}
+	return r.AttemptCount()
+}
+
+// hijackServer is the minimal GATT profile an impostor slave serves.
+func hijackServer() *gatt.Server {
+	srv := gatt.NewServer(func([]byte) {})
+	srv.AddService(&gatt.Service{
+		UUID: att.UUID16(0x1800),
+		Characteristics: []*gatt.Characteristic{{
+			UUID: att.UUID16(0x2A00), Properties: gatt.PropRead, Value: []byte("injectable"),
+		}},
+	})
+	return srv
 }
 
 // RunTrial builds a fresh world, establishes the connection, synchronises
-// the attacker and performs one injection run.
+// the attacker and performs one attack run.
 func RunTrial(cfg TrialConfig) (TrialResult, error) {
 	cfg = cfg.withDefaults()
-	tw := buildTrialWorld(cfg)
+	tw, err := buildTrialWorld(cfg)
+	if err != nil {
+		return TrialResult{}, err
+	}
 	if err := tw.warm(cfg); err != nil {
 		return TrialResult{}, err
 	}
@@ -314,7 +787,7 @@ func RunSeries(cfg TrialConfig, n int, seedBase uint64, progress func(i int)) (S
 	if progress != nil {
 		opts.Progress = func(_ string, trial int) { progress(trial) }
 	}
-	points, err := runSweep(opts, "series", []sweepPoint{{
+	points, err := runSweep(opts, "series", []SweepPoint{{
 		Label: "series", SeedBase: seedBase, Cfg: cfg,
 	}})
 	if err != nil {

@@ -342,3 +342,54 @@ func TestSplitShardStream(t *testing.T) {
 		t.Fatal("frameless stream accepted")
 	}
 }
+
+// TestFabricScenarioByteIdentical: a declarative scenario sweep shards
+// across workers exactly like a catalog sweep — the coordinator plans by
+// point range over the compiled expansion, and the merged stream is
+// byte-identical to a serial single-process run of the same spec.
+func TestFabricScenarioByteIdentical(t *testing.T) {
+	raw := []byte(`{
+		"version": 1,
+		"name": "fabric-dsl",
+		"run": {"sim_seconds": 20},
+		"sweep": [{"field": "conn.interval", "values": [30, 45, 60]}]
+	}`)
+	spec, err := serve.ScenarioJobSpec(raw, serve.JobSpec{Trials: 2, SeedBase: 700})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cspec, err := serve.DefaultRegistry().Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serial bytes.Buffer
+	runner := campaign.Runner{Workers: 1, Sinks: []campaign.Sink{campaign.NewNDJSON(&serial)}}
+	if _, err := runner.Run(cspec); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := PlanShards(serve.DefaultRegistry(), spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Shards) != 3 || p.Points != 3 || p.Trials != 6 {
+		t.Fatalf("plan: %d shards, %d points, %d trials", len(p.Shards), p.Points, p.Trials)
+	}
+
+	var merged bytes.Buffer
+	rep, err := Run(context.Background(), Config{
+		Workers: startWorkers(t, 2),
+		Hub:     obs.NewHub(),
+	}, p, &merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged.Bytes(), serial.Bytes()) {
+		t.Fatalf("merged scenario stream differs from serial run\nmerged:\n%s\nserial:\n%s",
+			merged.Bytes(), serial.Bytes())
+	}
+	if rep.Dispatched != 3 || rep.Trials != 6 {
+		t.Fatalf("report %+v", rep)
+	}
+}

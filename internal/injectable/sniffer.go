@@ -98,16 +98,25 @@ func (s *Sniffer) hopAdvChannel(i int) {
 	s.stack.Radio.StartListening()
 	s.epoch++
 	epoch := s.epoch
-	s.stack.Sched.After(50*sim.Millisecond, s.stack.Name+":sniff-hop", func() {
-		if s.phase != phaseAdvertising || s.epoch != epoch {
-			return
-		}
-		if s.stack.Radio.Locked() || s.stack.Radio.Acquiring() {
-			return // finish the current frame; onAdvFrame resumes hopping
-		}
-		s.stack.Radio.StopListening()
-		s.hopAdvChannel(i + 1)
-	})
+	var dwell func(d sim.Duration)
+	dwell = func(d sim.Duration) {
+		s.stack.Sched.After(d, s.stack.Name+":sniff-hop", func() {
+			if s.phase != phaseAdvertising || s.epoch != epoch {
+				return
+			}
+			if s.stack.Radio.Locked() || s.stack.Radio.Acquiring() {
+				// A frame is mid-air at the dwell boundary: let it finish,
+				// then check again. In a busy cell (many advertisers) this
+				// must re-arm — abandoning the timer would park the sniffer
+				// on this channel for good.
+				dwell(sim.Millisecond)
+				return
+			}
+			s.stack.Radio.StopListening()
+			s.hopAdvChannel(i + 1)
+		})
+	}
+	dwell(50 * sim.Millisecond)
 }
 
 // onAdvFrame inspects advertising traffic for CONNECT_REQ.

@@ -1,0 +1,128 @@
+package scenario
+
+import (
+	"encoding/json"
+
+	"injectable/internal/phy"
+)
+
+// Canonical maps equal-meaning specs onto one representation, so their
+// encodings — and the dedup keys the serving layer hashes from them —
+// coincide. Canonicalization is semantics-preserving on valid specs and
+// idempotent on every spec:
+//
+//   - ranges expand into their value lists (a range sweep and its
+//     spelled-out list are the same sweep);
+//   - labels equal to the default value rendering are elided;
+//   - fields set to their documented defaults are elided (interval 36,
+//     seed stride 1000, wall loss 7 dB, goal "inject", the victim type's
+//     default payload, 120 s budgets);
+//   - empty slices and all-zero sub-objects are elided.
+//
+// Invalid shapes (say, an axis with both values and a range) pass through
+// untouched, so canonicalizing never turns a rejected spec into an
+// accepted one.
+func Canonical(s Spec) Spec {
+	c := clone(s)
+	for i := range c.Sweep {
+		ax := &c.Sweep[i]
+		if ax.Range != nil && len(ax.Values) == 0 {
+			if vals, ok := rangeValues(*ax.Range); ok {
+				ax.Values, ax.Range = vals, nil
+			}
+		}
+		if len(ax.Labels) > 0 && len(ax.Labels) == len(ax.Values) {
+			def := true
+			for j, v := range ax.Values {
+				if ax.Labels[j] != formatValue(v) {
+					def = false
+					break
+				}
+			}
+			if def {
+				ax.Labels = nil
+			}
+		}
+		if len(ax.Values) == 0 {
+			ax.Values = nil
+		}
+		if len(ax.Labels) == 0 {
+			ax.Labels = nil
+		}
+	}
+	for i := range c.Devices {
+		if c.Devices[i].Pos != nil && *c.Devices[i].Pos == (Pos{}) {
+			c.Devices[i].Pos = nil
+		}
+	}
+	for i := range c.Walls {
+		if c.Walls[i].LossDB == float64(phy.DefaultWallLoss) {
+			c.Walls[i].LossDB = 0
+		}
+	}
+	if c.Seed != nil {
+		if c.Seed.Stride == defaultSeedStride {
+			c.Seed.Stride = 0
+		}
+		if *c.Seed == (SeedLayout{}) {
+			c.Seed = nil
+		}
+	}
+	if c.Conn != nil {
+		if c.Conn.Interval == defaultInterval {
+			c.Conn.Interval = 0
+		}
+		if *c.Conn == (Conn{}) {
+			c.Conn = nil
+		}
+	}
+	if c.Traffic != nil && *c.Traffic == (Traffic{}) {
+		c.Traffic = nil
+	}
+	if a := c.Attacker; a != nil {
+		if a.Goal == "inject" {
+			a.Goal = ""
+		}
+		if a.Payload == defaultPayload(victimType(c)) {
+			a.Payload = ""
+		}
+		if a.Pos != nil && *a.Pos == (Pos{}) {
+			a.Pos = nil
+		}
+		if a.Update != nil && *a.Update == (Update{}) {
+			a.Update = nil
+		}
+		if *a == (Attacker{}) {
+			c.Attacker = nil
+		}
+	}
+	if c.Defense != nil && *c.Defense == (Defense{}) {
+		c.Defense = nil
+	}
+	if c.Run != nil {
+		if c.Run.SimSeconds == defaultSimSeconds {
+			c.Run.SimSeconds = 0
+		}
+		if *c.Run == (Run{}) {
+			c.Run = nil
+		}
+	}
+	return c
+}
+
+// EncodeCanonical canonicalizes and marshals. The returned bytes are the
+// one encoding of the spec's equivalence class — the exact bytes the
+// serving layer embeds in its dedup-key preimage.
+func EncodeCanonical(s Spec) ([]byte, error) {
+	return json.Marshal(Canonical(s))
+}
+
+// CanonicalBytes is the wire-to-wire form: strict-decode raw spec bytes
+// and re-encode them canonically.
+func CanonicalBytes(data []byte) ([]byte, error) {
+	s, err := DecodeSpec(data)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeCanonical(s)
+}

@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeScenarioSpec drives arbitrary bytes through the full
+// admission pipeline — decode, validate, canonicalize — and pins the
+// properties serve-level dedup depends on:
+//
+//  1. nothing panics, on any input;
+//  2. canonicalization is a fixpoint: encoding the canonical form and
+//     canonicalizing again reproduces the same bytes;
+//  3. canonically-equal specs produce equal dedup keys (the canonical
+//     bytes ARE the key segment, so fixpoint equality is key equality).
+func FuzzDecodeScenarioSpec(f *testing.F) {
+	seeds := []string{
+		`{"version":1}`,
+		`{"version":1,"name":"w","conn":{"interval":36}}`,
+		`{"version":1,"sweep":[{"field":"conn.interval","values":[25,50]}]}`,
+		`{"version":1,"sweep":[{"field":"conn.latency","range":{"from":0,"to":4,"step":2}}]}`,
+		`{"version":1,"devices":[{"type":"phone"},{"type":"lightbulb"}],"walls":[{"a":{"x":-1,"y":-2},"b":{"x":-1,"y":2}}]}`,
+		`{"version":1,"attacker":{"goal":"update","update":{"win_size":2,"win_offset":10,"interval":45}}}`,
+		`{"version":2}`,
+		`{"version":1,"bogus":3}`,
+		`not json`,
+		`{"version":1,"run":{"sim_seconds":1e9}}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := DecodeSpec(data)
+		if err != nil {
+			return
+		}
+		// Validation must never panic, whatever the decoded shape.
+		_ = Validate(sp, 25, DefaultLimits)
+
+		enc, err := EncodeCanonical(Canonical(clone(sp)))
+		if err != nil {
+			return
+		}
+		// Range axes expand to explicit values during canonicalization, so
+		// the canonical form can legitimately exceed the wire-size cap a
+		// raw spec squeaked under; the fixpoint property only applies to
+		// re-admissible encodings.
+		if len(enc) > maxSpecBytes {
+			return
+		}
+		again, err := CanonicalBytes(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding rejected on re-admission: %v\n%s", err, enc)
+		}
+		if !bytes.Equal(again, enc) {
+			t.Fatalf("canonicalization is not a fixpoint:\n%s\n-- re-canonicalized -->\n%s", enc, again)
+		}
+	})
+}

@@ -1,0 +1,336 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// maxAxisValues caps one axis's expansion; with MaxAxes axes the
+// theoretical product still overflows nothing, and the point-count limit
+// rejects anything real long before.
+const maxAxisValues = 4096
+
+// hardMaxPoints is the expansion-time backstop, above any configurable
+// Limits.MaxPoints: Expand refuses to materialize more variants than
+// this, so a hostile spec cannot balloon memory before Validate's policy
+// check runs.
+const hardMaxPoints = 1 << 16
+
+// Variant is one expanded sweep point: the base spec with every axis
+// value applied and the sweep cleared.
+type Variant struct {
+	// Label names the campaign point: the axis labels joined with ",",
+	// or "all" for a sweepless spec.
+	Label string
+	Spec  Spec
+}
+
+// Expand resolves the sweep axes and cross-products them into per-point
+// variants, first axis slowest (row-major, like nested loops in
+// declaration order). A sweepless spec expands to one variant. Errors are
+// *ValidationError values with field paths.
+func Expand(s Spec) ([]Variant, error) {
+	if len(s.Sweep) == 0 {
+		v := clone(s)
+		v.Sweep = nil
+		return []Variant{{Label: "all", Spec: v}}, nil
+	}
+	type axis struct {
+		apply  func(*Spec, float64) error
+		values []float64
+		labels []string
+	}
+	axes := make([]axis, len(s.Sweep))
+	total := 1
+	for i, ax := range s.Sweep {
+		apply, err := resolveAxisField(ax.Field)
+		if err != nil {
+			return nil, &ValidationError{Fields: []FieldError{{
+				Path: fmt.Sprintf("sweep[%d].field", i), Msg: err.Error(),
+			}}}
+		}
+		values := ax.Values
+		if len(values) == 0 && ax.Range != nil {
+			vals, ok := rangeValues(*ax.Range)
+			if !ok {
+				return nil, &ValidationError{Fields: []FieldError{{
+					Path: fmt.Sprintf("sweep[%d].range", i), Msg: "unexpandable range",
+				}}}
+			}
+			values = vals
+		}
+		if len(values) == 0 || len(values) > maxAxisValues {
+			return nil, &ValidationError{Fields: []FieldError{{
+				Path: fmt.Sprintf("sweep[%d]", i), Msg: "an axis needs 1–4096 values",
+			}}}
+		}
+		labels := ax.Labels
+		if len(labels) == 0 {
+			labels = make([]string, len(values))
+			for j, v := range values {
+				labels[j] = formatValue(v)
+			}
+		}
+		if len(labels) != len(values) {
+			return nil, &ValidationError{Fields: []FieldError{{
+				Path: fmt.Sprintf("sweep[%d].labels", i),
+				Msg:  fmt.Sprintf("%d labels for %d values", len(labels), len(values)),
+			}}}
+		}
+		axes[i] = axis{apply: apply, values: values, labels: labels}
+		if total > hardMaxPoints/len(values) {
+			return nil, &ValidationError{Fields: []FieldError{{
+				Path: "sweep", Msg: fmt.Sprintf("cross product exceeds %d points", hardMaxPoints),
+			}}}
+		}
+		total *= len(values)
+	}
+
+	out := make([]Variant, 0, total)
+	idx := make([]int, len(axes))
+	labels := make([]string, len(axes))
+	for k := 0; k < total; k++ {
+		v := clone(s)
+		v.Sweep = nil
+		for a := range axes {
+			if err := axes[a].apply(&v, axes[a].values[idx[a]]); err != nil {
+				return nil, &ValidationError{Fields: []FieldError{{
+					Path: fmt.Sprintf("sweep[%d].values[%d]", a, idx[a]), Msg: err.Error(),
+				}}}
+			}
+			labels[a] = axes[a].labels[idx[a]]
+		}
+		out = append(out, Variant{Label: strings.Join(labels, ","), Spec: v})
+		for a := len(idx) - 1; a >= 0; a-- {
+			idx[a]++
+			if idx[a] < len(axes[a].values) {
+				break
+			}
+			idx[a] = 0
+		}
+	}
+	return out, nil
+}
+
+// formatValue is the default point-label rendering of an axis value —
+// shortest decimal form, so integral values label exactly like the
+// catalog's historical integer labels ("25", not "25.0").
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// rangeValues expands an inclusive arithmetic progression. ok is false
+// for a malformed or oversized range.
+func rangeValues(r Range) ([]float64, bool) {
+	if !(r.Step > 0) || r.To < r.From ||
+		math.IsInf(r.From, 0) || math.IsInf(r.To, 0) || math.IsInf(r.Step, 0) ||
+		math.IsNaN(r.From) || math.IsNaN(r.To) || math.IsNaN(r.Step) {
+		return nil, false
+	}
+	span := (r.To - r.From) / r.Step
+	if span > maxAxisValues {
+		return nil, false
+	}
+	n := int(math.Floor(span+1e-9)) + 1
+	if n < 1 || n > maxAxisValues {
+		return nil, false
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = r.From + float64(i)*r.Step
+	}
+	return vals, true
+}
+
+// intVal coerces an axis value that targets an integer field.
+func intVal(field string, v float64) (int, error) {
+	if v != math.Trunc(v) || math.Abs(v) > 1<<31 {
+		return 0, fmt.Errorf("%s takes integers, not %v", field, v)
+	}
+	return int(v), nil
+}
+
+// boolVal coerces an axis value that targets a boolean field.
+func boolVal(field string, v float64) (bool, error) {
+	switch v {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	}
+	return false, fmt.Errorf("%s takes 0 or 1, not %v", field, v)
+}
+
+func ensureConn(s *Spec) *Conn {
+	if s.Conn == nil {
+		s.Conn = &Conn{}
+	}
+	return s.Conn
+}
+
+func ensureTraffic(s *Spec) *Traffic {
+	if s.Traffic == nil {
+		s.Traffic = &Traffic{}
+	}
+	return s.Traffic
+}
+
+func ensureAttacker(s *Spec) *Attacker {
+	if s.Attacker == nil {
+		s.Attacker = &Attacker{}
+	}
+	return s.Attacker
+}
+
+func ensureAttackerPos(s *Spec) *Pos {
+	a := ensureAttacker(s)
+	if a.Pos == nil {
+		a.Pos = &Pos{}
+	}
+	return a.Pos
+}
+
+func ensureUpdate(s *Spec) *Update {
+	a := ensureAttacker(s)
+	if a.Update == nil {
+		a.Update = &Update{}
+	}
+	return a.Update
+}
+
+func ensureDefense(s *Spec) *Defense {
+	if s.Defense == nil {
+		s.Defense = &Defense{}
+	}
+	return s.Defense
+}
+
+func ensureRun(s *Spec) *Run {
+	if s.Run == nil {
+		s.Run = &Run{}
+	}
+	return s.Run
+}
+
+// intAxis builds an apply function for an integer field.
+func intAxis(field string, set func(*Spec, int)) func(*Spec, float64) error {
+	return func(s *Spec, v float64) error {
+		n, err := intVal(field, v)
+		if err != nil {
+			return err
+		}
+		set(s, n)
+		return nil
+	}
+}
+
+// boolAxis builds an apply function for a boolean field (0/1).
+func boolAxis(field string, set func(*Spec, bool)) func(*Spec, float64) error {
+	return func(s *Spec, v float64) error {
+		b, err := boolVal(field, v)
+		if err != nil {
+			return err
+		}
+		set(s, b)
+		return nil
+	}
+}
+
+// floatAxis builds an apply function for a float field.
+func floatAxis(set func(*Spec, float64)) func(*Spec, float64) error {
+	return func(s *Spec, v float64) error {
+		set(s, v)
+		return nil
+	}
+}
+
+// axisFields is the sweepable-field registry: every path an Axis.Field
+// may name, minus the indexed devices[i] family handled by
+// resolveAxisField. Applied values still pass the same semantic
+// validation as hand-written fields — Validate re-checks every expanded
+// variant.
+var axisFields = map[string]func(*Spec, float64) error{
+	"conn.interval":        intAxis("conn.interval", func(s *Spec, n int) { ensureConn(s).Interval = n }),
+	"conn.latency":         intAxis("conn.latency", func(s *Spec, n int) { ensureConn(s).Latency = n }),
+	"conn.hop":             intAxis("conn.hop", func(s *Spec, n int) { ensureConn(s).Hop = n }),
+	"conn.csa2":            boolAxis("conn.csa2", func(s *Spec, b bool) { ensureConn(s).CSA2 = b }),
+	"conn.unused_channels": intAxis("conn.unused_channels", func(s *Spec, n int) { ensureConn(s).UnusedChannels = n }),
+
+	"traffic.activity_ms": intAxis("traffic.activity_ms", func(s *Spec, n int) { ensureTraffic(s).ActivityMS = n }),
+
+	"attacker.delay_ms":            intAxis("attacker.delay_ms", func(s *Spec, n int) { ensureAttacker(s).DelayMS = n }),
+	"attacker.max_attempts":        intAxis("attacker.max_attempts", func(s *Spec, n int) { ensureAttacker(s).MaxAttempts = n }),
+	"attacker.assumed_slave_ppm":   floatAxis(func(s *Spec, v float64) { ensureAttacker(s).AssumedSlavePPM = v }),
+	"attacker.max_lead_us":         floatAxis(func(s *Spec, v float64) { ensureAttacker(s).MaxLeadUS = v }),
+	"attacker.pos.x":               floatAxis(func(s *Spec, v float64) { ensureAttackerPos(s).X = v }),
+	"attacker.pos.y":               floatAxis(func(s *Spec, v float64) { ensureAttackerPos(s).Y = v }),
+	"attacker.update.win_size":     intAxis("attacker.update.win_size", func(s *Spec, n int) { ensureUpdate(s).WinSize = n }),
+	"attacker.update.win_offset":   intAxis("attacker.update.win_offset", func(s *Spec, n int) { ensureUpdate(s).WinOffset = n }),
+	"attacker.update.interval":     intAxis("attacker.update.interval", func(s *Spec, n int) { ensureUpdate(s).Interval = n }),
+	"attacker.update.instant_lead": intAxis("attacker.update.instant_lead", func(s *Spec, n int) { ensureUpdate(s).InstantLead = n }),
+
+	"defense.ids":            boolAxis("defense.ids", func(s *Spec, b bool) { ensureDefense(s).IDS = b }),
+	"defense.widening_scale": floatAxis(func(s *Spec, v float64) { ensureDefense(s).WideningScale = v }),
+
+	"run.sim_seconds": floatAxis(func(s *Spec, v float64) { ensureRun(s).SimSeconds = v }),
+}
+
+// resolveAxisField maps an Axis.Field path onto its apply function.
+// Indexed device fields ("devices[1].pos.x") are parsed here; the index
+// is bounds-checked at apply time (and earlier, by validateSweepDecl).
+func resolveAxisField(field string) (func(*Spec, float64) error, error) {
+	if apply, ok := axisFields[field]; ok {
+		return apply, nil
+	}
+	if di, ok := deviceIndexOf(field); ok {
+		sub := field[strings.Index(field, "].")+2:]
+		var set func(*Device, float64)
+		switch sub {
+		case "pos.x":
+			set = func(d *Device, v float64) { ensureDevicePos(d).X = v }
+		case "pos.y":
+			set = func(d *Device, v float64) { ensureDevicePos(d).Y = v }
+		case "clock_ppm":
+			set = func(d *Device, v float64) { d.ClockPPM = v }
+		case "clock_jitter_us":
+			set = func(d *Device, v float64) { d.ClockJitterUS = v }
+		default:
+			return nil, fmt.Errorf("unknown device field %q (want pos.x, pos.y, clock_ppm or clock_jitter_us)", sub)
+		}
+		return func(s *Spec, v float64) error {
+			if di >= len(s.Devices) {
+				return fmt.Errorf("device index %d out of range (fleet has %d devices)", di, len(s.Devices))
+			}
+			set(&s.Devices[di], v)
+			return nil
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown sweep field %q", field)
+}
+
+func ensureDevicePos(d *Device) *Pos {
+	if d.Pos == nil {
+		d.Pos = &Pos{}
+	}
+	return d.Pos
+}
+
+// deviceIndexOf parses "devices[N].…" paths; ok is false for any other
+// shape.
+func deviceIndexOf(field string) (int, bool) {
+	rest, found := strings.CutPrefix(field, "devices[")
+	if !found {
+		return 0, false
+	}
+	close := strings.Index(rest, "].")
+	if close <= 0 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest[:close])
+	if err != nil || n < 0 || n > 1<<10 {
+		return 0, false
+	}
+	return n, true
+}

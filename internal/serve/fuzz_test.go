@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"reflect"
 	"testing"
 )
 
@@ -25,6 +26,9 @@ func FuzzDecodeJobSpec(f *testing.F) {
 	f.Add([]byte(`{"experiment":"exp1","point_start":2,"point_count":2}`))
 	f.Add([]byte(`{"experiment":"exp1","point_start":1048577}`))
 	f.Add([]byte(`{"experiment":"exp1","point_count":-1}`))
+	f.Add([]byte(`{"scenario":{"version":1}}`))
+	f.Add([]byte(`{"scenario":{"version":1,"conn":{"interval":36}},"trials":2}`))
+	f.Add([]byte(`{"experiment":"exp1","scenario":{"version":1}}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		spec, err := DecodeJobSpec(data)
@@ -35,7 +39,7 @@ func FuzzDecodeJobSpec(f *testing.F) {
 			t.Fatalf("accepted spec fails its own check: %v (spec %+v)", cerr, spec)
 		}
 		norm := spec.Normalize()
-		if norm.Normalize() != norm {
+		if !reflect.DeepEqual(norm.Normalize(), norm) {
 			t.Fatalf("Normalize not idempotent: %+v", norm)
 		}
 		if spec.Key() != norm.Key() {
@@ -49,7 +53,7 @@ func FuzzDecodeJobSpec(f *testing.F) {
 		if err2 != nil {
 			t.Fatalf("re-encoded spec rejected: %v (%s)", err2, reenc)
 		}
-		if spec2 != spec {
+		if !reflect.DeepEqual(spec2, spec) {
 			t.Fatalf("round trip changed the spec: %+v vs %+v", spec2, spec)
 		}
 		if spec2.Key() != spec.Key() {

@@ -6,6 +6,7 @@ import (
 
 	"injectable/internal/campaign"
 	"injectable/internal/experiments"
+	"injectable/internal/scenario"
 )
 
 // Entry is one servable campaign kind.
@@ -56,8 +57,15 @@ func (r *Registry) Lookup(name string) (Entry, bool) {
 
 // Validate checks a decoded spec against the registry: the experiment
 // must exist and the target must be legal for it. It returns the
-// normalized spec ready for Build.
+// normalized spec ready for Build. Inline-scenario specs bypass the
+// entry table — the scenario compiler is their registry — which is also
+// what lets the fabric planner shard DSL sweeps with no code of its own:
+// a scenario JobSpec validates, builds and point-slices like any catalog
+// entry.
 func (r *Registry) Validate(spec JobSpec) (JobSpec, error) {
+	if len(spec.Scenario) > 0 {
+		return validateScenario(spec)
+	}
 	e, ok := r.entries[spec.Experiment]
 	if !ok {
 		return JobSpec{}, fmt.Errorf("serve: unknown experiment %q (available: %v)",
@@ -93,11 +101,49 @@ func (r *Registry) Validate(spec JobSpec) (JobSpec, error) {
 	return norm, nil
 }
 
+// validateScenario admits an inline-scenario spec: decoder-level bounds,
+// semantic validation against the admission limits (device count, point
+// count, sim-time budget — all before any world exists) and canonical
+// payload rewriting so the normalized spec's key matches every other
+// spelling of the same world. A point range or warmup is checked by a
+// compile (closure construction only, like the catalog entries do).
+func validateScenario(spec JobSpec) (JobSpec, error) {
+	if err := spec.check(); err != nil {
+		return JobSpec{}, err
+	}
+	norm := spec.Normalize()
+	sp, err := scenario.DecodeSpec(norm.Scenario)
+	if err != nil {
+		return JobSpec{}, fmt.Errorf("serve: scenario: %w", err)
+	}
+	if err := scenario.Validate(sp, norm.Trials, scenario.DefaultLimits); err != nil {
+		return JobSpec{}, fmt.Errorf("serve: scenario: %w", err)
+	}
+	canon, err := scenario.EncodeCanonical(sp)
+	if err != nil {
+		return JobSpec{}, err
+	}
+	norm.Scenario = canon
+	if norm.PointStart != 0 || norm.PointCount != 0 || norm.Warmup != "" {
+		if _, err := scenario.Compile(sp, specOptions(norm)); err != nil {
+			return JobSpec{}, err
+		}
+	}
+	return norm, nil
+}
+
 // Build validates the spec and expands it into its campaign.
 func (r *Registry) Build(spec JobSpec) (*campaign.Spec, error) {
 	norm, err := r.Validate(spec)
 	if err != nil {
 		return nil, err
+	}
+	if len(norm.Scenario) > 0 {
+		sp, err := scenario.DecodeSpec(norm.Scenario)
+		if err != nil {
+			return nil, fmt.Errorf("serve: scenario: %w", err)
+		}
+		return scenario.Compile(sp, specOptions(norm))
 	}
 	e := r.entries[norm.Experiment]
 	return e.Build(norm)

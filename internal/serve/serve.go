@@ -33,6 +33,7 @@ import (
 	"strconv"
 
 	"injectable/internal/experiments"
+	"injectable/internal/scenario"
 )
 
 // Limits bound what a single job may ask for; they are admission policy,
@@ -85,7 +86,20 @@ type JobSpec struct {
 	// from a different stream than "", so the mode participates in the
 	// dedup key. Scenario jobs reject a warmup.
 	Warmup string `json:"warmup,omitempty"`
+	// Scenario carries an inline declarative world spec
+	// (internal/scenario) instead of a catalog experiment name. When set,
+	// Experiment must be empty or "scenario" and Target empty; the job
+	// compiles the spec into its campaign. DecodeJobSpec (and
+	// ScenarioJobSpec, the programmatic entry) validate the payload and
+	// rewrite it to its canonical encoding, so the dedup key — which
+	// hashes these bytes — is identical for every spelling of the same
+	// world, on every node.
+	Scenario json.RawMessage `json:"scenario,omitempty"`
 }
+
+// ScenarioExperiment is the Experiment value of normalized inline-
+// scenario jobs.
+const ScenarioExperiment = "scenario"
 
 // DecodeJobSpec parses a job spec strictly: unknown fields, trailing
 // garbage and out-of-range values are errors. It does not check the
@@ -107,13 +121,65 @@ func DecodeJobSpec(data []byte) (JobSpec, error) {
 	if err := spec.check(); err != nil {
 		return JobSpec{}, err
 	}
+	if len(spec.Scenario) > 0 {
+		canon, err := canonicalScenario(spec)
+		if err != nil {
+			return JobSpec{}, err
+		}
+		spec.Scenario = canon
+	}
 	return spec, nil
+}
+
+// canonicalScenario strict-decodes, validates and canonicalizes an
+// inline scenario payload. Validation here is still registry-independent
+// (the scenario package is pure), so the decoder remains a pure function;
+// rewriting to the canonical bytes is what gives equivalent spellings of
+// one world equal dedup keys.
+func canonicalScenario(spec JobSpec) (json.RawMessage, error) {
+	sp, err := scenario.DecodeSpec(spec.Scenario)
+	if err != nil {
+		return nil, fmt.Errorf("serve: scenario: %w", err)
+	}
+	if err := scenario.Validate(sp, spec.Normalize().Trials, scenario.DefaultLimits); err != nil {
+		return nil, fmt.Errorf("serve: scenario: %w", err)
+	}
+	return scenario.EncodeCanonical(sp)
+}
+
+// ScenarioJobSpec embeds a raw declarative scenario into base: the spec
+// is strictly decoded, validated against the admission limits and
+// rewritten to its canonical encoding, so the returned JobSpec computes
+// the same dedup key a daemon would — which is what lets clients and the
+// fabric coordinator key caches and journals before ever talking to a
+// worker.
+func ScenarioJobSpec(raw []byte, base JobSpec) (JobSpec, error) {
+	base.Experiment = ScenarioExperiment
+	base.Target = ""
+	base.Scenario = raw
+	if err := base.check(); err != nil {
+		return JobSpec{}, err
+	}
+	canon, err := canonicalScenario(base)
+	if err != nil {
+		return JobSpec{}, err
+	}
+	base.Scenario = canon
+	return base, nil
 }
 
 // check enforces the decoder-level bounds (registry-independent).
 func (s JobSpec) check() error {
-	if s.Experiment == "" {
+	if s.Experiment == "" && len(s.Scenario) == 0 {
 		return errors.New("serve: job spec missing experiment")
+	}
+	if len(s.Scenario) > 0 {
+		if s.Experiment != "" && s.Experiment != ScenarioExperiment {
+			return fmt.Errorf("serve: experiment %q cannot carry an inline scenario", s.Experiment)
+		}
+		if s.Target != "" {
+			return errors.New("serve: scenario jobs take no target")
+		}
 	}
 	if s.Trials < 0 || s.Trials > MaxTrials {
 		return fmt.Errorf("serve: trials %d out of range [0,%d]", s.Trials, MaxTrials)
@@ -146,6 +212,9 @@ func (s JobSpec) Normalize() JobSpec {
 	}
 	if s.SeedBase == 0 {
 		s.SeedBase = 1000
+	}
+	if len(s.Scenario) > 0 {
+		s.Experiment = ScenarioExperiment
 	}
 	return s
 }
@@ -185,6 +254,14 @@ func (s JobSpec) Key() string {
 	if n.Warmup != "" {
 		buf = append(buf, "\x00warmup\x00"...)
 		buf = append(buf, n.Warmup...)
+	}
+	// An inline scenario extends the preimage with its canonical spec
+	// bytes (DecodeJobSpec/ScenarioJobSpec rewrite the payload), so equal
+	// worlds hash equal whatever the author's field order or default
+	// spelling — and catalog job keys stay byte-stable.
+	if len(n.Scenario) > 0 {
+		buf = append(buf, "\x00scenario\x00"...)
+		buf = append(buf, n.Scenario...)
 	}
 	sum := sha256.Sum256(buf)
 	var hx [64]byte

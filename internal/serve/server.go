@@ -16,6 +16,7 @@ import (
 
 	"injectable/internal/campaign"
 	"injectable/internal/obs"
+	"injectable/internal/scenario"
 )
 
 // Config shapes a Server. The zero value of every field is replaced by
@@ -368,6 +369,7 @@ func (s *Server) routes() {
 	mux.HandleFunc("GET /v1/jobs/{id}/aggregate", s.handleJobAggregate)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/scenario", s.handleScenario)
 	mux.HandleFunc("POST /v1/aggregate", s.handleAggregate)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -418,14 +420,38 @@ func streamFormat(r *http.Request, allowSSE bool) (string, error) {
 	return FormatNDJSON, nil
 }
 
+// errorBody is the JSON error response. Fields carries structured
+// per-field failures when the rejection came from scenario validation,
+// so clients can map "devices[2].type: unknown device type" back onto
+// their spec instead of parsing a prose message.
+type errorBody struct {
+	Error  string                `json:"error"`
+	Fields []scenario.FieldError `json:"fields,omitempty"`
+}
+
 // httpError writes a JSON error body and counts the rejection per status
 // code, so rejects show up in the exposition as
 // serve_http_errors{code="..."}.
 func (s *Server) httpError(w http.ResponseWriter, code int, msg string) {
+	s.writeError(w, code, errorBody{Error: msg})
+}
+
+// httpErrorErr is httpError for error values: a *scenario.ValidationError
+// anywhere in the chain contributes its field paths to the body.
+func (s *Server) httpErrorErr(w http.ResponseWriter, code int, err error) {
+	body := errorBody{Error: err.Error()}
+	var verr *scenario.ValidationError
+	if errors.As(err, &verr) {
+		body.Fields = verr.Fields
+	}
+	s.writeError(w, code, body)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, body errorBody) {
 	s.reg().Counter(fmt.Sprintf("serve.http_errors{code=%q}", strconv.Itoa(code))).Inc()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	json.NewEncoder(w).Encode(body)
 }
 
 // retryAfterSecs renders the Retry-After hint (minimum 1s).
@@ -455,9 +481,15 @@ func (s *Server) submitHTTP(w http.ResponseWriter, r *http.Request) (*job, strin
 	spec, err := decodeSubmit(r)
 	if err != nil {
 		s.reg().Counter("serve.reject_invalid").Inc()
-		s.httpError(w, http.StatusBadRequest, err.Error())
+		s.httpErrorErr(w, http.StatusBadRequest, err)
 		return nil, "", false
 	}
+	return s.submitSpec(w, r, spec)
+}
+
+// submitSpec submits a decoded spec and maps submission errors onto
+// status codes.
+func (s *Server) submitSpec(w http.ResponseWriter, r *http.Request, spec JobSpec) (*job, string, bool) {
 	j, disp, err := s.submit(spec, r.Header.Get(TraceHeader))
 	switch {
 	case err == nil:
@@ -469,7 +501,7 @@ func (s *Server) submitHTTP(w http.ResponseWriter, r *http.Request) (*job, strin
 		w.Header().Set("Retry-After", s.retryAfterSecs())
 		s.httpError(w, http.StatusTooManyRequests, err.Error())
 	default:
-		s.httpError(w, http.StatusBadRequest, err.Error())
+		s.httpErrorErr(w, http.StatusBadRequest, err)
 	}
 	return nil, "", false
 }
@@ -533,6 +565,87 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Cache", disp)
 	w.Header().Set("X-Job-ID", j.id)
 	s.serveStream(w, r, j, format)
+}
+
+// handleScenario is run-and-stream for declarative scenarios: the body
+// is the raw scenario spec itself (not a JobSpec envelope), job knobs
+// ride the query string, and the response streams results exactly like
+// POST /v1/run — same dedup, cache, binary/NDJSON negotiation and live
+// follow. A validation failure answers with structured field paths.
+func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
+	format, err := streamFormat(r, false)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	base, err := jobQuery(r)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	raw, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, fmt.Sprintf("serve: reading scenario spec: %v", err))
+		return
+	}
+	spec, err := ScenarioJobSpec(raw, base)
+	if err != nil {
+		s.reg().Counter("serve.reject_invalid").Inc()
+		s.httpErrorErr(w, http.StatusBadRequest, err)
+		return
+	}
+	j, disp, ok := s.submitSpec(w, r, spec)
+	if !ok {
+		return
+	}
+	w.Header().Set("X-Cache", disp)
+	w.Header().Set("X-Job-ID", j.id)
+	s.serveStream(w, r, j, format)
+}
+
+// jobQuery reads the JobSpec knobs POST /v1/scenario accepts as query
+// parameters (the body being the scenario itself).
+func jobQuery(r *http.Request) (JobSpec, error) {
+	var spec JobSpec
+	q := r.URL.Query()
+	intParam := func(name string, dst *int) error {
+		v := q.Get(name)
+		if v == "" {
+			return nil
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("serve: query %s=%q is not an integer", name, v)
+		}
+		*dst = n
+		return nil
+	}
+	for name, dst := range map[string]*int{
+		"trials":      &spec.Trials,
+		"priority":    &spec.Priority,
+		"point_start": &spec.PointStart,
+		"point_count": &spec.PointCount,
+	} {
+		if err := intParam(name, dst); err != nil {
+			return JobSpec{}, err
+		}
+	}
+	if v := q.Get("seed_base"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return JobSpec{}, fmt.Errorf("serve: query seed_base=%q is not an unsigned integer", v)
+		}
+		spec.SeedBase = n
+	}
+	if v := q.Get("timeout_ms"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return JobSpec{}, fmt.Errorf("serve: query timeout_ms=%q is not an integer", v)
+		}
+		spec.TimeoutMS = n
+	}
+	spec.Warmup = q.Get("warmup")
+	return spec, nil
 }
 
 // serveStream writes job j's result stream in the negotiated format.

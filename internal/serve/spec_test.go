@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -16,7 +17,7 @@ func TestDecodeJobSpecValid(t *testing.T) {
 	}
 	want := JobSpec{Experiment: "scenarioA", Target: "keyfob", Trials: 10,
 		SeedBase: 42, Priority: 3, TimeoutMS: 1000}
-	if spec != want {
+	if !reflect.DeepEqual(spec, want) {
 		t.Fatalf("decoded %+v, want %+v", spec, want)
 	}
 }
@@ -52,7 +53,7 @@ func TestNormalizeDefaultsAndIdempotence(t *testing.T) {
 	if n.Trials != 25 || n.SeedBase != 1000 {
 		t.Fatalf("normalize defaults = trials %d, seed %d; want 25, 1000", n.Trials, n.SeedBase)
 	}
-	if n2 := n.Normalize(); n2 != n {
+	if n2 := n.Normalize(); !reflect.DeepEqual(n2, n) {
 		t.Fatalf("normalize not idempotent: %+v vs %+v", n2, n)
 	}
 }
